@@ -1,0 +1,140 @@
+//! Attribute-type breakdown of critical clusters: the paper's Figure 10.
+//!
+//! Aggregates, over all epochs, the problem sessions attributed to critical
+//! clusters of each attribute-combination *type* (e.g. all `[Site]`-only
+//! clusters together, all `[CDN, ConnectionType]` clusters together), plus
+//! the two residues the paper charts: problem sessions inside problem
+//! clusters that no critical cluster explains, and problem sessions outside
+//! any problem cluster.
+
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::AttrMask;
+use vqlens_model::metric::Metric;
+use vqlens_stats::FxHashMap;
+
+/// One slice of the Figure 10 pie: an attribute-combination type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownSlice {
+    /// The attribute combination (e.g. `[Site]`, `[CDN, ConnectionType]`).
+    pub mask: AttrMask,
+    /// Problem sessions attributed to critical clusters of this type.
+    pub attributed: f64,
+    /// Share of all problem sessions.
+    pub share: f64,
+}
+
+/// The full breakdown for one metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// The metric.
+    pub metric: Metric,
+    /// Total problem sessions over the trace.
+    pub total_problems: u64,
+    /// Slices sorted by attributed volume, descending.
+    pub slices: Vec<BreakdownSlice>,
+    /// Share of problem sessions inside a problem cluster but not
+    /// attributed to any critical cluster.
+    pub unattributed_share: f64,
+    /// Share of problem sessions outside any problem cluster.
+    pub outside_share: f64,
+}
+
+impl Breakdown {
+    /// Aggregate the attribution of a whole trace.
+    pub fn compute(analyses: &[EpochAnalysis], metric: Metric) -> Breakdown {
+        let mut by_mask: FxHashMap<AttrMask, f64> = FxHashMap::default();
+        let mut total_problems = 0u64;
+        let mut in_pc = 0u64;
+        let mut attributed_total = 0.0f64;
+        for a in analyses {
+            let ma = a.metric(metric);
+            total_problems += ma.critical.total_problems;
+            in_pc += ma.critical.problems_in_problem_clusters;
+            attributed_total += ma.critical.problems_attributed;
+            for (key, stats) in &ma.critical.clusters {
+                *by_mask.entry(key.mask()).or_default() += stats.attributed_problems;
+            }
+        }
+        let total = total_problems as f64;
+        let mut slices: Vec<BreakdownSlice> = by_mask
+            .into_iter()
+            .map(|(mask, attributed)| BreakdownSlice {
+                mask,
+                attributed,
+                share: if total > 0.0 { attributed / total } else { 0.0 },
+            })
+            .collect();
+        slices.sort_by(|a, b| {
+            b.attributed
+                .partial_cmp(&a.attributed)
+                .expect("finite")
+                .then(a.mask.0.cmp(&b.mask.0))
+        });
+        Breakdown {
+            metric,
+            total_problems,
+            slices,
+            unattributed_share: if total > 0.0 {
+                (in_pc as f64 - attributed_total).max(0.0) / total
+            } else {
+                0.0
+            },
+            outside_share: if total > 0.0 {
+                (total - in_pc as f64).max(0.0) / total
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The share of one attribute-combination type.
+    pub fn share_of(&self, mask: AttrMask) -> f64 {
+        self.slices
+            .iter()
+            .find(|s| s.mask == mask)
+            .map(|s| s.share)
+            .unwrap_or(0.0)
+    }
+
+    /// Sanity: all shares plus residues sum to ≤ 1 (+ rounding).
+    pub fn total_share(&self) -> f64 {
+        self.slices.iter().map(|s| s.share).sum::<f64>()
+            + self.unattributed_share
+            + self.outside_share
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_a, key_cdn};
+
+    #[test]
+    fn shares_aggregate_by_mask_type() {
+        // key_a is a Site-type cluster, key_cdn a CDN-type cluster.
+        let analyses = vec![
+            analysis_with_critical(0, 100, &[(key_a(), 40.0), (key_cdn(), 20.0)], 70),
+            analysis_with_critical(1, 100, &[(key_a(), 30.0)], 40),
+        ];
+        let b = Breakdown::compute(&analyses, Metric::JoinFailure);
+        assert_eq!(b.total_problems, 200);
+        assert!((b.share_of(key_a().mask()) - 70.0 / 200.0).abs() < 1e-12);
+        assert!((b.share_of(key_cdn().mask()) - 20.0 / 200.0).abs() < 1e-12);
+        // In problem clusters: 70 + 40 = 110; attributed 90 => 20/200 unattributed.
+        assert!((b.unattributed_share - 0.1).abs() < 1e-12);
+        // Outside: 200 - 110 = 90 => 0.45.
+        assert!((b.outside_share - 0.45).abs() < 1e-12);
+        assert!((b.total_share() - 1.0).abs() < 1e-9);
+        // Biggest slice first.
+        assert_eq!(b.slices[0].mask, key_a().mask());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let b = Breakdown::compute(&[], Metric::Bitrate);
+        assert_eq!(b.total_problems, 0);
+        assert!(b.slices.is_empty());
+        assert_eq!(b.total_share(), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cause churn: how stable the top culprits are over time.
+//!
+//! The paper's proactive strategy (§5.2) works exactly to the extent that
+//! the causes observed in history remain the causes of the future — its
+//! 61–86 % efficiency numbers implicitly measure week-over-week churn of
+//! the top critical clusters. This module measures churn directly: the
+//! Jaccard similarity of the top-k critical clusters between consecutive
+//! windows, per metric. A churn report also tells an operator how often a
+//! proactively-compiled "bad apples" list must be refreshed.
+
+use crate::overlap::top_critical_clusters;
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::ClusterKey;
+use vqlens_model::metric::Metric;
+use vqlens_stats::{jaccard, FxHashSet};
+
+/// Top-k similarity between one pair of consecutive windows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPoint {
+    /// Index of the later window (1 = second window vs first).
+    pub window: u32,
+    /// Jaccard similarity of the two windows' top-k critical clusters.
+    pub similarity: f64,
+    /// Fraction of the later window's top-k that is new (not in the
+    /// earlier window's top-k).
+    pub new_fraction: f64,
+}
+
+/// Churn of the top-k critical clusters over consecutive windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// The metric analyzed.
+    pub metric: Metric,
+    /// Window length in epochs.
+    pub window_epochs: u32,
+    /// The k used for "top-k".
+    pub k: usize,
+    /// One point per consecutive window pair.
+    pub points: Vec<ChurnPoint>,
+}
+
+impl ChurnReport {
+    /// Split the trace into consecutive `window_epochs`-long windows and
+    /// compare each window's top-k critical clusters with its predecessor.
+    ///
+    /// # Panics
+    /// Panics when `window_epochs` is zero.
+    pub fn compute(
+        analyses: &[EpochAnalysis],
+        metric: Metric,
+        window_epochs: u32,
+        k: usize,
+    ) -> ChurnReport {
+        assert!(window_epochs > 0, "window must span at least one epoch");
+        // A trailing partial window would be compared against a full-length
+        // predecessor as if it were complete; drop it.
+        let tops: Vec<FxHashSet<ClusterKey>> = analyses
+            .chunks(window_epochs as usize)
+            .filter(|w| w.len() == window_epochs as usize)
+            .map(|window| {
+                top_critical_clusters(window, metric, k)
+                    .into_iter()
+                    .map(|(key, _)| key)
+                    .collect()
+            })
+            .collect();
+        let points = tops
+            .windows(2)
+            .enumerate()
+            .map(|(i, pair)| {
+                let (prev, cur) = (&pair[0], &pair[1]);
+                let new = cur.iter().filter(|key| !prev.contains(*key)).count();
+                ChurnPoint {
+                    window: i as u32 + 1,
+                    similarity: jaccard(prev, cur),
+                    new_fraction: if cur.is_empty() {
+                        0.0
+                    } else {
+                        new as f64 / cur.len() as f64
+                    },
+                }
+            })
+            .collect();
+        ChurnReport {
+            metric,
+            window_epochs,
+            k,
+            points,
+        }
+    }
+
+    /// Mean window-over-window similarity; `None` for fewer than 2 windows.
+    pub fn mean_similarity(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|p| p.similarity).sum::<f64>() / self.points.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_a, key_b, key_cdn};
+
+    #[test]
+    fn stationary_causes_have_no_churn() {
+        let analyses: Vec<_> = (0..8)
+            .map(|e| analysis_with_critical(e, 100, &[(key_a(), 50.0)], 60))
+            .collect();
+        let churn = ChurnReport::compute(&analyses, Metric::JoinFailure, 4, 10);
+        assert_eq!(churn.points.len(), 1);
+        assert_eq!(churn.points[0].similarity, 1.0);
+        assert_eq!(churn.points[0].new_fraction, 0.0);
+        assert_eq!(churn.mean_similarity(), Some(1.0));
+    }
+
+    #[test]
+    fn complete_turnover_has_full_churn() {
+        let mut analyses = Vec::new();
+        for e in 0..4 {
+            analyses.push(analysis_with_critical(e, 100, &[(key_a(), 50.0)], 60));
+        }
+        for e in 4..8 {
+            analyses.push(analysis_with_critical(e, 100, &[(key_b(), 50.0)], 60));
+        }
+        let churn = ChurnReport::compute(&analyses, Metric::JoinFailure, 4, 10);
+        assert_eq!(churn.points[0].similarity, 0.0);
+        assert_eq!(churn.points[0].new_fraction, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_fractional() {
+        let mut analyses = Vec::new();
+        for e in 0..2 {
+            analyses.push(analysis_with_critical(
+                e,
+                100,
+                &[(key_a(), 50.0), (key_cdn(), 30.0)],
+                80,
+            ));
+        }
+        for e in 2..4 {
+            analyses.push(analysis_with_critical(
+                e,
+                100,
+                &[(key_a(), 50.0), (key_b(), 30.0)],
+                80,
+            ));
+        }
+        let churn = ChurnReport::compute(&analyses, Metric::JoinFailure, 2, 10);
+        // {a, cdn} vs {a, b}: intersection 1, union 3.
+        assert!((churn.points[0].similarity - 1.0 / 3.0).abs() < 1e-12);
+        assert!((churn.points[0].new_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_traces_are_graceful() {
+        let analyses = vec![analysis_with_critical(0, 100, &[(key_a(), 50.0)], 60)];
+        let churn = ChurnReport::compute(&analyses, Metric::JoinFailure, 24, 10);
+        assert!(churn.points.is_empty());
+        assert_eq!(churn.mean_similarity(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_window_rejected() {
+        let _ = ChurnReport::compute(&[], Metric::BufRatio, 0, 10);
+    }
+}

@@ -1,0 +1,110 @@
+//! Coverage accounting: the paper's Table 1.
+//!
+//! Per metric: the mean number of problem clusters per epoch, the mean
+//! number of critical clusters (2–3 % of the former in the paper), the mean
+//! fraction of problem sessions inside problem clusters, and the mean
+//! fraction attributed to critical clusters (44–84 %).
+
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::metric::Metric;
+use vqlens_stats::StreamingMoments;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CoverageRow {
+    /// The metric.
+    pub metric: Metric,
+    /// Mean problem clusters per epoch.
+    pub mean_problem_clusters: f64,
+    /// Mean critical clusters per epoch.
+    pub mean_critical_clusters: f64,
+    /// Critical/problem cluster count ratio.
+    pub reduction: f64,
+    /// Mean fraction of problem sessions inside some problem cluster.
+    pub mean_problem_coverage: f64,
+    /// Mean fraction of problem sessions attributed to critical clusters.
+    pub mean_critical_coverage: f64,
+}
+
+/// Compute Table 1 over a trace. Epochs without problem sessions for a
+/// metric are excluded from that metric's coverage means (coverage is
+/// undefined there), matching how the paper averages per-epoch statistics.
+pub fn coverage_table(analyses: &[EpochAnalysis]) -> [CoverageRow; 4] {
+    Metric::ALL.map(|metric| {
+        let mut problem_clusters = StreamingMoments::new();
+        let mut critical_clusters = StreamingMoments::new();
+        let mut problem_cov = StreamingMoments::new();
+        let mut critical_cov = StreamingMoments::new();
+        for a in analyses {
+            let ma = a.metric(metric);
+            problem_clusters.push(ma.problems.len() as f64);
+            critical_clusters.push(ma.critical.len() as f64);
+            if ma.critical.total_problems > 0 {
+                problem_cov.push(ma.critical.problem_cluster_coverage());
+                critical_cov.push(ma.critical.coverage());
+            }
+        }
+        let mean_problem_clusters = problem_clusters.mean().unwrap_or(0.0);
+        let mean_critical_clusters = critical_clusters.mean().unwrap_or(0.0);
+        CoverageRow {
+            metric,
+            mean_problem_clusters,
+            mean_critical_clusters,
+            reduction: if mean_problem_clusters > 0.0 {
+                mean_critical_clusters / mean_problem_clusters
+            } else {
+                0.0
+            },
+            mean_problem_coverage: problem_cov.mean().unwrap_or(0.0),
+            mean_critical_coverage: critical_cov.mean().unwrap_or(0.0),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_a, key_b};
+
+    #[test]
+    fn table_means_per_epoch() {
+        // Two epochs: 100 problem sessions each; epoch 0 attributes 60 to
+        // one critical cluster, epoch 1 attributes 90 across two.
+        let analyses = vec![
+            analysis_with_critical(0, 100, &[(key_a(), 60.0)], 80),
+            analysis_with_critical(1, 100, &[(key_a(), 50.0), (key_b(), 40.0)], 95),
+        ];
+        let table = coverage_table(&analyses);
+        let row = &table[Metric::JoinFailure.index()];
+        assert_eq!(row.metric, Metric::JoinFailure);
+        assert!((row.mean_critical_clusters - 1.5).abs() < 1e-12);
+        // Coverage epoch 0: 0.6; epoch 1: 0.9 => mean 0.75.
+        assert!((row.mean_critical_coverage - 0.75).abs() < 1e-12);
+        // Problem-cluster coverage: 0.8 and 0.95 => 0.875.
+        assert!((row.mean_problem_coverage - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epochs_without_problems_do_not_skew_coverage() {
+        let analyses = vec![
+            analysis_with_critical(0, 100, &[(key_a(), 60.0)], 80),
+            analysis_with_critical(1, 0, &[], 0), // quiet epoch
+        ];
+        let table = coverage_table(&analyses);
+        let row = &table[Metric::JoinFailure.index()];
+        assert!((row.mean_critical_coverage - 0.6).abs() < 1e-12);
+        // But cluster counts do average over all epochs.
+        assert!((row.mean_critical_clusters - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_rows() {
+        let table = coverage_table(&[]);
+        for row in table {
+            assert_eq!(row.mean_problem_clusters, 0.0);
+            assert_eq!(row.mean_critical_coverage, 0.0);
+            assert_eq!(row.reduction, 0.0);
+        }
+    }
+}

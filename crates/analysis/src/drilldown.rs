@@ -1,0 +1,240 @@
+//! Drill-down diagnosis of a critical cluster.
+//!
+//! The paper's §6 ("More diagnostic capabilities") proposes triggering
+//! finer-grained analysis once a critical cluster is observed — e.g. when a
+//! CDN shows quality issues, break its traffic down further to see *where*
+//! inside the cluster the problems concentrate. This module implements that
+//! next step over the data already in the cube: for each attribute the
+//! cluster leaves unconstrained, the conditional children are ranked by
+//! problem concentration and ratio disparity, pointing an operator at the
+//! most informative refinement.
+
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::cube::EpochCube;
+use vqlens_model::attr::{AttrKey, ClusterKey};
+use vqlens_model::metric::Metric;
+
+/// One child cluster within a drill-down dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrillEntry {
+    /// The child's value id for the drilled attribute.
+    pub value: u32,
+    /// Sessions in the child.
+    pub sessions: u64,
+    /// Problem sessions in the child (for the drilled metric).
+    pub problems: u64,
+    /// Problem ratio of the child.
+    pub ratio: f64,
+}
+
+/// The breakdown of a cluster along one unconstrained attribute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DimensionBreakdown {
+    /// The attribute drilled into.
+    pub attr: AttrKey,
+    /// Children ordered by problem count, descending.
+    pub entries: Vec<DrillEntry>,
+    /// Fraction of the cluster's problem sessions inside the single worst
+    /// child — near 1.0 means the real cause is one level deeper.
+    pub max_problem_share: f64,
+    /// Highest child problem ratio divided by the cluster's own ratio —
+    /// near 1.0 means problems are uniform along this attribute (the
+    /// cluster itself is the right granularity).
+    pub ratio_disparity: f64,
+}
+
+/// Full drill-down of one cluster for one metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DrillDown {
+    /// The cluster diagnosed.
+    pub key: ClusterKey,
+    /// The metric diagnosed.
+    pub metric: Metric,
+    /// Sessions in the cluster.
+    pub sessions: u64,
+    /// Problem sessions in the cluster.
+    pub problems: u64,
+    /// The cluster's problem ratio.
+    pub ratio: f64,
+    /// Per-attribute breakdowns, most-concentrated first.
+    pub dimensions: Vec<DimensionBreakdown>,
+}
+
+impl DrillDown {
+    /// Diagnose `key` against a (preferably unpruned) epoch cube.
+    pub fn diagnose(cube: &EpochCube, key: ClusterKey, metric: Metric) -> DrillDown {
+        let own = cube.counts(key);
+        let own_problems = own.problems[metric.index()];
+        let own_ratio = own.ratio(metric);
+
+        let mut dimensions = Vec::new();
+        for attr in AttrKey::ALL {
+            if key.mask().contains(attr) {
+                continue;
+            }
+            let child_mask = key.mask().with(attr);
+            let mut entries: Vec<DrillEntry> = cube
+                .clusters
+                .iter()
+                .filter(|(k, _)| k.mask() == child_mask && k.project_onto(key.mask()) == key)
+                .map(|(k, c)| DrillEntry {
+                    value: k.value_dim(attr.index()),
+                    sessions: c.sessions,
+                    problems: c.problems[metric.index()],
+                    ratio: c.ratio(metric),
+                })
+                .collect();
+            entries.sort_by(|a, b| b.problems.cmp(&a.problems).then(a.value.cmp(&b.value)));
+            if entries.is_empty() {
+                continue;
+            }
+            let max_problem_share = if own_problems > 0 {
+                entries[0].problems as f64 / own_problems as f64
+            } else {
+                0.0
+            };
+            let ratio_disparity = if own_ratio > 0.0 {
+                entries
+                    .iter()
+                    .map(|e| e.ratio)
+                    .fold(0.0f64, f64::max)
+                    / own_ratio
+            } else {
+                0.0
+            };
+            dimensions.push(DimensionBreakdown {
+                attr,
+                entries,
+                max_problem_share,
+                ratio_disparity,
+            });
+        }
+        // Most informative dimension first: concentrated problems with a
+        // large ratio disparity.
+        dimensions.sort_by(|a, b| {
+            (b.max_problem_share * b.ratio_disparity)
+                .partial_cmp(&(a.max_problem_share * a.ratio_disparity))
+                .expect("finite scores")
+        });
+
+        DrillDown {
+            key,
+            metric,
+            sessions: own.sessions,
+            problems: own_problems,
+            ratio: own_ratio,
+            dimensions,
+        }
+    }
+
+    /// The single most suspicious refinement: the highest-ranked dimension
+    /// whose concentration and disparity both clear the given thresholds
+    /// (not just the first dimension — a high-share/low-disparity dimension
+    /// must not shadow a qualifying one further down).
+    pub fn hotspot(&self, min_share: f64, min_disparity: f64) -> Option<(AttrKey, DrillEntry)> {
+        self.dimensions
+            .iter()
+            .find(|d| d.max_problem_share >= min_share && d.ratio_disparity >= min_disparity)
+            .and_then(|d| d.entries.first().map(|top| (d.attr, *top)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::attr::SessionAttrs;
+    use vqlens_model::dataset::EpochData;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_model::metric::{QualityMeasurement, Thresholds};
+
+    const GOOD: QualityMeasurement = QualityMeasurement {
+        join_failed: false,
+        join_time_ms: 500,
+        play_duration_s: 300.0,
+        buffering_s: 0.0,
+        avg_bitrate_kbps: 3000.0,
+    };
+
+    fn push(d: &mut EpochData, asn: u32, cdn: u32, n: u64, fail: u64) {
+        let attrs = SessionAttrs::new([asn, cdn, 0, 0, 0, 0, 0]);
+        for i in 0..n {
+            d.push(
+                attrs,
+                if i < fail {
+                    QualityMeasurement::failed()
+                } else {
+                    GOOD
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn drill_down_localizes_the_cause() {
+        // CDN=1's failures live entirely inside ASN=7.
+        let mut d = EpochData::default();
+        push(&mut d, 7, 1, 400, 300);
+        push(&mut d, 8, 1, 600, 6);
+        push(&mut d, 9, 2, 1000, 10);
+        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let cdn1 = ClusterKey::of_single(AttrKey::Cdn, 1);
+        let dd = DrillDown::diagnose(&cube, cdn1, Metric::JoinFailure);
+
+        assert_eq!(dd.sessions, 1000);
+        assert_eq!(dd.problems, 306);
+        // The ASN dimension must rank first: problems concentrate in ASN=7.
+        let first = &dd.dimensions[0];
+        assert_eq!(first.attr, AttrKey::Asn);
+        assert_eq!(first.entries[0].value, 7);
+        assert!(first.max_problem_share > 0.95);
+        assert!(first.ratio_disparity > 2.0);
+        let (attr, entry) = dd.hotspot(0.8, 1.5).expect("clear hotspot");
+        assert_eq!(attr, AttrKey::Asn);
+        assert_eq!(entry.value, 7);
+    }
+
+    #[test]
+    fn uniform_problems_show_no_hotspot() {
+        // CDN=1 fails uniformly across ASNs: the cluster itself is the
+        // right granularity.
+        let mut d = EpochData::default();
+        push(&mut d, 1, 1, 500, 150);
+        push(&mut d, 2, 1, 500, 150);
+        push(&mut d, 3, 2, 1000, 10);
+        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let cdn1 = ClusterKey::of_single(AttrKey::Cdn, 1);
+        let dd = DrillDown::diagnose(&cube, cdn1, Metric::JoinFailure);
+        // No dimension concentrates problems with high disparity.
+        assert!(dd.hotspot(0.8, 1.5).is_none());
+        // The ASN dimension shows a ~50/50 split.
+        let asn_dim = dd
+            .dimensions
+            .iter()
+            .find(|x| x.attr == AttrKey::Asn)
+            .expect("asn dimension present");
+        assert!((asn_dim.max_problem_share - 0.5).abs() < 0.01);
+        assert!(asn_dim.ratio_disparity < 1.1);
+    }
+
+    #[test]
+    fn constrained_attributes_are_skipped() {
+        let mut d = EpochData::default();
+        push(&mut d, 1, 1, 100, 50);
+        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let key = SessionAttrs::new([1, 1, 0, 0, 0, 0, 0])
+            .project(vqlens_model::attr::AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]));
+        let dd = DrillDown::diagnose(&cube, key, Metric::JoinFailure);
+        assert!(dd.dimensions.iter().all(|x| x.attr != AttrKey::Asn));
+        assert!(dd.dimensions.iter().all(|x| x.attr != AttrKey::Cdn));
+        assert_eq!(dd.dimensions.len(), 5);
+    }
+
+    #[test]
+    fn empty_cluster_is_graceful() {
+        let cube = EpochCube::build(EpochId(0), &EpochData::default(), &Thresholds::default());
+        let dd = DrillDown::diagnose(&cube, ClusterKey::of_single(AttrKey::Cdn, 1), Metric::BufRatio);
+        assert_eq!(dd.sessions, 0);
+        assert!(dd.dimensions.is_empty());
+        assert!(dd.hotspot(0.5, 1.0).is_none());
+    }
+}

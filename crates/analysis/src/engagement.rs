@@ -1,0 +1,184 @@
+//! Engagement vs. quality: the relationship the paper builds on.
+//!
+//! The paper motivates everything with the finding (Dobrian et al.,
+//! SIGCOMM'11, its reference [13]) that quality drives engagement — e.g.
+//! that a 1 % increase in buffering ratio costs several minutes of watched
+//! video. Our delivery substrate models viewer abandonment mechanically, so
+//! the same relationship should *emerge* rather than be assumed; this
+//! module measures it, both as a validation of the substrate and as the
+//! engagement-impact lens an operator would put on any quality report.
+
+use serde::{Deserialize, Serialize};
+use vqlens_model::dataset::Dataset;
+use vqlens_stats::StreamingMoments;
+
+/// One bucket of the engagement curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EngagementBucket {
+    /// Lower edge of the buffering-ratio bucket.
+    pub buffering_ratio_lo: f64,
+    /// Upper edge of the buffering-ratio bucket.
+    pub buffering_ratio_hi: f64,
+    /// Sessions in the bucket.
+    pub sessions: u64,
+    /// Mean minutes of content watched.
+    pub mean_play_minutes: f64,
+}
+
+/// The engagement-vs-buffering curve plus a linear-trend summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngagementCurve {
+    /// Buckets in increasing buffering-ratio order (only non-empty ones).
+    pub buckets: Vec<EngagementBucket>,
+    /// Least-squares slope: minutes of watched video lost per +1 percentage
+    /// point of buffering ratio (negative when quality costs engagement).
+    pub minutes_per_buffering_point: f64,
+    /// Sessions that joined successfully (the curve's population).
+    pub sessions: u64,
+}
+
+impl EngagementCurve {
+    /// Measure the curve over a dataset using buckets of
+    /// `bucket_width` buffering ratio (e.g. 0.01 = one percentage point).
+    ///
+    /// # Panics
+    /// Panics unless `0 < bucket_width <= 1`.
+    pub fn measure(dataset: &Dataset, bucket_width: f64) -> EngagementCurve {
+        assert!(bucket_width > 0.0 && bucket_width <= 1.0);
+        let n_buckets = (1.0 / bucket_width).ceil() as usize + 1;
+        let mut acc: Vec<StreamingMoments> = vec![StreamingMoments::new(); n_buckets];
+        let mut sessions = 0u64;
+        for (_, data) in dataset.iter_epochs() {
+            for (_, q) in data.iter() {
+                let Some(ratio) = q.buffering_ratio() else {
+                    continue;
+                };
+                sessions += 1;
+                let idx = ((ratio / bucket_width).floor() as usize).min(n_buckets - 1);
+                acc[idx].push(f64::from(q.play_duration_s) / 60.0);
+            }
+        }
+        let buckets: Vec<EngagementBucket> = acc
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.count() > 0)
+            .map(|(i, m)| EngagementBucket {
+                buffering_ratio_lo: i as f64 * bucket_width,
+                buffering_ratio_hi: (i + 1) as f64 * bucket_width,
+                sessions: m.count(),
+                mean_play_minutes: m.mean().expect("non-empty bucket"),
+            })
+            .collect();
+
+        // Session-weighted least squares on (ratio percentage points,
+        // minutes watched), over the bucket midpoints.
+        let mut sw = 0.0f64;
+        let mut sx = 0.0f64;
+        let mut sy = 0.0f64;
+        let mut sxx = 0.0f64;
+        let mut sxy = 0.0f64;
+        for b in &buckets {
+            let w = b.sessions as f64;
+            let x = 100.0 * (b.buffering_ratio_lo + b.buffering_ratio_hi) / 2.0;
+            let y = b.mean_play_minutes;
+            sw += w;
+            sx += w * x;
+            sy += w * y;
+            sxx += w * x * x;
+            sxy += w * x * y;
+        }
+        let denom = sw * sxx - sx * sx;
+        let minutes_per_buffering_point = if denom.abs() < 1e-12 {
+            0.0
+        } else {
+            (sw * sxy - sx * sy) / denom
+        };
+        EngagementCurve {
+            buckets,
+            minutes_per_buffering_point,
+            sessions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::attr::{AttrKey, SessionAttrs};
+    use vqlens_model::dataset::DatasetMeta;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_model::metric::QualityMeasurement;
+    use vqlens_model::SessionRecord;
+
+    fn dataset_with(rows: &[(f32, f32)]) -> Dataset {
+        // rows: (buffering_s, play_duration_s) per session.
+        let mut ds = Dataset::new(1, DatasetMeta::default());
+        for key in AttrKey::ALL {
+            ds.intern(key, "x");
+        }
+        let attrs = SessionAttrs::new([0; 7]);
+        for (buffering, play) in rows {
+            ds.push(SessionRecord::new(
+                EpochId(0),
+                attrs,
+                QualityMeasurement::joined(500, *play, *buffering, 1500.0),
+            ));
+        }
+        ds
+    }
+
+    #[test]
+    fn downward_slope_when_buffering_costs_viewing() {
+        // Clean sessions watch 40 min; sessions at ~10% buffering watch 10.
+        let mut rows = Vec::new();
+        for _ in 0..100 {
+            rows.push((0.0, 2400.0));
+            rows.push((60.0, 600.0)); // ratio 60/660 ≈ 0.09, 10 min watched
+        }
+        let curve = EngagementCurve::measure(&dataset_with(&rows), 0.01);
+        assert_eq!(curve.sessions, 200);
+        assert!(
+            curve.minutes_per_buffering_point < -2.0,
+            "slope {} should be strongly negative",
+            curve.minutes_per_buffering_point
+        );
+        assert!(curve.buckets.len() >= 2);
+        assert!(curve.buckets[0].mean_play_minutes > curve.buckets.last().unwrap().mean_play_minutes);
+    }
+
+    #[test]
+    fn flat_when_engagement_is_independent() {
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            let buffering = (i % 10) as f32; // 0..9 s over ~300 s
+            rows.push((buffering, 300.0));
+        }
+        let curve = EngagementCurve::measure(&dataset_with(&rows), 0.01);
+        assert!(
+            curve.minutes_per_buffering_point.abs() < 0.5,
+            "slope {} should be ~flat",
+            curve.minutes_per_buffering_point
+        );
+    }
+
+    #[test]
+    fn failed_sessions_are_excluded() {
+        let mut ds = dataset_with(&[(0.0, 300.0)]);
+        ds.push(SessionRecord::new(
+            EpochId(0),
+            SessionAttrs::new([0; 7]),
+            QualityMeasurement::failed(),
+        ));
+        let curve = EngagementCurve::measure(&ds, 0.05);
+        assert_eq!(curve.sessions, 1);
+    }
+
+    #[test]
+    fn empty_dataset_is_graceful() {
+        let ds = Dataset::new(1, DatasetMeta::default());
+        let curve = EngagementCurve::measure(&ds, 0.01);
+        assert_eq!(curve.sessions, 0);
+        assert!(curve.buckets.is_empty());
+        assert_eq!(curve.minutes_per_buffering_point, 0.0);
+    }
+}

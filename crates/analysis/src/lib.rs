@@ -1,0 +1,56 @@
+//! # vqlens-analysis
+//!
+//! Temporal and structural analyses over a trace of per-epoch cluster
+//! results (paper §4): everything between raw critical clusters and the
+//! paper's figures.
+//!
+//! * [`prevalence`] — how often a cluster recurs as a problem/critical
+//!   cluster (Fig. 7).
+//! * [`persistence`] — coalescing consecutive occurrences into events and
+//!   measuring streak lengths (Figs. 6 & 8); the event stream also feeds
+//!   the reactive what-if strategy.
+//! * [`coverage`] — Table 1: cluster counts and problem-session coverage.
+//! * [`breakdown`] — Fig. 10: which attribute combinations the critical
+//!   clusters are made of.
+//! * [`drilldown`] — §6's proposed next step: conditional refinement of a
+//!   critical cluster to localize the cause one level deeper.
+//! * [`churn`] — window-over-window turnover of the top critical clusters,
+//!   the quantity that bounds the paper's proactive strategy (§5.2).
+//! * [`engagement`] — the engagement-vs-quality relationship the paper's
+//!   motivation rests on (Dobrian et al.), measured from the data rather
+//!   than assumed.
+//! * [`monitor`] — a streaming incident tracker over the critical-cluster
+//!   stream: the operational system §6 envisions, with open/confirm/resolve
+//!   lifecycles and a replay mode cross-checked against [`persistence`].
+//! * [`overlap`] — Table 2: Jaccard similarity of top critical clusters
+//!   across metrics.
+//! * [`timeseries`] — Figs. 2 & 9: per-epoch problem ratios and cluster
+//!   counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod churn;
+pub mod drilldown;
+pub mod engagement;
+pub mod coverage;
+pub mod monitor;
+pub mod overlap;
+pub mod persistence;
+pub mod prevalence;
+pub mod timeseries;
+
+pub use breakdown::{Breakdown, BreakdownSlice};
+pub use churn::{ChurnPoint, ChurnReport};
+pub use drilldown::{DimensionBreakdown, DrillDown, DrillEntry};
+pub use engagement::EngagementCurve;
+pub use coverage::{coverage_table, CoverageRow};
+pub use monitor::{Incident, IncidentState, MonitorConfig, MonitorEvent, OnlineMonitor};
+pub use overlap::{overlap_matrix, top_critical_clusters};
+pub use persistence::{extract_events, ClusterEvent, ClusterSource, PersistenceReport};
+pub use prevalence::PrevalenceReport;
+pub use timeseries::{cluster_count_series, problem_ratio_series};
+
+#[cfg(test)]
+pub(crate) mod test_support;

@@ -1,0 +1,457 @@
+//! Online incident monitoring over the critical-cluster stream.
+//!
+//! The paper's what-if analysis (§5.3) shows a reactive strategy pays off;
+//! its §6 sketches the system that would implement it: watch for critical
+//! clusters, confirm them after a detection lag, and hand the incident to
+//! an operator with context. [`OnlineMonitor`] is that state machine: feed
+//! it per-epoch analyses as they are produced and it maintains incident
+//! lifecycles (pending → alerting → resolved), emitting events at each
+//! transition. It processes epochs strictly forward, holding only the open
+//! incidents — suitable for a streaming deployment.
+
+use crate::persistence::ClusterSource;
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::ClusterKey;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::Metric;
+use vqlens_stats::FxHashMap;
+
+/// Monitor tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Epochs a cluster must be observed critical within one incident
+    /// before the monitor alerts (the paper's reactive strategy uses 1
+    /// hour). With `close_after_h` > 1 an incident can bridge short gaps,
+    /// so the observed epochs need not be strictly consecutive.
+    pub confirm_after_h: u32,
+    /// Epochs of absence after which an open incident is resolved.
+    /// Clamped to at least 1 (0 would resolve an incident in the same
+    /// epoch it was observed).
+    pub close_after_h: u32,
+    /// Minimum attributed problem sessions for a *new* incident to be
+    /// opened (filters micro-incidents). Once open, an incident stays
+    /// alive while its cluster remains critical, even if the per-epoch
+    /// attribution dips below this floor.
+    pub min_attributed: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            confirm_after_h: 1,
+            close_after_h: 1,
+            min_attributed: 0.0,
+        }
+    }
+}
+
+/// Lifecycle state of an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentState {
+    /// Seen, but not yet past the confirmation lag.
+    Pending,
+    /// Confirmed and ongoing: an operator should be looking at it.
+    Alerting,
+    /// No longer observed.
+    Resolved,
+}
+
+/// One tracked incident: a cluster recurring as a critical cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// Stable incident id (monotonic per monitor).
+    pub id: u64,
+    /// The critical cluster.
+    pub key: ClusterKey,
+    /// The metric it degrades.
+    pub metric: Metric,
+    /// First epoch observed.
+    pub opened: EpochId,
+    /// Most recent epoch observed.
+    pub last_seen: EpochId,
+    /// Epochs observed (not counting gaps).
+    pub epochs_active: u32,
+    /// Cumulative problem sessions attributed to the cluster.
+    pub attributed_problems: f64,
+    /// Highest per-epoch problem ratio seen.
+    pub peak_ratio: f64,
+    /// Current lifecycle state.
+    pub state: IncidentState,
+}
+
+impl Incident {
+    /// A crude operator-facing severity: attributed volume so far times the
+    /// peak ratio elevation.
+    pub fn severity(&self) -> f64 {
+        self.attributed_problems * self.peak_ratio
+    }
+}
+
+/// A lifecycle transition the monitor reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MonitorEvent {
+    /// A new cluster appeared as critical (not yet confirmed).
+    Opened(Incident),
+    /// The cluster persisted past the confirmation lag: page someone.
+    Confirmed(Incident),
+    /// The cluster stopped being critical.
+    Resolved(Incident),
+}
+
+impl MonitorEvent {
+    /// The incident snapshot carried by the event.
+    pub fn incident(&self) -> &Incident {
+        match self {
+            MonitorEvent::Opened(i) | MonitorEvent::Confirmed(i) | MonitorEvent::Resolved(i) => i,
+        }
+    }
+}
+
+/// Streaming incident tracker over per-epoch analyses.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineMonitor {
+    config: MonitorConfig,
+    next_id: u64,
+    open: FxHashMap<(Metric, ClusterKey), Incident>,
+    resolved: Vec<Incident>,
+    last_epoch: Option<EpochId>,
+}
+
+impl OnlineMonitor {
+    /// New monitor with the given configuration.
+    pub fn new(config: MonitorConfig) -> OnlineMonitor {
+        OnlineMonitor {
+            config,
+            next_id: 0,
+            open: FxHashMap::default(),
+            resolved: Vec::new(),
+            last_epoch: None,
+        }
+    }
+
+    /// Feed the next epoch's analysis; must be called in epoch order.
+    ///
+    /// # Panics
+    /// Panics when epochs are fed out of order.
+    pub fn observe(&mut self, analysis: &EpochAnalysis) -> Vec<MonitorEvent> {
+        if let Some(last) = self.last_epoch {
+            assert!(
+                analysis.epoch > last,
+                "monitor requires strictly increasing epochs ({} after {})",
+                analysis.epoch,
+                last
+            );
+        }
+        self.last_epoch = Some(analysis.epoch);
+        let epoch = analysis.epoch;
+        let mut events = Vec::new();
+
+        // Update or open incidents for this epoch's critical clusters.
+        for metric in Metric::ALL {
+            let ma = analysis.metric(metric);
+            for (key, stats) in &ma.critical.clusters {
+                // The floor only gates *opening*: an ongoing incident whose
+                // attribution momentarily dips must not be spuriously
+                // resolved and re-opened.
+                if stats.attributed_problems < self.config.min_attributed
+                    && !self.open.contains_key(&(metric, *key))
+                {
+                    continue;
+                }
+                let ratio = if stats.sessions > 0 {
+                    stats.problems as f64 / stats.sessions as f64
+                } else {
+                    0.0
+                };
+                match self.open.get_mut(&(metric, *key)) {
+                    Some(incident) => {
+                        incident.last_seen = epoch;
+                        incident.epochs_active += 1;
+                        incident.attributed_problems += stats.attributed_problems;
+                        incident.peak_ratio = incident.peak_ratio.max(ratio);
+                        if incident.state == IncidentState::Pending
+                            && incident.epochs_active > self.config.confirm_after_h
+                        {
+                            incident.state = IncidentState::Alerting;
+                            events.push(MonitorEvent::Confirmed(incident.clone()));
+                        }
+                    }
+                    None => {
+                        let incident = Incident {
+                            id: self.next_id,
+                            key: *key,
+                            metric,
+                            opened: epoch,
+                            last_seen: epoch,
+                            epochs_active: 1,
+                            attributed_problems: stats.attributed_problems,
+                            peak_ratio: ratio,
+                            state: if self.config.confirm_after_h == 0 {
+                                IncidentState::Alerting
+                            } else {
+                                IncidentState::Pending
+                            },
+                        };
+                        self.next_id += 1;
+                        if incident.state == IncidentState::Alerting {
+                            events.push(MonitorEvent::Confirmed(incident.clone()));
+                        } else {
+                            events.push(MonitorEvent::Opened(incident.clone()));
+                        }
+                        self.open.insert((metric, *key), incident);
+                    }
+                }
+            }
+        }
+
+        // Resolve incidents that have been absent too long.
+        let close_after = self.config.close_after_h.max(1);
+        let mut closed: Vec<(Metric, ClusterKey)> = Vec::new();
+        for (handle, incident) in &self.open {
+            if epoch.0 - incident.last_seen.0 >= close_after {
+                closed.push(*handle);
+            }
+        }
+        for handle in closed {
+            let mut incident = self.open.remove(&handle).expect("present");
+            incident.state = IncidentState::Resolved;
+            events.push(MonitorEvent::Resolved(incident.clone()));
+            self.resolved.push(incident);
+        }
+
+        // Deterministic event order for reproducible logs.
+        events.sort_by_key(|e| (e.incident().id, event_rank(e)));
+        events
+    }
+
+    /// Currently open (pending or alerting) incidents.
+    pub fn open_incidents(&self) -> impl Iterator<Item = &Incident> {
+        self.open.values()
+    }
+
+    /// Incidents resolved so far, in resolution order.
+    pub fn resolved_incidents(&self) -> &[Incident] {
+        &self.resolved
+    }
+
+    /// Drive the monitor over a whole recorded trace, returning the full
+    /// event log (offline replay of the online pipeline).
+    pub fn replay(config: MonitorConfig, analyses: &[EpochAnalysis]) -> Vec<MonitorEvent> {
+        let mut monitor = OnlineMonitor::new(config);
+        let mut log = Vec::new();
+        for a in analyses {
+            log.extend(monitor.observe(a));
+        }
+        log
+    }
+}
+
+fn event_rank(e: &MonitorEvent) -> u8 {
+    match e {
+        MonitorEvent::Opened(_) => 0,
+        MonitorEvent::Confirmed(_) => 1,
+        MonitorEvent::Resolved(_) => 2,
+    }
+}
+
+/// Consistency check between the streaming monitor and the offline
+/// persistence analysis: replaying a trace must produce exactly one
+/// incident per coalesced critical-cluster event. Holds for
+/// `close_after_h <= 1`; larger values deliberately bridge gaps that
+/// [`crate::persistence::extract_events`] treats as event boundaries.
+pub fn replay_matches_events(
+    config: MonitorConfig,
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+) -> bool {
+    let mut monitor = OnlineMonitor::new(config);
+    for a in analyses {
+        monitor.observe(a);
+    }
+    let mut incidents: Vec<(ClusterKey, EpochId, u32)> = monitor
+        .resolved
+        .iter()
+        .chain(monitor.open.values())
+        .filter(|i| i.metric == metric)
+        .map(|i| (i.key, i.opened, i.epochs_active))
+        .collect();
+    incidents.sort();
+    let mut events: Vec<(ClusterKey, EpochId, u32)> =
+        crate::persistence::extract_events(analyses, metric, ClusterSource::Critical)
+            .into_iter()
+            .map(|e| (e.key, e.start, e.len))
+            .collect();
+    events.sort();
+    incidents == events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_a, key_b};
+
+    fn trace() -> Vec<EpochAnalysis> {
+        vec![
+            analysis_with_critical(0, 100, &[(key_a(), 50.0)], 60),
+            analysis_with_critical(1, 100, &[(key_a(), 50.0), (key_b(), 30.0)], 90),
+            analysis_with_critical(2, 100, &[(key_a(), 50.0)], 60),
+            analysis_with_critical(3, 100, &[], 0),
+        ]
+    }
+
+    #[test]
+    fn lifecycle_open_confirm_resolve() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig::default());
+        let trace = trace();
+
+        // Epoch 0: key_a opens (pending) on all four metrics.
+        let events = monitor.observe(&trace[0]);
+        assert_eq!(events.len(), 4);
+        assert!(matches!(events[0], MonitorEvent::Opened(_)));
+        assert_eq!(monitor.open_incidents().count(), 4);
+
+        // Epoch 1: key_a confirms; key_b opens.
+        let events = monitor.observe(&trace[1]);
+        let confirmed = events
+            .iter()
+            .filter(|e| matches!(e, MonitorEvent::Confirmed(_)))
+            .count();
+        let opened = events
+            .iter()
+            .filter(|e| matches!(e, MonitorEvent::Opened(_)))
+            .count();
+        assert_eq!(confirmed, 4, "key_a past the 1h lag on each metric");
+        assert_eq!(opened, 4, "key_b fresh on each metric");
+
+        // Epoch 2: key_b vanishes => resolved (1-epoch blip never confirmed).
+        let events = monitor.observe(&trace[2]);
+        let resolved: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, MonitorEvent::Resolved(_)))
+            .collect();
+        assert_eq!(resolved.len(), 4);
+        for e in resolved {
+            assert_eq!(e.incident().key, key_b());
+            assert_eq!(e.incident().epochs_active, 1);
+        }
+
+        // Epoch 3: key_a resolves after a 3-epoch run.
+        let events = monitor.observe(&trace[3]);
+        let resolved: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, MonitorEvent::Resolved(_)))
+            .collect();
+        assert_eq!(resolved.len(), 4);
+        for e in resolved {
+            assert_eq!(e.incident().key, key_a());
+            assert_eq!(e.incident().epochs_active, 3);
+            assert!(e.incident().attributed_problems > 0.0);
+            assert!(e.incident().severity() > 0.0);
+        }
+        assert_eq!(monitor.open_incidents().count(), 0);
+        assert_eq!(monitor.resolved_incidents().len(), 8);
+    }
+
+    #[test]
+    fn zero_lag_confirms_immediately() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig {
+            confirm_after_h: 0,
+            ..MonitorConfig::default()
+        });
+        let events = monitor.observe(&trace()[0]);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, MonitorEvent::Confirmed(_))));
+    }
+
+    #[test]
+    fn min_attributed_filters_micro_incidents() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig {
+            min_attributed: 40.0,
+            ..MonitorConfig::default()
+        });
+        // key_b attributes only 30 => filtered out.
+        let events = monitor.observe(&trace()[1]);
+        assert!(events.iter().all(|e| e.incident().key == key_a()));
+    }
+
+    #[test]
+    fn replay_agrees_with_persistence_events() {
+        for metric in Metric::ALL {
+            assert!(replay_matches_events(
+                MonitorConfig::default(),
+                &trace(),
+                metric
+            ));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_epochs_rejected() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig::default());
+        let t = trace();
+        monitor.observe(&t[1]);
+        monitor.observe(&t[0]);
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_a};
+
+    /// An open incident whose attribution dips below `min_attributed` must
+    /// stay open — the floor only gates opening new incidents.
+    #[test]
+    fn attribution_dip_does_not_split_an_incident() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig {
+            min_attributed: 40.0,
+            ..MonitorConfig::default()
+        });
+        let trace = [
+            analysis_with_critical(0, 100, &[(key_a(), 50.0)], 60),
+            analysis_with_critical(1, 100, &[(key_a(), 30.0)], 40), // dip
+            analysis_with_critical(2, 100, &[(key_a(), 50.0)], 60),
+            analysis_with_critical(3, 100, &[], 0),
+        ];
+        let mut resolved = Vec::new();
+        for a in &trace {
+            for event in monitor.observe(a) {
+                if let MonitorEvent::Resolved(i) = event {
+                    resolved.push(i);
+                }
+            }
+        }
+        let for_key: Vec<_> = resolved.iter().filter(|i| i.key == key_a()).collect();
+        assert_eq!(
+            for_key.iter().filter(|i| i.metric == Metric::JoinFailure).count(),
+            1,
+            "the dip must not split the incident in two"
+        );
+        let incident = for_key
+            .iter()
+            .find(|i| i.metric == Metric::JoinFailure)
+            .unwrap();
+        assert_eq!(incident.epochs_active, 3);
+        // The dip epoch's attribution still accumulates.
+        assert!((incident.attributed_problems - 130.0).abs() < 1e-9);
+    }
+
+    /// `close_after_h = 0` is clamped: an incident observed this epoch is
+    /// not resolved in the same call.
+    #[test]
+    fn zero_close_after_is_clamped() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig {
+            close_after_h: 0,
+            ..MonitorConfig::default()
+        });
+        let events = monitor.observe(&analysis_with_critical(0, 100, &[(key_a(), 50.0)], 60));
+        assert!(
+            !events.iter().any(|e| matches!(e, MonitorEvent::Resolved(_))),
+            "freshly observed incidents must not resolve in the same epoch"
+        );
+        assert_eq!(monitor.open_incidents().count(), 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! Cross-metric overlap of critical clusters: the paper's Table 2.
+//!
+//! For each metric, take the top-100 critical clusters by total attributed
+//! problem sessions over the trace; report the Jaccard similarity of every
+//! metric pair. The paper found at most 23 % overlap (buffering ratio vs
+//! join time) and as little as 1 % (bitrate vs join failure) — the *types*
+//! of culprits repeat across metrics but the *identities* do not.
+
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::ClusterKey;
+use vqlens_model::metric::Metric;
+use vqlens_stats::{jaccard, FxHashMap, FxHashSet};
+
+/// The top-`k` critical clusters of one metric by total attributed problem
+/// sessions across the trace (deterministically tie-broken by key).
+pub fn top_critical_clusters(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    k: usize,
+) -> Vec<(ClusterKey, f64)> {
+    let mut totals: FxHashMap<ClusterKey, f64> = FxHashMap::default();
+    for a in analyses {
+        for (key, stats) in &a.metric(metric).critical.clusters {
+            *totals.entry(*key).or_default() += stats.attributed_problems;
+        }
+    }
+    let mut v: Vec<(ClusterKey, f64)> = totals.into_iter().collect();
+    v.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite")
+            .then(a.0 .0.cmp(&b.0 .0))
+    });
+    v.truncate(k);
+    v
+}
+
+/// Pairwise Jaccard similarity of the top-`k` critical clusters, indexed
+/// `[metric a][metric b]` (symmetric, diagonal = 1 when non-empty).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OverlapMatrix {
+    /// `values[a][b]` = Jaccard similarity of metrics `a` and `b`.
+    pub values: [[f64; 4]; 4],
+    /// The `k` used.
+    pub k: usize,
+}
+
+impl OverlapMatrix {
+    /// Similarity of a metric pair.
+    pub fn get(&self, a: Metric, b: Metric) -> f64 {
+        self.values[a.index()][b.index()]
+    }
+}
+
+/// Compute the Table 2 matrix.
+pub fn overlap_matrix(analyses: &[EpochAnalysis], k: usize) -> OverlapMatrix {
+    let tops: Vec<FxHashSet<ClusterKey>> = Metric::ALL
+        .iter()
+        .map(|m| {
+            top_critical_clusters(analyses, *m, k)
+                .into_iter()
+                .map(|(key, _)| key)
+                .collect()
+        })
+        .collect();
+    let mut values = [[0.0f64; 4]; 4];
+    for a in 0..4 {
+        for b in 0..4 {
+            values[a][b] = jaccard(&tops[a], &tops[b]);
+        }
+    }
+    OverlapMatrix { values, k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical_per_metric, key_a, key_b, key_cdn};
+
+    #[test]
+    fn top_clusters_ranked_by_attribution() {
+        let analyses = vec![
+            analysis_with_critical_per_metric(0, &[(key_a(), 10.0), (key_b(), 30.0)]),
+            analysis_with_critical_per_metric(1, &[(key_a(), 25.0)]),
+        ];
+        let top = top_critical_clusters(&analyses, Metric::BufRatio, 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, key_a()); // 35 total
+        assert!((top[0].1 - 35.0).abs() < 1e-12);
+        let top1 = top_critical_clusters(&analyses, Metric::BufRatio, 1);
+        assert_eq!(top1.len(), 1);
+    }
+
+    #[test]
+    fn identical_metrics_have_full_overlap() {
+        let analyses = vec![analysis_with_critical_per_metric(
+            0,
+            &[(key_a(), 10.0), (key_cdn(), 5.0)],
+        )];
+        let m = overlap_matrix(&analyses, 100);
+        for a in Metric::ALL {
+            assert_eq!(m.get(a, a), 1.0);
+            for b in Metric::ALL {
+                // The fixture plants the same clusters for every metric.
+                assert_eq!(m.get(a, b), 1.0);
+                assert_eq!(m.get(a, b), m.get(b, a));
+            }
+        }
+        assert_eq!(m.k, 100);
+    }
+
+    #[test]
+    fn empty_trace_overlap_is_vacuous() {
+        let m = overlap_matrix(&[], 100);
+        // Empty sets are conventionally fully similar.
+        assert_eq!(m.get(Metric::BufRatio, Metric::Bitrate), 1.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Persistence: streaks of consecutive occurrences (paper §4.1, Fig. 8).
+//!
+//! Consecutive epochs in which a cluster is a problem (or critical) cluster
+//! are coalesced into one logical *event*; the paper reports the median and
+//! maximum streak length per cluster. In its Figure 6 example the
+//! `(ASN1, CDN1)` cluster occurs in epochs {2,3} and {5,6} ⇒ streaks
+//! `{2, 2}`; `ASN2` occurs in epochs {3,4,5,6} ⇒ streak `{4}`.
+//!
+//! The extracted event stream is also the input to the reactive what-if
+//! strategy (§5.3), which detects an event after its first hour.
+
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::ClusterKey;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::Metric;
+use vqlens_stats::{Ecdf, FxHashMap, FxHashSet};
+
+/// Which per-epoch cluster set to analyze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterSource {
+    /// Problem clusters (§3.1).
+    Problem,
+    /// Critical clusters (§3.2).
+    Critical,
+}
+
+/// One coalesced event: a cluster occurring in consecutive epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterEvent {
+    /// The cluster.
+    pub key: ClusterKey,
+    /// First epoch of the streak.
+    pub start: EpochId,
+    /// Streak length in epochs (≥ 1).
+    pub len: u32,
+}
+
+impl ClusterEvent {
+    /// One past the last epoch of the streak.
+    pub fn end(&self) -> EpochId {
+        EpochId(self.start.0 + self.len)
+    }
+}
+
+/// Extract the coalesced event stream of one metric from a trace.
+///
+/// `analyses` must be sorted by epoch (the pipeline guarantees this).
+/// Missing epochs in the input count as absence: a streak only continues
+/// across literally consecutive epoch ids, so analyzing a trace with holes
+/// will split events at each hole — feed contiguous traces.
+pub fn extract_events(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    source: ClusterSource,
+) -> Vec<ClusterEvent> {
+    // Open streaks: cluster -> (start, last epoch seen).
+    let mut open: FxHashMap<ClusterKey, (EpochId, EpochId)> = FxHashMap::default();
+    let mut events = Vec::new();
+    for a in analyses {
+        let ma = a.metric(metric);
+        let keys: FxHashSet<ClusterKey> = match source {
+            ClusterSource::Problem => ma.problems.clusters.keys().copied().collect(),
+            ClusterSource::Critical => ma.critical.clusters.keys().copied().collect(),
+        };
+        // Close streaks that did not continue into this epoch.
+        let epoch = a.epoch;
+        open.retain(|key, (start, last)| {
+            let continues = last.next() >= epoch && keys.contains(key);
+            if !continues && *last < epoch {
+                events.push(ClusterEvent {
+                    key: *key,
+                    start: *start,
+                    len: last.0 - start.0 + 1,
+                });
+                return false;
+            }
+            true
+        });
+        for key in keys {
+            match open.get_mut(&key) {
+                Some((_, last)) if last.next() == epoch => *last = epoch,
+                Some(_) => {}
+                None => {
+                    open.insert(key, (epoch, epoch));
+                }
+            }
+        }
+    }
+    for (key, (start, last)) in open {
+        events.push(ClusterEvent {
+            key,
+            start,
+            len: last.0 - start.0 + 1,
+        });
+    }
+    // Deterministic order: by start epoch, then key.
+    events.sort_by(|a, b| a.start.cmp(&b.start).then(a.key.0.cmp(&b.key.0)));
+    events
+}
+
+/// Per-cluster streak statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PersistenceReport {
+    /// The metric analyzed.
+    pub metric: Metric,
+    /// Which cluster set was analyzed.
+    pub source: ClusterSource,
+    /// Streak lengths per cluster, in occurrence order.
+    pub streaks: FxHashMap<ClusterKey, Vec<u32>>,
+}
+
+impl PersistenceReport {
+    /// Build from a trace.
+    pub fn compute(
+        analyses: &[EpochAnalysis],
+        metric: Metric,
+        source: ClusterSource,
+    ) -> PersistenceReport {
+        let mut streaks: FxHashMap<ClusterKey, Vec<u32>> = FxHashMap::default();
+        for e in extract_events(analyses, metric, source) {
+            streaks.entry(e.key).or_default().push(e.len);
+        }
+        PersistenceReport {
+            metric,
+            source,
+            streaks,
+        }
+    }
+
+    /// Median streak length of one cluster (hours).
+    pub fn median(&self, key: ClusterKey) -> Option<f64> {
+        let s = self.streaks.get(&key)?;
+        Ecdf::new(s.iter().map(|&x| f64::from(x)).collect()).median()
+    }
+
+    /// Maximum streak length of one cluster (hours).
+    pub fn max(&self, key: ClusterKey) -> Option<u32> {
+        self.streaks.get(&key)?.iter().max().copied()
+    }
+
+    /// ECDF over per-cluster *median* persistence (Fig. 8a's series).
+    pub fn median_distribution(&self) -> Ecdf {
+        Ecdf::new(
+            self.streaks
+                .values()
+                .map(|s| {
+                    Ecdf::new(s.iter().map(|&x| f64::from(x)).collect())
+                        .median()
+                        .expect("non-empty streaks")
+                })
+                .collect(),
+        )
+    }
+
+    /// ECDF over per-cluster *maximum* persistence (Fig. 8b's series).
+    pub fn max_distribution(&self) -> Ecdf {
+        Ecdf::new(
+            self.streaks
+                .values()
+                .map(|s| f64::from(*s.iter().max().expect("non-empty streaks")))
+                .collect(),
+        )
+    }
+
+    /// Number of distinct clusters seen.
+    pub fn num_clusters(&self) -> usize {
+        self.streaks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_problem_clusters, key_a, key_b};
+
+    /// The paper's Figure 6 persistence example: `(ASN1, CDN1)` appears in
+    /// two separate 2-epoch streaks => streaks {2,2}, median = max = 2;
+    /// `ASN2` appears in one 4-epoch streak => {4}.
+    #[test]
+    fn figure6_persistence_example() {
+        // Epochs:      0        1               2      3               4               5
+        // key_a:       -        yes             yes    -               yes             yes
+        // key_b:       -        -               -      yes             yes             yes  (+continues to end)
+        let analyses = vec![
+            analysis_with_problem_clusters(0, &[]),
+            analysis_with_problem_clusters(1, &[key_a()]),
+            analysis_with_problem_clusters(2, &[key_a()]),
+            analysis_with_problem_clusters(3, &[key_b()]),
+            analysis_with_problem_clusters(4, &[key_a(), key_b()]),
+            analysis_with_problem_clusters(5, &[key_a(), key_b()]),
+        ];
+        let report =
+            PersistenceReport::compute(&analyses, Metric::JoinFailure, ClusterSource::Problem);
+        assert_eq!(report.streaks[&key_a()], vec![2, 2]);
+        assert_eq!(report.streaks[&key_b()], vec![3]);
+        assert_eq!(report.median(key_a()), Some(2.0));
+        assert_eq!(report.max(key_a()), Some(2));
+        assert_eq!(report.median(key_b()), Some(3.0));
+        assert_eq!(report.median(ClusterKey(123 << 42)), None);
+    }
+
+    #[test]
+    fn events_are_coalesced_with_boundaries() {
+        let analyses = vec![
+            analysis_with_problem_clusters(0, &[key_a()]),
+            analysis_with_problem_clusters(1, &[key_a()]),
+            analysis_with_problem_clusters(2, &[]),
+            analysis_with_problem_clusters(3, &[key_a()]),
+        ];
+        let events = extract_events(&analyses, Metric::JoinFailure, ClusterSource::Problem);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].start, EpochId(0));
+        assert_eq!(events[0].len, 2);
+        assert_eq!(events[0].end(), EpochId(2));
+        assert_eq!(events[1].start, EpochId(3));
+        assert_eq!(events[1].len, 1);
+    }
+
+    #[test]
+    fn open_streak_at_trace_end_is_emitted() {
+        let analyses = vec![
+            analysis_with_problem_clusters(0, &[]),
+            analysis_with_problem_clusters(1, &[key_a()]),
+        ];
+        let events = extract_events(&analyses, Metric::JoinFailure, ClusterSource::Problem);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].len, 1);
+        assert_eq!(events[0].start, EpochId(1));
+    }
+
+    #[test]
+    fn distributions_cover_all_clusters() {
+        let analyses = vec![
+            analysis_with_problem_clusters(0, &[key_a(), key_b()]),
+            analysis_with_problem_clusters(1, &[key_a()]),
+        ];
+        let report =
+            PersistenceReport::compute(&analyses, Metric::JoinFailure, ClusterSource::Problem);
+        assert_eq!(report.num_clusters(), 2);
+        assert_eq!(report.median_distribution().len(), 2);
+        assert_eq!(report.max_distribution().len(), 2);
+        // key_a has a 2-epoch streak, key_b a 1-epoch streak.
+        assert_eq!(report.max_distribution().max(), Some(2.0));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let events = extract_events(&[], Metric::BufRatio, ClusterSource::Critical);
+        assert!(events.is_empty());
+        let report = PersistenceReport::compute(&[], Metric::BufRatio, ClusterSource::Critical);
+        assert_eq!(report.num_clusters(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Prevalence: how often a cluster recurs (paper §4.1, Fig. 7).
+//!
+//! The prevalence of a cluster is the fraction of all epochs in which it
+//! appears as a problem (or critical) cluster. The paper's Figure 6 worked
+//! example: over 6 epochs, `(ASN1, CDN1)` appears in 4 ⇒ prevalence 4/6.
+
+use crate::persistence::ClusterSource;
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::ClusterKey;
+use vqlens_model::metric::Metric;
+use vqlens_stats::{Ecdf, FxHashMap};
+
+/// Occurrence counts of clusters over a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrevalenceReport {
+    /// The metric analyzed.
+    pub metric: Metric,
+    /// Which cluster set was counted.
+    pub source: ClusterSource,
+    /// Number of epochs in the trace.
+    pub epochs: u32,
+    /// Epochs in which each cluster occurred.
+    pub occurrences: FxHashMap<ClusterKey, u32>,
+}
+
+impl PrevalenceReport {
+    /// Count occurrences over a trace.
+    pub fn compute(
+        analyses: &[EpochAnalysis],
+        metric: Metric,
+        source: ClusterSource,
+    ) -> PrevalenceReport {
+        let mut occurrences: FxHashMap<ClusterKey, u32> = FxHashMap::default();
+        for a in analyses {
+            let ma = a.metric(metric);
+            match source {
+                ClusterSource::Problem => {
+                    for key in ma.problems.clusters.keys() {
+                        *occurrences.entry(*key).or_default() += 1;
+                    }
+                }
+                ClusterSource::Critical => {
+                    for key in ma.critical.clusters.keys() {
+                        *occurrences.entry(*key).or_default() += 1;
+                    }
+                }
+            }
+        }
+        PrevalenceReport {
+            metric,
+            source,
+            epochs: analyses.len() as u32,
+            occurrences,
+        }
+    }
+
+    /// Prevalence of one cluster in `[0, 1]`.
+    pub fn prevalence(&self, key: ClusterKey) -> f64 {
+        if self.epochs == 0 {
+            return 0.0;
+        }
+        f64::from(self.occurrences.get(&key).copied().unwrap_or(0)) / f64::from(self.epochs)
+    }
+
+    /// ECDF over per-cluster prevalences (the series of Fig. 7).
+    pub fn distribution(&self) -> Ecdf {
+        Ecdf::new(
+            self.occurrences
+                .values()
+                .map(|&n| f64::from(n) / f64::from(self.epochs))
+                .collect(),
+        )
+    }
+
+    /// Clusters with prevalence at least `threshold`, most prevalent first
+    /// (deterministically tie-broken by key).
+    pub fn at_least(&self, threshold: f64) -> Vec<(ClusterKey, f64)> {
+        let mut v: Vec<(ClusterKey, f64)> = self
+            .occurrences
+            .iter()
+            .map(|(&k, &n)| (k, f64::from(n) / f64::from(self.epochs)))
+            .filter(|(_, p)| *p >= threshold)
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0 .0.cmp(&b.0 .0)));
+        v
+    }
+
+    /// All clusters ranked by prevalence (descending), deterministic.
+    pub fn ranked(&self) -> Vec<(ClusterKey, f64)> {
+        self.at_least(0.0)
+    }
+
+    /// Number of distinct clusters that ever occurred.
+    pub fn num_clusters(&self) -> usize {
+        self.occurrences.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_problem_clusters, key_a, key_b};
+
+    /// The paper's Figure 6 prevalence example: over 6 epochs, a cluster
+    /// present in 4 of them has prevalence 4/6.
+    #[test]
+    fn figure6_prevalence_example() {
+        // key_a present in epochs 0,1,3,4; key_b in 1,2,3,4,5.
+        let analyses = vec![
+            analysis_with_problem_clusters(0, &[key_a()]),
+            analysis_with_problem_clusters(1, &[key_a(), key_b()]),
+            analysis_with_problem_clusters(2, &[key_b()]),
+            analysis_with_problem_clusters(3, &[key_a(), key_b()]),
+            analysis_with_problem_clusters(4, &[key_a(), key_b()]),
+            analysis_with_problem_clusters(5, &[key_b()]),
+        ];
+        let report =
+            PrevalenceReport::compute(&analyses, Metric::JoinFailure, ClusterSource::Problem);
+        assert_eq!(report.epochs, 6);
+        assert!((report.prevalence(key_a()) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((report.prevalence(key_b()) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(report.prevalence(ClusterKey(999 << 42)), 0.0);
+        assert_eq!(report.num_clusters(), 2);
+    }
+
+    #[test]
+    fn ranking_and_threshold() {
+        let analyses = vec![
+            analysis_with_problem_clusters(0, &[key_a(), key_b()]),
+            analysis_with_problem_clusters(1, &[key_b()]),
+        ];
+        let report =
+            PrevalenceReport::compute(&analyses, Metric::JoinFailure, ClusterSource::Problem);
+        let ranked = report.ranked();
+        assert_eq!(ranked[0].0, key_b());
+        assert_eq!(ranked[0].1, 1.0);
+        assert_eq!(report.at_least(0.9).len(), 1);
+        assert_eq!(report.at_least(0.4).len(), 2);
+        let d = report.distribution();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_is_graceful() {
+        let report = PrevalenceReport::compute(&[], Metric::BufRatio, ClusterSource::Critical);
+        assert_eq!(report.num_clusters(), 0);
+        assert_eq!(report.prevalence(key_a()), 0.0);
+        assert!(report.distribution().is_empty());
+    }
+}

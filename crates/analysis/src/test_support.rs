@@ -1,0 +1,126 @@
+//! Shared fixtures for the analysis unit tests: hand-built
+//! [`EpochAnalysis`] values with prescribed problem/critical clusters,
+//! bypassing the cube machinery so temporal logic can be tested exactly.
+
+use vqlens_cluster::analyze::{EpochAnalysis, MetricAnalysis};
+use vqlens_cluster::critical::{CriticalSet, CriticalStats};
+use vqlens_cluster::problem::{ClusterStat, ProblemSet};
+use vqlens_model::attr::{AttrKey, ClusterKey};
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::Metric;
+use vqlens_stats::FxHashMap;
+
+/// A Site-type cluster.
+pub fn key_a() -> ClusterKey {
+    ClusterKey::of_single(AttrKey::Site, 1)
+}
+
+/// Another Site-type cluster.
+pub fn key_b() -> ClusterKey {
+    ClusterKey::of_single(AttrKey::Site, 2)
+}
+
+/// A CDN-type cluster.
+pub fn key_cdn() -> ClusterKey {
+    ClusterKey::of_single(AttrKey::Cdn, 1)
+}
+
+fn metric_analysis(
+    metric: Metric,
+    total_sessions: u64,
+    total_problems: u64,
+    problem_keys: &[ClusterKey],
+    critical: &[(ClusterKey, f64)],
+    problems_in_pc: u64,
+) -> MetricAnalysis {
+    let global_ratio = if total_sessions > 0 {
+        total_problems as f64 / total_sessions as f64
+    } else {
+        0.0
+    };
+    let mut pc: FxHashMap<ClusterKey, ClusterStat> = FxHashMap::default();
+    for key in problem_keys {
+        pc.insert(
+            *key,
+            ClusterStat {
+                sessions: 100,
+                problems: 50,
+            },
+        );
+    }
+    for (key, attributed) in critical {
+        pc.entry(*key).or_insert(ClusterStat {
+            sessions: (*attributed as u64).max(1) * 2,
+            problems: (*attributed as u64).max(1),
+        });
+    }
+    let mut cc: FxHashMap<ClusterKey, CriticalStats> = FxHashMap::default();
+    for (key, attributed) in critical {
+        cc.insert(
+            *key,
+            CriticalStats {
+                sessions: (*attributed as u64).max(1) * 2,
+                problems: (*attributed as u64).max(1),
+                attributed_problems: *attributed,
+                attributed_sessions: *attributed * 2.0,
+            },
+        );
+    }
+    let problems_attributed = critical.iter().map(|(_, a)| *a).sum();
+    MetricAnalysis {
+        problems: ProblemSet {
+            metric,
+            global_ratio,
+            clusters: pc,
+        },
+        critical: CriticalSet {
+            metric,
+            global_ratio,
+            total_sessions,
+            total_problems,
+            clusters: cc,
+            problems_in_problem_clusters: problems_in_pc,
+            problems_attributed,
+        },
+    }
+}
+
+/// An epoch whose problem-cluster set is exactly `keys` (for every metric);
+/// no critical clusters.
+pub fn analysis_with_problem_clusters(epoch: u32, keys: &[ClusterKey]) -> EpochAnalysis {
+    EpochAnalysis {
+        epoch: EpochId(epoch),
+        total_sessions: 1000,
+        metrics: Metric::ALL.map(|m| metric_analysis(m, 1000, 100, keys, &[], 100)),
+    }
+}
+
+/// An epoch with `total_problems` problem sessions (out of 1000), the given
+/// critical clusters with their attributed problem counts, and
+/// `problems_in_pc` problem sessions inside problem clusters. Identical for
+/// every metric.
+pub fn analysis_with_critical(
+    epoch: u32,
+    total_problems: u64,
+    critical: &[(ClusterKey, f64)],
+    problems_in_pc: u64,
+) -> EpochAnalysis {
+    let keys: Vec<ClusterKey> = critical.iter().map(|(k, _)| *k).collect();
+    EpochAnalysis {
+        epoch: EpochId(epoch),
+        total_sessions: 1000,
+        metrics: Metric::ALL.map(|m| {
+            metric_analysis(m, 1000, total_problems, &keys, critical, problems_in_pc)
+        }),
+    }
+}
+
+/// Like [`analysis_with_critical`] with problem totals derived from the
+/// attribution (used by overlap tests).
+pub fn analysis_with_critical_per_metric(
+    epoch: u32,
+    critical: &[(ClusterKey, f64)],
+) -> EpochAnalysis {
+    let total: f64 = critical.iter().map(|(_, a)| *a).sum();
+    analysis_with_critical(epoch, total.ceil() as u64, critical, total.ceil() as u64)
+}

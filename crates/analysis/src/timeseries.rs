@@ -1,0 +1,75 @@
+//! Per-epoch time series: the paper's Figures 2 and 9.
+
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::Metric;
+
+/// One point of the Figure 2 series: the fraction of problem sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioPoint {
+    /// The epoch.
+    pub epoch: EpochId,
+    /// Fraction of the epoch's sessions that are problems on the metric.
+    pub ratio: f64,
+}
+
+/// The Figure 2 series for one metric.
+pub fn problem_ratio_series(analyses: &[EpochAnalysis], metric: Metric) -> Vec<RatioPoint> {
+    analyses
+        .iter()
+        .map(|a| RatioPoint {
+            epoch: a.epoch,
+            ratio: a.metric(metric).critical.global_ratio,
+        })
+        .collect()
+}
+
+/// One point of the Figure 9 series: cluster counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountPoint {
+    /// The epoch.
+    pub epoch: EpochId,
+    /// Number of problem clusters.
+    pub problem_clusters: usize,
+    /// Number of critical clusters.
+    pub critical_clusters: usize,
+}
+
+/// The Figure 9 series for one metric (the paper plots join time).
+pub fn cluster_count_series(analyses: &[EpochAnalysis], metric: Metric) -> Vec<CountPoint> {
+    analyses
+        .iter()
+        .map(|a| {
+            let ma = a.metric(metric);
+            CountPoint {
+                epoch: a.epoch,
+                problem_clusters: ma.problems.len(),
+                critical_clusters: ma.critical.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_a};
+
+    #[test]
+    fn series_track_epochs() {
+        let analyses = vec![
+            analysis_with_critical(0, 100, &[(key_a(), 60.0)], 80),
+            analysis_with_critical(1, 50, &[], 0),
+        ];
+        let ratios = problem_ratio_series(&analyses, Metric::JoinFailure);
+        assert_eq!(ratios.len(), 2);
+        assert_eq!(ratios[0].epoch, EpochId(0));
+        assert!(ratios[0].ratio > ratios[1].ratio);
+
+        let counts = cluster_count_series(&analyses, Metric::JoinFailure);
+        assert_eq!(counts[0].critical_clusters, 1);
+        assert_eq!(counts[1].critical_clusters, 0);
+        assert!(counts[0].problem_clusters >= counts[0].critical_clusters);
+    }
+}

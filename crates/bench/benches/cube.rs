@@ -1,0 +1,66 @@
+//! Criterion benchmark: cluster-cube construction (the analysis hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vqlens_core::cluster::cube::EpochCube;
+use vqlens_core::model::attr::SessionAttrs;
+use vqlens_core::model::dataset::EpochData;
+use vqlens_core::model::epoch::EpochId;
+use vqlens_core::model::metric::{QualityMeasurement, Thresholds};
+
+/// Deterministic synthetic epoch with realistic attribute cardinalities.
+fn epoch_data(sessions: usize) -> EpochData {
+    let mut data = EpochData::default();
+    let mut x = 0x12345678u64;
+    for _ in 0..sessions {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let attrs = SessionAttrs::new([
+            ((x >> 10) % 1500) as u32,
+            ((x >> 22) % 19) as u32,
+            ((x >> 30) % 379) as u32,
+            ((x >> 40) % 2) as u32,
+            ((x >> 42) % 4) as u32,
+            ((x >> 45) % 5) as u32,
+            ((x >> 48) % 5) as u32,
+        ]);
+        let q = if x.is_multiple_of(25) {
+            QualityMeasurement::failed()
+        } else if x.is_multiple_of(7) {
+            QualityMeasurement::joined(12_000, 250.0, 25.0, 500.0)
+        } else {
+            QualityMeasurement::joined(700, 300.0, 1.0, 2_600.0)
+        };
+        data.push(attrs, q);
+    }
+    data
+}
+
+fn bench_cube(c: &mut Criterion) {
+    let thresholds = Thresholds::default();
+    let mut group = c.benchmark_group("cube_build");
+    for sessions in [2_000usize, 12_000, 40_000] {
+        let data = epoch_data(sessions);
+        group.sample_size(10);
+        group.throughput(criterion::Throughput::Elements(sessions as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(sessions), &data, |b, data| {
+            b.iter(|| EpochCube::build(EpochId(0), data, &thresholds));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cube_prune");
+    let data = epoch_data(12_000);
+    group.sample_size(10);
+    group.bench_function("12000_sessions", |b| {
+        b.iter_with_setup(
+            || EpochCube::build(EpochId(0), &data, &thresholds),
+            |mut cube| {
+                cube.prune(13);
+                cube
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cube);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark: the per-session streaming simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vqlens_core::delivery::abr::{AbrAlgorithm, BitrateLadder};
+use vqlens_core::delivery::player::{simulate_session, SessionEnv};
+
+fn bench_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_session");
+
+    let healthy = SessionEnv::healthy();
+    group.bench_function("healthy_cable", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| simulate_session(&healthy, &mut rng));
+    });
+
+    let mut congested = SessionEnv::healthy();
+    congested.path = congested.path.degraded(0.1);
+    group.bench_function("congested_abr", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| simulate_session(&congested, &mut rng));
+    });
+
+    let mut single = SessionEnv::healthy();
+    single.ladder = BitrateLadder::single(1500.0);
+    single.algorithm = AbrAlgorithm::Fixed;
+    single.path = single.path.degraded(0.15);
+    group.bench_function("congested_single_bitrate", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| simulate_session(&single, &mut rng));
+    });
+
+    let mut long = SessionEnv::healthy();
+    long.viewer.intended_duration_s = 1_800.0;
+    group.bench_function("long_session_30min", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| simulate_session(&long, &mut rng));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery);
+criterion_main!(benches);

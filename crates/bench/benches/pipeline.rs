@@ -1,0 +1,57 @@
+//! Criterion benchmark: end-to-end epoch generation and analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vqlens_core::cluster::analyze::EpochAnalysis;
+use vqlens_core::cluster::critical::CriticalParams;
+use vqlens_core::model::epoch::EpochId;
+use vqlens_core::prelude::{AnalyzerConfig, Scenario};
+use vqlens_core::synth::arrivals::ArrivalSampler;
+use vqlens_core::synth::scenario::{generate_epoch, prepare};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut scenario = Scenario::smoke();
+    scenario.arrivals.sessions_per_epoch = 12_000.0;
+    let (world, ground_truth, _) = prepare(&scenario);
+    let sampler = ArrivalSampler::new(&world);
+    let config = AnalyzerConfig::for_scenario(&scenario);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(12_000));
+    group.bench_function("generate_epoch_12k", |b| {
+        b.iter(|| {
+            generate_epoch(
+                &world,
+                &sampler,
+                &ground_truth,
+                &scenario.arrivals,
+                EpochId(7),
+                scenario.seed,
+            )
+        });
+    });
+
+    let data = generate_epoch(
+        &world,
+        &sampler,
+        &ground_truth,
+        &scenario.arrivals,
+        EpochId(7),
+        scenario.seed,
+    );
+    group.bench_function("analyze_epoch_12k", |b| {
+        b.iter(|| {
+            EpochAnalysis::compute(
+                EpochId(7),
+                &data,
+                &config.thresholds,
+                &config.significance,
+                &CriticalParams::default(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark: the statistics substrate (hashing, ECDF,
+//! histograms) whose throughput bounds the whole analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vqlens_core::stats::{Ecdf, FxHashMap, LogHistogram, StreamingMoments};
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+
+    // Packed-cluster-key-shaped inserts: structured keys with zeroed low
+    // fields (the regression that motivated the hash finalizer).
+    let keys: Vec<u64> = (0..100_000u64)
+        .map(|i| (i << 16) | ((i % 127) << 42))
+        .collect();
+    group.bench_function("fxhash_structured_inserts_100k", |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for &k in &keys {
+                *m.entry(k).or_default() += 1;
+            }
+            m.len()
+        });
+    });
+
+    let samples: Vec<f64> = (0..50_000).map(|i| ((i * 2654435761u64 as usize) % 100_000) as f64).collect();
+    group.bench_function("ecdf_build_50k", |b| {
+        b.iter(|| Ecdf::new(samples.clone()));
+    });
+    let ecdf = Ecdf::new(samples.clone());
+    group.bench_function("ecdf_eval", |b| {
+        b.iter(|| ecdf.eval(42_000.0));
+    });
+
+    group.bench_function("log_histogram_50k", |b| {
+        b.iter(|| {
+            let mut h = LogHistogram::new(1.0, 1e6, 8);
+            for &s in &samples {
+                h.record(s + 1.0);
+            }
+            h.total()
+        });
+    });
+
+    group.bench_function("streaming_moments_50k", |b| {
+        b.iter(|| {
+            let mut m = StreamingMoments::new();
+            for &s in &samples {
+                m.push(s);
+            }
+            m.mean()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! The reproduction driver: regenerate any (or every) table and figure of
+//! the paper from a freshly generated synthetic trace.
+//!
+//! ```text
+//! repro all                                # every experiment, default scenario
+//! repro fig11 t4 --scenario smoke          # selected experiments, small trace
+//! repro all --json-dir repro-out/          # also dump data series as JSON
+//! repro all --sessions 4000                # override traffic volume
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vqlens_bench::{run_experiment, Experiment, ReproContext};
+use vqlens_core::prelude::Scenario;
+
+struct Args {
+    experiments: Vec<Experiment>,
+    scenario: Scenario,
+    json_dir: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <experiment>... [--scenario smoke|default|full] \
+         [--sessions N] [--epochs N] [--seed N] [--json-dir DIR]\n\
+         experiments: all {}",
+        Experiment::ALL
+            .iter()
+            .map(|e| e.id())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut experiments = Vec::new();
+    let mut scenario = Scenario::paper_default();
+    let mut json_dir = None;
+    let mut args = std::env::args().skip(1).peekable();
+    let mut sessions_override = None;
+    let mut epochs_override = None;
+    let mut seed_override = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "all" => experiments.extend(Experiment::ALL),
+            "--scenario" => {
+                let v = args.next().ok_or_else(usage)?;
+                scenario = match v.as_str() {
+                    "smoke" => Scenario::smoke(),
+                    "default" => Scenario::paper_default(),
+                    "full" => Scenario::full(),
+                    _ => return Err(usage()),
+                };
+            }
+            "--sessions" => {
+                let v = args.next().ok_or_else(usage)?;
+                sessions_override = Some(v.parse::<f64>().map_err(|_| usage())?);
+            }
+            "--epochs" => {
+                let v = args.next().ok_or_else(usage)?;
+                epochs_override = Some(v.parse::<u32>().map_err(|_| usage())?);
+            }
+            "--seed" => {
+                let v = args.next().ok_or_else(usage)?;
+                seed_override = Some(v.parse::<u64>().map_err(|_| usage())?);
+            }
+            "--json-dir" => {
+                json_dir = Some(PathBuf::from(args.next().ok_or_else(usage)?));
+            }
+            "--help" | "-h" => return Err(usage()),
+            id => match Experiment::parse(id) {
+                Some(e) => experiments.push(e),
+                None => {
+                    eprintln!("unknown experiment '{id}'");
+                    return Err(usage());
+                }
+            },
+        }
+    }
+    if let Some(s) = sessions_override {
+        scenario.arrivals.sessions_per_epoch = s;
+    }
+    if let Some(e) = epochs_override {
+        scenario.epochs = e;
+    }
+    if let Some(s) = seed_override {
+        scenario.seed = s;
+    }
+    if experiments.is_empty() {
+        return Err(usage());
+    }
+    // Full dedup (Vec::dedup only removes adjacent repeats, so
+    // `repro t1 all` would otherwise run t1 twice).
+    let mut seen = std::collections::HashSet::new();
+    experiments.retain(|e| seen.insert(*e));
+    Ok(Args {
+        experiments,
+        scenario,
+        json_dir,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    println!(
+        "# vqlens reproduction — scenario '{}', {} epochs, ~{} sessions/epoch, seed {:#x}\n",
+        args.scenario.name,
+        args.scenario.epochs,
+        args.scenario.arrivals.sessions_per_epoch as u64,
+        args.scenario.seed
+    );
+    let ctx = ReproContext::build(args.scenario.clone());
+    println!(
+        "trace: {} sessions, {} planted events; significance floor {} sessions\n",
+        ctx.output.dataset.num_sessions(),
+        ctx.output.ground_truth.len(),
+        ctx.config.significance.min_sessions
+    );
+    for exp in &args.experiments {
+        let t0 = std::time::Instant::now();
+        let report = run_experiment(&ctx, *exp, args.json_dir.as_deref());
+        println!("{report}");
+        eprintln!("[repro] {} done in {:?}\n", exp.id(), t0.elapsed());
+    }
+    ExitCode::SUCCESS
+}

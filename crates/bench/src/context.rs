@@ -1,0 +1,49 @@
+//! Shared reproduction context: one generated trace plus its analysis.
+
+use vqlens_core::prelude::*;
+
+/// Everything the experiment functions need, computed once.
+pub struct ReproContext {
+    /// The scenario that was generated.
+    pub scenario: Scenario,
+    /// The analyzer configuration used.
+    pub config: AnalyzerConfig,
+    /// Generated dataset, world, and planted ground truth.
+    pub output: SynthOutput,
+    /// Per-epoch cluster analysis.
+    pub trace: TraceAnalysis,
+}
+
+impl ReproContext {
+    /// Generate and analyze a scenario.
+    pub fn build(scenario: Scenario) -> ReproContext {
+        let config = AnalyzerConfig::for_scenario(&scenario);
+        eprintln!(
+            "[repro] generating '{}': {} epochs x ~{} sessions ...",
+            scenario.name, scenario.epochs, scenario.arrivals.sessions_per_epoch as u64
+        );
+        let output = generate_parallel(&scenario, config.threads);
+        eprintln!(
+            "[repro] {} sessions; analyzing ...",
+            output.dataset.num_sessions()
+        );
+        let trace = analyze_dataset(&output.dataset, &config);
+        eprintln!("[repro] analysis done");
+        ReproContext {
+            scenario,
+            config,
+            output,
+            trace,
+        }
+    }
+
+    /// Resolve an attribute value name for display.
+    pub fn name_of(&self, key: AttrKey, id: u32) -> &str {
+        self.output.dataset.value_name(key, id).unwrap_or("?")
+    }
+
+    /// Render a cluster key with names resolved.
+    pub fn cluster_name(&self, key: ClusterKey) -> String {
+        key.display_with(|attr, id| self.name_of(attr, id)).to_string()
+    }
+}

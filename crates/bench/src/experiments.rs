@@ -1,0 +1,944 @@
+//! One function per table and figure of the paper's evaluation.
+//!
+//! Each experiment prints the measured result next to the paper's reported
+//! shape so EXPERIMENTS.md can record the comparison, and optionally dumps
+//! the underlying data series as JSON for plotting.
+
+use crate::context::ReproContext;
+use std::fmt::Write as _;
+use std::path::Path;
+use vqlens_core::analysis::breakdown::Breakdown;
+use vqlens_core::analysis::coverage::coverage_table;
+use vqlens_core::analysis::overlap::overlap_matrix;
+use vqlens_core::analysis::persistence::{ClusterSource, PersistenceReport};
+use vqlens_core::analysis::prevalence::PrevalenceReport;
+use vqlens_core::analysis::timeseries::{cluster_count_series, problem_ratio_series};
+use vqlens_core::cluster::critical::CriticalParams;
+use vqlens_core::cluster::cube::EpochCube;
+use vqlens_core::cluster::hhh::{HhhParams, HhhSet};
+use vqlens_core::cluster::problem::ProblemSet;
+use vqlens_core::model::epoch::{EpochId, EpochRange, HOURS_PER_WEEK};
+use vqlens_core::model::metric::{Metric, Thresholds};
+use vqlens_core::pipeline::analyze_dataset;
+use vqlens_core::report::{num, pct, to_json, Table};
+use vqlens_core::stats::LogHistogram;
+use vqlens_core::validate::validate_against_ground_truth;
+use vqlens_core::whatif::oracle::{oracle_sweep, AttrFilter, RankBy};
+use vqlens_core::whatif::proactive::proactive_analysis;
+use vqlens_core::whatif::reactive::{reactive_analysis, reactive_series};
+use vqlens_core::model::attr::AttrKey;
+
+/// The reproducible experiments, one per paper artifact plus ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Experiment {
+    /// Fig. 1: CDFs of buffering ratio, bitrate, join time.
+    Fig1,
+    /// Fig. 2: hourly fraction of problem sessions per metric.
+    Fig2,
+    /// Fig. 7: CDF of problem-cluster prevalence.
+    Fig7,
+    /// Fig. 8: inverse CDF of median/max persistence.
+    Fig8,
+    /// Fig. 9: problem vs critical cluster counts over time.
+    Fig9,
+    /// Fig. 10: breakdown of critical-cluster attribute types.
+    Fig10,
+    /// Fig. 11: top-k improvement by three ranking criteria.
+    Fig11,
+    /// Fig. 12: attribute-restricted top-k selection.
+    Fig12,
+    /// Fig. 13: reactive remediation time series.
+    Fig13,
+    /// Table 1: cluster counts and coverage.
+    T1,
+    /// Table 2: cross-metric Jaccard overlap.
+    T2,
+    /// Table 3: most prevalent critical clusters, annotated.
+    T3,
+    /// Table 4: proactive intra-/inter-week improvement.
+    T4,
+    /// Table 5: reactive improvement summary.
+    T5,
+    /// Ablation: critical clusters vs hierarchical heavy hitters.
+    AblHhh,
+    /// Ablation: sensitivity to problem thresholds.
+    AblThresholds,
+    /// Ablation: strict vs tolerant descendant condition.
+    AblCritical,
+    /// Ablation: ground-truth recall/precision.
+    AblGroundTruth,
+    /// Ablation: ABR algorithm comparison on identical paths.
+    AblAbr,
+    /// Extension: cost-aware vs cost-blind remediation budgets (paper §6).
+    ExtCost,
+    /// Extension: the emergent engagement-vs-buffering relationship.
+    ExtEngagement,
+    /// Extension: day-over-day churn of the top critical clusters.
+    ExtChurn,
+}
+
+impl Experiment {
+    /// All experiments in presentation order.
+    pub const ALL: [Experiment; 22] = [
+        Experiment::Fig1,
+        Experiment::Fig2,
+        Experiment::Fig7,
+        Experiment::Fig8,
+        Experiment::Fig9,
+        Experiment::Fig10,
+        Experiment::Fig11,
+        Experiment::Fig12,
+        Experiment::Fig13,
+        Experiment::T1,
+        Experiment::T2,
+        Experiment::T3,
+        Experiment::T4,
+        Experiment::T5,
+        Experiment::AblHhh,
+        Experiment::AblThresholds,
+        Experiment::AblCritical,
+        Experiment::AblGroundTruth,
+        Experiment::AblAbr,
+        Experiment::ExtCost,
+        Experiment::ExtEngagement,
+        Experiment::ExtChurn,
+    ];
+
+    /// Parse a CLI id such as `fig11` or `t4` or `abl-hhh`
+    /// (case-insensitive; `table1`-style aliases accepted).
+    pub fn parse(id: &str) -> Option<Experiment> {
+        let id = id.to_ascii_lowercase();
+        let id = id.strip_prefix("table").map(|n| format!("t{n}")).unwrap_or(id);
+        Experiment::ALL.into_iter().find(|e| e.id() == id)
+    }
+
+    /// The CLI id.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Experiment::Fig1 => "fig1",
+            Experiment::Fig2 => "fig2",
+            Experiment::Fig7 => "fig7",
+            Experiment::Fig8 => "fig8",
+            Experiment::Fig9 => "fig9",
+            Experiment::Fig10 => "fig10",
+            Experiment::Fig11 => "fig11",
+            Experiment::Fig12 => "fig12",
+            Experiment::Fig13 => "fig13",
+            Experiment::T1 => "t1",
+            Experiment::T2 => "t2",
+            Experiment::T3 => "t3",
+            Experiment::T4 => "t4",
+            Experiment::T5 => "t5",
+            Experiment::AblHhh => "abl-hhh",
+            Experiment::AblThresholds => "abl-thresholds",
+            Experiment::AblCritical => "abl-critical",
+            Experiment::AblGroundTruth => "abl-groundtruth",
+            Experiment::AblAbr => "abl-abr",
+            Experiment::ExtCost => "ext-cost",
+            Experiment::ExtEngagement => "ext-engagement",
+            Experiment::ExtChurn => "ext-churn",
+        }
+    }
+}
+
+/// Run one experiment, returning the text report. When `json_dir` is set,
+/// the experiment's data series are also written there as
+/// `<id>.json`.
+pub fn run_experiment(ctx: &ReproContext, exp: Experiment, json_dir: Option<&Path>) -> String {
+    let (report, json) = match exp {
+        Experiment::Fig1 => fig1(ctx),
+        Experiment::Fig2 => fig2(ctx),
+        Experiment::Fig7 => fig7(ctx),
+        Experiment::Fig8 => fig8(ctx),
+        Experiment::Fig9 => fig9(ctx),
+        Experiment::Fig10 => fig10(ctx),
+        Experiment::Fig11 => fig11(ctx),
+        Experiment::Fig12 => fig12(ctx),
+        Experiment::Fig13 => fig13(ctx),
+        Experiment::T1 => t1(ctx),
+        Experiment::T2 => t2(ctx),
+        Experiment::T3 => t3(ctx),
+        Experiment::T4 => t4(ctx),
+        Experiment::T5 => t5(ctx),
+        Experiment::AblHhh => abl_hhh(ctx),
+        Experiment::AblThresholds => abl_thresholds(ctx),
+        Experiment::AblCritical => abl_critical(ctx),
+        Experiment::AblGroundTruth => abl_ground_truth(ctx),
+        Experiment::AblAbr => abl_abr(ctx),
+        Experiment::ExtCost => ext_cost(ctx),
+        Experiment::ExtEngagement => ext_engagement(ctx),
+        Experiment::ExtChurn => ext_churn(ctx),
+    };
+    if let (Some(dir), Some(json)) = (json_dir, json) {
+        let path = dir.join(format!("{}.json", exp.id()));
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, json)) {
+            eprintln!("[repro] could not write {}: {e}", path.display());
+        }
+    }
+    report
+}
+
+type Out = (String, Option<String>);
+
+fn fig1(ctx: &ReproContext) -> Out {
+    let mut buf = LogHistogram::new(1e-5, 1.0, 8);
+    let mut rate = LogHistogram::new(10.0, 20_000.0, 8);
+    let mut join = LogHistogram::new(1.0, 1e6, 8);
+    for (_, data) in ctx.output.dataset.iter_epochs() {
+        for (_, q) in data.iter() {
+            if let Some(r) = q.buffering_ratio() {
+                buf.record(r);
+            }
+            if let Some(b) = q.bitrate() {
+                rate.record(b);
+            }
+            if let Some(t) = q.join_time() {
+                join.record(f64::from(t));
+            }
+        }
+    }
+    let at = |h: &LogHistogram, x: f64| -> f64 {
+        h.cdf_points()
+            .iter()
+            .find(|(v, _)| *v >= x)
+            .map(|(_, f)| *f)
+            .unwrap_or(1.0)
+    };
+    let mut table = Table::new(
+        "Fig. 1 — session-quality CDFs (paper: >5% of sessions above 10% buffering ratio; \
+         >5% of sessions above 10 s join time; >80% below 2 Mbps)",
+        &["statistic", "paper", "measured"],
+    );
+    table.row(&[
+        "P(buffering ratio > 0.10)".into(),
+        "> 0.05".into(),
+        num(1.0 - at(&buf, 0.10)),
+    ]);
+    table.row(&[
+        "P(join time > 10 s)".into(),
+        "> 0.05".into(),
+        num(1.0 - at(&join, 10_000.0)),
+    ]);
+    table.row(&[
+        "P(bitrate < 2 Mbps)".into(),
+        "> 0.80".into(),
+        num(at(&rate, 2_000.0)),
+    ]);
+    #[derive(serde::Serialize)]
+    struct Series {
+        buffering_ratio: Vec<(f64, f64)>,
+        bitrate_kbps: Vec<(f64, f64)>,
+        join_time_ms: Vec<(f64, f64)>,
+    }
+    let json = to_json(&Series {
+        buffering_ratio: buf.cdf_points(),
+        bitrate_kbps: rate.cdf_points(),
+        join_time_ms: join.cdf_points(),
+    });
+    (table.to_string(), Some(json))
+}
+
+fn fig2(ctx: &ReproContext) -> Out {
+    let mut report = String::from(
+        "## Fig. 2 — hourly problem-session fraction (paper: consistently high over time, \
+         e.g. buffering-ratio mean 0.097 with tiny variance; metrics only loosely correlated)\n",
+    );
+    let mut table = Table::new("", &["metric", "mean", "std dev", "min", "max"]);
+    let mut all_series = Vec::new();
+    for m in Metric::ALL {
+        let series = problem_ratio_series(ctx.trace.epochs(), m);
+        let mut acc = vqlens_core::stats::StreamingMoments::new();
+        for p in &series {
+            acc.push(p.ratio);
+        }
+        table.row(&[
+            m.to_string(),
+            num(acc.mean().unwrap_or(0.0)),
+            num(acc.std_dev().unwrap_or(0.0)),
+            num(acc.min().unwrap_or(0.0)),
+            num(acc.max().unwrap_or(0.0)),
+        ]);
+        all_series.push((m.name(), series));
+    }
+    let _ = write!(report, "{table}");
+    (report, Some(to_json(&all_series)))
+}
+
+fn fig7(ctx: &ReproContext) -> Out {
+    let mut report = String::from(
+        "## Fig. 7 — problem-cluster prevalence CDF (paper: skewed; ~10% of clusters \
+         above 8% prevalence, >20% of clusters above 25% in §1's summary)\n",
+    );
+    let mut table = Table::new(
+        "",
+        &["metric", "clusters", "P(prev > 0.08)", "P(prev > 0.25)", "max"],
+    );
+    let mut curves = Vec::new();
+    for m in Metric::ALL {
+        let prev = PrevalenceReport::compute(ctx.trace.epochs(), m, ClusterSource::Problem);
+        let dist = prev.distribution();
+        table.row(&[
+            m.to_string(),
+            prev.num_clusters().to_string(),
+            num(dist.ccdf(0.08)),
+            num(dist.ccdf(0.25)),
+            num(dist.max().unwrap_or(0.0)),
+        ]);
+        curves.push((m.name(), dist.curve(100)));
+    }
+    let _ = write!(report, "{table}");
+    (report, Some(to_json(&curves)))
+}
+
+fn fig8(ctx: &ReproContext) -> Out {
+    let mut report = String::from(
+        "## Fig. 8 — problem-cluster persistence (paper: >60% of clusters with median \
+         streak >2 h for three metrics; >1% with max streak beyond a day)\n",
+    );
+    let mut table = Table::new(
+        "",
+        &[
+            "metric",
+            "P(median >= 2h)",
+            "P(median >= 5h)",
+            "P(max >= 10h)",
+            "P(max >= 24h)",
+        ],
+    );
+    let mut curves = Vec::new();
+    for m in Metric::ALL {
+        let pers = PersistenceReport::compute(ctx.trace.epochs(), m, ClusterSource::Problem);
+        let med = pers.median_distribution();
+        let max = pers.max_distribution();
+        table.row(&[
+            m.to_string(),
+            num(med.ccdf(1.99)),
+            num(med.ccdf(4.99)),
+            num(max.ccdf(9.99)),
+            num(max.ccdf(23.99)),
+        ]);
+        curves.push((m.name(), med.curve(100), max.curve(100)));
+    }
+    let _ = write!(report, "{table}");
+    (report, Some(to_json(&curves)))
+}
+
+fn fig9(ctx: &ReproContext) -> Out {
+    let series = cluster_count_series(ctx.trace.epochs(), Metric::JoinTime);
+    let mean_pc =
+        series.iter().map(|p| p.problem_clusters as f64).sum::<f64>() / series.len().max(1) as f64;
+    let mean_cc =
+        series.iter().map(|p| p.critical_clusters as f64).sum::<f64>() / series.len().max(1) as f64;
+    let mut table = Table::new(
+        "Fig. 9 — problem vs critical cluster counts over time, join time \
+         (paper: critical clusters ~50x fewer than problem clusters)",
+        &["quantity", "mean per epoch"],
+    );
+    table.row(&["problem clusters".into(), num(mean_pc)]);
+    table.row(&["critical clusters".into(), num(mean_cc)]);
+    table.row(&[
+        "reduction factor".into(),
+        num(if mean_cc > 0.0 { mean_pc / mean_cc } else { 0.0 }),
+    ]);
+    (table.to_string(), Some(to_json(&series)))
+}
+
+fn fig10(ctx: &ReproContext) -> Out {
+    let mut report = String::from(
+        "## Fig. 10 — critical-cluster type breakdown (paper: Site dominates, then CDN, \
+         ASN, ConnectionType; a residue is unattributed or outside any problem cluster)\n",
+    );
+    let mut all = Vec::new();
+    for m in Metric::ALL {
+        let b = Breakdown::compute(ctx.trace.epochs(), m);
+        let mut table = Table::new(format!("{m}"), &["attribute combination", "share"]);
+        for slice in b.slices.iter().take(8) {
+            table.row(&[slice.mask.to_string(), pct(slice.share)]);
+        }
+        table.row(&["(in problem cluster, unattributed)".into(), pct(b.unattributed_share)]);
+        table.row(&["(not in any problem cluster)".into(), pct(b.outside_share)]);
+        let _ = writeln!(report, "{table}");
+        all.push(b);
+    }
+    (report, Some(to_json(&all)))
+}
+
+const SWEEP_FRACTIONS: [f64; 7] = [0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1.0];
+
+fn fig11(ctx: &ReproContext) -> Out {
+    let mut report = String::from(
+        "## Fig. 11 — problem sessions alleviated vs top-k critical clusters \
+         (paper: Pareto shape; top 1% by coverage alleviates ~60% for join failure, \
+         15-40% for other metrics; coverage ranking beats prevalence/persistence)\n",
+    );
+    let mut all = Vec::new();
+    for (name, rank) in [
+        ("prevalence", RankBy::Prevalence),
+        ("persistence", RankBy::Persistence),
+        ("coverage", RankBy::Coverage),
+    ] {
+        let mut table = Table::new(
+            format!("ranked by {name}"),
+            &["metric", "top 0.1%", "top 1%", "top 10%", "top 100%"],
+        );
+        for m in Metric::ALL {
+            let sweep = oracle_sweep(ctx.trace.epochs(), m, rank, AttrFilter::Any, &SWEEP_FRACTIONS);
+            let f = |target: f64| {
+                sweep
+                    .iter()
+                    .find(|p| (p.fraction - target).abs() < 1e-9)
+                    .map(|p| pct(p.alleviated_fraction))
+                    .unwrap_or_default()
+            };
+            table.row(&[m.to_string(), f(0.001), f(0.01), f(0.1), f(1.0)]);
+            all.push((name, m.name(), sweep));
+        }
+        let _ = writeln!(report, "{table}");
+    }
+    (report, Some(to_json(&all)))
+}
+
+fn fig12(ctx: &ReproContext) -> Out {
+    let metric = Metric::JoinFailure;
+    let mut report = String::from(
+        "## Fig. 12 — attribute-restricted selection, join failure, coverage rank \
+         (paper: no single attribute suffices; the union of Site/CDN/ASN/ConnType \
+         approaches the unrestricted strategy)\n",
+    );
+    let mut table = Table::new("", &["strategy", "clusters", "alleviated"]);
+    let mut all = Vec::new();
+    for (name, filter) in [
+        ("any", AttrFilter::Any),
+        ("Site", AttrFilter::Single(AttrKey::Site)),
+        ("CDN", AttrFilter::Single(AttrKey::Cdn)),
+        ("ASN", AttrFilter::Single(AttrKey::Asn)),
+        ("ConnType", AttrFilter::Single(AttrKey::ConnType)),
+        ("union-of-4", AttrFilter::UnionTop4),
+    ] {
+        let sweep = oracle_sweep(
+            ctx.trace.epochs(),
+            metric,
+            RankBy::Coverage,
+            filter,
+            &SWEEP_FRACTIONS,
+        );
+        let last = sweep.last().expect("non-empty sweep");
+        table.row(&[
+            name.into(),
+            last.selected.to_string(),
+            pct(last.alleviated_fraction),
+        ]);
+        all.push((name, sweep));
+    }
+    let _ = write!(report, "{table}");
+    (report, Some(to_json(&all)))
+}
+
+fn fig13(ctx: &ReproContext) -> Out {
+    let metric = Metric::JoinFailure;
+    let series = reactive_series(ctx.trace.epochs(), metric, 1);
+    let orig: f64 = series.iter().map(|p| p.original).sum();
+    let after: f64 = series.iter().map(|p| p.after_reactive).sum();
+    let floor: f64 = series.iter().map(|p| p.not_in_critical).sum();
+    let mut table = Table::new(
+        "Fig. 13 — reactive remediation, join failure (paper: ~50% reduction in \
+         problem sessions; a floor of unattributable 'random' problems remains)",
+        &["quantity", "problem sessions", "fraction of original"],
+    );
+    table.row(&["original".into(), num(orig), pct(1.0)]);
+    table.row(&["after reactive (1h lag)".into(), num(after), pct(after / orig.max(1.0))]);
+    table.row(&[
+        "not in any critical cluster".into(),
+        num(floor),
+        pct(floor / orig.max(1.0)),
+    ]);
+    (table.to_string(), Some(to_json(&series)))
+}
+
+fn t1(ctx: &ReproContext) -> Out {
+    let rows = coverage_table(ctx.trace.epochs());
+    let mut table = Table::new(
+        "Table 1 — cluster counts and coverage (paper: critical clusters are 2-3% of \
+         problem clusters; problem-cluster coverage 0.57-0.87; critical coverage 0.44-0.84)",
+        &[
+            "metric",
+            "mean problem clusters",
+            "mean critical clusters",
+            "reduction",
+            "problem coverage",
+            "critical coverage",
+        ],
+    );
+    for r in &rows {
+        table.row(&[
+            r.metric.to_string(),
+            num(r.mean_problem_clusters),
+            num(r.mean_critical_clusters),
+            pct(r.reduction),
+            num(r.mean_problem_coverage),
+            num(r.mean_critical_coverage),
+        ]);
+    }
+    (table.to_string(), Some(to_json(&rows)))
+}
+
+fn t2(ctx: &ReproContext) -> Out {
+    let m = overlap_matrix(ctx.trace.epochs(), 100);
+    let mut table = Table::new(
+        "Table 2 — Jaccard similarity of top-100 critical clusters (paper: 0.23 best \
+         pair, 0.01 worst; same culprit *types*, different identities)",
+        &["pair", "jaccard"],
+    );
+    for a in Metric::ALL {
+        for b in Metric::ALL {
+            if a.index() < b.index() {
+                table.row(&[format!("{a} vs {b}"), num(m.get(a, b))]);
+            }
+        }
+    }
+    (table.to_string(), Some(to_json(&m)))
+}
+
+fn t3(ctx: &ReproContext) -> Out {
+    use vqlens_core::synth::world::LadderClass;
+    let mut report = String::from(
+        "## Table 3 — most prevalent critical clusters, annotated with world knowledge \
+         (paper: Asian/wireless ISPs, in-house CDNs, single-bitrate sites, remote \
+         player modules, low-priority sites on one global CDN)\n",
+    );
+    for m in Metric::ALL {
+        let prev = PrevalenceReport::compute(ctx.trace.epochs(), m, ClusterSource::Critical);
+        let mut table = Table::new(format!("{m}"), &["prevalence", "cluster", "annotation"]);
+        for (key, p) in prev.ranked().into_iter().take(6) {
+            let mut notes = Vec::new();
+            if let Some(site) = key.value(AttrKey::Site) {
+                let s = &ctx.output.world.sites[site as usize];
+                if let LadderClass::Single(kbps) = s.ladder {
+                    notes.push(format!("single bitrate {kbps:.0} kbps"));
+                }
+                if let Some(home) = s.audience_home {
+                    notes.push(format!("audience {home:?}"));
+                }
+                if s.module_host_region != vqlens_core::synth::world::Region::Us {
+                    notes.push(format!("modules in {:?}", s.module_host_region));
+                } else {
+                    notes.push("modules in Us".into());
+                }
+            }
+            if let Some(cdn) = key.value(AttrKey::Cdn) {
+                notes.push(format!("{:?}", ctx.output.world.cdns[cdn as usize].kind));
+            }
+            if let Some(asn) = key.value(AttrKey::Asn) {
+                let a = &ctx.output.world.asns[asn as usize];
+                notes.push(format!(
+                    "{:?} tier, {:?}{}",
+                    a.tier,
+                    a.region,
+                    if a.wireless { ", cellular" } else { "" }
+                ));
+            }
+            let matched = ctx.output.ground_truth.events.iter().any(|e| {
+                let exp = e.scope.expected_cluster();
+                key == exp || key.generalizes(exp) || exp.generalizes(key)
+            });
+            if matched {
+                notes.push("matches a planted event".into());
+            }
+            table.row(&[pct(p), ctx.cluster_name(key), notes.join("; ")]);
+        }
+        let _ = writeln!(report, "{table}");
+    }
+    (report, None)
+}
+
+fn t4(ctx: &ReproContext) -> Out {
+    let mut report = String::from(
+        "## Table 4 — proactive history-based fixing of the top 1% by coverage \
+         (paper: intra-week reaches 68-85% of the oracle potential; inter-week 61-86%)\n",
+    );
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "",
+        &["metric", "split", "improvement", "potential", "efficiency"],
+    );
+    let splits: Vec<(&str, EpochRange, EpochRange)> = if ctx.scenario.epochs >= 2 * HOURS_PER_WEEK
+    {
+        let (h1, e1) = EpochRange::intra_week_split(0);
+        let (h2, e2) = EpochRange::inter_week_split();
+        vec![("intra-week (4d/3d)", h1, e1), ("inter-week (w1/w2)", h2, e2)]
+    } else {
+        // Short traces: halve the trace.
+        let half = ctx.scenario.epochs / 2;
+        vec![(
+            "first/second half",
+            EpochRange::new(EpochId(0), EpochId(half)),
+            EpochRange::new(EpochId(half), EpochId(ctx.scenario.epochs)),
+        )]
+    };
+    for (name, history, eval) in splits {
+        for m in Metric::ALL {
+            let out = proactive_analysis(ctx.trace.epochs(), m, history, eval, 0.01);
+            table.row(&[
+                m.to_string(),
+                name.into(),
+                pct(out.improvement),
+                pct(out.potential),
+                pct(out.efficiency()),
+            ]);
+            rows.push((name, out));
+        }
+    }
+    let _ = write!(report, "{table}");
+    (report, Some(to_json(&rows)))
+}
+
+fn t5(ctx: &ReproContext) -> Out {
+    let mut table = Table::new(
+        "Table 5 — reactive improvement, 1-hour detection lag (paper: 70-95% of the \
+         potential; up to 51% of problem sessions alleviated)",
+        &["metric", "improvement", "potential", "efficiency", "events handled"],
+    );
+    let mut rows = Vec::new();
+    for m in Metric::ALL {
+        let out = reactive_analysis(ctx.trace.epochs(), m, 1);
+        table.row(&[
+            m.to_string(),
+            pct(out.improvement),
+            pct(out.potential),
+            pct(out.efficiency()),
+            format!("{}/{}", out.events_handled, out.events_total),
+        ]);
+        rows.push(out);
+    }
+    (table.to_string(), Some(to_json(&rows)))
+}
+
+fn abl_hhh(ctx: &ReproContext) -> Out {
+    // Compare on a sample of epochs: HHH needs the cube, which the trace
+    // analysis deliberately drops, so rebuild it for every 24th epoch.
+    let mut table = Table::new(
+        "Ablation — critical clusters vs hierarchical heavy hitters (related work §7: \
+         HHH counts volume, ignores ratios, and does not attribute to one cause)",
+        &["metric", "mean critical", "mean HHH (phi=1%)", "critical coverage", "HHH coverage"],
+    );
+    let mut sums = [[0.0f64; 4]; 4];
+    let mut samples = 0u32;
+    for (epoch, data) in ctx.output.dataset.iter_epochs() {
+        if epoch.0 % 24 != 12 {
+            continue;
+        }
+        samples += 1;
+        let mut cube = EpochCube::build(epoch, data, &ctx.config.thresholds);
+        cube.prune(ctx.config.significance.min_sessions);
+        for m in Metric::ALL {
+            let hhh = HhhSet::identify(&cube, m, &HhhParams::default());
+            let ps = ProblemSet::identify(&cube, m, &ctx.config.significance);
+            let cs = vqlens_core::cluster::critical::CriticalSet::identify(
+                &cube,
+                &ps,
+                &ctx.config.significance,
+                &ctx.config.critical,
+            );
+            sums[m.index()][0] += cs.len() as f64;
+            sums[m.index()][1] += hhh.len() as f64;
+            sums[m.index()][2] += cs.coverage();
+            sums[m.index()][3] += hhh.coverage();
+        }
+    }
+    for m in Metric::ALL {
+        let s = &sums[m.index()];
+        let n = f64::from(samples.max(1));
+        table.row(&[
+            m.to_string(),
+            num(s[0] / n),
+            num(s[1] / n),
+            num(s[2] / n),
+            num(s[3] / n),
+        ]);
+    }
+    (table.to_string(), None)
+}
+
+fn abl_thresholds(ctx: &ReproContext) -> Out {
+    let mut report = String::from(
+        "## Ablation — problem-threshold sensitivity (paper §2: results are \
+         'qualitatively similar for other choices of these thresholds')\n",
+    );
+    let variants: [(&str, Thresholds); 3] = [
+        (
+            "stricter (3% / 1000 kbps / 5 s)",
+            Thresholds {
+                max_buffering_ratio: 0.03,
+                min_bitrate_kbps: 1000.0,
+                max_join_time_ms: 5_000,
+            },
+        ),
+        ("paper defaults (5% / 700 kbps / 10 s)", Thresholds::default()),
+        (
+            "looser (8% / 500 kbps / 15 s)",
+            Thresholds {
+                max_buffering_ratio: 0.08,
+                min_bitrate_kbps: 500.0,
+                max_join_time_ms: 15_000,
+            },
+        ),
+    ];
+    let mut table = Table::new(
+        "",
+        &["thresholds", "metric", "critical/problem", "critical coverage", "top-1% fix"],
+    );
+    for (name, thresholds) in variants {
+        let mut config = ctx.config;
+        config.thresholds = thresholds;
+        let trace = analyze_dataset(&ctx.output.dataset, &config);
+        for m in Metric::ALL {
+            let rows = coverage_table(trace.epochs());
+            let r = &rows[m.index()];
+            let sweep = oracle_sweep(trace.epochs(), m, RankBy::Coverage, AttrFilter::Any, &[0.01]);
+            table.row(&[
+                name.into(),
+                m.to_string(),
+                pct(r.reduction),
+                num(r.mean_critical_coverage),
+                pct(sweep[0].alleviated_fraction),
+            ]);
+        }
+    }
+    let _ = write!(report, "{table}");
+    (report, None)
+}
+
+fn abl_critical(ctx: &ReproContext) -> Out {
+    let mut report = String::from(
+        "## Ablation — descendant-condition tolerance (strict Figure-5 reading vs the \
+         session-weighted tolerance that absorbs small-cluster binomial noise)\n",
+    );
+    let mut table = Table::new(
+        "",
+        &["tolerance", "metric", "mean critical clusters", "critical coverage"],
+    );
+    for (name, params) in [
+        ("strict (0.00)", CriticalParams::strict()),
+        ("default (0.25)", CriticalParams::default()),
+        ("loose (0.50)", CriticalParams { max_bad_descendant_fraction: 0.5 }),
+    ] {
+        let mut config = ctx.config;
+        config.critical = params;
+        let trace = analyze_dataset(&ctx.output.dataset, &config);
+        let rows = coverage_table(trace.epochs());
+        for m in Metric::ALL {
+            let r = &rows[m.index()];
+            table.row(&[
+                name.into(),
+                m.to_string(),
+                num(r.mean_critical_clusters),
+                num(r.mean_critical_coverage),
+            ]);
+        }
+    }
+    let _ = write!(report, "{table}");
+    (report, None)
+}
+
+fn abl_ground_truth(ctx: &ReproContext) -> Out {
+    let v = validate_against_ground_truth(
+        &ctx.output.dataset,
+        &ctx.output.world,
+        &ctx.trace,
+        &ctx.output.ground_truth,
+        ctx.config.significance.min_sessions,
+    );
+    let mut table = Table::new(
+        "Ablation — recovery of planted ground truth (not possible in the paper: the \
+         real dataset had no known causes)",
+        &["measure", "value"],
+    );
+    table.row(&["planted events".into(), v.events.len().to_string()]);
+    table.row(&["recall over visible (event, epoch) pairs".into(), pct(v.recall)]);
+    table.row(&[
+        "precision (event or structural cause)".into(),
+        pct(v.precision),
+    ]);
+    table.row(&["precision (planted events only)".into(), pct(v.event_precision)]);
+    table.row(&["critical-cluster emissions".into(), v.emitted.to_string()]);
+    let mut report = table.to_string();
+    // The five least-detected visible events, for debugging the pipeline.
+    let mut worst: Vec<_> = v
+        .events
+        .iter()
+        .filter(|e| e.visible_epochs > 0)
+        .collect();
+    worst.sort_by(|a, b| {
+        a.recall()
+            .unwrap_or(0.0)
+            .partial_cmp(&b.recall().unwrap_or(0.0))
+            .expect("finite")
+    });
+    let _ = writeln!(report, "\nhardest visible events:");
+    for e in worst.iter().take(5) {
+        let _ = writeln!(
+            report,
+            "  {:>4.0}% detected ({}/{} epochs): {}",
+            100.0 * e.recall().unwrap_or(0.0),
+            e.detected_epochs,
+            e.visible_epochs,
+            e.name
+        );
+    }
+    (report, Some(to_json(&v)))
+}
+
+fn abl_abr(_ctx: &ReproContext) -> Out {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vqlens_core::delivery::abr::AbrAlgorithm;
+    use vqlens_core::delivery::player::{simulate_session, SessionEnv};
+
+    let mut table = Table::new(
+        "Ablation — ABR algorithms on identical congested mobile paths \
+         (FESTIVE trades a little bitrate for stability; the fixed single \
+         bitrate reproduces the paper's Table 3 buffering culprit)",
+        &["algorithm", "buffering problems", "bitrate problems", "mean bitrate (kbps)"],
+    );
+    let thresholds = Thresholds::default();
+    for (name, algorithm, single) in [
+        ("throughput rule", AbrAlgorithm::ThroughputRule, false),
+        ("buffer rule", AbrAlgorithm::BufferRule, false),
+        ("FESTIVE", AbrAlgorithm::Festive, false),
+        ("fixed 1.5 Mbps", AbrAlgorithm::Fixed, true),
+    ] {
+        let mut env = SessionEnv::healthy();
+        env.path = vqlens_core::delivery::path::PathModel::mobile().degraded(0.75);
+        env.algorithm = algorithm;
+        if single {
+            env.ladder = vqlens_core::delivery::abr::BitrateLadder::single(1_500.0);
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 3_000;
+        let mut buf_problems = 0u32;
+        let mut rate_problems = 0u32;
+        let mut rate_sum = 0.0f64;
+        let mut joined = 0u32;
+        for _ in 0..n {
+            let q = simulate_session(&env, &mut rng);
+            if thresholds.is_problem(&q, Metric::BufRatio) {
+                buf_problems += 1;
+            }
+            if thresholds.is_problem(&q, Metric::Bitrate) {
+                rate_problems += 1;
+            }
+            if let Some(b) = q.bitrate() {
+                rate_sum += b;
+                joined += 1;
+            }
+        }
+        table.row(&[
+            name.into(),
+            pct(f64::from(buf_problems) / f64::from(n)),
+            pct(f64::from(rate_problems) / f64::from(n)),
+            num(rate_sum / f64::from(joined.max(1))),
+        ]);
+    }
+    (table.to_string(), None)
+}
+
+fn ext_cost(ctx: &ReproContext) -> Out {
+    use vqlens_core::whatif::cost::{cost_aware_vs_blind, cost_benefit_ranking, CostModel};
+
+    let mut report = String::from(
+        "## Extension — cost-aware remediation planning (the cost-benefit analysis \
+         the paper's §6 calls for; infrastructure cost model: sites cheap, \
+         CDN contracts moderate, ISP peering expensive, radio networks very expensive)\n",
+    );
+    let model = CostModel::infrastructure_default();
+    let mut table = Table::new(
+        "",
+        &["metric", "budget", "cost-aware alleviated", "cost-blind alleviated"],
+    );
+    for m in Metric::ALL {
+        for budget in [10.0, 50.0, 200.0] {
+            let (aware, blind) = cost_aware_vs_blind(ctx.trace.epochs(), m, &model, budget);
+            table.row(&[
+                m.to_string(),
+                num(budget),
+                pct(aware),
+                pct(blind),
+            ]);
+        }
+    }
+    let _ = writeln!(report, "{table}");
+    let _ = writeln!(report, "best benefit-per-cost fixes (join failure):");
+    for cb in cost_benefit_ranking(ctx.trace.epochs(), Metric::JoinFailure, &model)
+        .into_iter()
+        .take(5)
+    {
+        let _ = writeln!(
+            report,
+            "  {:>8.0} problems / cost {:<5.1} {}  -> {}",
+            cb.benefit,
+            cb.cost,
+            ctx.cluster_name(cb.key),
+            vqlens_core::whatif::cost::suggested_remedy(cb.key),
+        );
+    }
+    (report, None)
+}
+
+fn ext_engagement(ctx: &ReproContext) -> Out {
+    use vqlens_core::analysis::engagement::EngagementCurve;
+    let curve = EngagementCurve::measure(&ctx.output.dataset, 0.01);
+    let mut table = Table::new(
+        "Extension — engagement vs buffering ratio, emergent from the abandonment \
+         mechanics (Dobrian et al., the paper's motivation: ~1 percentage point of \
+         buffering costs minutes of viewing)",
+        &["buffering ratio", "sessions", "mean minutes watched"],
+    );
+    for b in curve.buckets.iter().take(12) {
+        table.row(&[
+            format!("{:.0}-{:.0}%", 100.0 * b.buffering_ratio_lo, 100.0 * b.buffering_ratio_hi),
+            b.sessions.to_string(),
+            num(b.mean_play_minutes),
+        ]);
+    }
+    let mut report = table.to_string();
+    let _ = writeln!(
+        report,
+        "\nweighted trend: {:.2} minutes of viewing per +1 percentage point of buffering \
+         (over {} joined sessions)",
+        curve.minutes_per_buffering_point, curve.sessions
+    );
+    (report, Some(to_json(&curve)))
+}
+
+fn ext_churn(ctx: &ReproContext) -> Out {
+    use vqlens_core::analysis::churn::ChurnReport;
+    let mut table = Table::new(
+        "Extension — day-over-day churn of the top-50 critical clusters (what bounds \
+         the paper's proactive strategy: low churn means a 'bad apples' list stays \
+         valid; the paper's 61-86% proactive efficiency implies moderate churn)",
+        &["metric", "window", "mean similarity", "mean new fraction"],
+    );
+    let mut all = Vec::new();
+    for m in Metric::ALL {
+        for (name, window) in [("24h", 24u32), ("1 week", 168)] {
+            if ctx.scenario.epochs < 2 * window {
+                continue;
+            }
+            let churn = ChurnReport::compute(ctx.trace.epochs(), m, window, 50);
+            let mean_new = if churn.points.is_empty() {
+                0.0
+            } else {
+                churn.points.iter().map(|p| p.new_fraction).sum::<f64>()
+                    / churn.points.len() as f64
+            };
+            table.row(&[
+                m.to_string(),
+                name.into(),
+                num(churn.mean_similarity().unwrap_or(0.0)),
+                num(mean_new),
+            ]);
+            all.push(churn);
+        }
+    }
+    (table.to_string(), Some(to_json(&all)))
+}

@@ -1,0 +1,23 @@
+//! # vqlens-bench
+//!
+//! The reproduction harness: one function per table and figure of the
+//! paper's evaluation, all operating on a shared [`ReproContext`] (one
+//! generated trace + its analysis), plus the Criterion micro-benchmarks in
+//! `benches/`.
+//!
+//! The `repro` binary drives these functions:
+//!
+//! ```text
+//! cargo run --release -p vqlens-bench --bin repro -- all
+//! cargo run --release -p vqlens-bench --bin repro -- fig11 --scenario smoke
+//! cargo run --release -p vqlens-bench --bin repro -- t1 --json-dir out/
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+
+pub use context::ReproContext;
+pub use experiments::{run_experiment, Experiment};

@@ -1,0 +1,58 @@
+//! Every experiment must run to completion (and produce JSON where it
+//! promises to) on a tiny context — the guard that keeps `repro all` alive
+//! as the library evolves.
+
+use vqlens_bench::{run_experiment, Experiment, ReproContext};
+use vqlens_core::prelude::Scenario;
+
+fn tiny_context() -> ReproContext {
+    let mut scenario = Scenario::smoke();
+    scenario.epochs = 6;
+    scenario.arrivals.sessions_per_epoch = 600.0;
+    scenario.n_events = 8;
+    ReproContext::build(scenario)
+}
+
+#[test]
+fn every_experiment_runs_and_reports() {
+    let ctx = tiny_context();
+    let dir = std::env::temp_dir().join(format!("vqlens-repro-test-{}", std::process::id()));
+    for exp in Experiment::ALL {
+        let report = run_experiment(&ctx, exp, Some(&dir));
+        assert!(
+            !report.trim().is_empty(),
+            "experiment {} produced an empty report",
+            exp.id()
+        );
+        // Reports are self-describing: they carry the paper reference.
+        assert!(
+            report.contains("paper")
+                || report.contains("Ablation")
+                || report.contains("Extension"),
+            "experiment {} lacks context: {report}",
+            exp.id()
+        );
+    }
+    // At least the figure experiments must have dumped data series.
+    for id in ["fig1", "fig2", "fig7", "fig8", "fig9", "fig11", "fig13", "t1"] {
+        let path = dir.join(format!("{id}.json"));
+        assert!(path.exists(), "missing JSON dump for {id}");
+        let contents = std::fs::read_to_string(&path).expect("readable JSON");
+        assert!(serde_json::from_str::<serde_json::Value>(&contents).is_ok());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiment_ids_roundtrip() {
+    for exp in Experiment::ALL {
+        assert_eq!(Experiment::parse(exp.id()), Some(exp), "{}", exp.id());
+        assert_eq!(
+            Experiment::parse(&exp.id().to_uppercase()),
+            Some(exp),
+            "ids parse case-insensitively"
+        );
+    }
+    assert_eq!(Experiment::parse("nope"), None);
+    assert_eq!(Experiment::parse("table1"), Some(Experiment::T1));
+}

@@ -1,0 +1,111 @@
+//! Convenience wrapper: the full per-epoch analysis for all four metrics.
+//!
+//! [`EpochAnalysis::compute`] builds the cube once, derives per-metric
+//! problem and critical cluster sets, and drops the cube — the cube is by
+//! far the largest intermediate, so downstream code (prevalence,
+//! persistence, what-if) works from these compact summaries.
+
+use crate::critical::{CriticalParams, CriticalSet};
+use crate::cube::EpochCube;
+use crate::problem::{ProblemSet, SignificanceParams};
+use serde::{Deserialize, Serialize};
+use vqlens_model::dataset::EpochData;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::{Metric, Thresholds};
+
+/// Per-metric result of one epoch's analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricAnalysis {
+    /// The problem clusters (§3.1).
+    pub problems: ProblemSet,
+    /// The critical clusters and attribution (§3.2).
+    pub critical: CriticalSet,
+}
+
+/// Full analysis of one epoch: all four metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochAnalysis {
+    /// The analyzed epoch.
+    pub epoch: EpochId,
+    /// Total sessions in the epoch.
+    pub total_sessions: u64,
+    /// Per-metric analyses, indexed by [`Metric::index`].
+    pub metrics: [MetricAnalysis; 4],
+}
+
+impl EpochAnalysis {
+    /// Analyze one epoch end to end.
+    pub fn compute(
+        epoch: EpochId,
+        data: &EpochData,
+        thresholds: &Thresholds,
+        sig: &SignificanceParams,
+        critical_params: &CriticalParams,
+    ) -> EpochAnalysis {
+        let mut cube = EpochCube::build(epoch, data, thresholds);
+        cube.prune(sig.min_sessions);
+        let metrics = Metric::ALL.map(|m| {
+            let problems = ProblemSet::identify(&cube, m, sig);
+            let critical = CriticalSet::identify(&cube, &problems, sig, critical_params);
+            MetricAnalysis { problems, critical }
+        });
+        EpochAnalysis {
+            epoch,
+            total_sessions: cube.root.sessions,
+            metrics,
+        }
+    }
+
+    /// The analysis for one metric.
+    pub fn metric(&self, metric: Metric) -> &MetricAnalysis {
+        &self.metrics[metric.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::attr::SessionAttrs;
+    use vqlens_model::metric::QualityMeasurement;
+
+    #[test]
+    fn computes_all_metrics() {
+        let mut d = EpochData::default();
+        let bad = SessionAttrs::new([1, 1, 1, 0, 0, 0, 0]);
+        let ok = SessionAttrs::new([2, 2, 2, 0, 0, 0, 0]);
+        for i in 0..1000u32 {
+            d.push(
+                bad,
+                if i % 2 == 0 {
+                    QualityMeasurement::failed()
+                } else {
+                    QualityMeasurement::joined(20_000, 60.0, 30.0, 300.0)
+                },
+            );
+            d.push(ok, QualityMeasurement::joined(400, 300.0, 0.0, 2800.0));
+        }
+        let sig = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 100,
+            min_problem_sessions: 5,
+        };
+        let a = EpochAnalysis::compute(
+            EpochId(7),
+            &d,
+            &Thresholds::default(),
+            &sig,
+            &CriticalParams::default(),
+        );
+        assert_eq!(a.epoch, EpochId(7));
+        assert_eq!(a.total_sessions, 2000);
+        for m in Metric::ALL {
+            let ma = a.metric(m);
+            assert_eq!(ma.problems.metric, m);
+            assert!(
+                !ma.problems.is_empty(),
+                "metric {m} should flag the bad cluster"
+            );
+            assert!(!ma.critical.is_empty());
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! Critical-cluster identification: the paper's phase-transition algorithm
+//! (§3.2) plus attribution of problem sessions to critical clusters.
+//!
+//! # The phase-transition criterion
+//!
+//! A *critical cluster* is a minimal attribute combination that explains the
+//! problem clusters around it. Operationally (matching the paper's Figures 4
+//! and 5), a problem cluster `C` is critical iff:
+//!
+//! 1. **Descendant condition** — every *significant* DAG descendant of `C`
+//!    (holding at least `min_sessions` sessions) is itself a problem
+//!    cluster: adding attributes to `C` keeps the problem ratio high.
+//!    Insignificant descendants are ignored as statistical noise; a
+//!    configurable tolerance ([`CriticalParams::max_bad_descendant_fraction`])
+//!    additionally absorbs noisy exceptions in large traces (the paper's
+//!    "first subtle concern" about noisy data).
+//! 2. **Removal condition** — subtracting `C`'s sessions from any strict
+//!    ancestor `A` leaves `A` a non-problem cluster: `C` accounts for its
+//!    ancestors' elevated problem ratios. (Ancestors outside the problem
+//!    set pass this automatically: `C`'s ratio is at least `1.5×` global,
+//!    so removing it can only lower an already sub-threshold ancestor.)
+//! 3. **Minimality** — no other critical cluster generalizes `C`
+//!    ("closest to the root" along every path).
+//!
+//! # Attribution
+//!
+//! Each problem session's fully-specified leaf is attributed to the critical
+//! clusters that contain it. When several incomparable critical clusters
+//! contain the same leaf — the paper's "two potential phase transitions"
+//! corner case — the attribution is split equally among them.
+
+use crate::cube::{ClusterCounts, EpochCube};
+use crate::problem::{ProblemSet, SignificanceParams};
+use serde::{Deserialize, Serialize};
+use vqlens_model::attr::{AttrMask, ClusterKey};
+use vqlens_model::metric::Metric;
+use vqlens_stats::{FxHashMap, FxHashSet};
+
+/// The distinct attribute masks occurring among a set of cluster keys —
+/// the pruned enumeration space for ancestor walks (typically a few dozen
+/// masks instead of all 127 subsets).
+fn occurring_masks(keys: impl Iterator<Item = ClusterKey>) -> Vec<AttrMask> {
+    let mut seen = [false; 128];
+    for key in keys {
+        seen[key.mask().0 as usize] = true;
+    }
+    AttrMask::all_nonempty().filter(|m| seen[m.0 as usize]).collect()
+}
+
+/// Knobs for the critical-cluster algorithm, on top of the problem-cluster
+/// significance parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CriticalParams {
+    /// Session-weighted fraction of a candidate's *significant*
+    /// descendants allowed to be non-problem (by the ratio test alone)
+    /// before the descendant condition fails. `0.0` is the strict reading
+    /// of the paper's Figure 5; the default `0.25` absorbs the binomial
+    /// noise of small descendant clusters in scaled-down traces (the
+    /// paper's 1000-session floor made descendants statistically stable;
+    /// ours are far smaller). Weighting by sessions keeps the Figure 4
+    /// semantics: a genuinely healthy sibling branch is large and still
+    /// disqualifies the candidate.
+    pub max_bad_descendant_fraction: f64,
+}
+
+impl Default for CriticalParams {
+    fn default() -> Self {
+        CriticalParams {
+            max_bad_descendant_fraction: 0.25,
+        }
+    }
+}
+
+impl CriticalParams {
+    /// The strict reading of the paper's figures: any significant
+    /// non-problem descendant disqualifies a candidate.
+    pub fn strict() -> CriticalParams {
+        CriticalParams {
+            max_bad_descendant_fraction: 0.0,
+        }
+    }
+}
+
+/// Per-critical-cluster statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CriticalStats {
+    /// Sessions in the cluster itself.
+    pub sessions: u64,
+    /// Problem sessions in the cluster itself (for the metric).
+    pub problems: u64,
+    /// Problem sessions attributed to this cluster (fractional because of
+    /// equal splits across incomparable critical clusters).
+    pub attributed_problems: f64,
+    /// Total sessions of the *problem-bearing* leaves attributed to this
+    /// cluster, with the same split shares — the denominator the fix model
+    /// uses. Leaves of the cluster with zero problem sessions are excluded
+    /// (a fix cannot make them worse), so alleviation estimates lean
+    /// slightly optimistic.
+    pub attributed_sessions: f64,
+}
+
+/// The critical clusters of one epoch for one metric, plus coverage
+/// accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CriticalSet {
+    /// The metric analyzed.
+    pub metric: Metric,
+    /// The epoch's global problem ratio for the metric.
+    pub global_ratio: f64,
+    /// Total sessions in the epoch.
+    pub total_sessions: u64,
+    /// Total problem sessions in the epoch.
+    pub total_problems: u64,
+    /// The critical clusters (a minimal antichain) and their statistics.
+    pub clusters: FxHashMap<ClusterKey, CriticalStats>,
+    /// Problem sessions that belong to at least one problem cluster.
+    pub problems_in_problem_clusters: u64,
+    /// Problem sessions attributed to some critical cluster.
+    pub problems_attributed: f64,
+}
+
+impl CriticalSet {
+    /// Identify critical clusters and attribute problem sessions.
+    pub fn identify(
+        cube: &EpochCube,
+        problems: &ProblemSet,
+        sig: &SignificanceParams,
+        params: &CriticalParams,
+    ) -> CriticalSet {
+        let metric = problems.metric;
+        let global = problems.global_ratio;
+
+        // Only masks that actually occur in the problem set can host
+        // ancestors we care about; enumerating just those (typically a few
+        // dozen) instead of all 107 strict submasks per cluster is the key
+        // performance lever of this pass.
+        let pc_masks = occurring_masks(problems.clusters.keys().copied());
+
+        // Descendant bookkeeping: for every significant cluster D, add D's
+        // session weight to the (total, bad) counters of each of D's strict
+        // ancestors that is a problem cluster. "Bad" means D's problem
+        // ratio alone falls below the significance multiple — the count
+        // floors are deliberately not applied to descendants (they would
+        // mark every small-but-degraded descendant as healthy). The same
+        // underlying sessions are counted once per lattice level they
+        // appear at; that is deliberate and consistent between the total
+        // and bad sums, so the *fraction* the tolerance tests is unbiased.
+        let mut desc_total: FxHashMap<ClusterKey, f64> = FxHashMap::default();
+        let mut desc_bad: FxHashMap<ClusterKey, f64> = FxHashMap::default();
+        for (&key, counts) in &cube.clusters {
+            if counts.sessions < sig.min_sessions {
+                continue;
+            }
+            let mask = key.mask();
+            let healthy = counts.ratio(metric) < sig.ratio_multiplier * global;
+            for &pm in &pc_masks {
+                if pm == mask || !pm.is_subset_of(mask) {
+                    continue;
+                }
+                let anc = key.project_onto(pm);
+                if !problems.contains(anc) {
+                    continue;
+                }
+                let w = counts.sessions as f64;
+                *desc_total.entry(anc).or_default() += w;
+                if healthy {
+                    *desc_bad.entry(anc).or_default() += w;
+                }
+            }
+        }
+
+        // Candidate test: descendant condition + removal condition.
+        let mut candidates: FxHashSet<ClusterKey> = FxHashSet::default();
+        'outer: for (&key, stat) in &problems.clusters {
+            let total = desc_total.get(&key).copied().unwrap_or(0.0);
+            let bad = desc_bad.get(&key).copied().unwrap_or(0.0);
+            if total > 0.0 && bad > params.max_bad_descendant_fraction * total {
+                continue;
+            }
+            let own = ClusterCounts {
+                sessions: stat.sessions,
+                problems: {
+                    let mut p = [0u64; 4];
+                    p[metric.index()] = stat.problems;
+                    p
+                },
+            };
+            let mask = key.mask();
+            for &pm in &pc_masks {
+                if pm == mask || !pm.is_subset_of(mask) {
+                    continue;
+                }
+                let anc = key.project_onto(pm);
+                if !problems.contains(anc) {
+                    continue; // non-problem ancestors auto-pass, see docs
+                }
+                let remaining = cube.counts(anc).minus(&own);
+                if sig.is_problem(&remaining, metric, global) {
+                    continue 'outer; // ancestor not explained by this cluster
+                }
+            }
+            candidates.insert(key);
+        }
+
+        // Minimality: drop candidates generalized by another candidate.
+        // Because candidates all stem from projections, `A` generalizes `C`
+        // iff `A` equals `C` projected onto `A`'s mask.
+        let critical: FxHashSet<ClusterKey> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let mask = c.mask();
+                !mask.nonempty_submasks().any(|sub| {
+                    sub != mask && candidates.contains(&c.project_onto(sub))
+                })
+            })
+            .collect();
+
+        // Attribution over problem leaves.
+        let mut clusters: FxHashMap<ClusterKey, CriticalStats> = critical
+            .iter()
+            .map(|&key| {
+                let stat = problems.clusters[&key];
+                (
+                    key,
+                    CriticalStats {
+                        sessions: stat.sessions,
+                        problems: stat.problems,
+                        attributed_problems: 0.0,
+                        attributed_sessions: 0.0,
+                    },
+                )
+            })
+            .collect();
+
+        // Attribution only needs projections onto masks that occur in the
+        // problem set (for coverage) or among the critical clusters (for
+        // ownership).
+        let critical_masks = occurring_masks(critical.iter().copied());
+
+        let mut problems_in_pc = 0u64;
+        let mut problems_attributed = 0.0f64;
+        let mut owners: Vec<ClusterKey> = Vec::with_capacity(8);
+        for (&leaf, counts) in cube.leaves() {
+            let leaf_problems = counts.problems[metric.index()];
+            if leaf_problems == 0 {
+                continue;
+            }
+            owners.clear();
+            let mut in_pc = false;
+            for &mask in &pc_masks {
+                if problems.contains(leaf.project_onto(mask)) {
+                    in_pc = true;
+                    break;
+                }
+            }
+            for &mask in &critical_masks {
+                let anc = leaf.project_onto(mask);
+                if critical.contains(&anc) {
+                    owners.push(anc);
+                }
+            }
+            if in_pc {
+                problems_in_pc += leaf_problems;
+            }
+            if owners.is_empty() {
+                continue;
+            }
+            let share = 1.0 / owners.len() as f64;
+            for owner in &owners {
+                let stats = clusters.get_mut(owner).expect("owner is critical");
+                stats.attributed_problems += leaf_problems as f64 * share;
+                stats.attributed_sessions += counts.sessions as f64 * share;
+            }
+            problems_attributed += leaf_problems as f64;
+        }
+
+        CriticalSet {
+            metric,
+            global_ratio: global,
+            total_sessions: cube.root.sessions,
+            total_problems: cube.root.problems[metric.index()],
+            clusters,
+            problems_in_problem_clusters: problems_in_pc,
+            problems_attributed,
+        }
+    }
+
+    /// Number of critical clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when no cluster is critical.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Fraction of all problem sessions attributed to critical clusters
+    /// (the paper's Table 1 "critical cluster coverage").
+    pub fn coverage(&self) -> f64 {
+        if self.total_problems == 0 {
+            0.0
+        } else {
+            self.problems_attributed / self.total_problems as f64
+        }
+    }
+
+    /// Fraction of all problem sessions inside at least one problem cluster
+    /// (the paper's Table 1 "problem cluster coverage").
+    pub fn problem_cluster_coverage(&self) -> f64 {
+        if self.total_problems == 0 {
+            0.0
+        } else {
+            self.problems_in_problem_clusters as f64 / self.total_problems as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::attr::{AttrKey, SessionAttrs};
+    use vqlens_model::dataset::EpochData;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_model::metric::{QualityMeasurement, Thresholds};
+
+    const GOOD: QualityMeasurement = QualityMeasurement {
+        join_failed: false,
+        join_time_ms: 500,
+        play_duration_s: 300.0,
+        buffering_s: 0.0,
+        avg_bitrate_kbps: 3000.0,
+    };
+
+    /// Push `n` sessions with the given ASN/CDN/Site, `fail_n` of them
+    /// join failures.
+    fn push(d: &mut EpochData, asn: u32, cdn: u32, site: u32, n: u64, fail_n: u64) {
+        let attrs = SessionAttrs::new([asn, cdn, site, 0, 0, 0, 0]);
+        for i in 0..n {
+            let q = if i < fail_n {
+                QualityMeasurement::failed()
+            } else {
+                GOOD
+            };
+            d.push(attrs, q);
+        }
+    }
+
+    fn run(
+        d: &EpochData,
+        sig: &SignificanceParams,
+        params: &CriticalParams,
+    ) -> (ProblemSet, CriticalSet) {
+        let cube = EpochCube::build(EpochId(0), d, &Thresholds::default());
+        let ps = ProblemSet::identify(&cube, Metric::JoinFailure, sig);
+        let cs = CriticalSet::identify(&cube, &ps, sig, params);
+        (ps, cs)
+    }
+
+    /// The paper's Figure 4 scenario: CDN1 is the underlying cause. Both
+    /// (ASN1, CDN1) and (ASN2, CDN1) are problem clusters, ASN1 and CDN1
+    /// are problem clusters, but the critical cluster should be CDN1 alone:
+    /// ASN1 fails the descendant condition via its healthy (ASN1, CDN2)
+    /// branch.
+    #[test]
+    fn figure4_cdn_is_the_critical_cluster() {
+        let mut d = EpochData::default();
+        // Mirror the figure's ratios; global problem ratio ≈ 0.1.
+        push(&mut d, 1, 1, 0, 1000, 300); // (ASN1,CDN1) ratio 0.3
+        push(&mut d, 1, 2, 0, 1000, 100); // (ASN1,CDN2) ratio 0.1 (healthy)
+        push(&mut d, 2, 1, 0, 1000, 300); // (ASN2,CDN1) ratio 0.3
+        push(&mut d, 2, 2, 0, 7000, 100); // (ASN2,CDN2) large healthy mass
+        let sig = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 500,
+            min_problem_sessions: 5,
+        };
+        let (ps, cs) = run(&d, &sig, &CriticalParams::strict());
+
+        let cdn1 = ClusterKey::of_single(AttrKey::Cdn, 1);
+        let asn1 = ClusterKey::of_single(AttrKey::Asn, 1);
+        assert!(ps.contains(cdn1), "CDN1 is a problem cluster");
+        // (ASN1 ratio 0.2, global 0.08: ASN1 is a problem cluster too.)
+        assert!(ps.contains(asn1), "ASN1 is a problem cluster");
+
+        assert!(cs.clusters.contains_key(&cdn1), "CDN1 must be critical");
+        assert!(
+            !cs.clusters.contains_key(&asn1),
+            "ASN1 must not be critical (healthy CDN2 branch)"
+        );
+        // All problem sessions under CDN1 are attributed to it.
+        let stats = cs.clusters[&cdn1];
+        assert!(stats.attributed_problems > 0.0);
+    }
+
+    /// The paper's Figure 5 scenario: the combination (CDN1, ASN1) is the
+    /// cause. CDN1 alone and ASN1 alone are problem clusters only because of
+    /// their intersection; the critical cluster must be the pair.
+    #[test]
+    fn figure5_combination_is_the_critical_cluster() {
+        let mut d = EpochData::default();
+        push(&mut d, 1, 1, 1, 2000, 1000); // (ASN1,CDN1) ratio 0.5: the cause
+        push(&mut d, 1, 2, 1, 3000, 60); // ASN1 elsewhere healthy (0.02)
+        push(&mut d, 2, 1, 1, 3000, 60); // CDN1 elsewhere healthy (0.02)
+        push(&mut d, 2, 2, 1, 12000, 240); // background (0.02)
+        let sig = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 500,
+            min_problem_sessions: 5,
+        };
+        let (ps, cs) = run(&d, &sig, &CriticalParams::strict());
+
+        let cdn1 = ClusterKey::of_single(AttrKey::Cdn, 1);
+        let asn1 = ClusterKey::of_single(AttrKey::Asn, 1);
+        let pair = SessionAttrs::new([1, 1, 1, 0, 0, 0, 0])
+            .project(AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]));
+        // Sanity: the singles are problem clusters before removal
+        // (ASN1: 1060/5000 = 0.212 ≥ 1.5 × global≈0.068 = 0.102).
+        assert!(ps.contains(cdn1));
+        assert!(ps.contains(asn1));
+        assert!(ps.contains(pair));
+
+        assert!(
+            cs.clusters.contains_key(&pair),
+            "the (ASN1, CDN1) pair must be critical; got {:?}",
+            cs.clusters.keys().map(|k| k.to_string()).collect::<Vec<_>>()
+        );
+        assert!(!cs.clusters.contains_key(&cdn1));
+        assert!(!cs.clusters.contains_key(&asn1));
+    }
+
+    /// Two incomparable causes over the same leaves split attribution
+    /// equally (the paper's "two potential phase transitions" corner case:
+    /// e.g., a site that uses a single CDN).
+    #[test]
+    fn correlated_attributes_split_attribution() {
+        let mut d = EpochData::default();
+        // Site 5 only uses CDN 3 and vice versa; both fully overlap.
+        let attrs = SessionAttrs::new([1, 3, 5, 0, 0, 0, 0]);
+        for i in 0..2000u64 {
+            let q = if i < 1000 {
+                QualityMeasurement::failed()
+            } else {
+                GOOD
+            };
+            d.push(attrs, q);
+        }
+        // Background mass with distinct CDN/site.
+        push(&mut d, 2, 0, 0, 18_000, 180);
+        let sig = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 500,
+            min_problem_sessions: 5,
+        };
+        let (_, cs) = run(&d, &sig, &CriticalParams::strict());
+
+        // ASN=1, CDN=3, Site=5 (and their combinations) all perfectly
+        // overlap; the minimal critical clusters are the three singles.
+        let singles = [
+            ClusterKey::of_single(AttrKey::Asn, 1),
+            ClusterKey::of_single(AttrKey::Cdn, 3),
+            ClusterKey::of_single(AttrKey::Site, 5),
+        ];
+        for s in singles {
+            assert!(
+                cs.clusters.contains_key(&s),
+                "{s} should be critical; got {:?}",
+                cs.clusters.keys().map(|k| k.to_string()).collect::<Vec<_>>()
+            );
+        }
+        // Attribution of the 1000 problem sessions splits equally across
+        // the overlapping critical clusters that contain the leaf.
+        let total_attr: f64 = cs
+            .clusters
+            .values()
+            .map(|s| s.attributed_problems)
+            .sum();
+        assert!((total_attr - cs.problems_attributed).abs() < 1e-9);
+        let a = cs.clusters[&singles[0]].attributed_problems;
+        let b = cs.clusters[&singles[1]].attributed_problems;
+        assert!((a - b).abs() < 1e-9, "equal split expected: {a} vs {b}");
+    }
+
+    #[test]
+    fn attribution_conserves_problem_sessions() {
+        let mut d = EpochData::default();
+        push(&mut d, 1, 1, 0, 1500, 700);
+        push(&mut d, 2, 1, 0, 1500, 700);
+        push(&mut d, 3, 2, 1, 1200, 500);
+        push(&mut d, 4, 0, 2, 10_000, 100);
+        let sig = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 500,
+            min_problem_sessions: 5,
+        };
+        let (_, cs) = run(&d, &sig, &CriticalParams::default());
+        let sum: f64 = cs.clusters.values().map(|s| s.attributed_problems).sum();
+        assert!((sum - cs.problems_attributed).abs() < 1e-9);
+        assert!(cs.problems_attributed <= cs.total_problems as f64 + 1e-9);
+        assert!(cs.problems_attributed <= cs.problems_in_problem_clusters as f64 + 1e-9);
+        assert!(cs.coverage() > 0.5, "most problems are plantable here");
+        assert!(cs.problem_cluster_coverage() >= cs.coverage() - 1e-12);
+    }
+
+    #[test]
+    fn critical_set_is_an_antichain() {
+        let mut d = EpochData::default();
+        push(&mut d, 1, 1, 1, 2000, 900);
+        push(&mut d, 1, 1, 2, 2000, 900);
+        push(&mut d, 2, 2, 0, 16_000, 160);
+        let sig = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 500,
+            min_problem_sessions: 5,
+        };
+        let (_, cs) = run(&d, &sig, &CriticalParams::default());
+        let keys: Vec<ClusterKey> = cs.clusters.keys().copied().collect();
+        for &a in &keys {
+            for &b in &keys {
+                if a != b {
+                    assert!(
+                        !a.generalizes(b),
+                        "{a} generalizes {b}: not an antichain"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_epoch_yields_empty_critical_set() {
+        let d = EpochData::default();
+        let sig = SignificanceParams::default();
+        let (ps, cs) = run(&d, &sig, &CriticalParams::default());
+        assert!(ps.is_empty());
+        assert!(cs.is_empty());
+        assert_eq!(cs.coverage(), 0.0);
+        assert_eq!(cs.problem_cluster_coverage(), 0.0);
+    }
+}

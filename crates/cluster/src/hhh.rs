@@ -1,0 +1,224 @@
+//! Hierarchical heavy hitters (HHH) baseline.
+//!
+//! The paper's related work (§7) contrasts critical clusters with HHH
+//! detection (Zhang et al., IMC'04): HHH finds clusters whose *discounted*
+//! problem volume — the volume not already claimed by more specific HHH
+//! descendants — exceeds a fraction φ of the total. The key difference
+//! noted in the paper is that HHH is a volume-counting technique and does
+//! not attribute problems to one specific cause, nor does it consider
+//! problem *ratios* relative to a baseline.
+//!
+//! This implementation exists as the comparison baseline for the ablation
+//! benchmark (`repro abl-hhh`): it runs over the same cube and reports how
+//! many clusters it needs to cover the same problem mass.
+
+use crate::cube::EpochCube;
+use serde::{Deserialize, Serialize};
+use vqlens_model::attr::{AttrMask, ClusterKey};
+use vqlens_model::metric::Metric;
+use vqlens_stats::FxHashMap;
+
+/// HHH parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HhhParams {
+    /// A cluster is a heavy hitter when its discounted problem volume is at
+    /// least `phi` times the total problem volume.
+    pub phi: f64,
+}
+
+impl Default for HhhParams {
+    fn default() -> Self {
+        HhhParams { phi: 0.01 }
+    }
+}
+
+/// One detected hierarchical heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HhhCluster {
+    /// The cluster.
+    pub key: ClusterKey,
+    /// Discounted problem volume claimed by this cluster.
+    pub discounted: u64,
+}
+
+/// The hierarchical heavy hitters of one epoch for one metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HhhSet {
+    /// The metric analyzed.
+    pub metric: Metric,
+    /// Total problem sessions in the epoch.
+    pub total_problems: u64,
+    /// Detected heavy hitters, most specific levels first.
+    pub clusters: Vec<HhhCluster>,
+}
+
+impl HhhSet {
+    /// Detect hierarchical heavy hitters bottom-up.
+    ///
+    /// Levels are processed from the most specific (7 attributes) to the
+    /// least; once a leaf's problem volume is claimed by a heavy hitter it
+    /// is discounted from all higher levels, following the classic HHH
+    /// formulation.
+    pub fn identify(cube: &EpochCube, metric: Metric, params: &HhhParams) -> HhhSet {
+        let total_problems = cube.root.problems[metric.index()];
+        let threshold = (params.phi * total_problems as f64).max(1.0);
+
+        // Remaining (unclaimed) problem volume per leaf.
+        let mut remaining: Vec<(ClusterKey, u64)> = cube
+            .leaves()
+            .filter_map(|(k, c)| {
+                let p = c.problems[metric.index()];
+                (p > 0).then_some((*k, p))
+            })
+            .collect();
+        // Deterministic order for reproducible claiming.
+        remaining.sort_by_key(|(k, _)| k.0);
+
+        // Masks grouped by level (number of constrained attributes).
+        let mut masks_by_level: [Vec<AttrMask>; 8] = Default::default();
+        for mask in AttrMask::all_nonempty() {
+            masks_by_level[mask.len() as usize].push(mask);
+        }
+
+        let mut clusters = Vec::new();
+        for level in (1..=7usize).rev() {
+            let masks = &masks_by_level[level];
+            // Aggregate unclaimed volume at this level.
+            let mut counts: FxHashMap<ClusterKey, u64> = FxHashMap::default();
+            for &(leaf, vol) in &remaining {
+                if vol == 0 {
+                    continue;
+                }
+                for &mask in masks {
+                    *counts.entry(leaf.project_onto(mask)).or_default() += vol;
+                }
+            }
+            // Heavy hitters of this level, deterministically ordered.
+            let mut hitters: Vec<(ClusterKey, u64)> = counts
+                .into_iter()
+                .filter(|(_, v)| *v as f64 >= threshold)
+                .collect();
+            hitters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+            if hitters.is_empty() {
+                continue;
+            }
+            // Claim: each leaf's remaining volume goes to the first heavy
+            // hitter (in the sorted order) that contains it.
+            let mut claimed: FxHashMap<ClusterKey, u64> = FxHashMap::default();
+            for (leaf, vol) in &mut remaining {
+                if *vol == 0 {
+                    continue;
+                }
+                for (hk, _) in &hitters {
+                    if hk.generalizes(*leaf) {
+                        *claimed.entry(*hk).or_default() += *vol;
+                        *vol = 0;
+                        break;
+                    }
+                }
+            }
+            for (hk, _) in hitters {
+                // Report actually-claimed volume (a hitter may claim less
+                // than its nominal count when it overlaps an earlier one).
+                let discounted = claimed.get(&hk).copied().unwrap_or(0);
+                if discounted > 0 {
+                    clusters.push(HhhCluster {
+                        key: hk,
+                        discounted,
+                    });
+                }
+            }
+        }
+
+        HhhSet {
+            metric,
+            total_problems,
+            clusters,
+        }
+    }
+
+    /// Fraction of problem sessions claimed by heavy hitters.
+    pub fn coverage(&self) -> f64 {
+        if self.total_problems == 0 {
+            return 0.0;
+        }
+        let claimed: u64 = self.clusters.iter().map(|c| c.discounted).sum();
+        claimed as f64 / self.total_problems as f64
+    }
+
+    /// Number of detected heavy hitters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when nothing was detected.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::attr::SessionAttrs;
+    use vqlens_model::dataset::EpochData;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_model::metric::{QualityMeasurement, Thresholds};
+
+    const GOOD: QualityMeasurement = QualityMeasurement {
+        join_failed: false,
+        join_time_ms: 500,
+        play_duration_s: 300.0,
+        buffering_s: 0.0,
+        avg_bitrate_kbps: 3000.0,
+    };
+
+    fn push(d: &mut EpochData, asn: u32, cdn: u32, n: u64, fail: u64) {
+        let attrs = SessionAttrs::new([asn, cdn, 0, 0, 0, 0, 0]);
+        for i in 0..n {
+            let q = if i < fail {
+                QualityMeasurement::failed()
+            } else {
+                GOOD
+            };
+            d.push(attrs, q);
+        }
+    }
+
+    #[test]
+    fn detects_heavy_hitter_and_discounts() {
+        let mut d = EpochData::default();
+        push(&mut d, 1, 1, 1000, 600); // dominant failure mass
+        push(&mut d, 2, 2, 1000, 30); // scattered
+        push(&mut d, 3, 3, 1000, 30);
+        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let hhh = HhhSet::identify(&cube, Metric::JoinFailure, &HhhParams { phi: 0.2 });
+        assert!(!hhh.is_empty());
+        // The (ASN=1, CDN=1, ...) leaf mass must be claimed exactly once.
+        let total_claimed: u64 = hhh.clusters.iter().map(|c| c.discounted).sum();
+        assert!(total_claimed <= hhh.total_problems);
+        assert!(hhh.coverage() > 0.8, "coverage {}", hhh.coverage());
+        // The most specific hitter claims first: it has 7 attributes.
+        assert_eq!(hhh.clusters[0].key.mask().len(), 7);
+    }
+
+    #[test]
+    fn no_problems_no_hitters() {
+        let mut d = EpochData::default();
+        push(&mut d, 1, 1, 100, 0);
+        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let hhh = HhhSet::identify(&cube, Metric::JoinFailure, &HhhParams::default());
+        assert!(hhh.is_empty());
+        assert_eq!(hhh.coverage(), 0.0);
+    }
+
+    #[test]
+    fn coverage_bounded_by_one() {
+        let mut d = EpochData::default();
+        push(&mut d, 1, 1, 500, 500);
+        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let hhh = HhhSet::identify(&cube, Metric::JoinFailure, &HhhParams { phi: 0.001 });
+        assert!(hhh.coverage() <= 1.0 + 1e-12);
+        assert!(hhh.coverage() > 0.99);
+    }
+}

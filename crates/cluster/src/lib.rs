@@ -1,0 +1,36 @@
+//! # vqlens-cluster
+//!
+//! The paper's core methodology (§3): grouping sessions into clusters over
+//! the attribute lattice, flagging statistically significant *problem
+//! clusters*, and distilling them into *critical clusters* via the
+//! phase-transition criterion.
+//!
+//! * [`cube`] — per-epoch aggregation of session counts and per-metric
+//!   problem counts for **every** attribute-subset projection (the 127-way
+//!   data cube), the computational substrate for everything else.
+//! * [`problem`] — significance rules: a cluster is a problem cluster when
+//!   its problem ratio is ≥ 1.5× the epoch's global ratio *and* it holds
+//!   enough sessions (§3.1).
+//! * [`critical`] — the phase-transition algorithm identifying minimal
+//!   attribute combinations that explain their ancestors' problem status,
+//!   plus attribution of problem sessions to critical clusters (§3.2).
+//! * [`hhh`] — a hierarchical-heavy-hitter baseline (Zhang et al., IMC'04),
+//!   the closest prior technique the paper compares against conceptually
+//!   (§7), used by the ablation benchmarks.
+//! * [`analyze`] — a convenience wrapper computing the full per-epoch
+//!   analysis for all four metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod critical;
+pub mod cube;
+pub mod hhh;
+pub mod problem;
+
+pub use analyze::{EpochAnalysis, MetricAnalysis};
+pub use critical::{CriticalSet, CriticalStats};
+pub use cube::{ClusterCounts, EpochCube};
+pub use hhh::{HhhParams, HhhSet};
+pub use problem::{ClusterStat, ProblemSet, SignificanceParams};

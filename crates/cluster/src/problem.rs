@@ -1,0 +1,241 @@
+//! Problem-cluster identification (paper §3.1).
+//!
+//! A cluster is a *problem cluster* for a metric in an epoch when
+//!
+//! 1. its problem ratio is at least `ratio_multiplier` (1.5) times the
+//!    epoch's global problem ratio — roughly two standard deviations above
+//!    the mean of the per-cluster ratio distribution (paper footnote 4), and
+//! 2. it holds at least `min_sessions` sessions (1000 in the paper at
+//!    ~900 K sessions/hour; scale proportionally for smaller traces).
+//!
+//! Both knobs live in [`SignificanceParams`].
+
+use crate::cube::{ClusterCounts, EpochCube};
+use serde::{Deserialize, Serialize};
+use vqlens_model::attr::ClusterKey;
+use vqlens_model::metric::Metric;
+use vqlens_stats::FxHashMap;
+
+/// Statistical-significance knobs for problem clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignificanceParams {
+    /// Problem-ratio multiplier over the global ratio (paper: 1.5).
+    pub ratio_multiplier: f64,
+    /// Minimum sessions for a cluster to be significant (paper: 1000).
+    pub min_sessions: u64,
+    /// Minimum problem sessions for significance. At the paper's scale
+    /// this is implied (1000 sessions at 1.5× a ≥3 % global ratio is ≥45
+    /// problems); at scaled-down traffic an explicit floor is needed to
+    /// keep one-bad-session-in-a-dozen noise out of the problem set.
+    pub min_problem_sessions: u64,
+}
+
+impl Default for SignificanceParams {
+    fn default() -> Self {
+        SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 1000,
+            min_problem_sessions: 5,
+        }
+    }
+}
+
+impl SignificanceParams {
+    /// Paper defaults scaled to a trace with `sessions_per_epoch` sessions
+    /// per hour (the paper had ~900 K/hour with a floor of 1000 sessions).
+    pub fn scaled_to(sessions_per_epoch: u64) -> SignificanceParams {
+        let min_sessions = ((sessions_per_epoch as f64) * (1000.0 / 900_000.0))
+            .round()
+            .max(10.0) as u64;
+        SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions,
+            min_problem_sessions: 5,
+        }
+    }
+
+    /// The significance test on raw counts.
+    #[inline]
+    pub fn is_problem(&self, counts: &ClusterCounts, metric: Metric, global_ratio: f64) -> bool {
+        if counts.sessions < self.min_sessions {
+            return false;
+        }
+        let problems = counts.problems[metric.index()];
+        if problems < self.min_problem_sessions.max(1) {
+            return false;
+        }
+        counts.ratio(metric) >= self.ratio_multiplier * global_ratio
+    }
+}
+
+/// Per-cluster counts retained for a problem cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterStat {
+    /// Sessions in the cluster.
+    pub sessions: u64,
+    /// Problem sessions (for the metric this set was computed for).
+    pub problems: u64,
+}
+
+impl ClusterStat {
+    /// Problem ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.problems as f64 / self.sessions as f64
+        }
+    }
+}
+
+/// The set of problem clusters of one epoch for one metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProblemSet {
+    /// The metric this set was computed for.
+    pub metric: Metric,
+    /// The epoch's global problem ratio for the metric.
+    pub global_ratio: f64,
+    /// Problem clusters and their counts.
+    pub clusters: FxHashMap<ClusterKey, ClusterStat>,
+}
+
+impl ProblemSet {
+    /// Identify the problem clusters of `cube` for `metric`.
+    pub fn identify(cube: &EpochCube, metric: Metric, params: &SignificanceParams) -> ProblemSet {
+        let global_ratio = cube.global_ratio(metric);
+        let clusters = cube
+            .clusters
+            .iter()
+            .filter(|(_, counts)| params.is_problem(counts, metric, global_ratio))
+            .map(|(key, counts)| {
+                (
+                    *key,
+                    ClusterStat {
+                        sessions: counts.sessions,
+                        problems: counts.problems[metric.index()],
+                    },
+                )
+            })
+            .collect();
+        ProblemSet {
+            metric,
+            global_ratio,
+            clusters,
+        }
+    }
+
+    /// Is `key` a problem cluster?
+    #[inline]
+    pub fn contains(&self, key: ClusterKey) -> bool {
+        self.clusters.contains_key(&key)
+    }
+
+    /// Number of problem clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when no cluster qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::attr::{AttrKey, SessionAttrs};
+    use vqlens_model::dataset::EpochData;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_model::metric::{QualityMeasurement, Thresholds};
+
+    const GOOD: QualityMeasurement = QualityMeasurement {
+        join_failed: false,
+        join_time_ms: 500,
+        play_duration_s: 300.0,
+        buffering_s: 0.0,
+        avg_bitrate_kbps: 3000.0,
+    };
+
+    /// Build an epoch where ASN=1 has a 50% failure rate (100 sessions) and
+    /// ASN=0 is clean (900 sessions): global ratio = 0.05.
+    fn skewed_epoch() -> EpochData {
+        let mut d = EpochData::default();
+        for i in 0..900 {
+            let _ = i;
+            d.push(SessionAttrs::new([0, 0, 0, 0, 0, 0, 0]), GOOD);
+        }
+        for i in 0..100 {
+            let q = if i % 2 == 0 {
+                QualityMeasurement::failed()
+            } else {
+                GOOD
+            };
+            d.push(SessionAttrs::new([1, 0, 0, 0, 0, 0, 0]), q);
+        }
+        d
+    }
+
+    #[test]
+    fn identifies_skewed_cluster() {
+        let cube = EpochCube::build(EpochId(0), &skewed_epoch(), &Thresholds::default());
+        let params = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 50,
+            min_problem_sessions: 5,
+        };
+        let ps = ProblemSet::identify(&cube, Metric::JoinFailure, &params);
+        assert!((ps.global_ratio - 0.05).abs() < 1e-12);
+        let asn1 = ClusterKey::of_single(AttrKey::Asn, 1);
+        assert!(ps.contains(asn1), "ASN=1 at 50% should be a problem cluster");
+        let stat = ps.clusters[&asn1];
+        assert_eq!(stat.sessions, 100);
+        assert_eq!(stat.problems, 50);
+        assert!((stat.ratio() - 0.5).abs() < 1e-12);
+        // The clean ASN must not appear.
+        assert!(!ps.contains(ClusterKey::of_single(AttrKey::Asn, 0)));
+    }
+
+    #[test]
+    fn min_sessions_suppresses_small_clusters() {
+        let cube = EpochCube::build(EpochId(0), &skewed_epoch(), &Thresholds::default());
+        let params = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 1000,
+            min_problem_sessions: 5,
+        };
+        let ps = ProblemSet::identify(&cube, Metric::JoinFailure, &params);
+        // ASN=1 has only 100 sessions < 1000.
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn zero_problem_clusters_never_qualify() {
+        let mut d = EpochData::default();
+        for _ in 0..100 {
+            d.push(SessionAttrs::new([0, 0, 0, 0, 0, 0, 0]), GOOD);
+        }
+        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let params = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 10,
+            min_problem_sessions: 5,
+        };
+        for m in Metric::ALL {
+            // Global ratio 0 => multiplier test trivially passes, but a
+            // cluster with zero problem sessions must never qualify.
+            assert!(ProblemSet::identify(&cube, m, &params).is_empty());
+        }
+    }
+
+    #[test]
+    fn scaled_params_track_paper_proportion() {
+        let p = SignificanceParams::scaled_to(900_000);
+        assert_eq!(p.min_sessions, 1000);
+        let p = SignificanceParams::scaled_to(9_000);
+        assert_eq!(p.min_sessions, 10);
+        // Floor kicks in for tiny traces.
+        let p = SignificanceParams::scaled_to(100);
+        assert_eq!(p.min_sessions, 10);
+    }
+}

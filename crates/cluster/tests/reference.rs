@@ -1,0 +1,246 @@
+//! Cross-validation of the optimized critical-cluster implementation
+//! against a naive reference that follows the module documentation
+//! literally — no packed-key projections, no mask-level pruning, just
+//! `generalizes` checks over every cluster pair.
+
+use proptest::prelude::*;
+use vqlens_cluster::critical::{CriticalParams, CriticalSet};
+use vqlens_cluster::cube::{ClusterCounts, EpochCube};
+use vqlens_cluster::problem::{ProblemSet, SignificanceParams};
+use vqlens_model::attr::{AttrMask, ClusterKey, SessionAttrs};
+use vqlens_model::dataset::EpochData;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};
+use std::collections::{HashMap, HashSet};
+
+/// Naive reference: identify critical clusters and attribute problem
+/// sessions, quadratically.
+fn reference_critical(
+    cube: &EpochCube,
+    problems: &ProblemSet,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    metric: Metric,
+) -> (HashSet<ClusterKey>, HashMap<ClusterKey, f64>) {
+    let global = problems.global_ratio;
+    let all: Vec<(ClusterKey, ClusterCounts)> =
+        cube.clusters.iter().map(|(k, c)| (*k, *c)).collect();
+
+    // Candidate test, literally per the docs.
+    let mut candidates: HashSet<ClusterKey> = HashSet::new();
+    'outer: for (&c, stat) in &problems.clusters {
+        // Descendant condition: session-weighted bad fraction over
+        // significant strict descendants.
+        let mut total = 0.0f64;
+        let mut bad = 0.0f64;
+        for (d, counts) in &all {
+            if *d == c || !c.generalizes(*d) || counts.sessions < sig.min_sessions {
+                continue;
+            }
+            total += counts.sessions as f64;
+            if counts.ratio(metric) < sig.ratio_multiplier * global {
+                bad += counts.sessions as f64;
+            }
+        }
+        if total > 0.0 && bad > params.max_bad_descendant_fraction * total {
+            continue;
+        }
+        // Removal condition over every strict ancestor in the problem set.
+        let own = ClusterCounts {
+            sessions: stat.sessions,
+            problems: {
+                let mut p = [0u64; 4];
+                p[metric.index()] = stat.problems;
+                p
+            },
+        };
+        for (&a, _) in &problems.clusters {
+            if a == c || !a.generalizes(c) {
+                continue;
+            }
+            let remaining = cube.counts(a).minus(&own);
+            if sig.is_problem(&remaining, metric, global) {
+                continue 'outer;
+            }
+        }
+        candidates.insert(c);
+    }
+
+    // Minimal antichain.
+    let critical: HashSet<ClusterKey> = candidates
+        .iter()
+        .copied()
+        .filter(|c| {
+            !candidates
+                .iter()
+                .any(|a| a != c && a.generalizes(*c))
+        })
+        .collect();
+
+    // Attribution: equal split over critical clusters containing each leaf.
+    let mut attributed: HashMap<ClusterKey, f64> =
+        critical.iter().map(|k| (*k, 0.0)).collect();
+    for (leaf, counts) in cube.leaves() {
+        let p = counts.problems[metric.index()];
+        if p == 0 {
+            continue;
+        }
+        let owners: Vec<ClusterKey> = critical
+            .iter()
+            .copied()
+            .filter(|c| c.generalizes(*leaf))
+            .collect();
+        if owners.is_empty() {
+            continue;
+        }
+        let share = p as f64 / owners.len() as f64;
+        for o in owners {
+            *attributed.get_mut(&o).expect("owner present") += share;
+        }
+    }
+    (critical, attributed)
+}
+
+fn arb_epoch() -> impl Strategy<Value = EpochData> {
+    // Small cardinalities + coarse failure probabilities so problem
+    // clusters of various arities actually form.
+    prop::collection::vec(
+        (
+            0u32..4,  // asn
+            0u32..3,  // cdn
+            0u32..3,  // site
+            0u32..2,  // vod/live
+            any::<bool>(),
+        ),
+        50..400,
+    )
+    .prop_map(|rows| {
+        let mut d = EpochData::default();
+        for (asn, cdn, site, live, fail_bias) in rows {
+            let attrs = SessionAttrs::new([asn, cdn, site, live, 0, 0, 0]);
+            // Deterministic pseudo-random failure pattern correlated with
+            // (asn, cdn) so some combinations become problem clusters.
+            let fails = (asn == 1 && cdn == 1) || (site == 2 && fail_bias);
+            let q = if fails {
+                QualityMeasurement::failed()
+            } else {
+                QualityMeasurement::joined(500, 300.0, 0.0, 2_800.0)
+            };
+            d.push(attrs, q);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimized_matches_reference(data in arb_epoch()) {
+        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let sig = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 8,
+            min_problem_sessions: 2,
+        };
+        for params in [CriticalParams::strict(), CriticalParams::default()] {
+            let ps = ProblemSet::identify(&cube, Metric::JoinFailure, &sig);
+            let cs = CriticalSet::identify(&cube, &ps, &sig, &params);
+            let (ref_critical, ref_attr) =
+                reference_critical(&cube, &ps, &sig, &params, Metric::JoinFailure);
+
+            let fast: HashSet<ClusterKey> = cs.clusters.keys().copied().collect();
+            prop_assert_eq!(
+                &fast, &ref_critical,
+                "critical sets diverge (params {:?})", params
+            );
+            for (key, stats) in &cs.clusters {
+                let reference = ref_attr.get(key).copied().unwrap_or(0.0);
+                prop_assert!(
+                    (stats.attributed_problems - reference).abs() < 1e-6,
+                    "attribution diverges for {key}: {} vs {reference}",
+                    stats.attributed_problems
+                );
+            }
+        }
+    }
+
+    /// The pruned cube yields exactly the same problem and critical
+    /// clusters as the unpruned cube.
+    #[test]
+    fn pruning_is_transparent(data in arb_epoch()) {
+        let sig = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 8,
+            min_problem_sessions: 2,
+        };
+        let full = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let mut pruned = full.clone();
+        pruned.prune(sig.min_sessions);
+        for m in Metric::ALL {
+            let ps_full = ProblemSet::identify(&full, m, &sig);
+            let ps_pruned = ProblemSet::identify(&pruned, m, &sig);
+            prop_assert_eq!(&ps_full.clusters, &ps_pruned.clusters);
+            let cs_full =
+                CriticalSet::identify(&full, &ps_full, &sig, &CriticalParams::default());
+            let cs_pruned =
+                CriticalSet::identify(&pruned, &ps_pruned, &sig, &CriticalParams::default());
+            let a: HashSet<ClusterKey> = cs_full.clusters.keys().copied().collect();
+            let b: HashSet<ClusterKey> = cs_pruned.clusters.keys().copied().collect();
+            prop_assert_eq!(a, b);
+            prop_assert!(
+                (cs_full.problems_attributed - cs_pruned.problems_attributed).abs() < 1e-9
+            );
+        }
+    }
+
+    /// HHH coverage never exceeds 1 and claimed volume is disjoint.
+    #[test]
+    fn hhh_claims_are_disjoint(data in arb_epoch()) {
+        use vqlens_cluster::hhh::{HhhParams, HhhSet};
+        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let hhh = HhhSet::identify(&cube, Metric::JoinFailure, &HhhParams { phi: 0.05 });
+        let claimed: u64 = hhh.clusters.iter().map(|c| c.discounted).sum();
+        prop_assert!(claimed <= hhh.total_problems);
+        prop_assert!(hhh.coverage() <= 1.0 + 1e-12);
+    }
+}
+
+/// The strict descendant condition must agree with the reference on the
+/// paper's own Figure 4 numbers (deterministic, non-proptest).
+#[test]
+fn figure4_reference_agreement() {
+    let mut d = EpochData::default();
+    let push = |d: &mut EpochData, asn: u32, cdn: u32, n: u64, fail: u64| {
+        let attrs = SessionAttrs::new([asn, cdn, 0, 0, 0, 0, 0]);
+        for i in 0..n {
+            let q = if i < fail {
+                QualityMeasurement::failed()
+            } else {
+                QualityMeasurement::joined(500, 300.0, 0.0, 2_800.0)
+            };
+            d.push(attrs, q);
+        }
+    };
+    push(&mut d, 1, 1, 1000, 300);
+    push(&mut d, 1, 2, 1000, 100);
+    push(&mut d, 2, 1, 1000, 300);
+    push(&mut d, 2, 2, 7000, 100);
+    let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+    let sig = SignificanceParams {
+        ratio_multiplier: 1.5,
+        min_sessions: 500,
+        min_problem_sessions: 5,
+    };
+    let ps = ProblemSet::identify(&cube, Metric::JoinFailure, &sig);
+    let params = CriticalParams::strict();
+    let cs = CriticalSet::identify(&cube, &ps, &sig, &params);
+    let (reference, _) = reference_critical(&cube, &ps, &sig, &params, Metric::JoinFailure);
+    let fast: HashSet<ClusterKey> = cs.clusters.keys().copied().collect();
+    assert_eq!(fast, reference);
+    assert!(fast.contains(&ClusterKey::of_single(
+        vqlens_model::attr::AttrKey::Cdn,
+        1
+    )));
+    let _ = AttrMask::FULL;
+}

@@ -1,0 +1,47 @@
+//! Developer utility: per-phase wall-clock profile of one epoch's analysis.
+//!
+//! ```text
+//! cargo run --release -p vqlens-core --example profile_epoch
+//! ```
+
+use std::time::Instant;
+use vqlens_core::prelude::*;
+
+fn main() {
+    let mut scenario = Scenario::paper_default();
+    scenario.arrivals.sessions_per_epoch = 12_000.0;
+    scenario.epochs = 3;
+    let out = vqlens_core::pipeline::generate_parallel(&scenario, 0);
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let data = out.dataset.epoch(EpochId(1));
+    println!("sessions in epoch: {}", data.len());
+
+    let t = Instant::now();
+    let mut cube = EpochCube::build(EpochId(1), data, &config.thresholds);
+    println!("cube build:  {:>12?}  ({} clusters)", t.elapsed(), cube.num_clusters());
+    let t = Instant::now();
+    cube.prune(config.significance.min_sessions);
+    println!("prune:       {:>12?}  ({} clusters kept)", t.elapsed(), cube.num_clusters());
+    for m in Metric::ALL {
+        let t = Instant::now();
+        let ps = ProblemSet::identify(&cube, m, &config.significance);
+        let t1 = t.elapsed();
+        let t = Instant::now();
+        let cs = CriticalSet::identify(&cube, &ps, &config.significance, &config.critical);
+        println!(
+            "{m:<12} problem {t1:>10?} ({:>5} PC)   critical {:>10?} ({:>3} CC)",
+            ps.len(),
+            t.elapsed(),
+            cs.len()
+        );
+    }
+    let t = Instant::now();
+    let _ = EpochAnalysis::compute(
+        EpochId(1),
+        data,
+        &config.thresholds,
+        &config.significance,
+        &config.critical,
+    );
+    println!("full epoch:  {:>12?}", t.elapsed());
+}

@@ -1,0 +1,67 @@
+//! Analyzer configuration.
+
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::critical::CriticalParams;
+use vqlens_cluster::problem::SignificanceParams;
+use vqlens_model::metric::Thresholds;
+use vqlens_synth::scenario::Scenario;
+
+/// Full configuration of the analysis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct AnalyzerConfig {
+    /// Problem-session thresholds (paper §2).
+    pub thresholds: Thresholds,
+    /// Problem-cluster significance (paper §3.1).
+    pub significance: SignificanceParams,
+    /// Critical-cluster knobs (paper §3.2).
+    pub critical: CriticalParams,
+    /// Worker threads for the per-epoch parallel stages; 0 = all cores.
+    pub threads: usize,
+}
+
+
+impl AnalyzerConfig {
+    /// Paper-default thresholds with the significance floor scaled to a
+    /// scenario's traffic volume (see DESIGN.md §2).
+    pub fn for_scenario(scenario: &Scenario) -> AnalyzerConfig {
+        AnalyzerConfig {
+            significance: SignificanceParams::scaled_to(
+                scenario.arrivals.sessions_per_epoch as u64,
+            ),
+            ..AnalyzerConfig::default()
+        }
+    }
+
+    /// Resolve the worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_config_scales_significance() {
+        let s = Scenario::paper_default();
+        let c = AnalyzerConfig::for_scenario(&s);
+        assert_eq!(c.significance.min_sessions, s.scaled_min_sessions());
+        assert_eq!(c.thresholds, Thresholds::default());
+    }
+
+    #[test]
+    fn threads_resolve() {
+        let mut c = AnalyzerConfig::default();
+        assert!(c.effective_threads() >= 1);
+        c.threads = 3;
+        assert_eq!(c.effective_threads(), 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! # vqlens-core
+//!
+//! The end-to-end vqlens system: a faithful reproduction of the analysis
+//! pipeline from *"Shedding Light on the Structure of Internet Video
+//! Quality Problems in the Wild"* (Jiang, Sekar, Stoica, Zhang —
+//! CoNEXT 2013), together with the synthetic-world substrate the
+//! reproduction runs on.
+//!
+//! ```no_run
+//! use vqlens_core::prelude::*;
+//!
+//! // Generate a paper-shaped two-week trace with planted ground truth…
+//! let scenario = Scenario::paper_default();
+//! let config = AnalyzerConfig::for_scenario(&scenario);
+//! let output = generate_parallel(&scenario, config.threads);
+//!
+//! // …run the full per-epoch cluster analysis in parallel…
+//! let trace = analyze_dataset(&output.dataset, &config);
+//!
+//! // …and ask the paper's questions.
+//! let table1 = coverage_table(trace.epochs());
+//! for row in table1 {
+//!     println!(
+//!         "{}: {:.0} problem clusters -> {:.0} critical ({:.0}% coverage)",
+//!         row.metric,
+//!         row.mean_problem_clusters,
+//!         row.mean_critical_clusters,
+//!         100.0 * row.mean_critical_coverage,
+//!     );
+//! }
+//! ```
+//!
+//! Sub-crates (re-exported below): `vqlens-model` (domain types),
+//! `vqlens-stats` (statistics toolkit), `vqlens-cluster` (problem/critical
+//! clusters), `vqlens-analysis` (temporal/structural analyses),
+//! `vqlens-whatif` (improvement analyses), `vqlens-delivery` (streaming
+//! simulator), `vqlens-synth` (world + trace generation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod pipeline;
+pub mod report;
+pub mod validate;
+
+pub use config::AnalyzerConfig;
+pub use pipeline::{analyze_dataset, generate_parallel, TraceAnalysis};
+pub use report::Table;
+pub use validate::{validate_against_ground_truth, EventDetection, ValidationReport};
+
+pub use vqlens_analysis as analysis;
+pub use vqlens_cluster as cluster;
+pub use vqlens_delivery as delivery;
+pub use vqlens_model as model;
+pub use vqlens_stats as stats;
+pub use vqlens_synth as synth;
+pub use vqlens_whatif as whatif;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::config::AnalyzerConfig;
+    pub use crate::pipeline::{analyze_dataset, generate_parallel, TraceAnalysis};
+    pub use crate::report::Table;
+    pub use crate::validate::{validate_against_ground_truth, ValidationReport};
+    pub use vqlens_analysis::breakdown::Breakdown;
+    pub use vqlens_analysis::coverage::coverage_table;
+    pub use vqlens_analysis::overlap::{overlap_matrix, top_critical_clusters};
+    pub use vqlens_analysis::persistence::{extract_events, ClusterSource, PersistenceReport};
+    pub use vqlens_analysis::prevalence::PrevalenceReport;
+    pub use vqlens_analysis::timeseries::{cluster_count_series, problem_ratio_series};
+    pub use vqlens_cluster::analyze::EpochAnalysis;
+    pub use vqlens_cluster::critical::{CriticalParams, CriticalSet};
+    pub use vqlens_cluster::cube::EpochCube;
+    pub use vqlens_cluster::hhh::{HhhParams, HhhSet};
+    pub use vqlens_cluster::problem::{ProblemSet, SignificanceParams};
+    pub use vqlens_model::attr::{AttrKey, AttrMask, ClusterKey, SessionAttrs};
+    pub use vqlens_model::dataset::Dataset;
+    pub use vqlens_model::epoch::{EpochId, EpochRange};
+    pub use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};
+    pub use vqlens_synth::scenario::{generate, Scenario, SynthOutput};
+    pub use vqlens_whatif::oracle::{oracle_sweep, AttrFilter, RankBy};
+    pub use vqlens_whatif::proactive::proactive_analysis;
+    pub use vqlens_whatif::reactive::{reactive_analysis, reactive_series};
+}

@@ -1,0 +1,191 @@
+//! The parallel trace pipeline: generation and per-epoch analysis.
+//!
+//! Epochs are independent in both stages — generation derives a per-epoch
+//! RNG stream from the master seed, and the cluster analysis of one epoch
+//! never looks at another — so both stages fan out across worker threads
+//! with a simple atomic work queue. Results are written into pre-sized
+//! slots, keeping both stages deterministic regardless of thread count.
+
+use crate::config::AnalyzerConfig;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::dataset::Dataset;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::Metric;
+use vqlens_synth::arrivals::ArrivalSampler;
+use vqlens_synth::scenario::{generate_epoch, prepare, Scenario, SynthOutput};
+
+/// The per-epoch analysis of a whole trace.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// The configuration used.
+    pub config: AnalyzerConfig,
+    epochs: Vec<EpochAnalysis>,
+}
+
+impl TraceAnalysis {
+    /// Per-epoch analyses, ordered by epoch.
+    pub fn epochs(&self) -> &[EpochAnalysis] {
+        &self.epochs
+    }
+
+    /// Number of analyzed epochs.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// True for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// Total problem sessions over the trace for one metric.
+    pub fn total_problems(&self, metric: Metric) -> u64 {
+        self.epochs
+            .iter()
+            .map(|a| a.metric(metric).critical.total_problems)
+            .sum()
+    }
+
+    /// Total sessions over the trace.
+    pub fn total_sessions(&self) -> u64 {
+        self.epochs.iter().map(|a| a.total_sessions).sum()
+    }
+}
+
+/// Run work items `0..n` across `threads` workers, collecting results into
+/// index order.
+fn parallel_indexed<T, F>(n: u32, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1) as usize);
+    let next = AtomicU32::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i as usize].lock() = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// Generate a scenario's trace with per-epoch parallelism. Produces exactly
+/// the same dataset as [`vqlens_synth::scenario::generate`], regardless of
+/// thread count.
+pub fn generate_parallel(scenario: &Scenario, threads: usize) -> SynthOutput {
+    let (world, ground_truth, mut dataset) = prepare(scenario);
+    let sampler = ArrivalSampler::new(&world);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let epochs = parallel_indexed(scenario.epochs, threads, |e| {
+        generate_epoch(
+            &world,
+            &sampler,
+            &ground_truth,
+            &scenario.arrivals,
+            EpochId(e),
+            scenario.seed,
+        )
+    });
+    for (e, data) in epochs.into_iter().enumerate() {
+        dataset.set_epoch(EpochId(e as u32), data);
+    }
+    SynthOutput {
+        dataset,
+        world,
+        ground_truth,
+    }
+}
+
+/// Analyze every epoch of a dataset (cube → problem clusters → critical
+/// clusters, all four metrics) in parallel.
+pub fn analyze_dataset(dataset: &Dataset, config: &AnalyzerConfig) -> TraceAnalysis {
+    let epochs = parallel_indexed(
+        dataset.num_epochs(),
+        config.effective_threads(),
+        |e| {
+            let epoch = EpochId(e);
+            EpochAnalysis::compute(
+                epoch,
+                dataset.epoch(epoch),
+                &config.thresholds,
+                &config.significance,
+                &config.critical,
+            )
+        },
+    );
+    TraceAnalysis {
+        config: *config,
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::metric::Metric;
+
+    #[test]
+    fn parallel_indexed_preserves_order() {
+        let out = parallel_indexed(100, 7, |i| i * 2);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32 * 2);
+        }
+        // Degenerate cases.
+        assert!(parallel_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_indexed(1, 16, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let scenario = Scenario::smoke();
+        let par = generate_parallel(&scenario, 4);
+        let ser = vqlens_synth::scenario::generate(&scenario);
+        assert_eq!(par.dataset.num_sessions(), ser.dataset.num_sessions());
+        for (e, data) in ser.dataset.iter_epochs() {
+            assert_eq!(par.dataset.epoch(e).attrs, data.attrs);
+        }
+    }
+
+    #[test]
+    fn analysis_is_thread_count_invariant() {
+        let scenario = Scenario::smoke();
+        let out = generate_parallel(&scenario, 0);
+        let mut config = AnalyzerConfig::for_scenario(&scenario);
+        config.threads = 1;
+        let a = analyze_dataset(&out.dataset, &config);
+        config.threads = 8;
+        let b = analyze_dataset(&out.dataset, &config);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.epochs().iter().zip(b.epochs()) {
+            assert_eq!(x.epoch, y.epoch);
+            assert_eq!(x.total_sessions, y.total_sessions);
+            for m in Metric::ALL {
+                assert_eq!(x.metric(m).problems.len(), y.metric(m).problems.len());
+                assert_eq!(x.metric(m).critical.len(), y.metric(m).critical.len());
+            }
+        }
+        assert_eq!(a.total_sessions(), out.dataset.num_sessions() as u64);
+        assert!(a.total_problems(Metric::Bitrate) > 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Plain-text and JSON report rendering.
+//!
+//! The reproduction binaries print the paper's tables as fixed-width text
+//! (for EXPERIMENTS.md) and can dump any figure's data series as JSON for
+//! external plotting.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    ///
+    /// # Panics
+    /// Panics when the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: append a row of displayable cells.
+    pub fn row_display(&mut self, cells: &[&dyn fmt::Display]) -> &mut Table {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        if !self.title.is_empty() {
+            writeln!(f, "## {}", self.title)?;
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Format a float with a sensible number of digits for tables.
+pub fn num(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Serialize any data series to pretty JSON (for external plotting).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("report values serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_ish_table() {
+        let mut t = Table::new("Demo", &["metric", "value"]);
+        t.row(&["BufRatio".into(), "0.097".into()]);
+        t.row(&["JoinTime".into(), "0.05".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| metric   | value |"));
+        assert!(s.contains("| BufRatio | 0.097 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(1234.5), "1234"); // round-half-even
+        assert_eq!(num(3.14159), "3.14");
+        assert_eq!(num(0.04567), "0.0457");
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        #[derive(Serialize)]
+        struct P {
+            x: f64,
+            y: f64,
+        }
+        let s = to_json(&vec![P { x: 1.0, y: 2.0 }]);
+        assert!(s.contains("\"x\": 1.0"));
+    }
+}

@@ -1,0 +1,337 @@
+//! Ground-truth validation: did the pipeline recover the planted causes?
+//!
+//! The original paper had no ground truth — it could only argue its
+//! critical clusters were *plausible* causes. The synthetic substrate knows
+//! the actual causes, so this module measures the pipeline directly:
+//!
+//! * **recall** — of the (event, epoch) pairs where a planted event was
+//!   active *and statistically visible* (enough in-scope sessions and an
+//!   elevated problem ratio on one of its expected metrics), in what
+//!   fraction did the analysis emit a matching critical cluster?
+//! * **precision** — of the critical clusters emitted, what fraction match
+//!   an active planted event (exactly, or as a refinement/generalization)?
+//!
+//! A critical cluster "matches" an event when its key equals the event's
+//! expected cluster, or one generalizes the other (correlated attributes
+//! legitimately shift the phase transition up or down one level — e.g. a
+//! site that uses a single CDN may be reported as the site, the CDN, or
+//! both with split attribution).
+
+use crate::pipeline::TraceAnalysis;
+use serde::{Deserialize, Serialize};
+use vqlens_model::attr::{AttrKey, ClusterKey};
+use vqlens_model::dataset::Dataset;
+use vqlens_model::metric::Metric;
+use vqlens_stats::FxHashMap;
+use vqlens_synth::events::GroundTruth;
+use vqlens_synth::world::{AsnTier, CdnKind, LadderClass, Region, World};
+
+/// Detection summary of one planted event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventDetection {
+    /// The planted event's id.
+    pub event_id: u32,
+    /// The planted event's name.
+    pub name: String,
+    /// Epochs the event was active.
+    pub active_epochs: u32,
+    /// Active epochs in which the event was statistically visible.
+    pub visible_epochs: u32,
+    /// Visible epochs in which a matching critical cluster was found on
+    /// any of the event's expected metrics.
+    pub detected_epochs: u32,
+}
+
+impl EventDetection {
+    /// Detection rate over visible epochs (`None` when never visible).
+    pub fn recall(&self) -> Option<f64> {
+        (self.visible_epochs > 0)
+            .then(|| f64::from(self.detected_epochs) / f64::from(self.visible_epochs))
+    }
+}
+
+/// Trace-level validation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Per-event detection summaries.
+    pub events: Vec<EventDetection>,
+    /// Micro-averaged recall over visible (event, epoch) pairs.
+    pub recall: f64,
+    /// Fraction of emitted critical clusters matching an active event.
+    pub event_precision: f64,
+    /// Fraction of emitted critical clusters matching an active event *or*
+    /// a known structural cause of the synthetic world (single-bitrate
+    /// sites, wireless connections, poor/wireless/non-US ASNs, in-house or
+    /// ISP-run CDNs, cross-region player-module hosts).
+    pub precision: f64,
+    /// Total (critical cluster, epoch, metric) emissions examined.
+    pub emitted: u64,
+}
+
+/// Does a found critical cluster match an expected event cluster?
+fn matches(found: ClusterKey, expected: ClusterKey) -> bool {
+    found == expected || found.generalizes(expected) || expected.generalizes(found)
+}
+
+/// Is one attribute value a known structural cause in the synthetic world
+/// for this metric? Used to judge emissions that match no planted event:
+/// the world has chronic causes (mobile radio conditions, single-bitrate
+/// sites, under-provisioned ASNs/regions, in-house CDNs) that legitimately
+/// produce critical clusters without any event being active.
+fn structural_component(world: &World, attr: AttrKey, value: u32, metric: Metric) -> bool {
+    match attr {
+        AttrKey::Site => {
+            let site = &world.sites[value as usize];
+            let single_ladder = matches!(site.ladder, LadderClass::Single(_));
+            let foreign_audience =
+                matches!(site.audience_home, Some(r) if r != Region::Us && r != Region::Europe);
+            let remote_modules = site.module_host_region == Region::Us
+                && site.audience_home.is_some_and(|r| r != Region::Us);
+            match metric {
+                Metric::BufRatio | Metric::Bitrate => single_ladder || foreign_audience,
+                Metric::JoinTime => remote_modules || foreign_audience,
+                Metric::JoinFailure => foreign_audience,
+            }
+        }
+        AttrKey::Cdn => {
+            let cdn = &world.cdns[value as usize];
+            matches!(cdn.kind, CdnKind::InHouse | CdnKind::IspRun)
+                || cdn.presence.iter().any(|p| *p < 0.4)
+        }
+        AttrKey::Asn => {
+            let asn = &world.asns[value as usize];
+            let weak_region = asn.region != Region::Us && asn.region != Region::Europe;
+            match metric {
+                Metric::BufRatio | Metric::Bitrate | Metric::JoinTime => {
+                    asn.wireless || asn.tier != AsnTier::Good || weak_region
+                }
+                Metric::JoinFailure => weak_region,
+            }
+        }
+        AttrKey::ConnType => {
+            // MobileWireless (0) and FixedWireless (1) are chronic causes.
+            value <= 1 && matches!(metric, Metric::BufRatio | Metric::Bitrate)
+        }
+        // VoD/Live, player, and browser have no structural quality gap in
+        // the world model; clusters keyed only on them are unexplained.
+        AttrKey::VodOrLive | AttrKey::PlayerType | AttrKey::Browser => false,
+    }
+}
+
+/// A cluster is structurally explained when at least one constrained
+/// attribute is a known structural cause — e.g. a (site, browser) cluster
+/// whose site is single-bitrate counts as explained even though the
+/// browser dimension itself carries no structural signal.
+fn structurally_explained(world: &World, key: ClusterKey, metric: Metric) -> bool {
+    let mut any = false;
+    for attr in AttrKey::ALL {
+        if let Some(value) = key.value(attr) {
+            if structural_component(world, attr, value, metric) {
+                any = true;
+            }
+        }
+    }
+    any
+}
+
+/// Validate a trace analysis against the planted ground truth.
+///
+/// `min_sessions` should be the significance floor used by the analysis;
+/// an event is *visible* in an epoch when at least that many sessions were
+/// in scope and its in-scope problem ratio cleared the analysis's own
+/// significance multiple on one of its expected metrics.
+///
+/// Structural-cause matching indexes the world by dictionary id, relying on
+/// the id == world-index invariant that `synth::scenario::prepare`
+/// establishes — only validate traces generated through that path.
+pub fn validate_against_ground_truth(
+    dataset: &Dataset,
+    world: &World,
+    trace: &TraceAnalysis,
+    ground_truth: &GroundTruth,
+    min_sessions: u64,
+) -> ValidationReport {
+    let thresholds = &trace.config.thresholds;
+    let sig = &trace.config.significance;
+    let mut detections: Vec<EventDetection> = ground_truth
+        .events
+        .iter()
+        .map(|e| EventDetection {
+            event_id: e.id,
+            name: e.name.clone(),
+            active_epochs: 0,
+            visible_epochs: 0,
+            detected_epochs: 0,
+        })
+        .collect();
+
+    let mut emitted = 0u64;
+    let mut emitted_matching_event = 0u64;
+    let mut emitted_explained = 0u64;
+
+    for analysis in trace.epochs() {
+        let epoch = analysis.epoch;
+        let active: Vec<usize> = ground_truth.active_at(epoch);
+        if active.is_empty() {
+            // Precision still counts emissions in event-free epochs; only
+            // structural causes can explain them.
+            for m in Metric::ALL {
+                for key in analysis.metric(m).critical.clusters.keys() {
+                    emitted += 1;
+                    if structurally_explained(world, *key, m) {
+                        emitted_explained += 1;
+                    }
+                }
+            }
+            continue;
+        }
+
+        // One pass over the epoch's sessions: per active event, in-scope
+        // session and per-metric problem counts.
+        let data = dataset.epoch(epoch);
+        let mut in_scope: FxHashMap<usize, (u64, [u64; 4])> = FxHashMap::default();
+        for (attrs, quality) in data.iter() {
+            // Classify once per session, not once per matching event.
+            let flags = thresholds.problem_flags(quality);
+            for &idx in &active {
+                if ground_truth.events[idx].scope.matches(attrs) {
+                    let entry = in_scope.entry(idx).or_default();
+                    entry.0 += 1;
+                    for m in Metric::ALL {
+                        if flags.is_problem(m) {
+                            entry.1[m.index()] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        for &idx in &active {
+            let event = &ground_truth.events[idx];
+            let det = &mut detections[idx];
+            det.active_epochs += 1;
+            let Some((sessions, problems)) = in_scope.get(&idx) else {
+                continue;
+            };
+            if *sessions < min_sessions {
+                continue;
+            }
+            // Visibility mirrors the analysis's own significance test so
+            // recall is judged against what the pipeline could possibly
+            // have flagged (same multiplier and problem floor).
+            let visible = event.expected_metrics.iter().any(|m| {
+                let ma = analysis.metric(*m);
+                let global = ma.critical.global_ratio;
+                let ratio = problems[m.index()] as f64 / *sessions as f64;
+                ratio >= sig.ratio_multiplier * global
+                    && problems[m.index()] >= sig.min_problem_sessions.max(1)
+            });
+            if !visible {
+                continue;
+            }
+            det.visible_epochs += 1;
+            let expected = event.scope.expected_cluster();
+            let found = event.expected_metrics.iter().any(|m| {
+                analysis
+                    .metric(*m)
+                    .critical
+                    .clusters
+                    .keys()
+                    .any(|k| matches(*k, expected))
+            });
+            if found {
+                det.detected_epochs += 1;
+            }
+        }
+
+        // Precision: each emitted critical cluster should correspond to an
+        // active event (or refinement/generalization), or to a structural
+        // cause of the world.
+        for m in Metric::ALL {
+            for key in analysis.metric(m).critical.clusters.keys() {
+                emitted += 1;
+                let event_matched = active.iter().any(|&idx| {
+                    matches(*key, ground_truth.events[idx].scope.expected_cluster())
+                });
+                if event_matched {
+                    emitted_matching_event += 1;
+                    emitted_explained += 1;
+                } else if structurally_explained(world, *key, m) {
+                    emitted_explained += 1;
+                }
+            }
+        }
+    }
+
+    let visible_total: u32 = detections.iter().map(|d| d.visible_epochs).sum();
+    let detected_total: u32 = detections.iter().map(|d| d.detected_epochs).sum();
+    ValidationReport {
+        events: detections,
+        recall: if visible_total > 0 {
+            f64::from(detected_total) / f64::from(visible_total)
+        } else {
+            0.0
+        },
+        event_precision: if emitted > 0 {
+            emitted_matching_event as f64 / emitted as f64
+        } else {
+            0.0
+        },
+        precision: if emitted > 0 {
+            emitted_explained as f64 / emitted as f64
+        } else {
+            0.0
+        },
+        emitted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalyzerConfig;
+    use crate::pipeline::{analyze_dataset, generate_parallel};
+    use vqlens_synth::scenario::Scenario;
+
+    #[test]
+    fn smoke_scenario_recovers_most_visible_events() {
+        let scenario = Scenario::smoke();
+        let out = generate_parallel(&scenario, 0);
+        let config = AnalyzerConfig::for_scenario(&scenario);
+        let trace = analyze_dataset(&out.dataset, &config);
+        let report = validate_against_ground_truth(
+            &out.dataset,
+            &out.world,
+            &trace,
+            &out.ground_truth,
+            config.significance.min_sessions,
+        );
+        assert_eq!(report.events.len(), out.ground_truth.len());
+        assert!(
+            report.recall > 0.5,
+            "expected most visible planted events recovered, recall = {}",
+            report.recall
+        );
+        assert!(report.emitted > 0);
+        assert!(
+            report.precision > 0.5,
+            "critical clusters should track planted events or structural causes, precision = {}",
+            report.precision
+        );
+        assert!(report.event_precision <= report.precision);
+    }
+
+    #[test]
+    fn match_relation_covers_refinements() {
+        use vqlens_model::attr::{AttrKey, AttrMask, SessionAttrs};
+        let site = ClusterKey::of_single(AttrKey::Site, 3);
+        let pair = SessionAttrs::new([0, 2, 3, 0, 0, 0, 0])
+            .project(AttrMask::of(&[AttrKey::Cdn, AttrKey::Site]));
+        assert!(matches(site, site));
+        assert!(matches(pair, site));
+        assert!(matches(site, pair));
+        let other = ClusterKey::of_single(AttrKey::Site, 4);
+        assert!(!matches(other, site));
+        assert!(!matches(pair, other));
+    }
+}

@@ -1,0 +1,383 @@
+//! Bitrate ladders and adaptive-bitrate (ABR) algorithms.
+//!
+//! The paper's ecosystem spans sites with full adaptive ladders, sites that
+//! offer a *single* bitrate (a recurring buffering-ratio culprit in its
+//! Table 3), and different adaptation algorithms. Two classic families are
+//! implemented: a throughput-rule (pick the highest rung below a safety
+//! fraction of estimated throughput) and a buffer-rule (BBA-style mapping
+//! from buffer occupancy to rungs).
+
+use serde::{Deserialize, Serialize};
+
+/// An encoding ladder: available bitrates in kbps, ascending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitrateLadder {
+    rungs: Vec<f64>,
+}
+
+impl BitrateLadder {
+    /// Build a ladder; rungs are sorted ascending and must be positive.
+    ///
+    /// # Panics
+    /// Panics on an empty ladder or non-positive rungs.
+    pub fn new(mut rungs: Vec<f64>) -> BitrateLadder {
+        assert!(!rungs.is_empty(), "ladder needs at least one rung");
+        assert!(rungs.iter().all(|r| *r > 0.0), "rungs must be positive");
+        rungs.sort_by(|a, b| a.partial_cmp(b).expect("finite rungs"));
+        BitrateLadder { rungs }
+    }
+
+    /// A typical 2013-era multi-bitrate ladder (kbps), 234p through 720p.
+    pub fn standard() -> BitrateLadder {
+        BitrateLadder::new(vec![235.0, 375.0, 560.0, 750.0, 1050.0, 1400.0, 1750.0, 2350.0])
+    }
+
+    /// A premium ladder reaching 4K-class rates.
+    pub fn premium() -> BitrateLadder {
+        BitrateLadder::new(vec![
+            375.0, 750.0, 1050.0, 1750.0, 2350.0, 3000.0, 4300.0, 5800.0, 8100.0,
+        ])
+    }
+
+    /// A single-bitrate "ladder" — sites that never adapted (Table 3).
+    pub fn single(kbps: f64) -> BitrateLadder {
+        BitrateLadder::new(vec![kbps])
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// True when only one rung exists (no adaptation possible).
+    pub fn is_single(&self) -> bool {
+        self.rungs.len() == 1
+    }
+
+    /// False only for the impossible empty ladder (kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// Bitrate of rung `i` in kbps.
+    pub fn rate(&self, i: usize) -> f64 {
+        self.rungs[i]
+    }
+
+    /// The lowest rung index.
+    pub fn lowest(&self) -> usize {
+        0
+    }
+
+    /// The highest rung whose rate is at most `kbps` (the lowest rung when
+    /// even that exceeds `kbps`).
+    pub fn highest_below(&self, kbps: f64) -> usize {
+        self.rungs.iter().rposition(|r| *r <= kbps).unwrap_or(0)
+    }
+}
+
+/// Which adaptation logic a player runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbrAlgorithm {
+    /// Highest rung below `safety × ewma(throughput)`.
+    ThroughputRule,
+    /// BBA-style: rung driven by buffer occupancy between a reservoir and a
+    /// cushion, with throughput as a tie-breaker cap.
+    BufferRule,
+    /// FESTIVE-style (Jiang et al., CoNEXT'12 — reference 17 of the
+    /// reproduced paper): harmonic-mean bandwidth estimation for outlier
+    /// robustness, gradual one-rung-at-a-time upswitching with patience
+    /// proportional to the current rung, immediate single-rung
+    /// downswitching.
+    Festive,
+    /// No adaptation: always the single/first rung.
+    Fixed,
+}
+
+/// Number of recent chunk throughputs FESTIVE's harmonic mean spans.
+const FESTIVE_WINDOW: usize = 20;
+
+/// Evolving ABR decision state for one session.
+#[derive(Debug, Clone)]
+pub struct AbrState {
+    algorithm: AbrAlgorithm,
+    /// EWMA of observed throughput in kbps.
+    ewma_kbps: f64,
+    /// EWMA smoothing factor.
+    alpha: f64,
+    /// Throughput safety margin for the throughput rule.
+    safety: f64,
+    /// Buffer level (seconds) below which the buffer rule pins the lowest
+    /// rung.
+    reservoir_s: f64,
+    /// Buffer level (seconds) at which the buffer rule allows the top rung.
+    cushion_s: f64,
+    /// Recent chunk throughputs (circular) for the harmonic mean.
+    recent: [f64; FESTIVE_WINDOW],
+    recent_len: usize,
+    recent_head: usize,
+    /// Consecutive decisions in which FESTIVE wanted a higher rung.
+    up_streak: u32,
+    current: usize,
+}
+
+impl AbrState {
+    /// Start an ABR session with an initial throughput estimate.
+    pub fn new(algorithm: AbrAlgorithm, initial_estimate_kbps: f64) -> AbrState {
+        AbrState {
+            algorithm,
+            ewma_kbps: initial_estimate_kbps.max(1.0),
+            alpha: 0.3,
+            safety: 0.8,
+            reservoir_s: 8.0,
+            cushion_s: 24.0,
+            recent: [0.0; FESTIVE_WINDOW],
+            recent_len: 0,
+            recent_head: 0,
+            up_streak: 0,
+            current: 0,
+        }
+    }
+
+    /// Record the observed throughput of the last chunk download.
+    pub fn observe(&mut self, throughput_kbps: f64) {
+        let throughput_kbps = throughput_kbps.max(1.0);
+        self.ewma_kbps = self.alpha * throughput_kbps + (1.0 - self.alpha) * self.ewma_kbps;
+        self.recent[self.recent_head] = throughput_kbps;
+        self.recent_head = (self.recent_head + 1) % FESTIVE_WINDOW;
+        self.recent_len = (self.recent_len + 1).min(FESTIVE_WINDOW);
+    }
+
+    /// Current throughput estimate (kbps): EWMA for the throughput rule,
+    /// harmonic mean of the recent window for FESTIVE.
+    pub fn estimate(&self) -> f64 {
+        match self.algorithm {
+            AbrAlgorithm::Festive => self.harmonic_mean(),
+            _ => self.ewma_kbps,
+        }
+    }
+
+    /// Harmonic mean of the recent chunk throughputs (falls back to the
+    /// initial EWMA seed before any chunk is observed). The harmonic mean
+    /// is FESTIVE's defense against bandwidth spikes: one fast chunk barely
+    /// moves it, one slow chunk drags it down.
+    fn harmonic_mean(&self) -> f64 {
+        if self.recent_len == 0 {
+            return self.ewma_kbps;
+        }
+        let sum_inv: f64 = self.recent[..self.recent_len]
+            .iter()
+            .map(|t| 1.0 / t)
+            .sum();
+        self.recent_len as f64 / sum_inv
+    }
+
+    /// Pick the rung for the next chunk.
+    pub fn choose(&mut self, ladder: &BitrateLadder, buffer_s: f64) -> usize {
+        let rung = match self.algorithm {
+            AbrAlgorithm::Fixed => 0,
+            AbrAlgorithm::ThroughputRule => ladder.highest_below(self.safety * self.ewma_kbps),
+            AbrAlgorithm::BufferRule => {
+                if buffer_s <= self.reservoir_s {
+                    ladder.lowest()
+                } else if buffer_s >= self.cushion_s {
+                    ladder.len() - 1
+                } else {
+                    // Linear map of buffer occupancy onto rung index.
+                    let f = (buffer_s - self.reservoir_s) / (self.cushion_s - self.reservoir_s);
+                    let idx = (f * (ladder.len() - 1) as f64).floor() as usize;
+                    // Cap by throughput so the buffer rule cannot demand a
+                    // rung the path clearly cannot sustain.
+                    idx.min(ladder.highest_below(1.2 * self.ewma_kbps))
+                }
+            }
+            AbrAlgorithm::Festive => {
+                let current = self.current.min(ladder.len() - 1);
+                let target = ladder.highest_below(0.85 * self.harmonic_mean());
+                if target > current {
+                    // Gradual upswitch: the higher the current rung, the
+                    // more consecutive good estimates it takes to climb.
+                    self.up_streak += 1;
+                    if self.up_streak as usize > current {
+                        self.up_streak = 0;
+                        current + 1
+                    } else {
+                        current
+                    }
+                } else if target < current {
+                    // Downswitch one rung immediately (stability over
+                    // efficiency — never jump multiple rungs at once).
+                    self.up_streak = 0;
+                    current - 1
+                } else {
+                    self.up_streak = 0;
+                    current
+                }
+            }
+        };
+        self.current = rung;
+        rung
+    }
+
+    /// The rung chosen by the last call to [`AbrState::choose`].
+    pub fn current(&self) -> usize {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_sorts_and_indexes() {
+        let l = BitrateLadder::new(vec![3000.0, 235.0, 1050.0]);
+        assert_eq!(l.rate(0), 235.0);
+        assert_eq!(l.rate(2), 3000.0);
+        assert_eq!(l.highest_below(1500.0), 1);
+        assert_eq!(l.highest_below(100.0), 0);
+        assert_eq!(l.highest_below(9000.0), 2);
+        assert!(!l.is_single());
+        assert!(BitrateLadder::single(700.0).is_single());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rung")]
+    fn empty_ladder_rejected() {
+        let _ = BitrateLadder::new(vec![]);
+    }
+
+    #[test]
+    fn throughput_rule_tracks_bandwidth() {
+        let ladder = BitrateLadder::standard();
+        let mut abr = AbrState::new(AbrAlgorithm::ThroughputRule, 5000.0);
+        let high = abr.choose(&ladder, 20.0);
+        // Crash the throughput estimate.
+        for _ in 0..20 {
+            abr.observe(300.0);
+        }
+        let low = abr.choose(&ladder, 20.0);
+        assert!(
+            ladder.rate(low) < ladder.rate(high),
+            "rung should drop with throughput"
+        );
+        assert!(ladder.rate(low) <= 300.0 * 0.8 + 1.0);
+    }
+
+    #[test]
+    fn buffer_rule_is_monotone_in_buffer() {
+        let ladder = BitrateLadder::standard();
+        let mut abr = AbrState::new(AbrAlgorithm::BufferRule, 50_000.0);
+        let mut last = 0usize;
+        for buf in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+            let rung = abr.choose(&ladder, buf);
+            assert!(rung >= last, "buffer {buf}: rung {rung} < {last}");
+            last = rung;
+        }
+        assert_eq!(abr.choose(&ladder, 0.0), 0);
+        assert_eq!(abr.choose(&ladder, 100.0), ladder.len() - 1);
+    }
+
+    #[test]
+    fn buffer_rule_caps_by_throughput() {
+        let ladder = BitrateLadder::standard();
+        let mut abr = AbrState::new(AbrAlgorithm::BufferRule, 500.0);
+        // Mid-buffer, but throughput supports only the lowest rungs.
+        let rung = abr.choose(&ladder, 16.0);
+        assert!(ladder.rate(rung) <= 1.2 * 500.0);
+    }
+
+    #[test]
+    fn fixed_never_adapts() {
+        let ladder = BitrateLadder::single(700.0);
+        let mut abr = AbrState::new(AbrAlgorithm::Fixed, 100_000.0);
+        assert_eq!(abr.choose(&ladder, 50.0), 0);
+        assert_eq!(abr.current(), 0);
+    }
+
+    #[test]
+    fn festive_climbs_one_rung_at_a_time() {
+        let ladder = BitrateLadder::standard();
+        let mut abr = AbrState::new(AbrAlgorithm::Festive, 50_000.0);
+        // Plenty of bandwidth observed — but the climb is still gradual.
+        // (From rung 0 the patience is zero chunks, so the first decision
+        // may already step to rung 1.)
+        let mut last = abr.choose(&ladder, 20.0);
+        assert!(last <= 1, "first decision climbs at most one rung");
+        for _ in 0..200 {
+            abr.observe(50_000.0);
+            let rung = abr.choose(&ladder, 20.0);
+            assert!(rung <= last + 1, "climbed more than one rung at once");
+            assert!(rung >= last, "dropped despite ample bandwidth");
+            last = rung;
+        }
+        assert_eq!(last, ladder.len() - 1, "eventually reaches the top");
+    }
+
+    #[test]
+    fn festive_patience_grows_with_rung() {
+        let ladder = BitrateLadder::standard();
+        let mut abr = AbrState::new(AbrAlgorithm::Festive, 50_000.0);
+        abr.observe(50_000.0);
+        // Count decisions needed for the first climb (from rung 0) and a
+        // later climb (from rung 3): the later one must take longer.
+        let mut decisions_per_climb = Vec::new();
+        let mut current = abr.choose(&ladder, 20.0);
+        let mut count = 0;
+        while current < 5 {
+            abr.observe(50_000.0);
+            count += 1;
+            let next = abr.choose(&ladder, 20.0);
+            if next > current {
+                decisions_per_climb.push(count);
+                count = 0;
+                current = next;
+            }
+        }
+        assert!(
+            decisions_per_climb.last().unwrap() > decisions_per_climb.first().unwrap(),
+            "patience should grow with the rung: {decisions_per_climb:?}"
+        );
+    }
+
+    #[test]
+    fn festive_drops_when_bandwidth_crashes() {
+        let ladder = BitrateLadder::standard();
+        let mut abr = AbrState::new(AbrAlgorithm::Festive, 50_000.0);
+        for _ in 0..200 {
+            abr.observe(50_000.0);
+            abr.choose(&ladder, 20.0);
+        }
+        assert_eq!(abr.current(), ladder.len() - 1);
+        // Crash: harmonic mean collapses quickly; rung steps down 1/decision.
+        let mut last = abr.current();
+        for _ in 0..100 {
+            abr.observe(150.0);
+            let rung = abr.choose(&ladder, 20.0);
+            assert!(rung + 1 >= last, "must step down one rung at a time");
+            last = rung;
+        }
+        assert_eq!(last, 0, "ends at the bottom rung");
+    }
+
+    #[test]
+    fn harmonic_mean_resists_spikes() {
+        let mut abr = AbrState::new(AbrAlgorithm::Festive, 1_000.0);
+        for _ in 0..19 {
+            abr.observe(1_000.0);
+        }
+        abr.observe(100_000.0); // one spike
+        // Arithmetic mean would be ~5950; harmonic stays near 1050.
+        assert!(abr.estimate() < 1_100.0, "estimate {}", abr.estimate());
+        assert!(abr.estimate() > 1_000.0);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut abr = AbrState::new(AbrAlgorithm::ThroughputRule, 1000.0);
+        for _ in 0..100 {
+            abr.observe(4000.0);
+        }
+        assert!((abr.estimate() - 4000.0).abs() < 10.0);
+    }
+}

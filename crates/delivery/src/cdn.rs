@@ -1,0 +1,137 @@
+//! CDN edge-server behaviour.
+//!
+//! Models the delivery-side half of a session: how long the edge takes to
+//! start serving (manifest + first byte), whether the join outright fails
+//! (content missing, overload, 5xx), and a load-dependent throughput
+//! multiplier. Planted CDN events (overload, partial outage) act on these
+//! fields.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Behavioural model of the CDN edge assigned to a session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeModel {
+    /// Extra server-side latency per request in milliseconds (queueing,
+    /// cache miss to origin, TLS).
+    pub first_byte_ms: f64,
+    /// Probability that the join fails outright.
+    pub join_fail_prob: f64,
+    /// Multiplier on path throughput imposed by edge load (1.0 = unloaded;
+    /// overload events push this below 1).
+    pub throughput_factor: f64,
+    /// Extra delay for fetching third-party player modules at join, in
+    /// milliseconds. The paper's Table 3 highlights Chinese clients loading
+    /// player modules from US CDNs as a join-time culprit — this is that
+    /// knob.
+    pub module_load_ms: f64,
+}
+
+impl Default for EdgeModel {
+    fn default() -> Self {
+        EdgeModel {
+            first_byte_ms: 60.0,
+            join_fail_prob: 0.005,
+            throughput_factor: 1.0,
+            module_load_ms: 150.0,
+        }
+    }
+}
+
+impl EdgeModel {
+    /// A healthy, well-provisioned third-party edge.
+    pub fn healthy() -> EdgeModel {
+        EdgeModel::default()
+    }
+
+    /// An overloaded edge: slow first byte, throttled throughput, elevated
+    /// failure probability.
+    pub fn overloaded(severity: f64) -> EdgeModel {
+        let severity = severity.clamp(0.0, 1.0);
+        EdgeModel {
+            first_byte_ms: 60.0 + 2_000.0 * severity,
+            join_fail_prob: 0.005 + 0.3 * severity,
+            throughput_factor: (1.0 - 0.8 * severity).max(0.05),
+            module_load_ms: 150.0,
+        }
+    }
+
+    /// Combine with an event modifier: probabilities add (capped), latency
+    /// adds, throughput factors multiply.
+    pub fn combined_with(&self, other: &EdgeModel) -> EdgeModel {
+        EdgeModel {
+            first_byte_ms: self.first_byte_ms + other.first_byte_ms,
+            join_fail_prob: (self.join_fail_prob + other.join_fail_prob).min(1.0),
+            throughput_factor: self.throughput_factor * other.throughput_factor,
+            module_load_ms: self.module_load_ms + other.module_load_ms,
+        }
+    }
+
+    /// The additive identity for [`EdgeModel::combined_with`].
+    pub fn neutral() -> EdgeModel {
+        EdgeModel {
+            first_byte_ms: 0.0,
+            join_fail_prob: 0.0,
+            throughput_factor: 1.0,
+            module_load_ms: 0.0,
+        }
+    }
+
+    /// Sample whether a join attempt fails at this edge.
+    pub fn sample_join_failure<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen::<f64>() < self.join_fail_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn overload_degrades_monotonically() {
+        let mild = EdgeModel::overloaded(0.2);
+        let severe = EdgeModel::overloaded(0.9);
+        assert!(severe.first_byte_ms > mild.first_byte_ms);
+        assert!(severe.join_fail_prob > mild.join_fail_prob);
+        assert!(severe.throughput_factor < mild.throughput_factor);
+        // Severity is clamped.
+        let over = EdgeModel::overloaded(5.0);
+        assert!(over.join_fail_prob <= 1.0);
+        assert!(over.throughput_factor >= 0.05);
+    }
+
+    #[test]
+    fn neutral_is_identity() {
+        let e = EdgeModel::healthy();
+        let combined = e.combined_with(&EdgeModel::neutral());
+        assert_eq!(e, combined);
+    }
+
+    #[test]
+    fn combination_caps_probability() {
+        let a = EdgeModel {
+            join_fail_prob: 0.8,
+            ..EdgeModel::neutral()
+        };
+        let b = EdgeModel {
+            join_fail_prob: 0.7,
+            ..EdgeModel::neutral()
+        };
+        assert_eq!(a.combined_with(&b).join_fail_prob, 1.0);
+    }
+
+    #[test]
+    fn join_failure_rate_matches_probability() {
+        let e = EdgeModel {
+            join_fail_prob: 0.25,
+            ..EdgeModel::neutral()
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let fails = (0..n).filter(|_| e.sample_join_failure(&mut rng)).count();
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # vqlens-delivery
+//!
+//! A per-session streaming-delivery simulator: the synthetic substitute for
+//! the real players, CDNs, and access networks behind the paper's dataset.
+//!
+//! The paper's four quality metrics are *not* sampled from distributions
+//! here. Instead each session runs a chunk-by-chunk playback simulation —
+//! join phase, adaptive-bitrate download loop, buffer dynamics, viewer
+//! abandonment — over a stochastic network path and CDN edge model. Planted
+//! problem events (from `vqlens-synth`) perturb the *environment* (path
+//! bandwidth, edge failure probability, join latency), and the metric
+//! degradations emerge from the playback mechanics, exactly as they would
+//! in real telemetry.
+//!
+//! * [`path`] — access-path throughput model (log-AR(1) around a base rate).
+//! * [`cdn`] — CDN edge behaviour: RTT, first-byte latency, failure
+//!   probability, load-dependent slowdown.
+//! * [`abr`] — bitrate ladders and two adaptation algorithms (throughput-
+//!   rule and buffer-rule), plus fixed-bitrate "sites that offer a single
+//!   bitrate" (a recurring culprit in the paper's Table 3).
+//! * [`player`] — the player state machine producing a
+//!   [`vqlens_model::QualityMeasurement`] per session.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abr;
+pub mod cdn;
+pub mod path;
+pub mod player;
+
+pub use abr::{AbrAlgorithm, BitrateLadder};
+pub use cdn::EdgeModel;
+pub use path::PathModel;
+pub use player::{simulate_session, SessionEnv, ViewerModel};

@@ -1,0 +1,175 @@
+//! Access-path throughput model.
+//!
+//! Per-chunk achievable throughput follows a log-space AR(1) process around
+//! a base rate: consecutive chunks are correlated (congestion persists for
+//! seconds to minutes) while the marginal distribution stays log-normal —
+//! both well-documented properties of wide-area TCP throughput.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Stochastic throughput model of one client's network path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathModel {
+    /// Median achievable throughput in kbps.
+    pub base_kbps: f64,
+    /// Standard deviation of the log-throughput process (0 = deterministic).
+    pub sigma: f64,
+    /// AR(1) correlation of consecutive chunk throughputs, in `[0, 1)`.
+    pub rho: f64,
+    /// One-way propagation delay to the edge in milliseconds.
+    pub rtt_ms: f64,
+}
+
+impl PathModel {
+    /// A comfortable fixed-line path (cable-like).
+    pub fn cable() -> PathModel {
+        PathModel {
+            base_kbps: 12_000.0,
+            sigma: 0.35,
+            rho: 0.85,
+            rtt_ms: 30.0,
+        }
+    }
+
+    /// A mobile-wireless path: lower rate, much higher variability.
+    pub fn mobile() -> PathModel {
+        PathModel {
+            base_kbps: 2_200.0,
+            sigma: 0.8,
+            rho: 0.7,
+            rtt_ms: 80.0,
+        }
+    }
+
+    /// Scale the base rate by `factor` (used by planted congestion events).
+    pub fn degraded(mut self, factor: f64) -> PathModel {
+        debug_assert!(factor > 0.0);
+        self.base_kbps *= factor;
+        self
+    }
+
+    /// Start a per-session throughput process.
+    pub fn start<R: Rng + ?Sized>(&self, rng: &mut R) -> PathState {
+        // The innovations below have sd `sigma * sqrt(1 - rho^2)`, so the
+        // stationary marginal sd is exactly `sigma` — initialize there.
+        PathState {
+            log_dev: gaussian(rng) * self.sigma,
+        }
+    }
+
+    /// Throughput (kbps) for the next chunk, advancing the process.
+    pub fn next_throughput<R: Rng + ?Sized>(&self, state: &mut PathState, rng: &mut R) -> f64 {
+        let innovation = gaussian(rng) * self.sigma * (1.0 - self.rho * self.rho).sqrt();
+        state.log_dev = self.rho * state.log_dev + innovation;
+        (self.base_kbps * state.log_dev.exp()).max(1.0)
+    }
+}
+
+/// Evolving state of one session's path process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathState {
+    /// Current log-space deviation from the base rate.
+    pub log_dev: f64,
+}
+
+/// Standard normal via Box–Muller (avoids a distributions dependency).
+/// Shared across the simulation crates for every Gaussian draw.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::EPSILON {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn throughput_centers_on_base_rate() {
+        let model = PathModel::cable();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut state = model.start(&mut rng);
+        let n = 20_000;
+        let mean_log: f64 = (0..n)
+            .map(|_| model.next_throughput(&mut state, &mut rng).ln())
+            .sum::<f64>()
+            / n as f64;
+        // Log-mean should be close to ln(base).
+        assert!(
+            (mean_log - model.base_kbps.ln()).abs() < 0.05,
+            "mean log dev {mean_log} vs {}",
+            model.base_kbps.ln()
+        );
+    }
+
+    #[test]
+    fn consecutive_chunks_are_correlated() {
+        let model = PathModel {
+            base_kbps: 5000.0,
+            sigma: 0.5,
+            rho: 0.9,
+            rtt_ms: 30.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut state = model.start(&mut rng);
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| model.next_throughput(&mut state, &mut rng).ln())
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let cov = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (xs.len() - 1) as f64;
+        let rho_hat = cov / var;
+        assert!(
+            (rho_hat - 0.9).abs() < 0.05,
+            "estimated autocorrelation {rho_hat}"
+        );
+    }
+
+    #[test]
+    fn degraded_scales_base() {
+        let m = PathModel::cable().degraded(0.25);
+        assert!((m.base_kbps - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let model = PathModel {
+            base_kbps: 4000.0,
+            sigma: 0.0,
+            rho: 0.5,
+            rtt_ms: 20.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut state = model.start(&mut rng);
+        for _ in 0..10 {
+            assert!((model.next_throughput(&mut state, &mut rng) - 4000.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn throughput_never_hits_zero() {
+        let model = PathModel {
+            base_kbps: 10.0,
+            sigma: 3.0,
+            rho: 0.0,
+            rtt_ms: 500.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut state = model.start(&mut rng);
+        for _ in 0..10_000 {
+            assert!(model.next_throughput(&mut state, &mut rng) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The player state machine: join phase, chunk download loop, buffer
+//! dynamics, and viewer abandonment.
+//!
+//! [`simulate_session`] is the single entry point: given a fully-resolved
+//! session environment (path, edge, ladder, algorithm, viewer intent) it
+//! plays the session out chunk by chunk and reports the four quality
+//! metrics the paper studies. No metric is sampled directly — each one
+//! emerges from the mechanics:
+//!
+//! * **join failure** — edge-side failure draw, or the viewer abandoning a
+//!   join that exceeds their patience (nothing ever played);
+//! * **join time** — RTTs + edge first-byte + player-module fetch + first
+//!   chunk download at the startup rung;
+//! * **buffering ratio** — stalls whenever a chunk download outlasts the
+//!   buffer;
+//! * **average bitrate** — the ABR algorithm's rung choices, time-weighted.
+
+use crate::abr::{AbrAlgorithm, AbrState, BitrateLadder};
+use crate::cdn::EdgeModel;
+use crate::path::PathModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vqlens_model::metric::QualityMeasurement;
+
+/// Viewer behaviour: how long they want to watch and how much pain they
+/// tolerate before leaving.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ViewerModel {
+    /// Seconds of content the viewer intends to watch.
+    pub intended_duration_s: f64,
+    /// Abandon the join (=> join failure) beyond this many milliseconds.
+    pub join_patience_ms: f64,
+    /// Abandon the session once cumulative rebuffering exceeds this many
+    /// seconds.
+    pub rebuffer_patience_s: f64,
+}
+
+impl Default for ViewerModel {
+    fn default() -> Self {
+        ViewerModel {
+            intended_duration_s: 300.0,
+            join_patience_ms: 90_000.0,
+            rebuffer_patience_s: 120.0,
+        }
+    }
+}
+
+/// Fully-resolved environment of one session, after applying any planted
+/// event modifiers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionEnv {
+    /// Access-path throughput model.
+    pub path: PathModel,
+    /// CDN edge behaviour.
+    pub edge: EdgeModel,
+    /// The site's encoding ladder.
+    pub ladder: BitrateLadder,
+    /// The player's adaptation algorithm.
+    pub algorithm: AbrAlgorithm,
+    /// Viewer intent and patience.
+    pub viewer: ViewerModel,
+    /// Ladder rung the player starts on (0 = lowest; premium sites that
+    /// insist on high startup quality — a join-time culprit in the paper's
+    /// Table 3 — set this higher).
+    pub startup_rung: usize,
+    /// Chunk duration in seconds (typically 4).
+    pub chunk_s: f64,
+    /// Player buffer cap in seconds of content.
+    pub max_buffer_s: f64,
+}
+
+impl SessionEnv {
+    /// A healthy desktop session on a fixed line: useful default for tests
+    /// and examples.
+    pub fn healthy() -> SessionEnv {
+        SessionEnv {
+            path: PathModel::cable(),
+            edge: EdgeModel::healthy(),
+            ladder: BitrateLadder::standard(),
+            algorithm: AbrAlgorithm::ThroughputRule,
+            viewer: ViewerModel::default(),
+            startup_rung: 0,
+            chunk_s: 4.0,
+            max_buffer_s: 30.0,
+        }
+    }
+}
+
+/// Simulate one session and report its quality measurement.
+pub fn simulate_session<R: Rng + ?Sized>(env: &SessionEnv, rng: &mut R) -> QualityMeasurement {
+    debug_assert!(env.chunk_s > 0.0 && env.max_buffer_s >= env.chunk_s);
+
+    // --- Join phase -------------------------------------------------------
+    if env.edge.sample_join_failure(rng) {
+        return QualityMeasurement::failed();
+    }
+
+    let mut path_state = env.path.start(rng);
+    let per_request_overhead_s = (env.path.rtt_ms + env.edge.first_byte_ms) / 1000.0;
+
+    // Manifest fetch (one round trip + first byte) plus third-party player
+    // module loads, then the first chunk at the startup rung.
+    let setup_s = 2.0 * env.path.rtt_ms / 1000.0
+        + env.edge.first_byte_ms / 1000.0
+        + env.edge.module_load_ms / 1000.0;
+
+    let first_throughput =
+        env.path.next_throughput(&mut path_state, rng) * env.edge.throughput_factor;
+    let mut abr = AbrState::new(env.algorithm, first_throughput);
+    // Most players start at the lowest rung for fast startup; premium
+    // sites may pin a higher startup rung (slower joins on weak paths).
+    let startup_rung = env.startup_rung.min(env.ladder.len() - 1);
+    let startup_rate = env.ladder.rate(startup_rung);
+    let first_chunk_s =
+        (startup_rate * env.chunk_s) / first_throughput + per_request_overhead_s;
+
+    let join_time_s = setup_s + first_chunk_s;
+    let join_time_ms = (join_time_s * 1000.0).round().min(f64::from(u32::MAX)) as u32;
+    if f64::from(join_time_ms) > env.viewer.join_patience_ms {
+        // The viewer walked away before a single frame rendered.
+        return QualityMeasurement::failed();
+    }
+
+    // --- Steady-state playback -------------------------------------------
+    let mut buffer_s = env.chunk_s;
+    let mut downloaded_s = env.chunk_s;
+    let mut played_s = 0.0f64;
+    let mut buffering_s = 0.0f64;
+    let mut rate_seconds = startup_rate * env.chunk_s;
+    let mut abandoned = false;
+
+    while downloaded_s < env.viewer.intended_duration_s {
+        // Respect the buffer cap: play content out before fetching more.
+        if buffer_s > env.max_buffer_s {
+            played_s += buffer_s - env.max_buffer_s;
+            buffer_s = env.max_buffer_s;
+        }
+
+        let rung = abr.choose(&env.ladder, buffer_s);
+        let rate = env.ladder.rate(rung);
+        let throughput =
+            env.path.next_throughput(&mut path_state, rng) * env.edge.throughput_factor;
+        let dl_s = (rate * env.chunk_s) / throughput.max(1.0) + per_request_overhead_s;
+        abr.observe((rate * env.chunk_s) / dl_s);
+
+        // While the chunk downloads, playback drains the buffer; any excess
+        // download time is a stall.
+        let stall = (dl_s - buffer_s).max(0.0);
+        let play = dl_s - stall;
+        played_s += play;
+        buffering_s += stall;
+        buffer_s = buffer_s - play + env.chunk_s;
+        downloaded_s += env.chunk_s;
+        rate_seconds += rate * env.chunk_s;
+
+        if buffering_s > env.viewer.rebuffer_patience_s {
+            abandoned = true;
+            break;
+        }
+    }
+    if !abandoned {
+        // The tail of the buffer plays out stall-free.
+        played_s += buffer_s;
+    }
+
+    let avg_bitrate = rate_seconds / downloaded_s;
+    QualityMeasurement::joined(
+        join_time_ms,
+        played_s as f32,
+        buffering_s as f32,
+        avg_bitrate as f32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vqlens_model::metric::{Metric, Thresholds};
+
+    fn run_many(env: &SessionEnv, n: usize, seed: u64) -> Vec<QualityMeasurement> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| simulate_session(env, &mut rng)).collect()
+    }
+
+    fn problem_rate(qs: &[QualityMeasurement], metric: Metric) -> f64 {
+        let t = Thresholds::default();
+        qs.iter().filter(|q| t.is_problem(q, metric)).count() as f64 / qs.len() as f64
+    }
+
+    #[test]
+    fn healthy_sessions_are_mostly_fine() {
+        let env = SessionEnv::healthy();
+        let qs = run_many(&env, 500, 1);
+        assert!(problem_rate(&qs, Metric::JoinFailure) < 0.03);
+        assert!(problem_rate(&qs, Metric::JoinTime) < 0.02);
+        assert!(problem_rate(&qs, Metric::BufRatio) < 0.05);
+        assert!(
+            problem_rate(&qs, Metric::Bitrate) < 0.05,
+            "cable + standard ladder should stream above 700 kbps"
+        );
+    }
+
+    #[test]
+    fn certain_edge_failure_fails_every_join() {
+        let mut env = SessionEnv::healthy();
+        env.edge.join_fail_prob = 1.0;
+        for q in run_many(&env, 50, 2) {
+            assert!(q.join_failed);
+        }
+    }
+
+    #[test]
+    fn slow_module_load_inflates_join_time() {
+        let mut env = SessionEnv::healthy();
+        env.edge.module_load_ms = 15_000.0;
+        let qs = run_many(&env, 200, 3);
+        assert!(problem_rate(&qs, Metric::JoinTime) > 0.95);
+        // But playback itself is unaffected.
+        assert!(problem_rate(&qs, Metric::BufRatio) < 0.05);
+    }
+
+    #[test]
+    fn congested_path_with_single_bitrate_buffers_heavily() {
+        let mut env = SessionEnv::healthy();
+        env.ladder = BitrateLadder::single(1500.0);
+        env.algorithm = AbrAlgorithm::Fixed;
+        env.path = env.path.degraded(0.08); // ~960 kbps median < 1500 kbps
+        let qs = run_many(&env, 200, 4);
+        assert!(
+            problem_rate(&qs, Metric::BufRatio) > 0.5,
+            "got {}",
+            problem_rate(&qs, Metric::BufRatio)
+        );
+    }
+
+    #[test]
+    fn adaptive_ladder_rescues_congested_path() {
+        // Same congestion as above, but with a full ladder + ABR the player
+        // downshifts: buffering improves at the cost of bitrate problems.
+        let mut env = SessionEnv::healthy();
+        env.path = env.path.degraded(0.08);
+        let qs = run_many(&env, 200, 5);
+        assert!(problem_rate(&qs, Metric::BufRatio) < 0.4);
+        assert!(
+            problem_rate(&qs, Metric::Bitrate) > 0.5,
+            "downshifted sessions drop below 700 kbps: {}",
+            problem_rate(&qs, Metric::Bitrate)
+        );
+    }
+
+    #[test]
+    fn bitrates_stay_within_ladder() {
+        let env = SessionEnv::healthy();
+        let ladder = &env.ladder;
+        for q in run_many(&env, 300, 6) {
+            if let Some(b) = q.bitrate() {
+                assert!(b >= ladder.rate(0) - 1e-6);
+                assert!(b <= ladder.rate(ladder.len() - 1) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn abandonment_cuts_play_duration() {
+        let mut env = SessionEnv::healthy();
+        env.path = env.path.degraded(0.01); // hopeless path
+        env.viewer.rebuffer_patience_s = 20.0;
+        let qs = run_many(&env, 100, 7);
+        let joined: Vec<_> = qs.iter().filter(|q| !q.join_failed).collect();
+        assert!(!joined.is_empty());
+        let short = joined
+            .iter()
+            .filter(|q| f64::from(q.play_duration_s) < env.viewer.intended_duration_s * 0.9)
+            .count();
+        assert!(
+            short as f64 / joined.len() as f64 > 0.8,
+            "most viewers should abandon"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let env = SessionEnv::healthy();
+        let a = run_many(&env, 50, 99);
+        let b = run_many(&env, 50, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn buffering_ratio_and_duration_are_consistent() {
+        let mut env = SessionEnv::healthy();
+        env.path = env.path.degraded(0.15);
+        for q in run_many(&env, 200, 8) {
+            if q.join_failed {
+                continue;
+            }
+            assert!(q.play_duration_s >= 0.0);
+            assert!(q.buffering_s >= 0.0);
+            if let Some(r) = q.buffering_ratio() {
+                assert!((0.0..=1.0).contains(&r));
+            }
+        }
+    }
+}

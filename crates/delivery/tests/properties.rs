@@ -1,0 +1,123 @@
+//! Property-based tests for the streaming-delivery simulator.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vqlens_delivery::abr::{AbrAlgorithm, BitrateLadder};
+use vqlens_delivery::cdn::EdgeModel;
+use vqlens_delivery::path::PathModel;
+use vqlens_delivery::player::{simulate_session, SessionEnv, ViewerModel};
+
+fn arb_env() -> impl Strategy<Value = SessionEnv> {
+    (
+        100f64..30_000.0,              // base_kbps
+        0f64..1.0,                     // sigma
+        0f64..0.95,                    // rho
+        5f64..300.0,                   // rtt
+        0f64..0.2,                     // join_fail_prob
+        0f64..3_000.0,                 // first_byte
+        0.05f64..1.0,                  // throughput factor
+        prop_oneof![
+            Just(AbrAlgorithm::ThroughputRule),
+            Just(AbrAlgorithm::BufferRule),
+            Just(AbrAlgorithm::Fixed)
+        ],
+        60f64..900.0,                  // intended duration
+        any::<bool>(),                 // single ladder?
+    )
+        .prop_map(
+            |(base, sigma, rho, rtt, fail, fb, tf, algorithm, dur, single)| SessionEnv {
+                path: PathModel {
+                    base_kbps: base,
+                    sigma,
+                    rho,
+                    rtt_ms: rtt,
+                },
+                edge: EdgeModel {
+                    first_byte_ms: fb,
+                    join_fail_prob: fail,
+                    throughput_factor: tf,
+                    module_load_ms: 150.0,
+                },
+                ladder: if single {
+                    BitrateLadder::single(1_200.0)
+                } else {
+                    BitrateLadder::standard()
+                },
+                algorithm,
+                viewer: ViewerModel {
+                    intended_duration_s: dur,
+                    join_patience_ms: 90_000.0,
+                    rebuffer_patience_s: 120.0,
+                },
+                startup_rung: 0,
+                chunk_s: 4.0,
+                max_buffer_s: 30.0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every simulated session yields a physically consistent measurement.
+    #[test]
+    fn measurements_are_physical(env in arb_env(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let q = simulate_session(&env, &mut rng);
+        if q.join_failed {
+            prop_assert_eq!(q.play_duration_s, 0.0);
+            prop_assert_eq!(q.avg_bitrate_kbps, 0.0);
+        } else {
+            prop_assert!(q.play_duration_s >= 0.0);
+            prop_assert!(q.buffering_s >= 0.0);
+            let lo = env.ladder.rate(0);
+            let hi = env.ladder.rate(env.ladder.len() - 1);
+            prop_assert!(f64::from(q.avg_bitrate_kbps) >= lo - 1e-6);
+            prop_assert!(f64::from(q.avg_bitrate_kbps) <= hi + 1e-6);
+            if let Some(r) = q.buffering_ratio() {
+                prop_assert!((0.0..=1.0).contains(&r));
+            }
+            // The viewer never watches more than intended (+ buffer slop of
+            // one chunk from the drain).
+            prop_assert!(
+                f64::from(q.play_duration_s)
+                    <= env.viewer.intended_duration_s + env.max_buffer_s + env.chunk_s
+            );
+            // Join within the viewer's patience (otherwise it's a failure).
+            prop_assert!(f64::from(q.join_time_ms) <= env.viewer.join_patience_ms);
+        }
+    }
+
+    /// Same environment + same seed => bit-identical sessions.
+    #[test]
+    fn simulation_is_deterministic(env in arb_env(), seed in 0u64..1000) {
+        let a = simulate_session(&env, &mut SmallRng::seed_from_u64(seed));
+        let b = simulate_session(&env, &mut SmallRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    /// More bandwidth can only help: average bitrate over many sessions is
+    /// monotone in the path's base rate.
+    #[test]
+    fn bitrate_monotone_in_bandwidth(seed in 0u64..100) {
+        let mut slow = SessionEnv::healthy();
+        slow.path.base_kbps = 900.0;
+        let mut fast = SessionEnv::healthy();
+        fast.path.base_kbps = 9_000.0;
+        let mean = |env: &SessionEnv| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sum = 0.0;
+            let mut n = 0;
+            for _ in 0..60 {
+                let q = simulate_session(env, &mut rng);
+                if let Some(b) = q.bitrate() {
+                    sum += b;
+                    n += 1;
+                }
+            }
+            sum / f64::from(n.max(1))
+        };
+        prop_assert!(mean(&fast) > mean(&slow));
+    }
+}

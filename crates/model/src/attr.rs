@@ -1,0 +1,661 @@
+//! Session attributes, attribute subset masks, and packed cluster keys.
+//!
+//! The paper associates every session with seven attributes (§2). Clusters
+//! are defined over the subset lattice of these attributes: a cluster such as
+//! `"ASN=ASN1, CDN=CDN1"` is the set of sessions matching those values. With
+//! seven dimensions there are `2^7 - 1 = 127` non-trivial projections of each
+//! session (the empty projection is the "Root" cluster holding everything).
+//!
+//! For performance the whole `(mask, values)` pair is packed into a single
+//! `u64` ([`ClusterKey`]): the analysis pipeline performs hundreds of
+//! millions of hash-map updates keyed by cluster, so keys must be `Copy`,
+//! cheap to hash, and allocation-free.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The seven client/session attributes from the paper, in its order of
+/// presentation (§2: ASN, CDN, Site, VoD-or-Live, player, browser,
+/// connection type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AttrKey {
+    /// Autonomous system number of the client IP.
+    Asn = 0,
+    /// Content delivery network that served (most of) the session.
+    Cdn = 1,
+    /// Content provider ("site") the content was requested from.
+    Site = 2,
+    /// Whether the content was a live event or video-on-demand.
+    VodOrLive = 3,
+    /// Player technology (Flash, Silverlight, HTML5, ...).
+    PlayerType = 4,
+    /// Client browser.
+    Browser = 5,
+    /// Access-network connection type (mobile wireless, DSL, fiber, ...).
+    ConnType = 6,
+}
+
+impl AttrKey {
+    /// All attributes in canonical (paper) order.
+    pub const ALL: [AttrKey; 7] = [
+        AttrKey::Asn,
+        AttrKey::Cdn,
+        AttrKey::Site,
+        AttrKey::VodOrLive,
+        AttrKey::PlayerType,
+        AttrKey::Browser,
+        AttrKey::ConnType,
+    ];
+
+    /// Number of attribute dimensions.
+    pub const COUNT: usize = 7;
+
+    /// The dimension index (0..7) of this attribute.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The attribute for a dimension index; panics if `idx >= 7`.
+    #[inline]
+    pub const fn from_index(idx: usize) -> AttrKey {
+        Self::ALL[idx]
+    }
+
+    /// Short human-readable name matching the paper's figures.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AttrKey::Asn => "ASN",
+            AttrKey::Cdn => "CDN",
+            AttrKey::Site => "Site",
+            AttrKey::VodOrLive => "VodOrLive",
+            AttrKey::PlayerType => "PlayerType",
+            AttrKey::Browser => "Browser",
+            AttrKey::ConnType => "ConnectionType",
+        }
+    }
+}
+
+impl fmt::Display for AttrKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Bit width of each attribute's value field inside a packed key, by
+/// dimension index. Chosen to comfortably fit realistic cardinalities
+/// (the paper saw ~15 K ASNs, 19 CDNs, 379 sites) with headroom:
+/// ASN 16 bits, CDN 6, Site 10, VodOrLive 1, Player 3, Browser 3, Conn 3.
+pub const VALUE_BITS: [u32; 7] = [16, 6, 10, 1, 3, 3, 3];
+
+/// Bit offset of each attribute's value field inside a packed key.
+pub const VALUE_SHIFT: [u32; 7] = {
+    let mut shifts = [0u32; 7];
+    let mut acc = 0u32;
+    let mut i = 0;
+    while i < 7 {
+        shifts[i] = acc;
+        acc += VALUE_BITS[i];
+        i += 1;
+    }
+    shifts
+};
+
+/// Total bits used by value fields (the mask occupies the 7 bits above).
+pub const TOTAL_VALUE_BITS: u32 = {
+    let mut acc = 0u32;
+    let mut i = 0;
+    while i < 7 {
+        acc += VALUE_BITS[i];
+        i += 1;
+    }
+    acc
+};
+
+/// Maximum representable value id for each dimension.
+#[inline]
+pub const fn max_value(dim: usize) -> u32 {
+    ((1u64 << VALUE_BITS[dim]) - 1) as u32
+}
+
+/// For every 7-bit attribute mask, the `u64` bit pattern selecting the value
+/// fields of the constrained dimensions. Hot-path projection of a packed key
+/// onto a submask is then a single AND plus OR (see
+/// [`ClusterKey::project_onto`]).
+pub const PROJ_BITS: [u64; 128] = {
+    let mut table = [0u64; 128];
+    let mut m = 0usize;
+    while m < 128 {
+        let mut bits = 0u64;
+        let mut dim = 0;
+        while dim < 7 {
+            if m & (1 << dim) != 0 {
+                bits |= ((1u64 << VALUE_BITS[dim]) - 1) << VALUE_SHIFT[dim];
+            }
+            dim += 1;
+        }
+        table[m] = bits;
+        m += 1;
+    }
+    table
+};
+
+/// A subset of the seven attribute dimensions, as a 7-bit set.
+///
+/// `AttrMask` identifies *which* attributes a cluster constrains; the root
+/// cluster has the empty mask and a full session "leaf" has all seven bits
+/// set. Masks form the subset lattice over which problem clusters and
+/// critical clusters are defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrMask(pub u8);
+
+impl AttrMask {
+    /// The empty mask: the root cluster (all sessions).
+    pub const EMPTY: AttrMask = AttrMask(0);
+    /// The full mask: all seven attributes fixed (a session "leaf").
+    pub const FULL: AttrMask = AttrMask(0x7f);
+
+    /// Mask containing exactly one attribute.
+    #[inline]
+    pub const fn single(key: AttrKey) -> AttrMask {
+        AttrMask(1 << key.index())
+    }
+
+    /// Build a mask from a list of attributes.
+    pub fn of(keys: &[AttrKey]) -> AttrMask {
+        let mut m = 0u8;
+        for k in keys {
+            m |= 1 << k.index();
+        }
+        AttrMask(m)
+    }
+
+    /// Does this mask constrain attribute `key`?
+    #[inline]
+    pub const fn contains(self, key: AttrKey) -> bool {
+        self.0 & (1 << key.index()) != 0
+    }
+
+    /// Does this mask constrain dimension index `dim`?
+    #[inline]
+    pub const fn contains_dim(self, dim: usize) -> bool {
+        self.0 & (1 << dim) != 0
+    }
+
+    /// Mask with attribute `key` added.
+    #[inline]
+    pub const fn with(self, key: AttrKey) -> AttrMask {
+        AttrMask(self.0 | (1 << key.index()))
+    }
+
+    /// Mask with attribute `key` removed.
+    #[inline]
+    pub const fn without(self, key: AttrKey) -> AttrMask {
+        AttrMask(self.0 & !(1 << key.index()))
+    }
+
+    /// Number of constrained attributes.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True for the empty (root) mask.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Is `self` a (non-strict) subset of `other`?
+    #[inline]
+    pub const fn is_subset_of(self, other: AttrMask) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Is `self` a strict subset of `other`?
+    #[inline]
+    pub const fn is_strict_subset_of(self, other: AttrMask) -> bool {
+        self.0 != other.0 && self.is_subset_of(other)
+    }
+
+    /// Iterate over the constrained attributes, in dimension order.
+    pub fn iter(self) -> impl Iterator<Item = AttrKey> {
+        AttrKey::ALL
+            .into_iter()
+            .filter(move |k| self.contains(*k))
+    }
+
+    /// Iterate the *parents* in the cluster DAG: all masks obtained by
+    /// removing exactly one attribute. The root has no parents.
+    pub fn parents(self) -> impl Iterator<Item = AttrMask> {
+        AttrKey::ALL.into_iter().filter_map(move |k| {
+            if self.contains(k) {
+                Some(self.without(k))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// All `2^7` masks, including the empty mask, in increasing bit order.
+    pub fn all() -> impl Iterator<Item = AttrMask> {
+        (0u8..=0x7f).map(AttrMask)
+    }
+
+    /// All non-empty masks (the 127 session projections).
+    pub fn all_nonempty() -> impl Iterator<Item = AttrMask> {
+        (1u8..=0x7f).map(AttrMask)
+    }
+
+    /// All non-empty, non-strict submasks of `self` (including `self`).
+    ///
+    /// Uses the standard subset-enumeration trick, visiting each of the
+    /// `2^len - 1` non-empty subsets exactly once.
+    pub fn nonempty_submasks(self) -> impl Iterator<Item = AttrMask> {
+        let full = self.0;
+        let mut sub = full;
+        let mut done = full == 0;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let cur = sub;
+            if sub == 0 {
+                return None;
+            }
+            sub = (sub - 1) & full;
+            if sub == 0 {
+                done = true;
+            }
+            Some(AttrMask(cur))
+        })
+    }
+}
+
+impl fmt::Display for AttrMask {
+    /// Renders like the paper's Figure 10 labels:
+    /// `[*, CDN, *, *, *, *, *]` for the CDN-only mask.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, key) in AttrKey::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if self.contains(*key) {
+                write!(f, "{}", key.name())?;
+            } else {
+                write!(f, "*")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// The fully-specified attribute vector of one session (a lattice "leaf").
+///
+/// Values are dictionary ids (see [`crate::dataset::AttrDict`]); the mapping
+/// from ids to names lives in the dataset, keeping sessions compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionAttrs {
+    /// Value id for every dimension, indexed by [`AttrKey::index`].
+    pub values: [u32; 7],
+}
+
+impl SessionAttrs {
+    /// Construct from per-dimension value ids; panics (debug) if any value
+    /// exceeds its dimension's packed width.
+    pub fn new(values: [u32; 7]) -> SessionAttrs {
+        for (dim, v) in values.iter().enumerate() {
+            // A hard assert (not debug): an over-width id would silently
+            // bleed into neighbouring packed fields and corrupt every
+            // cluster key derived from this session. Seven compares are
+            // noise next to the simulation work per session.
+            assert!(
+                *v <= max_value(dim),
+                "attribute value {v} exceeds width of dimension {dim}"
+            );
+        }
+        SessionAttrs { values }
+    }
+
+    /// Value id of one attribute.
+    #[inline]
+    pub fn get(&self, key: AttrKey) -> u32 {
+        self.values[key.index()]
+    }
+
+    /// The leaf cluster key (all seven attributes fixed).
+    #[inline]
+    pub fn leaf_key(&self) -> ClusterKey {
+        self.project(AttrMask::FULL)
+    }
+
+    /// Project this session onto an attribute subset, producing the key of
+    /// the cluster (with that mask) the session belongs to.
+    #[inline]
+    pub fn project(&self, mask: AttrMask) -> ClusterKey {
+        let mut packed: u64 = (mask.0 as u64) << TOTAL_VALUE_BITS;
+        // Unconstrained dimensions are canonically zero so that equal
+        // (mask, constrained-values) pairs pack identically.
+        for (dim, value) in self.values.iter().enumerate() {
+            if mask.contains_dim(dim) {
+                packed |= (*value as u64) << VALUE_SHIFT[dim];
+            }
+        }
+        ClusterKey(packed)
+    }
+}
+
+/// A cluster identifier: an attribute subset plus the value of each
+/// constrained attribute, packed into one `u64`.
+///
+/// ```
+/// use vqlens_model::attr::{AttrKey, AttrMask, ClusterKey, SessionAttrs};
+///
+/// // A session's full attribute vector …
+/// let session = SessionAttrs::new([7922, 3, 120, 0, 2, 1, 4]);
+/// // … projects onto any attribute subset, giving the cluster it belongs to.
+/// let cluster = session.project(AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]));
+/// assert_eq!(cluster.value(AttrKey::Asn), Some(7922));
+/// assert_eq!(cluster.value(AttrKey::Site), None);
+/// assert!(cluster.generalizes(session.leaf_key()));
+/// assert_eq!(cluster.to_string(), "[ASN=7922, CDN=3, *, *, *, *, *]");
+/// ```
+///
+/// Layout (low to high): value fields per [`VALUE_BITS`]/[`VALUE_SHIFT`],
+/// then the 7-bit mask at [`TOTAL_VALUE_BITS`]. Unconstrained dimensions are
+/// zero, making the packing canonical: two keys are equal iff they denote
+/// the same cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClusterKey(pub u64);
+
+impl ClusterKey {
+    /// The root cluster (no attributes constrained).
+    pub const ROOT: ClusterKey = ClusterKey(0);
+
+    /// Build a key from a mask and a full value vector (unmasked dims are
+    /// ignored/zeroed).
+    pub fn new(mask: AttrMask, values: [u32; 7]) -> ClusterKey {
+        SessionAttrs::new(values).project(mask)
+    }
+
+    /// Build a single-attribute cluster key.
+    pub fn of_single(key: AttrKey, value: u32) -> ClusterKey {
+        let mut values = [0u32; 7];
+        values[key.index()] = value;
+        ClusterKey::new(AttrMask::single(key), values)
+    }
+
+    /// The attribute subset this cluster constrains.
+    #[inline]
+    pub fn mask(self) -> AttrMask {
+        AttrMask(((self.0 >> TOTAL_VALUE_BITS) & 0x7f) as u8)
+    }
+
+    /// The value id of dimension `dim` (zero when unconstrained).
+    #[inline]
+    pub fn value_dim(self, dim: usize) -> u32 {
+        ((self.0 >> VALUE_SHIFT[dim]) & ((1u64 << VALUE_BITS[dim]) - 1)) as u32
+    }
+
+    /// The value id of attribute `key`, or `None` when unconstrained.
+    #[inline]
+    pub fn value(self, key: AttrKey) -> Option<u32> {
+        if self.mask().contains(key) {
+            Some(self.value_dim(key.index()))
+        } else {
+            None
+        }
+    }
+
+    /// Number of constrained attributes.
+    #[inline]
+    pub fn depth(self) -> u32 {
+        self.mask().len()
+    }
+
+    /// The parent obtained by unconstraining attribute `key`; `None` if this
+    /// cluster does not constrain `key`.
+    pub fn parent_without(self, key: AttrKey) -> Option<ClusterKey> {
+        if !self.mask().contains(key) {
+            return None;
+        }
+        let dim = key.index();
+        let value_mask = ((1u64 << VALUE_BITS[dim]) - 1) << VALUE_SHIFT[dim];
+        let mask_bit = 1u64 << (TOTAL_VALUE_BITS + dim as u32);
+        Some(ClusterKey(self.0 & !value_mask & !mask_bit))
+    }
+
+    /// Project this key onto a submask of its own mask, yielding the
+    /// ancestor cluster constraining only the attributes in `mask`.
+    ///
+    /// This is the hot-path generalization primitive: one AND plus one OR.
+    ///
+    /// # Panics
+    /// Debug-panics when `mask` is not a subset of this key's mask.
+    #[inline]
+    pub fn project_onto(self, mask: AttrMask) -> ClusterKey {
+        debug_assert!(
+            mask.is_subset_of(self.mask()),
+            "projection mask {mask:?} not a subset of {:?}",
+            self.mask()
+        );
+        ClusterKey((self.0 & PROJ_BITS[mask.0 as usize]) | ((mask.0 as u64) << TOTAL_VALUE_BITS))
+    }
+
+    /// All parents in the cluster DAG (one constrained attribute removed).
+    pub fn parents(self) -> impl Iterator<Item = ClusterKey> {
+        AttrKey::ALL
+            .into_iter()
+            .filter_map(move |k| self.parent_without(k))
+    }
+
+    /// Is `self` an ancestor-or-equal of `other` (i.e., does every session
+    /// in `other` also belong to `self`)?
+    pub fn generalizes(self, other: ClusterKey) -> bool {
+        if !self.mask().is_subset_of(other.mask()) {
+            return false;
+        }
+        self.mask()
+            .iter()
+            .all(|k| self.value_dim(k.index()) == other.value_dim(k.index()))
+    }
+
+    /// The projection of a full leaf onto this cluster's mask equals this
+    /// key exactly when the leaf's sessions belong to this cluster.
+    pub fn matches_leaf(self, leaf: ClusterKey) -> bool {
+        debug_assert_eq!(leaf.mask(), AttrMask::FULL);
+        self.generalizes(leaf)
+    }
+
+    /// Render with dictionary names resolved via `resolve(key, id) -> name`.
+    pub fn display_with<'a, F>(self, resolve: F) -> ClusterKeyDisplay<F>
+    where
+        F: Fn(AttrKey, u32) -> &'a str,
+    {
+        ClusterKeyDisplay { key: self, resolve }
+    }
+}
+
+impl fmt::Display for ClusterKey {
+    /// Renders like `[ASN=17, CDN=3, *, *, *, *, *]` (raw value ids).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, key) in AttrKey::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match self.value(*key) {
+                Some(v) => write!(f, "{}={}", key.name(), v)?,
+                None => write!(f, "*")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Helper returned by [`ClusterKey::display_with`], rendering value names.
+pub struct ClusterKeyDisplay<F> {
+    key: ClusterKey,
+    resolve: F,
+}
+
+impl<'a, F> fmt::Display for ClusterKeyDisplay<F>
+where
+    F: Fn(AttrKey, u32) -> &'a str,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, key) in AttrKey::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match self.key.value(*key) {
+                Some(v) => write!(f, "{}={}", key.name(), (self.resolve)(*key, v))?,
+                None => write!(f, "*")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_fit_in_u64() {
+        assert!(TOTAL_VALUE_BITS + 7 <= 64);
+        assert_eq!(VALUE_SHIFT[0], 0);
+        assert_eq!(VALUE_SHIFT[1], 16);
+        assert_eq!(TOTAL_VALUE_BITS, 42);
+    }
+
+    #[test]
+    fn mask_basics() {
+        let m = AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]);
+        assert!(m.contains(AttrKey::Asn));
+        assert!(m.contains(AttrKey::Cdn));
+        assert!(!m.contains(AttrKey::Site));
+        assert_eq!(m.len(), 2);
+        assert!(AttrMask::single(AttrKey::Asn).is_strict_subset_of(m));
+        assert!(!m.is_strict_subset_of(m));
+        assert!(m.is_subset_of(AttrMask::FULL));
+    }
+
+    #[test]
+    fn mask_parents() {
+        let m = AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn, AttrKey::Site]);
+        let parents: Vec<_> = m.parents().collect();
+        assert_eq!(parents.len(), 3);
+        for p in parents {
+            assert_eq!(p.len(), 2);
+            assert!(p.is_strict_subset_of(m));
+        }
+        assert_eq!(AttrMask::EMPTY.parents().count(), 0);
+    }
+
+    #[test]
+    fn mask_enumeration_counts() {
+        assert_eq!(AttrMask::all().count(), 128);
+        assert_eq!(AttrMask::all_nonempty().count(), 127);
+        let m = AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn, AttrKey::Site]);
+        let subs: Vec<_> = m.nonempty_submasks().collect();
+        assert_eq!(subs.len(), 7);
+        for s in &subs {
+            assert!(s.is_subset_of(m));
+            assert!(!s.is_empty());
+        }
+        assert_eq!(AttrMask::FULL.nonempty_submasks().count(), 127);
+        assert_eq!(AttrMask::EMPTY.nonempty_submasks().count(), 0);
+    }
+
+    #[test]
+    fn projection_is_canonical() {
+        let a = SessionAttrs::new([100, 5, 42, 1, 2, 3, 1]);
+        let b = SessionAttrs::new([100, 5, 7, 0, 0, 1, 4]);
+        let m = AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]);
+        // Same ASN and CDN => same cluster regardless of other attributes.
+        assert_eq!(a.project(m), b.project(m));
+        // Different mask => different cluster even with equal values.
+        assert_ne!(a.project(m), a.project(AttrMask::single(AttrKey::Asn)));
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        let attrs = SessionAttrs::new([65535, 63, 1023, 1, 7, 7, 7]);
+        let key = attrs.leaf_key();
+        assert_eq!(key.mask(), AttrMask::FULL);
+        for k in AttrKey::ALL {
+            assert_eq!(key.value(k), Some(attrs.get(k)));
+        }
+        let m = AttrMask::of(&[AttrKey::Site, AttrKey::ConnType]);
+        let key = attrs.project(m);
+        assert_eq!(key.mask(), m);
+        assert_eq!(key.value(AttrKey::Site), Some(1023));
+        assert_eq!(key.value(AttrKey::ConnType), Some(7));
+        assert_eq!(key.value(AttrKey::Asn), None);
+    }
+
+    #[test]
+    fn parent_without_unconstrains() {
+        let attrs = SessionAttrs::new([9, 2, 30, 0, 1, 2, 3]);
+        let m = AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]);
+        let key = attrs.project(m);
+        let p = key.parent_without(AttrKey::Cdn).unwrap();
+        assert_eq!(p, attrs.project(AttrMask::single(AttrKey::Asn)));
+        assert!(key.parent_without(AttrKey::Site).is_none());
+        assert_eq!(key.parents().count(), 2);
+        assert_eq!(ClusterKey::ROOT.parents().count(), 0);
+    }
+
+    #[test]
+    fn generalizes_semantics() {
+        let attrs = SessionAttrs::new([9, 2, 30, 0, 1, 2, 3]);
+        let leaf = attrs.leaf_key();
+        let asn = attrs.project(AttrMask::single(AttrKey::Asn));
+        let asn_cdn = attrs.project(AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]));
+        assert!(asn.generalizes(asn_cdn));
+        assert!(asn.generalizes(leaf));
+        assert!(asn_cdn.generalizes(leaf));
+        assert!(!asn_cdn.generalizes(asn));
+        assert!(ClusterKey::ROOT.generalizes(leaf));
+        // Same mask, different value: no generalization.
+        let other = SessionAttrs::new([10, 2, 30, 0, 1, 2, 3]);
+        assert!(!asn.generalizes(other.leaf_key()));
+        assert!(asn.generalizes(asn));
+    }
+
+    #[test]
+    fn project_onto_matches_session_projection() {
+        let attrs = SessionAttrs::new([900, 13, 222, 1, 4, 5, 6]);
+        let leaf = attrs.leaf_key();
+        for mask in AttrMask::all() {
+            assert_eq!(leaf.project_onto(mask), attrs.project(mask));
+        }
+        // Projecting a partial key onto a submask of its mask.
+        let ac = attrs.project(AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]));
+        assert_eq!(
+            ac.project_onto(AttrMask::single(AttrKey::Cdn)),
+            attrs.project(AttrMask::single(AttrKey::Cdn))
+        );
+        assert_eq!(ac.project_onto(AttrMask::EMPTY), ClusterKey::ROOT);
+    }
+
+    #[test]
+    fn display_formats_like_paper() {
+        let key = ClusterKey::of_single(AttrKey::Cdn, 3);
+        assert_eq!(
+            key.to_string(),
+            "[*, CDN=3, *, *, *, *, *]"
+        );
+        let m = AttrMask::of(&[AttrKey::Site, AttrKey::ConnType]);
+        assert_eq!(
+            m.to_string(),
+            "[*, *, Site, *, *, *, ConnectionType]"
+        );
+        let named = key.display_with(|_, _| "Akamai-like");
+        assert_eq!(named.to_string(), "[*, CDN=Akamai-like, *, *, *, *, *]");
+    }
+}

@@ -1,0 +1,374 @@
+//! CSV import/export of session traces.
+//!
+//! The analysis side of vqlens is data-source agnostic: anything that can
+//! produce per-session records with the seven attributes and four quality
+//! fields can be analyzed. This module defines the interchange format —
+//! one session per line, attribute *names* (not ids) so files are
+//! self-describing and stable across dictionary orderings:
+//!
+//! ```text
+//! epoch,asn,cdn,site,vod_or_live,player,browser,conn_type,join_failed,join_time_ms,play_duration_s,buffering_s,avg_bitrate_kbps
+//! 17,AS7922,cdn-global-00,site-003,VoD,HTML5,Chrome,Cable,0,812,294.5,0.0,2280.0
+//! ```
+//!
+//! The format is deliberately quote-free: attribute names containing
+//! commas, quotes, or newlines are rejected at write time rather than
+//! silently escaped (no real ASN/CDN/site identifier contains them).
+
+use crate::attr::{AttrKey, SessionAttrs};
+use crate::dataset::{Dataset, DatasetMeta};
+use crate::epoch::EpochId;
+use crate::metric::QualityMeasurement;
+use crate::session::SessionRecord;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Upper bound on epoch ids accepted from CSV (~114 years of hourly data).
+pub const MAX_EPOCHS: u32 = 1_000_000;
+
+/// The header line of the interchange format.
+pub const CSV_HEADER: &str = "epoch,asn,cdn,site,vod_or_live,player,browser,conn_type,\
+join_failed,join_time_ms,play_duration_s,buffering_s,avg_bitrate_kbps";
+
+/// Errors arising while reading or writing trace CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The first line is not the expected header.
+    BadHeader {
+        /// What the first line actually was.
+        found: String,
+    },
+    /// A data line is malformed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// An attribute name cannot be represented (write side).
+    UnencodableName {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::BadHeader { found } => {
+                write!(f, "bad header: expected {CSV_HEADER:?}, found {found:?}")
+            }
+            CsvError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            CsvError::UnencodableName { name } => {
+                write!(f, "attribute name {name:?} contains a delimiter")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn check_name(name: &str) -> Result<&str, CsvError> {
+    if name.contains(',') || name.contains('\n') || name.contains('\r') || name.contains('"') {
+        return Err(CsvError::UnencodableName {
+            name: name.to_owned(),
+        });
+    }
+    Ok(name)
+}
+
+/// Write a dataset as CSV.
+pub fn write_csv<W: Write>(dataset: &Dataset, mut out: W) -> Result<(), CsvError> {
+    writeln!(out, "{CSV_HEADER}")?;
+    for (epoch, data) in dataset.iter_epochs() {
+        for (attrs, q) in data.iter() {
+            write!(out, "{}", epoch.0)?;
+            for key in AttrKey::ALL {
+                let id = attrs.get(key);
+                let name = dataset
+                    .value_name(key, id)
+                    .ok_or_else(|| CsvError::UnencodableName {
+                        name: format!("<unknown {key} id {id}>"),
+                    })?;
+                write!(out, ",{}", check_name(name)?)?;
+            }
+            writeln!(
+                out,
+                ",{},{},{},{},{}",
+                u8::from(q.join_failed),
+                q.join_time_ms,
+                q.play_duration_s,
+                q.buffering_s,
+                q.avg_bitrate_kbps
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a dataset from CSV. Attribute dictionaries are built in
+/// first-appearance order; the epoch count is `max epoch + 1`.
+pub fn read_csv<R: BufRead>(input: R) -> Result<Dataset, CsvError> {
+    let mut lines = input.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| CsvError::BadHeader {
+        found: "<empty input>".into(),
+    })?;
+    let header = header?;
+    if header.trim() != CSV_HEADER {
+        return Err(CsvError::BadHeader { found: header });
+    }
+
+    // Two passes are avoided by buffering parsed rows and sizing the
+    // dataset afterwards.
+    struct Row {
+        epoch: u32,
+        names: [String; 7],
+        quality: QualityMeasurement,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut max_epoch = 0u32;
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 13 {
+            return Err(CsvError::BadLine {
+                line: line_no,
+                reason: format!("expected 13 fields, found {}", fields.len()),
+            });
+        }
+        let bad = |what: &str| CsvError::BadLine {
+            line: line_no,
+            reason: format!("invalid {what}"),
+        };
+        let epoch: u32 = fields[0].trim().parse().map_err(|_| bad("epoch"))?;
+        // A dataset allocates one bucket per epoch up to the maximum id, so
+        // bound it: a fat-fingered epoch like 4294967295 must not allocate
+        // four billion buckets (or overflow `max_epoch + 1`).
+        if epoch >= MAX_EPOCHS {
+            return Err(bad("epoch (exceeds the 1,000,000-epoch bound)"));
+        }
+        max_epoch = max_epoch.max(epoch);
+        let names: [String; 7] = std::array::from_fn(|i| fields[1 + i].trim().to_owned());
+        if names.iter().any(String::is_empty) {
+            return Err(bad("attribute name (empty)"));
+        }
+        let join_failed = match fields[8].trim() {
+            "0" | "false" => false,
+            "1" | "true" => true,
+            _ => return Err(bad("join_failed")),
+        };
+        let join_time_ms: u32 = fields[9].trim().parse().map_err(|_| bad("join_time_ms"))?;
+        let play: f32 = fields[10].trim().parse().map_err(|_| bad("play_duration_s"))?;
+        let buffering: f32 = fields[11].trim().parse().map_err(|_| bad("buffering_s"))?;
+        let bitrate: f32 = fields[12]
+            .trim()
+            .parse()
+            .map_err(|_| bad("avg_bitrate_kbps"))?;
+        if !(play.is_finite() && buffering.is_finite() && bitrate.is_finite()) {
+            return Err(bad("non-finite quality value"));
+        }
+        if play < 0.0 || buffering < 0.0 || bitrate < 0.0 {
+            return Err(bad("negative quality value"));
+        }
+        let quality = if join_failed {
+            QualityMeasurement::failed()
+        } else {
+            QualityMeasurement::joined(join_time_ms, play, buffering, bitrate)
+        };
+        rows.push(Row {
+            epoch,
+            names,
+            quality,
+        });
+    }
+
+    let mut dataset = Dataset::new(
+        if rows.is_empty() { 0 } else { max_epoch + 1 },
+        DatasetMeta {
+            name: "csv-import".into(),
+            description: format!("{} sessions imported from CSV", rows.len()),
+            seed: None,
+        },
+    );
+    for row in rows {
+        let mut values = [0u32; 7];
+        for (i, name) in row.names.iter().enumerate() {
+            let key = AttrKey::from_index(i);
+            // Intern would panic when a dimension's packed id space is
+            // exhausted; surface it as a parse error instead.
+            if dataset.dict(key).id(name).is_none()
+                && dataset.dict(key).len() as u64 > u64::from(crate::attr::max_value(i))
+            {
+                return Err(CsvError::BadLine {
+                    line: 0,
+                    reason: format!(
+                        "too many distinct {key} values (limit {})",
+                        u64::from(crate::attr::max_value(i)) + 1
+                    ),
+                });
+            }
+            values[i] = dataset.intern(key, name);
+        }
+        dataset.push(SessionRecord::new(
+            EpochId(row.epoch),
+            SessionAttrs::new(values),
+            row.quality,
+        ));
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn tiny() -> Dataset {
+        let mut ds = Dataset::new(2, DatasetMeta::default());
+        let mk = |ds: &mut Dataset, names: [&str; 7]| {
+            let values: [u32; 7] =
+                std::array::from_fn(|i| ds.intern(AttrKey::from_index(i), names[i]));
+            SessionAttrs::new(values)
+        };
+        let a = mk(
+            &mut ds,
+            ["AS7922", "cdn-a", "site-1", "VoD", "HTML5", "Chrome", "Cable"],
+        );
+        let b = mk(
+            &mut ds,
+            ["AS3320", "cdn-b", "site-2", "Live", "Flash", "MSIE", "DSL"],
+        );
+        ds.push(SessionRecord::new(
+            EpochId(0),
+            a,
+            QualityMeasurement::joined(812, 294.5, 0.0, 2280.0),
+        ));
+        ds.push(SessionRecord::new(
+            EpochId(1),
+            b,
+            QualityMeasurement::failed(),
+        ));
+        ds
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = tiny();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).expect("write");
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with(CSV_HEADER));
+        assert!(text.contains("AS7922"));
+
+        let back = read_csv(BufReader::new(&buf[..])).expect("read");
+        assert_eq!(back.num_epochs(), ds.num_epochs());
+        assert_eq!(back.num_sessions(), ds.num_sessions());
+        let orig: Vec<_> = ds.iter_sessions().collect();
+        let new: Vec<_> = back.iter_sessions().collect();
+        for (a, b) in orig.iter().zip(&new) {
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.quality, b.quality);
+            for key in AttrKey::ALL {
+                assert_eq!(
+                    ds.value_name(key, a.attrs.get(key)),
+                    back.value_name(key, b.attrs.get(key)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_csv(BufReader::new(b"nope\n".as_slice())).unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader { .. }));
+        assert!(err.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_location() {
+        let input = format!("{CSV_HEADER}\n0,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0\n");
+        let err = read_csv(BufReader::new(input.as_bytes())).unwrap_err();
+        match err {
+            CsvError::BadLine { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("13 fields"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+
+        let input = format!("{CSV_HEADER}\nX,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0,500\n");
+        let err = read_csv(BufReader::new(input.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("invalid epoch"));
+
+        let input = format!("{CSV_HEADER}\n0,a,b,c,VoD,p,w,Cable,2,100,1.0,0.0,500\n");
+        let err = read_csv(BufReader::new(input.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("invalid join_failed"));
+
+        let input = format!("{CSV_HEADER}\n0,a,b,c,VoD,p,w,Cable,0,100,-1.0,0.0,500\n");
+        let err = read_csv(BufReader::new(input.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("negative"));
+    }
+
+    #[test]
+    fn rejects_unencodable_names() {
+        let mut ds = Dataset::new(1, DatasetMeta::default());
+        let values: [u32; 7] = std::array::from_fn(|i| {
+            ds.intern(
+                AttrKey::from_index(i),
+                if i == 1 { "evil,name" } else { "ok" },
+            )
+        });
+        ds.push(SessionRecord::new(
+            EpochId(0),
+            SessionAttrs::new(values),
+            QualityMeasurement::failed(),
+        ));
+        let err = write_csv(&ds, Vec::new()).unwrap_err();
+        assert!(matches!(err, CsvError::UnencodableName { .. }));
+    }
+
+    #[test]
+    fn empty_input_reads_as_empty_dataset() {
+        let input = format!("{CSV_HEADER}\n");
+        let ds = read_csv(BufReader::new(input.as_bytes())).expect("read");
+        assert_eq!(ds.num_epochs(), 0);
+        assert_eq!(ds.num_sessions(), 0);
+        // Blank lines are skipped.
+        let input = format!("{CSV_HEADER}\n\n\n");
+        let ds = read_csv(BufReader::new(input.as_bytes())).expect("read");
+        assert_eq!(ds.num_sessions(), 0);
+    }
+
+    #[test]
+    fn failed_sessions_zero_playback_fields() {
+        let input = format!("{CSV_HEADER}\n3,a,b,c,VoD,p,w,Cable,1,9999,123.0,4.0,500\n");
+        let ds = read_csv(BufReader::new(input.as_bytes())).expect("read");
+        let s = ds.iter_sessions().next().unwrap();
+        assert!(s.quality.join_failed);
+        // Playback fields for a failed join are normalized away.
+        assert_eq!(s.quality.play_duration_s, 0.0);
+        assert_eq!(s.quality.join_time_ms, 0);
+        assert_eq!(s.epoch, EpochId(3));
+        assert_eq!(ds.num_epochs(), 4);
+    }
+}

@@ -1,0 +1,369 @@
+//! The epoch-bucketed session container and attribute dictionaries.
+//!
+//! Attribute values (CDN names, ASN numbers, site names, ...) are interned
+//! into dense `u32` ids per dimension so that sessions stay compact and
+//! cluster keys pack into a `u64`. The [`Dataset`] owns the dictionaries and
+//! the per-epoch columnar session storage.
+
+use crate::attr::{max_value, AttrKey, SessionAttrs};
+use crate::epoch::EpochId;
+use crate::metric::{Metric, QualityMeasurement, Thresholds};
+use crate::session::SessionRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// String interner for one attribute dimension.
+///
+/// Ids are dense, assigned in first-seen order, and bounded by the packed
+/// bit width of the dimension (see [`crate::attr::VALUE_BITS`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AttrDict {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl AttrDict {
+    /// Empty dictionary.
+    pub fn new() -> AttrDict {
+        AttrDict::default()
+    }
+
+    /// Intern `name`, returning its id (existing or freshly assigned).
+    ///
+    /// # Panics
+    /// Panics when the dimension's id space (per `dim`'s packed width) is
+    /// exhausted.
+    pub fn intern(&mut self, dim: usize, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("dictionary overflow");
+        assert!(
+            id <= max_value(dim),
+            "attribute dimension {dim} overflows its packed width ({} values)",
+            max_value(dim) as u64 + 1
+        );
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an id by name without interning.
+    pub fn id(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of an id, or `None` when out of range.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no values are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Rebuild the name → id index (needed after deserialization, where the
+    /// reverse index is skipped).
+    fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+    }
+}
+
+/// Columnar per-epoch session storage.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EpochData {
+    /// Attribute vectors, one per session.
+    pub attrs: Vec<SessionAttrs>,
+    /// Quality measurements, parallel to `attrs`.
+    pub quality: Vec<QualityMeasurement>,
+}
+
+impl EpochData {
+    /// Number of sessions in the epoch.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the epoch holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Append one session.
+    pub fn push(&mut self, attrs: SessionAttrs, quality: QualityMeasurement) {
+        self.attrs.push(attrs);
+        self.quality.push(quality);
+    }
+
+    /// Iterate `(attrs, quality)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&SessionAttrs, &QualityMeasurement)> {
+        self.attrs.iter().zip(self.quality.iter())
+    }
+
+    /// Fraction of sessions that are problems on `metric` (the epoch's
+    /// *global problem ratio* for that metric). `None` for an empty epoch.
+    pub fn global_problem_ratio(&self, thresholds: &Thresholds, metric: Metric) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let problems = self
+            .quality
+            .iter()
+            .filter(|q| thresholds.is_problem(q, metric))
+            .count();
+        Some(problems as f64 / self.len() as f64)
+    }
+}
+
+/// Provenance metadata for a dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DatasetMeta {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// Free-form description (generator parameters, etc.).
+    pub description: String,
+    /// RNG seed used to generate the data, when synthetic.
+    pub seed: Option<u64>,
+}
+
+/// A full trace: attribute dictionaries plus epoch-bucketed sessions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Per-dimension dictionaries, indexed by [`AttrKey::index`].
+    dicts: [AttrDict; 7],
+    /// Per-epoch session storage; index = epoch id.
+    epochs: Vec<EpochData>,
+    /// Provenance.
+    pub meta: DatasetMeta,
+}
+
+impl Dataset {
+    /// Empty dataset spanning `num_epochs` hourly epochs.
+    pub fn new(num_epochs: u32, meta: DatasetMeta) -> Dataset {
+        Dataset {
+            dicts: Default::default(),
+            epochs: (0..num_epochs).map(|_| EpochData::default()).collect(),
+            meta,
+        }
+    }
+
+    /// Number of epochs the trace spans.
+    pub fn num_epochs(&self) -> u32 {
+        self.epochs.len() as u32
+    }
+
+    /// Total session count across all epochs.
+    pub fn num_sessions(&self) -> usize {
+        self.epochs.iter().map(EpochData::len).sum()
+    }
+
+    /// Intern an attribute value name, returning its id.
+    pub fn intern(&mut self, key: AttrKey, name: &str) -> u32 {
+        self.dicts[key.index()].intern(key.index(), name)
+    }
+
+    /// The dictionary for one attribute dimension.
+    pub fn dict(&self, key: AttrKey) -> &AttrDict {
+        &self.dicts[key.index()]
+    }
+
+    /// Resolve an attribute value id to its name; `"?<id>"` style fallback
+    /// is intentionally *not* provided — absent ids are a caller bug.
+    pub fn value_name(&self, key: AttrKey, id: u32) -> Option<&str> {
+        self.dicts[key.index()].name(id)
+    }
+
+    /// Append a session to its epoch.
+    ///
+    /// # Panics
+    /// Panics when the epoch is outside the trace.
+    pub fn push(&mut self, record: SessionRecord) {
+        let idx = record.epoch.0 as usize;
+        assert!(
+            idx < self.epochs.len(),
+            "epoch {} outside trace of {} epochs",
+            record.epoch.0,
+            self.epochs.len()
+        );
+        self.epochs[idx].push(record.attrs, record.quality);
+    }
+
+    /// The sessions of one epoch.
+    pub fn epoch(&self, epoch: EpochId) -> &EpochData {
+        &self.epochs[epoch.0 as usize]
+    }
+
+    /// Replace one epoch's sessions wholesale (moves the columnar storage,
+    /// the bulk path used by the parallel generator).
+    ///
+    /// # Panics
+    /// Panics when the epoch is outside the trace or already populated.
+    pub fn set_epoch(&mut self, epoch: EpochId, data: EpochData) {
+        let idx = epoch.0 as usize;
+        assert!(
+            idx < self.epochs.len(),
+            "epoch {} outside trace of {} epochs",
+            epoch.0,
+            self.epochs.len()
+        );
+        assert!(
+            self.epochs[idx].is_empty(),
+            "epoch {} already holds sessions",
+            epoch.0
+        );
+        self.epochs[idx] = data;
+    }
+
+    /// Iterate `(epoch, data)` pairs.
+    pub fn iter_epochs(&self) -> impl Iterator<Item = (EpochId, &EpochData)> {
+        self.epochs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EpochId(i as u32), e))
+    }
+
+    /// Iterate all sessions as owned [`SessionRecord`]s (mostly for tests
+    /// and small exports; the analysis pipeline works columnar).
+    pub fn iter_sessions(&self) -> impl Iterator<Item = SessionRecord> + '_ {
+        self.iter_epochs().flat_map(|(epoch, data)| {
+            data.iter()
+                .map(move |(a, q)| SessionRecord::new(epoch, *a, *q))
+        })
+    }
+
+    /// Restore internal indexes after deserialization.
+    ///
+    /// # Panics
+    /// Panics when a deserialized dictionary exceeds its dimension's packed
+    /// id width or a stored session references an id outside its
+    /// dictionary — either means the input was corrupted or hand-edited.
+    pub fn after_deserialize(&mut self) {
+        for (dim, d) in self.dicts.iter_mut().enumerate() {
+            assert!(
+                d.len() as u64 <= u64::from(crate::attr::max_value(dim)) + 1,
+                "deserialized dictionary {dim} exceeds its packed width"
+            );
+            d.rebuild_index();
+        }
+        for data in &self.epochs {
+            for attrs in &data.attrs {
+                for (dim, v) in attrs.values.iter().enumerate() {
+                    assert!(
+                        (*v as usize) < self.dicts[dim].len(),
+                        "session references undefined id {v} in dimension {dim}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrMask;
+
+    fn tiny() -> Dataset {
+        let mut ds = Dataset::new(2, DatasetMeta::default());
+        let asn = ds.intern(AttrKey::Asn, "AS7922");
+        let cdn = ds.intern(AttrKey::Cdn, "cdn-alpha");
+        let site = ds.intern(AttrKey::Site, "site-1");
+        let vod = ds.intern(AttrKey::VodOrLive, "VoD");
+        let player = ds.intern(AttrKey::PlayerType, "HTML5");
+        let browser = ds.intern(AttrKey::Browser, "Chrome");
+        let conn = ds.intern(AttrKey::ConnType, "Cable");
+        let attrs = SessionAttrs::new([asn, cdn, site, vod, player, browser, conn]);
+        ds.push(SessionRecord::new(
+            EpochId(0),
+            attrs,
+            QualityMeasurement::joined(500, 300.0, 0.0, 3000.0),
+        ));
+        ds.push(SessionRecord::new(
+            EpochId(0),
+            attrs,
+            QualityMeasurement::joined(500, 100.0, 50.0, 3000.0),
+        ));
+        ds.push(SessionRecord::new(
+            EpochId(1),
+            attrs,
+            QualityMeasurement::failed(),
+        ));
+        ds
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut ds = Dataset::new(1, DatasetMeta::default());
+        let a = ds.intern(AttrKey::Cdn, "x");
+        let b = ds.intern(AttrKey::Cdn, "y");
+        let a2 = ds.intern(AttrKey::Cdn, "x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(ds.value_name(AttrKey::Cdn, a), Some("x"));
+        assert_eq!(ds.dict(AttrKey::Cdn).len(), 2);
+        assert_eq!(ds.dict(AttrKey::Cdn).id("y"), Some(b));
+        assert_eq!(ds.dict(AttrKey::Cdn).id("z"), None);
+    }
+
+    #[test]
+    fn epoch_bucketing_and_counts() {
+        let ds = tiny();
+        assert_eq!(ds.num_epochs(), 2);
+        assert_eq!(ds.num_sessions(), 3);
+        assert_eq!(ds.epoch(EpochId(0)).len(), 2);
+        assert_eq!(ds.epoch(EpochId(1)).len(), 1);
+        assert_eq!(ds.iter_sessions().count(), 3);
+    }
+
+    #[test]
+    fn global_problem_ratio() {
+        let ds = tiny();
+        let t = Thresholds::default();
+        let e0 = ds.epoch(EpochId(0));
+        // Session 2 has buffering ratio 50/150 = 0.33 > 0.05.
+        assert_eq!(e0.global_problem_ratio(&t, Metric::BufRatio), Some(0.5));
+        assert_eq!(e0.global_problem_ratio(&t, Metric::JoinFailure), Some(0.0));
+        let e1 = ds.epoch(EpochId(1));
+        assert_eq!(e1.global_problem_ratio(&t, Metric::JoinFailure), Some(1.0));
+        let empty = EpochData::default();
+        assert_eq!(empty.global_problem_ratio(&t, Metric::BufRatio), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside trace")]
+    fn push_rejects_out_of_range_epoch() {
+        let mut ds = Dataset::new(1, DatasetMeta::default());
+        ds.push(SessionRecord::new(
+            EpochId(5),
+            SessionAttrs::new([0; 7]),
+            QualityMeasurement::failed(),
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_index() {
+        let ds = tiny();
+        let json = serde_json::to_string(&ds).unwrap();
+        let mut back: Dataset = serde_json::from_str(&json).unwrap();
+        back.after_deserialize();
+        assert_eq!(back.num_sessions(), 3);
+        assert_eq!(back.dict(AttrKey::Cdn).id("cdn-alpha"), Some(0));
+        // Leaf keys survive the roundtrip.
+        let orig: Vec<_> = ds.iter_sessions().map(|s| s.attrs.leaf_key()).collect();
+        let new: Vec<_> = back.iter_sessions().map(|s| s.attrs.leaf_key()).collect();
+        assert_eq!(orig, new);
+        assert!(orig[0].mask() == AttrMask::FULL);
+    }
+}

@@ -1,0 +1,182 @@
+//! Analysis epochs: the one-hour buckets over which clusters are formed.
+//!
+//! One hour is the finest granularity of the paper's dataset (§3.1,
+//! footnote 2). Epoch ids are hours since the start of the trace; the
+//! default trace is two weeks = 336 epochs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hours in one day.
+pub const HOURS_PER_DAY: u32 = 24;
+/// Hours in one week.
+pub const HOURS_PER_WEEK: u32 = 7 * HOURS_PER_DAY;
+/// Length of the paper's trace: two weeks of hourly epochs.
+pub const TWO_WEEKS: u32 = 2 * HOURS_PER_WEEK;
+
+/// One-hour analysis epoch, counted from the start of the trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct EpochId(pub u32);
+
+impl EpochId {
+    /// Hour-of-day (0..24) assuming the trace starts at midnight.
+    #[inline]
+    pub const fn hour_of_day(self) -> u32 {
+        self.0 % HOURS_PER_DAY
+    }
+
+    /// Day index since trace start.
+    #[inline]
+    pub const fn day(self) -> u32 {
+        self.0 / HOURS_PER_DAY
+    }
+
+    /// Week index since trace start (0 = first week).
+    #[inline]
+    pub const fn week(self) -> u32 {
+        self.0 / HOURS_PER_WEEK
+    }
+
+    /// Hour-of-week (0..168).
+    #[inline]
+    pub const fn hour_of_week(self) -> u32 {
+        self.0 % HOURS_PER_WEEK
+    }
+
+    /// The next epoch.
+    #[inline]
+    pub const fn next(self) -> EpochId {
+        EpochId(self.0 + 1)
+    }
+
+    /// Is this epoch immediately after `other`?
+    #[inline]
+    pub const fn is_successor_of(self, other: EpochId) -> bool {
+        self.0 == other.0 + 1
+    }
+}
+
+impl fmt::Display for EpochId {
+    /// Renders like the paper's time axes, e.g. `d3 14:00`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{} {:02}:00", self.day(), self.hour_of_day())
+    }
+}
+
+/// A half-open range of epochs `[start, end)`, used for train/test splits in
+/// the proactive what-if analysis (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochRange {
+    /// First epoch in the range.
+    pub start: EpochId,
+    /// One past the last epoch in the range.
+    pub end: EpochId,
+}
+
+impl EpochRange {
+    /// Construct a range; panics if `start > end`.
+    pub fn new(start: EpochId, end: EpochId) -> EpochRange {
+        assert!(start.0 <= end.0, "invalid epoch range {start}..{end}");
+        EpochRange { start, end }
+    }
+
+    /// The full range `[0, n)`.
+    pub fn first_n(n: u32) -> EpochRange {
+        EpochRange::new(EpochId(0), EpochId(n))
+    }
+
+    /// Number of epochs in the range.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.end.0 - self.start.0
+    }
+
+    /// True when the range is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.start.0 == self.end.0
+    }
+
+    /// Does the range contain `epoch`?
+    #[inline]
+    pub const fn contains(self, epoch: EpochId) -> bool {
+        self.start.0 <= epoch.0 && epoch.0 < self.end.0
+    }
+
+    /// Iterate the epochs in the range.
+    pub fn iter(self) -> impl Iterator<Item = EpochId> {
+        (self.start.0..self.end.0).map(EpochId)
+    }
+
+    /// The paper's intra-week split of week `w`: first 4 days for history,
+    /// last 3 days for evaluation (§5.2).
+    pub fn intra_week_split(week: u32) -> (EpochRange, EpochRange) {
+        let base = week * HOURS_PER_WEEK;
+        let split = base + 4 * HOURS_PER_DAY;
+        (
+            EpochRange::new(EpochId(base), EpochId(split)),
+            EpochRange::new(EpochId(split), EpochId(base + HOURS_PER_WEEK)),
+        )
+    }
+
+    /// The paper's inter-week split: week 0 for history, week 1 for
+    /// evaluation (§5.2).
+    pub fn inter_week_split() -> (EpochRange, EpochRange) {
+        (
+            EpochRange::new(EpochId(0), EpochId(HOURS_PER_WEEK)),
+            EpochRange::new(EpochId(HOURS_PER_WEEK), EpochId(TWO_WEEKS)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_arithmetic() {
+        let e = EpochId(170);
+        assert_eq!(e.hour_of_day(), 2);
+        assert_eq!(e.day(), 7);
+        assert_eq!(e.week(), 1);
+        assert_eq!(e.hour_of_week(), 2);
+        assert_eq!(e.next(), EpochId(171));
+        assert!(EpochId(171).is_successor_of(e));
+        assert!(!EpochId(172).is_successor_of(e));
+        assert_eq!(e.to_string(), "d7 02:00");
+    }
+
+    #[test]
+    fn range_basics() {
+        let r = EpochRange::first_n(10);
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+        assert!(r.contains(EpochId(0)));
+        assert!(r.contains(EpochId(9)));
+        assert!(!r.contains(EpochId(10)));
+        assert_eq!(r.iter().count(), 10);
+        assert!(EpochRange::new(EpochId(3), EpochId(3)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid epoch range")]
+    fn range_rejects_backwards() {
+        let _ = EpochRange::new(EpochId(5), EpochId(4));
+    }
+
+    #[test]
+    fn paper_splits() {
+        let (train, test) = EpochRange::intra_week_split(0);
+        assert_eq!(train.len(), 96);
+        assert_eq!(test.len(), 72);
+        assert_eq!(train.end, test.start);
+
+        let (w1, w2) = EpochRange::inter_week_split();
+        assert_eq!(w1.len(), HOURS_PER_WEEK);
+        assert_eq!(w2.len(), HOURS_PER_WEEK);
+        assert_eq!(w1.end, w2.start);
+        assert_eq!(w2.end.0, TWO_WEEKS);
+    }
+}

@@ -1,0 +1,40 @@
+//! # vqlens-model
+//!
+//! Core domain model for the vqlens video-quality analysis system, a
+//! reproduction of *"Shedding Light on the Structure of Internet Video
+//! Quality Problems in the Wild"* (Jiang et al., CoNEXT 2013).
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`attr`] — the seven client/session attributes (ASN, CDN, Site,
+//!   VoD-or-Live, player, browser, connection type), attribute subset masks,
+//!   and the packed [`attr::ClusterKey`] that identifies a cluster — a group
+//!   of sessions sharing the values of a subset of attributes.
+//! * [`metric`] — the four quality metrics (buffering ratio, average
+//!   bitrate, join time, join failure), per-session measurements, and the
+//!   problem-session thresholds from the paper (§2).
+//! * [`epoch`] — one-hour analysis epochs and week arithmetic.
+//! * [`session`] — a single viewing-session record.
+//! * [`dataset`] — the epoch-bucketed session container with attribute
+//!   dictionaries (string interning) used by the whole pipeline.
+//! * [`csv`] — the CSV interchange format, the bridge for analyzing *real*
+//!   telemetry with this library.
+//!
+//! The model is deliberately free of any analysis logic: clustering lives in
+//! `vqlens-cluster`, synthesis in `vqlens-synth`, and so on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod csv;
+pub mod dataset;
+pub mod epoch;
+pub mod metric;
+pub mod session;
+
+pub use attr::{AttrKey, AttrMask, ClusterKey, SessionAttrs};
+pub use dataset::{AttrDict, Dataset, DatasetMeta, EpochData};
+pub use epoch::EpochId;
+pub use metric::{Metric, ProblemFlags, QualityMeasurement, Thresholds};
+pub use session::SessionRecord;

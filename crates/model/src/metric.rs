@@ -1,0 +1,303 @@
+//! Quality metrics, per-session measurements, and problem thresholds.
+//!
+//! The paper (§2) studies four metrics *independently*: buffering ratio,
+//! average bitrate, join time, and join failure. A session is a *problem
+//! session* w.r.t. a metric when it crosses that metric's threshold:
+//!
+//! * buffering ratio > 5 % (sharp engagement drop beyond this point),
+//! * average bitrate < 700 kbps (roughly the "360p" recommendation),
+//! * join time > 10 s (conservative tolerance bound),
+//! * join failure: binary — no content ever played.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four quality metrics of the paper, in its presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Metric {
+    /// Fraction of session wall-clock time spent rebuffering.
+    BufRatio = 0,
+    /// Time-weighted average video playback bitrate.
+    Bitrate = 1,
+    /// Delay from "play" click to first rendered frame.
+    JoinTime = 2,
+    /// The session never started playing at all.
+    JoinFailure = 3,
+}
+
+impl Metric {
+    /// All metrics in canonical order.
+    pub const ALL: [Metric; 4] = [
+        Metric::BufRatio,
+        Metric::Bitrate,
+        Metric::JoinTime,
+        Metric::JoinFailure,
+    ];
+
+    /// Number of metrics.
+    pub const COUNT: usize = 4;
+
+    /// Index (0..4) of this metric.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Metric for an index; panics if `idx >= 4`.
+    #[inline]
+    pub const fn from_index(idx: usize) -> Metric {
+        Self::ALL[idx]
+    }
+
+    /// Short name matching the paper's tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::BufRatio => "BufRatio",
+            Metric::Bitrate => "Bitrate",
+            Metric::JoinTime => "JoinTime",
+            Metric::JoinFailure => "JoinFailure",
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Client-side quality measurement of one video session.
+///
+/// Mirrors what the paper's client instrumentation reports: join outcome,
+/// join delay, play duration, total rebuffering time, and time-weighted
+/// average bitrate. For failed joins the playback fields are meaningless and
+/// the accessors return `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityMeasurement {
+    /// True when no content was ever played ("join failure").
+    pub join_failed: bool,
+    /// Milliseconds from play click to first frame (0 if `join_failed`).
+    pub join_time_ms: u32,
+    /// Seconds of content the viewer watched (0 if `join_failed`).
+    pub play_duration_s: f32,
+    /// Seconds spent rebuffering midstream (0 if `join_failed`).
+    pub buffering_s: f32,
+    /// Time-weighted average playback bitrate in kbps (0 if `join_failed`).
+    pub avg_bitrate_kbps: f32,
+}
+
+impl QualityMeasurement {
+    /// A failed join: nothing ever played.
+    pub const fn failed() -> QualityMeasurement {
+        QualityMeasurement {
+            join_failed: true,
+            join_time_ms: 0,
+            play_duration_s: 0.0,
+            buffering_s: 0.0,
+            avg_bitrate_kbps: 0.0,
+        }
+    }
+
+    /// A successfully joined session.
+    pub fn joined(
+        join_time_ms: u32,
+        play_duration_s: f32,
+        buffering_s: f32,
+        avg_bitrate_kbps: f32,
+    ) -> QualityMeasurement {
+        debug_assert!(play_duration_s >= 0.0 && buffering_s >= 0.0 && avg_bitrate_kbps >= 0.0);
+        QualityMeasurement {
+            join_failed: false,
+            join_time_ms,
+            play_duration_s,
+            buffering_s,
+            avg_bitrate_kbps,
+        }
+    }
+
+    /// Buffering ratio `B / T` where `T` is total session time (play +
+    /// buffering), per the paper's definition. `None` for failed joins or
+    /// zero-length sessions.
+    pub fn buffering_ratio(&self) -> Option<f64> {
+        if self.join_failed {
+            return None;
+        }
+        let total = f64::from(self.play_duration_s) + f64::from(self.buffering_s);
+        if total <= 0.0 {
+            return None;
+        }
+        Some(f64::from(self.buffering_s) / total)
+    }
+
+    /// Join time in milliseconds; `None` for failed joins.
+    pub fn join_time(&self) -> Option<u32> {
+        if self.join_failed {
+            None
+        } else {
+            Some(self.join_time_ms)
+        }
+    }
+
+    /// Average bitrate in kbps; `None` for failed joins.
+    pub fn bitrate(&self) -> Option<f64> {
+        if self.join_failed {
+            None
+        } else {
+            Some(f64::from(self.avg_bitrate_kbps))
+        }
+    }
+}
+
+/// Problem-session thresholds (§2 of the paper, with its default values).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Sessions with buffering ratio strictly above this are problems
+    /// (paper: 0.05).
+    pub max_buffering_ratio: f64,
+    /// Sessions with average bitrate strictly below this are problems
+    /// (paper: 700 kbps).
+    pub min_bitrate_kbps: f64,
+    /// Sessions with join time strictly above this are problems
+    /// (paper: 10 000 ms).
+    pub max_join_time_ms: u32,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            max_buffering_ratio: 0.05,
+            min_bitrate_kbps: 700.0,
+            max_join_time_ms: 10_000,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Is this session a problem session w.r.t. `metric`?
+    ///
+    /// Following the paper, the four metrics are judged independently.
+    /// Failed joins count as problems only for [`Metric::JoinFailure`]: the
+    /// other three metrics are not measurable for a session that never
+    /// played, and the paper's problem ratios use all sessions in a cluster
+    /// as the denominator.
+    pub fn is_problem(&self, q: &QualityMeasurement, metric: Metric) -> bool {
+        match metric {
+            Metric::JoinFailure => q.join_failed,
+            Metric::BufRatio => q
+                .buffering_ratio()
+                .is_some_and(|r| r > self.max_buffering_ratio),
+            Metric::Bitrate => q.bitrate().is_some_and(|b| b < self.min_bitrate_kbps),
+            Metric::JoinTime => q.join_time().is_some_and(|t| t > self.max_join_time_ms),
+        }
+    }
+
+    /// Compact bitfield of per-metric problem flags for one session.
+    pub fn problem_flags(&self, q: &QualityMeasurement) -> ProblemFlags {
+        let mut flags = 0u8;
+        for m in Metric::ALL {
+            if self.is_problem(q, m) {
+                flags |= 1 << m.index();
+            }
+        }
+        ProblemFlags(flags)
+    }
+}
+
+/// Per-metric problem flags of one session, as a 4-bit set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ProblemFlags(pub u8);
+
+impl ProblemFlags {
+    /// Is the session a problem on `metric`?
+    #[inline]
+    pub const fn is_problem(self, metric: Metric) -> bool {
+        self.0 & (1 << metric.index()) != 0
+    }
+
+    /// Is the session a problem on any metric?
+    #[inline]
+    pub const fn any(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Set the flag for `metric`.
+    #[inline]
+    pub fn set(&mut self, metric: Metric) {
+        self.0 |= 1 << metric.index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffering_ratio_definition() {
+        let q = QualityMeasurement::joined(1000, 190.0, 10.0, 2000.0);
+        assert!((q.buffering_ratio().unwrap() - 0.05).abs() < 1e-12);
+        assert_eq!(QualityMeasurement::failed().buffering_ratio(), None);
+        let zero = QualityMeasurement::joined(1000, 0.0, 0.0, 2000.0);
+        assert_eq!(zero.buffering_ratio(), None);
+    }
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let t = Thresholds::default();
+        assert_eq!(t.max_buffering_ratio, 0.05);
+        assert_eq!(t.min_bitrate_kbps, 700.0);
+        assert_eq!(t.max_join_time_ms, 10_000);
+    }
+
+    #[test]
+    fn problem_classification_boundaries() {
+        let t = Thresholds::default();
+        // Exactly at threshold is NOT a problem (strict comparison).
+        let at = QualityMeasurement::joined(10_000, 95.0, 5.0, 700.0);
+        assert!(!t.is_problem(&at, Metric::BufRatio));
+        assert!(!t.is_problem(&at, Metric::Bitrate));
+        assert!(!t.is_problem(&at, Metric::JoinTime));
+        assert!(!t.is_problem(&at, Metric::JoinFailure));
+        // Just over each threshold.
+        let bad = QualityMeasurement::joined(10_001, 90.0, 10.0, 699.9);
+        assert!(t.is_problem(&bad, Metric::BufRatio));
+        assert!(t.is_problem(&bad, Metric::Bitrate));
+        assert!(t.is_problem(&bad, Metric::JoinTime));
+        assert!(!t.is_problem(&bad, Metric::JoinFailure));
+    }
+
+    #[test]
+    fn failed_sessions_only_fail_join_failure() {
+        let t = Thresholds::default();
+        let q = QualityMeasurement::failed();
+        assert!(t.is_problem(&q, Metric::JoinFailure));
+        assert!(!t.is_problem(&q, Metric::BufRatio));
+        assert!(!t.is_problem(&q, Metric::Bitrate));
+        assert!(!t.is_problem(&q, Metric::JoinTime));
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let t = Thresholds::default();
+        let bad = QualityMeasurement::joined(20_000, 80.0, 20.0, 300.0);
+        let flags = t.problem_flags(&bad);
+        assert!(flags.is_problem(Metric::BufRatio));
+        assert!(flags.is_problem(Metric::Bitrate));
+        assert!(flags.is_problem(Metric::JoinTime));
+        assert!(!flags.is_problem(Metric::JoinFailure));
+        assert!(flags.any());
+        assert!(!ProblemFlags::default().any());
+        let mut f = ProblemFlags::default();
+        f.set(Metric::JoinFailure);
+        assert!(f.is_problem(Metric::JoinFailure));
+    }
+
+    #[test]
+    fn metric_indexing() {
+        for (i, m) in Metric::ALL.into_iter().enumerate() {
+            assert_eq!(m.index(), i);
+            assert_eq!(Metric::from_index(i), m);
+        }
+        assert_eq!(Metric::BufRatio.to_string(), "BufRatio");
+    }
+}

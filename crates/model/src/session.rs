@@ -1,0 +1,46 @@
+//! A single video viewing session: attributes plus measured quality.
+
+use crate::attr::SessionAttrs;
+use crate::epoch::EpochId;
+use crate::metric::QualityMeasurement;
+use serde::{Deserialize, Serialize};
+
+/// One viewing session: a user watching one piece of content on one
+/// affiliate site for some duration (the basic unit of the paper's dataset).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Epoch in which the session started.
+    pub epoch: EpochId,
+    /// The session's seven attribute values (dictionary ids).
+    pub attrs: SessionAttrs,
+    /// Client-side quality measurement.
+    pub quality: QualityMeasurement,
+}
+
+impl SessionRecord {
+    /// Construct a session record.
+    pub fn new(epoch: EpochId, attrs: SessionAttrs, quality: QualityMeasurement) -> SessionRecord {
+        SessionRecord {
+            epoch,
+            attrs,
+            quality,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrMask;
+
+    #[test]
+    fn session_projects_to_leaf() {
+        let s = SessionRecord::new(
+            EpochId(3),
+            SessionAttrs::new([1, 2, 3, 0, 1, 2, 3]),
+            QualityMeasurement::joined(900, 300.0, 0.0, 2500.0),
+        );
+        assert_eq!(s.attrs.leaf_key().mask(), AttrMask::FULL);
+        assert_eq!(s.epoch.0, 3);
+    }
+}

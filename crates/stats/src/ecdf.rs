@@ -1,0 +1,181 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Used to regenerate the paper's CDF figures (Figs. 1, 7, 8) and to compute
+//! quantiles in tests and reports.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+///
+/// Construction sorts the samples once; evaluation is `O(log n)`.
+///
+/// ```
+/// use vqlens_stats::Ecdf;
+/// let join_times = Ecdf::new(vec![0.8, 1.2, 2.0, 14.0]);
+/// assert_eq!(join_times.eval(2.0), 0.75);       // P(X <= 2s)
+/// assert_eq!(join_times.ccdf(10.0), 0.25);      // P(X > 10s)
+/// assert_eq!(join_times.median(), Some(1.2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples. Non-finite samples are rejected.
+    ///
+    /// # Panics
+    /// Panics when any sample is NaN or infinite.
+    pub fn new(mut samples: Vec<f64>) -> Ecdf {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "ECDF samples must be finite"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`, the fraction of samples at or below `x`.
+    /// Returns 0 for an empty ECDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(X > x)`, the complementary CDF (the paper's "inverse CDF" axes in
+    /// Fig. 8 plot `1 - F(x)`-style fractions of clusters above a value).
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// The `q`-quantile (nearest-rank definition), `q` in `[0, 1]`.
+    /// `None` when empty.
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+    }
+
+    /// Sample the CDF at `n` evenly spaced probability levels, returning
+    /// `(value, cumulative_probability)` pairs — the series plotted in the
+    /// paper's CDF figures.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let len = self.sorted.len();
+        (1..=n)
+            .map(|i| {
+                let q = i as f64 / n as f64;
+                let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+                (self.sorted[rank - 1], q)
+            })
+            .collect()
+    }
+
+    /// Direct access to the sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_counts_at_or_below() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+        assert_eq!(e.ccdf(2.0), 0.25);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(0.25), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(20.0));
+        assert_eq!(e.median(), Some(20.0));
+        assert_eq!(e.quantile(0.75), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(40.0));
+        assert_eq!(e.min(), Some(10.0));
+        assert_eq!(e.max(), Some(40.0));
+        assert_eq!(e.mean(), Some(25.0));
+    }
+
+    #[test]
+    fn empty_is_graceful() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.mean(), None);
+        assert!(e.curve(10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::new((0..100).map(|i| (i as f64).sin() * 10.0).collect());
+        let c = e.curve(20);
+        assert_eq!(c.len(), 20);
+        for w in c.windows(2) {
+            assert!(w[1].0 >= w[0].0, "values monotone");
+            assert!(w[1].1 > w[0].1, "probabilities strictly increase");
+        }
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! A fast, deterministic, non-cryptographic hasher.
+//!
+//! The cube-aggregation hot path performs `127 × sessions` hash-map updates
+//! per epoch, keyed by packed `u64` cluster keys. `std`'s default SipHash is
+//! both slower than needed and randomly seeded (non-deterministic iteration
+//! between runs). This is the classic Fx/firefox multiply-rotate hash —
+//! excellent on small integer keys, fully deterministic, and implemented
+//! here directly to avoid pulling in an extra dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash design (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// FxHash state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            // Mix the remainder length so byte strings differing only in
+            // trailing zero bytes do not collide with the zero padding.
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fold the well-mixed high bits into the low bits. The raw
+        // multiply-rotate state has a weakness hashbrown exposes: the low
+        // `k` bits of `key × SEED` depend only on the low `k` bits of the
+        // key, and hashbrown derives bucket indexes from the low bits.
+        // Packed cluster keys with a zeroed low field (e.g. every mask not
+        // constraining the ASN dimension) would otherwise pile into a
+        // handful of buckets and degrade the map to a linked-list scan.
+        self.hash ^ (self.hash >> 32)
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`]; deterministic between runs.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`]; deterministic between runs.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&0xdead_beefu64), hash_of(&0xdead_beefu64));
+        assert_eq!(hash_of(&"cluster"), hash_of(&"cluster"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Sanity: small perturbations of packed cluster keys should not
+        // collide (not a proof, but catches broken mixing).
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u64..10_000 {
+            assert!(seen.insert(hash_of(&k)), "collision at {k}");
+        }
+    }
+
+    #[test]
+    fn byte_writes_cover_remainder_path() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3]); // < 8 bytes => remainder branch
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 0, 0, 0, 0, 0, 9]); // chunk + remainder
+        let b = h.finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn low_bits_are_mixed_for_structured_keys() {
+        // Regression: packed cluster keys whose low 16 bits are all zero
+        // (an unconstrained first attribute field) must still spread over
+        // low-bit buckets, since hashbrown indexes by the low bits.
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            let key = (i << 16) | (0x55 << 42); // low field zeroed
+            low_bits.insert(hash_of(&key) & 0xFFFF);
+        }
+        assert!(
+            low_bits.len() > 5_000,
+            "only {} distinct low-16 patterns over 10k structured keys",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(7, 1);
+        *m.entry(7).or_insert(0) += 1;
+        assert_eq!(m[&7], 2);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

@@ -1,0 +1,171 @@
+//! Logarithmically-bucketed histograms.
+//!
+//! The paper's CDF figures use log-scale x-axes spanning several orders of
+//! magnitude (buffering ratio from 10⁻⁵ to 1, join time from 1 ms to 10⁶
+//! ms). A log histogram summarizes millions of samples into a few hundred
+//! buckets with bounded relative error, which is what the figure
+//! regeneration binaries emit.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram with logarithmically spaced buckets over `(0, +inf)`, plus a
+/// dedicated bucket for zero/non-positive samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Lower bound of the first log bucket.
+    min_value: f64,
+    /// Buckets per decade.
+    per_decade: u32,
+    /// Count of samples `<= 0` or below `min_value`.
+    underflow: u64,
+    /// Log-bucket counts.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Create a histogram covering `[min_value, max_value)` with
+    /// `per_decade` buckets per factor-of-ten.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_value < max_value` and `per_decade > 0`.
+    pub fn new(min_value: f64, max_value: f64, per_decade: u32) -> LogHistogram {
+        assert!(min_value > 0.0 && max_value > min_value && per_decade > 0);
+        let decades = (max_value / min_value).log10();
+        let buckets = (decades * per_decade as f64).ceil() as usize + 1;
+        LogHistogram {
+            min_value,
+            per_decade,
+            underflow: 0,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Record one sample. Values at/below zero or below `min_value` land in
+    /// the underflow bucket; values beyond the top land in the last bucket.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "histogram sample must not be NaN");
+        self.total += 1;
+        if x < self.min_value {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.min_value).log10() * self.per_decade as f64).floor() as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below the histogram range (incl. zero).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bucket_lower(&self, i: usize) -> f64 {
+        self.min_value * 10f64.powf(i as f64 / self.per_decade as f64)
+    }
+
+    /// Cumulative distribution as `(upper_edge, cumulative_fraction)`
+    /// points, suitable for plotting the paper's log-x CDFs. Empty when no
+    /// samples were recorded.
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let mut acc = self.underflow;
+        let mut pts = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            pts.push((self.bucket_lower(i + 1), acc as f64 / self.total as f64));
+        }
+        pts
+    }
+
+    /// Merge another histogram with identical configuration.
+    ///
+    /// # Panics
+    /// Panics when configurations differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.min_value, other.min_value, "histogram config mismatch");
+        assert_eq!(self.per_decade, other.per_decade, "histogram config mismatch");
+        assert_eq!(self.counts.len(), other.counts.len());
+        self.underflow += other.underflow;
+        self.total += other.total;
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_decade() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 1);
+        for x in [0.0, 0.5, 1.0, 5.0, 10.0, 99.0, 100.0, 5000.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.underflow(), 2); // 0.0 and 0.5
+        let cdf = h.cdf_points();
+        // CDF is monotone, ends at 1.
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_fraction_matches_counts() {
+        let mut h = LogHistogram::new(0.001, 10.0, 4);
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 / 100.0).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        // At x=1.0 roughly 10% of samples are below (bucket granularity
+        // introduces bounded error: one bucket spans 10^(1/4) ≈ 1.78x).
+        let frac_at = |x: f64| {
+            h.cdf_points()
+                .iter()
+                .find(|(v, _)| *v >= x)
+                .map(|(_, f)| *f)
+                .unwrap_or(1.0)
+        };
+        let f = frac_at(1.0);
+        assert!((0.05..=0.2).contains(&f), "got {f}");
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LogHistogram::new(1.0, 100.0, 2);
+        let mut b = LogHistogram::new(1.0, 100.0, 2);
+        a.record(5.0);
+        b.record(50.0);
+        b.record(0.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.underflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "config mismatch")]
+    fn merge_rejects_mismatched_config() {
+        let mut a = LogHistogram::new(1.0, 100.0, 2);
+        let b = LogHistogram::new(0.1, 100.0, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_cdf_is_empty() {
+        let h = LogHistogram::new(1.0, 10.0, 1);
+        assert!(h.cdf_points().is_empty());
+    }
+}

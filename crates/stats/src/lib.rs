@@ -1,0 +1,24 @@
+//! # vqlens-stats
+//!
+//! Small, dependency-light statistics toolkit used across the vqlens
+//! pipeline: empirical CDFs, streaming moments, log-scale histograms,
+//! set-similarity measures, and a fast deterministic hasher for the
+//! cube-aggregation hot path.
+//!
+//! Everything here is deterministic: given the same inputs the same outputs
+//! are produced bit-for-bit, which the reproduction harness relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecdf;
+pub mod fxhash;
+pub mod hist;
+pub mod similarity;
+pub mod streaming;
+
+pub use ecdf::Ecdf;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use hist::LogHistogram;
+pub use similarity::jaccard;
+pub use streaming::StreamingMoments;

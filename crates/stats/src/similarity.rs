@@ -1,0 +1,53 @@
+//! Set similarity measures.
+//!
+//! The paper's Table 2 reports the Jaccard similarity index between the
+//! top-100 critical clusters of different quality metrics.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasher, Hash};
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` of two sets.
+///
+/// Returns 1.0 when both sets are empty (identical empty sets), matching the
+/// convention that similarity of nothing with nothing is perfect.
+pub fn jaccard<T, S1, S2>(a: &HashSet<T, S1>, b: &HashSet<T, S2>) -> f64
+where
+    T: Eq + Hash,
+    S1: BuildHasher,
+    S2: BuildHasher,
+{
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.iter().filter(|x| b.contains(*x)).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard similarity of two slices (deduplicated first).
+pub fn jaccard_slices<T: Eq + Hash + Clone>(a: &[T], b: &[T]) -> f64 {
+    let sa: HashSet<T> = a.iter().cloned().collect();
+    let sb: HashSet<T> = b.iter().cloned().collect();
+    jaccard(&sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basic() {
+        let a: HashSet<u32> = [1, 2, 3].into_iter().collect();
+        let b: HashSet<u32> = [2, 3, 4].into_iter().collect();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        let empty: HashSet<u32> = HashSet::new();
+        assert_eq!(jaccard(&a, &empty), 0.0);
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn slices_dedupe() {
+        assert!((jaccard_slices(&[1, 1, 2], &[2, 2, 3]) - (1.0 / 3.0)).abs() < 1e-12);
+    }
+}

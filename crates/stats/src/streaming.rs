@@ -1,0 +1,152 @@
+//! Streaming (single-pass) moment accumulation.
+//!
+//! Welford's online algorithm: numerically stable mean/variance without
+//! keeping samples around, used for per-epoch aggregate statistics such as
+//! the paper's "average problem ratio is 0.097 per hour and the standard
+//! deviation is less than 10⁻³" observation (§2).
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean / variance / min / max accumulator (Welford).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingMoments {
+    /// Fresh accumulator.
+    pub fn new() -> StreamingMoments {
+        StreamingMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    ///
+    /// # Panics
+    /// Panics on non-finite samples.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "streaming sample must be finite");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Population standard deviation; `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = StreamingMoments::new();
+        for x in xs {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((acc.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((acc.std_dev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(acc.min(), Some(2.0));
+        assert_eq!(acc.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let acc = StreamingMoments::new();
+        assert_eq!(acc.mean(), None);
+        assert_eq!(acc.variance(), None);
+        assert_eq!(acc.min(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).cos() * 5.0).collect();
+        let mut all = StreamingMoments::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = StreamingMoments::new();
+        let mut right = StreamingMoments::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean().unwrap() - all.mean().unwrap()).abs() < 1e-10);
+        assert!((left.variance().unwrap() - all.variance().unwrap()).abs() < 1e-10);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+        // Merging an empty accumulator is a no-op in either direction.
+        let before = left;
+        left.merge(&StreamingMoments::new());
+        assert_eq!(left, before);
+        let mut empty = StreamingMoments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the statistics toolkit.
+
+use proptest::prelude::*;
+use vqlens_stats::{jaccard, Ecdf, FxHashMap, LogHistogram, StreamingMoments};
+
+proptest! {
+    /// ECDF evaluation is a valid CDF: monotone, 0 at -inf side, 1 at max.
+    #[test]
+    fn ecdf_is_a_cdf(mut xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let ecdf = Ecdf::new(xs.clone());
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(ecdf.eval(xs[0] - 1.0), 0.0);
+        prop_assert_eq!(ecdf.eval(*xs.last().unwrap()), 1.0);
+        let mut last = 0.0;
+        for &x in &xs {
+            let f = ecdf.eval(x);
+            prop_assert!(f >= last);
+            prop_assert!((0.0..=1.0).contains(&f));
+            last = f;
+        }
+        // eval + ccdf partition probability.
+        for &x in xs.iter().take(10) {
+            prop_assert!((ecdf.eval(x) + ecdf.ccdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Quantiles are actual samples and ordered in q.
+    #[test]
+    fn ecdf_quantiles_are_samples(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let ecdf = Ecdf::new(xs.clone());
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = ecdf.quantile(q).unwrap();
+            prop_assert!(xs.contains(&v));
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// Streaming moments match a two-pass computation.
+    #[test]
+    fn streaming_matches_two_pass(xs in prop::collection::vec(-1e4f64..1e4, 1..300)) {
+        let mut acc = StreamingMoments::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((acc.mean().unwrap() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((acc.variance().unwrap() - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    /// Merging accumulators at any split point equals sequential pushes.
+    #[test]
+    fn streaming_merge_associative(
+        xs in prop::collection::vec(-100f64..100.0, 2..100),
+        split in 0usize..100,
+    ) {
+        let split = split % xs.len();
+        let mut left = StreamingMoments::new();
+        let mut right = StreamingMoments::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        let mut seq = StreamingMoments::new();
+        for &x in &xs { seq.push(x); }
+        prop_assert_eq!(left.count(), seq.count());
+        prop_assert!((left.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-9);
+        prop_assert!((left.variance().unwrap() - seq.variance().unwrap()).abs() < 1e-7);
+    }
+
+    /// Jaccard is symmetric, bounded, and 1 on identical sets.
+    #[test]
+    fn jaccard_properties(
+        a in prop::collection::hash_set(0u32..50, 0..30),
+        b in prop::collection::hash_set(0u32..50, 0..30),
+    ) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard(&b, &a));
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+        if a.is_disjoint(&b) && !(a.is_empty() && b.is_empty()) {
+            prop_assert_eq!(j, 0.0);
+        }
+    }
+
+    /// Histogram total equals record count; CDF ends at 1.
+    #[test]
+    fn histogram_accounts_for_everything(xs in prop::collection::vec(0f64..1e6, 1..300)) {
+        let mut h = LogHistogram::new(1.0, 1e5, 4);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let cdf = h.cdf_points();
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        let mut last = 0.0;
+        for (_, f) in cdf {
+            prop_assert!(f >= last);
+            last = f;
+        }
+    }
+
+    /// FxHashMap behaves like a map (differential test against std).
+    #[test]
+    fn fxhashmap_matches_std(ops in prop::collection::vec((0u64..500, 0u32..100), 0..400)) {
+        let mut fx: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut std_map: std::collections::HashMap<u64, u32> = Default::default();
+        for (k, v) in ops {
+            fx.insert(k, v);
+            std_map.insert(k, v);
+        }
+        prop_assert_eq!(fx.len(), std_map.len());
+        for (k, v) in &std_map {
+            prop_assert_eq!(fx.get(k), Some(v));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Developer utility: global problem-ratio calibration probe.
+//!
+//! Prints per-metric problem ratios split by event scope, plus the main
+//! structural contributors — the view used to calibrate the synthetic world
+//! against the paper's Figure 2 levels (see DESIGN.md §2).
+//!
+//! ```text
+//! cargo run --release -p vqlens-synth --example calibration
+//! ```
+
+use vqlens_model::attr::AttrKey;
+use vqlens_model::metric::{Metric, Thresholds};
+use vqlens_synth::scenario::{generate, Scenario};
+use vqlens_synth::world::{ConnType, LadderClass};
+use std::time::Instant;
+
+fn main() {
+    let mut scenario = Scenario::paper_default();
+    scenario.arrivals.sessions_per_epoch = 3_000.0; // probe-sized
+    let t0 = Instant::now();
+    let out = generate(&scenario);
+    let gen_time = t0.elapsed();
+
+    let thresholds = Thresholds::default();
+    let mut problems = [[0usize; 4]; 2]; // [in event scope, background]
+    let mut totals = [0usize; 2];
+    let mut single_ladder = (0usize, 0usize);
+    let mut conn_buf = [(0usize, 0usize); 5];
+    for (epoch, data) in out.dataset.iter_epochs() {
+        let active: Vec<_> = out
+            .ground_truth
+            .events
+            .iter()
+            .filter(|e| e.schedule.active_at(epoch))
+            .collect();
+        for (attrs, quality) in data.iter() {
+            let bucket = usize::from(!active.iter().any(|e| e.scope.matches(attrs)));
+            totals[bucket] += 1;
+            for m in Metric::ALL {
+                if thresholds.is_problem(quality, m) {
+                    problems[bucket][m.index()] += 1;
+                }
+            }
+            let site = &out.world.sites[attrs.get(AttrKey::Site) as usize];
+            if matches!(site.ladder, LadderClass::Single(_)) {
+                single_ladder.1 += 1;
+                if thresholds.is_problem(quality, Metric::BufRatio) {
+                    single_ladder.0 += 1;
+                }
+            }
+            let c = attrs.get(AttrKey::ConnType) as usize;
+            conn_buf[c].1 += 1;
+            if thresholds.is_problem(quality, Metric::BufRatio) {
+                conn_buf[c].0 += 1;
+            }
+        }
+    }
+
+    let all = totals[0] + totals[1];
+    println!("{} sessions generated in {gen_time:?}", all);
+    println!(
+        "fraction in scope of an active event: {:.3}",
+        totals[0] as f64 / all as f64
+    );
+    for m in Metric::ALL {
+        let scoped = problems[0][m.index()] as f64 / totals[0].max(1) as f64;
+        let background = problems[1][m.index()] as f64 / totals[1].max(1) as f64;
+        let global = (problems[0][m.index()] + problems[1][m.index()]) as f64 / all as f64;
+        println!("{m:<12} global {global:.4}  event-scoped {scoped:.4}  background {background:.4}");
+    }
+    println!(
+        "single-bitrate sites: {:.1}% of traffic, buffering-problem rate {:.3}",
+        100.0 * single_ladder.1 as f64 / all as f64,
+        single_ladder.0 as f64 / single_ladder.1.max(1) as f64
+    );
+    for (i, (p, n)) in conn_buf.iter().enumerate() {
+        println!(
+            "{:<14} {:>5.1}% of traffic, buffering-problem rate {:.3}",
+            ConnType::NAMES[i],
+            100.0 * *n as f64 / all as f64,
+            *p as f64 / (*n).max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! The session arrival process: who watches what, from where, over what.
+//!
+//! Draws correlated session attributes (site → audience region → ASN →
+//! connection type; site → CDN via its strategy) with Zipf popularity, and
+//! resolves each draw plus the active planted events into the fully
+//! specified [`SessionEnv`] the delivery simulator plays out.
+
+use crate::events::PlantedEvent;
+use crate::world::{
+    player_algorithm, sample_weighted, ConnType, LadderClass, Region, SiteInfo, World,
+};
+use crate::world::{CdnStrategy, BROWSER_NAMES, PLAYER_NAMES};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vqlens_delivery::abr::BitrateLadder;
+use vqlens_delivery::player::{SessionEnv, ViewerModel};
+use vqlens_model::attr::SessionAttrs;
+use vqlens_model::epoch::EpochId;
+
+/// Arrival-process configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Mean sessions per hourly epoch.
+    pub sessions_per_epoch: f64,
+    /// Amplitude of the diurnal rate modulation, in `[0, 1)`.
+    pub diurnal_amplitude: f64,
+    /// Probability that a session suffers transient, attribute-independent
+    /// last-mile congestion — the unclustered background noise behind the
+    /// paper's "not in any problem cluster" residue.
+    pub background_degrade_prob: f64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            sessions_per_epoch: 12_000.0,
+            diurnal_amplitude: 0.35,
+            background_degrade_prob: 0.05,
+        }
+    }
+}
+
+impl ArrivalConfig {
+    /// Expected session count of one epoch (diurnal-modulated).
+    pub fn rate_at(&self, epoch: EpochId) -> f64 {
+        let hour = epoch.hour_of_day() as f64;
+        // Peak in the evening (20:00 trace-local time).
+        let phase = (hour - 20.0) / 24.0 * std::f64::consts::TAU;
+        self.sessions_per_epoch * (1.0 + self.diurnal_amplitude * phase.cos())
+    }
+
+    /// Sample the session count of one epoch (normal approximation to
+    /// Poisson, adequate at thousands of arrivals).
+    pub fn sample_count<R: Rng + ?Sized>(&self, epoch: EpochId, rng: &mut R) -> usize {
+        let rate = self.rate_at(epoch);
+        let z = vqlens_delivery::path::gaussian(rng);
+        (rate + z * rate.sqrt()).round().max(0.0) as usize
+    }
+}
+
+/// Pre-built weighted samplers over the world (binary-search sampling; the
+/// naive linear scan is far too slow at millions of sessions).
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    site_dist: WeightedIndex<f64>,
+    region_dist: WeightedIndex<f64>,
+    /// Per-region: (ASN indexes, popularity distribution).
+    region_asns: Vec<(Vec<u32>, WeightedIndex<f64>)>,
+    player_dist: WeightedIndex<f64>,
+    browser_dist: WeightedIndex<f64>,
+}
+
+impl ArrivalSampler {
+    /// Build the samplers for a world.
+    pub fn new(world: &World) -> ArrivalSampler {
+        let site_dist = WeightedIndex::new(world.sites.iter().map(|s| s.weight))
+            .expect("site weights valid");
+        let region_dist =
+            WeightedIndex::new(Region::WEIGHTS.iter().copied()).expect("region weights valid");
+        let region_asns = Region::ALL
+            .iter()
+            .map(|r| {
+                let ids = world.asns_in_region(*r);
+                assert!(!ids.is_empty(), "region {r:?} must have ASNs");
+                let dist =
+                    WeightedIndex::new(ids.iter().map(|&i| world.asns[i as usize].weight))
+                        .expect("asn weights valid");
+                (ids, dist)
+            })
+            .collect();
+        let player_dist =
+            WeightedIndex::new([0.45, 0.10, 0.30, 0.15]).expect("player weights valid");
+        let browser_dist =
+            WeightedIndex::new([0.35, 0.25, 0.20, 0.15, 0.05]).expect("browser weights valid");
+        ArrivalSampler {
+            site_dist,
+            region_dist,
+            region_asns,
+            player_dist,
+            browser_dist,
+        }
+    }
+
+    /// Draw one session's attributes and viewer intent.
+    pub fn draw<R: Rng + ?Sized>(&self, world: &World, rng: &mut R) -> SessionDraw {
+        let site_id = self.site_dist.sample(rng) as u32;
+        let site = &world.sites[site_id as usize];
+
+        // Audience region: concentrated sites keep 80 % of viewers home.
+        let region = match site.audience_home {
+            Some(home) if rng.gen::<f64>() < 0.8 => home,
+            _ => Region::ALL[self.region_dist.sample(rng)],
+        };
+
+        let (ref ids, ref dist) = self.region_asns[region.index()];
+        let asn_id = ids[dist.sample(rng)];
+        let asn = &world.asns[asn_id as usize];
+
+        let conn = if asn.wireless {
+            if rng.gen::<f64>() < 0.75 {
+                ConnType::Mobile
+            } else {
+                ConnType::FixedWireless
+            }
+        } else {
+            let mix: [f64; 3] = match region {
+                Region::Us | Region::Europe => [0.20, 0.50, 0.30],
+                _ => [0.50, 0.35, 0.15],
+            };
+            [ConnType::Dsl, ConnType::Cable, ConnType::Fiber][sample_weighted(rng, &mix)]
+        };
+
+        let cdn_id = match &site.cdn_strategy {
+            CdnStrategy::Single(c) => *c,
+            CdnStrategy::Multi(picks) => {
+                let w: Vec<f64> = picks.iter().map(|(_, w)| *w).collect();
+                picks[sample_weighted(rng, &w)].0
+            }
+        };
+
+        let live = rng.gen::<f64>() < site.live_fraction;
+        let player = self.player_dist.sample(rng) as u32;
+        let browser = self.browser_dist.sample(rng) as u32;
+
+        // Intended watch time: log-normal, live events run longer.
+        let median_s = if live { 600.0 } else { 240.0 };
+        let z = vqlens_delivery::path::gaussian(rng);
+        let intended = (median_s * (0.7 * z).exp()).clamp(30.0, 1800.0);
+
+        SessionDraw {
+            attrs: SessionAttrs::new([
+                asn_id,
+                cdn_id,
+                site_id,
+                u32::from(live),
+                player,
+                browser,
+                conn.index() as u32,
+            ]),
+            region,
+            viewer: ViewerModel {
+                intended_duration_s: intended,
+                ..ViewerModel::default()
+            },
+        }
+    }
+}
+
+impl ArrivalSampler {
+    /// Draw a session forced onto one site's *live* stream (flash-crowd
+    /// arrivals): all other attributes follow the normal joint
+    /// distribution.
+    pub fn draw_for_live_site<R: Rng + ?Sized>(
+        &self,
+        world: &World,
+        site_id: u32,
+        rng: &mut R,
+    ) -> SessionDraw {
+        let mut draw = self.draw(world, rng);
+        let site = &world.sites[site_id as usize];
+        let cdn_id = match &site.cdn_strategy {
+            CdnStrategy::Single(c) => *c,
+            CdnStrategy::Multi(picks) => {
+                let w: Vec<f64> = picks.iter().map(|(_, w)| *w).collect();
+                picks[sample_weighted(rng, &w)].0
+            }
+        };
+        let mut values = draw.attrs.values;
+        values[vqlens_model::attr::AttrKey::Site.index()] = site_id;
+        values[vqlens_model::attr::AttrKey::Cdn.index()] = cdn_id;
+        values[vqlens_model::attr::AttrKey::VodOrLive.index()] = 1; // Live
+        draw.attrs = SessionAttrs::new(values);
+        // Live events run long.
+        draw.viewer.intended_duration_s = draw.viewer.intended_duration_s.max(600.0);
+        draw
+    }
+}
+
+/// One drawn session, before environment resolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionDraw {
+    /// The seven attribute values (world indexes = dictionary ids).
+    pub attrs: SessionAttrs,
+    /// The client's region (a hidden attribute: measurable but implicit,
+    /// per the paper's §6 discussion — it shapes the environment but is
+    /// not part of the clustered attribute space).
+    pub region: Region,
+    /// Viewer intent.
+    pub viewer: ViewerModel,
+}
+
+/// Resolve a draw plus the active events into a session environment.
+pub fn resolve_env<R: Rng + ?Sized>(
+    world: &World,
+    draw: &SessionDraw,
+    active_events: &[&PlantedEvent],
+    config: &ArrivalConfig,
+    rng: &mut R,
+) -> SessionEnv {
+    let asn = &world.asns[draw.attrs.values[0] as usize];
+    let cdn = &world.cdns[draw.attrs.values[1] as usize];
+    let site: &SiteInfo = &world.sites[draw.attrs.values[2] as usize];
+    let conn = ConnType::ALL[draw.attrs.values[6] as usize];
+    let player = draw.attrs.values[4] as usize;
+
+    // Path: connection baseline × ASN tier × regional infrastructure.
+    let mut path = conn
+        .base_path()
+        .degraded(asn.tier.path_factor() * Region::PATH_FACTOR[draw.region.index()]);
+
+    // Edge: the CDN's regional presence, plus the player-module host. A
+    // module host across the Pacific is the paper's Chinese-join-time
+    // anecdote; any cross-region host adds a smaller penalty.
+    let mut edge = cdn.edge_for(draw.region);
+    if site.module_host_region != draw.region {
+        edge.module_load_ms += if draw.region == Region::China
+            && site.module_host_region == Region::Us
+        {
+            3_500.0
+        } else {
+            500.0
+        };
+    }
+
+    // Planted events in scope.
+    for event in active_events {
+        if event.scope.matches(&draw.attrs) {
+            path = path.degraded(event.effect.path_factor);
+            edge = edge.combined_with(&event.effect.edge);
+        }
+    }
+
+    // Attribute-independent background noise.
+    if rng.gen::<f64>() < config.background_degrade_prob {
+        path = path.degraded(rng.gen_range(0.15..0.6));
+    }
+
+    let ladder = match site.ladder {
+        LadderClass::Standard => BitrateLadder::standard(),
+        LadderClass::Premium => BitrateLadder::premium(),
+        LadderClass::Single(kbps) => BitrateLadder::single(kbps),
+    };
+    let algorithm = if ladder.is_single() {
+        vqlens_delivery::abr::AbrAlgorithm::Fixed
+    } else {
+        player_algorithm(player)
+    };
+
+    // Premium sites pin a mid-ladder startup rung ("high bitrates" as a
+    // join-time culprit in the paper's Table 3).
+    let startup_rung = if matches!(site.ladder, LadderClass::Premium) {
+        3
+    } else {
+        0
+    };
+
+    SessionEnv {
+        path,
+        edge,
+        ladder,
+        algorithm,
+        viewer: draw.viewer,
+        startup_rung,
+        chunk_s: 4.0,
+        max_buffer_s: 30.0,
+    }
+}
+
+/// Dictionary names for the player dimension (re-export for interning).
+pub fn player_names() -> &'static [&'static str] {
+    &PLAYER_NAMES
+}
+
+/// Dictionary names for the browser dimension (re-export for interning).
+pub fn browser_names() -> &'static [&'static str] {
+    &BROWSER_NAMES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vqlens_model::attr::AttrKey;
+
+    #[test]
+    fn diurnal_rate_peaks_in_the_evening() {
+        let cfg = ArrivalConfig::default();
+        let peak = cfg.rate_at(EpochId(20));
+        let trough = cfg.rate_at(EpochId(8));
+        assert!(peak > trough);
+        assert!((peak / cfg.sessions_per_epoch - 1.35).abs() < 0.01);
+    }
+
+    #[test]
+    fn sampled_counts_center_on_rate() {
+        let cfg = ArrivalConfig {
+            sessions_per_epoch: 5_000.0,
+            diurnal_amplitude: 0.0,
+            background_degrade_prob: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 200;
+        let mean: f64 = (0..n)
+            .map(|_| cfg.sample_count(EpochId(0), &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 5_000.0).abs() < 50.0, "mean {mean}");
+    }
+
+    #[test]
+    fn draws_respect_world_structure() {
+        let world = World::generate(&WorldConfig::default());
+        let sampler = ArrivalSampler::new(&world);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut wireless_mobile = 0;
+        let mut wired_mobile = 0;
+        for _ in 0..5_000 {
+            let d = sampler.draw(&world, &mut rng);
+            let asn = &world.asns[d.attrs.get(AttrKey::Asn) as usize];
+            assert_eq!(asn.region, d.region, "ASN drawn from the session region");
+            let conn = ConnType::ALL[d.attrs.get(AttrKey::ConnType) as usize];
+            match (asn.wireless, conn) {
+                (true, ConnType::Mobile | ConnType::FixedWireless) => wireless_mobile += 1,
+                (true, _) => panic!("wireless carrier with a wired connection"),
+                (false, ConnType::Mobile | ConnType::FixedWireless) => wired_mobile += 1,
+                (false, _) => {}
+            }
+            // CDN must come from the site's strategy.
+            let site = &world.sites[d.attrs.get(AttrKey::Site) as usize];
+            let cdn = d.attrs.get(AttrKey::Cdn);
+            match &site.cdn_strategy {
+                CdnStrategy::Single(c) => assert_eq!(cdn, *c),
+                CdnStrategy::Multi(picks) => {
+                    assert!(picks.iter().any(|(c, _)| *c == cdn));
+                }
+            }
+            assert!((30.0..=1800.0).contains(&d.viewer.intended_duration_s));
+        }
+        assert!(wireless_mobile > 0);
+        assert_eq!(wired_mobile, 0);
+    }
+
+    #[test]
+    fn popular_sites_dominate_draws() {
+        let world = World::generate(&WorldConfig::default());
+        let sampler = ArrivalSampler::new(&world);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = vec![0u32; world.sites.len()];
+        for _ in 0..20_000 {
+            let d = sampler.draw(&world, &mut rng);
+            counts[d.attrs.get(AttrKey::Site) as usize] += 1;
+        }
+        let top10: u32 = counts.iter().take(10).sum();
+        assert!(
+            f64::from(top10) / 20_000.0 > 0.25,
+            "Zipf head should dominate: {top10}"
+        );
+    }
+
+    #[test]
+    fn events_modify_the_environment() {
+        use crate::events::{EventEffect, EventSchedule, EventScope, PlantedEvent};
+        use vqlens_model::metric::Metric;
+        let world = World::generate(&WorldConfig::default());
+        let sampler = ArrivalSampler::new(&world);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let draw = sampler.draw(&world, &mut rng);
+        let cfg = ArrivalConfig {
+            background_degrade_prob: 0.0,
+            ..ArrivalConfig::default()
+        };
+
+        let clean = resolve_env(&world, &draw, &[], &cfg, &mut SmallRng::seed_from_u64(1));
+        let event = PlantedEvent {
+            id: 0,
+            name: "test congestion".into(),
+            scope: EventScope {
+                asn: Some(draw.attrs.get(AttrKey::Asn)),
+                ..EventScope::default()
+            },
+            effect: EventEffect::congestion(0.25),
+            schedule: EventSchedule::Persistent,
+            expected_metrics: vec![Metric::Bitrate],
+        };
+        let hit = resolve_env(
+            &world,
+            &draw,
+            &[&event],
+            &cfg,
+            &mut SmallRng::seed_from_u64(1),
+        );
+        assert!((hit.path.base_kbps - clean.path.base_kbps * 0.25).abs() < 1e-9);
+
+        // An out-of-scope event changes nothing.
+        let other = PlantedEvent {
+            scope: EventScope {
+                asn: Some(draw.attrs.get(AttrKey::Asn) + 1),
+                ..EventScope::default()
+            },
+            ..event.clone()
+        };
+        let missed = resolve_env(
+            &world,
+            &draw,
+            &[&other],
+            &cfg,
+            &mut SmallRng::seed_from_u64(1),
+        );
+        assert_eq!(missed.path.base_kbps, clean.path.base_kbps);
+    }
+}

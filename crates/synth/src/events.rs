@@ -1,0 +1,767 @@
+//! Planted ground-truth problem events.
+//!
+//! Each event scopes a degradation to a combination of session attributes
+//! (a site, a CDN, an ASN, a connection type, or a combination) and a time
+//! schedule. Because the scope is expressed in the same attribute space the
+//! analysis clusters over, every planted event corresponds to an expected
+//! critical cluster — the ground truth the validation harness checks
+//! recovered clusters against.
+//!
+//! The schedule mix (persistent / recurring / one-off with heavy-tailed
+//! durations) is what produces the paper's prevalence and persistence
+//! shapes (Figs. 7–8): recurring events make clusters *prevalent*, long
+//! one-off outages make them *persistent*.
+
+use crate::world::{ConnType, Region, World};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vqlens_delivery::cdn::EdgeModel;
+use vqlens_model::attr::{AttrKey, AttrMask, ClusterKey, SessionAttrs};
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::Metric;
+
+/// Attribute scope of an event: which sessions it hits.
+///
+/// Fields use the generator's dictionary ids, which coincide with world
+/// indexes (see `scenario::generate`'s interning order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventScope {
+    /// Restrict to one site.
+    pub site: Option<u32>,
+    /// Restrict to one CDN.
+    pub cdn: Option<u32>,
+    /// Restrict to one ASN.
+    pub asn: Option<u32>,
+    /// Restrict to one connection type.
+    pub conn: Option<ConnType>,
+    /// Restrict to live (`true`) or VoD (`false`) content.
+    pub live: Option<bool>,
+}
+
+impl EventScope {
+    /// Does a session with these attributes fall in scope?
+    pub fn matches(&self, attrs: &SessionAttrs) -> bool {
+        if let Some(site) = self.site {
+            if attrs.get(AttrKey::Site) != site {
+                return false;
+            }
+        }
+        if let Some(cdn) = self.cdn {
+            if attrs.get(AttrKey::Cdn) != cdn {
+                return false;
+            }
+        }
+        if let Some(asn) = self.asn {
+            if attrs.get(AttrKey::Asn) != asn {
+                return false;
+            }
+        }
+        if let Some(conn) = self.conn {
+            if attrs.get(AttrKey::ConnType) != conn.index() as u32 {
+                return false;
+            }
+        }
+        if let Some(live) = self.live {
+            if attrs.get(AttrKey::VodOrLive) != u32::from(live) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The cluster key this scope corresponds to — the critical cluster the
+    /// analysis is expected to recover.
+    pub fn expected_cluster(&self) -> ClusterKey {
+        let mut values = [0u32; 7];
+        let mut mask = AttrMask::EMPTY;
+        if let Some(site) = self.site {
+            values[AttrKey::Site.index()] = site;
+            mask = mask.with(AttrKey::Site);
+        }
+        if let Some(cdn) = self.cdn {
+            values[AttrKey::Cdn.index()] = cdn;
+            mask = mask.with(AttrKey::Cdn);
+        }
+        if let Some(asn) = self.asn {
+            values[AttrKey::Asn.index()] = asn;
+            mask = mask.with(AttrKey::Asn);
+        }
+        if let Some(conn) = self.conn {
+            values[AttrKey::ConnType.index()] = conn.index() as u32;
+            mask = mask.with(AttrKey::ConnType);
+        }
+        if let Some(live) = self.live {
+            values[AttrKey::VodOrLive.index()] = u32::from(live);
+            mask = mask.with(AttrKey::VodOrLive);
+        }
+        ClusterKey::new(mask, values)
+    }
+
+    /// Number of constrained attributes.
+    pub fn arity(&self) -> u32 {
+        self.expected_cluster().depth()
+    }
+}
+
+/// What an active event does to in-scope sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventEffect {
+    /// Multiplier on path bandwidth (1.0 = untouched).
+    pub path_factor: f64,
+    /// Additive edge modifier (see [`EdgeModel::combined_with`]).
+    pub edge: EdgeModel,
+}
+
+impl EventEffect {
+    /// No-op effect.
+    pub fn neutral() -> EventEffect {
+        EventEffect {
+            path_factor: 1.0,
+            edge: EdgeModel::neutral(),
+        }
+    }
+
+    /// Network congestion: bandwidth cut to `factor`.
+    pub fn congestion(factor: f64) -> EventEffect {
+        EventEffect {
+            path_factor: factor.clamp(0.01, 1.0),
+            edge: EdgeModel::neutral(),
+        }
+    }
+
+    /// Edge/origin overload: slow first byte, throttled, some failures.
+    pub fn overload(severity: f64) -> EventEffect {
+        let severity = severity.clamp(0.0, 1.0);
+        EventEffect {
+            path_factor: 1.0,
+            edge: EdgeModel {
+                first_byte_ms: 1_200.0 * severity,
+                join_fail_prob: 0.04 * severity,
+                throughput_factor: 1.0 - 0.65 * severity,
+                module_load_ms: 0.0,
+            },
+        }
+    }
+
+    /// Outright delivery breakage: a large share of joins fail.
+    pub fn join_breakage(fail_prob: f64) -> EventEffect {
+        EventEffect {
+            path_factor: 1.0,
+            edge: EdgeModel {
+                join_fail_prob: fail_prob.clamp(0.0, 1.0),
+                ..EdgeModel::neutral()
+            },
+        }
+    }
+
+    /// Slow player-module host: join delay only.
+    pub fn slow_modules(extra_ms: f64) -> EventEffect {
+        EventEffect {
+            path_factor: 1.0,
+            edge: EdgeModel {
+                module_load_ms: extra_ms.max(0.0),
+                ..EdgeModel::neutral()
+            },
+        }
+    }
+}
+
+/// When an event is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventSchedule {
+    /// Active for the whole trace (chronic issues).
+    Persistent,
+    /// Active `duty_h` hours out of every `period_h`, offset by `phase_h`
+    /// (e.g. prime-time overloads).
+    Recurring {
+        /// Cycle length in hours.
+        period_h: u32,
+        /// Active hours per cycle.
+        duty_h: u32,
+        /// Cycle offset in hours.
+        phase_h: u32,
+    },
+    /// One contiguous outage.
+    OneOff {
+        /// First active epoch.
+        start: u32,
+        /// Active length in hours.
+        len_h: u32,
+    },
+}
+
+impl EventSchedule {
+    /// Is the event active in `epoch`?
+    pub fn active_at(&self, epoch: EpochId) -> bool {
+        match *self {
+            EventSchedule::Persistent => true,
+            EventSchedule::Recurring {
+                period_h,
+                duty_h,
+                phase_h,
+            } => (epoch.0 + phase_h) % period_h < duty_h,
+            EventSchedule::OneOff { start, len_h } => {
+                epoch.0 >= start && epoch.0 < start + len_h
+            }
+        }
+    }
+}
+
+/// A planted ground-truth problem event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlantedEvent {
+    /// Stable identifier.
+    pub id: u32,
+    /// Human-readable description of the cause.
+    pub name: String,
+    /// Which sessions it hits.
+    pub scope: EventScope,
+    /// What it does to them.
+    pub effect: EventEffect,
+    /// When it is active.
+    pub schedule: EventSchedule,
+    /// The metrics this event is primarily expected to degrade (a label
+    /// for validation and reporting, not used by the simulator).
+    pub expected_metrics: Vec<Metric>,
+}
+
+/// A flash crowd (the paper's reference [28] phenomenon): a surge of extra
+/// live viewers onto one site for a bounded window. The *traffic* surge
+/// lives here; its QoE consequence (origin overload) is planted as a
+/// matching [`PlantedEvent`] so detection can be validated uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// The site hosting the live event.
+    pub site: u32,
+    /// First epoch of the surge.
+    pub start: u32,
+    /// Surge length in hours.
+    pub len_h: u32,
+    /// Extra arrivals during the surge, as a fraction of the trace's base
+    /// rate (0.25 = +25 % of all traffic heads to this site's live event).
+    pub extra_traffic: f64,
+}
+
+impl FlashCrowd {
+    /// Is the surge active in `epoch`?
+    pub fn active_at(&self, epoch: EpochId) -> bool {
+        epoch.0 >= self.start && epoch.0 < self.start + self.len_h
+    }
+}
+
+/// The full set of planted events for a scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// All planted events.
+    pub events: Vec<PlantedEvent>,
+    /// Flash-crowd traffic surges (each paired with a planted overload
+    /// event in `events`).
+    pub flash_crowds: Vec<FlashCrowd>,
+}
+
+impl GroundTruth {
+    /// Ground truth with events only (no flash crowds).
+    pub fn from_events(events: Vec<PlantedEvent>) -> GroundTruth {
+        GroundTruth {
+            events,
+            flash_crowds: Vec::new(),
+        }
+    }
+
+    /// Indexes of events active in `epoch`.
+    pub fn active_at(&self, epoch: EpochId) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.schedule.active_at(epoch))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of planted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were planted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Event-population configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventPlanConfig {
+    /// Total number of planted events.
+    pub n_events: usize,
+    /// RNG seed for the plan.
+    pub seed: u64,
+    /// Number of epochs in the trace (one-off events are placed inside).
+    pub epochs: u32,
+}
+
+impl EventPlanConfig {
+    /// Defaults matched to the two-week default scenario.
+    pub fn default_for(epochs: u32) -> EventPlanConfig {
+        EventPlanConfig {
+            n_events: 260,
+            seed: 0x5eed_0002,
+            epochs,
+        }
+    }
+}
+
+/// Generate the planted-event population for a world.
+///
+/// The category mix follows the paper's Figure 10 breakdown (Site-scoped
+/// causes dominate, then CDN, ASN, connection type, and combinations) and
+/// its Table 3 anecdotes (single-bitrate sites, in-house CDNs, Asian ISPs,
+/// mobile wireless, remote player modules, low-priority sites on one
+/// global CDN).
+pub fn plan_events(world: &World, config: &EventPlanConfig) -> GroundTruth {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut events = Vec::with_capacity(config.n_events);
+
+    // Popularity-weighted entity pickers: events must hit entities with
+    // enough traffic to be statistically visible (tail entities are hit
+    // occasionally and end up as the paper's unattributed residue).
+    // Weight exponent < 1 flattens the Zipf head: without it, several
+    // independent events stack on the same top sites and the global problem
+    // ratio explodes far past the paper's levels.
+    let site_weights: Vec<f64> = world.sites.iter().map(|s| s.weight.powf(0.5)).collect();
+    let asn_weights: Vec<f64> = world.asns.iter().map(|a| a.weight.powf(0.5)).collect();
+    let mut used_scopes: std::collections::HashSet<EventScope> = std::collections::HashSet::new();
+
+    let mut id = 0u32;
+    let mut push = |events: &mut Vec<PlantedEvent>,
+                    name: String,
+                    scope: EventScope,
+                    effect: EventEffect,
+                    schedule: EventSchedule,
+                    expected: Vec<Metric>| {
+        events.push(PlantedEvent {
+            id,
+            name,
+            scope,
+            effect,
+            schedule,
+            expected_metrics: expected,
+        });
+        id += 1;
+    };
+
+    let mut attempts = 0usize;
+    while events.len() < config.n_events && attempts < config.n_events * 20 {
+        attempts += 1;
+        let schedule = sample_schedule(&mut rng, config.epochs);
+        let category = rng.gen::<f64>();
+        if category < 0.50 {
+            // --- Site-scoped causes (dominant in Fig. 10). ---------------
+            let site = crate::world::sample_weighted(&mut rng, &site_weights) as u32;
+            let scope = EventScope {
+                site: Some(site),
+                ..EventScope::default()
+            };
+            if !used_scopes.insert(scope) {
+                continue;
+            }
+            match if rng.gen::<f64>() < 0.75 {
+                rng.gen_range(0..2u8)
+            } else {
+                2u8
+            } {
+                0 => push(
+                    &mut events,
+                    format!("site-{site} packaging/config breakage"),
+                    scope,
+                    EventEffect::join_breakage(rng.gen_range(0.15..0.45)),
+                    schedule,
+                    vec![Metric::JoinFailure],
+                ),
+                1 => push(
+                    &mut events,
+                    format!("site-{site} origin overload"),
+                    scope,
+                    EventEffect::overload(rng.gen_range(0.3..0.7)),
+                    schedule,
+                    vec![Metric::BufRatio, Metric::JoinTime],
+                ),
+                _ => push(
+                    &mut events,
+                    format!("site-{site} slow player-module host"),
+                    scope,
+                    EventEffect::slow_modules(rng.gen_range(5_000.0..11_000.0)),
+                    schedule,
+                    vec![Metric::JoinTime],
+                ),
+            }
+        } else if category < 0.68 {
+            // --- CDN-scoped causes. --------------------------------------
+            let cdn = rng.gen_range(0..world.cdns.len()) as u32;
+            let scope = EventScope {
+                cdn: Some(cdn),
+                ..EventScope::default()
+            };
+            if !used_scopes.insert(scope) {
+                continue;
+            }
+            if rng.gen::<f64>() < 0.6 {
+                push(
+                    &mut events,
+                    format!("cdn-{cdn} edge overload"),
+                    scope,
+                    EventEffect::overload(rng.gen_range(0.3..0.65)),
+                    schedule,
+                    vec![Metric::BufRatio, Metric::JoinTime],
+                );
+            } else {
+                push(
+                    &mut events,
+                    format!("cdn-{cdn} delivery failures"),
+                    scope,
+                    EventEffect::join_breakage(rng.gen_range(0.08..0.25)),
+                    schedule,
+                    vec![Metric::JoinFailure],
+                );
+            }
+        } else if category < 0.82 {
+            // --- ASN-scoped causes (Asian ISPs prominent in Table 3). ----
+            let asn = crate::world::sample_weighted(&mut rng, &asn_weights) as u32;
+            let scope = EventScope {
+                asn: Some(asn),
+                ..EventScope::default()
+            };
+            if !used_scopes.insert(scope) {
+                continue;
+            }
+            let severity = rng.gen_range(0.15..0.5);
+            push(
+                &mut events,
+                format!("asn-{asn} congestion"),
+                scope,
+                EventEffect::congestion(severity),
+                schedule,
+                vec![Metric::Bitrate, Metric::BufRatio],
+            );
+        } else if category < 0.86 {
+            // --- Connection-type causes (mobile wireless). ----------------
+            // These blanket a double-digit share of all traffic, so they
+            // are mild and duty-cycled (busy-hour radio congestion), never
+            // persistent — otherwise they dominate the global problem
+            // ratio instead of showing up as a recurrent critical cluster.
+            let conn = if rng.gen::<f64>() < 0.7 {
+                ConnType::Mobile
+            } else {
+                ConnType::FixedWireless
+            };
+            let scope = EventScope {
+                conn: Some(conn),
+                ..EventScope::default()
+            };
+            if !used_scopes.insert(scope) {
+                continue;
+            }
+            push(
+                &mut events,
+                format!("{} radio-network degradation", ConnType::NAMES[conn.index()]),
+                scope,
+                EventEffect::congestion(rng.gen_range(0.55..0.8)),
+                EventSchedule::Recurring {
+                    period_h: 24,
+                    duty_h: rng.gen_range(2..=4),
+                    phase_h: rng.gen_range(0..24),
+                },
+                vec![Metric::Bitrate],
+            );
+        } else {
+            // --- Combination causes. --------------------------------------
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    // Bad peering between one ASN and one CDN: the classic
+                    // two-attribute phase transition (paper Fig. 5).
+                    let asn = crate::world::sample_weighted(&mut rng, &asn_weights) as u32;
+                    let cdn = rng.gen_range(0..world.cdns.len()) as u32;
+                    let scope = EventScope {
+                        asn: Some(asn),
+                        cdn: Some(cdn),
+                        ..EventScope::default()
+                    };
+                    if !used_scopes.insert(scope) {
+                        continue;
+                    }
+                    push(
+                        &mut events,
+                        format!("asn-{asn} x cdn-{cdn} bad peering"),
+                        scope,
+                        EventEffect::congestion(rng.gen_range(0.12..0.35)),
+                        schedule,
+                        vec![Metric::BufRatio, Metric::Bitrate],
+                    );
+                }
+                1 => {
+                    // A site whose mobile packaging is broken.
+                    let site = crate::world::sample_weighted(&mut rng, &site_weights) as u32;
+                    let scope = EventScope {
+                        site: Some(site),
+                        conn: Some(ConnType::Mobile),
+                        ..EventScope::default()
+                    };
+                    if !used_scopes.insert(scope) {
+                        continue;
+                    }
+                    push(
+                        &mut events,
+                        format!("site-{site} mobile packaging breakage"),
+                        scope,
+                        EventEffect::join_breakage(rng.gen_range(0.15..0.4)),
+                        schedule,
+                        vec![Metric::JoinFailure],
+                    );
+                }
+                _ => {
+                    // A live-streaming origin that melts under live load.
+                    let site = crate::world::sample_weighted(&mut rng, &site_weights) as u32;
+                    let scope = EventScope {
+                        site: Some(site),
+                        live: Some(true),
+                        ..EventScope::default()
+                    };
+                    if !used_scopes.insert(scope) {
+                        continue;
+                    }
+                    push(
+                        &mut events,
+                        format!("site-{site} live-origin overload"),
+                        scope,
+                        EventEffect::overload(rng.gen_range(0.4..0.8)),
+                        schedule,
+                        vec![Metric::BufRatio, Metric::JoinTime],
+                    );
+                }
+            }
+        }
+    }
+
+    let _ = Region::ALL; // regions shape the world; events are attribute-scoped
+    // A handful of flash crowds on live-heavy popular sites: a big traffic
+    // surge paired with a planted origin-overload event over the same
+    // window, so the surge's QoE damage is part of the validated truth.
+    let mut flash_crowds = Vec::new();
+    let live_sites: Vec<u32> = world
+        .sites
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.live_fraction > 0.3)
+        .map(|(i, _)| i as u32)
+        .collect();
+    let n_crowds = (config.n_events / 80).clamp(1, 4);
+    for _ in 0..n_crowds {
+        if live_sites.is_empty() {
+            break;
+        }
+        let site = live_sites[rng.gen_range(0..live_sites.len())];
+        let len_h = rng.gen_range(2..=5);
+        let start = rng.gen_range(0..config.epochs.saturating_sub(len_h).max(1));
+        flash_crowds.push(FlashCrowd {
+            site,
+            start,
+            len_h,
+            extra_traffic: rng.gen_range(0.1..0.3),
+        });
+        events.push(PlantedEvent {
+            id: events.len() as u32,
+            name: format!("site-{site} flash-crowd origin overload"),
+            scope: EventScope {
+                site: Some(site),
+                live: Some(true),
+                ..EventScope::default()
+            },
+            effect: EventEffect::overload(rng.gen_range(0.5..0.85)),
+            schedule: EventSchedule::OneOff { start, len_h },
+            expected_metrics: vec![Metric::BufRatio, Metric::JoinTime],
+        });
+    }
+
+    GroundTruth {
+        events,
+        flash_crowds,
+    }
+}
+
+/// Sample a schedule: 10 % persistent, 40 % recurring, 50 % one-off with a
+/// log-normal duration whose median is ~4 h and whose tail exceeds a day
+/// (paper Fig. 8).
+fn sample_schedule<R: Rng + ?Sized>(rng: &mut R, epochs: u32) -> EventSchedule {
+    let x = rng.gen::<f64>();
+    if x < 0.10 {
+        EventSchedule::Persistent
+    } else if x < 0.50 {
+        let period_h = *[6u32, 12, 24, 24, 48]
+            .get(rng.gen_range(0..5usize))
+            .expect("period table");
+        let duty_h = rng.gen_range(2..=(period_h / 3).max(2));
+        EventSchedule::Recurring {
+            period_h,
+            duty_h,
+            phase_h: rng.gen_range(0..period_h),
+        }
+    } else {
+        // Log-normal duration: ln-median ln(4h), sigma 1.1 =>
+        // P(len > 24h) ≈ 5 %.
+        let z = vqlens_delivery::path::gaussian(rng);
+        let len_h = (4.0f64 * (1.1 * z).exp()).round().clamp(1.0, 96.0) as u32;
+        let start = rng.gen_range(0..epochs.saturating_sub(1).max(1));
+        EventSchedule::OneOff { start, len_h }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn scope_matching_and_expected_cluster_agree() {
+        let scope = EventScope {
+            site: Some(7),
+            conn: Some(ConnType::Mobile),
+            ..EventScope::default()
+        };
+        let hit = SessionAttrs::new([3, 2, 7, 0, 1, 1, ConnType::Mobile.index() as u32]);
+        let miss_site = SessionAttrs::new([3, 2, 8, 0, 1, 1, ConnType::Mobile.index() as u32]);
+        let miss_conn = SessionAttrs::new([3, 2, 7, 0, 1, 1, ConnType::Dsl.index() as u32]);
+        assert!(scope.matches(&hit));
+        assert!(!scope.matches(&miss_site));
+        assert!(!scope.matches(&miss_conn));
+
+        let key = scope.expected_cluster();
+        assert_eq!(key.depth(), 2);
+        assert!(key.generalizes(hit.leaf_key()));
+        assert!(!key.generalizes(miss_site.leaf_key()));
+        assert_eq!(scope.arity(), 2);
+    }
+
+    #[test]
+    fn empty_scope_matches_everything() {
+        let scope = EventScope::default();
+        assert!(scope.matches(&SessionAttrs::new([1, 2, 3, 1, 0, 2, 4])));
+        assert_eq!(scope.expected_cluster(), ClusterKey::ROOT);
+    }
+
+    #[test]
+    fn schedules_activate_correctly() {
+        assert!(EventSchedule::Persistent.active_at(EpochId(0)));
+        assert!(EventSchedule::Persistent.active_at(EpochId(999)));
+
+        let rec = EventSchedule::Recurring {
+            period_h: 24,
+            duty_h: 3,
+            phase_h: 0,
+        };
+        assert!(rec.active_at(EpochId(0)));
+        assert!(rec.active_at(EpochId(2)));
+        assert!(!rec.active_at(EpochId(3)));
+        assert!(rec.active_at(EpochId(24)));
+
+        let one = EventSchedule::OneOff { start: 10, len_h: 4 };
+        assert!(!one.active_at(EpochId(9)));
+        assert!(one.active_at(EpochId(10)));
+        assert!(one.active_at(EpochId(13)));
+        assert!(!one.active_at(EpochId(14)));
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_sized() {
+        let world = World::generate(&WorldConfig::default());
+        let cfg = EventPlanConfig::default_for(336);
+        let a = plan_events(&world, &cfg);
+        let b = plan_events(&world, &cfg);
+        // The plan holds the requested events plus one paired overload
+        // event per flash crowd.
+        assert_eq!(a.len(), cfg.n_events + a.flash_crowds.len());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.flash_crowds.len(), b.flash_crowds.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.scope, y.scope);
+            assert_eq!(x.schedule, y.schedule);
+        }
+    }
+
+    #[test]
+    fn plan_covers_the_expected_category_mix() {
+        let world = World::generate(&WorldConfig::default());
+        let gt = plan_events(&world, &EventPlanConfig::default_for(336));
+        let site_only = gt
+            .events
+            .iter()
+            .filter(|e| e.scope.site.is_some() && e.scope.arity() == 1)
+            .count();
+        let cdn_only = gt
+            .events
+            .iter()
+            .filter(|e| e.scope.cdn.is_some() && e.scope.arity() == 1)
+            .count();
+        let asn_only = gt
+            .events
+            .iter()
+            .filter(|e| e.scope.asn.is_some() && e.scope.arity() == 1)
+            .count();
+        let combos = gt.events.iter().filter(|e| e.scope.arity() >= 2).count();
+        assert!(site_only > cdn_only, "sites dominate (Fig. 10)");
+        assert!(asn_only > 0);
+        assert!(combos > 0);
+        // Some events must be active in a typical epoch.
+        assert!(!gt.active_at(EpochId(50)).is_empty());
+    }
+
+    #[test]
+    fn some_long_outages_exist() {
+        let world = World::generate(&WorldConfig::default());
+        let gt = plan_events(
+            &world,
+            &EventPlanConfig {
+                n_events: 600,
+                seed: 9,
+                epochs: 336,
+            },
+        );
+        let long = gt
+            .events
+            .iter()
+            .filter(|e| matches!(e.schedule, EventSchedule::OneOff { len_h, .. } if len_h >= 24))
+            .count();
+        assert!(long > 0, "the duration tail must exceed a day");
+    }
+}
+
+#[cfg(test)]
+mod flash_crowd_tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn crowds_are_planned_with_paired_events() {
+        let world = World::generate(&WorldConfig::default());
+        let gt = plan_events(&world, &EventPlanConfig::default_for(336));
+        assert!(!gt.flash_crowds.is_empty(), "default plan includes crowds");
+        for crowd in &gt.flash_crowds {
+            // Every crowd has a paired overload event on the same site and
+            // window, restricted to live content.
+            let paired = gt.events.iter().find(|e| {
+                e.scope.site == Some(crowd.site)
+                    && e.scope.live == Some(true)
+                    && matches!(
+                        e.schedule,
+                        EventSchedule::OneOff { start, len_h }
+                            if start == crowd.start && len_h == crowd.len_h
+                    )
+            });
+            assert!(paired.is_some(), "crowd on site {} lacks its event", crowd.site);
+            assert!((0.0..1.0).contains(&crowd.extra_traffic));
+            assert!(crowd.active_at(EpochId(crowd.start)));
+            assert!(!crowd.active_at(EpochId(crowd.start + crowd.len_h)));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # vqlens-synth
+//!
+//! Synthetic trace generation: the substitute for the paper's proprietary
+//! 300-million-session dataset (never released). See DESIGN.md §2 for the
+//! substitution argument; in short, the paper's findings are *structural*,
+//! so we generate a world whose structure follows the paper's description
+//! and plant ground-truth problem events into it — which additionally lets
+//! us *validate* the analysis pipeline against known causes, something the
+//! original study could not do.
+//!
+//! * [`world`] — the static universe: sites (content providers) with
+//!   encoding ladders and CDN strategies, CDNs with regional presence,
+//!   ASNs with quality tiers and geography, connection types, players,
+//!   browsers.
+//! * [`events`] — planted problem events: attribute-scoped degradations
+//!   with persistent / recurring / one-off schedules and heavy-tailed
+//!   durations.
+//! * [`arrivals`] — the session arrival process: diurnal rates, Zipf site
+//!   and ASN popularity, correlated attribute draws.
+//! * [`scenario`] — end-to-end scenario presets (smoke / default / full)
+//!   and [`scenario::generate`], producing a
+//!   [`vqlens_model::Dataset`] plus its [`events::GroundTruth`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod events;
+pub mod scenario;
+pub mod world;
+
+pub use events::{EventEffect, EventSchedule, EventScope, GroundTruth, PlantedEvent};
+pub use scenario::{generate, Scenario};
+pub use world::{Region, World, WorldConfig};

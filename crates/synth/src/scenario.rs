@@ -1,0 +1,423 @@
+//! Scenario presets and end-to-end trace generation.
+//!
+//! A [`Scenario`] bundles the world, event, and arrival configurations with
+//! a trace length and master seed. [`generate`] produces the full
+//! [`Dataset`] plus [`GroundTruth`] serially; [`generate_epoch`] generates
+//! one epoch purely (no shared state), which is what the core pipeline uses
+//! to generate epochs in parallel.
+
+use crate::arrivals::{resolve_env, ArrivalConfig, ArrivalSampler};
+use crate::events::{plan_events, EventPlanConfig, GroundTruth};
+use crate::world::{World, WorldConfig, BROWSER_NAMES, PLAYER_NAMES, VOD_LIVE_NAMES};
+use crate::world::ConnType;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vqlens_delivery::player::simulate_session;
+use vqlens_model::attr::AttrKey;
+use vqlens_model::dataset::{Dataset, DatasetMeta, EpochData};
+use vqlens_model::epoch::{EpochId, TWO_WEEKS};
+
+/// A complete generation scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (recorded in the dataset metadata).
+    pub name: String,
+    /// World-generation knobs.
+    pub world: WorldConfig,
+    /// Number of planted events.
+    pub n_events: usize,
+    /// Arrival-process knobs.
+    pub arrivals: ArrivalConfig,
+    /// Trace length in hourly epochs.
+    pub epochs: u32,
+    /// Master seed; every randomized stage derives from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A tiny scenario for unit/integration tests: seconds to generate.
+    pub fn smoke() -> Scenario {
+        Scenario {
+            name: "smoke".into(),
+            world: WorldConfig {
+                n_sites: 40,
+                n_cdns: 6,
+                n_asns: 80,
+                seed: 0x5eed_0001,
+            },
+            n_events: 24,
+            arrivals: ArrivalConfig {
+                sessions_per_epoch: 2_000.0,
+                diurnal_amplitude: 0.35,
+                background_degrade_prob: 0.06,
+            },
+            epochs: 24,
+            seed: 0x5eed_cafe,
+        }
+    }
+
+    /// The default paper-shaped scenario: two weeks of hourly epochs, the
+    /// paper's entity counts, ~12 K sessions/hour (a 1:75 scale-down of the
+    /// paper's ~900 K/hour; see DESIGN.md §2 for the scaling argument).
+    pub fn paper_default() -> Scenario {
+        Scenario {
+            name: "paper-default".into(),
+            world: WorldConfig::default(),
+            n_events: 260,
+            arrivals: ArrivalConfig::default(),
+            epochs: TWO_WEEKS,
+            seed: 0x5eed_0000,
+        }
+    }
+
+    /// A larger run for benchmarking throughput (one week, 3× the traffic).
+    pub fn full() -> Scenario {
+        Scenario {
+            name: "full".into(),
+            world: WorldConfig {
+                n_asns: 4_000,
+                ..WorldConfig::default()
+            },
+            n_events: 400,
+            arrivals: ArrivalConfig {
+                sessions_per_epoch: 36_000.0,
+                ..ArrivalConfig::default()
+            },
+            epochs: TWO_WEEKS,
+            seed: 0x5eed_0000,
+        }
+    }
+
+    /// The per-hour session floor the paper's 1000-session significance
+    /// threshold scales to for this scenario.
+    pub fn scaled_min_sessions(&self) -> u64 {
+        vqlens_cluster_min_sessions(self.arrivals.sessions_per_epoch)
+    }
+}
+
+/// The paper's `min_sessions = 1000` at ~900 K sessions/hour, scaled.
+fn vqlens_cluster_min_sessions(sessions_per_epoch: f64) -> u64 {
+    ((sessions_per_epoch * (1000.0 / 900_000.0)).round() as u64).max(10)
+}
+
+/// Everything a generation run produces.
+#[derive(Debug, Clone)]
+pub struct SynthOutput {
+    /// The generated trace.
+    pub dataset: Dataset,
+    /// The world it was drawn from.
+    pub world: World,
+    /// The planted ground truth.
+    pub ground_truth: GroundTruth,
+}
+
+/// Build the world, the event plan, and an empty pre-interned dataset.
+///
+/// Interning order is fixed so that dictionary ids equal world indexes —
+/// the invariant that lets [`crate::events::EventScope::expected_cluster`]
+/// name clusters directly.
+pub fn prepare(scenario: &Scenario) -> (World, GroundTruth, Dataset) {
+    let world = World::generate(&scenario.world);
+    let ground_truth = plan_events(
+        &world,
+        &EventPlanConfig {
+            n_events: scenario.n_events,
+            seed: scenario.seed ^ 0x5eed_0002,
+            epochs: scenario.epochs,
+        },
+    );
+    let mut dataset = Dataset::new(
+        scenario.epochs,
+        DatasetMeta {
+            name: scenario.name.clone(),
+            description: format!(
+                "synthetic trace: {} sites, {} CDNs, {} ASNs, {} events, ~{} sessions/epoch",
+                world.sites.len(),
+                world.cdns.len(),
+                world.asns.len(),
+                ground_truth.len(),
+                scenario.arrivals.sessions_per_epoch as u64,
+            ),
+            seed: Some(scenario.seed),
+        },
+    );
+    for asn in &world.asns {
+        dataset.intern(AttrKey::Asn, &asn.name);
+    }
+    for cdn in &world.cdns {
+        dataset.intern(AttrKey::Cdn, &cdn.name);
+    }
+    for site in &world.sites {
+        dataset.intern(AttrKey::Site, &site.name);
+    }
+    for name in VOD_LIVE_NAMES {
+        dataset.intern(AttrKey::VodOrLive, name);
+    }
+    for name in PLAYER_NAMES {
+        dataset.intern(AttrKey::PlayerType, name);
+    }
+    for name in BROWSER_NAMES {
+        dataset.intern(AttrKey::Browser, name);
+    }
+    for name in ConnType::NAMES {
+        dataset.intern(AttrKey::ConnType, name);
+    }
+    (world, ground_truth, dataset)
+}
+
+/// Generate the sessions of one epoch. Pure: independent epochs can run on
+/// independent threads.
+pub fn generate_epoch(
+    world: &World,
+    sampler: &ArrivalSampler,
+    ground_truth: &GroundTruth,
+    arrivals: &ArrivalConfig,
+    epoch: EpochId,
+    master_seed: u64,
+) -> EpochData {
+    let mut rng = SmallRng::seed_from_u64(
+        master_seed ^ (u64::from(epoch.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let active: Vec<_> = ground_truth
+        .events
+        .iter()
+        .filter(|e| e.schedule.active_at(epoch))
+        .collect();
+    let count = arrivals.sample_count(epoch, &mut rng);
+    let mut data = EpochData::default();
+    data.attrs.reserve(count);
+    data.quality.reserve(count);
+    for _ in 0..count {
+        let draw = sampler.draw(world, &mut rng);
+        let env = resolve_env(world, &draw, &active, arrivals, &mut rng);
+        let quality = simulate_session(&env, &mut rng);
+        data.push(draw.attrs, quality);
+    }
+    // Flash-crowd surges: extra live viewers funneled onto one site, on
+    // top of the organic arrivals (which already feel the paired overload
+    // event via `active`).
+    for crowd in &ground_truth.flash_crowds {
+        if !crowd.active_at(epoch) {
+            continue;
+        }
+        let extra = ((count as f64) * crowd.extra_traffic).round() as usize;
+        for _ in 0..extra {
+            let draw = sampler.draw_for_live_site(world, crowd.site, &mut rng);
+            let env = resolve_env(world, &draw, &active, arrivals, &mut rng);
+            let quality = simulate_session(&env, &mut rng);
+            data.push(draw.attrs, quality);
+        }
+    }
+    data
+}
+
+/// Generate the full trace serially with a *custom* planted-event set
+/// (replacing the scenario's own event plan) — the hook examples use to
+/// stage a single known incident and watch the pipeline find it.
+pub fn generate_with_events(scenario: &Scenario, ground_truth: GroundTruth) -> SynthOutput {
+    let (world, _, mut dataset) = prepare(scenario);
+    let sampler = ArrivalSampler::new(&world);
+    for e in 0..scenario.epochs {
+        let epoch = EpochId(e);
+        let data = generate_epoch(
+            &world,
+            &sampler,
+            &ground_truth,
+            &scenario.arrivals,
+            epoch,
+            scenario.seed,
+        );
+        for (attrs, quality) in data.iter() {
+            dataset.push(vqlens_model::SessionRecord::new(epoch, *attrs, *quality));
+        }
+    }
+    SynthOutput {
+        dataset,
+        world,
+        ground_truth,
+    }
+}
+
+/// Generate the full trace serially.
+pub fn generate(scenario: &Scenario) -> SynthOutput {
+    let (world, ground_truth, mut dataset) = prepare(scenario);
+    let sampler = ArrivalSampler::new(&world);
+    for e in 0..scenario.epochs {
+        let epoch = EpochId(e);
+        let data = generate_epoch(
+            &world,
+            &sampler,
+            &ground_truth,
+            &scenario.arrivals,
+            epoch,
+            scenario.seed,
+        );
+        for (attrs, quality) in data.iter() {
+            dataset.push(vqlens_model::SessionRecord::new(epoch, *attrs, *quality));
+        }
+    }
+    SynthOutput {
+        dataset,
+        world,
+        ground_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::metric::{Metric, Thresholds};
+
+    #[test]
+    fn smoke_scenario_generates_plausible_trace() {
+        let scenario = Scenario::smoke();
+        let out = generate(&scenario);
+        assert_eq!(out.dataset.num_epochs(), 24);
+        let n = out.dataset.num_sessions();
+        assert!(
+            (30_000..70_000).contains(&n),
+            "expected ~48K sessions, got {n}"
+        );
+
+        // Global problem ratios should be non-trivial but not absurd.
+        let t = Thresholds::default();
+        let mut problems = [0usize; 4];
+        let mut total = 0usize;
+        for (_, data) in out.dataset.iter_epochs() {
+            for (_, q) in data.iter() {
+                total += 1;
+                for m in Metric::ALL {
+                    if t.is_problem(q, m) {
+                        problems[m.index()] += 1;
+                    }
+                }
+            }
+        }
+        for m in Metric::ALL {
+            let ratio = problems[m.index()] as f64 / total as f64;
+            assert!(
+                (0.005..0.6).contains(&ratio),
+                "{m}: implausible global problem ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let scenario = Scenario::smoke();
+        let a = generate(&scenario);
+        let b = generate(&scenario);
+        assert_eq!(a.dataset.num_sessions(), b.dataset.num_sessions());
+        let qa: Vec<_> = a.dataset.iter_sessions().take(500).collect();
+        let qb: Vec<_> = b.dataset.iter_sessions().take(500).collect();
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn epochs_generate_independently() {
+        let scenario = Scenario::smoke();
+        let (world, gt, _) = prepare(&scenario);
+        let sampler = ArrivalSampler::new(&world);
+        let once = generate_epoch(
+            &world,
+            &sampler,
+            &gt,
+            &scenario.arrivals,
+            EpochId(5),
+            scenario.seed,
+        );
+        let again = generate_epoch(
+            &world,
+            &sampler,
+            &gt,
+            &scenario.arrivals,
+            EpochId(5),
+            scenario.seed,
+        );
+        assert_eq!(once.len(), again.len());
+        assert_eq!(once.attrs, again.attrs);
+        // And it matches the serial path.
+        let full = generate(&scenario);
+        assert_eq!(full.dataset.epoch(EpochId(5)).len(), once.len());
+        assert_eq!(full.dataset.epoch(EpochId(5)).attrs, once.attrs);
+    }
+
+    #[test]
+    fn dictionaries_match_world_indexes() {
+        let scenario = Scenario::smoke();
+        let out = generate(&scenario);
+        for (i, asn) in out.world.asns.iter().enumerate() {
+            assert_eq!(
+                out.dataset.dict(AttrKey::Asn).id(&asn.name),
+                Some(i as u32)
+            );
+        }
+        for (i, site) in out.world.sites.iter().enumerate() {
+            assert_eq!(
+                out.dataset.dict(AttrKey::Site).id(&site.name),
+                Some(i as u32)
+            );
+        }
+        assert_eq!(out.dataset.dict(AttrKey::VodOrLive).name(1), Some("Live"));
+    }
+
+    #[test]
+    fn scaled_min_sessions_tracks_traffic() {
+        assert_eq!(Scenario::paper_default().scaled_min_sessions(), 13);
+        let mut s = Scenario::paper_default();
+        s.arrivals.sessions_per_epoch = 900_000.0;
+        assert_eq!(s.scaled_min_sessions(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod flash_crowd_tests {
+    use super::*;
+    use crate::events::{FlashCrowd, GroundTruth};
+    use vqlens_model::attr::AttrKey as AK;
+
+    #[test]
+    fn surge_adds_live_sessions_on_the_site() {
+        let mut scenario = Scenario::smoke();
+        scenario.epochs = 6;
+        let mut gt = GroundTruth::from_events(vec![]);
+        gt.flash_crowds.push(FlashCrowd {
+            site: 5,
+            start: 2,
+            len_h: 2,
+            extra_traffic: 0.5,
+        });
+        let out = generate_with_events(&scenario, gt);
+        // Control: identical scenario and seed, no crowd.
+        let control = generate_with_events(&scenario, GroundTruth::from_events(vec![]));
+
+        let site_share = |d: &vqlens_model::Dataset, e: u32| {
+            let data = d.epoch(EpochId(e));
+            let on_site = data
+                .iter()
+                .filter(|(a, _)| a.get(AK::Site) == 5)
+                .count();
+            (on_site as f64 / data.len() as f64, data.len())
+        };
+        let (quiet_share, _) = site_share(&out.dataset, 0);
+        let (surge_share, surge_n) = site_share(&out.dataset, 2);
+        let (_, organic_n) = site_share(&control.dataset, 2);
+        assert!(
+            surge_share > quiet_share + 0.2,
+            "surge epoch share {surge_share} vs quiet {quiet_share}"
+        );
+        assert!(
+            surge_n as f64 > organic_n as f64 * 1.4,
+            "arrivals should jump vs the organic control: {surge_n} vs {organic_n}"
+        );
+        // The surge sessions are live.
+        let live_on_site = out
+            .dataset
+            .epoch(EpochId(2))
+            .iter()
+            .filter(|(a, _)| a.get(AK::Site) == 5 && a.get(AK::VodOrLive) == 1)
+            .count();
+        assert!(live_on_site > 0);
+    }
+}

@@ -1,0 +1,557 @@
+//! The static universe sessions are drawn from.
+//!
+//! Mirrors the diversity the paper emphasizes (§2): 379 content providers
+//! across genres and delivery strategies, 19 CDNs (global third-party,
+//! data-center, in-house, ISP-run), ~15 K ASNs across 213 countries
+//! (condensed here into six regions with the paper's audience weights:
+//! ~55 % US, ~12 % Europe, ~8 % China), and a spectrum of connection
+//! types, players, and browsers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vqlens_delivery::abr::AbrAlgorithm;
+use vqlens_delivery::cdn::EdgeModel;
+use vqlens_delivery::path::PathModel;
+
+/// Geographic regions (a condensation of the paper's 213 countries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Region {
+    /// United States (~55 % of viewers in the paper).
+    Us = 0,
+    /// Europe (~12 %).
+    Europe = 1,
+    /// China (~8 %).
+    China = 2,
+    /// Rest of Asia.
+    AsiaOther = 3,
+    /// Latin America.
+    LatAm = 4,
+    /// Everywhere else.
+    Other = 5,
+}
+
+impl Region {
+    /// All regions.
+    pub const ALL: [Region; 6] = [
+        Region::Us,
+        Region::Europe,
+        Region::China,
+        Region::AsiaOther,
+        Region::LatAm,
+        Region::Other,
+    ];
+
+    /// Audience weight of each region (paper §2).
+    pub const WEIGHTS: [f64; 6] = [0.55, 0.12, 0.08, 0.10, 0.08, 0.07];
+
+    /// Baseline path-quality multiplier of the region's infrastructure.
+    pub const PATH_FACTOR: [f64; 6] = [1.0, 0.95, 0.55, 0.5, 0.45, 0.4];
+
+    /// Index into region-keyed arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Access connection types (dictionary order fixed for reproducibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum ConnType {
+    /// Cellular (3G/4G) access.
+    Mobile = 0,
+    /// Fixed wireless (WiMAX-era) access.
+    FixedWireless = 1,
+    /// DSL lines.
+    Dsl = 2,
+    /// Cable broadband.
+    Cable = 3,
+    /// Fiber to the home.
+    Fiber = 4,
+}
+
+impl ConnType {
+    /// All connection types.
+    pub const ALL: [ConnType; 5] = [
+        ConnType::Mobile,
+        ConnType::FixedWireless,
+        ConnType::Dsl,
+        ConnType::Cable,
+        ConnType::Fiber,
+    ];
+
+    /// Display names (used as dictionary entries).
+    pub const NAMES: [&'static str; 5] = ["MobileWireless", "FixedWireless", "DSL", "Cable", "Fiber"];
+
+    /// Baseline path model of each connection type.
+    pub fn base_path(self) -> PathModel {
+        match self {
+            ConnType::Mobile => PathModel {
+                base_kbps: 2_500.0,
+                sigma: 0.6,
+                rho: 0.7,
+                rtt_ms: 80.0,
+            },
+            ConnType::FixedWireless => PathModel {
+                base_kbps: 3_000.0,
+                sigma: 0.6,
+                rho: 0.75,
+                rtt_ms: 60.0,
+            },
+            ConnType::Dsl => PathModel {
+                base_kbps: 3_600.0,
+                sigma: 0.45,
+                rho: 0.8,
+                rtt_ms: 45.0,
+            },
+            ConnType::Cable => PathModel {
+                base_kbps: 12_000.0,
+                sigma: 0.35,
+                rho: 0.85,
+                rtt_ms: 30.0,
+            },
+            ConnType::Fiber => PathModel {
+                base_kbps: 25_000.0,
+                sigma: 0.25,
+                rho: 0.85,
+                rtt_ms: 15.0,
+            },
+        }
+    }
+
+    /// Index into dictionaries.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Player technologies.
+pub const PLAYER_NAMES: [&str; 4] = ["Flash", "Silverlight", "HTML5", "NativeApp"];
+/// Browsers.
+pub const BROWSER_NAMES: [&str; 5] = ["Chrome", "Firefox", "MSIE", "Safari", "Other"];
+/// VoD / Live dictionary entries (ids 0 and 1).
+pub const VOD_LIVE_NAMES: [&str; 2] = ["VoD", "Live"];
+
+/// Per-player adaptation algorithm (the paper notes different bitrate
+/// adaptation algorithms across its providers).
+pub fn player_algorithm(player: usize) -> AbrAlgorithm {
+    match player {
+        0 => AbrAlgorithm::ThroughputRule, // Flash
+        1 => AbrAlgorithm::ThroughputRule, // Silverlight
+        2 => AbrAlgorithm::BufferRule,     // HTML5
+        _ => AbrAlgorithm::Festive,        // NativeApp (FESTIVE-style)
+    }
+}
+
+/// ASN infrastructure quality tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AsnTier {
+    /// Well-provisioned ISP.
+    Good,
+    /// Average ISP.
+    Mid,
+    /// Under-provisioned ISP.
+    Poor,
+}
+
+impl AsnTier {
+    /// Path-bandwidth multiplier of the tier.
+    pub fn path_factor(self) -> f64 {
+        match self {
+            AsnTier::Good => 1.0,
+            AsnTier::Mid => 0.55,
+            AsnTier::Poor => 0.28,
+        }
+    }
+}
+
+/// One autonomous system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsnInfo {
+    /// Dictionary name, e.g. `"AS3549"`.
+    pub name: String,
+    /// Home region.
+    pub region: Region,
+    /// Infrastructure tier.
+    pub tier: AsnTier,
+    /// True for cellular carriers: their clients use wireless connections.
+    pub wireless: bool,
+    /// Zipf popularity weight within the region.
+    pub weight: f64,
+}
+
+/// CDN deployment archetypes from the paper (§2: popular CDN providers,
+/// in-house CDNs, and ISP-run CDNs; data-center CDNs in §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CdnKind {
+    /// Global third-party CDN (Akamai-like).
+    GlobalThirdParty,
+    /// Data-center-based CDN (fewer, larger PoPs).
+    Datacenter,
+    /// A content provider's own delivery infrastructure.
+    InHouse,
+    /// CDN operated by an ISP, serving mostly its home region.
+    IspRun,
+}
+
+/// One content delivery network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CdnInfo {
+    /// Dictionary name, e.g. `"cdn-global-00"`.
+    pub name: String,
+    /// Deployment archetype.
+    pub kind: CdnKind,
+    /// Regional presence in `[0, 1]` — how close/well-peered the CDN's
+    /// edges are to clients of each region.
+    pub presence: [f64; 6],
+}
+
+impl CdnInfo {
+    /// The edge model seen by a client in `region` (before events).
+    pub fn edge_for(&self, region: Region) -> EdgeModel {
+        let p = self.presence[region.index()].clamp(0.15, 1.0);
+        EdgeModel {
+            // Poor presence means farther edges and more origin fetches.
+            first_byte_ms: 60.0 / p,
+            join_fail_prob: 0.002 + 0.006 * (1.0 - p),
+            throughput_factor: 0.55 + 0.45 * p,
+            module_load_ms: 120.0 / p,
+        }
+    }
+}
+
+/// How a site picks CDNs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CdnStrategy {
+    /// All traffic on one CDN (the paper's Table 3 notes join-failure-prone
+    /// sites on a single global CDN).
+    Single(u32),
+    /// Weighted split across several CDNs.
+    Multi(Vec<(u32, f64)>),
+}
+
+/// Encoding-ladder archetypes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LadderClass {
+    /// Full adaptive ladder.
+    Standard,
+    /// Premium ladder with high rungs (the paper's Table 3 join-time
+    /// culprit: sites pushing high bitrates).
+    Premium,
+    /// A single fixed bitrate (Table 3 buffering culprit).
+    Single(f64),
+}
+
+/// One content provider ("site").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteInfo {
+    /// Dictionary name, e.g. `"site-042"`.
+    pub name: String,
+    /// Zipf popularity weight.
+    pub weight: f64,
+    /// Encoding ladder archetype.
+    pub ladder: LadderClass,
+    /// CDN selection strategy.
+    pub cdn_strategy: CdnStrategy,
+    /// Fraction of sessions that are live events.
+    pub live_fraction: f64,
+    /// Region whose CDN serves this site's player modules; e.g. a US
+    /// module host serving Chinese clients adds cross-pacific join latency
+    /// (the paper's Table 3 join-time anecdote).
+    pub module_host_region: Region,
+    /// Audience skew: `None` for a global audience following
+    /// [`Region::WEIGHTS`]; `Some(region)` for a site whose audience is
+    /// concentrated (80 %) in one region.
+    pub audience_home: Option<Region>,
+}
+
+/// Configuration for world generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Number of content providers (paper: 379).
+    pub n_sites: usize,
+    /// Number of CDNs (paper: 19).
+    pub n_cdns: usize,
+    /// Number of ASNs (paper: ~15 K; default scaled down).
+    pub n_asns: usize,
+    /// RNG seed for world generation.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            n_sites: 379,
+            n_cdns: 19,
+            n_asns: 1500,
+            seed: 0x5eed_0001,
+        }
+    }
+}
+
+/// The generated universe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct World {
+    /// Autonomous systems.
+    pub asns: Vec<AsnInfo>,
+    /// Delivery networks.
+    pub cdns: Vec<CdnInfo>,
+    /// Content providers.
+    pub sites: Vec<SiteInfo>,
+}
+
+impl World {
+    /// Deterministically generate a world from a config.
+    pub fn generate(config: &WorldConfig) -> World {
+        assert!(config.n_sites >= 3 && config.n_cdns >= 3 && config.n_asns >= 12);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+
+        // --- ASNs: allocated to regions by audience weight. -------------
+        let mut asns = Vec::with_capacity(config.n_asns);
+        for region in Region::ALL {
+            let share = Region::WEIGHTS[region.index()];
+            let count = ((config.n_asns as f64) * share).round().max(2.0) as usize;
+            for i in 0..count {
+                let tier = match rng.gen::<f64>() {
+                    x if x < 0.6 => AsnTier::Good,
+                    x if x < 0.9 => AsnTier::Mid,
+                    _ => AsnTier::Poor,
+                };
+                // Roughly one in five ASNs is a cellular carrier.
+                let wireless = rng.gen::<f64>() < 0.2;
+                // Zipf-ish weight by rank within the region.
+                let weight = 1.0 / (i as f64 + 1.0);
+                asns.push(AsnInfo {
+                    name: format!("AS{}", 1000 + asns.len()),
+                    region,
+                    tier,
+                    wireless,
+                    weight,
+                });
+            }
+        }
+
+        // --- CDNs: a fixed archetype mix. --------------------------------
+        let mut cdns = Vec::with_capacity(config.n_cdns);
+        for i in 0..config.n_cdns {
+            let (kind, name, presence) = match i % 4 {
+                0 => {
+                    let mut p = [0.0; 6];
+                    for r in Region::ALL {
+                        p[r.index()] = rng.gen_range(0.75..1.0);
+                    }
+                    p[Region::China.index()] = rng.gen_range(0.3..0.6);
+                    (
+                        CdnKind::GlobalThirdParty,
+                        format!("cdn-global-{i:02}"),
+                        p,
+                    )
+                }
+                1 => {
+                    let mut p = [0.0; 6];
+                    for r in Region::ALL {
+                        p[r.index()] = rng.gen_range(0.5..0.85);
+                    }
+                    (CdnKind::Datacenter, format!("cdn-dc-{i:02}"), p)
+                }
+                2 => {
+                    let home = Region::ALL[rng.gen_range(0..Region::ALL.len())];
+                    let mut p = [0.25; 6];
+                    p[home.index()] = rng.gen_range(0.7..0.95);
+                    (CdnKind::InHouse, format!("cdn-inhouse-{i:02}"), p)
+                }
+                _ => {
+                    let home = Region::ALL[rng.gen_range(0..Region::ALL.len())];
+                    let mut p = [0.15; 6];
+                    p[home.index()] = rng.gen_range(0.85..1.0);
+                    (CdnKind::IspRun, format!("cdn-isp-{i:02}"), p)
+                }
+            };
+            cdns.push(CdnInfo {
+                name,
+                kind,
+                presence,
+            });
+        }
+
+        // --- Sites. -------------------------------------------------------
+        let in_house_cdns: Vec<u32> = cdns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind == CdnKind::InHouse)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut sites = Vec::with_capacity(config.n_sites);
+        for i in 0..config.n_sites {
+            // Zipf popularity over site rank.
+            let weight = 1.0 / (i as f64 + 1.0).powf(0.9);
+            // Big providers always adapt; ~15 % of the long tail never
+            // adopted multi-bitrate (the paper's Table 3 culprits are
+            // small, less-provisioned providers).
+            let ladder = match rng.gen::<f64>() {
+                x if x < 0.70 || i < 20 => {
+                    if x < 0.18 {
+                        LadderClass::Premium
+                    } else {
+                        LadderClass::Standard
+                    }
+                }
+                x if x < 0.85 => LadderClass::Premium,
+                _ => LadderClass::Single(rng.gen_range(750.0..1_800.0)),
+            };
+            let audience_home = if rng.gen::<f64>() < 0.35 {
+                Some(Region::ALL[sample_weighted(&mut rng, &Region::WEIGHTS)])
+            } else {
+                None
+            };
+            let cdn_strategy = match rng.gen::<f64>() {
+                // Under-provisioned providers pin everything on one CDN.
+                x if x < 0.4 => CdnStrategy::Single(rng.gen_range(0..config.n_cdns) as u32),
+                // Some run their content on their own in-house CDN.
+                x if x < 0.55 && !in_house_cdns.is_empty() => {
+                    CdnStrategy::Single(in_house_cdns[rng.gen_range(0..in_house_cdns.len())])
+                }
+                _ => {
+                    let k = rng.gen_range(2..=3.min(config.n_cdns));
+                    let mut picks = Vec::with_capacity(k);
+                    while picks.len() < k {
+                        let c = rng.gen_range(0..config.n_cdns) as u32;
+                        if !picks.iter().any(|(x, _)| *x == c) {
+                            picks.push((c, rng.gen_range(0.2..1.0)));
+                        }
+                    }
+                    CdnStrategy::Multi(picks)
+                }
+            };
+            // Most sites host player modules near their audience; some use
+            // a US host regardless (the paper's join-time anecdote).
+            let module_host_region = if rng.gen::<f64>() < 0.8 {
+                audience_home.unwrap_or(Region::Us)
+            } else {
+                Region::Us
+            };
+            sites.push(SiteInfo {
+                name: format!("site-{i:03}"),
+                weight,
+                ladder,
+                cdn_strategy,
+                live_fraction: if rng.gen::<f64>() < 0.15 {
+                    rng.gen_range(0.3..0.9)
+                } else {
+                    rng.gen_range(0.0..0.1)
+                },
+                module_host_region,
+                audience_home,
+            });
+        }
+
+        World { asns, cdns, sites }
+    }
+
+    /// ASN indexes belonging to one region.
+    pub fn asns_in_region(&self, region: Region) -> Vec<u32> {
+        self.asns
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.region == region)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// Sample an index proportional to `weights`.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorldConfig::default();
+        let a = World::generate(&cfg);
+        let b = World::generate(&cfg);
+        assert_eq!(a.sites.len(), b.sites.len());
+        assert_eq!(a.sites[0].name, b.sites[0].name);
+        assert_eq!(a.asns.len(), b.asns.len());
+        for (x, y) in a.asns.iter().zip(&b.asns) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.region, y.region);
+        }
+    }
+
+    #[test]
+    fn world_matches_paper_scale_knobs() {
+        let w = World::generate(&WorldConfig::default());
+        assert_eq!(w.sites.len(), 379);
+        assert_eq!(w.cdns.len(), 19);
+        assert!(w.asns.len() >= 1400);
+        // Every region is populated.
+        for r in Region::ALL {
+            assert!(!w.asns_in_region(r).is_empty(), "{r:?} has no ASNs");
+        }
+    }
+
+    #[test]
+    fn archetype_mix_is_present() {
+        let w = World::generate(&WorldConfig::default());
+        let single_bitrate = w
+            .sites
+            .iter()
+            .filter(|s| matches!(s.ladder, LadderClass::Single(_)))
+            .count();
+        assert!(single_bitrate > 0, "some sites must be single-bitrate");
+        let in_house = w
+            .cdns
+            .iter()
+            .filter(|c| c.kind == CdnKind::InHouse)
+            .count();
+        assert!(in_house > 0);
+        let single_cdn = w
+            .sites
+            .iter()
+            .filter(|s| matches!(s.cdn_strategy, CdnStrategy::Single(_)))
+            .count();
+        assert!(single_cdn > 0);
+    }
+
+    #[test]
+    fn edge_quality_tracks_presence() {
+        let w = World::generate(&WorldConfig::default());
+        let global = w
+            .cdns
+            .iter()
+            .find(|c| c.kind == CdnKind::GlobalThirdParty)
+            .unwrap();
+        let us = global.edge_for(Region::Us);
+        let cn = global.edge_for(Region::China);
+        assert!(cn.first_byte_ms > us.first_byte_ms);
+        assert!(cn.throughput_factor < us.throughput_factor);
+    }
+
+    #[test]
+    fn weighted_sampling_is_proportional() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let weights = [1.0, 3.0];
+        let n = 40_000;
+        let ones = (0..n)
+            .filter(|_| sample_weighted(&mut rng, &weights) == 1)
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+}

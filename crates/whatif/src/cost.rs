@@ -1,0 +1,303 @@
+//! Cost-aware remediation planning.
+//!
+//! The paper's §6 lists this as the missing piece of its what-if analysis:
+//! "our improvement analysis does not capture the costs that might be
+//! incurred to logically fix a particular critical cluster ... it will be
+//! interesting to also consider a natural cost-benefit analysis". This
+//! module supplies that extension: a pluggable cost model per critical
+//! cluster, benefit/cost ranking, and a budgeted selection sweep.
+//!
+//! Costs are deliberately *proxies* (the paper never had real contract
+//! numbers either): fixing a big CDN is priced by the traffic it carries,
+//! infrastructure-style fixes (sites, CDNs) can be priced differently from
+//! contractual/peering fixes (ASNs, connection types).
+
+use crate::fix::alleviated_sessions;
+use crate::oracle::{rank_clusters, AttrFilter, RankBy};
+use serde::{Deserialize, Serialize};
+use vqlens_analysis::persistence::ClusterSource;
+use vqlens_analysis::prevalence::PrevalenceReport;
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::{AttrKey, AttrMask, ClusterKey};
+use vqlens_model::metric::Metric;
+use vqlens_stats::{FxHashMap, FxHashSet};
+
+/// How fixing a cluster is priced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Every cluster costs one unit ("engineering attention" model) —
+    /// reduces to the paper's top-k counting.
+    Uniform,
+    /// Cost proportional to the cluster's attributed traffic (upgrades and
+    /// migration disruption scale with the sessions touched).
+    ProportionalToTraffic,
+    /// Per-attribute-type unit costs: e.g. renegotiating with an ISP is
+    /// priced differently from adding a CDN contract or re-encoding a
+    /// site's catalog. Combination clusters pay the sum of their parts.
+    PerAttribute {
+        /// Cost contribution of each attribute dimension, indexed by
+        /// [`AttrKey::index`].
+        weights: [f64; 7],
+    },
+}
+
+impl CostModel {
+    /// A per-attribute default: sites are cheap to fix (re-encode, add a
+    /// CDN), CDNs moderate (contracts), ASNs expensive (peering,
+    /// infrastructure), connection types very expensive (radio networks).
+    pub fn infrastructure_default() -> CostModel {
+        let mut weights = [1.0f64; 7];
+        weights[AttrKey::Site.index()] = 1.0;
+        weights[AttrKey::Cdn.index()] = 3.0;
+        weights[AttrKey::Asn.index()] = 8.0;
+        weights[AttrKey::ConnType.index()] = 20.0;
+        weights[AttrKey::VodOrLive.index()] = 2.0;
+        weights[AttrKey::PlayerType.index()] = 1.5;
+        weights[AttrKey::Browser.index()] = 1.5;
+        CostModel::PerAttribute { weights }
+    }
+
+    /// The cost of fixing one cluster, given its total attributed sessions
+    /// over the trace.
+    pub fn cost_of(&self, key: ClusterKey, attributed_sessions: f64) -> f64 {
+        match self {
+            CostModel::Uniform => 1.0,
+            CostModel::ProportionalToTraffic => attributed_sessions.max(1.0),
+            CostModel::PerAttribute { weights } => {
+                let mut cost = 0.0;
+                for attr in AttrKey::ALL {
+                    if key.mask().contains(attr) {
+                        cost += weights[attr.index()];
+                    }
+                }
+                cost.max(f64::MIN_POSITIVE)
+            }
+        }
+    }
+}
+
+/// One cluster's benefit/cost entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBenefit {
+    /// The cluster.
+    pub key: ClusterKey,
+    /// Problem sessions alleviated by fixing it everywhere it is critical.
+    pub benefit: f64,
+    /// Cost under the chosen model.
+    pub cost: f64,
+    /// Benefit per unit cost.
+    pub ratio: f64,
+    /// Fraction of epochs the cluster was critical (context for planners).
+    pub prevalence: f64,
+}
+
+/// Rank every critical cluster of a trace by benefit per unit cost.
+pub fn cost_benefit_ranking(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    model: &CostModel,
+) -> Vec<CostBenefit> {
+    // Total alleviation and attributed sessions per cluster.
+    let mut benefit: FxHashMap<ClusterKey, f64> = FxHashMap::default();
+    let mut traffic: FxHashMap<ClusterKey, f64> = FxHashMap::default();
+    for a in analyses {
+        let ma = a.metric(metric);
+        for (key, stats) in &ma.critical.clusters {
+            *benefit.entry(*key).or_default() +=
+                alleviated_sessions(stats, ma.critical.global_ratio);
+            *traffic.entry(*key).or_default() += stats.attributed_sessions;
+        }
+    }
+    let prevalence = PrevalenceReport::compute(analyses, metric, ClusterSource::Critical);
+    let mut out: Vec<CostBenefit> = benefit
+        .into_iter()
+        .map(|(key, benefit)| {
+            let cost = model.cost_of(key, traffic.get(&key).copied().unwrap_or(0.0));
+            CostBenefit {
+                key,
+                benefit,
+                cost,
+                ratio: benefit / cost,
+                prevalence: prevalence.prevalence(key),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.ratio
+            .partial_cmp(&a.ratio)
+            .expect("finite ratios")
+            .then(a.key.0.cmp(&b.key.0))
+    });
+    out
+}
+
+/// Outcome of a budgeted remediation plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetPlan {
+    /// Clusters selected, in selection order.
+    pub selected: Vec<CostBenefit>,
+    /// Total cost spent.
+    pub spent: f64,
+    /// Fraction of all problem sessions alleviated.
+    pub alleviated_fraction: f64,
+}
+
+/// Greedy budgeted selection: pick clusters by benefit/cost until the
+/// budget is exhausted (skipping items that do not fit), then report the
+/// achieved alleviation. Greedy is within a constant factor of optimal for
+/// this knapsack-like objective and is what an operator would actually do.
+pub fn plan_under_budget(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    model: &CostModel,
+    budget: f64,
+) -> BudgetPlan {
+    let ranking = cost_benefit_ranking(analyses, metric, model);
+    let mut selected = Vec::new();
+    let mut spent = 0.0;
+    let mut keys: FxHashSet<ClusterKey> = FxHashSet::default();
+    for item in ranking {
+        if spent + item.cost <= budget {
+            spent += item.cost;
+            keys.insert(item.key);
+            selected.push(item);
+        }
+    }
+    let alleviated_fraction = crate::oracle::improvement_for(analyses, metric, &keys);
+    BudgetPlan {
+        selected,
+        spent,
+        alleviated_fraction,
+    }
+}
+
+/// Compare the cost-aware plan with the paper's cost-blind coverage top-k
+/// at the same spend level. Returns `(cost_aware, cost_blind)` alleviated
+/// fractions.
+pub fn cost_aware_vs_blind(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    model: &CostModel,
+    budget: f64,
+) -> (f64, f64) {
+    let aware = plan_under_budget(analyses, metric, model, budget);
+
+    // Cost-blind: take clusters by coverage rank until the same budget is
+    // exhausted.
+    let ranked = rank_clusters(analyses, metric, RankBy::Coverage, AttrFilter::Any);
+    let ranking = cost_benefit_ranking(analyses, metric, model);
+    let costs: FxHashMap<ClusterKey, f64> =
+        ranking.iter().map(|cb| (cb.key, cb.cost)).collect();
+    let mut spent = 0.0;
+    let mut keys: FxHashSet<ClusterKey> = FxHashSet::default();
+    for (key, _) in ranked {
+        let cost = costs.get(&key).copied().unwrap_or(1.0);
+        if spent + cost <= budget {
+            spent += cost;
+            keys.insert(key);
+        }
+    }
+    let blind = crate::oracle::improvement_for(analyses, metric, &keys);
+    (aware.alleviated_fraction, blind)
+}
+
+/// Human-readable remedial-action suggestion for a cluster, following the
+/// paper's §1 observations about which problems are "amenable to simple
+/// (and well known) solutions".
+pub fn suggested_remedy(key: ClusterKey) -> &'static str {
+    let mask = key.mask();
+    if mask == AttrMask::single(AttrKey::Site) {
+        "offer finer-grained bitrates / add a second CDN for this provider"
+    } else if mask == AttrMask::single(AttrKey::Cdn) {
+        "shift traffic to alternate CDNs while the provider remediates"
+    } else if mask == AttrMask::single(AttrKey::Asn) {
+        "contract a local CDN or adjust peering toward this ISP"
+    } else if mask == AttrMask::single(AttrKey::ConnType) {
+        "serve a lower-bitrate ladder to this access technology"
+    } else if mask.contains(AttrKey::Cdn) && mask.contains(AttrKey::Asn) {
+        "reroute this ISP's clients away from this CDN (bad peering)"
+    } else if mask.contains(AttrKey::Site) && mask.contains(AttrKey::ConnType) {
+        "fix this provider's packaging for this access technology"
+    } else {
+        "investigate via drill-down; no stock remedy for this combination"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_asn, key_site_a, key_site_b};
+
+    fn trace() -> Vec<EpochAnalysis> {
+        vec![
+            analysis_with_critical(0, 200, &[(key_site_a(), 60.0), (key_asn(), 50.0)], 150),
+            analysis_with_critical(1, 200, &[(key_site_a(), 60.0), (key_site_b(), 20.0)], 140),
+        ]
+    }
+
+    #[test]
+    fn cost_models_price_differently() {
+        let uniform = CostModel::Uniform;
+        let traffic = CostModel::ProportionalToTraffic;
+        let infra = CostModel::infrastructure_default();
+        assert_eq!(uniform.cost_of(key_site_a(), 500.0), 1.0);
+        assert_eq!(traffic.cost_of(key_site_a(), 500.0), 500.0);
+        // Sites cheap, ASNs expensive.
+        assert!(infra.cost_of(key_asn(), 0.0) > infra.cost_of(key_site_a(), 0.0));
+    }
+
+    #[test]
+    fn ranking_puts_cheap_effective_fixes_first() {
+        let ranking =
+            cost_benefit_ranking(&trace(), Metric::JoinFailure, &CostModel::infrastructure_default());
+        assert_eq!(ranking.len(), 3);
+        // key_site_a: benefit 2×(60 - 0.2×120) = 72, cost 1 => ratio 72.
+        // key_asn: benefit 50 - 0.2×100 = 30, cost 8 => ratio 3.75.
+        assert_eq!(ranking[0].key, key_site_a());
+        assert!(ranking[0].ratio > ranking[1].ratio);
+        assert!(ranking.iter().all(|cb| cb.cost > 0.0));
+        assert!((ranking[0].prevalence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_caps_selection() {
+        let model = CostModel::infrastructure_default();
+        // Budget 2: fits both site fixes (cost 1 each) but not the ASN (8).
+        let plan = plan_under_budget(&trace(), Metric::JoinFailure, &model, 2.0);
+        assert_eq!(plan.selected.len(), 2);
+        assert!(plan.spent <= 2.0);
+        assert!(plan
+            .selected
+            .iter()
+            .all(|cb| cb.key == key_site_a() || cb.key == key_site_b()));
+        assert!(plan.alleviated_fraction > 0.0);
+
+        // A zero budget buys nothing.
+        let broke = plan_under_budget(&trace(), Metric::JoinFailure, &model, 0.0);
+        assert!(broke.selected.is_empty());
+        assert_eq!(broke.alleviated_fraction, 0.0);
+    }
+
+    #[test]
+    fn cost_aware_beats_blind_under_tight_budgets() {
+        // The ASN cluster has the single biggest per-epoch coverage in
+        // epoch 0, so the blind coverage ranking buys it first and blows
+        // most of a tight budget; the aware plan prefers the cheap sites.
+        let model = CostModel::infrastructure_default();
+        let (aware, blind) = cost_aware_vs_blind(&trace(), Metric::JoinFailure, &model, 2.0);
+        assert!(aware >= blind, "aware {aware} vs blind {blind}");
+    }
+
+    #[test]
+    fn remedies_cover_the_taxonomy() {
+        assert!(suggested_remedy(key_site_a()).contains("bitrates"));
+        assert!(suggested_remedy(key_asn()).contains("ISP"));
+        let pair = vqlens_model::attr::SessionAttrs::new([1, 2, 0, 0, 0, 0, 0]).project(
+            AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]),
+        );
+        assert!(suggested_remedy(pair).contains("peering"));
+        let odd = vqlens_model::attr::SessionAttrs::new([0, 0, 0, 0, 1, 1, 0])
+            .project(AttrMask::of(&[AttrKey::PlayerType, AttrKey::Browser]));
+        assert!(suggested_remedy(odd).contains("drill-down"));
+    }
+}

@@ -1,0 +1,54 @@
+//! The fix model (paper §5, "Methodology").
+//!
+//! "Fixing" a critical cluster in an epoch replaces the problem ratio of
+//! the sessions attributed to it with the epoch's global average problem
+//! ratio — simulating that some baseline level of problems is unavoidable,
+//! so the best a remedial action can do is bring the cluster back to par.
+
+use vqlens_cluster::critical::CriticalStats;
+
+/// Problem sessions alleviated by fixing a cluster with these attribution
+/// statistics in an epoch with the given global problem ratio.
+///
+/// Attributed sessions currently experience `attributed_problems`; after
+/// the fix they would experience `global_ratio × attributed_sessions`.
+pub fn alleviated_sessions(stats: &CriticalStats, global_ratio: f64) -> f64 {
+    (stats.attributed_problems - global_ratio * stats.attributed_sessions).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(attributed_problems: f64, attributed_sessions: f64) -> CriticalStats {
+        CriticalStats {
+            sessions: attributed_sessions as u64,
+            problems: attributed_problems as u64,
+            attributed_problems,
+            attributed_sessions,
+        }
+    }
+
+    #[test]
+    fn alleviation_is_excess_over_global() {
+        // 100 problem sessions among 200 attributed sessions; global 5 %.
+        // Fixed: 200 × 0.05 = 10 problems remain => 90 alleviated.
+        let s = stats(100.0, 200.0);
+        assert!((alleviated_sessions(&s, 0.05) - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_negative() {
+        // A cluster already at/below the global ratio alleviates nothing.
+        let s = stats(5.0, 200.0);
+        assert_eq!(alleviated_sessions(&s, 0.05), 0.0);
+        let s = stats(10.0, 200.0);
+        assert_eq!(alleviated_sessions(&s, 0.05), 0.0);
+    }
+
+    #[test]
+    fn zero_global_alleviates_everything() {
+        let s = stats(42.0, 100.0);
+        assert_eq!(alleviated_sessions(&s, 0.0), 42.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # vqlens-whatif
+//!
+//! The paper's what-if improvement analyses (§5): how many problem sessions
+//! could be alleviated by "fixing" selected critical clusters, where fixing
+//! means reducing the problem ratio of the sessions attributed to a cluster
+//! down to the epoch's global average (some background problems are
+//! unavoidable).
+//!
+//! * [`fix`] — the fix model itself.
+//! * [`oracle`] — after-the-fact top-k selection, ranked by prevalence,
+//!   persistence, or coverage (Fig. 11), optionally restricted to specific
+//!   attribute types (Fig. 12).
+//! * [`proactive`] — select clusters from historical epochs, evaluate on
+//!   future epochs: the paper's intra-week and inter-week splits
+//!   (Table 4).
+//! * [`reactive`] — detect critical-cluster events after their first hour
+//!   and remediate the remainder (Fig. 13, Table 5).
+//! * [`cost`] — the cost-benefit extension the paper's §6 calls for:
+//!   pluggable fix-cost models, benefit/cost ranking, budgeted planning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod fix;
+pub mod oracle;
+pub mod proactive;
+pub mod reactive;
+
+pub use cost::{cost_benefit_ranking, plan_under_budget, BudgetPlan, CostBenefit, CostModel};
+pub use fix::alleviated_sessions;
+pub use oracle::{oracle_sweep, AttrFilter, RankBy, SweepPoint};
+pub use proactive::{proactive_analysis, ProactiveOutcome};
+pub use reactive::{reactive_analysis, reactive_series, ReactiveOutcome, ReactivePoint};
+
+#[cfg(test)]
+pub(crate) mod test_support;

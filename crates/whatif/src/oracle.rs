@@ -1,0 +1,273 @@
+//! Oracle (after-the-fact) top-k selection: the paper's Figures 11 and 12.
+//!
+//! Critical clusters are ranked over the whole trace by one of three
+//! criteria — prevalence (epochs present), persistence (longest streak), or
+//! coverage (total attributed problem sessions) — and the top fraction is
+//! "fixed" in every epoch where it appears as a critical cluster. Figure 12
+//! additionally restricts the candidate pool to specific attribute types.
+
+use crate::fix::alleviated_sessions;
+use serde::{Deserialize, Serialize};
+use vqlens_analysis::persistence::{extract_events, ClusterSource};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::{AttrKey, AttrMask, ClusterKey};
+use vqlens_model::metric::Metric;
+use vqlens_stats::{FxHashMap, FxHashSet};
+
+/// Ranking criterion for top-k selection (Fig. 11a–c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RankBy {
+    /// Number of epochs the cluster was critical.
+    Prevalence,
+    /// Longest consecutive streak as a critical cluster.
+    Persistence,
+    /// Total problem sessions attributed to the cluster.
+    Coverage,
+}
+
+/// Candidate-pool restriction (Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrFilter {
+    /// All critical clusters.
+    Any,
+    /// Only single-attribute clusters of this attribute.
+    Single(AttrKey),
+    /// Single-attribute clusters of Site, CDN, ASN, or ConnectionType —
+    /// the paper's "union of the top-4 attributes".
+    UnionTop4,
+}
+
+impl AttrFilter {
+    /// Does a cluster pass the filter?
+    pub fn accepts(&self, key: ClusterKey) -> bool {
+        match self {
+            AttrFilter::Any => true,
+            AttrFilter::Single(attr) => key.mask() == AttrMask::single(*attr),
+            AttrFilter::UnionTop4 => {
+                [AttrKey::Site, AttrKey::Cdn, AttrKey::Asn, AttrKey::ConnType]
+                    .into_iter()
+                    .any(|a| key.mask() == AttrMask::single(a))
+            }
+        }
+    }
+}
+
+/// One point of a Figure 11/12 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Fraction of the (filtered) critical-cluster pool selected.
+    pub fraction: f64,
+    /// Number of clusters that fraction corresponds to.
+    pub selected: usize,
+    /// Fraction of all problem sessions alleviated.
+    pub alleviated_fraction: f64,
+}
+
+/// Rank the trace's critical clusters by the criterion, returning
+/// `(cluster, score)` descending (deterministically tie-broken by key).
+pub fn rank_clusters(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    rank_by: RankBy,
+    filter: AttrFilter,
+) -> Vec<(ClusterKey, f64)> {
+    let mut scores: FxHashMap<ClusterKey, f64> = FxHashMap::default();
+    match rank_by {
+        RankBy::Prevalence => {
+            for a in analyses {
+                for key in a.metric(metric).critical.clusters.keys() {
+                    *scores.entry(*key).or_default() += 1.0;
+                }
+            }
+        }
+        RankBy::Coverage => {
+            for a in analyses {
+                for (key, stats) in &a.metric(metric).critical.clusters {
+                    *scores.entry(*key).or_default() += stats.attributed_problems;
+                }
+            }
+        }
+        RankBy::Persistence => {
+            for event in extract_events(analyses, metric, ClusterSource::Critical) {
+                let entry = scores.entry(event.key).or_default();
+                *entry = entry.max(f64::from(event.len));
+            }
+        }
+    }
+    let mut v: Vec<(ClusterKey, f64)> = scores
+        .into_iter()
+        .filter(|(key, _)| filter.accepts(*key))
+        .collect();
+    v.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite")
+            .then(a.0 .0.cmp(&b.0 .0))
+    });
+    v
+}
+
+/// Fraction of all problem sessions alleviated by fixing `selected`
+/// clusters wherever they appear as critical clusters.
+pub fn improvement_for(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    selected: &FxHashSet<ClusterKey>,
+) -> f64 {
+    let mut total_problems = 0u64;
+    let mut alleviated = 0.0f64;
+    for a in analyses {
+        let ma = a.metric(metric);
+        total_problems += ma.critical.total_problems;
+        for (key, stats) in &ma.critical.clusters {
+            if selected.contains(key) {
+                alleviated += alleviated_sessions(stats, ma.critical.global_ratio);
+            }
+        }
+    }
+    if total_problems == 0 {
+        0.0
+    } else {
+        alleviated / total_problems as f64
+    }
+}
+
+/// Sweep top-k fractions of the ranked pool (Fig. 11 series; with a filter,
+/// Fig. 12). Fractions outside `(0, 1]` are clamped.
+pub fn oracle_sweep(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    rank_by: RankBy,
+    filter: AttrFilter,
+    fractions: &[f64],
+) -> Vec<SweepPoint> {
+    // Rank the whole pool once; the filtered candidate list is a view of
+    // it. The x-axis of Fig. 12 is normalized by the size of the
+    // *unfiltered* pool so restricted strategies plateau early.
+    let all_ranked = rank_clusters(analyses, metric, rank_by, AttrFilter::Any);
+    let pool = all_ranked.len();
+    let ranked: Vec<(ClusterKey, f64)> = all_ranked
+        .into_iter()
+        .filter(|(key, _)| filter.accepts(*key))
+        .collect();
+    fractions
+        .iter()
+        .map(|&f| {
+            let f = f.clamp(0.0, 1.0);
+            let k = ((pool as f64 * f).ceil() as usize).min(ranked.len());
+            let selected: FxHashSet<ClusterKey> =
+                ranked.iter().take(k).map(|(key, _)| *key).collect();
+            SweepPoint {
+                fraction: f,
+                selected: k,
+                alleviated_fraction: improvement_for(analyses, metric, &selected),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_asn, key_site_a, key_site_b};
+
+    fn trace() -> Vec<EpochAnalysis> {
+        // key_site_a: critical in epochs 0,1,2 with 30 problems each.
+        // key_site_b: critical in epoch 0 only, with 90 problems.
+        // key_asn: critical in epochs 1,2 with 10 problems each.
+        vec![
+            analysis_with_critical(0, 200, &[(key_site_a(), 30.0), (key_site_b(), 90.0)], 150),
+            analysis_with_critical(1, 200, &[(key_site_a(), 30.0), (key_asn(), 10.0)], 60),
+            analysis_with_critical(2, 200, &[(key_site_a(), 30.0), (key_asn(), 10.0)], 60),
+        ]
+    }
+
+    #[test]
+    fn ranking_criteria_disagree_meaningfully() {
+        let t = trace();
+        let by_prev = rank_clusters(&t, Metric::JoinFailure, RankBy::Prevalence, AttrFilter::Any);
+        assert_eq!(by_prev[0].0, key_site_a()); // present 3 epochs
+        assert_eq!(by_prev[0].1, 3.0);
+
+        let by_cov = rank_clusters(&t, Metric::JoinFailure, RankBy::Coverage, AttrFilter::Any);
+        // key_site_a totals 3×30 = 90 attributed, key_site_b 90 in one
+        // epoch: a tie, broken deterministically by key (site 1 < site 2).
+        assert_eq!(by_cov[0].0, key_site_a());
+        assert_eq!(by_cov[0].1, 90.0);
+        assert_eq!(by_cov[1].0, key_site_b());
+        assert_eq!(by_cov[1].1, 90.0);
+
+        let by_pers =
+            rank_clusters(&t, Metric::JoinFailure, RankBy::Persistence, AttrFilter::Any);
+        assert_eq!(by_pers[0].0, key_site_a()); // 3-epoch streak
+        assert_eq!(by_pers[0].1, 3.0);
+    }
+
+    #[test]
+    fn attr_filter_restricts_pool() {
+        let t = trace();
+        let sites = rank_clusters(
+            &t,
+            Metric::JoinFailure,
+            RankBy::Coverage,
+            AttrFilter::Single(AttrKey::Site),
+        );
+        assert_eq!(sites.len(), 2);
+        let asns = rank_clusters(
+            &t,
+            Metric::JoinFailure,
+            RankBy::Coverage,
+            AttrFilter::Single(AttrKey::Asn),
+        );
+        assert_eq!(asns.len(), 1);
+        let union = rank_clusters(&t, Metric::JoinFailure, RankBy::Coverage, AttrFilter::UnionTop4);
+        assert_eq!(union.len(), 3);
+    }
+
+    #[test]
+    fn sweep_is_monotone_and_bounded() {
+        let t = trace();
+        let sweep = oracle_sweep(
+            &t,
+            Metric::JoinFailure,
+            RankBy::Coverage,
+            AttrFilter::Any,
+            &[0.0, 0.34, 0.67, 1.0],
+        );
+        for w in sweep.windows(2) {
+            assert!(w[1].alleviated_fraction >= w[0].alleviated_fraction - 1e-12);
+        }
+        assert_eq!(sweep[0].alleviated_fraction, 0.0);
+        let last = sweep.last().unwrap();
+        assert!(last.alleviated_fraction > 0.0);
+        assert!(last.alleviated_fraction <= 1.0);
+        // Fixing everything alleviates the attributed excess over global:
+        // attribution totals 210 problems, 600 total problems.
+        assert!(last.alleviated_fraction < 0.5);
+    }
+
+    #[test]
+    fn improvement_counts_only_selected() {
+        let t = trace();
+        let selected: FxHashSet<ClusterKey> = [key_asn()].into_iter().collect();
+        let f = improvement_for(&t, Metric::JoinFailure, &selected);
+        // key_asn attribution: 10+10 problems, 40 sessions attributed,
+        // global 0.2 => alleviated (10 - 0.2*20) * 2 = 12 of 600.
+        assert!((f - 12.0 / 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_sweep() {
+        let sweep = oracle_sweep(
+            &[],
+            Metric::Bitrate,
+            RankBy::Prevalence,
+            AttrFilter::Any,
+            &[0.01, 1.0],
+        );
+        assert_eq!(sweep.len(), 2);
+        for p in sweep {
+            assert_eq!(p.alleviated_fraction, 0.0);
+            assert_eq!(p.selected, 0);
+        }
+    }
+}

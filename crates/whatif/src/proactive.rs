@@ -1,0 +1,139 @@
+//! Proactive history-based alleviation: the paper's Table 4 (§5.2).
+//!
+//! Select the top 1 % of critical clusters (by coverage) from a *history*
+//! window, then measure how many problem sessions fixing exactly those
+//! clusters alleviates in a disjoint *evaluation* window. The "potential"
+//! reference is the same selection performed on the evaluation window
+//! itself (the after-the-fact oracle).
+
+use crate::oracle::{improvement_for, rank_clusters, AttrFilter, RankBy};
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::ClusterKey;
+use vqlens_model::epoch::EpochRange;
+use vqlens_model::metric::Metric;
+use vqlens_stats::FxHashSet;
+
+/// Result of one proactive experiment for one metric.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProactiveOutcome {
+    /// The metric.
+    pub metric: Metric,
+    /// Fraction of eval-window problem sessions alleviated by clusters
+    /// selected from history ("New" in Table 4).
+    pub improvement: f64,
+    /// Fraction alleviated by clusters selected on the eval window itself
+    /// ("Potential").
+    pub potential: f64,
+    /// Number of clusters selected from history.
+    pub selected: usize,
+}
+
+impl ProactiveOutcome {
+    /// How close the history-based selection gets to the oracle
+    /// (the bracketed percentage in Table 4).
+    pub fn efficiency(&self) -> f64 {
+        if self.potential == 0.0 {
+            0.0
+        } else {
+            self.improvement / self.potential
+        }
+    }
+}
+
+/// Borrow the contiguous sub-slice covering `range` (analyses are sorted
+/// by epoch, so a window is always contiguous — no clones needed).
+fn slice_range(analyses: &[EpochAnalysis], range: EpochRange) -> &[EpochAnalysis] {
+    let start = analyses.partition_point(|a| a.epoch < range.start);
+    let end = analyses.partition_point(|a| a.epoch < range.end);
+    &analyses[start..end]
+}
+
+/// Run the proactive experiment: select the top `top_fraction` of critical
+/// clusters (by coverage) from `history`, evaluate on `eval`.
+pub fn proactive_analysis(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    history: EpochRange,
+    eval: EpochRange,
+    top_fraction: f64,
+) -> ProactiveOutcome {
+    let hist = slice_range(analyses, history);
+    let ev = slice_range(analyses, eval);
+
+    let pick_top = |window: &[EpochAnalysis]| -> FxHashSet<ClusterKey> {
+        let ranked = rank_clusters(window, metric, RankBy::Coverage, AttrFilter::Any);
+        let k = ((ranked.len() as f64 * top_fraction).ceil() as usize).min(ranked.len());
+        ranked.into_iter().take(k).map(|(key, _)| key).collect()
+    };
+
+    let from_history = pick_top(hist);
+    let from_eval = pick_top(ev);
+    ProactiveOutcome {
+        metric,
+        improvement: improvement_for(ev, metric, &from_history),
+        potential: improvement_for(ev, metric, &from_eval),
+        selected: from_history.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_asn, key_site_a, key_site_b};
+    use vqlens_model::epoch::EpochId;
+
+    #[test]
+    fn recurrent_culprits_transfer_across_windows() {
+        // key_site_a is the chronic culprit in both windows; key_site_b
+        // only appears in the eval window (a new problem history misses).
+        let analyses = vec![
+            analysis_with_critical(0, 100, &[(key_site_a(), 50.0)], 60),
+            analysis_with_critical(1, 100, &[(key_site_a(), 50.0)], 60),
+            analysis_with_critical(2, 100, &[(key_site_a(), 50.0), (key_site_b(), 20.0)], 80),
+            analysis_with_critical(3, 100, &[(key_site_a(), 50.0), (key_site_b(), 20.0)], 80),
+        ];
+        let out = proactive_analysis(
+            &analyses,
+            Metric::JoinFailure,
+            EpochRange::new(EpochId(0), EpochId(2)),
+            EpochRange::new(EpochId(2), EpochId(4)),
+            1.0, // select everything visible in history
+        );
+        assert!(out.improvement > 0.0);
+        assert!(out.potential >= out.improvement);
+        // History knows key_site_a but not key_site_b, so efficiency < 1.
+        assert!(out.efficiency() < 1.0);
+        assert!(out.efficiency() > 0.5, "chronic culprit dominates");
+        assert_eq!(out.selected, 1);
+    }
+
+    #[test]
+    fn perfect_transfer_when_problems_are_stationary() {
+        let analyses: Vec<_> = (0..4)
+            .map(|e| analysis_with_critical(e, 100, &[(key_asn(), 40.0)], 50))
+            .collect();
+        let out = proactive_analysis(
+            &analyses,
+            Metric::JoinFailure,
+            EpochRange::new(EpochId(0), EpochId(2)),
+            EpochRange::new(EpochId(2), EpochId(4)),
+            1.0,
+        );
+        assert!((out.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_windows_are_graceful() {
+        let out = proactive_analysis(
+            &[],
+            Metric::Bitrate,
+            EpochRange::new(EpochId(0), EpochId(1)),
+            EpochRange::new(EpochId(1), EpochId(2)),
+            0.01,
+        );
+        assert_eq!(out.improvement, 0.0);
+        assert_eq!(out.potential, 0.0);
+        assert_eq!(out.efficiency(), 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Reactive alleviation: the paper's Figure 13 and Table 5 (§5.3).
+//!
+//! A reactive system watches for critical-cluster events and, one hour
+//! after an event first appears, applies a remedial action that brings the
+//! cluster back to the global average problem ratio for the remainder of
+//! the event. Single-epoch events are therefore missed entirely — the
+//! strategy only pays off because (per §4.1) most problem events persist
+//! for multiple hours.
+
+use crate::fix::alleviated_sessions;
+use serde::{Deserialize, Serialize};
+use vqlens_analysis::persistence::{extract_events, ClusterSource};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::ClusterKey;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::Metric;
+use vqlens_stats::FxHashSet;
+
+/// Aggregate outcome of the reactive strategy for one metric.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReactiveOutcome {
+    /// The metric.
+    pub metric: Metric,
+    /// Fraction of all problem sessions alleviated with the detection lag
+    /// ("New" in Table 5).
+    pub improvement: f64,
+    /// Fraction alleviated if events could be fixed from their first epoch
+    /// ("Potential").
+    pub potential: f64,
+    /// Number of events acted upon (length > detection lag).
+    pub events_handled: usize,
+    /// Total number of critical-cluster events.
+    pub events_total: usize,
+}
+
+impl ReactiveOutcome {
+    /// How close the lagged strategy gets to the zero-lag potential.
+    pub fn efficiency(&self) -> f64 {
+        if self.potential == 0.0 {
+            0.0
+        } else {
+            self.improvement / self.potential
+        }
+    }
+}
+
+/// One point of the Figure 13 time series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReactivePoint {
+    /// The epoch.
+    pub epoch: EpochId,
+    /// Problem sessions before any intervention.
+    pub original: f64,
+    /// Problem sessions after reactive remediation.
+    pub after_reactive: f64,
+    /// Problem sessions not attributed to any critical cluster (cannot be
+    /// alleviated by fixing critical clusters; "more likely random").
+    pub not_in_critical: f64,
+}
+
+/// Epochs in which each cluster is remediated: every epoch of every event
+/// except the first `detection_lag_h` epochs.
+fn remediated_epochs(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    detection_lag_h: u32,
+) -> (FxHashSet<(ClusterKey, EpochId)>, usize, usize) {
+    let events = extract_events(analyses, metric, ClusterSource::Critical);
+    let mut set = FxHashSet::default();
+    let mut handled = 0usize;
+    let total = events.len();
+    for e in &events {
+        if e.len > detection_lag_h {
+            handled += 1;
+            for h in detection_lag_h..e.len {
+                set.insert((e.key, EpochId(e.start.0 + h)));
+            }
+        }
+    }
+    (set, handled, total)
+}
+
+/// Run the reactive experiment with a detection lag (paper: 1 hour).
+pub fn reactive_analysis(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    detection_lag_h: u32,
+) -> ReactiveOutcome {
+    let (lagged, handled, total_events) = remediated_epochs(analyses, metric, detection_lag_h);
+    let (zero_lag, _, _) = remediated_epochs(analyses, metric, 0);
+
+    let mut total_problems = 0u64;
+    let mut alleviated = 0.0f64;
+    let mut potential = 0.0f64;
+    for a in analyses {
+        let ma = a.metric(metric);
+        total_problems += ma.critical.total_problems;
+        for (key, stats) in &ma.critical.clusters {
+            let gain = alleviated_sessions(stats, ma.critical.global_ratio);
+            if lagged.contains(&(*key, a.epoch)) {
+                alleviated += gain;
+            }
+            if zero_lag.contains(&(*key, a.epoch)) {
+                potential += gain;
+            }
+        }
+    }
+    let denom = total_problems.max(1) as f64;
+    ReactiveOutcome {
+        metric,
+        improvement: alleviated / denom,
+        potential: potential / denom,
+        events_handled: handled,
+        events_total: total_events,
+    }
+}
+
+/// The Figure 13 series: per-epoch problem sessions before/after reactive
+/// remediation, plus the unattributable floor.
+pub fn reactive_series(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    detection_lag_h: u32,
+) -> Vec<ReactivePoint> {
+    let (lagged, _, _) = remediated_epochs(analyses, metric, detection_lag_h);
+    let mut series = Vec::with_capacity(analyses.len());
+    for a in analyses {
+        let ma = a.metric(metric);
+        let original = ma.critical.total_problems as f64;
+        let mut alleviated = 0.0;
+        for (key, stats) in &ma.critical.clusters {
+            if lagged.contains(&(*key, a.epoch)) {
+                alleviated += alleviated_sessions(stats, ma.critical.global_ratio);
+            }
+        }
+        series.push(ReactivePoint {
+            epoch: a.epoch,
+            original,
+            after_reactive: (original - alleviated).max(0.0),
+            not_in_critical: original - ma.critical.problems_attributed,
+        });
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_site_a, key_site_b};
+
+    /// key_site_a: one 3-epoch event; key_site_b: a 1-epoch blip.
+    fn trace() -> Vec<EpochAnalysis> {
+        vec![
+            analysis_with_critical(0, 100, &[(key_site_a(), 50.0)], 60),
+            analysis_with_critical(1, 100, &[(key_site_a(), 50.0), (key_site_b(), 30.0)], 90),
+            analysis_with_critical(2, 100, &[(key_site_a(), 50.0)], 60),
+            analysis_with_critical(3, 100, &[], 0),
+        ]
+    }
+
+    #[test]
+    fn lag_skips_first_hour_and_blips() {
+        let out = reactive_analysis(&trace(), Metric::JoinFailure, 1);
+        // key_site_a's event is handled from epoch 1; key_site_b's
+        // single-epoch blip is missed entirely.
+        assert_eq!(out.events_total, 2);
+        assert_eq!(out.events_handled, 1);
+        assert!(out.improvement > 0.0);
+        assert!(out.potential > out.improvement);
+        assert!(out.efficiency() < 1.0);
+        // With the fixture's numbers: global 0.1 per epoch; key_site_a
+        // alleviates 50 - 0.1*100 = 40 per fixed epoch; lagged fixes 2
+        // epochs of 3 => 80; potential fixes 3×40 + blip (30 - 0.1*60=24)
+        // => 144. Total problems 400.
+        assert!((out.improvement - 80.0 / 400.0).abs() < 1e-9);
+        assert!((out.potential - 144.0 / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_lag_equals_potential() {
+        let out = reactive_analysis(&trace(), Metric::JoinFailure, 0);
+        assert!((out.improvement - out.potential).abs() < 1e-12);
+        assert_eq!(out.events_handled, out.events_total);
+    }
+
+    #[test]
+    fn series_is_consistent() {
+        let series = reactive_series(&trace(), Metric::JoinFailure, 1);
+        assert_eq!(series.len(), 4);
+        for p in &series {
+            assert!(p.after_reactive <= p.original + 1e-9);
+            assert!(p.not_in_critical >= 0.0);
+            assert!(p.not_in_critical <= p.original + 1e-9);
+        }
+        // Epoch 0 is within the detection lag: nothing alleviated yet.
+        assert_eq!(series[0].after_reactive, series[0].original);
+        // Epoch 1 benefits from the fix on key_site_a.
+        assert!(series[1].after_reactive < series[1].original);
+    }
+
+    #[test]
+    fn long_lag_handles_nothing() {
+        let out = reactive_analysis(&trace(), Metric::JoinFailure, 10);
+        assert_eq!(out.events_handled, 0);
+        assert_eq!(out.improvement, 0.0);
+    }
+}

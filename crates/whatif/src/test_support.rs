@@ -1,0 +1,86 @@
+//! Fixtures for what-if unit tests: hand-built [`EpochAnalysis`] values.
+//!
+//! The fixture convention: each critical cluster entry `(key, p)` has `p`
+//! attributed problem sessions over `2p` attributed sessions; every epoch
+//! has 1000 sessions so an epoch with `total_problems` problem sessions has
+//! global ratio `total_problems / 1000`.
+
+use vqlens_cluster::analyze::{EpochAnalysis, MetricAnalysis};
+use vqlens_cluster::critical::{CriticalSet, CriticalStats};
+use vqlens_cluster::problem::{ClusterStat, ProblemSet};
+use vqlens_model::attr::{AttrKey, ClusterKey};
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::Metric;
+use vqlens_stats::FxHashMap;
+
+/// A Site-type cluster.
+pub fn key_site_a() -> ClusterKey {
+    ClusterKey::of_single(AttrKey::Site, 1)
+}
+
+/// Another Site-type cluster.
+pub fn key_site_b() -> ClusterKey {
+    ClusterKey::of_single(AttrKey::Site, 2)
+}
+
+/// An ASN-type cluster.
+pub fn key_asn() -> ClusterKey {
+    ClusterKey::of_single(AttrKey::Asn, 7)
+}
+
+/// An epoch with `total_problems` problem sessions out of 1000, the given
+/// critical clusters (each `(key, p)` attributing `p` problems over `2p`
+/// sessions), and `problems_in_pc` inside problem clusters. Identical for
+/// every metric.
+pub fn analysis_with_critical(
+    epoch: u32,
+    total_problems: u64,
+    critical: &[(ClusterKey, f64)],
+    problems_in_pc: u64,
+) -> EpochAnalysis {
+    let total_sessions = 1000u64;
+    let global_ratio = total_problems as f64 / total_sessions as f64;
+    EpochAnalysis {
+        epoch: EpochId(epoch),
+        total_sessions,
+        metrics: Metric::ALL.map(|metric| {
+            let mut pc: FxHashMap<ClusterKey, ClusterStat> = FxHashMap::default();
+            let mut cc: FxHashMap<ClusterKey, CriticalStats> = FxHashMap::default();
+            for (key, p) in critical {
+                pc.insert(
+                    *key,
+                    ClusterStat {
+                        sessions: (*p as u64) * 2,
+                        problems: *p as u64,
+                    },
+                );
+                cc.insert(
+                    *key,
+                    CriticalStats {
+                        sessions: (*p as u64) * 2,
+                        problems: *p as u64,
+                        attributed_problems: *p,
+                        attributed_sessions: *p * 2.0,
+                    },
+                );
+            }
+            let problems_attributed = critical.iter().map(|(_, p)| *p).sum();
+            MetricAnalysis {
+                problems: ProblemSet {
+                    metric,
+                    global_ratio,
+                    clusters: pc,
+                },
+                critical: CriticalSet {
+                    metric,
+                    global_ratio,
+                    total_sessions,
+                    total_problems,
+                    clusters: cc,
+                    problems_in_problem_clusters: problems_in_pc,
+                    problems_attributed,
+                },
+            }
+        }),
+    }
+}

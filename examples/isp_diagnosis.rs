@@ -1,0 +1,113 @@
+//! ISP/ASN diagnosis: the paper's Table 3 workflow.
+//!
+//! ```text
+//! cargo run --release --example isp_diagnosis
+//! ```
+//!
+//! Reproduces §4.3's manual analysis programmatically: take the most
+//! prevalent critical clusters per metric, keep the single-attribute ones
+//! (ASN / CDN / Site / ConnectionType), and annotate each with what the
+//! world knows about it — the same kind of "Asian ISPs, in-house CDNs,
+//! single-bitrate sites, mobile wireless" characterization the paper
+//! arrived at by hand.
+
+use vqlens::prelude::*;
+use vqlens::synth::world::{AsnTier, CdnKind, LadderClass};
+
+fn describe(output: &SynthOutput, key: ClusterKey) -> Option<String> {
+    for attr in AttrKey::ALL {
+        if let Some(id) = key.value(attr) {
+            if key.depth() != 1 {
+                return None; // keep the table single-attribute, like Table 3
+            }
+            let name = output.dataset.value_name(attr, id).unwrap_or("?");
+            return Some(match attr {
+                AttrKey::Asn => {
+                    let asn = &output.world.asns[id as usize];
+                    format!(
+                        "{name}: {:?} ISP in {:?}{}",
+                        asn.tier,
+                        asn.region,
+                        if asn.wireless { ", cellular carrier" } else { "" }
+                    )
+                }
+                AttrKey::Cdn => {
+                    let cdn = &output.world.cdns[id as usize];
+                    format!("{name}: {:?} CDN", cdn.kind)
+                }
+                AttrKey::Site => {
+                    let site = &output.world.sites[id as usize];
+                    let ladder = match site.ladder {
+                        LadderClass::Single(kbps) => format!("single bitrate ({kbps:.0} kbps)"),
+                        LadderClass::Standard => "standard ladder".into(),
+                        LadderClass::Premium => "premium ladder".into(),
+                    };
+                    format!(
+                        "{name}: {ladder}, modules hosted in {:?}, audience {}",
+                        site.module_host_region,
+                        site.audience_home
+                            .map(|r| format!("{r:?}"))
+                            .unwrap_or_else(|| "global".into())
+                    )
+                }
+                AttrKey::ConnType => format!("{name} access"),
+                _ => name.to_string(),
+            });
+        }
+    }
+    None
+}
+
+fn main() {
+    let mut scenario = Scenario::smoke();
+    scenario.epochs = 72;
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let output = generate_parallel(&scenario, config.threads);
+    let trace = analyze_dataset(&output.dataset, &config);
+
+    println!("most prevalent critical clusters, annotated (paper Table 3):\n");
+    for metric in Metric::ALL {
+        let prevalence =
+            PrevalenceReport::compute(trace.epochs(), metric, ClusterSource::Critical);
+        println!("== {metric} ==");
+        let mut shown = 0;
+        for (key, p) in prevalence.ranked() {
+            let Some(desc) = describe(&output, key) else {
+                continue;
+            };
+            println!("  {:>5.1}% of epochs  {desc}", 100.0 * p);
+            shown += 1;
+            if shown == 5 {
+                break;
+            }
+        }
+        if shown == 0 {
+            println!("  (no single-attribute critical clusters this run)");
+        }
+        println!();
+    }
+
+    // Cross-metric overlap: the paper's Table 2 observation that the same
+    // *kinds* of culprits recur but the identities differ.
+    let overlap = overlap_matrix(trace.epochs(), 100);
+    println!("top-100 critical-cluster overlap (Jaccard, paper Table 2):");
+    for a in Metric::ALL {
+        for b in Metric::ALL {
+            if a.index() < b.index() {
+                println!("  {a:<11} vs {b:<11} {:.2}", overlap.get(a, b));
+            }
+        }
+    }
+
+    // Sanity that the substrate's known chronic causes show up somewhere.
+    let bitrate_prev =
+        PrevalenceReport::compute(trace.epochs(), Metric::Bitrate, ClusterSource::Critical);
+    let has_asn_or_conn = bitrate_prev.ranked().iter().any(|(k, _)| {
+        k.mask() == AttrMask::single(AttrKey::Asn) || k.mask() == AttrMask::single(AttrKey::ConnType)
+    });
+    assert!(
+        has_asn_or_conn,
+        "bitrate problems should implicate an ISP or connection type"
+    );
+    let _ = (AsnTier::Good, CdnKind::InHouse); // used via describe()
+}

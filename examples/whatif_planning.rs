@@ -1,0 +1,85 @@
+//! Remediation planning: which strategy, how many clusters, what payoff.
+//!
+//! ```text
+//! cargo run --release --example whatif_planning
+//! ```
+//!
+//! The paper's §5 as a planning tool: compare ranking criteria
+//! (prevalence / persistence / coverage), attribute-restricted strategies
+//! ("what if we only engage CDNs?"), proactive history-based selection,
+//! and the reactive strategy — all in terms of problem sessions alleviated.
+
+use vqlens::prelude::*;
+
+fn main() {
+    let mut scenario = Scenario::smoke();
+    scenario.epochs = 96; // four days: enough for a history/eval split
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let output = generate_parallel(&scenario, config.threads);
+    let trace = analyze_dataset(&output.dataset, &config);
+    let metric = Metric::JoinFailure;
+
+    println!("== ranking criteria (paper Fig. 11), {metric}, top-k sweep ==");
+    for (name, rank) in [
+        ("prevalence", RankBy::Prevalence),
+        ("persistence", RankBy::Persistence),
+        ("coverage", RankBy::Coverage),
+    ] {
+        let sweep = oracle_sweep(
+            trace.epochs(),
+            metric,
+            rank,
+            AttrFilter::Any,
+            &[0.01, 0.05, 0.2, 1.0],
+        );
+        let cells: Vec<String> = sweep
+            .iter()
+            .map(|p| format!("{:>4.1}%@top-{:.0}%", 100.0 * p.alleviated_fraction, 100.0 * p.fraction))
+            .collect();
+        println!("  rank by {name:<11} {}", cells.join("  "));
+    }
+
+    println!("\n== single-attribute strategies (paper Fig. 12) ==");
+    for (name, filter) in [
+        ("any cluster", AttrFilter::Any),
+        ("Site only", AttrFilter::Single(AttrKey::Site)),
+        ("CDN only", AttrFilter::Single(AttrKey::Cdn)),
+        ("ASN only", AttrFilter::Single(AttrKey::Asn)),
+        ("ConnType only", AttrFilter::Single(AttrKey::ConnType)),
+        ("union of 4", AttrFilter::UnionTop4),
+    ] {
+        let sweep = oracle_sweep(trace.epochs(), metric, RankBy::Coverage, filter, &[1.0]);
+        println!(
+            "  {name:<14} fixes {:>3} clusters -> {:>5.1}% alleviated",
+            sweep[0].selected,
+            100.0 * sweep[0].alleviated_fraction
+        );
+    }
+
+    println!("\n== proactive: learn from days 1-2, act on days 3-4 (paper Table 4) ==");
+    let history = EpochRange::new(EpochId(0), EpochId(48));
+    let eval = EpochRange::new(EpochId(48), EpochId(96));
+    for metric in Metric::ALL {
+        let out = proactive_analysis(trace.epochs(), metric, history, eval, 0.01);
+        println!(
+            "  {:<11} history-based {:>5.1}% vs oracle {:>5.1}%  ({:>3.0}% of potential)",
+            metric.to_string(),
+            100.0 * out.improvement,
+            100.0 * out.potential,
+            100.0 * out.efficiency()
+        );
+    }
+
+    println!("\n== reactive with a 1-hour detection lag (paper Table 5) ==");
+    for metric in Metric::ALL {
+        let out = reactive_analysis(trace.epochs(), metric, 1);
+        println!(
+            "  {:<11} {:>5.1}% alleviated ({:>3.0}% of potential, {} of {} events acted on)",
+            metric.to_string(),
+            100.0 * out.improvement,
+            100.0 * out.efficiency(),
+            out.events_handled,
+            out.events_total
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! The `vqlens` command-line tool: generate synthetic traces, analyze
+//! traces (synthetic or real) from CSV, and replay the incident monitor.
+//!
+//! ```text
+//! vqlens generate --scenario smoke --out trace.csv     # synthesize a trace
+//! vqlens generate --config my_scenario.json --out t.csv  # custom scenario
+//! vqlens scenario --write-default my_scenario.json     # editable template
+//! vqlens analyze trace.csv                             # paper-style summary
+//! vqlens analyze trace.csv --metric JoinFailure --top 10
+//! vqlens monitor trace.csv                             # incident log replay
+//! ```
+//!
+//! The CSV format is documented in `vqlens::model::csv` — any telemetry
+//! source that can produce those columns can be analyzed.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use vqlens::analysis::monitor::{MonitorConfig, MonitorEvent, OnlineMonitor};
+use vqlens::model::csv::{read_csv, write_csv};
+use vqlens::prelude::*;
+use vqlens::whatif::cost::{cost_benefit_ranking, suggested_remedy, CostModel};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  vqlens generate [--scenario smoke|default|full | --config FILE.json] \
+         [--sessions N] [--epochs N] [--seed N] --out FILE.csv\n  vqlens scenario \
+         --write-default FILE.json\n  vqlens analyze FILE.csv \
+         [--metric <name>] [--top N] [--min-sessions N]\n  vqlens monitor FILE.csv \
+         [--confirm-h N] [--min-sessions N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("scenario") => scenario_template(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
+        Some("monitor") => monitor(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Write an editable scenario template (`vqlens scenario --write-default F`).
+fn scenario_template(args: &[String]) -> ExitCode {
+    let Some(path) = flag_value(args, "--write-default") else {
+        return usage();
+    };
+    let scenario = Scenario::paper_default();
+    let json = serde_json::to_string_pretty(&scenario).expect("scenario serializes");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote editable scenario template to {path}");
+    ExitCode::SUCCESS
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parse a numeric flag strictly: a present-but-garbled value is an error,
+/// not a silent fallback to the default.
+fn numeric_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, ExitCode> {
+    match flag_value(args, name) {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<T>() {
+            Ok(v) => Ok(Some(v)),
+            Err(_) => {
+                eprintln!("invalid value for {name}: {raw:?}");
+                Err(usage())
+            }
+        },
+    }
+}
+
+fn load(path: &str) -> Result<Dataset, ExitCode> {
+    let file = File::open(path).map_err(|e| {
+        eprintln!("cannot open {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    read_csv(BufReader::new(file)).map_err(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn scaled_config(dataset: &Dataset, args: &[String]) -> AnalyzerConfig {
+    let mut config = AnalyzerConfig::default();
+    let per_epoch = dataset.num_sessions() as f64 / f64::from(dataset.num_epochs().max(1));
+    config.significance = SignificanceParams::scaled_to(per_epoch as u64);
+    config
+}
+
+fn apply_min_sessions(config: &mut AnalyzerConfig, args: &[String]) -> Result<(), ExitCode> {
+    if let Some(ms) = numeric_flag::<u64>(args, "--min-sessions")? {
+        config.significance.min_sessions = ms;
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let Some(out_path) = flag_value(args, "--out") else {
+        return usage();
+    };
+    let mut scenario = if let Some(config_path) = flag_value(args, "--config") {
+        let text = match std::fs::read_to_string(config_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {config_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match serde_json::from_str::<Scenario>(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("invalid scenario config {config_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match flag_value(args, "--scenario") {
+            None | Some("default") => Scenario::paper_default(),
+            Some("smoke") => Scenario::smoke(),
+            Some("full") => Scenario::full(),
+            Some(other) => {
+                eprintln!("unknown scenario '{other}'");
+                return usage();
+            }
+        }
+    };
+    match (
+        numeric_flag::<f64>(args, "--sessions"),
+        numeric_flag::<u32>(args, "--epochs"),
+        numeric_flag::<u64>(args, "--seed"),
+    ) {
+        (Ok(sessions), Ok(epochs), Ok(seed)) => {
+            if let Some(s) = sessions {
+                scenario.arrivals.sessions_per_epoch = s;
+            }
+            if let Some(e) = epochs {
+                scenario.epochs = e;
+            }
+            if let Some(s) = seed {
+                scenario.seed = s;
+            }
+        }
+        (Err(code), _, _) | (_, Err(code), _) | (_, _, Err(code)) => return code,
+    }
+    eprintln!(
+        "generating '{}': {} epochs x ~{} sessions ...",
+        scenario.name, scenario.epochs, scenario.arrivals.sessions_per_epoch as u64
+    );
+    let output = generate_parallel(&scenario, 0);
+    let file = match File::create(out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_csv(&output.dataset, BufWriter::new(file)) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}: {} sessions across {} epochs ({} planted events)",
+        out_path,
+        output.dataset.num_sessions(),
+        output.dataset.num_epochs(),
+        output.ground_truth.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn parse_metric(name: &str) -> Option<Metric> {
+    Metric::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let dataset = match load(path) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let mut config = scaled_config(&dataset, args);
+    if let Err(code) = apply_min_sessions(&mut config, args) {
+        return code;
+    }
+    let top: usize = match numeric_flag::<usize>(args, "--top") {
+        Ok(v) => v.unwrap_or(5),
+        Err(code) => return code,
+    };
+    let metrics: Vec<Metric> = match flag_value(args, "--metric") {
+        Some(name) => match parse_metric(name) {
+            Some(m) => vec![m],
+            None => {
+                eprintln!("unknown metric '{name}' (expected one of BufRatio, Bitrate, JoinTime, JoinFailure)");
+                return usage();
+            }
+        },
+        None => Metric::ALL.to_vec(),
+    };
+
+    eprintln!(
+        "analyzing {} sessions across {} epochs (significance floor {}) ...",
+        dataset.num_sessions(),
+        dataset.num_epochs(),
+        config.significance.min_sessions
+    );
+    let trace = analyze_dataset(&dataset, &config);
+
+    let rows = vqlens::analysis::coverage::coverage_table(trace.epochs());
+    for metric in &metrics {
+        let row = &rows[metric.index()];
+        println!(
+            "\n== {metric}: {:.0} problem clusters/epoch -> {:.0} critical ({:.1}% coverage of problem sessions)",
+            row.mean_problem_clusters,
+            row.mean_critical_clusters,
+            100.0 * row.mean_critical_coverage
+        );
+        let prevalence = vqlens::analysis::prevalence::PrevalenceReport::compute(
+            trace.epochs(),
+            *metric,
+            ClusterSource::Critical,
+        );
+        println!("most prevalent critical clusters:");
+        for (key, p) in prevalence.ranked().into_iter().take(top) {
+            let named = key.display_with(|attr, id| dataset.value_name(attr, id).unwrap_or("?"));
+            println!("  {:>5.1}%  {named}", 100.0 * p);
+        }
+        println!("highest benefit-per-cost fixes:");
+        for cb in cost_benefit_ranking(trace.epochs(), *metric, &CostModel::infrastructure_default())
+            .into_iter()
+            .take(top.min(3))
+        {
+            let named = cb
+                .key
+                .display_with(|attr, id| dataset.value_name(attr, id).unwrap_or("?"));
+            println!(
+                "  {:>7.0} problem sessions  {named}\n           -> {}",
+                cb.benefit,
+                suggested_remedy(cb.key)
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn monitor(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let dataset = match load(path) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let mut config = scaled_config(&dataset, args);
+    if let Err(code) = apply_min_sessions(&mut config, args) {
+        return code;
+    }
+    let confirm_h: u32 = match numeric_flag::<u32>(args, "--confirm-h") {
+        Ok(v) => v.unwrap_or(1),
+        Err(code) => return code,
+    };
+    let trace = analyze_dataset(&dataset, &config);
+    let mut monitor = OnlineMonitor::new(MonitorConfig {
+        confirm_after_h: confirm_h,
+        ..MonitorConfig::default()
+    });
+    let mut confirmed = 0u32;
+    for epoch_analysis in trace.epochs() {
+        for event in monitor.observe(epoch_analysis) {
+            // Alert log: confirmations and resolutions only (openings are
+            // unconfirmed noise at this stage).
+            match &event {
+                MonitorEvent::Confirmed(i) => {
+                    confirmed += 1;
+                    let named = i
+                        .key
+                        .display_with(|attr, id| dataset.value_name(attr, id).unwrap_or("?"));
+                    println!(
+                        "[{}] ALERT {}  {named}  (severity {:.0}) -> {}",
+                        epoch_analysis.epoch,
+                        i.metric,
+                        i.severity(),
+                        suggested_remedy(i.key)
+                    );
+                }
+                MonitorEvent::Resolved(i) if i.epochs_active > confirm_h => {
+                    let named = i
+                        .key
+                        .display_with(|attr, id| dataset.value_name(attr, id).unwrap_or("?"));
+                    println!(
+                        "[{}] resolved {}  {named}  after {} h",
+                        epoch_analysis.epoch, i.metric, i.epochs_active
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    println!(
+        "\n{} incidents confirmed; {} still open at trace end",
+        confirmed,
+        monitor.open_incidents().count()
+    );
+    ExitCode::SUCCESS
+}

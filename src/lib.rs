@@ -1,0 +1,30 @@
+//! # vqlens
+//!
+//! Structure analysis of Internet video quality problems: problem clusters,
+//! critical clusters, and what-if improvement — a full reproduction of
+//! Jiang, Sekar, Stoica & Zhang, *"Shedding Light on the Structure of
+//! Internet Video Quality Problems in the Wild"* (CoNEXT 2013), built on a
+//! synthetic session-level streaming substrate with planted ground truth.
+//!
+//! This crate is the facade: it re-exports [`vqlens_core`] (which in turn
+//! re-exports the model, stats, cluster, analysis, what-if, delivery and
+//! synth sub-crates). Start with the `prelude` and the `examples/`
+//! directory:
+//!
+//! ```no_run
+//! use vqlens::prelude::*;
+//!
+//! let scenario = Scenario::smoke();
+//! let config = AnalyzerConfig::for_scenario(&scenario);
+//! let output = generate_parallel(&scenario, config.threads);
+//! let trace = analyze_dataset(&output.dataset, &config);
+//! for row in coverage_table(trace.epochs()) {
+//!     println!("{}: {:.1}% of problem sessions attributed to {:.0} critical clusters",
+//!              row.metric, 100.0 * row.mean_critical_coverage, row.mean_critical_clusters);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vqlens_core::*;

@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: the full synth → delivery → cluster →
+//! analysis → what-if pipeline on small scenarios with planted events.
+
+use vqlens::prelude::*;
+use vqlens::synth::events::{EventEffect, EventSchedule, EventScope, GroundTruth, PlantedEvent};
+use vqlens::synth::scenario::generate_with_events;
+
+fn tiny_scenario(epochs: u32) -> Scenario {
+    let mut s = Scenario::smoke();
+    s.epochs = epochs;
+    s
+}
+
+/// Build a one-event ground truth hitting a given CDN.
+fn single_cdn_event(cdn: u32, start: u32, len_h: u32, fail_prob: f64) -> GroundTruth {
+    GroundTruth::from_events(vec![PlantedEvent {
+        id: 0,
+        name: "staged cdn breakage".into(),
+        scope: EventScope {
+            cdn: Some(cdn),
+            ..EventScope::default()
+        },
+        effect: EventEffect::join_breakage(fail_prob),
+        schedule: EventSchedule::OneOff { start, len_h },
+        expected_metrics: vec![Metric::JoinFailure],
+    }])
+}
+
+#[test]
+fn full_pipeline_runs_and_is_deterministic() {
+    let scenario = tiny_scenario(12);
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let a = generate_parallel(&scenario, 2);
+    let b = generate_parallel(&scenario, 5);
+    assert_eq!(a.dataset.num_sessions(), b.dataset.num_sessions());
+
+    let ta = analyze_dataset(&a.dataset, &config);
+    let tb = analyze_dataset(&b.dataset, &config);
+    assert_eq!(ta.len(), 12);
+    for (x, y) in ta.epochs().iter().zip(tb.epochs()) {
+        for m in Metric::ALL {
+            assert_eq!(
+                x.metric(m).problems.clusters,
+                y.metric(m).problems.clusters,
+                "problem clusters must not depend on thread count"
+            );
+        }
+    }
+}
+
+#[test]
+fn staged_outage_is_found_timed_and_attributed() {
+    let scenario = tiny_scenario(24);
+    let output = generate_with_events(&scenario, single_cdn_event(1, 10, 5, 0.6));
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let trace = analyze_dataset(&output.dataset, &config);
+    let expected = ClusterKey::of_single(AttrKey::Cdn, 1);
+
+    // The cluster is critical exactly during the outage (and not before).
+    for a in trace.epochs() {
+        let found = a
+            .metric(Metric::JoinFailure)
+            .critical
+            .clusters
+            .contains_key(&expected);
+        let active = (10..15).contains(&a.epoch.0);
+        if active {
+            assert!(found, "outage epoch {} must flag the CDN", a.epoch.0);
+        } else {
+            assert!(!found, "quiet epoch {} must not flag the CDN", a.epoch.0);
+        }
+    }
+
+    // Persistence machinery coalesces it into one 5-hour event.
+    let events = extract_events(trace.epochs(), Metric::JoinFailure, ClusterSource::Critical);
+    let outage: Vec<_> = events.iter().filter(|e| e.key == expected).collect();
+    assert_eq!(outage.len(), 1);
+    assert_eq!(outage[0].start, EpochId(10));
+    assert_eq!(outage[0].len, 5);
+
+    // Attribution: during the outage, most join failures trace to the CDN.
+    let epoch11 = &trace.epochs()[11];
+    let ma = epoch11.metric(Metric::JoinFailure);
+    let stats = ma.critical.clusters[&expected];
+    assert!(
+        stats.attributed_problems > 0.5 * ma.critical.total_problems as f64,
+        "the staged cause should dominate attribution: {} of {}",
+        stats.attributed_problems,
+        ma.critical.total_problems
+    );
+}
+
+#[test]
+fn reactive_strategy_pays_off_on_staged_outage() {
+    let scenario = tiny_scenario(24);
+    let output = generate_with_events(&scenario, single_cdn_event(1, 6, 8, 0.6));
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let trace = analyze_dataset(&output.dataset, &config);
+
+    let outcome = reactive_analysis(trace.epochs(), Metric::JoinFailure, 1);
+    assert!(outcome.events_handled >= 1);
+    assert!(
+        outcome.improvement > 0.3,
+        "an 8-hour outage detected after 1 hour should alleviate most of it: {}",
+        outcome.improvement
+    );
+    // The lag costs exactly the first epoch of each handled event.
+    assert!(outcome.potential > outcome.improvement);
+    assert!(outcome.efficiency() > 0.6);
+}
+
+#[test]
+fn proactive_strategy_transfers_for_recurrent_problems() {
+    let scenario = tiny_scenario(48);
+    // A recurring prime-time breakage: 4 hours out of every 12.
+    let gt = GroundTruth::from_events(vec![PlantedEvent {
+        id: 0,
+        name: "recurring overload".into(),
+        scope: EventScope {
+            cdn: Some(2),
+            ..EventScope::default()
+        },
+        effect: EventEffect::join_breakage(0.5),
+        schedule: EventSchedule::Recurring {
+            period_h: 12,
+            duty_h: 4,
+            phase_h: 0,
+        },
+        expected_metrics: vec![Metric::JoinFailure],
+    }]);
+    let output = generate_with_events(&scenario, gt);
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let trace = analyze_dataset(&output.dataset, &config);
+
+    let out = proactive_analysis(
+        trace.epochs(),
+        Metric::JoinFailure,
+        EpochRange::new(EpochId(0), EpochId(24)),
+        EpochRange::new(EpochId(24), EpochId(48)),
+        1.0,
+    );
+    assert!(out.improvement > 0.2, "improvement {}", out.improvement);
+    assert!(
+        out.efficiency() > 0.8,
+        "a perfectly recurrent culprit should transfer: {}",
+        out.efficiency()
+    );
+}
+
+#[test]
+fn quiet_world_produces_few_critical_clusters() {
+    let scenario = tiny_scenario(6);
+    let output = generate_with_events(&scenario, GroundTruth::from_events(vec![]));
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let trace = analyze_dataset(&output.dataset, &config);
+    // Structural causes exist (mobile, weak ASNs), so some clusters are
+    // expected — but without planted events the counts stay modest.
+    for a in trace.epochs() {
+        for m in Metric::ALL {
+            assert!(
+                a.metric(m).critical.len() < 60,
+                "epoch {} metric {m}: {} critical clusters in a quiet world",
+                a.epoch.0,
+                a.metric(m).critical.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn dataset_serde_roundtrip_preserves_analysis() {
+    let scenario = tiny_scenario(4);
+    let output = generate_parallel(&scenario, 0);
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let before = analyze_dataset(&output.dataset, &config);
+
+    let json = serde_json::to_string(&output.dataset).expect("serialize");
+    let mut restored: Dataset = serde_json::from_str(&json).expect("deserialize");
+    restored.after_deserialize();
+    let after = analyze_dataset(&restored, &config);
+
+    for (x, y) in before.epochs().iter().zip(after.epochs()) {
+        for m in Metric::ALL {
+            assert_eq!(x.metric(m).problems.clusters, y.metric(m).problems.clusters);
+        }
+    }
+}

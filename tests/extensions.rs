@@ -1,0 +1,121 @@
+//! Integration tests for the extension subsystems: CSV trace interchange,
+//! the online incident monitor, and cost-aware planning — each exercised
+//! against real generated traces rather than fixtures.
+
+use std::io::BufReader;
+use vqlens::analysis::monitor::{replay_matches_events, MonitorConfig, MonitorEvent, OnlineMonitor};
+use vqlens::model::csv::{read_csv, write_csv};
+use vqlens::prelude::*;
+use vqlens::whatif::cost::{cost_benefit_ranking, plan_under_budget, CostModel};
+
+fn small_trace() -> (SynthOutput, AnalyzerConfig, TraceAnalysis) {
+    let mut scenario = Scenario::smoke();
+    scenario.epochs = 10;
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let output = generate_parallel(&scenario, 0);
+    let trace = analyze_dataset(&output.dataset, &config);
+    (output, config, trace)
+}
+
+#[test]
+fn csv_roundtrip_preserves_the_full_analysis() {
+    let (output, config, before) = small_trace();
+
+    let mut buf = Vec::new();
+    write_csv(&output.dataset, &mut buf).expect("export");
+    let restored = read_csv(BufReader::new(&buf[..])).expect("import");
+    assert_eq!(restored.num_sessions(), output.dataset.num_sessions());
+
+    // Dictionary ids may be permuted by first-appearance order, so compare
+    // the analysis through *names*, which is what matters to users.
+    let after = analyze_dataset(&restored, &config);
+    for (x, y) in before.epochs().iter().zip(after.epochs()) {
+        for m in Metric::ALL {
+            let name_set = |trace_ds: &Dataset, ma: &ProblemSet| {
+                let mut v: Vec<String> = ma
+                    .clusters
+                    .keys()
+                    .map(|k| {
+                        k.display_with(|attr, id| trace_ds.value_name(attr, id).unwrap_or("?"))
+                            .to_string()
+                    })
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(
+                name_set(&output.dataset, &x.metric(m).problems),
+                name_set(&restored, &y.metric(m).problems),
+                "epoch {} metric {m}",
+                x.epoch.0
+            );
+        }
+    }
+}
+
+#[test]
+fn monitor_replay_matches_offline_persistence_on_real_traces() {
+    let (_, _, trace) = small_trace();
+    for metric in Metric::ALL {
+        assert!(
+            replay_matches_events(MonitorConfig::default(), trace.epochs(), metric),
+            "monitor/persistence divergence on {metric}"
+        );
+    }
+}
+
+#[test]
+fn monitor_confirmations_mirror_reactive_event_handling() {
+    let (_, _, trace) = small_trace();
+    for metric in Metric::ALL {
+        // Events the reactive what-if handles (length > 1h lag) must equal
+        // the incidents the monitor confirms with the same lag.
+        let outcome = reactive_analysis(trace.epochs(), metric, 1);
+        let mut monitor = OnlineMonitor::new(MonitorConfig::default());
+        let mut confirmed = 0usize;
+        for a in trace.epochs() {
+            confirmed += monitor
+                .observe(a)
+                .into_iter()
+                .filter(|e| matches!(e, MonitorEvent::Confirmed(i) if i.metric == metric))
+                .count();
+        }
+        // Open incidents past the lag at trace end are also "handled".
+        assert_eq!(
+            confirmed, outcome.events_handled,
+            "{metric}: monitor confirmed {confirmed}, reactive handled {}",
+            outcome.events_handled
+        );
+    }
+}
+
+#[test]
+fn budgeted_plans_are_feasible_and_monotone() {
+    let (_, _, trace) = small_trace();
+    let model = CostModel::infrastructure_default();
+    let mut last = 0.0;
+    for budget in [0.0, 5.0, 20.0, 100.0, 10_000.0] {
+        let plan = plan_under_budget(trace.epochs(), Metric::BufRatio, &model, budget);
+        assert!(plan.spent <= budget + 1e-9, "overspent: {} > {budget}", plan.spent);
+        assert!(
+            plan.alleviated_fraction + 1e-9 >= last,
+            "more budget must not alleviate less"
+        );
+        last = plan.alleviated_fraction;
+    }
+    // With an unbounded budget the plan covers every critical cluster.
+    let ranking = cost_benefit_ranking(trace.epochs(), Metric::BufRatio, &model);
+    let all = plan_under_budget(trace.epochs(), Metric::BufRatio, &model, f64::INFINITY);
+    assert_eq!(all.selected.len(), ranking.len());
+}
+
+#[test]
+fn cli_csv_format_is_stable() {
+    // The header is a public contract; changing it breaks user pipelines.
+    assert_eq!(
+        vqlens::model::csv::CSV_HEADER,
+        "epoch,asn,cdn,site,vod_or_live,player,browser,conn_type,\
+         join_failed,join_time_ms,play_duration_s,buffering_s,avg_bitrate_kbps"
+            .replace(" ", "")
+    );
+}

@@ -1,0 +1,170 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use vqlens::prelude::*;
+use vqlens::cluster::cube::{ClusterCounts, EpochCube};
+use vqlens::cluster::critical::{CriticalParams, CriticalSet};
+use vqlens::cluster::problem::ProblemSet;
+use vqlens::model::attr::{SessionAttrs, VALUE_BITS};
+use vqlens::model::dataset::EpochData;
+
+/// Strategy: a random session attribute vector with small cardinalities so
+/// clusters actually form.
+fn arb_attrs() -> impl Strategy<Value = SessionAttrs> {
+    (0u32..6, 0u32..3, 0u32..4, 0u32..2, 0u32..2, 0u32..2, 0u32..3)
+        .prop_map(|(a, c, s, v, p, b, k)| SessionAttrs::new([a, c, s, v, p, b, k]))
+}
+
+/// Strategy: a random quality measurement covering all problem classes.
+fn arb_quality() -> impl Strategy<Value = QualityMeasurement> {
+    prop_oneof![
+        Just(QualityMeasurement::failed()),
+        (100u32..30_000, 30.0f32..600.0, 0.0f32..60.0, 100.0f32..6_000.0)
+            .prop_map(|(j, d, bfr, br)| QualityMeasurement::joined(j, d, bfr, br)),
+    ]
+}
+
+fn arb_epoch(max_sessions: usize) -> impl Strategy<Value = EpochData> {
+    prop::collection::vec((arb_attrs(), arb_quality()), 1..max_sessions).prop_map(|sessions| {
+        let mut d = EpochData::default();
+        for (a, q) in sessions {
+            d.push(a, q);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cube invariant: for any cluster and any unconstrained dimension, the
+    /// children along that dimension partition the parent exactly.
+    #[test]
+    fn cube_children_partition_parents(data in arb_epoch(300)) {
+        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        // Root equals the sum of single-ASN clusters.
+        let mut sum = ClusterCounts::default();
+        for asn in 0..6u32 {
+            sum.add(&cube.counts(ClusterKey::of_single(AttrKey::Asn, asn)));
+        }
+        prop_assert_eq!(sum, cube.root);
+        // Every cluster's count is bounded by each of its ancestors'.
+        for (key, counts) in &cube.clusters {
+            for parent in key.parents() {
+                let p = cube.counts(parent);
+                prop_assert!(p.sessions >= counts.sessions);
+                for m in Metric::ALL {
+                    prop_assert!(p.problems[m.index()] >= counts.problems[m.index()]);
+                }
+            }
+        }
+    }
+
+    /// Problem clusters always satisfy their defining inequalities.
+    #[test]
+    fn problem_clusters_satisfy_significance(data in arb_epoch(400)) {
+        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let sig = vqlens::cluster::problem::SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 20,
+            min_problem_sessions: 3,
+        };
+        for m in Metric::ALL {
+            let ps = ProblemSet::identify(&cube, m, &sig);
+            for (key, stat) in &ps.clusters {
+                prop_assert!(stat.sessions >= 20);
+                prop_assert!(stat.problems >= 3);
+                prop_assert!(stat.ratio() >= 1.5 * ps.global_ratio - 1e-12);
+                prop_assert_eq!(cube.counts(*key).sessions, stat.sessions);
+            }
+        }
+    }
+
+    /// Critical-cluster invariants: subset of problem clusters, minimal
+    /// antichain, attribution conserved and bounded.
+    #[test]
+    fn critical_clusters_are_minimal_and_conservative(data in arb_epoch(400)) {
+        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let sig = vqlens::cluster::problem::SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 15,
+            min_problem_sessions: 2,
+        };
+        for m in Metric::ALL {
+            let ps = ProblemSet::identify(&cube, m, &sig);
+            let cs = CriticalSet::identify(&cube, &ps, &sig, &CriticalParams::default());
+            let keys: Vec<ClusterKey> = cs.clusters.keys().copied().collect();
+            for &k in &keys {
+                prop_assert!(ps.contains(k), "critical must be a problem cluster");
+                for &other in &keys {
+                    if k != other {
+                        prop_assert!(!k.generalizes(other), "antichain violated");
+                    }
+                }
+            }
+            let sum: f64 = cs.clusters.values().map(|s| s.attributed_problems).sum();
+            prop_assert!((sum - cs.problems_attributed).abs() < 1e-6);
+            prop_assert!(cs.problems_attributed <= cs.total_problems as f64 + 1e-6);
+            prop_assert!(
+                cs.problems_attributed <= cs.problems_in_problem_clusters as f64 + 1e-6
+            );
+            prop_assert!(cs.coverage() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Packing round-trip for arbitrary in-range attribute vectors.
+    #[test]
+    fn cluster_key_roundtrip(
+        values in prop::array::uniform7(0u32..1024),
+        mask_bits in 0u8..=0x7f,
+    ) {
+        let clamped: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .map(|(d, v)| v % (1 << VALUE_BITS[d].min(10)))
+            .collect();
+        let attrs = SessionAttrs::new(clamped.clone().try_into().unwrap());
+        let mask = vqlens::model::attr::AttrMask(mask_bits);
+        let key = attrs.project(mask);
+        prop_assert_eq!(key.mask(), mask);
+        for attr in AttrKey::ALL {
+            if mask.contains(attr) {
+                prop_assert_eq!(key.value(attr), Some(attrs.get(attr)));
+            } else {
+                prop_assert_eq!(key.value(attr), None);
+            }
+        }
+        // Projection is idempotent and monotone along submasks.
+        prop_assert_eq!(key.project_onto(mask), key);
+        for sub in mask.nonempty_submasks() {
+            prop_assert!(key.project_onto(sub).generalizes(key));
+        }
+    }
+
+    /// The what-if oracle sweep is monotone in k and bounded in [0, 1].
+    #[test]
+    fn oracle_sweep_monotone(seed in 0u64..50) {
+        let mut scenario = Scenario::smoke();
+        scenario.epochs = 4;
+        scenario.arrivals.sessions_per_epoch = 800.0;
+        scenario.seed = seed;
+        let out = vqlens::synth::scenario::generate(&scenario);
+        let config = AnalyzerConfig::for_scenario(&scenario);
+        let trace = analyze_dataset(&out.dataset, &config);
+        for m in Metric::ALL {
+            let sweep = oracle_sweep(
+                trace.epochs(),
+                m,
+                RankBy::Coverage,
+                AttrFilter::Any,
+                &[0.0, 0.1, 0.5, 1.0],
+            );
+            for w in sweep.windows(2) {
+                prop_assert!(w[1].alleviated_fraction + 1e-12 >= w[0].alleviated_fraction);
+            }
+            for p in &sweep {
+                prop_assert!((0.0..=1.0).contains(&p.alleviated_fraction));
+            }
+        }
+    }
+}

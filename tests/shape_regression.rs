@@ -1,0 +1,203 @@
+//! Shape-regression test: the paper's qualitative findings must hold on a
+//! modest fixed-seed scenario. These are the invariants EXPERIMENTS.md
+//! reports at full scale, pinned here so a refactor that silently breaks
+//! the *science* (not just the code) fails CI.
+
+use std::sync::OnceLock;
+use vqlens::prelude::*;
+
+struct Fixture {
+    output: SynthOutput,
+    config: AnalyzerConfig,
+    trace: TraceAnalysis,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut scenario = Scenario::smoke();
+        scenario.epochs = 48;
+        scenario.arrivals.sessions_per_epoch = 3_000.0;
+        scenario.n_events = 40;
+        let config = AnalyzerConfig::for_scenario(&scenario);
+        let output = generate_parallel(&scenario, 0);
+        let trace = analyze_dataset(&output.dataset, &config);
+        Fixture {
+            output,
+            config,
+            trace,
+        }
+    })
+}
+
+/// Paper §2 / Fig. 2: a consistent, non-trivial fraction of sessions has
+/// problems on every metric, and join failures are the rarest.
+#[test]
+fn global_problem_ratios_are_paper_shaped() {
+    let f = fixture();
+    let mut means = [0.0f64; 4];
+    for m in Metric::ALL {
+        let series = problem_ratio_series(f.trace.epochs(), m);
+        means[m.index()] =
+            series.iter().map(|p| p.ratio).sum::<f64>() / series.len() as f64;
+        assert!(
+            (0.005..0.5).contains(&means[m.index()]),
+            "{m}: mean problem ratio {} out of plausible range",
+            means[m.index()]
+        );
+    }
+    assert!(
+        means[Metric::Bitrate.index()] > means[Metric::JoinFailure.index()],
+        "bitrate problems are common, join failures rare"
+    );
+}
+
+/// Paper Table 1 / Fig. 9: a small critical-cluster set explains most
+/// problem sessions covered by problem clusters.
+#[test]
+fn critical_clusters_compress_and_cover() {
+    let f = fixture();
+    for row in coverage_table(f.trace.epochs()) {
+        assert!(
+            row.reduction < 0.15,
+            "{}: critical clusters should be a small fraction of problem clusters, got {:.1}%",
+            row.metric,
+            100.0 * row.reduction
+        );
+        assert!(
+            row.mean_critical_coverage > 0.3,
+            "{}: critical coverage {:.2} too low",
+            row.metric,
+            row.mean_critical_coverage
+        );
+        assert!(row.mean_problem_coverage >= row.mean_critical_coverage - 1e-9);
+    }
+}
+
+/// Paper Fig. 11: the Pareto effect — the top slice of critical clusters
+/// buys a disproportionate share of the alleviation — and coverage ranking
+/// is at least as good as prevalence ranking.
+#[test]
+fn pareto_improvement_and_ranking_order() {
+    let f = fixture();
+    for m in Metric::ALL {
+        let by_cov = oracle_sweep(
+            f.trace.epochs(),
+            m,
+            RankBy::Coverage,
+            AttrFilter::Any,
+            &[0.01, 0.1, 1.0],
+        );
+        // Top 10% of clusters gets well over 10% of the achievable total.
+        let at_10pct = by_cov[1].alleviated_fraction;
+        let at_all = by_cov[2].alleviated_fraction;
+        assert!(
+            at_10pct > 0.5 * at_all,
+            "{m}: top-10% should capture most of the achievable alleviation \
+             ({at_10pct:.3} vs {at_all:.3})"
+        );
+        let by_prev = oracle_sweep(
+            f.trace.epochs(),
+            m,
+            RankBy::Prevalence,
+            AttrFilter::Any,
+            &[0.1],
+        );
+        assert!(
+            by_cov[1].alleviated_fraction + 0.05 >= by_prev[0].alleviated_fraction,
+            "{m}: coverage ranking should not lose badly to prevalence"
+        );
+    }
+}
+
+/// Paper Fig. 10: single attributes dominate the attribution; deep
+/// combinations are marginal ("server-side or client-side problems, not a
+/// bad path between a specific client and server").
+#[test]
+fn attribution_mass_sits_on_single_attributes() {
+    let f = fixture();
+    for m in Metric::ALL {
+        let b = vqlens::analysis::breakdown::Breakdown::compute(f.trace.epochs(), m);
+        let single: f64 = b
+            .slices
+            .iter()
+            .filter(|s| s.mask.len() == 1)
+            .map(|s| s.share)
+            .sum();
+        let deep: f64 = b
+            .slices
+            .iter()
+            .filter(|s| s.mask.len() >= 3)
+            .map(|s| s.share)
+            .sum();
+        assert!(
+            single > deep,
+            "{m}: single-attribute causes ({single:.3}) should outweigh deep combinations ({deep:.3})"
+        );
+        assert!(b.total_share() <= 1.0 + 1e-6);
+    }
+}
+
+/// Paper Table 2: critical clusters are far from identical across metrics.
+#[test]
+fn metrics_do_not_share_culprits_wholesale() {
+    let f = fixture();
+    let m = overlap_matrix(f.trace.epochs(), 100);
+    assert!(
+        m.get(Metric::Bitrate, Metric::JoinFailure) < 0.5,
+        "bitrate and join-failure culprits should differ"
+    );
+    assert!(
+        m.get(Metric::BufRatio, Metric::JoinFailure) < 0.5,
+        "buffering and join-failure culprits should differ"
+    );
+}
+
+/// Paper §5.3 / Table 5: reacting one hour in captures a majority of the
+/// zero-lag potential (because problems persist).
+#[test]
+fn reactive_strategy_remains_worthwhile() {
+    let f = fixture();
+    let mut any_effective = false;
+    for m in Metric::ALL {
+        let out = reactive_analysis(f.trace.epochs(), m, 1);
+        assert!(out.improvement <= out.potential + 1e-9);
+        if out.efficiency() > 0.5 {
+            any_effective = true;
+        }
+    }
+    assert!(
+        any_effective,
+        "at least one metric must retain most of its potential under a 1h lag"
+    );
+}
+
+/// The engagement relationship the paper is motivated by must *emerge*
+/// from the abandonment mechanics: more buffering, less watching.
+#[test]
+fn engagement_declines_with_buffering() {
+    let f = fixture();
+    let curve =
+        vqlens::analysis::engagement::EngagementCurve::measure(&f.output.dataset, 0.02);
+    assert!(curve.sessions > 10_000);
+    assert!(
+        curve.minutes_per_buffering_point < -0.05,
+        "slope {} should be negative: buffering must cost viewing time",
+        curve.minutes_per_buffering_point
+    );
+}
+
+/// Ground truth: most visible planted events are recovered.
+#[test]
+fn planted_events_are_recovered() {
+    let f = fixture();
+    let v = validate_against_ground_truth(
+        &f.output.dataset,
+        &f.output.world,
+        &f.trace,
+        &f.output.ground_truth,
+        f.config.significance.min_sessions,
+    );
+    assert!(v.recall > 0.5, "recall {}", v.recall);
+    assert!(v.precision > 0.5, "precision {}", v.precision);
+}
