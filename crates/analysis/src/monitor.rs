@@ -8,6 +8,31 @@
 //! lifecycles (pending → alerting → resolved), emitting events at each
 //! transition. It processes epochs strictly forward, holding only the open
 //! incidents — suitable for a streaming deployment.
+//!
+//! # Gap semantics
+//!
+//! A real feed is not contiguous: epochs can be missing because their
+//! analysis failed (a `Failed` epoch in a degraded trace), because a
+//! collector was down, or because the monitor was restarted. Epoch ids
+//! must still be strictly increasing, but they need not be consecutive,
+//! and the monitor times incidents by **epoch id** (wall clock), not by
+//! observation count:
+//!
+//! * An unobserved epoch counts as *absence*. If a cluster was last seen
+//!   at epoch `t` and the next fed epoch is `t + g`, the `g - 1` missing
+//!   epochs count toward `close_after_h` exactly as observed-but-clear
+//!   epochs would. An incident that would have resolved inside the gap is
+//!   resolved (with its true `last_seen`) before the new epoch is applied,
+//!   so a cluster reappearing after a long gap opens a *fresh* incident
+//!   instead of silently bridging the gap — bridging would inflate
+//!   `epochs_active` and mis-time confirmation.
+//! * Confirmation still counts *observed* critical epochs
+//!   (`epochs_active`), so a cluster seen once on each side of a
+//!   bridgeable gap (`close_after_h` > 1) accumulates 2 active epochs,
+//!   not `g`.
+//! * Resolution events for incidents that expired inside a gap are
+//!   emitted at the next observed epoch — the earliest moment a streaming
+//!   monitor can know about them.
 
 use crate::persistence::ClusterSource;
 use serde::{Deserialize, Serialize};
@@ -131,6 +156,8 @@ impl OnlineMonitor {
     }
 
     /// Feed the next epoch's analysis; must be called in epoch order.
+    /// Epoch ids may be non-contiguous — see the module docs for how gaps
+    /// in the feed are timed.
     ///
     /// # Panics
     /// Panics when epochs are fed out of order.
@@ -146,6 +173,15 @@ impl OnlineMonitor {
         self.last_epoch = Some(analysis.epoch);
         let epoch = analysis.epoch;
         let mut events = Vec::new();
+        let close_after = self.config.close_after_h.max(1);
+
+        // Gap pre-pass: unobserved epochs count as absence, so an incident
+        // whose absence window already elapsed *inside* the gap is resolved
+        // before this epoch's observations are applied. A cluster critical
+        // again after such a gap then opens a fresh incident rather than
+        // extending the expired one. `epoch - last_seen - 1` is the number
+        // of unobserved epochs strictly between the two observations.
+        self.resolve_absent_since(epoch, close_after.saturating_add(1), &mut events);
 
         // Update or open incidents for this epoch's critical clusters.
         for metric in Metric::ALL {
@@ -205,11 +241,27 @@ impl OnlineMonitor {
             }
         }
 
-        // Resolve incidents that have been absent too long.
-        let close_after = self.config.close_after_h.max(1);
+        // Resolve incidents that have been absent too long (counting this
+        // epoch, which did not observe them).
+        self.resolve_absent_since(epoch, close_after, &mut events);
+
+        // Deterministic event order for reproducible logs.
+        events.sort_by_key(|e| (e.incident().id, event_rank(e)));
+        events
+    }
+
+    /// Resolve every open incident whose cluster has been absent for at
+    /// least `min_absent` epochs as of `epoch` (by epoch-id distance, so
+    /// unobserved epochs count).
+    fn resolve_absent_since(
+        &mut self,
+        epoch: EpochId,
+        min_absent: u32,
+        events: &mut Vec<MonitorEvent>,
+    ) {
         let mut closed: Vec<(Metric, ClusterKey)> = Vec::new();
         for (handle, incident) in &self.open {
-            if epoch.0 - incident.last_seen.0 >= close_after {
+            if epoch.0 - incident.last_seen.0 >= min_absent {
                 closed.push(*handle);
             }
         }
@@ -219,10 +271,6 @@ impl OnlineMonitor {
             events.push(MonitorEvent::Resolved(incident.clone()));
             self.resolved.push(incident);
         }
-
-        // Deterministic event order for reproducible logs.
-        events.sort_by_key(|e| (e.incident().id, event_rank(e)));
-        events
     }
 
     /// Currently open (pending or alerting) incidents.
@@ -437,6 +485,109 @@ mod edge_case_tests {
         assert_eq!(incident.epochs_active, 3);
         // The dip epoch's attribution still accumulates.
         assert!((incident.attributed_problems - 130.0).abs() < 1e-9);
+    }
+
+    /// A feed gap longer than `close_after_h` counts as absence: the
+    /// incident expires inside the gap and a reappearing cluster opens a
+    /// *fresh* incident at the next observed epoch, instead of silently
+    /// bridging the gap.
+    #[test]
+    fn gap_longer_than_close_after_resolves_and_reopens() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig::default());
+        monitor.observe(&analysis_with_critical(0, 100, &[(key_a(), 50.0)], 60));
+        monitor.observe(&analysis_with_critical(1, 100, &[(key_a(), 50.0)], 60));
+        // Epochs 2 and 3 are missing (e.g. failed analysis), cluster
+        // reappears at 4.
+        let events = monitor.observe(&analysis_with_critical(4, 100, &[(key_a(), 50.0)], 60));
+        let resolved: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Resolved(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        let opened: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Opened(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(resolved.len(), 4, "old incident expired inside the gap");
+        for i in &resolved {
+            assert_eq!(i.last_seen, EpochId(1), "last_seen is the true last observation");
+            assert_eq!(i.epochs_active, 2, "the gap must not inflate activity");
+        }
+        assert_eq!(opened.len(), 4, "reappearance opens a fresh incident");
+        for i in &opened {
+            assert_eq!(i.opened, EpochId(4));
+            assert_eq!(i.epochs_active, 1);
+        }
+        assert!(
+            !events.iter().any(|e| matches!(e, MonitorEvent::Confirmed(_))),
+            "a fresh single observation must not confirm"
+        );
+    }
+
+    /// A gap short enough for `close_after_h` is bridged: same incident,
+    /// and only *observed* epochs count toward activity/confirmation.
+    #[test]
+    fn short_gap_is_bridged_without_inflating_activity() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig {
+            close_after_h: 3,
+            confirm_after_h: 1,
+            ..MonitorConfig::default()
+        });
+        monitor.observe(&analysis_with_critical(0, 100, &[(key_a(), 50.0)], 60));
+        // Epoch 1 missing; gap of one epoch < close_after_h.
+        let events = monitor.observe(&analysis_with_critical(2, 100, &[(key_a(), 50.0)], 60));
+        assert!(
+            !events.iter().any(|e| matches!(e, MonitorEvent::Resolved(_))),
+            "a bridgeable gap must not resolve the incident"
+        );
+        let confirmed: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Confirmed(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(confirmed.len(), 4, "second observation passes the 1h lag");
+        for i in &confirmed {
+            assert_eq!(i.opened, EpochId(0));
+            assert_eq!(i.epochs_active, 2, "only observed epochs count");
+        }
+    }
+
+    /// Sparse recurring observations must never accumulate into one
+    /// long-running confirmed incident.
+    #[test]
+    fn sparse_observations_do_not_accumulate_confirmation() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig {
+            confirm_after_h: 2,
+            ..MonitorConfig::default()
+        });
+        let mut all_events = Vec::new();
+        for epoch in [0u32, 10, 20, 30] {
+            all_events.extend(monitor.observe(&analysis_with_critical(
+                epoch,
+                100,
+                &[(key_a(), 50.0)],
+                60,
+            )));
+        }
+        assert!(
+            !all_events
+                .iter()
+                .any(|e| matches!(e, MonitorEvent::Confirmed(_))),
+            "isolated one-epoch blips 10 epochs apart must never confirm"
+        );
+        // Each blip became its own short-lived incident.
+        assert_eq!(monitor.resolved_incidents().len(), 4 * 3);
+        assert!(monitor
+            .resolved_incidents()
+            .iter()
+            .all(|i| i.epochs_active == 1));
     }
 
     /// `close_after_h = 0` is clamped: an incident observed this epoch is

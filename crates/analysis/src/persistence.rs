@@ -8,6 +8,13 @@
 //!
 //! The extracted event stream is also the input to the reactive what-if
 //! strategy (§5.3), which detects an event after its first hour.
+//!
+//! Degraded traces: streaks are coalesced by epoch *id*, not by slice
+//! position, so when a `TraceAnalysis` excludes a failed epoch the gap
+//! breaks the streak — a cluster active on both sides of the gap yields
+//! two shorter events rather than one bridged event. This is the
+//! conservative reading: persistence is never overstated because an
+//! epoch could not be analyzed.
 
 use serde::{Deserialize, Serialize};
 use vqlens_cluster::analyze::EpochAnalysis;

@@ -3,6 +3,13 @@
 //! The prevalence of a cluster is the fraction of all epochs in which it
 //! appears as a problem (or critical) cluster. The paper's Figure 6 worked
 //! example: over 6 epochs, `(ASN1, CDN1)` appears in 4 ⇒ prevalence 4/6.
+//!
+//! Degraded traces: a `TraceAnalysis` over faulty input exposes only the
+//! successfully analyzed epochs, so the slice passed to
+//! [`PrevalenceReport::compute`] may have gaps in its epoch-id sequence.
+//! Prevalence is then the fraction of *analyzed* epochs — failed epochs
+//! are neither occurrences nor misses, and epochs degraded by quarantined
+//! lines count with the sessions that survived ingest.
 
 use crate::persistence::ClusterSource;
 use serde::{Deserialize, Serialize};

@@ -45,7 +45,10 @@ pub mod report;
 pub mod validate;
 
 pub use config::AnalyzerConfig;
-pub use pipeline::{analyze_dataset, generate_parallel, TraceAnalysis};
+pub use pipeline::{
+    analyze_dataset, generate_parallel, try_generate_parallel, EpochStatus, TraceAnalysis,
+    WorkerPanic,
+};
 pub use report::Table;
 pub use validate::{validate_against_ground_truth, EventDetection, ValidationReport};
 
@@ -60,7 +63,10 @@ pub use vqlens_whatif as whatif;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::config::AnalyzerConfig;
-    pub use crate::pipeline::{analyze_dataset, generate_parallel, TraceAnalysis};
+    pub use crate::pipeline::{
+        analyze_dataset, generate_parallel, try_generate_parallel, EpochStatus, TraceAnalysis,
+        WorkerPanic,
+    };
     pub use crate::report::Table;
     pub use crate::validate::{validate_against_ground_truth, ValidationReport};
     pub use vqlens_analysis::breakdown::Breakdown;
@@ -75,6 +81,9 @@ pub mod prelude {
     pub use vqlens_cluster::hhh::{HhhParams, HhhSet};
     pub use vqlens_cluster::problem::{ProblemSet, SignificanceParams};
     pub use vqlens_model::attr::{AttrKey, AttrMask, ClusterKey, SessionAttrs};
+    pub use vqlens_model::csv::{
+        read_csv, read_csv_opts, write_csv, CsvError, IngestReport, ReadMode, ReadOptions,
+    };
     pub use vqlens_model::dataset::Dataset;
     pub use vqlens_model::epoch::{EpochId, EpochRange};
     pub use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};

@@ -5,32 +5,131 @@
 //! never looks at another — so both stages fan out across worker threads
 //! with a simple atomic work queue. Results are written into pre-sized
 //! slots, keeping both stages deterministic regardless of thread count.
+//!
+//! Workers are **panic-isolated**: each work item runs under
+//! [`std::panic::catch_unwind`], so one poisoned epoch cannot take down
+//! the whole trace. Generation treats a worker panic as fatal (it means a
+//! bug, not bad data) but reports *which* epoch failed; analysis degrades
+//! instead — [`TraceAnalysis`] records a per-epoch [`EpochStatus`]
+//! (`Ok` / `Degraded` / `Failed`) and downstream consumers
+//! (prevalence, persistence, what-if, the monitor) operate on the
+//! successfully analyzed epochs while the failures stay visible.
 
 use crate::config::AnalyzerConfig;
 use parking_lot::Mutex;
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, Ordering};
 use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::csv::IngestReport;
 use vqlens_model::dataset::Dataset;
 use vqlens_model::epoch::EpochId;
 use vqlens_model::metric::Metric;
 use vqlens_synth::arrivals::ArrivalSampler;
 use vqlens_synth::scenario::{generate_epoch, prepare, Scenario, SynthOutput};
 
+/// A worker panic captured by the pipeline, naming the failing work item
+/// (the epoch index for both pipeline stages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the work item (epoch) whose worker panicked.
+    pub index: u32,
+    /// The captured panic message.
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker for epoch {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Outcome of one epoch within a [`TraceAnalysis`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EpochStatus {
+    /// Analyzed cleanly.
+    Ok,
+    /// Analyzed, but some input lines referencing this epoch were
+    /// quarantined during lenient ingest — its counts undercount reality.
+    Degraded {
+        /// Quarantined lines attributed to this epoch.
+        quarantined_lines: u64,
+    },
+    /// The analysis worker panicked; the epoch is absent from
+    /// [`TraceAnalysis::epochs`].
+    Failed {
+        /// The captured panic message.
+        reason: String,
+    },
+}
+
 /// The per-epoch analysis of a whole trace.
+///
+/// One poisoned epoch degrades the trace instead of killing it: failed
+/// epochs are *excluded* from [`epochs`](TraceAnalysis::epochs) (so every
+/// downstream consumer skips them explicitly by construction) and recorded
+/// in [`statuses`](TraceAnalysis::statuses). Temporal analyses over a
+/// trace with failures therefore see a gapped epoch sequence — the
+/// `OnlineMonitor` documents how it times incidents across such gaps.
 #[derive(Debug, Clone)]
 pub struct TraceAnalysis {
     /// The configuration used.
     pub config: AnalyzerConfig,
     epochs: Vec<EpochAnalysis>,
+    statuses: Vec<EpochStatus>,
 }
 
 impl TraceAnalysis {
-    /// Per-epoch analyses, ordered by epoch.
+    fn from_results(
+        config: AnalyzerConfig,
+        results: Vec<Result<EpochAnalysis, WorkerPanic>>,
+    ) -> TraceAnalysis {
+        let mut epochs = Vec::with_capacity(results.len());
+        let mut statuses = Vec::with_capacity(results.len());
+        for result in results {
+            match result {
+                Ok(analysis) => {
+                    epochs.push(analysis);
+                    statuses.push(EpochStatus::Ok);
+                }
+                Err(panic) => statuses.push(EpochStatus::Failed {
+                    reason: panic.message,
+                }),
+            }
+        }
+        TraceAnalysis {
+            config,
+            epochs,
+            statuses,
+        }
+    }
+
+    /// Per-epoch analyses of the *successfully analyzed* epochs, ordered by
+    /// epoch. With failed epochs this is shorter than the input trace; see
+    /// [`statuses`](TraceAnalysis::statuses).
     pub fn epochs(&self) -> &[EpochAnalysis] {
         &self.epochs
     }
 
-    /// Number of analyzed epochs.
+    /// Per-epoch outcome, indexed by epoch id over the full input trace.
+    pub fn statuses(&self) -> &[EpochStatus] {
+        &self.statuses
+    }
+
+    /// Number of successfully analyzed epochs.
     pub fn len(&self) -> usize {
         self.epochs.len()
     }
@@ -40,7 +139,53 @@ impl TraceAnalysis {
         self.epochs.is_empty()
     }
 
-    /// Total problem sessions over the trace for one metric.
+    /// Number of epochs in the input trace (analyzed or not).
+    pub fn num_input_epochs(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// True when every epoch analyzed cleanly (no failures, no degraded
+    /// ingest).
+    pub fn is_complete(&self) -> bool {
+        self.statuses.iter().all(|s| *s == EpochStatus::Ok)
+    }
+
+    /// The epochs whose analysis worker panicked, with the captured panic
+    /// messages.
+    pub fn failed_epochs(&self) -> impl Iterator<Item = (EpochId, &str)> + '_ {
+        self.statuses.iter().enumerate().filter_map(|(e, s)| match s {
+            EpochStatus::Failed { reason } => Some((EpochId(e as u32), reason.as_str())),
+            _ => None,
+        })
+    }
+
+    /// The epochs marked degraded by [`Self::apply_ingest_report`], with
+    /// their quarantined-line counts.
+    pub fn degraded_epochs(&self) -> impl Iterator<Item = (EpochId, u64)> + '_ {
+        self.statuses.iter().enumerate().filter_map(|(e, s)| match s {
+            EpochStatus::Degraded { quarantined_lines } => {
+                Some((EpochId(e as u32), *quarantined_lines))
+            }
+            _ => None,
+        })
+    }
+
+    /// Downgrade epochs that lost quarantined lines during lenient ingest
+    /// from `Ok` to `Degraded`, so partial epochs are visible instead of
+    /// silently complete. Failed epochs stay failed.
+    pub fn apply_ingest_report(&mut self, report: &IngestReport) {
+        for (&epoch, &count) in &report.per_epoch_bad {
+            if let Some(status) = self.statuses.get_mut(epoch as usize) {
+                if *status == EpochStatus::Ok {
+                    *status = EpochStatus::Degraded {
+                        quarantined_lines: count,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Total problem sessions over the analyzed epochs for one metric.
     pub fn total_problems(&self, metric: Metric) -> u64 {
         self.epochs
             .iter()
@@ -48,45 +193,76 @@ impl TraceAnalysis {
             .sum()
     }
 
-    /// Total sessions over the trace.
+    /// Total sessions over the analyzed epochs.
     pub fn total_sessions(&self) -> u64 {
         self.epochs.iter().map(|a| a.total_sessions).sum()
     }
 }
 
-/// Run work items `0..n` across `threads` workers, collecting results into
-/// index order.
-fn parallel_indexed<T, F>(n: u32, threads: usize, f: F) -> Vec<T>
+/// Run work items `0..n` across `threads` workers, collecting per-item
+/// results into index order. A panicking item is caught and surfaced as
+/// `Err(WorkerPanic)` in its slot; the other items are unaffected.
+fn parallel_indexed_caught<T, F>(n: u32, threads: usize, f: F) -> Vec<Result<T, WorkerPanic>>
 where
     T: Send,
     F: Fn(u32) -> T + Sync,
 {
     let threads = threads.clamp(1, n.max(1) as usize);
     let next = AtomicU32::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
+    let slots: Vec<Mutex<Option<Result<T, WorkerPanic>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    // Every panic is caught per item, so the scope join cannot observe an
+    // unwinding worker; if a worker nevertheless died, its claimed slot is
+    // still `None` and becomes an error below instead of a bare `expect`.
+    let _ = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let result = f(i);
+                let result = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
+                    WorkerPanic {
+                        index: i,
+                        message: panic_message(payload),
+                    }
+                });
                 *slots[i as usize].lock() = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner().unwrap_or_else(|| {
+                Err(WorkerPanic {
+                    index: i as u32,
+                    message: "worker died before filling its result slot".to_owned(),
+                })
+            })
+        })
         .collect()
+}
+
+/// Like [`parallel_indexed_caught`], but all-or-nothing: the first failing
+/// item (by index) aborts the batch, naming the failing epoch.
+fn parallel_indexed<T, F>(n: u32, threads: usize, f: F) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
+    parallel_indexed_caught(n, threads, f).into_iter().collect()
 }
 
 /// Generate a scenario's trace with per-epoch parallelism. Produces exactly
 /// the same dataset as [`vqlens_synth::scenario::generate`], regardless of
-/// thread count.
-pub fn generate_parallel(scenario: &Scenario, threads: usize) -> SynthOutput {
+/// thread count. A generation-worker panic (a bug, not bad data) is
+/// propagated with the failing epoch named.
+pub fn try_generate_parallel(
+    scenario: &Scenario,
+    threads: usize,
+) -> Result<SynthOutput, WorkerPanic> {
     let (world, ground_truth, mut dataset) = prepare(scenario);
     let sampler = ArrivalSampler::new(&world);
     let threads = if threads == 0 {
@@ -105,55 +281,153 @@ pub fn generate_parallel(scenario: &Scenario, threads: usize) -> SynthOutput {
             EpochId(e),
             scenario.seed,
         )
-    });
+    })?;
     for (e, data) in epochs.into_iter().enumerate() {
         dataset.set_epoch(EpochId(e as u32), data);
     }
-    SynthOutput {
+    Ok(SynthOutput {
         dataset,
         world,
         ground_truth,
-    }
+    })
+}
+
+/// [`try_generate_parallel`], aborting with an epoch-naming message on a
+/// worker panic.
+pub fn generate_parallel(scenario: &Scenario, threads: usize) -> SynthOutput {
+    try_generate_parallel(scenario, threads)
+        .unwrap_or_else(|p| panic!("trace generation failed: {p}"))
 }
 
 /// Analyze every epoch of a dataset (cube → problem clusters → critical
-/// clusters, all four metrics) in parallel.
+/// clusters, all four metrics) in parallel. A panicking epoch worker is
+/// isolated: the epoch is recorded as [`EpochStatus::Failed`] and the rest
+/// of the trace is analyzed normally.
 pub fn analyze_dataset(dataset: &Dataset, config: &AnalyzerConfig) -> TraceAnalysis {
-    let epochs = parallel_indexed(
-        dataset.num_epochs(),
-        config.effective_threads(),
-        |e| {
-            let epoch = EpochId(e);
-            EpochAnalysis::compute(
-                epoch,
-                dataset.epoch(epoch),
-                &config.thresholds,
-                &config.significance,
-                &config.critical,
-            )
-        },
-    );
-    TraceAnalysis {
-        config: *config,
-        epochs,
-    }
+    analyze_epochs_with(dataset.num_epochs(), config, |e| {
+        let epoch = EpochId(e);
+        EpochAnalysis::compute(
+            epoch,
+            dataset.epoch(epoch),
+            &config.thresholds,
+            &config.significance,
+            &config.critical,
+        )
+    })
+}
+
+/// Analysis driver over an arbitrary per-epoch closure; the seam that lets
+/// tests inject panicking workers without manufacturing poisoned data.
+fn analyze_epochs_with<F>(n: u32, config: &AnalyzerConfig, f: F) -> TraceAnalysis
+where
+    F: Fn(u32) -> EpochAnalysis + Sync,
+{
+    let results = parallel_indexed_caught(n, config.effective_threads(), f);
+    TraceAnalysis::from_results(*config, results)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vqlens_model::metric::Metric;
+    use vqlens_cluster::critical::CriticalParams;
+    use vqlens_cluster::problem::SignificanceParams;
+    use vqlens_model::attr::SessionAttrs;
+    use vqlens_model::dataset::EpochData;
+    use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};
 
     #[test]
     fn parallel_indexed_preserves_order() {
-        let out = parallel_indexed(100, 7, |i| i * 2);
+        let out = parallel_indexed(100, 7, |i| i * 2).expect("no panics");
         assert_eq!(out.len(), 100);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as u32 * 2);
         }
         // Degenerate cases.
-        assert!(parallel_indexed(0, 4, |i| i).is_empty());
-        assert_eq!(parallel_indexed(1, 16, |i| i), vec![0]);
+        assert!(parallel_indexed(0, 4, |i| i).expect("no panics").is_empty());
+        assert_eq!(parallel_indexed(1, 16, |i| i).expect("no panics"), vec![0]);
+    }
+
+    #[test]
+    fn worker_panic_is_caught_and_names_the_epoch() {
+        let results = parallel_indexed_caught(10, 4, |i| {
+            if i == 7 {
+                panic!("poisoned epoch {i}");
+            }
+            i * 3
+        });
+        assert_eq!(results.len(), 10);
+        for (i, r) in results.iter().enumerate() {
+            if i == 7 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, 7);
+                assert!(p.message.contains("poisoned epoch 7"));
+                assert!(p.to_string().contains("epoch 7"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u32 * 3);
+            }
+        }
+        // The all-or-nothing wrapper propagates the same diagnosis.
+        let err = parallel_indexed(10, 4, |i| {
+            if i == 7 {
+                panic!("boom");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 7);
+    }
+
+    fn tiny_epoch_analysis(e: u32) -> EpochAnalysis {
+        let mut d = EpochData::default();
+        d.push(
+            SessionAttrs::new([1, 1, 1, 0, 0, 0, 0]),
+            QualityMeasurement::joined(400, 300.0, 0.0, 2800.0),
+        );
+        EpochAnalysis::compute(
+            EpochId(e),
+            &d,
+            &Thresholds::default(),
+            &SignificanceParams::default(),
+            &CriticalParams::default(),
+        )
+    }
+
+    #[test]
+    fn one_poisoned_epoch_degrades_the_trace_instead_of_killing_it() {
+        let config = AnalyzerConfig::default();
+        let trace = analyze_epochs_with(5, &config, |e| {
+            if e == 2 {
+                panic!("cube exploded");
+            }
+            tiny_epoch_analysis(e)
+        });
+        assert_eq!(trace.num_input_epochs(), 5);
+        assert_eq!(trace.len(), 4, "the poisoned epoch is excluded");
+        assert!(!trace.is_complete());
+        let failed: Vec<_> = trace.failed_epochs().collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, EpochId(2));
+        assert!(failed[0].1.contains("cube exploded"));
+        // The surviving epochs are intact and in order.
+        let ids: Vec<u32> = trace.epochs().iter().map(|a| a.epoch.0).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
+        assert_eq!(trace.total_sessions(), 4);
+    }
+
+    #[test]
+    fn ingest_report_marks_epochs_degraded() {
+        let config = AnalyzerConfig::default();
+        let mut trace = analyze_epochs_with(3, &config, tiny_epoch_analysis);
+        assert!(trace.is_complete());
+        let mut report = vqlens_model::csv::IngestReport::default();
+        report.per_epoch_bad.insert(1, 4);
+        report.per_epoch_bad.insert(99, 1); // out of range: ignored
+        trace.apply_ingest_report(&report);
+        assert!(!trace.is_complete());
+        let degraded: Vec<_> = trace.degraded_epochs().collect();
+        assert_eq!(degraded, vec![(EpochId(1), 4)]);
+        // Degraded epochs are still analyzed.
+        assert_eq!(trace.len(), 3);
     }
 
     #[test]
@@ -177,6 +451,7 @@ mod tests {
         config.threads = 8;
         let b = analyze_dataset(&out.dataset, &config);
         assert_eq!(a.len(), b.len());
+        assert!(a.is_complete() && b.is_complete());
         for (x, y) in a.epochs().iter().zip(b.epochs()) {
             assert_eq!(x.epoch, y.epoch);
             assert_eq!(x.total_sessions, y.total_sessions);

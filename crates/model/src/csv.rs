@@ -14,12 +14,23 @@
 //! The format is deliberately quote-free: attribute names containing
 //! commas, quotes, or newlines are rejected at write time rather than
 //! silently escaped (no real ASN/CDN/site identifier contains them).
+//!
+//! Real telemetry is never clean, so the reader has two modes
+//! ([`ReadMode`]): **strict** (the default — the first malformed line
+//! aborts the import) and **lenient** (malformed lines are quarantined
+//! into an [`IngestReport`] and optionally echoed to a dead-letter
+//! writer, up to a configurable bad-line budget beyond which the import
+//! still fails loudly with [`CsvError::TooManyBadLines`]). Both modes
+//! accept CRLF line endings, a leading UTF-8 BOM, and trailing blank
+//! lines.
 
 use crate::attr::{AttrKey, SessionAttrs};
 use crate::dataset::{Dataset, DatasetMeta};
 use crate::epoch::EpochId;
 use crate::metric::QualityMeasurement;
 use crate::session::SessionRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{BufRead, Write};
 
@@ -40,12 +51,21 @@ pub enum CsvError {
         /// What the first line actually was.
         found: String,
     },
-    /// A data line is malformed.
+    /// A data line is malformed (strict mode, or a structural error that
+    /// lenient mode cannot quarantine, such as dictionary exhaustion).
     BadLine {
         /// 1-based line number.
         line: usize,
         /// What is wrong with it.
         reason: String,
+    },
+    /// Lenient mode: the quarantined fraction exceeded the configured
+    /// bad-line budget. Carries the report accumulated so far.
+    TooManyBadLines {
+        /// Quarantine statistics up to the point of failure.
+        report: IngestReport,
+        /// The budget that was exceeded.
+        max_bad_ratio: f64,
     },
     /// An attribute name cannot be represented (write side).
     UnencodableName {
@@ -62,6 +82,18 @@ impl fmt::Display for CsvError {
                 write!(f, "bad header: expected {CSV_HEADER:?}, found {found:?}")
             }
             CsvError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            CsvError::TooManyBadLines {
+                report,
+                max_bad_ratio,
+            } => write!(
+                f,
+                "too many malformed lines: {} of {} data lines quarantined \
+                 (budget {:.4} = at most {:.0} lines)",
+                report.bad_lines,
+                report.data_lines,
+                max_bad_ratio,
+                max_bad_ratio * report.data_lines as f64
+            ),
             CsvError::UnencodableName { name } => {
                 write!(f, "attribute name {name:?} contains a delimiter")
             }
@@ -81,6 +113,141 @@ impl std::error::Error for CsvError {
 impl From<std::io::Error> for CsvError {
     fn from(e: std::io::Error) -> Self {
         CsvError::Io(e)
+    }
+}
+
+/// How the reader treats malformed data lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadMode {
+    /// The first malformed line aborts the import ([`CsvError::BadLine`]).
+    Strict,
+    /// Malformed lines are quarantined into the [`IngestReport`]; the
+    /// import fails with [`CsvError::TooManyBadLines`] only when more than
+    /// `max_bad_ratio` of the data lines are bad.
+    Lenient {
+        /// Highest tolerated `bad_lines / data_lines` fraction
+        /// (e.g. `0.01` = 1%). Values ≥ 1.0 never fail the budget.
+        max_bad_ratio: f64,
+    },
+}
+
+/// Options for [`read_csv_opts`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadOptions {
+    /// Strict or lenient handling of malformed lines.
+    pub mode: ReadMode,
+    /// How many quarantined-line samples to keep in the report.
+    pub max_samples: usize,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions::strict()
+    }
+}
+
+impl ReadOptions {
+    /// Strict mode (the [`read_csv`] behavior).
+    pub fn strict() -> ReadOptions {
+        ReadOptions {
+            mode: ReadMode::Strict,
+            max_samples: 8,
+        }
+    }
+
+    /// Lenient mode with the given bad-line budget.
+    pub fn lenient(max_bad_ratio: f64) -> ReadOptions {
+        ReadOptions {
+            mode: ReadMode::Lenient { max_bad_ratio },
+            max_samples: 8,
+        }
+    }
+}
+
+/// One quarantined line, kept as evidence in the [`IngestReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BadLineSample {
+    /// 1-based line number in the input (the header is line 1).
+    pub line: usize,
+    /// Full diagnosis, naming the offending field where applicable.
+    pub reason: String,
+    /// The line's content, truncated to 120 characters.
+    pub excerpt: String,
+}
+
+/// Structured account of a (lenient) ingest: what was kept, what was
+/// quarantined, and why.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Non-blank data lines seen (the header and blank lines don't count).
+    pub data_lines: u64,
+    /// Lines that parsed into sessions.
+    pub ok_lines: u64,
+    /// Lines quarantined as malformed.
+    pub bad_lines: u64,
+    /// Quarantined-line counts by reason category (stable, low-cardinality
+    /// keys such as `"invalid epoch"` or `"non-finite play_duration_s"`).
+    pub reasons: BTreeMap<String, u64>,
+    /// The first few quarantined lines, with full diagnoses.
+    pub samples: Vec<BadLineSample>,
+    /// Quarantined-line counts per epoch, for the bad lines whose epoch
+    /// field still parsed in range — lets downstream mark those epochs as
+    /// degraded rather than silently complete.
+    pub per_epoch_bad: BTreeMap<u32, u64>,
+}
+
+impl IngestReport {
+    /// Fraction of data lines quarantined (0.0 for an empty input).
+    pub fn bad_ratio(&self) -> f64 {
+        if self.data_lines == 0 {
+            0.0
+        } else {
+            self.bad_lines as f64 / self.data_lines as f64
+        }
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.bad_lines == 0
+    }
+
+    fn record(&mut self, line_no: usize, category: &str, reason: String, raw: &str, max_samples: usize) {
+        self.bad_lines += 1;
+        *self.reasons.entry(category.to_owned()).or_insert(0) += 1;
+        if self.samples.len() < max_samples {
+            self.samples.push(BadLineSample {
+                line: line_no,
+                reason,
+                excerpt: raw.chars().take(120).collect(),
+            });
+        }
+        // Attribute the loss to an epoch when the epoch field is usable.
+        if let Some(first) = raw.split(',').next() {
+            if let Ok(epoch) = first.trim().parse::<u32>() {
+                if epoch < MAX_EPOCHS {
+                    *self.per_epoch_bad.entry(epoch).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} data lines quarantined ({:.3}%)",
+            self.bad_lines,
+            self.data_lines,
+            100.0 * self.bad_ratio()
+        )?;
+        for (reason, count) in &self.reasons {
+            write!(f, "\n  {count:>8}  {reason}")?;
+        }
+        for s in &self.samples {
+            write!(f, "\n  e.g. line {}: {}", s.line, s.reason)?;
+        }
+        Ok(())
     }
 }
 
@@ -122,21 +289,159 @@ pub fn write_csv<W: Write>(dataset: &Dataset, mut out: W) -> Result<(), CsvError
     Ok(())
 }
 
+/// A parse failure for one data line: a stable category (for per-reason
+/// counting) plus the full diagnosis.
+struct LineFault {
+    category: &'static str,
+    message: String,
+}
+
+impl LineFault {
+    fn new(category: &'static str) -> LineFault {
+        LineFault {
+            category,
+            message: category.to_owned(),
+        }
+    }
+
+    fn with_message(category: &'static str, message: String) -> LineFault {
+        LineFault { category, message }
+    }
+}
+
+struct ParsedLine {
+    epoch: u32,
+    names: [String; 7],
+    quality: QualityMeasurement,
+}
+
+/// The per-numeric-field checks name the offending *field*, not just the
+/// line: operators triaging a dead-letter file need to know whether a feed
+/// emits NaN buffering or negative bitrates.
+fn parse_numeric(
+    raw: &str,
+    invalid: &'static str,
+    non_finite: &'static str,
+    negative: &'static str,
+) -> Result<f32, LineFault> {
+    let value: f32 = raw.trim().parse().map_err(|_| LineFault::new(invalid))?;
+    if !value.is_finite() {
+        return Err(LineFault::new(non_finite));
+    }
+    if value < 0.0 {
+        return Err(LineFault::new(negative));
+    }
+    Ok(value)
+}
+
+fn parse_data_line(line: &str) -> Result<ParsedLine, LineFault> {
+    if line.trim() == CSV_HEADER {
+        return Err(LineFault::new("duplicate header"));
+    }
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 13 {
+        return Err(LineFault::with_message(
+            "wrong field count",
+            format!("expected 13 fields, found {}", fields.len()),
+        ));
+    }
+    let epoch: u32 = fields[0]
+        .trim()
+        .parse()
+        .map_err(|_| LineFault::new("invalid epoch"))?;
+    // A dataset allocates one bucket per epoch up to the maximum id, so
+    // bound it: a fat-fingered epoch like 4294967295 must not allocate
+    // four billion buckets (or overflow `max_epoch + 1`).
+    if epoch >= MAX_EPOCHS {
+        return Err(LineFault::with_message(
+            "epoch out of range",
+            format!("invalid epoch (exceeds the {MAX_EPOCHS}-epoch bound)"),
+        ));
+    }
+    let names: [String; 7] = std::array::from_fn(|i| fields[1 + i].trim().to_owned());
+    for (i, name) in names.iter().enumerate() {
+        if name.is_empty() {
+            return Err(LineFault::with_message(
+                "empty attribute name",
+                format!("empty {} name", AttrKey::from_index(i)),
+            ));
+        }
+    }
+    let join_failed = match fields[8].trim() {
+        "0" | "false" => false,
+        "1" | "true" => true,
+        _ => return Err(LineFault::new("invalid join_failed")),
+    };
+    let join_time_ms: u32 = fields[9]
+        .trim()
+        .parse()
+        .map_err(|_| LineFault::new("invalid join_time_ms"))?;
+    let play = parse_numeric(
+        fields[10],
+        "invalid play_duration_s",
+        "non-finite play_duration_s",
+        "negative play_duration_s",
+    )?;
+    let buffering = parse_numeric(
+        fields[11],
+        "invalid buffering_s",
+        "non-finite buffering_s",
+        "negative buffering_s",
+    )?;
+    let bitrate = parse_numeric(
+        fields[12],
+        "invalid avg_bitrate_kbps",
+        "non-finite avg_bitrate_kbps",
+        "negative avg_bitrate_kbps",
+    )?;
+    let quality = if join_failed {
+        QualityMeasurement::failed()
+    } else {
+        QualityMeasurement::joined(join_time_ms, play, buffering, bitrate)
+    };
+    Ok(ParsedLine {
+        epoch,
+        names,
+        quality,
+    })
+}
+
+/// Read a dataset from CSV with strict error handling; see [`read_csv_opts`].
+pub fn read_csv<R: BufRead>(input: R) -> Result<Dataset, CsvError> {
+    read_csv_opts(input, &ReadOptions::strict(), None).map(|(dataset, _)| dataset)
+}
+
 /// Read a dataset from CSV. Attribute dictionaries are built in
 /// first-appearance order; the epoch count is `max epoch + 1`.
-pub fn read_csv<R: BufRead>(input: R) -> Result<Dataset, CsvError> {
+///
+/// In [`ReadMode::Lenient`], malformed lines are quarantined into the
+/// returned [`IngestReport`] (and, when `dead_letter` is given, echoed to
+/// it verbatim for later triage) instead of aborting; the import fails
+/// with [`CsvError::TooManyBadLines`] once the quarantined fraction
+/// exceeds the budget. A missing or wrong header and dictionary
+/// exhaustion (too many distinct attribute values for a dimension's
+/// packed id space) are structural failures in both modes.
+pub fn read_csv_opts<R: BufRead>(
+    input: R,
+    options: &ReadOptions,
+    mut dead_letter: Option<&mut dyn Write>,
+) -> Result<(Dataset, IngestReport), CsvError> {
     let mut lines = input.lines().enumerate();
     let (_, header) = lines.next().ok_or_else(|| CsvError::BadHeader {
         found: "<empty input>".into(),
     })?;
     let header = header?;
-    if header.trim() != CSV_HEADER {
+    // Tolerate a UTF-8 byte-order mark from spreadsheet exports.
+    if header.trim_start_matches('\u{feff}').trim() != CSV_HEADER {
         return Err(CsvError::BadHeader { found: header });
     }
+
+    let mut report = IngestReport::default();
 
     // Two passes are avoided by buffering parsed rows and sizing the
     // dataset afterwards.
     struct Row {
+        line: usize,
         epoch: u32,
         names: [String; 7],
         quality: QualityMeasurement,
@@ -149,57 +454,47 @@ pub fn read_csv<R: BufRead>(input: R) -> Result<Dataset, CsvError> {
         if line.trim().is_empty() {
             continue;
         }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 13 {
-            return Err(CsvError::BadLine {
-                line: line_no,
-                reason: format!("expected 13 fields, found {}", fields.len()),
+        report.data_lines += 1;
+        match parse_data_line(&line) {
+            Ok(parsed) => {
+                report.ok_lines += 1;
+                max_epoch = max_epoch.max(parsed.epoch);
+                rows.push(Row {
+                    line: line_no,
+                    epoch: parsed.epoch,
+                    names: parsed.names,
+                    quality: parsed.quality,
+                });
+            }
+            Err(fault) => match options.mode {
+                ReadMode::Strict => {
+                    return Err(CsvError::BadLine {
+                        line: line_no,
+                        reason: fault.message,
+                    });
+                }
+                ReadMode::Lenient { .. } => {
+                    report.record(
+                        line_no,
+                        fault.category,
+                        fault.message,
+                        &line,
+                        options.max_samples,
+                    );
+                    if let Some(sink) = dead_letter.as_mut() {
+                        writeln!(sink, "{line}")?;
+                    }
+                }
+            },
+        }
+    }
+    if let ReadMode::Lenient { max_bad_ratio } = options.mode {
+        if report.bad_lines as f64 > max_bad_ratio * report.data_lines as f64 {
+            return Err(CsvError::TooManyBadLines {
+                report,
+                max_bad_ratio,
             });
         }
-        let bad = |what: &str| CsvError::BadLine {
-            line: line_no,
-            reason: format!("invalid {what}"),
-        };
-        let epoch: u32 = fields[0].trim().parse().map_err(|_| bad("epoch"))?;
-        // A dataset allocates one bucket per epoch up to the maximum id, so
-        // bound it: a fat-fingered epoch like 4294967295 must not allocate
-        // four billion buckets (or overflow `max_epoch + 1`).
-        if epoch >= MAX_EPOCHS {
-            return Err(bad("epoch (exceeds the 1,000,000-epoch bound)"));
-        }
-        max_epoch = max_epoch.max(epoch);
-        let names: [String; 7] = std::array::from_fn(|i| fields[1 + i].trim().to_owned());
-        if names.iter().any(String::is_empty) {
-            return Err(bad("attribute name (empty)"));
-        }
-        let join_failed = match fields[8].trim() {
-            "0" | "false" => false,
-            "1" | "true" => true,
-            _ => return Err(bad("join_failed")),
-        };
-        let join_time_ms: u32 = fields[9].trim().parse().map_err(|_| bad("join_time_ms"))?;
-        let play: f32 = fields[10].trim().parse().map_err(|_| bad("play_duration_s"))?;
-        let buffering: f32 = fields[11].trim().parse().map_err(|_| bad("buffering_s"))?;
-        let bitrate: f32 = fields[12]
-            .trim()
-            .parse()
-            .map_err(|_| bad("avg_bitrate_kbps"))?;
-        if !(play.is_finite() && buffering.is_finite() && bitrate.is_finite()) {
-            return Err(bad("non-finite quality value"));
-        }
-        if play < 0.0 || buffering < 0.0 || bitrate < 0.0 {
-            return Err(bad("negative quality value"));
-        }
-        let quality = if join_failed {
-            QualityMeasurement::failed()
-        } else {
-            QualityMeasurement::joined(join_time_ms, play, buffering, bitrate)
-        };
-        rows.push(Row {
-            epoch,
-            names,
-            quality,
-        });
     }
 
     let mut dataset = Dataset::new(
@@ -215,12 +510,15 @@ pub fn read_csv<R: BufRead>(input: R) -> Result<Dataset, CsvError> {
         for (i, name) in row.names.iter().enumerate() {
             let key = AttrKey::from_index(i);
             // Intern would panic when a dimension's packed id space is
-            // exhausted; surface it as a parse error instead.
+            // exhausted; surface it as a parse error instead. This is a
+            // capacity limit, not line corruption, so it is fatal in both
+            // modes — quarantining would silently drop every later session
+            // that introduces a new value.
             if dataset.dict(key).id(name).is_none()
                 && dataset.dict(key).len() as u64 > u64::from(crate::attr::max_value(i))
             {
                 return Err(CsvError::BadLine {
-                    line: 0,
+                    line: row.line,
                     reason: format!(
                         "too many distinct {key} values (limit {})",
                         u64::from(crate::attr::max_value(i)) + 1
@@ -235,7 +533,7 @@ pub fn read_csv<R: BufRead>(input: R) -> Result<Dataset, CsvError> {
             row.quality,
         ));
     }
-    Ok(dataset)
+    Ok((dataset, report))
 }
 
 #[cfg(test)]
@@ -327,6 +625,118 @@ mod tests {
         let input = format!("{CSV_HEADER}\n0,a,b,c,VoD,p,w,Cable,0,100,-1.0,0.0,500\n");
         let err = read_csv(BufReader::new(input.as_bytes())).unwrap_err();
         assert!(err.to_string().contains("negative"));
+    }
+
+    #[test]
+    fn bad_value_reasons_name_the_field() {
+        let cases = [
+            ("0,a,b,c,VoD,p,w,Cable,0,100,NaN,0.0,500", "play_duration_s"),
+            ("0,a,b,c,VoD,p,w,Cable,0,100,1.0,inf,500", "buffering_s"),
+            (
+                "0,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0,-500",
+                "avg_bitrate_kbps",
+            ),
+            ("0,a,b,c,VoD,p,w,Cable,0,100,-2.5,0.0,500", "play_duration_s"),
+            ("0,a,,c,VoD,p,w,Cable,0,100,1.0,0.0,500", "CDN"),
+        ];
+        for (line, field) in cases {
+            let input = format!("{CSV_HEADER}\n{line}\n");
+            let err = read_csv(BufReader::new(input.as_bytes())).unwrap_err();
+            assert!(
+                err.to_string().contains(field),
+                "error for {line:?} should name {field}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn accepts_crlf_bom_and_trailing_blank_line() {
+        let input = format!(
+            "\u{feff}{CSV_HEADER}\r\n3,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0,500\r\n\r\n"
+        );
+        let ds = read_csv(BufReader::new(input.as_bytes())).expect("read");
+        assert_eq!(ds.num_sessions(), 1);
+        assert_eq!(ds.num_epochs(), 4);
+        let s = ds.iter_sessions().next().unwrap();
+        assert_eq!(s.epoch, EpochId(3));
+        assert_eq!(ds.value_name(AttrKey::Asn, s.attrs.get(AttrKey::Asn)), Some("a"));
+    }
+
+    #[test]
+    fn lenient_quarantines_and_recovers() {
+        let input = format!(
+            "{CSV_HEADER}\n\
+             0,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0,500\n\
+             1,oops\n\
+             {CSV_HEADER}\n\
+             1,a,b,c,VoD,p,w,Cable,0,100,NaN,0.0,500\n\
+             1,a,b,c,VoD,p,w,Cable,0,100,2.0,0.0,600\n"
+        );
+        let mut dead = Vec::new();
+        let (ds, report) = read_csv_opts(
+            BufReader::new(input.as_bytes()),
+            &ReadOptions::lenient(0.9),
+            Some(&mut dead),
+        )
+        .expect("lenient read succeeds");
+        assert_eq!(ds.num_sessions(), 2);
+        assert_eq!(ds.num_epochs(), 2);
+        assert_eq!(report.data_lines, 5);
+        assert_eq!(report.ok_lines, 2);
+        assert_eq!(report.bad_lines, 3);
+        assert!((report.bad_ratio() - 0.6).abs() < 1e-12);
+        assert_eq!(report.reasons.get("wrong field count"), Some(&1));
+        assert_eq!(report.reasons.get("duplicate header"), Some(&1));
+        assert_eq!(report.reasons.get("non-finite play_duration_s"), Some(&1));
+        assert_eq!(report.samples.len(), 3);
+        assert_eq!(report.samples[0].line, 3);
+        // Two of the bad lines carried a parseable epoch field.
+        assert_eq!(report.per_epoch_bad.get(&1), Some(&2));
+        // The dead-letter sink got the quarantined lines verbatim.
+        let dead = String::from_utf8(dead).unwrap();
+        assert_eq!(dead.lines().count(), 3);
+        assert!(dead.contains("1,oops"));
+        // Display summarizes without panicking.
+        assert!(report.to_string().contains("quarantined"));
+    }
+
+    #[test]
+    fn lenient_budget_exceeded_is_a_typed_error() {
+        let input = format!(
+            "{CSV_HEADER}\n\
+             0,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0,500\n\
+             garbage\n\
+             more garbage\n"
+        );
+        let err = read_csv_opts(
+            BufReader::new(input.as_bytes()),
+            &ReadOptions::lenient(0.5),
+            None,
+        )
+        .unwrap_err();
+        match err {
+            CsvError::TooManyBadLines {
+                report,
+                max_bad_ratio,
+            } => {
+                assert_eq!(report.bad_lines, 2);
+                assert_eq!(report.data_lines, 3);
+                assert_eq!(max_bad_ratio, 0.5);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn strict_mode_still_fails_on_first_bad_line() {
+        let input = format!("{CSV_HEADER}\ngarbage\n0,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0,500\n");
+        let err = read_csv_opts(
+            BufReader::new(input.as_bytes()),
+            &ReadOptions::strict(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsvError::BadLine { line: 2, .. }));
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Deterministic fault injection over a serialized trace.
+//!
+//! Real telemetry arrives damaged: deployment studies of production
+//! streaming pipelines report malformed, missing, and out-of-range fields
+//! as a constant operational reality. This module turns a *clean*
+//! serialized trace (the CSV interchange format of `vqlens_model::csv`)
+//! into a *damaged* one under a seeded, reproducible plan, together with
+//! an exact account of which lines were damaged — so end-to-end tests can
+//! prove that lenient ingestion recovers precisely the uncorrupted
+//! sessions and that no corruption can panic the pipeline.
+//!
+//! Two families of operators:
+//!
+//! * **Per-line** ([`FaultKind::is_per_line`]): mutate individual data
+//!   lines in place (truncation, field deletion/transposition, NaN/Inf/
+//!   negative numerics, out-of-range epochs). Every mutated line is
+//!   guaranteed unparseable, so the summary's corrupted-line list is
+//!   exactly the quarantine set a lenient reader must produce.
+//! * **Whole-file**: re-encode or restructure the file (CRLF line
+//!   endings, UTF-8 BOM, a duplicated header line, mid-file truncation).
+//!   CRLF and BOM are lossless — a robust reader accepts them with zero
+//!   quarantined lines.
+//!
+//! Injection is pure: the same `(input, plan)` always produces the same
+//! output and summary.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vqlens_model::csv::MAX_EPOCHS;
+
+/// One corruption operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Cut a data line short, leaving fewer than 13 fields.
+    TruncatedLine,
+    /// Delete one field from a data line.
+    DeletedField,
+    /// Swap the epoch field with the vod_or_live field, producing a
+    /// non-numeric epoch.
+    TransposedFields,
+    /// Replace `play_duration_s` with `NaN`.
+    NanNumeric,
+    /// Replace `buffering_s` with `inf`.
+    InfNumeric,
+    /// Replace `avg_bitrate_kbps` with a negative value.
+    NegativeNumeric,
+    /// Replace the epoch with an id beyond the reader's epoch bound.
+    OutOfRangeEpoch,
+    /// Re-encode the whole file with CRLF line endings (lossless).
+    CrlfEndings,
+    /// Prepend a UTF-8 byte-order mark (lossless).
+    Utf8Bom,
+    /// Insert a duplicate header line between two data lines.
+    DuplicateHeader,
+    /// Truncate the file in the middle of a data line, losing the tail.
+    MidFileTruncation,
+}
+
+impl FaultKind {
+    /// Every operator, for exhaustive sweeps.
+    pub const ALL: [FaultKind; 11] = [
+        FaultKind::TruncatedLine,
+        FaultKind::DeletedField,
+        FaultKind::TransposedFields,
+        FaultKind::NanNumeric,
+        FaultKind::InfNumeric,
+        FaultKind::NegativeNumeric,
+        FaultKind::OutOfRangeEpoch,
+        FaultKind::CrlfEndings,
+        FaultKind::Utf8Bom,
+        FaultKind::DuplicateHeader,
+        FaultKind::MidFileTruncation,
+    ];
+
+    /// Short stable name (for logs and test labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TruncatedLine => "truncated-line",
+            FaultKind::DeletedField => "deleted-field",
+            FaultKind::TransposedFields => "transposed-fields",
+            FaultKind::NanNumeric => "nan-numeric",
+            FaultKind::InfNumeric => "inf-numeric",
+            FaultKind::NegativeNumeric => "negative-numeric",
+            FaultKind::OutOfRangeEpoch => "out-of-range-epoch",
+            FaultKind::CrlfEndings => "crlf-endings",
+            FaultKind::Utf8Bom => "utf8-bom",
+            FaultKind::DuplicateHeader => "duplicate-header",
+            FaultKind::MidFileTruncation => "mid-file-truncation",
+        }
+    }
+
+    /// True for operators that damage individual data lines (as opposed to
+    /// re-encoding or restructuring the whole file).
+    pub fn is_per_line(self) -> bool {
+        !matches!(
+            self,
+            FaultKind::CrlfEndings
+                | FaultKind::Utf8Bom
+                | FaultKind::DuplicateHeader
+                | FaultKind::MidFileTruncation
+        )
+    }
+
+    /// True when the operator loses no session data (a robust reader
+    /// recovers every session with nothing quarantined).
+    pub fn is_lossless(self) -> bool {
+        matches!(self, FaultKind::CrlfEndings | FaultKind::Utf8Bom)
+    }
+}
+
+/// A seeded corruption plan: which operator, which RNG stream, and how
+/// much of the trace to damage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The corruption operator.
+    pub kind: FaultKind,
+    /// Seed for target selection and mutation choices.
+    pub seed: u64,
+    /// Fraction of data lines to damage (per-line operators; at least one
+    /// line is always hit). Whole-file operators ignore it.
+    pub corrupt_ratio: f64,
+}
+
+impl FaultPlan {
+    /// A plan damaging ~1% of data lines.
+    pub fn new(kind: FaultKind, seed: u64) -> FaultPlan {
+        FaultPlan {
+            kind,
+            seed,
+            corrupt_ratio: 0.01,
+        }
+    }
+}
+
+/// Exact account of an injection: which original lines were damaged or
+/// lost. Line numbers are 1-based over the *original* input (the header is
+/// line 1), matching the line numbers in `CsvError::BadLine` and
+/// `IngestReport` samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// The operator applied.
+    pub kind: FaultKind,
+    /// The seed used.
+    pub seed: u64,
+    /// Original data lines mutated in place (still present, unparseable).
+    pub corrupted_lines: Vec<usize>,
+    /// Original lines removed outright (the tail lost to mid-file
+    /// truncation).
+    pub dropped_lines: Vec<usize>,
+    /// Non-data lines inserted into the output (e.g. a duplicate header).
+    pub inserted_lines: usize,
+}
+
+impl FaultSummary {
+    /// How many lines a lenient ingest of the damaged trace must
+    /// quarantine: the mutated lines plus any inserted junk. Dropped lines
+    /// are simply absent and cannot be quarantined.
+    pub fn expected_quarantined(&self) -> u64 {
+        self.corrupted_lines.len() as u64 + self.inserted_lines as u64
+    }
+}
+
+/// Pick `count` distinct elements of `pool` (a partial Fisher–Yates
+/// shuffle), returned sorted.
+fn pick_distinct(rng: &mut SmallRng, pool: &[usize], count: usize) -> Vec<usize> {
+    let mut indices: Vec<usize> = pool.to_vec();
+    let count = count.min(indices.len());
+    for k in 0..count {
+        let j = rng.gen_range(k..indices.len());
+        indices.swap(k, j);
+    }
+    indices.truncate(count);
+    indices.sort_unstable();
+    indices
+}
+
+/// Cut `line` just before one of its early commas, guaranteeing fewer
+/// than 13 fields remain.
+fn truncate_fields(line: &str, rng: &mut SmallRng) -> String {
+    let commas: Vec<usize> = line.match_indices(',').map(|(p, _)| p).collect();
+    if commas.len() < 8 {
+        // Already structurally damaged; make it unmistakably so.
+        return "~".to_owned();
+    }
+    let k = rng.gen_range(2..8);
+    line[..commas[k]].to_owned()
+}
+
+fn mutate_line(kind: FaultKind, line: &str, rng: &mut SmallRng) -> String {
+    if kind == FaultKind::TruncatedLine {
+        return truncate_fields(line, rng);
+    }
+    let mut fields: Vec<String> = line.split(',').map(str::to_owned).collect();
+    if fields.len() != 13 {
+        return "~".to_owned();
+    }
+    match kind {
+        FaultKind::DeletedField => {
+            let victim = rng.gen_range(0..fields.len());
+            fields.remove(victim);
+        }
+        FaultKind::TransposedFields => {
+            fields.swap(0, 4);
+            // Unconditionally poison the epoch slot: in a pathological
+            // trace the vod_or_live name could itself parse as an epoch.
+            if fields[0].trim().parse::<u32>().is_ok() {
+                fields[0].push('#');
+            }
+        }
+        FaultKind::NanNumeric => fields[10] = "NaN".to_owned(),
+        FaultKind::InfNumeric => fields[11] = "inf".to_owned(),
+        FaultKind::NegativeNumeric => {
+            fields[12] = format!("-{}.5", rng.gen_range(1u32..5000));
+        }
+        FaultKind::OutOfRangeEpoch => {
+            fields[0] = (MAX_EPOCHS + rng.gen_range(0u32..1000)).to_string();
+        }
+        _ => unreachable!("whole-file operators are handled by inject()"),
+    }
+    fields.join(",")
+}
+
+/// Apply `plan` to a serialized trace, returning the damaged text and the
+/// exact summary of the damage. Deterministic in `(csv, plan)`.
+pub fn inject(csv: &str, plan: &FaultPlan) -> (String, FaultSummary) {
+    let mut rng = SmallRng::seed_from_u64(plan.seed);
+    let lines: Vec<&str> = csv.lines().collect();
+    let trailing_newline = csv.ends_with('\n');
+    // 0-based indices (into `lines`) of non-blank data lines; the header
+    // is index 0. Reported line numbers are index + 1.
+    let data: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let mut summary = FaultSummary {
+        kind: plan.kind,
+        seed: plan.seed,
+        corrupted_lines: Vec::new(),
+        dropped_lines: Vec::new(),
+        inserted_lines: 0,
+    };
+    if data.is_empty() {
+        return (csv.to_owned(), summary);
+    }
+
+    let rejoin = |lines: &[String]| {
+        let mut out = lines.join("\n");
+        if trailing_newline {
+            out.push('\n');
+        }
+        out
+    };
+
+    match plan.kind {
+        kind if kind.is_per_line() => {
+            let wanted = ((data.len() as f64 * plan.corrupt_ratio).round() as usize).max(1);
+            let targets = pick_distinct(&mut rng, &data, wanted);
+            let mut out: Vec<String> = lines.iter().map(|l| (*l).to_owned()).collect();
+            for &i in &targets {
+                out[i] = mutate_line(kind, lines[i], &mut rng);
+                summary.corrupted_lines.push(i + 1);
+            }
+            (rejoin(&out), summary)
+        }
+        FaultKind::CrlfEndings => {
+            let mut out = lines.join("\r\n");
+            if trailing_newline {
+                out.push_str("\r\n");
+            }
+            (out, summary)
+        }
+        FaultKind::Utf8Bom => (format!("\u{feff}{csv}"), summary),
+        FaultKind::DuplicateHeader => {
+            let mut out: Vec<String> = lines.iter().map(|l| (*l).to_owned()).collect();
+            // Insert after a random data line.
+            let at = data[rng.gen_range(0..data.len())] + 1;
+            out.insert(at, lines[0].to_owned());
+            summary.inserted_lines = 1;
+            (rejoin(&out), summary)
+        }
+        FaultKind::MidFileTruncation => {
+            let t = data[rng.gen_range(0..data.len())];
+            let mut out: Vec<String> = lines[..t].iter().map(|l| (*l).to_owned()).collect();
+            out.push(truncate_fields(lines[t], &mut rng));
+            summary.corrupted_lines.push(t + 1);
+            summary.dropped_lines = ((t + 1)..lines.len())
+                .filter(|i| !lines[*i].trim().is_empty())
+                .map(|i| i + 1)
+                .collect();
+            // A mid-line cut has no trailing newline by definition.
+            (out.join("\n"), summary)
+        }
+        _ => unreachable!("per-line operators matched above"),
+    }
+}
+
+/// The original trace with every corrupted or dropped line removed: the
+/// clean subset a lenient ingest of the damaged trace must be equivalent
+/// to.
+pub fn clean_subset(csv: &str, summary: &FaultSummary) -> String {
+    let bad: std::collections::HashSet<usize> = summary
+        .corrupted_lines
+        .iter()
+        .chain(summary.dropped_lines.iter())
+        .copied()
+        .collect();
+    let mut out = String::with_capacity(csv.len());
+    for (i, line) in csv.lines().enumerate() {
+        if !bad.contains(&(i + 1)) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+    use vqlens_model::csv::{read_csv, read_csv_opts, ReadOptions, CSV_HEADER};
+
+    fn fixture() -> String {
+        let mut csv = format!("{CSV_HEADER}\n");
+        for e in 0..4u32 {
+            for s in 0..5u32 {
+                csv.push_str(&format!(
+                    "{e},AS{s},cdn-{s},site-{s},VoD,HTML5,Chrome,Cable,0,{},{}.5,0.0,{}\n",
+                    400 + s,
+                    10 + s,
+                    1000 + 100 * s
+                ));
+            }
+        }
+        csv
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let csv = fixture();
+        let mut varied = 0;
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan {
+                kind,
+                seed: 99,
+                corrupt_ratio: 0.2,
+            };
+            let (a, sa) = inject(&csv, &plan);
+            let (b, sb) = inject(&csv, &plan);
+            assert_eq!(a, b, "{kind:?} must be deterministic");
+            assert_eq!(sa, sb);
+            let (c, _) = inject(&csv, &FaultPlan { seed: 100, ..plan });
+            if a != c {
+                varied += 1;
+            }
+        }
+        // A single kind's two seeds may coincidentally pick the same
+        // targets; all of them agreeing would mean the seed is ignored.
+        assert!(varied > 0, "injection must depend on the seed");
+    }
+
+    #[test]
+    fn lenient_ingest_recovers_exactly_the_clean_subset() {
+        let csv = fixture();
+        for kind in FaultKind::ALL {
+            for seed in [1u64, 7, 2013] {
+                let plan = FaultPlan {
+                    kind,
+                    seed,
+                    corrupt_ratio: 0.15,
+                };
+                let (damaged, summary) = inject(&csv, &plan);
+                let (recovered, report) = read_csv_opts(
+                    BufReader::new(damaged.as_bytes()),
+                    &ReadOptions::lenient(1.0),
+                    None,
+                )
+                .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: lenient ingest failed: {e}"));
+                assert_eq!(
+                    report.bad_lines,
+                    summary.expected_quarantined(),
+                    "{kind:?} seed {seed}: report must count the damage exactly"
+                );
+                if kind.is_lossless() {
+                    assert!(report.is_clean(), "{kind:?} must quarantine nothing");
+                }
+                let clean = read_csv(BufReader::new(clean_subset(&csv, &summary).as_bytes()))
+                    .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean subset: {e}"));
+                assert_eq!(
+                    recovered.num_sessions(),
+                    clean.num_sessions(),
+                    "{kind:?} seed {seed}: all uncorrupted sessions recovered"
+                );
+                assert_eq!(recovered.num_epochs(), clean.num_epochs());
+                for (x, y) in recovered.iter_sessions().zip(clean.iter_sessions()) {
+                    assert_eq!(x.epoch, y.epoch);
+                    assert_eq!(x.quality, y.quality);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_line_damage_respects_the_ratio() {
+        let csv = fixture();
+        let plan = FaultPlan {
+            kind: FaultKind::NanNumeric,
+            seed: 5,
+            corrupt_ratio: 0.2,
+        };
+        let (_, summary) = inject(&csv, &plan);
+        // 20 data lines * 0.2 = 4 targets.
+        assert_eq!(summary.corrupted_lines.len(), 4);
+        // At least one line is always damaged, even at ratio 0.
+        let plan = FaultPlan {
+            corrupt_ratio: 0.0,
+            ..plan
+        };
+        let (_, summary) = inject(&csv, &plan);
+        assert_eq!(summary.corrupted_lines.len(), 1);
+    }
+
+    #[test]
+    fn empty_trace_is_a_no_op() {
+        let csv = format!("{CSV_HEADER}\n");
+        for kind in FaultKind::ALL {
+            let (out, summary) = inject(&csv, &FaultPlan::new(kind, 3));
+            assert_eq!(summary.expected_quarantined(), 0);
+            assert!(summary.dropped_lines.is_empty());
+            assert!(out.contains("epoch,"), "{kind:?} must keep the header");
+        }
+    }
+}

@@ -20,15 +20,22 @@
 //! * [`scenario`] — end-to-end scenario presets (smoke / default / full)
 //!   and [`scenario::generate`], producing a
 //!   [`vqlens_model::Dataset`] plus its [`events::GroundTruth`].
+//! * [`faults`] — deterministic fault injection over a *serialized* trace:
+//!   seeded corruption operators (truncated lines, deleted/transposed
+//!   fields, NaN/Inf/negative numerics, out-of-range epochs, CRLF/BOM/
+//!   duplicate-header mutations, mid-file truncation) with an exact
+//!   account of the damage, so ingestion robustness is provable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrivals;
 pub mod events;
+pub mod faults;
 pub mod scenario;
 pub mod world;
 
 pub use events::{EventEffect, EventSchedule, EventScope, GroundTruth, PlantedEvent};
+pub use faults::{clean_subset, inject, FaultKind, FaultPlan, FaultSummary};
 pub use scenario::{generate, Scenario};
 pub use world::{Region, World, WorldConfig};

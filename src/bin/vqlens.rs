@@ -7,17 +7,26 @@
 //! vqlens scenario --write-default my_scenario.json     # editable template
 //! vqlens analyze trace.csv                             # paper-style summary
 //! vqlens analyze trace.csv --metric JoinFailure --top 10
+//! vqlens analyze dirty.csv --lenient                   # quarantine bad lines
+//! vqlens analyze dirty.csv --lenient --max-bad-ratio 0.01 --dead-letter bad.csv
 //! vqlens monitor trace.csv                             # incident log replay
+//! vqlens monitor dirty.csv --lenient                   # ... over real telemetry
 //! ```
 //!
 //! The CSV format is documented in `vqlens::model::csv` — any telemetry
-//! source that can produce those columns can be analyzed.
+//! source that can produce those columns can be analyzed. Real telemetry
+//! is rarely clean: `--lenient` quarantines malformed lines into an
+//! ingest report (printed before the analysis; `--dead-letter FILE` saves
+//! them verbatim for triage) instead of aborting on the first bad line,
+//! and fails loudly only when more than `--max-bad-ratio` (default 5%) of
+//! the data lines are bad. Epochs that lost quarantined lines are
+//! reported as *degraded*.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use vqlens::analysis::monitor::{MonitorConfig, MonitorEvent, OnlineMonitor};
-use vqlens::model::csv::{read_csv, write_csv};
+use vqlens::model::csv::{read_csv, read_csv_opts, write_csv, IngestReport, ReadOptions};
 use vqlens::prelude::*;
 use vqlens::whatif::cost::{cost_benefit_ranking, suggested_remedy, CostModel};
 
@@ -26,8 +35,10 @@ fn usage() -> ExitCode {
         "usage:\n  vqlens generate [--scenario smoke|default|full | --config FILE.json] \
          [--sessions N] [--epochs N] [--seed N] --out FILE.csv\n  vqlens scenario \
          --write-default FILE.json\n  vqlens analyze FILE.csv \
-         [--metric <name>] [--top N] [--min-sessions N]\n  vqlens monitor FILE.csv \
-         [--confirm-h N] [--min-sessions N]"
+         [--metric <name>] [--top N] [--min-sessions N] [--lenient \
+         [--max-bad-ratio R] [--dead-letter FILE]]\n  vqlens monitor FILE.csv \
+         [--confirm-h N] [--min-sessions N] [--lenient \
+         [--max-bad-ratio R] [--dead-letter FILE]]"
     );
     ExitCode::from(2)
 }
@@ -80,18 +91,75 @@ fn numeric_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Opt
     }
 }
 
-fn load(path: &str) -> Result<Dataset, ExitCode> {
+/// Load a trace, honoring `--lenient` / `--max-bad-ratio` / `--dead-letter`.
+/// In lenient mode the ingest summary is printed and returned so the
+/// analysis can mark degraded epochs.
+fn load(path: &str, args: &[String]) -> Result<(Dataset, Option<IngestReport>), ExitCode> {
     let file = File::open(path).map_err(|e| {
         eprintln!("cannot open {path}: {e}");
         ExitCode::FAILURE
     })?;
-    read_csv(BufReader::new(file)).map_err(|e| {
+    if !args.iter().any(|a| a == "--lenient") {
+        let dataset = read_csv(BufReader::new(file)).map_err(|e| {
+            eprintln!("cannot parse {path}: {e} (try --lenient for dirty telemetry)");
+            ExitCode::FAILURE
+        })?;
+        return Ok((dataset, None));
+    }
+    let max_bad_ratio = numeric_flag::<f64>(args, "--max-bad-ratio")?.unwrap_or(0.05);
+    let mut dead_letter = match flag_value(args, "--dead-letter") {
+        None => None,
+        Some(dl_path) => Some(BufWriter::new(File::create(dl_path).map_err(|e| {
+            eprintln!("cannot create dead-letter file {dl_path}: {e}");
+            ExitCode::FAILURE
+        })?)),
+    };
+    let sink = dead_letter.as_mut().map(|w| w as &mut dyn Write);
+    let (dataset, report) = read_csv_opts(
+        BufReader::new(file),
+        &ReadOptions::lenient(max_bad_ratio),
+        sink,
+    )
+    .map_err(|e| {
         eprintln!("cannot parse {path}: {e}");
         ExitCode::FAILURE
-    })
+    })?;
+    if report.is_clean() {
+        eprintln!("ingest: {} data lines, all clean", report.data_lines);
+    } else {
+        eprintln!("ingest: {report}");
+        if let Some(dl_path) = flag_value(args, "--dead-letter") {
+            eprintln!("ingest: quarantined lines saved to {dl_path}");
+        }
+    }
+    Ok((dataset, Some(report)))
 }
 
-fn scaled_config(dataset: &Dataset, args: &[String]) -> AnalyzerConfig {
+/// Print which epochs of the analysis are degraded or failed, so partial
+/// results are never mistaken for complete ones.
+fn report_epoch_health(trace: &TraceAnalysis) {
+    let failed: Vec<_> = trace.failed_epochs().collect();
+    if !failed.is_empty() {
+        eprintln!(
+            "WARNING: {} epoch(s) failed analysis and are excluded from all results:",
+            failed.len()
+        );
+        for (epoch, reason) in failed {
+            eprintln!("  epoch {epoch}: {reason}");
+        }
+    }
+    let degraded: Vec<_> = trace.degraded_epochs().collect();
+    if !degraded.is_empty() {
+        let lost: u64 = degraded.iter().map(|(_, n)| n).sum();
+        eprintln!(
+            "note: {} epoch(s) degraded by {} quarantined line(s); their counts undercount reality",
+            degraded.len(),
+            lost
+        );
+    }
+}
+
+fn scaled_config(dataset: &Dataset) -> AnalyzerConfig {
     let mut config = AnalyzerConfig::default();
     let per_epoch = dataset.num_sessions() as f64 / f64::from(dataset.num_epochs().max(1));
     config.significance = SignificanceParams::scaled_to(per_epoch as u64);
@@ -189,11 +257,11 @@ fn analyze(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
-    let dataset = match load(path) {
+    let (dataset, ingest) = match load(path, args) {
         Ok(d) => d,
         Err(code) => return code,
     };
-    let mut config = scaled_config(&dataset, args);
+    let mut config = scaled_config(&dataset);
     if let Err(code) = apply_min_sessions(&mut config, args) {
         return code;
     }
@@ -218,7 +286,11 @@ fn analyze(args: &[String]) -> ExitCode {
         dataset.num_epochs(),
         config.significance.min_sessions
     );
-    let trace = analyze_dataset(&dataset, &config);
+    let mut trace = analyze_dataset(&dataset, &config);
+    if let Some(report) = &ingest {
+        trace.apply_ingest_report(report);
+    }
+    report_epoch_health(&trace);
 
     let rows = vqlens::analysis::coverage::coverage_table(trace.epochs());
     for metric in &metrics {
@@ -261,11 +333,11 @@ fn monitor(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
-    let dataset = match load(path) {
+    let (dataset, ingest) = match load(path, args) {
         Ok(d) => d,
         Err(code) => return code,
     };
-    let mut config = scaled_config(&dataset, args);
+    let mut config = scaled_config(&dataset);
     if let Err(code) = apply_min_sessions(&mut config, args) {
         return code;
     }
@@ -273,7 +345,11 @@ fn monitor(args: &[String]) -> ExitCode {
         Ok(v) => v.unwrap_or(1),
         Err(code) => return code,
     };
-    let trace = analyze_dataset(&dataset, &config);
+    let mut trace = analyze_dataset(&dataset, &config);
+    if let Some(report) = &ingest {
+        trace.apply_ingest_report(report);
+    }
+    report_epoch_health(&trace);
     let mut monitor = OnlineMonitor::new(MonitorConfig {
         confirm_after_h: confirm_h,
         ..MonitorConfig::default()

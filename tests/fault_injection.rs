@@ -1,0 +1,227 @@
+//! End-to-end fault-injection: no corruption operator may panic ingestion
+//! or the pipeline, lenient ingest must recover exactly the clean subset
+//! with an accurate report, and analyzing the leniently ingested trace
+//! must equal analyzing the clean subset directly.
+
+use std::io::BufReader;
+use vqlens::model::csv::{read_csv, read_csv_opts, write_csv, CsvError, ReadOptions};
+use vqlens::prelude::*;
+use vqlens::synth::faults::{clean_subset, inject, FaultKind, FaultPlan};
+
+/// A small but non-trivial trace (8 epochs, ~800 sessions/epoch) with
+/// planted problem events, serialized to the interchange CSV.
+fn small_scenario() -> Scenario {
+    let mut scenario = Scenario::smoke();
+    scenario.epochs = 8;
+    scenario.arrivals.sessions_per_epoch = 800.0;
+    scenario
+}
+
+fn to_csv(dataset: &Dataset) -> String {
+    let mut buf = Vec::new();
+    write_csv(dataset, &mut buf).expect("serialize");
+    String::from_utf8(buf).expect("CSV is UTF-8")
+}
+
+fn assert_same_sessions(label: &str, a: &Dataset, b: &Dataset) {
+    assert_eq!(a.num_sessions(), b.num_sessions(), "{label}: session count");
+    assert_eq!(a.num_epochs(), b.num_epochs(), "{label}: epoch count");
+    for (x, y) in a.iter_sessions().zip(b.iter_sessions()) {
+        assert_eq!(x.epoch, y.epoch, "{label}");
+        assert_eq!(x.quality, y.quality, "{label}");
+        for key in AttrKey::ALL {
+            assert_eq!(
+                a.value_name(key, x.attrs.get(key)),
+                b.value_name(key, y.attrs.get(key)),
+                "{label}"
+            );
+        }
+    }
+}
+
+/// Sweep all operators × seeds: lenient ingest either recovers all
+/// uncorrupted sessions with an accurate report, or (never here, with an
+/// unlimited budget) fails with a typed error — and nothing panics.
+#[test]
+fn every_operator_every_seed_lenient_ingest_recovers_clean_subset() {
+    let csv = to_csv(&generate_parallel(&small_scenario(), 0).dataset);
+    for kind in FaultKind::ALL {
+        for seed in [1u64, 42, 20260805] {
+            let plan = FaultPlan {
+                kind,
+                seed,
+                corrupt_ratio: 0.01,
+            };
+            let (damaged, summary) = inject(&csv, &plan);
+            let (recovered, report) = read_csv_opts(
+                BufReader::new(damaged.as_bytes()),
+                &ReadOptions::lenient(1.0),
+                None,
+            )
+            .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: lenient ingest failed: {e}"));
+            assert_eq!(
+                report.bad_lines,
+                summary.expected_quarantined(),
+                "{kind:?} seed {seed}: IngestReport must count the damage exactly"
+            );
+            let per_reason: u64 = report.reasons.values().sum();
+            assert_eq!(report.bad_lines, per_reason, "{kind:?}: reason counts add up");
+            let clean = read_csv(BufReader::new(clean_subset(&csv, &summary).as_bytes()))
+                .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean subset must parse: {e}"));
+            assert_same_sessions(&format!("{kind:?} seed {seed}"), &recovered, &clean);
+        }
+    }
+}
+
+/// Exceeding the bad-line budget is a typed error, not a panic and not a
+/// silently partial dataset.
+#[test]
+fn exceeding_the_bad_line_budget_is_a_typed_error() {
+    let csv = to_csv(&generate_parallel(&small_scenario(), 0).dataset);
+    let plan = FaultPlan {
+        kind: FaultKind::TruncatedLine,
+        seed: 7,
+        corrupt_ratio: 0.5,
+    };
+    let (damaged, summary) = inject(&csv, &plan);
+    let err = read_csv_opts(
+        BufReader::new(damaged.as_bytes()),
+        &ReadOptions::lenient(0.01),
+        None,
+    )
+    .unwrap_err();
+    match err {
+        CsvError::TooManyBadLines {
+            report,
+            max_bad_ratio,
+        } => {
+            assert_eq!(report.bad_lines, summary.expected_quarantined());
+            assert_eq!(max_bad_ratio, 0.01);
+        }
+        other => panic!("expected TooManyBadLines, got: {other}"),
+    }
+}
+
+/// The acceptance gate: with ≤1% injected corruption, analyzing the
+/// leniently ingested trace produces the same problem-cluster and
+/// critical-cluster results as analyzing the clean subset directly, for
+/// every corruption operator.
+#[test]
+fn lenient_analysis_matches_clean_subset_analysis() {
+    let scenario = small_scenario();
+    let csv = to_csv(&generate_parallel(&scenario, 0).dataset);
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    for kind in FaultKind::ALL {
+        let plan = FaultPlan::new(kind, 99);
+        let (damaged, summary) = inject(&csv, &plan);
+        let (lenient, report) = read_csv_opts(
+            BufReader::new(damaged.as_bytes()),
+            &ReadOptions::lenient(0.02),
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{kind:?}: lenient ingest failed: {e}"));
+        let clean = read_csv(BufReader::new(clean_subset(&csv, &summary).as_bytes()))
+            .expect("clean subset parses");
+        let mut a = analyze_dataset(&lenient, &config);
+        let b = analyze_dataset(&clean, &config);
+        assert!(a.is_complete() && b.is_complete());
+        assert_eq!(a.len(), b.len(), "{kind:?}: analyzed epoch count");
+        for (x, y) in a.epochs().iter().zip(b.epochs()) {
+            assert_eq!(x.epoch, y.epoch, "{kind:?}");
+            assert_eq!(x.total_sessions, y.total_sessions, "{kind:?}");
+            for m in Metric::ALL {
+                let (pa, pb) = (&x.metric(m).problems, &y.metric(m).problems);
+                assert_eq!(
+                    pa.clusters.len(),
+                    pb.clusters.len(),
+                    "{kind:?} {m}: problem cluster count"
+                );
+                assert!(
+                    pa.clusters.keys().all(|k| pb.contains(*k)),
+                    "{kind:?} {m}: problem cluster sets differ"
+                );
+                let (ca, cb) = (&x.metric(m).critical, &y.metric(m).critical);
+                assert_eq!(
+                    ca.clusters.len(),
+                    cb.clusters.len(),
+                    "{kind:?} {m}: critical cluster count"
+                );
+                assert!(
+                    ca.clusters.keys().all(|k| cb.clusters.contains_key(k)),
+                    "{kind:?} {m}: critical cluster sets differ"
+                );
+                assert_eq!(
+                    ca.total_problems, cb.total_problems,
+                    "{kind:?} {m}: total problems"
+                );
+            }
+        }
+        // Marking degraded epochs must not drop any analysis, and every
+        // quarantined line attributable to an analyzed epoch must show up
+        // as a degraded status.
+        a.apply_ingest_report(&report);
+        assert_eq!(a.len(), b.len());
+        let attributable = report
+            .per_epoch_bad
+            .keys()
+            .any(|&e| (e as usize) < a.num_input_epochs());
+        if attributable {
+            assert!(
+                a.degraded_epochs().count() > 0,
+                "{kind:?}: attributable quarantined lines must mark epochs degraded"
+            );
+        }
+    }
+}
+
+/// The CLI survives a corrupted trace with `--lenient`, reports the
+/// quarantine, and still refuses it in strict mode.
+#[test]
+fn cli_lenient_analyze_survives_corruption() {
+    let csv = to_csv(&generate_parallel(&small_scenario(), 0).dataset);
+    let (damaged, summary) = inject(&csv, &FaultPlan::new(FaultKind::NanNumeric, 11));
+    assert!(summary.expected_quarantined() > 0);
+
+    let dir = std::env::temp_dir().join(format!("vqlens-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("damaged.csv");
+    let dead_path = dir.join("dead-letter.csv");
+    std::fs::write(&trace_path, &damaged).expect("write trace");
+
+    let lenient = std::process::Command::new(env!("CARGO_BIN_EXE_vqlens"))
+        .args([
+            "analyze",
+            trace_path.to_str().unwrap(),
+            "--lenient",
+            "--dead-letter",
+            dead_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run vqlens");
+    let stderr = String::from_utf8_lossy(&lenient.stderr);
+    assert!(
+        lenient.status.success(),
+        "lenient analyze must succeed; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("quarantined"),
+        "ingest summary must be reported; stderr:\n{stderr}"
+    );
+    let dead = std::fs::read_to_string(&dead_path).expect("dead-letter written");
+    assert_eq!(
+        dead.lines().count() as u64,
+        summary.expected_quarantined(),
+        "dead-letter file holds exactly the quarantined lines"
+    );
+
+    let strict = std::process::Command::new(env!("CARGO_BIN_EXE_vqlens"))
+        .args(["analyze", trace_path.to_str().unwrap()])
+        .output()
+        .expect("run vqlens");
+    assert!(
+        !strict.status.success(),
+        "strict analyze must reject the damaged trace"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
