@@ -10,7 +10,7 @@
 //! most informative refinement.
 
 use serde::{Deserialize, Serialize};
-use vqlens_cluster::cube::EpochCube;
+use vqlens_cluster::cube::CubeTable;
 use vqlens_model::attr::{AttrKey, ClusterKey};
 use vqlens_model::metric::Metric;
 
@@ -62,7 +62,7 @@ pub struct DrillDown {
 
 impl DrillDown {
     /// Diagnose `key` against a (preferably unpruned) epoch cube.
-    pub fn diagnose(cube: &EpochCube, key: ClusterKey, metric: Metric) -> DrillDown {
+    pub fn diagnose(cube: &CubeTable, key: ClusterKey, metric: Metric) -> DrillDown {
         let own = cube.counts(key);
         let own_problems = own.problems[metric.index()];
         let own_ratio = own.ratio(metric);
@@ -72,11 +72,14 @@ impl DrillDown {
             if key.mask().contains(attr) {
                 continue;
             }
+            // The cube is mask-partitioned: the candidate children live in
+            // one contiguous run instead of being filtered out of the whole
+            // table.
             let child_mask = key.mask().with(attr);
             let mut entries: Vec<DrillEntry> = cube
-                .clusters
+                .mask_slice(child_mask)
                 .iter()
-                .filter(|(k, _)| k.mask() == child_mask && k.project_onto(key.mask()) == key)
+                .filter(|(k, _)| k.project_onto(key.mask()) == key)
                 .map(|(k, c)| DrillEntry {
                     value: k.value_dim(attr.index()),
                     sessions: c.sessions,
@@ -94,11 +97,7 @@ impl DrillDown {
                 0.0
             };
             let ratio_disparity = if own_ratio > 0.0 {
-                entries
-                    .iter()
-                    .map(|e| e.ratio)
-                    .fold(0.0f64, f64::max)
-                    / own_ratio
+                entries.iter().map(|e| e.ratio).fold(0.0f64, f64::max) / own_ratio
             } else {
                 0.0
             };
@@ -176,7 +175,7 @@ mod tests {
         push(&mut d, 7, 1, 400, 300);
         push(&mut d, 8, 1, 600, 6);
         push(&mut d, 9, 2, 1000, 10);
-        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &d, &Thresholds::default());
         let cdn1 = ClusterKey::of_single(AttrKey::Cdn, 1);
         let dd = DrillDown::diagnose(&cube, cdn1, Metric::JoinFailure);
 
@@ -201,7 +200,7 @@ mod tests {
         push(&mut d, 1, 1, 500, 150);
         push(&mut d, 2, 1, 500, 150);
         push(&mut d, 3, 2, 1000, 10);
-        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &d, &Thresholds::default());
         let cdn1 = ClusterKey::of_single(AttrKey::Cdn, 1);
         let dd = DrillDown::diagnose(&cube, cdn1, Metric::JoinFailure);
         // No dimension concentrates problems with high disparity.
@@ -220,9 +219,12 @@ mod tests {
     fn constrained_attributes_are_skipped() {
         let mut d = EpochData::default();
         push(&mut d, 1, 1, 100, 50);
-        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
-        let key = SessionAttrs::new([1, 1, 0, 0, 0, 0, 0])
-            .project(vqlens_model::attr::AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]));
+        let cube = CubeTable::build(EpochId(0), &d, &Thresholds::default());
+        let key =
+            SessionAttrs::new([1, 1, 0, 0, 0, 0, 0]).project(vqlens_model::attr::AttrMask::of(&[
+                AttrKey::Asn,
+                AttrKey::Cdn,
+            ]));
         let dd = DrillDown::diagnose(&cube, key, Metric::JoinFailure);
         assert!(dd.dimensions.iter().all(|x| x.attr != AttrKey::Asn));
         assert!(dd.dimensions.iter().all(|x| x.attr != AttrKey::Cdn));
@@ -231,8 +233,12 @@ mod tests {
 
     #[test]
     fn empty_cluster_is_graceful() {
-        let cube = EpochCube::build(EpochId(0), &EpochData::default(), &Thresholds::default());
-        let dd = DrillDown::diagnose(&cube, ClusterKey::of_single(AttrKey::Cdn, 1), Metric::BufRatio);
+        let cube = CubeTable::build(EpochId(0), &EpochData::default(), &Thresholds::default());
+        let dd = DrillDown::diagnose(
+            &cube,
+            ClusterKey::of_single(AttrKey::Cdn, 1),
+            Metric::BufRatio,
+        );
         assert_eq!(dd.sessions, 0);
         assert!(dd.dimensions.is_empty());
         assert!(dd.hotspot(0.5, 1.0).is_none());

@@ -143,7 +143,9 @@ mod tests {
             curve.minutes_per_buffering_point
         );
         assert!(curve.buckets.len() >= 2);
-        assert!(curve.buckets[0].mean_play_minutes > curve.buckets.last().unwrap().mean_play_minutes);
+        assert!(
+            curve.buckets[0].mean_play_minutes > curve.buckets.last().unwrap().mean_play_minutes
+        );
     }
 
     #[test]

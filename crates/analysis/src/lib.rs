@@ -32,9 +32,9 @@
 
 pub mod breakdown;
 pub mod churn;
+pub mod coverage;
 pub mod drilldown;
 pub mod engagement;
-pub mod coverage;
 pub mod monitor;
 pub mod overlap;
 pub mod persistence;
@@ -43,9 +43,9 @@ pub mod timeseries;
 
 pub use breakdown::{Breakdown, BreakdownSlice};
 pub use churn::{ChurnPoint, ChurnReport};
+pub use coverage::{coverage_table, CoverageRow};
 pub use drilldown::{DimensionBreakdown, DrillDown, DrillEntry};
 pub use engagement::EngagementCurve;
-pub use coverage::{coverage_table, CoverageRow};
 pub use monitor::{Incident, IncidentState, MonitorConfig, MonitorEvent, OnlineMonitor};
 pub use overlap::{overlap_matrix, top_critical_clusters};
 pub use persistence::{extract_events, ClusterEvent, ClusterSource, PersistenceReport};

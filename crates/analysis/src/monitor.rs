@@ -474,7 +474,10 @@ mod edge_case_tests {
         }
         let for_key: Vec<_> = resolved.iter().filter(|i| i.key == key_a()).collect();
         assert_eq!(
-            for_key.iter().filter(|i| i.metric == Metric::JoinFailure).count(),
+            for_key
+                .iter()
+                .filter(|i| i.metric == Metric::JoinFailure)
+                .count(),
             1,
             "the dip must not split the incident in two"
         );
@@ -515,7 +518,11 @@ mod edge_case_tests {
             .collect();
         assert_eq!(resolved.len(), 4, "old incident expired inside the gap");
         for i in &resolved {
-            assert_eq!(i.last_seen, EpochId(1), "last_seen is the true last observation");
+            assert_eq!(
+                i.last_seen,
+                EpochId(1),
+                "last_seen is the true last observation"
+            );
             assert_eq!(i.epochs_active, 2, "the gap must not inflate activity");
         }
         assert_eq!(opened.len(), 4, "reappearance opens a fresh incident");
@@ -524,7 +531,9 @@ mod edge_case_tests {
             assert_eq!(i.epochs_active, 1);
         }
         assert!(
-            !events.iter().any(|e| matches!(e, MonitorEvent::Confirmed(_))),
+            !events
+                .iter()
+                .any(|e| matches!(e, MonitorEvent::Confirmed(_))),
             "a fresh single observation must not confirm"
         );
     }
@@ -542,7 +551,9 @@ mod edge_case_tests {
         // Epoch 1 missing; gap of one epoch < close_after_h.
         let events = monitor.observe(&analysis_with_critical(2, 100, &[(key_a(), 50.0)], 60));
         assert!(
-            !events.iter().any(|e| matches!(e, MonitorEvent::Resolved(_))),
+            !events
+                .iter()
+                .any(|e| matches!(e, MonitorEvent::Resolved(_))),
             "a bridgeable gap must not resolve the incident"
         );
         let confirmed: Vec<_> = events
@@ -600,7 +611,9 @@ mod edge_case_tests {
         });
         let events = monitor.observe(&analysis_with_critical(0, 100, &[(key_a(), 50.0)], 60));
         assert!(
-            !events.iter().any(|e| matches!(e, MonitorEvent::Resolved(_))),
+            !events
+                .iter()
+                .any(|e| matches!(e, MonitorEvent::Resolved(_))),
             "freshly observed incidents must not resolve in the same epoch"
         );
         assert_eq!(monitor.open_incidents().count(), 4);

@@ -109,9 +109,8 @@ pub fn analysis_with_critical(
     EpochAnalysis {
         epoch: EpochId(epoch),
         total_sessions: 1000,
-        metrics: Metric::ALL.map(|m| {
-            metric_analysis(m, 1000, total_problems, &keys, critical, problems_in_pc)
-        }),
+        metrics: Metric::ALL
+            .map(|m| metric_analysis(m, 1000, total_problems, &keys, critical, problems_in_pc)),
     }
 }
 

@@ -1,10 +1,10 @@
 //! Criterion benchmark: problem-cluster and critical-cluster identification
-//! plus the HHH baseline, over a prebuilt cube.
+//! plus the HHH baseline, over one shared per-epoch analysis context.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use vqlens_core::cluster::critical::{CriticalParams, CriticalSet};
-use vqlens_core::cluster::cube::EpochCube;
-use vqlens_core::cluster::hhh::{HhhParams, HhhSet};
+use vqlens_core::cluster::analyze::AnalysisContext;
+use vqlens_core::cluster::critical::CriticalParams;
+use vqlens_core::cluster::hhh::HhhParams;
 use vqlens_core::cluster::problem::{ProblemSet, SignificanceParams};
 use vqlens_core::model::epoch::EpochId;
 use vqlens_core::model::metric::{Metric, Thresholds};
@@ -18,20 +18,18 @@ fn bench_critical(c: &mut Criterion) {
     let out = generate(&scenario);
     let data = out.dataset.epoch(EpochId(0));
     let sig = SignificanceParams::scaled_to(12_000);
-    let mut cube = EpochCube::build(EpochId(0), data, &Thresholds::default());
-    cube.prune(sig.min_sessions);
+    let ctx = AnalysisContext::compute(EpochId(0), data, &Thresholds::default(), &sig);
 
     let mut group = c.benchmark_group("cluster_identification");
     group.sample_size(20);
     group.bench_function("problem_set", |b| {
-        b.iter(|| ProblemSet::identify(&cube, Metric::BufRatio, &sig));
+        b.iter(|| ProblemSet::identify(&ctx.cube, Metric::BufRatio, &sig));
     });
-    let problems = ProblemSet::identify(&cube, Metric::BufRatio, &sig);
     group.bench_function("critical_set", |b| {
-        b.iter(|| CriticalSet::identify(&cube, &problems, &sig, &CriticalParams::default()));
+        b.iter(|| ctx.critical(Metric::BufRatio, &CriticalParams::default()));
     });
     group.bench_function("hhh_baseline", |b| {
-        b.iter(|| HhhSet::identify(&cube, Metric::BufRatio, &HhhParams::default()));
+        b.iter(|| ctx.hhh(Metric::BufRatio, &HhhParams::default()));
     });
     group.finish();
 }

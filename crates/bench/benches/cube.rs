@@ -1,7 +1,7 @@
 //! Criterion benchmark: cluster-cube construction (the analysis hot path).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vqlens_core::cluster::cube::EpochCube;
+use vqlens_core::cluster::cube::CubeTable;
 use vqlens_core::model::attr::SessionAttrs;
 use vqlens_core::model::dataset::EpochData;
 use vqlens_core::model::epoch::EpochId;
@@ -12,7 +12,9 @@ fn epoch_data(sessions: usize) -> EpochData {
     let mut data = EpochData::default();
     let mut x = 0x12345678u64;
     for _ in 0..sessions {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let attrs = SessionAttrs::new([
             ((x >> 10) % 1500) as u32,
             ((x >> 22) % 19) as u32,
@@ -42,8 +44,25 @@ fn bench_cube(c: &mut Criterion) {
         group.sample_size(10);
         group.throughput(criterion::Throughput::Elements(sessions as u64));
         group.bench_with_input(BenchmarkId::from_parameter(sessions), &data, |b, data| {
-            b.iter(|| EpochCube::build(EpochId(0), data, &thresholds));
+            b.iter(|| CubeTable::build(EpochId(0), data, &thresholds));
         });
+    }
+    group.finish();
+
+    // Intra-epoch parallel construction: the single-large-epoch latency
+    // case the online monitor cares about.
+    let mut group = c.benchmark_group("cube_build_parallel");
+    let data = epoch_data(40_000);
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(40_000));
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| CubeTable::build_with_threads(EpochId(0), &data, &thresholds, threads));
+            },
+        );
     }
     group.finish();
 
@@ -52,7 +71,7 @@ fn bench_cube(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("12000_sessions", |b| {
         b.iter_with_setup(
-            || EpochCube::build(EpochId(0), &data, &thresholds),
+            || CubeTable::build(EpochId(0), &data, &thresholds),
             |mut cube| {
                 cube.prune(13);
                 cube

@@ -22,7 +22,9 @@ fn bench_stats(c: &mut Criterion) {
         });
     });
 
-    let samples: Vec<f64> = (0..50_000).map(|i| ((i * 2654435761u64 as usize) % 100_000) as f64).collect();
+    let samples: Vec<f64> = (0..50_000)
+        .map(|i| ((i * 2654435761u64 as usize) % 100_000) as f64)
+        .collect();
     group.bench_function("ecdf_build_50k", |b| {
         b.iter(|| Ecdf::new(samples.clone()));
     });

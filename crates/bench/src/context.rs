@@ -44,6 +44,7 @@ impl ReproContext {
 
     /// Render a cluster key with names resolved.
     pub fn cluster_name(&self, key: ClusterKey) -> String {
-        key.display_with(|attr, id| self.name_of(attr, id)).to_string()
+        key.display_with(|attr, id| self.name_of(attr, id))
+            .to_string()
     }
 }

@@ -13,10 +13,10 @@ use vqlens_core::analysis::overlap::overlap_matrix;
 use vqlens_core::analysis::persistence::{ClusterSource, PersistenceReport};
 use vqlens_core::analysis::prevalence::PrevalenceReport;
 use vqlens_core::analysis::timeseries::{cluster_count_series, problem_ratio_series};
+use vqlens_core::cluster::analyze::AnalysisContext;
 use vqlens_core::cluster::critical::CriticalParams;
-use vqlens_core::cluster::cube::EpochCube;
-use vqlens_core::cluster::hhh::{HhhParams, HhhSet};
-use vqlens_core::cluster::problem::ProblemSet;
+use vqlens_core::cluster::hhh::HhhParams;
+use vqlens_core::model::attr::AttrKey;
 use vqlens_core::model::epoch::{EpochId, EpochRange, HOURS_PER_WEEK};
 use vqlens_core::model::metric::{Metric, Thresholds};
 use vqlens_core::pipeline::analyze_dataset;
@@ -26,7 +26,6 @@ use vqlens_core::validate::validate_against_ground_truth;
 use vqlens_core::whatif::oracle::{oracle_sweep, AttrFilter, RankBy};
 use vqlens_core::whatif::proactive::proactive_analysis;
 use vqlens_core::whatif::reactive::{reactive_analysis, reactive_series};
-use vqlens_core::model::attr::AttrKey;
 
 /// The reproducible experiments, one per paper artifact plus ablations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,7 +107,10 @@ impl Experiment {
     /// (case-insensitive; `table1`-style aliases accepted).
     pub fn parse(id: &str) -> Option<Experiment> {
         let id = id.to_ascii_lowercase();
-        let id = id.strip_prefix("table").map(|n| format!("t{n}")).unwrap_or(id);
+        let id = id
+            .strip_prefix("table")
+            .map(|n| format!("t{n}"))
+            .unwrap_or(id);
         Experiment::ALL.into_iter().find(|e| e.id() == id)
     }
 
@@ -271,7 +273,13 @@ fn fig7(ctx: &ReproContext) -> Out {
     );
     let mut table = Table::new(
         "",
-        &["metric", "clusters", "P(prev > 0.08)", "P(prev > 0.25)", "max"],
+        &[
+            "metric",
+            "clusters",
+            "P(prev > 0.08)",
+            "P(prev > 0.25)",
+            "max",
+        ],
     );
     let mut curves = Vec::new();
     for m in Metric::ALL {
@@ -325,10 +333,16 @@ fn fig8(ctx: &ReproContext) -> Out {
 
 fn fig9(ctx: &ReproContext) -> Out {
     let series = cluster_count_series(ctx.trace.epochs(), Metric::JoinTime);
-    let mean_pc =
-        series.iter().map(|p| p.problem_clusters as f64).sum::<f64>() / series.len().max(1) as f64;
-    let mean_cc =
-        series.iter().map(|p| p.critical_clusters as f64).sum::<f64>() / series.len().max(1) as f64;
+    let mean_pc = series
+        .iter()
+        .map(|p| p.problem_clusters as f64)
+        .sum::<f64>()
+        / series.len().max(1) as f64;
+    let mean_cc = series
+        .iter()
+        .map(|p| p.critical_clusters as f64)
+        .sum::<f64>()
+        / series.len().max(1) as f64;
     let mut table = Table::new(
         "Fig. 9 — problem vs critical cluster counts over time, join time \
          (paper: critical clusters ~50x fewer than problem clusters)",
@@ -338,7 +352,11 @@ fn fig9(ctx: &ReproContext) -> Out {
     table.row(&["critical clusters".into(), num(mean_cc)]);
     table.row(&[
         "reduction factor".into(),
-        num(if mean_cc > 0.0 { mean_pc / mean_cc } else { 0.0 }),
+        num(if mean_cc > 0.0 {
+            mean_pc / mean_cc
+        } else {
+            0.0
+        }),
     ]);
     (table.to_string(), Some(to_json(&series)))
 }
@@ -355,7 +373,10 @@ fn fig10(ctx: &ReproContext) -> Out {
         for slice in b.slices.iter().take(8) {
             table.row(&[slice.mask.to_string(), pct(slice.share)]);
         }
-        table.row(&["(in problem cluster, unattributed)".into(), pct(b.unattributed_share)]);
+        table.row(&[
+            "(in problem cluster, unattributed)".into(),
+            pct(b.unattributed_share),
+        ]);
         table.row(&["(not in any problem cluster)".into(), pct(b.outside_share)]);
         let _ = writeln!(report, "{table}");
         all.push(b);
@@ -382,7 +403,13 @@ fn fig11(ctx: &ReproContext) -> Out {
             &["metric", "top 0.1%", "top 1%", "top 10%", "top 100%"],
         );
         for m in Metric::ALL {
-            let sweep = oracle_sweep(ctx.trace.epochs(), m, rank, AttrFilter::Any, &SWEEP_FRACTIONS);
+            let sweep = oracle_sweep(
+                ctx.trace.epochs(),
+                m,
+                rank,
+                AttrFilter::Any,
+                &SWEEP_FRACTIONS,
+            );
             let f = |target: f64| {
                 sweep
                     .iter()
@@ -446,7 +473,11 @@ fn fig13(ctx: &ReproContext) -> Out {
         &["quantity", "problem sessions", "fraction of original"],
     );
     table.row(&["original".into(), num(orig), pct(1.0)]);
-    table.row(&["after reactive (1h lag)".into(), num(after), pct(after / orig.max(1.0))]);
+    table.row(&[
+        "after reactive (1h lag)".into(),
+        num(after),
+        pct(after / orig.max(1.0)),
+    ]);
     table.row(&[
         "not in any critical cluster".into(),
         num(floor),
@@ -561,11 +592,13 @@ fn t4(ctx: &ReproContext) -> Out {
         "",
         &["metric", "split", "improvement", "potential", "efficiency"],
     );
-    let splits: Vec<(&str, EpochRange, EpochRange)> = if ctx.scenario.epochs >= 2 * HOURS_PER_WEEK
-    {
+    let splits: Vec<(&str, EpochRange, EpochRange)> = if ctx.scenario.epochs >= 2 * HOURS_PER_WEEK {
         let (h1, e1) = EpochRange::intra_week_split(0);
         let (h2, e2) = EpochRange::inter_week_split();
-        vec![("intra-week (4d/3d)", h1, e1), ("inter-week (w1/w2)", h2, e2)]
+        vec![
+            ("intra-week (4d/3d)", h1, e1),
+            ("inter-week (w1/w2)", h2, e2),
+        ]
     } else {
         // Short traces: halve the trace.
         let half = ctx.scenario.epochs / 2;
@@ -596,7 +629,13 @@ fn t5(ctx: &ReproContext) -> Out {
     let mut table = Table::new(
         "Table 5 — reactive improvement, 1-hour detection lag (paper: 70-95% of the \
          potential; up to 51% of problem sessions alleviated)",
-        &["metric", "improvement", "potential", "efficiency", "events handled"],
+        &[
+            "metric",
+            "improvement",
+            "potential",
+            "efficiency",
+            "events handled",
+        ],
     );
     let mut rows = Vec::new();
     for m in Metric::ALL {
@@ -615,11 +654,18 @@ fn t5(ctx: &ReproContext) -> Out {
 
 fn abl_hhh(ctx: &ReproContext) -> Out {
     // Compare on a sample of epochs: HHH needs the cube, which the trace
-    // analysis deliberately drops, so rebuild it for every 24th epoch.
+    // analysis deliberately drops, so recompute the shared context for
+    // every 24th epoch and run both techniques off it.
     let mut table = Table::new(
         "Ablation — critical clusters vs hierarchical heavy hitters (related work §7: \
          HHH counts volume, ignores ratios, and does not attribute to one cause)",
-        &["metric", "mean critical", "mean HHH (phi=1%)", "critical coverage", "HHH coverage"],
+        &[
+            "metric",
+            "mean critical",
+            "mean HHH (phi=1%)",
+            "critical coverage",
+            "HHH coverage",
+        ],
     );
     let mut sums = [[0.0f64; 4]; 4];
     let mut samples = 0u32;
@@ -628,17 +674,15 @@ fn abl_hhh(ctx: &ReproContext) -> Out {
             continue;
         }
         samples += 1;
-        let mut cube = EpochCube::build(epoch, data, &ctx.config.thresholds);
-        cube.prune(ctx.config.significance.min_sessions);
+        let epoch_ctx = AnalysisContext::compute(
+            epoch,
+            data,
+            &ctx.config.thresholds,
+            &ctx.config.significance,
+        );
         for m in Metric::ALL {
-            let hhh = HhhSet::identify(&cube, m, &HhhParams::default());
-            let ps = ProblemSet::identify(&cube, m, &ctx.config.significance);
-            let cs = vqlens_core::cluster::critical::CriticalSet::identify(
-                &cube,
-                &ps,
-                &ctx.config.significance,
-                &ctx.config.critical,
-            );
+            let hhh = epoch_ctx.hhh(m, &HhhParams::default());
+            let cs = epoch_ctx.critical(m, &ctx.config.critical);
             sums[m.index()][0] += cs.len() as f64;
             sums[m.index()][1] += hhh.len() as f64;
             sums[m.index()][2] += cs.coverage();
@@ -673,7 +717,10 @@ fn abl_thresholds(ctx: &ReproContext) -> Out {
                 max_join_time_ms: 5_000,
             },
         ),
-        ("paper defaults (5% / 700 kbps / 10 s)", Thresholds::default()),
+        (
+            "paper defaults (5% / 700 kbps / 10 s)",
+            Thresholds::default(),
+        ),
         (
             "looser (8% / 500 kbps / 15 s)",
             Thresholds {
@@ -685,7 +732,13 @@ fn abl_thresholds(ctx: &ReproContext) -> Out {
     ];
     let mut table = Table::new(
         "",
-        &["thresholds", "metric", "critical/problem", "critical coverage", "top-1% fix"],
+        &[
+            "thresholds",
+            "metric",
+            "critical/problem",
+            "critical coverage",
+            "top-1% fix",
+        ],
     );
     for (name, thresholds) in variants {
         let mut config = ctx.config;
@@ -694,7 +747,13 @@ fn abl_thresholds(ctx: &ReproContext) -> Out {
         for m in Metric::ALL {
             let rows = coverage_table(trace.epochs());
             let r = &rows[m.index()];
-            let sweep = oracle_sweep(trace.epochs(), m, RankBy::Coverage, AttrFilter::Any, &[0.01]);
+            let sweep = oracle_sweep(
+                trace.epochs(),
+                m,
+                RankBy::Coverage,
+                AttrFilter::Any,
+                &[0.01],
+            );
             table.row(&[
                 name.into(),
                 m.to_string(),
@@ -715,12 +774,22 @@ fn abl_critical(ctx: &ReproContext) -> Out {
     );
     let mut table = Table::new(
         "",
-        &["tolerance", "metric", "mean critical clusters", "critical coverage"],
+        &[
+            "tolerance",
+            "metric",
+            "mean critical clusters",
+            "critical coverage",
+        ],
     );
     for (name, params) in [
         ("strict (0.00)", CriticalParams::strict()),
         ("default (0.25)", CriticalParams::default()),
-        ("loose (0.50)", CriticalParams { max_bad_descendant_fraction: 0.5 }),
+        (
+            "loose (0.50)",
+            CriticalParams {
+                max_bad_descendant_fraction: 0.5,
+            },
+        ),
     ] {
         let mut config = ctx.config;
         config.critical = params;
@@ -754,20 +823,22 @@ fn abl_ground_truth(ctx: &ReproContext) -> Out {
         &["measure", "value"],
     );
     table.row(&["planted events".into(), v.events.len().to_string()]);
-    table.row(&["recall over visible (event, epoch) pairs".into(), pct(v.recall)]);
+    table.row(&[
+        "recall over visible (event, epoch) pairs".into(),
+        pct(v.recall),
+    ]);
     table.row(&[
         "precision (event or structural cause)".into(),
         pct(v.precision),
     ]);
-    table.row(&["precision (planted events only)".into(), pct(v.event_precision)]);
+    table.row(&[
+        "precision (planted events only)".into(),
+        pct(v.event_precision),
+    ]);
     table.row(&["critical-cluster emissions".into(), v.emitted.to_string()]);
     let mut report = table.to_string();
     // The five least-detected visible events, for debugging the pipeline.
-    let mut worst: Vec<_> = v
-        .events
-        .iter()
-        .filter(|e| e.visible_epochs > 0)
-        .collect();
+    let mut worst: Vec<_> = v.events.iter().filter(|e| e.visible_epochs > 0).collect();
     worst.sort_by(|a, b| {
         a.recall()
             .unwrap_or(0.0)
@@ -798,7 +869,12 @@ fn abl_abr(_ctx: &ReproContext) -> Out {
         "Ablation — ABR algorithms on identical congested mobile paths \
          (FESTIVE trades a little bitrate for stability; the fixed single \
          bitrate reproduces the paper's Table 3 buffering culprit)",
-        &["algorithm", "buffering problems", "bitrate problems", "mean bitrate (kbps)"],
+        &[
+            "algorithm",
+            "buffering problems",
+            "bitrate problems",
+            "mean bitrate (kbps)",
+        ],
     );
     let thresholds = Thresholds::default();
     for (name, algorithm, single) in [
@@ -853,17 +929,17 @@ fn ext_cost(ctx: &ReproContext) -> Out {
     let model = CostModel::infrastructure_default();
     let mut table = Table::new(
         "",
-        &["metric", "budget", "cost-aware alleviated", "cost-blind alleviated"],
+        &[
+            "metric",
+            "budget",
+            "cost-aware alleviated",
+            "cost-blind alleviated",
+        ],
     );
     for m in Metric::ALL {
         for budget in [10.0, 50.0, 200.0] {
             let (aware, blind) = cost_aware_vs_blind(ctx.trace.epochs(), m, &model, budget);
-            table.row(&[
-                m.to_string(),
-                num(budget),
-                pct(aware),
-                pct(blind),
-            ]);
+            table.row(&[m.to_string(), num(budget), pct(aware), pct(blind)]);
         }
     }
     let _ = writeln!(report, "{table}");
@@ -895,7 +971,11 @@ fn ext_engagement(ctx: &ReproContext) -> Out {
     );
     for b in curve.buckets.iter().take(12) {
         table.row(&[
-            format!("{:.0}-{:.0}%", 100.0 * b.buffering_ratio_lo, 100.0 * b.buffering_ratio_hi),
+            format!(
+                "{:.0}-{:.0}%",
+                100.0 * b.buffering_ratio_lo,
+                100.0 * b.buffering_ratio_hi
+            ),
             b.sessions.to_string(),
             num(b.mean_play_minutes),
         ]);
@@ -928,8 +1008,7 @@ fn ext_churn(ctx: &ReproContext) -> Out {
             let mean_new = if churn.points.is_empty() {
                 0.0
             } else {
-                churn.points.iter().map(|p| p.new_fraction).sum::<f64>()
-                    / churn.points.len() as f64
+                churn.points.iter().map(|p| p.new_fraction).sum::<f64>() / churn.points.len() as f64
             };
             table.row(&[
                 m.to_string(),

@@ -26,15 +26,15 @@ fn every_experiment_runs_and_reports() {
         );
         // Reports are self-describing: they carry the paper reference.
         assert!(
-            report.contains("paper")
-                || report.contains("Ablation")
-                || report.contains("Extension"),
+            report.contains("paper") || report.contains("Ablation") || report.contains("Extension"),
             "experiment {} lacks context: {report}",
             exp.id()
         );
     }
     // At least the figure experiments must have dumped data series.
-    for id in ["fig1", "fig2", "fig7", "fig8", "fig9", "fig11", "fig13", "t1"] {
+    for id in [
+        "fig1", "fig2", "fig7", "fig8", "fig9", "fig11", "fig13", "t1",
+    ] {
         let path = dir.join(format!("{id}.json"));
         assert!(path.exists(), "missing JSON dump for {id}");
         let contents = std::fs::read_to_string(&path).expect("readable JSON");

@@ -1,17 +1,121 @@
-//! Convenience wrapper: the full per-epoch analysis for all four metrics.
+//! Shared per-epoch analysis state and the full four-metric analysis.
 //!
-//! [`EpochAnalysis::compute`] builds the cube once, derives per-metric
-//! problem and critical cluster sets, and drops the cube — the cube is by
-//! far the largest intermediate, so downstream code (prevalence,
-//! persistence, what-if) works from these compact summaries.
+//! [`AnalysisContext`] is the single place the cluster cube is built: it
+//! holds the pruned [`CubeTable`], the significance parameters, and the
+//! per-metric problem-cluster sets, and every downstream consumer —
+//! critical-cluster identification, HHH, drill-down, what-if preparation,
+//! benchmarks, the CLI — *borrows* it instead of rebuilding the cube.
+//!
+//! [`EpochAnalysis`] remains the compact serializable summary: it derives
+//! from a context and drops the cube — the cube is by far the largest
+//! intermediate, so downstream code (prevalence, persistence, what-if)
+//! works from these compact summaries.
 
 use crate::critical::{CriticalParams, CriticalSet};
-use crate::cube::EpochCube;
+use crate::cube::CubeTable;
+use crate::hhh::{HhhParams, HhhSet};
 use crate::problem::{ProblemSet, SignificanceParams};
 use serde::{Deserialize, Serialize};
 use vqlens_model::dataset::EpochData;
 use vqlens_model::epoch::EpochId;
 use vqlens_model::metric::{Metric, Thresholds};
+
+/// Everything the per-epoch analyses share: the cube, the significance
+/// parameters it was pruned with, and the per-metric problem sets.
+///
+/// Computed exactly once per epoch (here, in `cluster/analyze.rs`) and
+/// borrowed by every consumer. The derived passes ([`AnalysisContext::critical`],
+/// [`AnalysisContext::hhh`]) read the cube without mutating it, so one
+/// context serves any number of downstream questions.
+#[derive(Debug, Clone)]
+pub struct AnalysisContext {
+    /// The analyzed epoch.
+    pub epoch: EpochId,
+    /// The cluster cube (pruned to `sig.min_sessions` unless built via
+    /// [`AnalysisContext::compute_unpruned`]).
+    pub cube: CubeTable,
+    /// Significance parameters the problem sets were identified with.
+    pub sig: SignificanceParams,
+    /// Per-metric problem-cluster sets, indexed by [`Metric::index`].
+    pub problems: [ProblemSet; 4],
+}
+
+impl AnalysisContext {
+    /// Build the shared context for one epoch on the current thread.
+    pub fn compute(
+        epoch: EpochId,
+        data: &EpochData,
+        thresholds: &Thresholds,
+        sig: &SignificanceParams,
+    ) -> AnalysisContext {
+        AnalysisContext::compute_with_threads(epoch, data, thresholds, sig, 1)
+    }
+
+    /// Build the shared context using up to `threads` worker threads for
+    /// cube construction. Bit-for-bit identical for every thread count.
+    pub fn compute_with_threads(
+        epoch: EpochId,
+        data: &EpochData,
+        thresholds: &Thresholds,
+        sig: &SignificanceParams,
+        threads: usize,
+    ) -> AnalysisContext {
+        let mut cube = CubeTable::build_with_threads(epoch, data, thresholds, threads);
+        cube.prune(sig.min_sessions);
+        AnalysisContext::from_cube(cube, sig)
+    }
+
+    /// Build the shared context without pruning the cube. Identification is
+    /// unaffected (insignificant clusters are filtered either way; see the
+    /// `pruning_is_transparent` cross-validation test), but drill-down can
+    /// then descend into clusters below the significance floor.
+    pub fn compute_unpruned(
+        epoch: EpochId,
+        data: &EpochData,
+        thresholds: &Thresholds,
+        sig: &SignificanceParams,
+    ) -> AnalysisContext {
+        let cube = CubeTable::build(epoch, data, thresholds);
+        AnalysisContext::from_cube(cube, sig)
+    }
+
+    /// Derive the per-metric problem sets from an already-built cube.
+    pub fn from_cube(cube: CubeTable, sig: &SignificanceParams) -> AnalysisContext {
+        let problems = Metric::ALL.map(|m| ProblemSet::identify(&cube, m, sig));
+        AnalysisContext {
+            epoch: cube.epoch,
+            cube,
+            sig: *sig,
+            problems,
+        }
+    }
+
+    /// The problem-cluster set for one metric.
+    pub fn problems(&self, metric: Metric) -> &ProblemSet {
+        &self.problems[metric.index()]
+    }
+
+    /// Global problem ratio of the epoch for `metric`.
+    pub fn global_ratio(&self, metric: Metric) -> f64 {
+        self.cube.global_ratio(metric)
+    }
+
+    /// Total sessions in the epoch.
+    pub fn total_sessions(&self) -> u64 {
+        self.cube.root.sessions
+    }
+
+    /// Identify the critical clusters for one metric (§3.2), reusing the
+    /// shared cube and problem set.
+    pub fn critical(&self, metric: Metric, params: &CriticalParams) -> CriticalSet {
+        CriticalSet::identify(&self.cube, self.problems(metric), &self.sig, params)
+    }
+
+    /// Run the HHH baseline for one metric, reusing the shared cube.
+    pub fn hhh(&self, metric: Metric, params: &HhhParams) -> HhhSet {
+        HhhSet::identify(&self.cube, metric, params)
+    }
+}
 
 /// Per-metric result of one epoch's analysis.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,7 +138,7 @@ pub struct EpochAnalysis {
 }
 
 impl EpochAnalysis {
-    /// Analyze one epoch end to end.
+    /// Analyze one epoch end to end on the current thread.
     pub fn compute(
         epoch: EpochId,
         data: &EpochData,
@@ -42,16 +146,33 @@ impl EpochAnalysis {
         sig: &SignificanceParams,
         critical_params: &CriticalParams,
     ) -> EpochAnalysis {
-        let mut cube = EpochCube::build(epoch, data, thresholds);
-        cube.prune(sig.min_sessions);
-        let metrics = Metric::ALL.map(|m| {
-            let problems = ProblemSet::identify(&cube, m, sig);
-            let critical = CriticalSet::identify(&cube, &problems, sig, critical_params);
-            MetricAnalysis { problems, critical }
+        EpochAnalysis::compute_with_threads(epoch, data, thresholds, sig, critical_params, 1)
+    }
+
+    /// Analyze one epoch end to end, using up to `threads` worker threads
+    /// for cube construction (bit-for-bit identical for any thread count).
+    pub fn compute_with_threads(
+        epoch: EpochId,
+        data: &EpochData,
+        thresholds: &Thresholds,
+        sig: &SignificanceParams,
+        critical_params: &CriticalParams,
+        threads: usize,
+    ) -> EpochAnalysis {
+        let ctx = AnalysisContext::compute_with_threads(epoch, data, thresholds, sig, threads);
+        EpochAnalysis::from_context(&ctx, critical_params)
+    }
+
+    /// Derive the compact summary from a shared context. The problem sets
+    /// are cloned — they are small post-significance summaries, not cubes.
+    pub fn from_context(ctx: &AnalysisContext, critical_params: &CriticalParams) -> EpochAnalysis {
+        let metrics = Metric::ALL.map(|m| MetricAnalysis {
+            problems: ctx.problems(m).clone(),
+            critical: ctx.critical(m, critical_params),
         });
         EpochAnalysis {
-            epoch,
-            total_sessions: cube.root.sessions,
+            epoch: ctx.epoch,
+            total_sessions: ctx.total_sessions(),
             metrics,
         }
     }
@@ -68,8 +189,7 @@ mod tests {
     use vqlens_model::attr::SessionAttrs;
     use vqlens_model::metric::QualityMeasurement;
 
-    #[test]
-    fn computes_all_metrics() {
+    fn bad_vs_ok_epoch() -> EpochData {
         let mut d = EpochData::default();
         let bad = SessionAttrs::new([1, 1, 1, 0, 0, 0, 0]);
         let ok = SessionAttrs::new([2, 2, 2, 0, 0, 0, 0]);
@@ -84,16 +204,25 @@ mod tests {
             );
             d.push(ok, QualityMeasurement::joined(400, 300.0, 0.0, 2800.0));
         }
-        let sig = SignificanceParams {
+        d
+    }
+
+    fn sig() -> SignificanceParams {
+        SignificanceParams {
             ratio_multiplier: 1.5,
             min_sessions: 100,
             min_problem_sessions: 5,
-        };
+        }
+    }
+
+    #[test]
+    fn computes_all_metrics() {
+        let d = bad_vs_ok_epoch();
         let a = EpochAnalysis::compute(
             EpochId(7),
             &d,
             &Thresholds::default(),
-            &sig,
+            &sig(),
             &CriticalParams::default(),
         );
         assert_eq!(a.epoch, EpochId(7));
@@ -106,6 +235,36 @@ mod tests {
                 "metric {m} should flag the bad cluster"
             );
             assert!(!ma.critical.is_empty());
+        }
+    }
+
+    #[test]
+    fn context_matches_direct_computation() {
+        let d = bad_vs_ok_epoch();
+        let sig = sig();
+        let ctx = AnalysisContext::compute(EpochId(7), &d, &Thresholds::default(), &sig);
+        assert_eq!(ctx.epoch, EpochId(7));
+        assert_eq!(ctx.total_sessions(), 2000);
+        let a = EpochAnalysis::from_context(&ctx, &CriticalParams::default());
+        let direct = EpochAnalysis::compute(
+            EpochId(7),
+            &d,
+            &Thresholds::default(),
+            &sig,
+            &CriticalParams::default(),
+        );
+        assert_eq!(a.total_sessions, direct.total_sessions);
+        for m in Metric::ALL {
+            assert_eq!(a.metric(m).problems.len(), direct.metric(m).problems.len());
+            assert_eq!(a.metric(m).critical.len(), direct.metric(m).critical.len());
+            // The unpruned context identifies the same clusters.
+            let unpruned =
+                AnalysisContext::compute_unpruned(EpochId(7), &d, &Thresholds::default(), &sig);
+            assert_eq!(
+                unpruned.problems(m).len(),
+                ctx.problems(m).len(),
+                "pruning is transparent to identification"
+            );
         }
     }
 }

@@ -29,7 +29,7 @@
 //! contain the same leaf — the paper's "two potential phase transitions"
 //! corner case — the attribution is split equally among them.
 
-use crate::cube::{ClusterCounts, EpochCube};
+use crate::cube::{ClusterCounts, CubeTable};
 use crate::problem::{ProblemSet, SignificanceParams};
 use serde::{Deserialize, Serialize};
 use vqlens_model::attr::{AttrMask, ClusterKey};
@@ -44,7 +44,9 @@ fn occurring_masks(keys: impl Iterator<Item = ClusterKey>) -> Vec<AttrMask> {
     for key in keys {
         seen[key.mask().0 as usize] = true;
     }
-    AttrMask::all_nonempty().filter(|m| seen[m.0 as usize]).collect()
+    AttrMask::all_nonempty()
+        .filter(|m| seen[m.0 as usize])
+        .collect()
 }
 
 /// Knobs for the critical-cluster algorithm, on top of the problem-cluster
@@ -122,7 +124,7 @@ pub struct CriticalSet {
 impl CriticalSet {
     /// Identify critical clusters and attribute problem sessions.
     pub fn identify(
-        cube: &EpochCube,
+        cube: &CubeTable,
         problems: &ProblemSet,
         sig: &SignificanceParams,
         params: &CriticalParams,
@@ -145,26 +147,39 @@ impl CriticalSet {
         // underlying sessions are counted once per lattice level they
         // appear at; that is deliberate and consistent between the total
         // and bad sums, so the *fraction* the tolerance tests is unbiased.
+        //
+        // The cube is mask-partitioned, so the pc-mask subset filter is
+        // hoisted out of the per-cluster loop: each mask run is walked once
+        // with just the masks that can host its ancestors.
         let mut desc_total: FxHashMap<ClusterKey, f64> = FxHashMap::default();
         let mut desc_bad: FxHashMap<ClusterKey, f64> = FxHashMap::default();
-        for (&key, counts) in &cube.clusters {
-            if counts.sessions < sig.min_sessions {
+        let mut relevant: Vec<AttrMask> = Vec::with_capacity(pc_masks.len());
+        for (mask, run) in cube.slices() {
+            relevant.clear();
+            relevant.extend(
+                pc_masks
+                    .iter()
+                    .copied()
+                    .filter(|&pm| pm != mask && pm.is_subset_of(mask)),
+            );
+            if relevant.is_empty() {
                 continue;
             }
-            let mask = key.mask();
-            let healthy = counts.ratio(metric) < sig.ratio_multiplier * global;
-            for &pm in &pc_masks {
-                if pm == mask || !pm.is_subset_of(mask) {
+            for &(key, counts) in run {
+                if counts.sessions < sig.min_sessions {
                     continue;
                 }
-                let anc = key.project_onto(pm);
-                if !problems.contains(anc) {
-                    continue;
-                }
-                let w = counts.sessions as f64;
-                *desc_total.entry(anc).or_default() += w;
-                if healthy {
-                    *desc_bad.entry(anc).or_default() += w;
+                let healthy = counts.ratio(metric) < sig.ratio_multiplier * global;
+                for &pm in &relevant {
+                    let anc = key.project_onto(pm);
+                    if !problems.contains(anc) {
+                        continue;
+                    }
+                    let w = counts.sessions as f64;
+                    *desc_total.entry(anc).or_default() += w;
+                    if healthy {
+                        *desc_bad.entry(anc).or_default() += w;
+                    }
                 }
             }
         }
@@ -210,9 +225,9 @@ impl CriticalSet {
             .copied()
             .filter(|&c| {
                 let mask = c.mask();
-                !mask.nonempty_submasks().any(|sub| {
-                    sub != mask && candidates.contains(&c.project_onto(sub))
-                })
+                !mask
+                    .nonempty_submasks()
+                    .any(|sub| sub != mask && candidates.contains(&c.project_onto(sub)))
             })
             .collect();
 
@@ -241,7 +256,7 @@ impl CriticalSet {
         let mut problems_in_pc = 0u64;
         let mut problems_attributed = 0.0f64;
         let mut owners: Vec<ClusterKey> = Vec::with_capacity(8);
-        for (&leaf, counts) in cube.leaves() {
+        for &(leaf, counts) in cube.leaves() {
             let leaf_problems = counts.problems[metric.index()];
             if leaf_problems == 0 {
                 continue;
@@ -352,7 +367,7 @@ mod tests {
         sig: &SignificanceParams,
         params: &CriticalParams,
     ) -> (ProblemSet, CriticalSet) {
-        let cube = EpochCube::build(EpochId(0), d, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), d, &Thresholds::default());
         let ps = ProblemSet::identify(&cube, Metric::JoinFailure, sig);
         let cs = CriticalSet::identify(&cube, &ps, sig, params);
         (ps, cs)
@@ -424,7 +439,10 @@ mod tests {
         assert!(
             cs.clusters.contains_key(&pair),
             "the (ASN1, CDN1) pair must be critical; got {:?}",
-            cs.clusters.keys().map(|k| k.to_string()).collect::<Vec<_>>()
+            cs.clusters
+                .keys()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
         );
         assert!(!cs.clusters.contains_key(&cdn1));
         assert!(!cs.clusters.contains_key(&asn1));
@@ -466,16 +484,15 @@ mod tests {
             assert!(
                 cs.clusters.contains_key(&s),
                 "{s} should be critical; got {:?}",
-                cs.clusters.keys().map(|k| k.to_string()).collect::<Vec<_>>()
+                cs.clusters
+                    .keys()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>()
             );
         }
         // Attribution of the 1000 problem sessions splits equally across
         // the overlapping critical clusters that contain the leaf.
-        let total_attr: f64 = cs
-            .clusters
-            .values()
-            .map(|s| s.attributed_problems)
-            .sum();
+        let total_attr: f64 = cs.clusters.values().map(|s| s.attributed_problems).sum();
         assert!((total_attr - cs.problems_attributed).abs() < 1e-9);
         let a = cs.clusters[&singles[0]].attributed_problems;
         let b = cs.clusters[&singles[1]].attributed_problems;
@@ -519,10 +536,7 @@ mod tests {
         for &a in &keys {
             for &b in &keys {
                 if a != b {
-                    assert!(
-                        !a.generalizes(b),
-                        "{a} generalizes {b}: not an antichain"
-                    );
+                    assert!(!a.generalizes(b), "{a} generalizes {b}: not an antichain");
                 }
             }
         }

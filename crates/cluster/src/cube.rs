@@ -6,17 +6,42 @@
 //! problem-session counts — everything the problem/critical cluster
 //! algorithms need.
 //!
+//! # Layout
+//!
+//! [`CubeTable`] stores the cube as one flat `Vec<(ClusterKey, ClusterCounts)>`
+//! sorted by the packed key. Because the 7-bit attribute mask occupies the
+//! *top* bits of a [`ClusterKey`] (see `vqlens_model::attr`), sorting by the
+//! raw `u64` groups the table mask-major: the clusters of any one mask form
+//! one contiguous run, masks appear in increasing `AttrMask` order, and
+//! within a mask entries are sorted by their packed values. A 127-entry
+//! offset index ([`CubeTable::mask_slice`]) turns "all clusters of mask `m`"
+//! into an O(1) slice borrow, and point lookups ([`CubeTable::counts`]) into
+//! a binary search over that slice — no hashing anywhere on the read path.
+//!
+//! # Construction
+//!
 //! Construction is two-phase for speed: sessions are first reduced to
-//! distinct leaves (full 7-attribute combinations), then each distinct leaf
-//! is fanned out to its 127 projections. Real traces are heavily duplicated
-//! at the leaf level, making this far cheaper than projecting every session
-//! directly.
+//! distinct leaves (full 7-attribute combinations), then each of the 126
+//! non-full masks is materialized by projecting the sorted leaf run onto the
+//! mask and aggregating equal projections after a sort — a sort-and-merge
+//! instead of ~550 K hash-map updates per epoch. Real traces are heavily
+//! duplicated at the leaf level, making the leaf reduction far cheaper than
+//! projecting every session directly.
+//!
+//! Both phases optionally run on multiple threads
+//! ([`CubeTable::build_with_threads`]): the leaf reduction shards sessions
+//! into contiguous chunks whose partial counts are merged (`u64` addition is
+//! exact and commutative), and the mask fanout partitions the 126 masks
+//! across workers. Every mask's slice is computed independently from the
+//! same sorted leaf run and the slices are assembled in mask order, so the
+//! resulting table is bit-for-bit identical for every thread count.
 
 use serde::{Deserialize, Serialize};
+use vqlens_model::attr::SessionAttrs;
 use vqlens_model::attr::{AttrMask, ClusterKey};
 use vqlens_model::dataset::EpochData;
 use vqlens_model::epoch::EpochId;
-use vqlens_model::metric::{Metric, Thresholds};
+use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};
 use vqlens_stats::FxHashMap;
 
 /// Session and per-metric problem counts of one cluster.
@@ -66,63 +91,232 @@ impl ClusterCounts {
     }
 }
 
-/// The full cluster cube of one epoch.
+/// One cube entry: a cluster and its counts.
+pub type CubeEntry = (ClusterKey, ClusterCounts);
+
+/// The full cluster cube of one epoch, as a flat mask-partitioned sorted
+/// table (see the module docs for the layout).
 #[derive(Debug, Clone)]
-pub struct EpochCube {
+pub struct CubeTable {
     /// The epoch this cube covers.
     pub epoch: EpochId,
     /// Counts of the root cluster (all sessions of the epoch).
     pub root: ClusterCounts,
-    /// Counts for every non-empty projection with at least one session.
-    /// Keys with mask [`AttrMask::FULL`] are the leaves.
-    pub clusters: FxHashMap<ClusterKey, ClusterCounts>,
+    /// All non-empty projections with at least one session, sorted by the
+    /// packed key (mask-major). Entries with mask [`AttrMask::FULL`] are the
+    /// leaves and form the final run.
+    entries: Vec<CubeEntry>,
+    /// `offsets[m]..offsets[m + 1]` delimits the entries of mask `m`
+    /// (`m` in `0..=127`; mask 0 is the root and never stored, so its range
+    /// is always empty).
+    offsets: [u32; 129],
 }
 
-impl EpochCube {
-    /// Build the cube for one epoch.
-    pub fn build(epoch: EpochId, data: &EpochData, thresholds: &Thresholds) -> EpochCube {
+/// Reduce a session chunk to its distinct leaves plus the chunk's root
+/// counts. The shardable half of cube construction.
+fn reduce_leaves(
+    attrs: &[SessionAttrs],
+    quality: &[QualityMeasurement],
+    thresholds: &Thresholds,
+) -> (ClusterCounts, FxHashMap<ClusterKey, ClusterCounts>) {
+    let mut leaves: FxHashMap<ClusterKey, ClusterCounts> = FxHashMap::default();
+    leaves.reserve(attrs.len() / 4);
+    let mut root = ClusterCounts::default();
+    for (attrs, quality) in attrs.iter().zip(quality) {
+        let flags = thresholds.problem_flags(quality);
+        let entry = leaves.entry(attrs.leaf_key()).or_default();
+        entry.sessions += 1;
+        root.sessions += 1;
+        if flags.any() {
+            for m in Metric::ALL {
+                if flags.is_problem(m) {
+                    entry.problems[m.index()] += 1;
+                    root.problems[m.index()] += 1;
+                }
+            }
+        }
+    }
+    (root, leaves)
+}
+
+/// Project the sorted leaf run onto one mask and aggregate equal
+/// projections, yielding the mask's sorted entry run. `scratch` is reused
+/// across masks to avoid reallocating the projection buffer.
+fn project_mask(
+    leaves: &[CubeEntry],
+    mask: AttrMask,
+    scratch: &mut Vec<(u64, u32)>,
+) -> Vec<CubeEntry> {
+    scratch.clear();
+    scratch.extend(
+        leaves
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| (k.project_onto(mask).0, i as u32)),
+    );
+    // Unstable is fine: ties sort by leaf index, and the per-run sums below
+    // are exact `u64` additions, so the output is deterministic either way.
+    scratch.sort_unstable();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < scratch.len() {
+        let key = scratch[i].0;
+        let mut acc = ClusterCounts::default();
+        while i < scratch.len() && scratch[i].0 == key {
+            acc.add(&leaves[scratch[i].1 as usize].1);
+            i += 1;
+        }
+        out.push((ClusterKey(key), acc));
+    }
+    out
+}
+
+/// Recompute the 128-way mask index over a sorted entry table.
+fn compute_offsets(entries: &[CubeEntry]) -> [u32; 129] {
+    assert!(
+        u32::try_from(entries.len()).is_ok(),
+        "cube exceeds u32 offset range"
+    );
+    debug_assert!(entries.windows(2).all(|w| w[0].0 .0 < w[1].0 .0));
+    let mut counts = [0u32; 128];
+    for (k, _) in entries {
+        counts[k.mask().0 as usize] += 1;
+    }
+    let mut offsets = [0u32; 129];
+    let mut acc = 0u32;
+    for (m, count) in counts.iter().enumerate() {
+        offsets[m] = acc;
+        acc += count;
+    }
+    offsets[128] = acc;
+    offsets
+}
+
+impl CubeTable {
+    /// Build the cube for one epoch on the current thread.
+    pub fn build(epoch: EpochId, data: &EpochData, thresholds: &Thresholds) -> CubeTable {
+        CubeTable::build_with_threads(epoch, data, thresholds, 1)
+    }
+
+    /// Build the cube for one epoch using up to `threads` worker threads.
+    ///
+    /// The result is bit-for-bit identical to [`CubeTable::build`] for every
+    /// thread count (see the module docs); small epochs fall back to the
+    /// serial path where threading would only add overhead.
+    pub fn build_with_threads(
+        epoch: EpochId,
+        data: &EpochData,
+        thresholds: &Thresholds,
+        threads: usize,
+    ) -> CubeTable {
+        let threads = threads.max(1);
+
         // Phase 1: reduce sessions to distinct leaves.
-        let mut leaves: FxHashMap<ClusterKey, ClusterCounts> = FxHashMap::default();
-        leaves.reserve(data.len() / 4);
-        let mut root = ClusterCounts::default();
-        for (attrs, quality) in data.iter() {
-            let flags = thresholds.problem_flags(quality);
-            let entry = leaves.entry(attrs.leaf_key()).or_default();
-            entry.sessions += 1;
-            root.sessions += 1;
-            if flags.any() {
-                for m in Metric::ALL {
-                    if flags.is_problem(m) {
-                        entry.problems[m.index()] += 1;
-                        root.problems[m.index()] += 1;
-                    }
+        let (root, leaf_map) = if threads == 1 || data.len() < 4096 {
+            reduce_leaves(&data.attrs, &data.quality, thresholds)
+        } else {
+            let chunk = data.len().div_ceil(threads);
+            let partials: Vec<(ClusterCounts, FxHashMap<ClusterKey, ClusterCounts>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = data
+                        .attrs
+                        .chunks(chunk)
+                        .zip(data.quality.chunks(chunk))
+                        .map(|(a, q)| scope.spawn(move || reduce_leaves(a, q, thresholds)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("leaf-reduction worker panicked"))
+                        .collect()
+                });
+            let mut partials = partials.into_iter();
+            let (mut root, mut merged) = partials.next().expect("at least one chunk");
+            for (chunk_root, chunk_leaves) in partials {
+                root.add(&chunk_root);
+                for (key, counts) in chunk_leaves {
+                    merged.entry(key).or_default().add(&counts);
                 }
             }
-        }
+            (root, merged)
+        };
+        let mut leaves: Vec<CubeEntry> = leaf_map.into_iter().collect();
+        leaves.sort_unstable_by_key(|(k, _)| k.0);
 
-        // Phase 2: fan each distinct leaf out to its 127 projections.
-        let mut clusters: FxHashMap<ClusterKey, ClusterCounts> = FxHashMap::default();
-        // Distinct projections fan out roughly 20-60x from distinct
-        // leaves on realistic attribute mixes; reserving well ahead avoids
-        // rebuilding the pipeline's biggest map through repeated rehashes.
-        clusters.reserve(leaves.len() * 24);
-        for (&leaf, counts) in &leaves {
-            for mask in AttrMask::all_nonempty() {
-                if mask == AttrMask::FULL {
-                    continue; // leaves inserted wholesale below
-                }
-                clusters.entry(leaf.project_onto(mask)).or_default().add(counts);
-            }
-        }
-        for (leaf, counts) in leaves {
-            clusters.insert(leaf, counts);
-        }
+        // Phase 2: fan the sorted leaf run out to the 126 non-full masks.
+        let masks: Vec<AttrMask> = (1u8..AttrMask::FULL.0).map(AttrMask).collect();
+        let per_mask: Vec<Vec<CubeEntry>> = if threads == 1 || leaves.len() < 512 {
+            let mut scratch = Vec::with_capacity(leaves.len());
+            masks
+                .iter()
+                .map(|&m| project_mask(&leaves, m, &mut scratch))
+                .collect()
+        } else {
+            let chunk = masks.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = masks
+                    .chunks(chunk)
+                    .map(|mask_chunk| {
+                        let leaves = &leaves;
+                        scope.spawn(move || {
+                            let mut scratch = Vec::with_capacity(leaves.len());
+                            mask_chunk
+                                .iter()
+                                .map(|&m| project_mask(leaves, m, &mut scratch))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("mask-fanout worker panicked"))
+                    .collect()
+            })
+        };
 
-        EpochCube {
+        // Assemble in mask order; `masks` is already ascending and FULL is
+        // the numerically largest mask, so the table comes out sorted.
+        let total = per_mask.iter().map(Vec::len).sum::<usize>() + leaves.len();
+        let mut entries = Vec::with_capacity(total);
+        for run in per_mask {
+            entries.extend(run);
+        }
+        entries.extend(leaves);
+        let offsets = compute_offsets(&entries);
+
+        CubeTable {
             epoch,
             root,
-            clusters,
+            entries,
+            offsets,
         }
+    }
+
+    /// All entries, sorted by packed key (mask-major).
+    pub fn entries(&self) -> &[CubeEntry] {
+        &self.entries
+    }
+
+    /// The contiguous run of clusters with attribute mask `mask` (sorted by
+    /// packed values; empty when no session projects onto the mask).
+    pub fn mask_slice(&self, mask: AttrMask) -> &[CubeEntry] {
+        let m = mask.0 as usize;
+        &self.entries[self.offsets[m] as usize..self.offsets[m + 1] as usize]
+    }
+
+    /// Iterate the non-empty `(mask, run)` pairs in ascending mask order.
+    pub fn slices(&self) -> impl Iterator<Item = (AttrMask, &[CubeEntry])> {
+        AttrMask::all_nonempty()
+            .map(move |m| (m, self.mask_slice(m)))
+            .filter(|(_, s)| !s.is_empty())
+    }
+
+    /// Counts of one cluster, or `None` when no session belongs to it
+    /// (binary search within the cluster's mask run).
+    pub fn get(&self, key: ClusterKey) -> Option<&ClusterCounts> {
+        let run = self.mask_slice(key.mask());
+        run.binary_search_by_key(&key.0, |(k, _)| k.0)
+            .ok()
+            .map(|i| &run[i].1)
     }
 
     /// Counts of one cluster ([`ClusterKey::ROOT`] resolves to the root).
@@ -130,7 +324,7 @@ impl EpochCube {
         if key == ClusterKey::ROOT {
             self.root
         } else {
-            self.clusters.get(&key).copied().unwrap_or_default()
+            self.get(key).copied().unwrap_or_default()
         }
     }
 
@@ -139,25 +333,25 @@ impl EpochCube {
         self.root.ratio(metric)
     }
 
-    /// Iterate over the leaf clusters (full attribute combinations).
-    pub fn leaves(&self) -> impl Iterator<Item = (&ClusterKey, &ClusterCounts)> {
-        self.clusters
-            .iter()
-            .filter(|(k, _)| k.mask() == AttrMask::FULL)
+    /// The leaf clusters (full attribute combinations), sorted by key.
+    pub fn leaves(&self) -> &[CubeEntry] {
+        self.mask_slice(AttrMask::FULL)
     }
 
     /// Number of distinct clusters (all masks) with at least one session.
     pub fn num_clusters(&self) -> usize {
-        self.clusters.len()
+        self.entries.len()
     }
 
     /// Drop clusters that can never be statistically significant, keeping
     /// all leaves (needed for attribution). Shrinks the cube several-fold
-    /// before the per-metric passes iterate it.
+    /// before the per-metric passes iterate it. `retain` preserves the sort
+    /// order, so only the mask index needs recomputing.
     pub fn prune(&mut self, min_sessions: u64) {
-        self.clusters
-            .retain(|k, c| c.sessions >= min_sessions || k.mask() == AttrMask::FULL);
-        self.clusters.shrink_to_fit();
+        self.entries
+            .retain(|(k, c)| c.sessions >= min_sessions || k.mask() == AttrMask::FULL);
+        self.entries.shrink_to_fit();
+        self.offsets = compute_offsets(&self.entries);
     }
 }
 
@@ -194,7 +388,7 @@ mod tests {
             (attrs(1, 2), GOOD),
             (attrs(2, 1), QualityMeasurement::failed()),
         ]);
-        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
         assert_eq!(cube.root.sessions, 3);
         assert_eq!(cube.root.problems[Metric::JoinFailure.index()], 1);
 
@@ -227,7 +421,7 @@ mod tests {
             }
         }
         let data = epoch_with(&sessions);
-        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
 
         for asn in 0..3u32 {
             let parent = cube.counts(ClusterKey::of_single(AttrKey::Asn, asn));
@@ -244,12 +438,119 @@ mod tests {
     #[test]
     fn leaves_iterate_full_masks_only() {
         let data = epoch_with(&[(attrs(1, 1), GOOD), (attrs(1, 2), GOOD)]);
-        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
-        let leaves: Vec<_> = cube.leaves().collect();
+        let cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
+        let leaves = cube.leaves();
         assert_eq!(leaves.len(), 2);
         for (k, _) in leaves {
             assert_eq!(k.mask(), AttrMask::FULL);
         }
+    }
+
+    #[test]
+    fn table_is_sorted_and_mask_partitioned() {
+        let mut sessions = Vec::new();
+        for asn in 0..5u32 {
+            for cdn in 0..3u32 {
+                sessions.push((attrs(asn, cdn), GOOD));
+            }
+        }
+        let data = epoch_with(&sessions);
+        let cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
+
+        // Globally sorted, strictly (keys are unique).
+        let entries = cube.entries();
+        assert!(entries.windows(2).all(|w| w[0].0 .0 < w[1].0 .0));
+        // Every mask slice holds exactly the entries of that mask, and the
+        // slices tile the table in ascending mask order.
+        let mut rebuilt = Vec::new();
+        for mask in AttrMask::all_nonempty() {
+            let run = cube.mask_slice(mask);
+            assert!(run.iter().all(|(k, _)| k.mask() == mask));
+            rebuilt.extend_from_slice(run);
+        }
+        assert_eq!(rebuilt, entries);
+        // `slices` visits exactly the non-empty masks.
+        let non_empty: Vec<AttrMask> = cube.slices().map(|(m, _)| m).collect();
+        assert!(non_empty.contains(&AttrMask::FULL));
+        assert!(
+            !non_empty.contains(&AttrMask::of(&[AttrKey::Site]))
+                || !cube.mask_slice(AttrMask::of(&[AttrKey::Site])).is_empty()
+        );
+        // Point lookups agree with a linear scan.
+        for &(key, counts) in entries {
+            assert_eq!(cube.get(key), Some(&counts));
+            assert_eq!(cube.counts(key), counts);
+        }
+        // Missing keys resolve to empty counts.
+        assert_eq!(
+            cube.counts(ClusterKey::of_single(AttrKey::Asn, 99))
+                .sessions,
+            0
+        );
+        assert_eq!(cube.get(ClusterKey::of_single(AttrKey::Asn, 99)), None);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_for_bit_identical() {
+        // Enough sessions and distinct leaves to engage both sharded
+        // phases (the serial fallbacks trigger below 4096 sessions / 512
+        // leaves).
+        let mut sessions = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..6000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = SessionAttrs::new([
+                ((x >> 7) % 40) as u32,
+                ((x >> 17) % 5) as u32,
+                ((x >> 23) % 11) as u32,
+                ((x >> 31) % 2) as u32,
+                ((x >> 33) % 3) as u32,
+                ((x >> 37) % 3) as u32,
+                ((x >> 41) % 3) as u32,
+            ]);
+            let q = if x % 13 == 0 {
+                QualityMeasurement::failed()
+            } else {
+                GOOD
+            };
+            sessions.push((a, q));
+        }
+        let data = epoch_with(&sessions);
+        let serial = CubeTable::build(EpochId(3), &data, &Thresholds::default());
+        for threads in [2, 3, 8] {
+            let parallel =
+                CubeTable::build_with_threads(EpochId(3), &data, &Thresholds::default(), threads);
+            assert_eq!(parallel.root, serial.root, "threads={threads}");
+            assert_eq!(parallel.entries, serial.entries, "threads={threads}");
+            assert_eq!(parallel.offsets, serial.offsets, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn prune_keeps_leaves_and_mask_index_consistent() {
+        let mut sessions = Vec::new();
+        for asn in 0..4u32 {
+            for _ in 0..(asn + 1) {
+                sessions.push((attrs(asn, 0), GOOD));
+            }
+        }
+        let data = epoch_with(&sessions);
+        let mut cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
+        let leaves_before = cube.leaves().len();
+        cube.prune(3);
+        assert_eq!(cube.leaves().len(), leaves_before, "leaves survive pruning");
+        for (k, c) in cube.entries() {
+            assert!(c.sessions >= 3 || k.mask() == AttrMask::FULL);
+        }
+        // The mask index still matches the retained entries.
+        let entries = cube.entries().to_vec();
+        let mut rebuilt = Vec::new();
+        for mask in AttrMask::all_nonempty() {
+            rebuilt.extend_from_slice(cube.mask_slice(mask));
+        }
+        assert_eq!(rebuilt, entries);
     }
 
     #[test]
@@ -270,9 +571,14 @@ mod tests {
 
     #[test]
     fn empty_epoch_produces_empty_cube() {
-        let cube = EpochCube::build(EpochId(0), &EpochData::default(), &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &EpochData::default(), &Thresholds::default());
         assert_eq!(cube.root.sessions, 0);
         assert_eq!(cube.num_clusters(), 0);
         assert_eq!(cube.global_ratio(Metric::BufRatio), 0.0);
+        assert!(cube.leaves().is_empty());
+        assert_eq!(
+            cube.counts(ClusterKey::of_single(AttrKey::Asn, 1)).sessions,
+            0
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! benchmark (`repro abl-hhh`): it runs over the same cube and reports how
 //! many clusters it needs to cover the same problem mass.
 
-use crate::cube::EpochCube;
+use crate::cube::CubeTable;
 use serde::{Deserialize, Serialize};
 use vqlens_model::attr::{AttrMask, ClusterKey};
 use vqlens_model::metric::Metric;
@@ -59,20 +59,20 @@ impl HhhSet {
     /// least; once a leaf's problem volume is claimed by a heavy hitter it
     /// is discounted from all higher levels, following the classic HHH
     /// formulation.
-    pub fn identify(cube: &EpochCube, metric: Metric, params: &HhhParams) -> HhhSet {
+    pub fn identify(cube: &CubeTable, metric: Metric, params: &HhhParams) -> HhhSet {
         let total_problems = cube.root.problems[metric.index()];
         let threshold = (params.phi * total_problems as f64).max(1.0);
 
-        // Remaining (unclaimed) problem volume per leaf.
+        // Remaining (unclaimed) problem volume per leaf. The leaf run is
+        // already sorted by key, which fixes the claiming order.
         let mut remaining: Vec<(ClusterKey, u64)> = cube
             .leaves()
+            .iter()
             .filter_map(|(k, c)| {
                 let p = c.problems[metric.index()];
                 (p > 0).then_some((*k, p))
             })
             .collect();
-        // Deterministic order for reproducible claiming.
-        remaining.sort_by_key(|(k, _)| k.0);
 
         // Masks grouped by level (number of constrained attributes).
         let mut masks_by_level: [Vec<AttrMask>; 8] = Default::default();
@@ -191,7 +191,7 @@ mod tests {
         push(&mut d, 1, 1, 1000, 600); // dominant failure mass
         push(&mut d, 2, 2, 1000, 30); // scattered
         push(&mut d, 3, 3, 1000, 30);
-        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &d, &Thresholds::default());
         let hhh = HhhSet::identify(&cube, Metric::JoinFailure, &HhhParams { phi: 0.2 });
         assert!(!hhh.is_empty());
         // The (ASN=1, CDN=1, ...) leaf mass must be claimed exactly once.
@@ -206,7 +206,7 @@ mod tests {
     fn no_problems_no_hitters() {
         let mut d = EpochData::default();
         push(&mut d, 1, 1, 100, 0);
-        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &d, &Thresholds::default());
         let hhh = HhhSet::identify(&cube, Metric::JoinFailure, &HhhParams::default());
         assert!(hhh.is_empty());
         assert_eq!(hhh.coverage(), 0.0);
@@ -216,7 +216,7 @@ mod tests {
     fn coverage_bounded_by_one() {
         let mut d = EpochData::default();
         push(&mut d, 1, 1, 500, 500);
-        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &d, &Thresholds::default());
         let hhh = HhhSet::identify(&cube, Metric::JoinFailure, &HhhParams { phi: 0.001 });
         assert!(hhh.coverage() <= 1.0 + 1e-12);
         assert!(hhh.coverage() > 0.99);

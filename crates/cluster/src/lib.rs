@@ -7,7 +7,8 @@
 //!
 //! * [`cube`] — per-epoch aggregation of session counts and per-metric
 //!   problem counts for **every** attribute-subset projection (the 127-way
-//!   data cube), the computational substrate for everything else.
+//!   data cube), stored as a flat mask-partitioned sorted table
+//!   ([`cube::CubeTable`]), the computational substrate for everything else.
 //! * [`problem`] — significance rules: a cluster is a problem cluster when
 //!   its problem ratio is ≥ 1.5× the epoch's global ratio *and* it holds
 //!   enough sessions (§3.1).
@@ -17,8 +18,8 @@
 //! * [`hhh`] — a hierarchical-heavy-hitter baseline (Zhang et al., IMC'04),
 //!   the closest prior technique the paper compares against conceptually
 //!   (§7), used by the ablation benchmarks.
-//! * [`analyze`] — a convenience wrapper computing the full per-epoch
-//!   analysis for all four metrics.
+//! * [`analyze`] — the shared per-epoch [`analyze::AnalysisContext`] (built
+//!   exactly once per epoch) and the full four-metric analysis wrapper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +30,8 @@ pub mod cube;
 pub mod hhh;
 pub mod problem;
 
-pub use analyze::{EpochAnalysis, MetricAnalysis};
+pub use analyze::{AnalysisContext, EpochAnalysis, MetricAnalysis};
 pub use critical::{CriticalSet, CriticalStats};
-pub use cube::{ClusterCounts, EpochCube};
+pub use cube::{ClusterCounts, CubeTable};
 pub use hhh::{HhhParams, HhhSet};
 pub use problem::{ClusterStat, ProblemSet, SignificanceParams};

@@ -10,7 +10,7 @@
 //!
 //! Both knobs live in [`SignificanceParams`].
 
-use crate::cube::{ClusterCounts, EpochCube};
+use crate::cube::{ClusterCounts, CubeTable};
 use serde::{Deserialize, Serialize};
 use vqlens_model::attr::ClusterKey;
 use vqlens_model::metric::Metric;
@@ -100,11 +100,12 @@ pub struct ProblemSet {
 }
 
 impl ProblemSet {
-    /// Identify the problem clusters of `cube` for `metric`.
-    pub fn identify(cube: &EpochCube, metric: Metric, params: &SignificanceParams) -> ProblemSet {
+    /// Identify the problem clusters of `cube` for `metric` — one linear
+    /// walk over the flat sorted table.
+    pub fn identify(cube: &CubeTable, metric: Metric, params: &SignificanceParams) -> ProblemSet {
         let global_ratio = cube.global_ratio(metric);
         let clusters = cube
-            .clusters
+            .entries()
             .iter()
             .filter(|(_, counts)| params.is_problem(counts, metric, global_ratio))
             .map(|(key, counts)| {
@@ -178,7 +179,7 @@ mod tests {
 
     #[test]
     fn identifies_skewed_cluster() {
-        let cube = EpochCube::build(EpochId(0), &skewed_epoch(), &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &skewed_epoch(), &Thresholds::default());
         let params = SignificanceParams {
             ratio_multiplier: 1.5,
             min_sessions: 50,
@@ -187,7 +188,10 @@ mod tests {
         let ps = ProblemSet::identify(&cube, Metric::JoinFailure, &params);
         assert!((ps.global_ratio - 0.05).abs() < 1e-12);
         let asn1 = ClusterKey::of_single(AttrKey::Asn, 1);
-        assert!(ps.contains(asn1), "ASN=1 at 50% should be a problem cluster");
+        assert!(
+            ps.contains(asn1),
+            "ASN=1 at 50% should be a problem cluster"
+        );
         let stat = ps.clusters[&asn1];
         assert_eq!(stat.sessions, 100);
         assert_eq!(stat.problems, 50);
@@ -198,7 +202,7 @@ mod tests {
 
     #[test]
     fn min_sessions_suppresses_small_clusters() {
-        let cube = EpochCube::build(EpochId(0), &skewed_epoch(), &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &skewed_epoch(), &Thresholds::default());
         let params = SignificanceParams {
             ratio_multiplier: 1.5,
             min_sessions: 1000,
@@ -215,7 +219,7 @@ mod tests {
         for _ in 0..100 {
             d.push(SessionAttrs::new([0, 0, 0, 0, 0, 0, 0]), GOOD);
         }
-        let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &d, &Thresholds::default());
         let params = SignificanceParams {
             ratio_multiplier: 1.5,
             min_sessions: 10,

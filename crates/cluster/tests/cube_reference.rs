@@ -1,0 +1,177 @@
+//! Cross-validation of the flat sorted [`CubeTable`] against a naive
+//! hash-map reference cube that projects every session onto all 127
+//! non-empty masks directly — no leaf reduction, no sort-and-aggregate.
+//!
+//! The reference is the module documentation taken literally; any
+//! divergence in counts, leaves, layout, or pruning behaviour is a bug in
+//! the optimized construction.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vqlens_cluster::cube::{ClusterCounts, CubeTable};
+use vqlens_model::attr::{AttrMask, ClusterKey, SessionAttrs};
+use vqlens_model::dataset::EpochData;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};
+
+/// Naive reference cube: one hash-map update per (session, mask) pair.
+fn reference_cube(
+    data: &EpochData,
+    thresholds: &Thresholds,
+) -> (ClusterCounts, HashMap<ClusterKey, ClusterCounts>) {
+    let mut root = ClusterCounts::default();
+    let mut clusters: HashMap<ClusterKey, ClusterCounts> = HashMap::new();
+    for (attrs, quality) in data.attrs.iter().zip(&data.quality) {
+        let flags = thresholds.problem_flags(quality);
+        let mut one = ClusterCounts {
+            sessions: 1,
+            problems: [0; 4],
+        };
+        for m in Metric::ALL {
+            if flags.is_problem(m) {
+                one.problems[m.index()] = 1;
+            }
+        }
+        root.add(&one);
+        for mask in AttrMask::all_nonempty() {
+            clusters.entry(attrs.project(mask)).or_default().add(&one);
+        }
+    }
+    (root, clusters)
+}
+
+fn arb_quality() -> impl Strategy<Value = QualityMeasurement> {
+    prop_oneof![
+        Just(QualityMeasurement::failed()),
+        // Spread over join time / buffering / bitrate so every metric's
+        // problem flag fires on some sessions.
+        (
+            100u32..20_000,
+            30.0f32..600.0,
+            0.0f32..50.0,
+            200.0f32..5_000.0
+        )
+            .prop_map(|(j, d, bfr, br)| QualityMeasurement::joined(j, d, bfr, br)),
+    ]
+}
+
+fn arb_epoch() -> impl Strategy<Value = EpochData> {
+    prop::collection::vec(
+        (
+            (
+                0u32..5,
+                0u32..3,
+                0u32..4,
+                0u32..2,
+                0u32..3,
+                0u32..2,
+                0u32..3,
+            ),
+            arb_quality(),
+        ),
+        0..300,
+    )
+    .prop_map(|rows| {
+        let mut d = EpochData::default();
+        for ((a, c, s, v, p, b, k), q) in rows {
+            d.push(SessionAttrs::new([a, c, s, v, p, b, k]), q);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimized cube holds exactly the reference's clusters with
+    /// exactly the reference's counts — no extras, no misses.
+    #[test]
+    fn table_matches_reference_counts(data in arb_epoch()) {
+        let thresholds = Thresholds::default();
+        let cube = CubeTable::build(EpochId(0), &data, &thresholds);
+        let (ref_root, ref_clusters) = reference_cube(&data, &thresholds);
+
+        prop_assert_eq!(cube.root, ref_root);
+        prop_assert_eq!(cube.num_clusters(), ref_clusters.len());
+        for (key, counts) in cube.entries() {
+            prop_assert_eq!(
+                Some(counts),
+                ref_clusters.get(key),
+                "counts diverge for {}", key
+            );
+        }
+        // Point lookups agree too, including on the root sentinel.
+        for (&key, &counts) in &ref_clusters {
+            prop_assert_eq!(cube.counts(key), counts);
+        }
+        prop_assert_eq!(cube.counts(ClusterKey::ROOT), ref_root);
+    }
+
+    /// The leaf run is exactly the reference's FULL-mask clusters.
+    #[test]
+    fn leaves_match_reference(data in arb_epoch()) {
+        let thresholds = Thresholds::default();
+        let cube = CubeTable::build(EpochId(0), &data, &thresholds);
+        let (_, ref_clusters) = reference_cube(&data, &thresholds);
+
+        let mut ref_leaves: Vec<(ClusterKey, ClusterCounts)> = ref_clusters
+            .iter()
+            .filter(|(k, _)| k.mask() == AttrMask::FULL)
+            .map(|(k, c)| (*k, *c))
+            .collect();
+        ref_leaves.sort_unstable_by_key(|(k, _)| k.0);
+        prop_assert_eq!(cube.leaves(), ref_leaves.as_slice());
+    }
+
+    /// Layout invariants hold on arbitrary data: the table is strictly
+    /// sorted by packed key and the mask slices tile it exactly.
+    #[test]
+    fn table_is_sorted_and_partitioned(data in arb_epoch()) {
+        let cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
+        let entries = cube.entries();
+        prop_assert!(entries.windows(2).all(|w| w[0].0 .0 < w[1].0 .0));
+        let mut rebuilt = Vec::new();
+        for mask in AttrMask::all_nonempty() {
+            let run = cube.mask_slice(mask);
+            prop_assert!(run.iter().all(|(k, _)| k.mask() == mask));
+            rebuilt.extend_from_slice(run);
+        }
+        prop_assert_eq!(rebuilt.as_slice(), entries);
+    }
+
+    /// Pruning drops exactly the insignificant non-leaf clusters and
+    /// keeps the surviving counts identical to the reference.
+    #[test]
+    fn prune_matches_reference_filter(data in arb_epoch(), min_sessions in 1u64..20) {
+        let thresholds = Thresholds::default();
+        let mut cube = CubeTable::build(EpochId(0), &data, &thresholds);
+        let (_, ref_clusters) = reference_cube(&data, &thresholds);
+        cube.prune(min_sessions);
+
+        let expected = ref_clusters
+            .iter()
+            .filter(|(k, c)| c.sessions >= min_sessions || k.mask() == AttrMask::FULL)
+            .count();
+        prop_assert_eq!(cube.num_clusters(), expected);
+        for (key, counts) in cube.entries() {
+            prop_assert_eq!(Some(counts), ref_clusters.get(key));
+        }
+        // The mask index survives pruning intact.
+        let mut rebuilt = Vec::new();
+        for mask in AttrMask::all_nonempty() {
+            rebuilt.extend_from_slice(cube.mask_slice(mask));
+        }
+        prop_assert_eq!(rebuilt.as_slice(), cube.entries());
+    }
+
+    /// Thread count never changes the result, even on epochs small enough
+    /// to bounce between the serial and sharded paths.
+    #[test]
+    fn parallel_build_matches_reference(data in arb_epoch(), threads in 2usize..6) {
+        let thresholds = Thresholds::default();
+        let serial = CubeTable::build(EpochId(0), &data, &thresholds);
+        let parallel = CubeTable::build_with_threads(EpochId(0), &data, &thresholds, threads);
+        prop_assert_eq!(serial.root, parallel.root);
+        prop_assert_eq!(serial.entries(), parallel.entries());
+    }
+}

@@ -4,27 +4,26 @@
 //! `generalizes` checks over every cluster pair.
 
 use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
 use vqlens_cluster::critical::{CriticalParams, CriticalSet};
-use vqlens_cluster::cube::{ClusterCounts, EpochCube};
+use vqlens_cluster::cube::{ClusterCounts, CubeTable};
 use vqlens_cluster::problem::{ProblemSet, SignificanceParams};
 use vqlens_model::attr::{AttrMask, ClusterKey, SessionAttrs};
 use vqlens_model::dataset::EpochData;
 use vqlens_model::epoch::EpochId;
 use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};
-use std::collections::{HashMap, HashSet};
 
 /// Naive reference: identify critical clusters and attribute problem
 /// sessions, quadratically.
 fn reference_critical(
-    cube: &EpochCube,
+    cube: &CubeTable,
     problems: &ProblemSet,
     sig: &SignificanceParams,
     params: &CriticalParams,
     metric: Metric,
 ) -> (HashSet<ClusterKey>, HashMap<ClusterKey, f64>) {
     let global = problems.global_ratio;
-    let all: Vec<(ClusterKey, ClusterCounts)> =
-        cube.clusters.iter().map(|(k, c)| (*k, *c)).collect();
+    let all: Vec<(ClusterKey, ClusterCounts)> = cube.entries().to_vec();
 
     // Candidate test, literally per the docs.
     let mut candidates: HashSet<ClusterKey> = HashSet::new();
@@ -70,17 +69,12 @@ fn reference_critical(
     let critical: HashSet<ClusterKey> = candidates
         .iter()
         .copied()
-        .filter(|c| {
-            !candidates
-                .iter()
-                .any(|a| a != c && a.generalizes(*c))
-        })
+        .filter(|c| !candidates.iter().any(|a| a != c && a.generalizes(*c)))
         .collect();
 
     // Attribution: equal split over critical clusters containing each leaf.
-    let mut attributed: HashMap<ClusterKey, f64> =
-        critical.iter().map(|k| (*k, 0.0)).collect();
-    for (leaf, counts) in cube.leaves() {
+    let mut attributed: HashMap<ClusterKey, f64> = critical.iter().map(|k| (*k, 0.0)).collect();
+    for &(leaf, counts) in cube.leaves() {
         let p = counts.problems[metric.index()];
         if p == 0 {
             continue;
@@ -88,7 +82,7 @@ fn reference_critical(
         let owners: Vec<ClusterKey> = critical
             .iter()
             .copied()
-            .filter(|c| c.generalizes(*leaf))
+            .filter(|c| c.generalizes(leaf))
             .collect();
         if owners.is_empty() {
             continue;
@@ -106,10 +100,10 @@ fn arb_epoch() -> impl Strategy<Value = EpochData> {
     // clusters of various arities actually form.
     prop::collection::vec(
         (
-            0u32..4,  // asn
-            0u32..3,  // cdn
-            0u32..3,  // site
-            0u32..2,  // vod/live
+            0u32..4, // asn
+            0u32..3, // cdn
+            0u32..3, // site
+            0u32..2, // vod/live
             any::<bool>(),
         ),
         50..400,
@@ -137,7 +131,7 @@ proptest! {
 
     #[test]
     fn optimized_matches_reference(data in arb_epoch()) {
-        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
         let sig = SignificanceParams {
             ratio_multiplier: 1.5,
             min_sessions: 8,
@@ -174,7 +168,7 @@ proptest! {
             min_sessions: 8,
             min_problem_sessions: 2,
         };
-        let full = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let full = CubeTable::build(EpochId(0), &data, &Thresholds::default());
         let mut pruned = full.clone();
         pruned.prune(sig.min_sessions);
         for m in Metric::ALL {
@@ -198,7 +192,7 @@ proptest! {
     #[test]
     fn hhh_claims_are_disjoint(data in arb_epoch()) {
         use vqlens_cluster::hhh::{HhhParams, HhhSet};
-        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
         let hhh = HhhSet::identify(&cube, Metric::JoinFailure, &HhhParams { phi: 0.05 });
         let claimed: u64 = hhh.clusters.iter().map(|c| c.discounted).sum();
         prop_assert!(claimed <= hhh.total_problems);
@@ -226,7 +220,7 @@ fn figure4_reference_agreement() {
     push(&mut d, 1, 2, 1000, 100);
     push(&mut d, 2, 1, 1000, 300);
     push(&mut d, 2, 2, 7000, 100);
-    let cube = EpochCube::build(EpochId(0), &d, &Thresholds::default());
+    let cube = CubeTable::build(EpochId(0), &d, &Thresholds::default());
     let sig = SignificanceParams {
         ratio_multiplier: 1.5,
         min_sessions: 500,
@@ -238,9 +232,6 @@ fn figure4_reference_agreement() {
     let (reference, _) = reference_critical(&cube, &ps, &sig, &params, Metric::JoinFailure);
     let fast: HashSet<ClusterKey> = cs.clusters.keys().copied().collect();
     assert_eq!(fast, reference);
-    assert!(fast.contains(&ClusterKey::of_single(
-        vqlens_model::attr::AttrKey::Cdn,
-        1
-    )));
+    assert!(fast.contains(&ClusterKey::of_single(vqlens_model::attr::AttrKey::Cdn, 1)));
     let _ = AttrMask::FULL;
 }

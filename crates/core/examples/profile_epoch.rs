@@ -16,20 +16,32 @@ fn main() {
     let data = out.dataset.epoch(EpochId(1));
     println!("sessions in epoch: {}", data.len());
 
+    // The shared context is the production path: cube build + prune +
+    // per-metric problem sets, computed once.
     let t = Instant::now();
-    let mut cube = EpochCube::build(EpochId(1), data, &config.thresholds);
-    println!("cube build:  {:>12?}  ({} clusters)", t.elapsed(), cube.num_clusters());
-    let t = Instant::now();
-    cube.prune(config.significance.min_sessions);
-    println!("prune:       {:>12?}  ({} clusters kept)", t.elapsed(), cube.num_clusters());
+    let ctx = AnalysisContext::compute(EpochId(1), data, &config.thresholds, &config.significance);
+    println!(
+        "context:     {:>12?}  ({} clusters after prune)",
+        t.elapsed(),
+        ctx.cube.num_clusters()
+    );
+    for threads in [2, 4] {
+        let t = Instant::now();
+        let _ = AnalysisContext::compute_with_threads(
+            EpochId(1),
+            data,
+            &config.thresholds,
+            &config.significance,
+            threads,
+        );
+        println!("context x{threads}:  {:>12?}", t.elapsed());
+    }
     for m in Metric::ALL {
+        let ps = ctx.problems(m);
         let t = Instant::now();
-        let ps = ProblemSet::identify(&cube, m, &config.significance);
-        let t1 = t.elapsed();
-        let t = Instant::now();
-        let cs = CriticalSet::identify(&cube, &ps, &config.significance, &config.critical);
+        let cs = ctx.critical(m, &config.critical);
         println!(
-            "{m:<12} problem {t1:>10?} ({:>5} PC)   critical {:>10?} ({:>3} CC)",
+            "{m:<12} problem ({:>5} PC)   critical {:>10?} ({:>3} CC)",
             ps.len(),
             t.elapsed(),
             cs.len()

@@ -7,8 +7,7 @@ use vqlens_model::metric::Thresholds;
 use vqlens_synth::scenario::Scenario;
 
 /// Full configuration of the analysis pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct AnalyzerConfig {
     /// Problem-session thresholds (paper §2).
     pub thresholds: Thresholds,
@@ -19,7 +18,6 @@ pub struct AnalyzerConfig {
     /// Worker threads for the per-epoch parallel stages; 0 = all cores.
     pub threads: usize,
 }
-
 
 impl AnalyzerConfig {
     /// Paper-default thresholds with the significance floor scaled to a

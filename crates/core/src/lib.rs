@@ -75,9 +75,9 @@ pub mod prelude {
     pub use vqlens_analysis::persistence::{extract_events, ClusterSource, PersistenceReport};
     pub use vqlens_analysis::prevalence::PrevalenceReport;
     pub use vqlens_analysis::timeseries::{cluster_count_series, problem_ratio_series};
-    pub use vqlens_cluster::analyze::EpochAnalysis;
+    pub use vqlens_cluster::analyze::{AnalysisContext, EpochAnalysis};
     pub use vqlens_cluster::critical::{CriticalParams, CriticalSet};
-    pub use vqlens_cluster::cube::EpochCube;
+    pub use vqlens_cluster::cube::CubeTable;
     pub use vqlens_cluster::hhh::{HhhParams, HhhSet};
     pub use vqlens_cluster::problem::{ProblemSet, SignificanceParams};
     pub use vqlens_model::attr::{AttrKey, AttrMask, ClusterKey, SessionAttrs};

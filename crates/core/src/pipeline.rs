@@ -3,8 +3,14 @@
 //! Epochs are independent in both stages — generation derives a per-epoch
 //! RNG stream from the master seed, and the cluster analysis of one epoch
 //! never looks at another — so both stages fan out across worker threads
-//! with a simple atomic work queue. Results are written into pre-sized
-//! slots, keeping both stages deterministic regardless of thread count.
+//! over a chunked work queue: workers claim contiguous index ranges and
+//! write results directly into disjoint sub-slices of one pre-sized slot
+//! vector, keeping both stages deterministic regardless of thread count.
+//! When there are more threads than epochs, the analysis stage hands the
+//! surplus to intra-epoch cube construction
+//! ([`EpochAnalysis::compute_with_threads`]), which is itself bit-for-bit
+//! thread-count invariant — so a single huge epoch (the online-monitor
+//! latency case) still uses the whole machine.
 //!
 //! Workers are **panic-isolated**: each work item runs under
 //! [`std::panic::catch_unwind`], so one poisoned epoch cannot take down
@@ -20,7 +26,6 @@ use parking_lot::Mutex;
 use std::any::Any;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, Ordering};
 use vqlens_cluster::analyze::EpochAnalysis;
 use vqlens_model::csv::IngestReport;
 use vqlens_model::dataset::Dataset;
@@ -41,7 +46,11 @@ pub struct WorkerPanic {
 
 impl fmt::Display for WorkerPanic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "worker for epoch {} panicked: {}", self.index, self.message)
+        write!(
+            f,
+            "worker for epoch {} panicked: {}",
+            self.index, self.message
+        )
     }
 }
 
@@ -153,21 +162,27 @@ impl TraceAnalysis {
     /// The epochs whose analysis worker panicked, with the captured panic
     /// messages.
     pub fn failed_epochs(&self) -> impl Iterator<Item = (EpochId, &str)> + '_ {
-        self.statuses.iter().enumerate().filter_map(|(e, s)| match s {
-            EpochStatus::Failed { reason } => Some((EpochId(e as u32), reason.as_str())),
-            _ => None,
-        })
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter_map(|(e, s)| match s {
+                EpochStatus::Failed { reason } => Some((EpochId(e as u32), reason.as_str())),
+                _ => None,
+            })
     }
 
     /// The epochs marked degraded by [`Self::apply_ingest_report`], with
     /// their quarantined-line counts.
     pub fn degraded_epochs(&self) -> impl Iterator<Item = (EpochId, u64)> + '_ {
-        self.statuses.iter().enumerate().filter_map(|(e, s)| match s {
-            EpochStatus::Degraded { quarantined_lines } => {
-                Some((EpochId(e as u32), *quarantined_lines))
-            }
-            _ => None,
-        })
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter_map(|(e, s)| match s {
+                EpochStatus::Degraded { quarantined_lines } => {
+                    Some((EpochId(e as u32), *quarantined_lines))
+                }
+                _ => None,
+            })
     }
 
     /// Downgrade epochs that lost quarantined lines during lenient ingest
@@ -202,40 +217,63 @@ impl TraceAnalysis {
 /// Run work items `0..n` across `threads` workers, collecting per-item
 /// results into index order. A panicking item is caught and surfaced as
 /// `Err(WorkerPanic)` in its slot; the other items are unaffected.
+///
+/// Workers claim *chunks* of contiguous indices from a shared queue and
+/// write into the disjoint `&mut` sub-slices handed out with each chunk —
+/// no per-slot lock, no per-item synchronization beyond the claim. Chunks
+/// are sized to hand each thread a few claims, balancing queue contention
+/// against tail latency from uneven items.
 fn parallel_indexed_caught<T, F>(n: u32, threads: usize, f: F) -> Vec<Result<T, WorkerPanic>>
 where
     T: Send,
     F: Fn(u32) -> T + Sync,
 {
     let threads = threads.clamp(1, n.max(1) as usize);
-    let next = AtomicU32::new(0);
-    let slots: Vec<Mutex<Option<Result<T, WorkerPanic>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    // Every panic is caught per item, so the scope join cannot observe an
-    // unwinding worker; if a worker nevertheless died, its claimed slot is
-    // still `None` and becomes an error below instead of a bare `expect`.
-    let _ = crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
-                    WorkerPanic {
-                        index: i,
-                        message: panic_message(payload),
+    let mut slots: Vec<Option<Result<T, WorkerPanic>>> = Vec::new();
+    slots.resize_with(n as usize, || None);
+    {
+        let chunk = (n as usize).div_ceil(threads * 4).max(1);
+        let queue: Mutex<Vec<(u32, &mut [Option<Result<T, WorkerPanic>>])>> = Mutex::new({
+            let mut q = Vec::with_capacity((n as usize).div_ceil(chunk));
+            let mut start = 0u32;
+            for run in slots.chunks_mut(chunk) {
+                let len = run.len() as u32;
+                q.push((start, run));
+                start += len;
+            }
+            q.reverse(); // popped back-to-front => claims ascend by index
+            q
+        });
+        // Every panic is caught per item, so the scope join cannot observe
+        // an unwinding worker; if a worker nevertheless died, the slots of
+        // its claimed chunk are still `None` and become errors below
+        // instead of a bare `expect`.
+        let _ = crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let Some((start, run)) = queue.lock().pop() else {
+                        break;
+                    };
+                    for (offset, slot) in run.iter_mut().enumerate() {
+                        let i = start + offset as u32;
+                        let result = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
+                            WorkerPanic {
+                                index: i,
+                                message: panic_message(payload),
+                            }
+                        });
+                        *slot = Some(result);
                     }
                 });
-                *slots[i as usize].lock() = Some(result);
-            });
-        }
-    });
+            }
+        });
+        // `queue` still borrows `slots`; it drops here, before the collect.
+    }
     slots
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
-            slot.into_inner().unwrap_or_else(|| {
+            slot.unwrap_or_else(|| {
                 Err(WorkerPanic {
                     index: i as u32,
                     message: "worker died before filling its result slot".to_owned(),
@@ -304,14 +342,25 @@ pub fn generate_parallel(scenario: &Scenario, threads: usize) -> SynthOutput {
 /// isolated: the epoch is recorded as [`EpochStatus::Failed`] and the rest
 /// of the trace is analyzed normally.
 pub fn analyze_dataset(dataset: &Dataset, config: &AnalyzerConfig) -> TraceAnalysis {
-    analyze_epochs_with(dataset.num_epochs(), config, |e| {
+    let n = dataset.num_epochs();
+    // Threads beyond the epoch count would idle at the outer fan-out; give
+    // them to intra-epoch cube construction instead. Both levels are
+    // bit-for-bit thread-count invariant, so the split never changes
+    // results — only how a short-and-wide trace fills the machine.
+    let intra = if n == 0 {
+        1
+    } else {
+        (config.effective_threads() / n as usize).max(1)
+    };
+    analyze_epochs_with(n, config, |e| {
         let epoch = EpochId(e);
-        EpochAnalysis::compute(
+        EpochAnalysis::compute_with_threads(
             epoch,
             dataset.epoch(epoch),
             &config.thresholds,
             &config.significance,
             &config.critical,
+            intra,
         )
     })
 }
@@ -448,19 +497,80 @@ mod tests {
         let mut config = AnalyzerConfig::for_scenario(&scenario);
         config.threads = 1;
         let a = analyze_dataset(&out.dataset, &config);
-        config.threads = 8;
-        let b = analyze_dataset(&out.dataset, &config);
-        assert_eq!(a.len(), b.len());
-        assert!(a.is_complete() && b.is_complete());
-        for (x, y) in a.epochs().iter().zip(b.epochs()) {
-            assert_eq!(x.epoch, y.epoch);
-            assert_eq!(x.total_sessions, y.total_sessions);
-            for m in Metric::ALL {
-                assert_eq!(x.metric(m).problems.len(), y.metric(m).problems.len());
-                assert_eq!(x.metric(m).critical.len(), y.metric(m).critical.len());
+        // 8 exercises the chunked outer fan-out; 96 > 4 × epochs forces the
+        // intra-epoch parallel cube build (intra = 96 / 24 = 4) on top.
+        for threads in [8, 96] {
+            config.threads = threads;
+            let b = analyze_dataset(&out.dataset, &config);
+            assert_eq!(a.len(), b.len());
+            assert!(a.is_complete() && b.is_complete());
+            for (x, y) in a.epochs().iter().zip(b.epochs()) {
+                assert_eq!(x.epoch, y.epoch);
+                assert_eq!(x.total_sessions, y.total_sessions);
+                for m in Metric::ALL {
+                    // Identical cluster *sets*, not just identical counts.
+                    let keys = |s: &vqlens_cluster::problem::ProblemSet| {
+                        let mut v: Vec<u64> = s.clusters.keys().map(|k| k.0).collect();
+                        v.sort_unstable();
+                        v
+                    };
+                    let ckeys = |s: &vqlens_cluster::critical::CriticalSet| {
+                        let mut v: Vec<u64> = s.clusters.keys().map(|k| k.0).collect();
+                        v.sort_unstable();
+                        v
+                    };
+                    assert_eq!(keys(&x.metric(m).problems), keys(&y.metric(m).problems));
+                    assert_eq!(ckeys(&x.metric(m).critical), ckeys(&y.metric(m).critical));
+                    assert_eq!(
+                        x.metric(m).critical.problems_attributed,
+                        y.metric(m).critical.problems_attributed,
+                        "threads={threads} metric={m}"
+                    );
+                }
             }
         }
         assert_eq!(a.total_sessions(), out.dataset.num_sessions() as u64);
         assert!(a.total_problems(Metric::Bitrate) > 0);
+    }
+
+    #[test]
+    fn surplus_threads_go_to_intra_epoch_parallelism() {
+        // Direct check of the seam analyze_dataset uses: the same epoch
+        // analyzed with 1 and with several intra-epoch threads must agree
+        // exactly (the cube build is bit-for-bit invariant).
+        let scenario = Scenario::smoke();
+        let out = generate_parallel(&scenario, 0);
+        let config = AnalyzerConfig::for_scenario(&scenario);
+        let data = out.dataset.epoch(EpochId(0));
+        let serial = EpochAnalysis::compute(
+            EpochId(0),
+            data,
+            &config.thresholds,
+            &config.significance,
+            &config.critical,
+        );
+        let parallel = EpochAnalysis::compute_with_threads(
+            EpochId(0),
+            data,
+            &config.thresholds,
+            &config.significance,
+            &config.critical,
+            4,
+        );
+        assert_eq!(serial.total_sessions, parallel.total_sessions);
+        for m in Metric::ALL {
+            assert_eq!(
+                serial.metric(m).problems.global_ratio,
+                parallel.metric(m).problems.global_ratio
+            );
+            assert_eq!(
+                serial.metric(m).problems.len(),
+                parallel.metric(m).problems.len()
+            );
+            assert_eq!(
+                serial.metric(m).critical.problems_attributed,
+                parallel.metric(m).critical.problems_attributed
+            );
+        }
     }
 }

@@ -250,9 +250,9 @@ pub fn validate_against_ground_truth(
         for m in Metric::ALL {
             for key in analysis.metric(m).critical.clusters.keys() {
                 emitted += 1;
-                let event_matched = active.iter().any(|&idx| {
-                    matches(*key, ground_truth.events[idx].scope.expected_cluster())
-                });
+                let event_matched = active
+                    .iter()
+                    .any(|&idx| matches(*key, ground_truth.events[idx].scope.expected_cluster()));
                 if event_matched {
                     emitted_matching_event += 1;
                     emitted_explained += 1;

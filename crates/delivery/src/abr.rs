@@ -29,7 +29,9 @@ impl BitrateLadder {
 
     /// A typical 2013-era multi-bitrate ladder (kbps), 234p through 720p.
     pub fn standard() -> BitrateLadder {
-        BitrateLadder::new(vec![235.0, 375.0, 560.0, 750.0, 1050.0, 1400.0, 1750.0, 2350.0])
+        BitrateLadder::new(vec![
+            235.0, 375.0, 560.0, 750.0, 1050.0, 1400.0, 1750.0, 2350.0,
+        ])
     }
 
     /// A premium ladder reaching 4K-class rates.
@@ -165,10 +167,7 @@ impl AbrState {
         if self.recent_len == 0 {
             return self.ewma_kbps;
         }
-        let sum_inv: f64 = self.recent[..self.recent_len]
-            .iter()
-            .map(|t| 1.0 / t)
-            .sum();
+        let sum_inv: f64 = self.recent[..self.recent_len].iter().map(|t| 1.0 / t).sum();
         self.recent_len as f64 / sum_inv
     }
 
@@ -367,7 +366,7 @@ mod tests {
             abr.observe(1_000.0);
         }
         abr.observe(100_000.0); // one spike
-        // Arithmetic mean would be ~5950; harmonic stays near 1050.
+                                // Arithmetic mean would be ~5950; harmonic stays near 1050.
         assert!(abr.estimate() < 1_100.0, "estimate {}", abr.estimate());
         assert!(abr.estimate() > 1_000.0);
     }

@@ -111,8 +111,7 @@ pub fn simulate_session<R: Rng + ?Sized>(env: &SessionEnv, rng: &mut R) -> Quali
     // sites may pin a higher startup rung (slower joins on weak paths).
     let startup_rung = env.startup_rung.min(env.ladder.len() - 1);
     let startup_rate = env.ladder.rate(startup_rung);
-    let first_chunk_s =
-        (startup_rate * env.chunk_s) / first_throughput + per_request_overhead_s;
+    let first_chunk_s = (startup_rate * env.chunk_s) / first_throughput + per_request_overhead_s;
 
     let join_time_s = setup_s + first_chunk_s;
     let join_time_ms = (join_time_s * 1000.0).round().min(f64::from(u32::MAX)) as u32;

@@ -10,20 +10,20 @@ use vqlens_delivery::player::{simulate_session, SessionEnv, ViewerModel};
 
 fn arb_env() -> impl Strategy<Value = SessionEnv> {
     (
-        100f64..30_000.0,              // base_kbps
-        0f64..1.0,                     // sigma
-        0f64..0.95,                    // rho
-        5f64..300.0,                   // rtt
-        0f64..0.2,                     // join_fail_prob
-        0f64..3_000.0,                 // first_byte
-        0.05f64..1.0,                  // throughput factor
+        100f64..30_000.0, // base_kbps
+        0f64..1.0,        // sigma
+        0f64..0.95,       // rho
+        5f64..300.0,      // rtt
+        0f64..0.2,        // join_fail_prob
+        0f64..3_000.0,    // first_byte
+        0.05f64..1.0,     // throughput factor
         prop_oneof![
             Just(AbrAlgorithm::ThroughputRule),
             Just(AbrAlgorithm::BufferRule),
             Just(AbrAlgorithm::Fixed)
         ],
-        60f64..900.0,                  // intended duration
-        any::<bool>(),                 // single ladder?
+        60f64..900.0,  // intended duration
+        any::<bool>(), // single ladder?
     )
         .prop_map(
             |(base, sigma, rho, rtt, fail, fb, tf, algorithm, dur, single)| SessionEnv {

@@ -221,9 +221,7 @@ impl AttrMask {
 
     /// Iterate over the constrained attributes, in dimension order.
     pub fn iter(self) -> impl Iterator<Item = AttrKey> {
-        AttrKey::ALL
-            .into_iter()
-            .filter(move |k| self.contains(*k))
+        AttrKey::ALL.into_iter().filter(move |k| self.contains(*k))
     }
 
     /// Iterate the *parents* in the cluster DAG: all masks obtained by
@@ -367,6 +365,17 @@ impl SessionAttrs {
 /// then the 7-bit mask at [`TOTAL_VALUE_BITS`]. Unconstrained dimensions are
 /// zero, making the packing canonical: two keys are equal iff they denote
 /// the same cluster.
+///
+/// # Ordering
+///
+/// `Ord` compares the packed `u64` directly. Because the mask occupies the
+/// *top* bits, this order is **mask-major**: all keys of one mask sort
+/// contiguously, masks appear in increasing [`AttrMask`] bit order (so
+/// [`AttrMask::FULL`] — the leaves — sorts last), and within a mask keys
+/// sort by their packed constrained values. Flat cube storage
+/// (`vqlens_cluster::cube::CubeTable`) relies on this guarantee to carve a
+/// sorted table into per-mask slices; it is part of the type's contract,
+/// not an implementation accident.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ClusterKey(pub u64);
 
@@ -644,17 +653,42 @@ mod tests {
     }
 
     #[test]
+    fn key_order_is_mask_major() {
+        // The documented contract: sorting keys by the packed u64 groups
+        // them by mask, masks ascend in AttrMask bit order (FULL last), and
+        // within a mask keys ascend by their packed values.
+        let sessions = [
+            SessionAttrs::new([9, 2, 30, 0, 1, 2, 3]),
+            SessionAttrs::new([10, 2, 30, 1, 0, 0, 0]),
+            SessionAttrs::new([9, 5, 7, 0, 2, 1, 1]),
+        ];
+        let mut keys: Vec<ClusterKey> = sessions
+            .iter()
+            .flat_map(|s| AttrMask::all_nonempty().map(|m| s.project(m)))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        // Mask sequence along the sorted keys is non-decreasing …
+        assert!(keys.windows(2).all(|w| w[0].mask().0 <= w[1].mask().0));
+        // … so each mask's keys form one contiguous, internally sorted run,
+        // and the leaves (FULL) are the final run.
+        assert_eq!(keys.last().unwrap().mask(), AttrMask::FULL);
+        let first_full = keys
+            .iter()
+            .position(|k| k.mask() == AttrMask::FULL)
+            .unwrap();
+        assert!(keys[first_full..]
+            .iter()
+            .all(|k| k.mask() == AttrMask::FULL));
+        assert_eq!(keys[first_full..].len(), sessions.len());
+    }
+
+    #[test]
     fn display_formats_like_paper() {
         let key = ClusterKey::of_single(AttrKey::Cdn, 3);
-        assert_eq!(
-            key.to_string(),
-            "[*, CDN=3, *, *, *, *, *]"
-        );
+        assert_eq!(key.to_string(), "[*, CDN=3, *, *, *, *, *]");
         let m = AttrMask::of(&[AttrKey::Site, AttrKey::ConnType]);
-        assert_eq!(
-            m.to_string(),
-            "[*, *, Site, *, *, *, ConnectionType]"
-        );
+        assert_eq!(m.to_string(), "[*, *, Site, *, *, *, ConnectionType]");
         let named = key.display_with(|_, _| "Akamai-like");
         assert_eq!(named.to_string(), "[*, CDN=Akamai-like, *, *, *, *, *]");
     }

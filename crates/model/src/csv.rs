@@ -211,7 +211,14 @@ impl IngestReport {
         self.bad_lines == 0
     }
 
-    fn record(&mut self, line_no: usize, category: &str, reason: String, raw: &str, max_samples: usize) {
+    fn record(
+        &mut self,
+        line_no: usize,
+        category: &str,
+        reason: String,
+        raw: &str,
+        max_samples: usize,
+    ) {
         self.bad_lines += 1;
         *self.reasons.entry(category.to_owned()).or_insert(0) += 1;
         if self.samples.len() < max_samples {
@@ -268,11 +275,12 @@ pub fn write_csv<W: Write>(dataset: &Dataset, mut out: W) -> Result<(), CsvError
             write!(out, "{}", epoch.0)?;
             for key in AttrKey::ALL {
                 let id = attrs.get(key);
-                let name = dataset
-                    .value_name(key, id)
-                    .ok_or_else(|| CsvError::UnencodableName {
-                        name: format!("<unknown {key} id {id}>"),
-                    })?;
+                let name =
+                    dataset
+                        .value_name(key, id)
+                        .ok_or_else(|| CsvError::UnencodableName {
+                            name: format!("<unknown {key} id {id}>"),
+                        })?;
                 write!(out, ",{}", check_name(name)?)?;
             }
             writeln!(
@@ -550,7 +558,9 @@ mod tests {
         };
         let a = mk(
             &mut ds,
-            ["AS7922", "cdn-a", "site-1", "VoD", "HTML5", "Chrome", "Cable"],
+            [
+                "AS7922", "cdn-a", "site-1", "VoD", "HTML5", "Chrome", "Cable",
+            ],
         );
         let b = mk(
             &mut ds,
@@ -636,7 +646,10 @@ mod tests {
                 "0,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0,-500",
                 "avg_bitrate_kbps",
             ),
-            ("0,a,b,c,VoD,p,w,Cable,0,100,-2.5,0.0,500", "play_duration_s"),
+            (
+                "0,a,b,c,VoD,p,w,Cable,0,100,-2.5,0.0,500",
+                "play_duration_s",
+            ),
             ("0,a,,c,VoD,p,w,Cable,0,100,1.0,0.0,500", "CDN"),
         ];
         for (line, field) in cases {
@@ -651,15 +664,17 @@ mod tests {
 
     #[test]
     fn accepts_crlf_bom_and_trailing_blank_line() {
-        let input = format!(
-            "\u{feff}{CSV_HEADER}\r\n3,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0,500\r\n\r\n"
-        );
+        let input =
+            format!("\u{feff}{CSV_HEADER}\r\n3,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0,500\r\n\r\n");
         let ds = read_csv(BufReader::new(input.as_bytes())).expect("read");
         assert_eq!(ds.num_sessions(), 1);
         assert_eq!(ds.num_epochs(), 4);
         let s = ds.iter_sessions().next().unwrap();
         assert_eq!(s.epoch, EpochId(3));
-        assert_eq!(ds.value_name(AttrKey::Asn, s.attrs.get(AttrKey::Asn)), Some("a"));
+        assert_eq!(
+            ds.value_name(AttrKey::Asn, s.attrs.get(AttrKey::Asn)),
+            Some("a")
+        );
     }
 
     #[test]

@@ -11,16 +11,40 @@ use crate::metric::{Metric, QualityMeasurement, Thresholds};
 use crate::session::SessionRecord;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// String interner for one attribute dimension.
 ///
 /// Ids are dense, assigned in first-seen order, and bounded by the packed
 /// bit width of the dimension (see [`crate::attr::VALUE_BITS`]).
+///
+/// Each name is stored once as an `Arc<str>` shared between the id → name
+/// vector and the name → id index, so interning a new value costs a single
+/// allocation and lookups of known values cost none.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AttrDict {
-    names: Vec<String>,
+    #[serde(with = "arc_str_vec")]
+    names: Vec<Arc<str>>,
     #[serde(skip)]
-    index: HashMap<String, u32>,
+    index: HashMap<Arc<str>, u32>,
+}
+
+/// Serde for `Vec<Arc<str>>` as a plain sequence of strings (the workspace
+/// serde build has no `rc` feature).
+mod arc_str_vec {
+    use serde::{Deserialize, Deserializer, Serializer};
+    use std::sync::Arc;
+
+    pub fn serialize<S: Serializer>(names: &[Arc<str>], s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(names.iter().map(|n| &**n))
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<Arc<str>>, D::Error> {
+        Ok(Vec::<String>::deserialize(d)?
+            .into_iter()
+            .map(Into::into)
+            .collect())
+    }
 }
 
 impl AttrDict {
@@ -35,6 +59,9 @@ impl AttrDict {
     /// Panics when the dimension's id space (per `dim`'s packed width) is
     /// exhausted.
     pub fn intern(&mut self, dim: usize, name: &str) -> u32 {
+        // Hits dominate, and `get` by `&str` is allocation-free (`Arc<str>:
+        // Borrow<str>`) — the entry API would have to allocate a key per
+        // call just to probe.
         if let Some(&id) = self.index.get(name) {
             return id;
         }
@@ -44,8 +71,9 @@ impl AttrDict {
             "attribute dimension {dim} overflows its packed width ({} values)",
             max_value(dim) as u64 + 1
         );
-        self.names.push(name.to_owned());
-        self.index.insert(name.to_owned(), id);
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.index.insert(shared, id);
         id
     }
 
@@ -56,7 +84,7 @@ impl AttrDict {
 
     /// The name of an id, or `None` when out of range.
     pub fn name(&self, id: u32) -> Option<&str> {
-        self.names.get(id as usize).map(String::as_str)
+        self.names.get(id as usize).map(|s| &**s)
     }
 
     /// Number of interned values.
@@ -76,7 +104,7 @@ impl AttrDict {
             .names
             .iter()
             .enumerate()
-            .map(|(i, n)| (n.clone(), i as u32))
+            .map(|(i, n)| (Arc::clone(n), i as u32))
             .collect();
     }
 }
@@ -315,6 +343,17 @@ mod tests {
         assert_eq!(ds.dict(AttrKey::Cdn).len(), 2);
         assert_eq!(ds.dict(AttrKey::Cdn).id("y"), Some(b));
         assert_eq!(ds.dict(AttrKey::Cdn).id("z"), None);
+    }
+
+    #[test]
+    fn intern_shares_one_allocation_per_name() {
+        let mut d = AttrDict::new();
+        let id = d.intern(0, "cdn-alpha");
+        assert_eq!(d.intern(0, "cdn-alpha"), id);
+        // The id → name vector and the name → id index share one `Arc`.
+        let (key, _) = d.index.get_key_value("cdn-alpha").unwrap();
+        assert!(Arc::ptr_eq(key, &d.names[id as usize]));
+        assert_eq!(Arc::strong_count(key), 2);
     }
 
     #[test]

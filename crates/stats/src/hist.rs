@@ -93,7 +93,10 @@ impl LogHistogram {
     /// Panics when configurations differ.
     pub fn merge(&mut self, other: &LogHistogram) {
         assert_eq!(self.min_value, other.min_value, "histogram config mismatch");
-        assert_eq!(self.per_decade, other.per_decade, "histogram config mismatch");
+        assert_eq!(
+            self.per_decade, other.per_decade,
+            "histogram config mismatch"
+        );
         assert_eq!(self.counts.len(), other.counts.len());
         self.underflow += other.underflow;
         self.total += other.total;

@@ -8,11 +8,11 @@
 //! cargo run --release -p vqlens-synth --example calibration
 //! ```
 
+use std::time::Instant;
 use vqlens_model::attr::AttrKey;
 use vqlens_model::metric::{Metric, Thresholds};
 use vqlens_synth::scenario::{generate, Scenario};
 use vqlens_synth::world::{ConnType, LadderClass};
-use std::time::Instant;
 
 fn main() {
     let mut scenario = Scenario::paper_default();
@@ -66,7 +66,9 @@ fn main() {
         let scoped = problems[0][m.index()] as f64 / totals[0].max(1) as f64;
         let background = problems[1][m.index()] as f64 / totals[1].max(1) as f64;
         let global = (problems[0][m.index()] + problems[1][m.index()]) as f64 / all as f64;
-        println!("{m:<12} global {global:.4}  event-scoped {scoped:.4}  background {background:.4}");
+        println!(
+            "{m:<12} global {global:.4}  event-scoped {scoped:.4}  background {background:.4}"
+        );
     }
     println!(
         "single-bitrate sites: {:.1}% of traffic, buffering-problem rate {:.3}",

@@ -74,8 +74,8 @@ pub struct ArrivalSampler {
 impl ArrivalSampler {
     /// Build the samplers for a world.
     pub fn new(world: &World) -> ArrivalSampler {
-        let site_dist = WeightedIndex::new(world.sites.iter().map(|s| s.weight))
-            .expect("site weights valid");
+        let site_dist =
+            WeightedIndex::new(world.sites.iter().map(|s| s.weight)).expect("site weights valid");
         let region_dist =
             WeightedIndex::new(Region::WEIGHTS.iter().copied()).expect("region weights valid");
         let region_asns = Region::ALL
@@ -83,9 +83,8 @@ impl ArrivalSampler {
             .map(|r| {
                 let ids = world.asns_in_region(*r);
                 assert!(!ids.is_empty(), "region {r:?} must have ASNs");
-                let dist =
-                    WeightedIndex::new(ids.iter().map(|&i| world.asns[i as usize].weight))
-                        .expect("asn weights valid");
+                let dist = WeightedIndex::new(ids.iter().map(|&i| world.asns[i as usize].weight))
+                    .expect("asn weights valid");
                 (ids, dist)
             })
             .collect();
@@ -234,13 +233,12 @@ pub fn resolve_env<R: Rng + ?Sized>(
     // anecdote; any cross-region host adds a smaller penalty.
     let mut edge = cdn.edge_for(draw.region);
     if site.module_host_region != draw.region {
-        edge.module_load_ms += if draw.region == Region::China
-            && site.module_host_region == Region::Us
-        {
-            3_500.0
-        } else {
-            500.0
-        };
+        edge.module_load_ms +=
+            if draw.region == Region::China && site.module_host_region == Region::Us {
+                3_500.0
+            } else {
+                500.0
+            };
     }
 
     // Planted events in scope.

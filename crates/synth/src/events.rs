@@ -201,9 +201,7 @@ impl EventSchedule {
                 duty_h,
                 phase_h,
             } => (epoch.0 + phase_h) % period_h < duty_h,
-            EventSchedule::OneOff { start, len_h } => {
-                epoch.0 >= start && epoch.0 < start + len_h
-            }
+            EventSchedule::OneOff { start, len_h } => epoch.0 >= start && epoch.0 < start + len_h,
         }
     }
 }
@@ -464,7 +462,10 @@ pub fn plan_events(world: &World, config: &EventPlanConfig) -> GroundTruth {
             }
             push(
                 &mut events,
-                format!("{} radio-network degradation", ConnType::NAMES[conn.index()]),
+                format!(
+                    "{} radio-network degradation",
+                    ConnType::NAMES[conn.index()]
+                ),
                 scope,
                 EventEffect::congestion(rng.gen_range(0.55..0.8)),
                 EventSchedule::Recurring {
@@ -544,9 +545,9 @@ pub fn plan_events(world: &World, config: &EventPlanConfig) -> GroundTruth {
     }
 
     let _ = Region::ALL; // regions shape the world; events are attribute-scoped
-    // A handful of flash crowds on live-heavy popular sites: a big traffic
-    // surge paired with a planted origin-overload event over the same
-    // window, so the surge's QoE damage is part of the validated truth.
+                         // A handful of flash crowds on live-heavy popular sites: a big traffic
+                         // surge paired with a planted origin-overload event over the same
+                         // window, so the surge's QoE damage is part of the validated truth.
     let mut flash_crowds = Vec::new();
     let live_sites: Vec<u32> = world
         .sites
@@ -664,7 +665,10 @@ mod tests {
         assert!(!rec.active_at(EpochId(3)));
         assert!(rec.active_at(EpochId(24)));
 
-        let one = EventSchedule::OneOff { start: 10, len_h: 4 };
+        let one = EventSchedule::OneOff {
+            start: 10,
+            len_h: 4,
+        };
         assert!(!one.active_at(EpochId(9)));
         assert!(one.active_at(EpochId(10)));
         assert!(one.active_at(EpochId(13)));
@@ -758,7 +762,11 @@ mod flash_crowd_tests {
                             if start == crowd.start && len_h == crowd.len_h
                     )
             });
-            assert!(paired.is_some(), "crowd on site {} lacks its event", crowd.site);
+            assert!(
+                paired.is_some(),
+                "crowd on site {} lacks its event",
+                crowd.site
+            );
             assert!((0.0..1.0).contains(&crowd.extra_traffic));
             assert!(crowd.active_at(EpochId(crowd.start)));
             assert!(!crowd.active_at(EpochId(crowd.start + crowd.len_h)));

@@ -8,8 +8,8 @@
 
 use crate::arrivals::{resolve_env, ArrivalConfig, ArrivalSampler};
 use crate::events::{plan_events, EventPlanConfig, GroundTruth};
-use crate::world::{World, WorldConfig, BROWSER_NAMES, PLAYER_NAMES, VOD_LIVE_NAMES};
 use crate::world::ConnType;
+use crate::world::{World, WorldConfig, BROWSER_NAMES, PLAYER_NAMES, VOD_LIVE_NAMES};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -348,10 +348,7 @@ mod tests {
         let scenario = Scenario::smoke();
         let out = generate(&scenario);
         for (i, asn) in out.world.asns.iter().enumerate() {
-            assert_eq!(
-                out.dataset.dict(AttrKey::Asn).id(&asn.name),
-                Some(i as u32)
-            );
+            assert_eq!(out.dataset.dict(AttrKey::Asn).id(&asn.name), Some(i as u32));
         }
         for (i, site) in out.world.sites.iter().enumerate() {
             assert_eq!(
@@ -394,10 +391,7 @@ mod flash_crowd_tests {
 
         let site_share = |d: &vqlens_model::Dataset, e: u32| {
             let data = d.epoch(EpochId(e));
-            let on_site = data
-                .iter()
-                .filter(|(a, _)| a.get(AK::Site) == 5)
-                .count();
+            let on_site = data.iter().filter(|(a, _)| a.get(AK::Site) == 5).count();
             (on_site as f64 / data.len() as f64, data.len())
         };
         let (quiet_share, _) = site_share(&out.dataset, 0);

@@ -83,7 +83,8 @@ impl ConnType {
     ];
 
     /// Display names (used as dictionary entries).
-    pub const NAMES: [&'static str; 5] = ["MobileWireless", "FixedWireless", "DSL", "Cable", "Fiber"];
+    pub const NAMES: [&'static str; 5] =
+        ["MobileWireless", "FixedWireless", "DSL", "Cable", "Fiber"];
 
     /// Baseline path model of each connection type.
     pub fn base_path(self) -> PathModel {
@@ -344,11 +345,7 @@ impl World {
                         p[r.index()] = rng.gen_range(0.75..1.0);
                     }
                     p[Region::China.index()] = rng.gen_range(0.3..0.6);
-                    (
-                        CdnKind::GlobalThirdParty,
-                        format!("cdn-global-{i:02}"),
-                        p,
-                    )
+                    (CdnKind::GlobalThirdParty, format!("cdn-global-{i:02}"), p)
                 }
                 1 => {
                     let mut p = [0.0; 6];
@@ -515,11 +512,7 @@ mod tests {
             .filter(|s| matches!(s.ladder, LadderClass::Single(_)))
             .count();
         assert!(single_bitrate > 0, "some sites must be single-bitrate");
-        let in_house = w
-            .cdns
-            .iter()
-            .filter(|c| c.kind == CdnKind::InHouse)
-            .count();
+        let in_house = w.cdns.iter().filter(|c| c.kind == CdnKind::InHouse).count();
         assert!(in_house > 0);
         let single_cdn = w
             .sites

@@ -186,8 +186,7 @@ pub fn cost_aware_vs_blind(
     // exhausted.
     let ranked = rank_clusters(analyses, metric, RankBy::Coverage, AttrFilter::Any);
     let ranking = cost_benefit_ranking(analyses, metric, model);
-    let costs: FxHashMap<ClusterKey, f64> =
-        ranking.iter().map(|cb| (cb.key, cb.cost)).collect();
+    let costs: FxHashMap<ClusterKey, f64> = ranking.iter().map(|cb| (cb.key, cb.cost)).collect();
     let mut spent = 0.0;
     let mut keys: FxHashSet<ClusterKey> = FxHashSet::default();
     for (key, _) in ranked {
@@ -248,8 +247,11 @@ mod tests {
 
     #[test]
     fn ranking_puts_cheap_effective_fixes_first() {
-        let ranking =
-            cost_benefit_ranking(&trace(), Metric::JoinFailure, &CostModel::infrastructure_default());
+        let ranking = cost_benefit_ranking(
+            &trace(),
+            Metric::JoinFailure,
+            &CostModel::infrastructure_default(),
+        );
         assert_eq!(ranking.len(), 3);
         // key_site_a: benefit 2×(60 - 0.2×120) = 72, cost 1 => ratio 72.
         // key_asn: benefit 50 - 0.2×100 = 30, cost 8 => ratio 3.75.
@@ -292,9 +294,8 @@ mod tests {
     fn remedies_cover_the_taxonomy() {
         assert!(suggested_remedy(key_site_a()).contains("bitrates"));
         assert!(suggested_remedy(key_asn()).contains("ISP"));
-        let pair = vqlens_model::attr::SessionAttrs::new([1, 2, 0, 0, 0, 0, 0]).project(
-            AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]),
-        );
+        let pair = vqlens_model::attr::SessionAttrs::new([1, 2, 0, 0, 0, 0, 0])
+            .project(AttrMask::of(&[AttrKey::Asn, AttrKey::Cdn]));
         assert!(suggested_remedy(pair).contains("peering"));
         let odd = vqlens_model::attr::SessionAttrs::new([0, 0, 0, 0, 1, 1, 0])
             .project(AttrMask::of(&[AttrKey::PlayerType, AttrKey::Browser]));

@@ -43,11 +43,9 @@ impl AttrFilter {
         match self {
             AttrFilter::Any => true,
             AttrFilter::Single(attr) => key.mask() == AttrMask::single(*attr),
-            AttrFilter::UnionTop4 => {
-                [AttrKey::Site, AttrKey::Cdn, AttrKey::Asn, AttrKey::ConnType]
-                    .into_iter()
-                    .any(|a| key.mask() == AttrMask::single(a))
-            }
+            AttrFilter::UnionTop4 => [AttrKey::Site, AttrKey::Cdn, AttrKey::Asn, AttrKey::ConnType]
+                .into_iter()
+                .any(|a| key.mask() == AttrMask::single(a)),
         }
     }
 }
@@ -196,8 +194,12 @@ mod tests {
         assert_eq!(by_cov[1].0, key_site_b());
         assert_eq!(by_cov[1].1, 90.0);
 
-        let by_pers =
-            rank_clusters(&t, Metric::JoinFailure, RankBy::Persistence, AttrFilter::Any);
+        let by_pers = rank_clusters(
+            &t,
+            Metric::JoinFailure,
+            RankBy::Persistence,
+            AttrFilter::Any,
+        );
         assert_eq!(by_pers[0].0, key_site_a()); // 3-epoch streak
         assert_eq!(by_pers[0].1, 3.0);
     }
@@ -219,7 +221,12 @@ mod tests {
             AttrFilter::Single(AttrKey::Asn),
         );
         assert_eq!(asns.len(), 1);
-        let union = rank_clusters(&t, Metric::JoinFailure, RankBy::Coverage, AttrFilter::UnionTop4);
+        let union = rank_clusters(
+            &t,
+            Metric::JoinFailure,
+            RankBy::Coverage,
+            AttrFilter::UnionTop4,
+        );
         assert_eq!(union.len(), 3);
     }
 

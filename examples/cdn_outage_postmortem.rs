@@ -53,8 +53,12 @@ fn main() {
         .expect("cdn interned");
     let expected = ClusterKey::of_single(AttrKey::Cdn, OUTAGE_CDN);
 
-    println!("staged incident: {} failing joins, epochs {}..{}", cdn_name,
-             OUTAGE_START, OUTAGE_START + OUTAGE_LEN);
+    println!(
+        "staged incident: {} failing joins, epochs {}..{}",
+        cdn_name,
+        OUTAGE_START,
+        OUTAGE_START + OUTAGE_LEN
+    );
 
     // 1. The raw problem-cluster wall vs the critical-cluster distillate.
     println!("\nepoch | join-failure problem clusters | critical clusters | cdn-2 critical?");
@@ -89,12 +93,15 @@ fn main() {
     //    does one sub-population dominate? A uniform breakage shows no
     //    hotspot — the CDN itself is the right granularity.
     let mid_outage = EpochId(OUTAGE_START + 2);
-    let cube = EpochCube::build(
+    // Unpruned context: drill-down may descend below the significance floor.
+    let ctx = AnalysisContext::compute_unpruned(
         mid_outage,
         output.dataset.epoch(mid_outage),
         &config.thresholds,
+        &config.significance,
     );
-    let dd = vqlens::analysis::drilldown::DrillDown::diagnose(&cube, expected, Metric::JoinFailure);
+    let dd =
+        vqlens::analysis::drilldown::DrillDown::diagnose(&ctx.cube, expected, Metric::JoinFailure);
     println!(
         "\ndrill-down at epoch {}: {} sessions, {} failures (ratio {:.2})",
         mid_outage.0, dd.sessions, dd.problems, dd.ratio
@@ -102,9 +109,7 @@ fn main() {
     match dd.hotspot(0.8, 1.5) {
         Some((attr, entry)) => println!(
             "  hotspot: {}={} holds {} of the failures",
-            attr,
-            entry.value,
-            entry.problems
+            attr, entry.value, entry.problems
         ),
         None => println!("  no hotspot: the breakage is uniform across the CDN's traffic"),
     }

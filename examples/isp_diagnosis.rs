@@ -28,7 +28,11 @@ fn describe(output: &SynthOutput, key: ClusterKey) -> Option<String> {
                         "{name}: {:?} ISP in {:?}{}",
                         asn.tier,
                         asn.region,
-                        if asn.wireless { ", cellular carrier" } else { "" }
+                        if asn.wireless {
+                            ", cellular carrier"
+                        } else {
+                            ""
+                        }
                     )
                 }
                 AttrKey::Cdn => {
@@ -67,8 +71,7 @@ fn main() {
 
     println!("most prevalent critical clusters, annotated (paper Table 3):\n");
     for metric in Metric::ALL {
-        let prevalence =
-            PrevalenceReport::compute(trace.epochs(), metric, ClusterSource::Critical);
+        let prevalence = PrevalenceReport::compute(trace.epochs(), metric, ClusterSource::Critical);
         println!("== {metric} ==");
         let mut shown = 0;
         for (key, p) in prevalence.ranked() {
@@ -103,7 +106,8 @@ fn main() {
     let bitrate_prev =
         PrevalenceReport::compute(trace.epochs(), Metric::Bitrate, ClusterSource::Critical);
     let has_asn_or_conn = bitrate_prev.ranked().iter().any(|(k, _)| {
-        k.mask() == AttrMask::single(AttrKey::Asn) || k.mask() == AttrMask::single(AttrKey::ConnType)
+        k.mask() == AttrMask::single(AttrKey::Asn)
+            || k.mask() == AttrMask::single(AttrKey::ConnType)
     });
     assert!(
         has_asn_or_conn,

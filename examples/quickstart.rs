@@ -18,11 +18,16 @@ fn main() {
     scenario.epochs = 48;
     let config = AnalyzerConfig::for_scenario(&scenario);
 
-    println!("generating {} epochs (~{} sessions/epoch) ...",
-             scenario.epochs, scenario.arrivals.sessions_per_epoch as u64);
+    println!(
+        "generating {} epochs (~{} sessions/epoch) ...",
+        scenario.epochs, scenario.arrivals.sessions_per_epoch as u64
+    );
     let output = generate_parallel(&scenario, config.threads);
-    println!("  {} sessions, {} planted ground-truth events",
-             output.dataset.num_sessions(), output.ground_truth.len());
+    println!(
+        "  {} sessions, {} planted ground-truth events",
+        output.dataset.num_sessions(),
+        output.ground_truth.len()
+    );
 
     println!("analyzing (cube -> problem clusters -> critical clusters) ...");
     let trace = analyze_dataset(&output.dataset, &config);
@@ -42,13 +47,11 @@ fn main() {
 
     println!("\n=== most prevalent critical clusters (per metric) ===");
     for metric in Metric::ALL {
-        let prevalence =
-            PrevalenceReport::compute(trace.epochs(), metric, ClusterSource::Critical);
+        let prevalence = PrevalenceReport::compute(trace.epochs(), metric, ClusterSource::Critical);
         println!("  {metric}:");
         for (key, p) in prevalence.ranked().into_iter().take(3) {
-            let named = key.display_with(|attr, id| {
-                output.dataset.value_name(attr, id).unwrap_or("?")
-            });
+            let named =
+                key.display_with(|attr, id| output.dataset.value_name(attr, id).unwrap_or("?"));
             println!("    {:>5.1}% of epochs  {}", 100.0 * p, named);
         }
     }

@@ -34,7 +34,13 @@ fn main() {
         );
         let cells: Vec<String> = sweep
             .iter()
-            .map(|p| format!("{:>4.1}%@top-{:.0}%", 100.0 * p.alleviated_fraction, 100.0 * p.fraction))
+            .map(|p| {
+                format!(
+                    "{:>4.1}%@top-{:.0}%",
+                    100.0 * p.alleviated_fraction,
+                    100.0 * p.fraction
+                )
+            })
             .collect();
         println!("  rank by {name:<11} {}", cells.join("  "));
     }

@@ -306,15 +306,27 @@ fn analyze(args: &[String]) -> ExitCode {
             *metric,
             ClusterSource::Critical,
         );
+        let ranked = prevalence.ranked();
         println!("most prevalent critical clusters:");
-        for (key, p) in prevalence.ranked().into_iter().take(top) {
+        for &(key, p) in ranked.iter().take(top) {
             let named = key.display_with(|attr, id| dataset.value_name(attr, id).unwrap_or("?"));
             println!("  {:>5.1}%  {named}", 100.0 * p);
         }
+        drill_into_top_cluster(
+            &dataset,
+            &config,
+            &trace,
+            *metric,
+            ranked.first().map(|r| r.0),
+        );
         println!("highest benefit-per-cost fixes:");
-        for cb in cost_benefit_ranking(trace.epochs(), *metric, &CostModel::infrastructure_default())
-            .into_iter()
-            .take(top.min(3))
+        for cb in cost_benefit_ranking(
+            trace.epochs(),
+            *metric,
+            &CostModel::infrastructure_default(),
+        )
+        .into_iter()
+        .take(top.min(3))
         {
             let named = cb
                 .key
@@ -327,6 +339,59 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Drill one level into the most prevalent critical cluster at the epoch
+/// where it hurt the most, pointing the operator at the sub-population that
+/// dominates the damage (or confirming the cluster is the right
+/// granularity). Rebuilds that one epoch's cube unpruned so the drill-down
+/// can descend below the significance floor.
+fn drill_into_top_cluster(
+    dataset: &Dataset,
+    config: &AnalyzerConfig,
+    trace: &TraceAnalysis,
+    metric: Metric,
+    key: Option<ClusterKey>,
+) {
+    let Some(key) = key else {
+        return;
+    };
+    let worst = trace
+        .epochs()
+        .iter()
+        .filter_map(|a| {
+            a.metric(metric)
+                .critical
+                .clusters
+                .get(&key)
+                .map(|s| (a.epoch, s.attributed_problems))
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite attribution"));
+    let Some((epoch, _)) = worst else {
+        return;
+    };
+    let ctx = AnalysisContext::compute_unpruned(
+        epoch,
+        dataset.epoch(epoch),
+        &config.thresholds,
+        &config.significance,
+    );
+    let dd = vqlens::analysis::drilldown::DrillDown::diagnose(&ctx.cube, key, metric);
+    let named = key.display_with(|attr, id| dataset.value_name(attr, id).unwrap_or("?"));
+    match dd.hotspot(0.5, 1.5) {
+        Some((attr, entry)) => println!(
+            "drill-down at its worst epoch ({}): {}={} holds {} of {named}'s {} problem sessions",
+            epoch.0,
+            attr,
+            dataset.value_name(attr, entry.value).unwrap_or("?"),
+            entry.problems,
+            dd.problems
+        ),
+        None => println!(
+            "drill-down at its worst epoch ({}): no dominant sub-population — {named} is the right granularity",
+            epoch.0
+        ),
+    }
 }
 
 fn monitor(args: &[String]) -> ExitCode {

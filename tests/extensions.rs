@@ -3,7 +3,9 @@
 //! against real generated traces rather than fixtures.
 
 use std::io::BufReader;
-use vqlens::analysis::monitor::{replay_matches_events, MonitorConfig, MonitorEvent, OnlineMonitor};
+use vqlens::analysis::monitor::{
+    replay_matches_events, MonitorConfig, MonitorEvent, OnlineMonitor,
+};
 use vqlens::model::csv::{read_csv, write_csv};
 use vqlens::prelude::*;
 use vqlens::whatif::cost::{cost_benefit_ranking, plan_under_budget, CostModel};
@@ -96,7 +98,11 @@ fn budgeted_plans_are_feasible_and_monotone() {
     let mut last = 0.0;
     for budget in [0.0, 5.0, 20.0, 100.0, 10_000.0] {
         let plan = plan_under_budget(trace.epochs(), Metric::BufRatio, &model, budget);
-        assert!(plan.spent <= budget + 1e-9, "overspent: {} > {budget}", plan.spent);
+        assert!(
+            plan.spent <= budget + 1e-9,
+            "overspent: {} > {budget}",
+            plan.spent
+        );
         assert!(
             plan.alleviated_fraction + 1e-9 >= last,
             "more budget must not alleviate less"

@@ -65,7 +65,10 @@ fn every_operator_every_seed_lenient_ingest_recovers_clean_subset() {
                 "{kind:?} seed {seed}: IngestReport must count the damage exactly"
             );
             let per_reason: u64 = report.reasons.values().sum();
-            assert_eq!(report.bad_lines, per_reason, "{kind:?}: reason counts add up");
+            assert_eq!(
+                report.bad_lines, per_reason,
+                "{kind:?}: reason counts add up"
+            );
             let clean = read_csv(BufReader::new(clean_subset(&csv, &summary).as_bytes()))
                 .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean subset must parse: {e}"));
             assert_same_sessions(&format!("{kind:?} seed {seed}"), &recovered, &clean);

@@ -1,17 +1,25 @@
 //! Property-based tests over the core invariants, spanning crates.
 
 use proptest::prelude::*;
-use vqlens::prelude::*;
-use vqlens::cluster::cube::{ClusterCounts, EpochCube};
 use vqlens::cluster::critical::{CriticalParams, CriticalSet};
+use vqlens::cluster::cube::{ClusterCounts, CubeTable};
 use vqlens::cluster::problem::ProblemSet;
 use vqlens::model::attr::{SessionAttrs, VALUE_BITS};
 use vqlens::model::dataset::EpochData;
+use vqlens::prelude::*;
 
 /// Strategy: a random session attribute vector with small cardinalities so
 /// clusters actually form.
 fn arb_attrs() -> impl Strategy<Value = SessionAttrs> {
-    (0u32..6, 0u32..3, 0u32..4, 0u32..2, 0u32..2, 0u32..2, 0u32..3)
+    (
+        0u32..6,
+        0u32..3,
+        0u32..4,
+        0u32..2,
+        0u32..2,
+        0u32..2,
+        0u32..3,
+    )
         .prop_map(|(a, c, s, v, p, b, k)| SessionAttrs::new([a, c, s, v, p, b, k]))
 }
 
@@ -19,7 +27,12 @@ fn arb_attrs() -> impl Strategy<Value = SessionAttrs> {
 fn arb_quality() -> impl Strategy<Value = QualityMeasurement> {
     prop_oneof![
         Just(QualityMeasurement::failed()),
-        (100u32..30_000, 30.0f32..600.0, 0.0f32..60.0, 100.0f32..6_000.0)
+        (
+            100u32..30_000,
+            30.0f32..600.0,
+            0.0f32..60.0,
+            100.0f32..6_000.0
+        )
             .prop_map(|(j, d, bfr, br)| QualityMeasurement::joined(j, d, bfr, br)),
     ]
 }
@@ -41,7 +54,7 @@ proptest! {
     /// children along that dimension partition the parent exactly.
     #[test]
     fn cube_children_partition_parents(data in arb_epoch(300)) {
-        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
         // Root equals the sum of single-ASN clusters.
         let mut sum = ClusterCounts::default();
         for asn in 0..6u32 {
@@ -49,7 +62,7 @@ proptest! {
         }
         prop_assert_eq!(sum, cube.root);
         // Every cluster's count is bounded by each of its ancestors'.
-        for (key, counts) in &cube.clusters {
+        for (key, counts) in cube.entries() {
             for parent in key.parents() {
                 let p = cube.counts(parent);
                 prop_assert!(p.sessions >= counts.sessions);
@@ -63,7 +76,7 @@ proptest! {
     /// Problem clusters always satisfy their defining inequalities.
     #[test]
     fn problem_clusters_satisfy_significance(data in arb_epoch(400)) {
-        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
         let sig = vqlens::cluster::problem::SignificanceParams {
             ratio_multiplier: 1.5,
             min_sessions: 20,
@@ -84,7 +97,7 @@ proptest! {
     /// antichain, attribution conserved and bounded.
     #[test]
     fn critical_clusters_are_minimal_and_conservative(data in arb_epoch(400)) {
-        let cube = EpochCube::build(EpochId(0), &data, &Thresholds::default());
+        let cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
         let sig = vqlens::cluster::problem::SignificanceParams {
             ratio_multiplier: 1.5,
             min_sessions: 15,

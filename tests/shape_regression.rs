@@ -38,8 +38,7 @@ fn global_problem_ratios_are_paper_shaped() {
     let mut means = [0.0f64; 4];
     for m in Metric::ALL {
         let series = problem_ratio_series(f.trace.epochs(), m);
-        means[m.index()] =
-            series.iter().map(|p| p.ratio).sum::<f64>() / series.len() as f64;
+        means[m.index()] = series.iter().map(|p| p.ratio).sum::<f64>() / series.len() as f64;
         assert!(
             (0.005..0.5).contains(&means[m.index()]),
             "{m}: mean problem ratio {} out of plausible range",
@@ -177,8 +176,7 @@ fn reactive_strategy_remains_worthwhile() {
 #[test]
 fn engagement_declines_with_buffering() {
     let f = fixture();
-    let curve =
-        vqlens::analysis::engagement::EngagementCurve::measure(&f.output.dataset, 0.02);
+    let curve = vqlens::analysis::engagement::EngagementCurve::measure(&f.output.dataset, 0.02);
     assert!(curve.sessions > 10_000);
     assert!(
         curve.minutes_per_buffering_point < -0.05,
