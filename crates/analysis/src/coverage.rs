@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 use vqlens_cluster::analyze::EpochAnalysis;
 use vqlens_model::metric::Metric;
+use vqlens_obs as obs;
 use vqlens_stats::StreamingMoments;
 
 /// One row of Table 1.
@@ -31,6 +32,7 @@ pub struct CoverageRow {
 /// metric are excluded from that metric's coverage means (coverage is
 /// undefined there), matching how the paper averages per-epoch statistics.
 pub fn coverage_table(analyses: &[EpochAnalysis]) -> [CoverageRow; 4] {
+    let _obs = obs::global().span(obs::Stage::Coverage);
     Metric::ALL.map(|metric| {
         let mut problem_clusters = StreamingMoments::new();
         let mut critical_clusters = StreamingMoments::new();

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use vqlens_cluster::cube::CubeTable;
 use vqlens_model::attr::{AttrKey, ClusterKey};
 use vqlens_model::metric::Metric;
+use vqlens_obs as obs;
 
 /// One child cluster within a drill-down dimension.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,6 +64,7 @@ pub struct DrillDown {
 impl DrillDown {
     /// Diagnose `key` against a (preferably unpruned) epoch cube.
     pub fn diagnose(cube: &CubeTable, key: ClusterKey, metric: Metric) -> DrillDown {
+        let _obs = obs::global().span_epoch(obs::Stage::DrillDown, cube.epoch.0);
         let own = cube.counts(key);
         let own_problems = own.problems[metric.index()];
         let own_ratio = own.ratio(metric);

@@ -26,6 +26,10 @@
 //!   across metrics.
 //! * [`timeseries`] — Figs. 2 & 9: per-epoch problem ratios and cluster
 //!   counts.
+//!
+//! **Paper map:** §4 — prevalence and persistence of (critical) clusters —
+//! plus Table 1/Table 2 structure; [`monitor`] is the operational system §6
+//! envisions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -21,6 +21,7 @@ use vqlens_cluster::analyze::EpochAnalysis;
 use vqlens_model::attr::ClusterKey;
 use vqlens_model::epoch::EpochId;
 use vqlens_model::metric::Metric;
+use vqlens_obs as obs;
 use vqlens_stats::{Ecdf, FxHashMap, FxHashSet};
 
 /// Which per-epoch cluster set to analyze.
@@ -124,6 +125,7 @@ impl PersistenceReport {
         metric: Metric,
         source: ClusterSource,
     ) -> PersistenceReport {
+        let _obs = obs::global().span(obs::Stage::Persistence);
         let mut streaks: FxHashMap<ClusterKey, Vec<u32>> = FxHashMap::default();
         for e in extract_events(analyses, metric, source) {
             streaks.entry(e.key).or_default().push(e.len);

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use vqlens_cluster::analyze::EpochAnalysis;
 use vqlens_model::attr::ClusterKey;
 use vqlens_model::metric::Metric;
+use vqlens_obs as obs;
 use vqlens_stats::{Ecdf, FxHashMap};
 
 /// Occurrence counts of clusters over a trace.
@@ -38,6 +39,7 @@ impl PrevalenceReport {
         metric: Metric,
         source: ClusterSource,
     ) -> PrevalenceReport {
+        let _obs = obs::global().span(obs::Stage::Prevalence);
         let mut occurrences: FxHashMap<ClusterKey, u32> = FxHashMap::default();
         for a in analyses {
             let ma = a.metric(metric);

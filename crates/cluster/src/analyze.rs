@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use vqlens_model::dataset::EpochData;
 use vqlens_model::epoch::EpochId;
 use vqlens_model::metric::{Metric, Thresholds};
+use vqlens_obs as obs;
 
 /// Everything the per-epoch analyses share: the cube, the significance
 /// parameters it was pruned with, and the per-metric problem sets.
@@ -81,7 +82,17 @@ impl AnalysisContext {
 
     /// Derive the per-metric problem sets from an already-built cube.
     pub fn from_cube(cube: CubeTable, sig: &SignificanceParams) -> AnalysisContext {
+        let rec = obs::global();
+        let span = rec.span_epoch(obs::Stage::ProblemClusters, cube.epoch.0);
         let problems = Metric::ALL.map(|m| ProblemSet::identify(&cube, m, sig));
+        span.finish();
+        if rec.is_enabled() {
+            for m in Metric::ALL {
+                if let Some(counter) = obs::Counter::problem_clusters(m.index()) {
+                    rec.add(counter, problems[m.index()].len() as u64);
+                }
+            }
+        }
         AnalysisContext {
             epoch: cube.epoch,
             cube,
@@ -108,7 +119,14 @@ impl AnalysisContext {
     /// Identify the critical clusters for one metric (§3.2), reusing the
     /// shared cube and problem set.
     pub fn critical(&self, metric: Metric, params: &CriticalParams) -> CriticalSet {
-        CriticalSet::identify(&self.cube, self.problems(metric), &self.sig, params)
+        let rec = obs::global();
+        let span = rec.span_epoch(obs::Stage::CriticalClusters, self.epoch.0);
+        let set = CriticalSet::identify(&self.cube, self.problems(metric), &self.sig, params);
+        span.finish();
+        if let Some(counter) = obs::Counter::critical_clusters(metric.index()) {
+            rec.add(counter, set.len() as u64);
+        }
+        set
     }
 
     /// Run the HHH baseline for one metric, reusing the shared cube.

@@ -42,6 +42,7 @@ use vqlens_model::attr::{AttrMask, ClusterKey};
 use vqlens_model::dataset::EpochData;
 use vqlens_model::epoch::EpochId;
 use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};
+use vqlens_obs as obs;
 use vqlens_stats::FxHashMap;
 
 /// Session and per-metric problem counts of one cluster.
@@ -209,6 +210,7 @@ impl CubeTable {
         thresholds: &Thresholds,
         threads: usize,
     ) -> CubeTable {
+        let _obs = obs::global().span_epoch(obs::Stage::CubeBuild, epoch.0);
         let threads = threads.max(1);
 
         // Phase 1: reduce sessions to distinct leaves.
@@ -283,6 +285,25 @@ impl CubeTable {
         entries.extend(leaves);
         let offsets = compute_offsets(&entries);
 
+        let rec = obs::global();
+        if rec.is_enabled() {
+            let full = AttrMask::FULL.0 as usize;
+            rec.add(
+                obs::Counter::CubeLeafRows,
+                u64::from(offsets[full + 1] - offsets[full]),
+            );
+            rec.add(obs::Counter::CubeEntries, entries.len() as u64);
+            let mut by_arity = [0u64; 8];
+            for (m, pair) in offsets.windows(2).enumerate().skip(1) {
+                by_arity[(m as u32).count_ones() as usize] += u64::from(pair[1] - pair[0]);
+            }
+            for (arity, &count) in by_arity.iter().enumerate().skip(1) {
+                if let Some(counter) = obs::Counter::cube_entries_arity(arity as u32) {
+                    rec.add(counter, count);
+                }
+            }
+        }
+
         CubeTable {
             epoch,
             root,
@@ -348,10 +369,15 @@ impl CubeTable {
     /// before the per-metric passes iterate it. `retain` preserves the sort
     /// order, so only the mask index needs recomputing.
     pub fn prune(&mut self, min_sessions: u64) {
+        let before = self.entries.len();
         self.entries
             .retain(|(k, c)| c.sessions >= min_sessions || k.mask() == AttrMask::FULL);
         self.entries.shrink_to_fit();
         self.offsets = compute_offsets(&self.entries);
+        obs::global().add(
+            obs::Counter::CubeEntriesPruned,
+            (before - self.entries.len()) as u64,
+        );
     }
 }
 

@@ -20,6 +20,9 @@
 //!   (§7), used by the ablation benchmarks.
 //! * [`analyze`] — the shared per-epoch [`analyze::AnalysisContext`] (built
 //!   exactly once per epoch) and the full four-metric analysis wrapper.
+//!
+//! **Paper map:** §3 — problem clusters (§3.1) and critical clusters
+//! (§3.2), the methodological core the rest of the reproduction consumes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

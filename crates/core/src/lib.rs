@@ -30,14 +30,20 @@
 //! }
 //! ```
 //!
-//! Sub-crates (re-exported below): `vqlens-model` (domain types),
-//! `vqlens-stats` (statistics toolkit), `vqlens-cluster` (problem/critical
-//! clusters), `vqlens-analysis` (temporal/structural analyses),
-//! `vqlens-whatif` (improvement analyses), `vqlens-delivery` (streaming
-//! simulator), `vqlens-synth` (world + trace generation).
+//! **Paper map:** this crate is the §2 end-to-end pipeline; the sections
+//! themselves live in the sub-crates it re-exports — `vqlens-model`
+//! (domain types), `vqlens-stats` (statistics toolkit), `vqlens-cluster`
+//! (problem clusters §3.1, critical clusters §3.2), `vqlens-analysis`
+//! (prevalence/persistence §4–§5), `vqlens-whatif` (what-if improvement
+//! §6), `vqlens-delivery` (streaming simulator), `vqlens-synth` (world +
+//! trace generation), and `vqlens-obs` (run observability, cross-cutting).
+//!
+//! Every stage records timings and counters into the process-global
+//! [`vqlens_obs::Recorder`] (disabled by default, enabled by
+//! `vqlens analyze --report-json`/`--timings`); see docs/OBSERVABILITY.md.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod pipeline;
@@ -56,6 +62,7 @@ pub use vqlens_analysis as analysis;
 pub use vqlens_cluster as cluster;
 pub use vqlens_delivery as delivery;
 pub use vqlens_model as model;
+pub use vqlens_obs as obs;
 pub use vqlens_stats as stats;
 pub use vqlens_synth as synth;
 pub use vqlens_whatif as whatif;
@@ -87,6 +94,7 @@ pub mod prelude {
     pub use vqlens_model::dataset::Dataset;
     pub use vqlens_model::epoch::{EpochId, EpochRange};
     pub use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};
+    pub use vqlens_obs::{Recorder, RunReport};
     pub use vqlens_synth::scenario::{generate, Scenario, SynthOutput};
     pub use vqlens_whatif::oracle::{oracle_sweep, AttrFilter, RankBy};
     pub use vqlens_whatif::proactive::proactive_analysis;

@@ -31,6 +31,7 @@ use vqlens_model::csv::IngestReport;
 use vqlens_model::dataset::Dataset;
 use vqlens_model::epoch::EpochId;
 use vqlens_model::metric::Metric;
+use vqlens_obs as obs;
 use vqlens_synth::arrivals::ArrivalSampler;
 use vqlens_synth::scenario::{generate_epoch, prepare, Scenario, SynthOutput};
 
@@ -106,17 +107,22 @@ impl TraceAnalysis {
         config: AnalyzerConfig,
         results: Vec<Result<EpochAnalysis, WorkerPanic>>,
     ) -> TraceAnalysis {
+        let rec = obs::global();
         let mut epochs = Vec::with_capacity(results.len());
         let mut statuses = Vec::with_capacity(results.len());
         for result in results {
             match result {
                 Ok(analysis) => {
+                    rec.incr(obs::Counter::EpochsAnalyzed);
                     epochs.push(analysis);
                     statuses.push(EpochStatus::Ok);
                 }
-                Err(panic) => statuses.push(EpochStatus::Failed {
-                    reason: panic.message,
-                }),
+                Err(panic) => {
+                    rec.incr(obs::Counter::EpochsFailed);
+                    statuses.push(EpochStatus::Failed {
+                        reason: panic.message,
+                    });
+                }
             }
         }
         TraceAnalysis {
@@ -192,12 +198,38 @@ impl TraceAnalysis {
         for (&epoch, &count) in &report.per_epoch_bad {
             if let Some(status) = self.statuses.get_mut(epoch as usize) {
                 if *status == EpochStatus::Ok {
+                    obs::global().incr(obs::Counter::EpochsDegraded);
                     *status = EpochStatus::Degraded {
                         quarantined_lines: count,
                     };
                 }
             }
         }
+    }
+
+    /// Per-epoch outcomes converted to the observability crate's
+    /// [`vqlens_obs::EpochOutcome`], ready for
+    /// [`vqlens_obs::Recorder::record_epochs`] — this is how a run's
+    /// degradations and failures reach the JSON [`vqlens_obs::RunReport`].
+    pub fn epoch_outcomes(&self) -> Vec<obs::EpochOutcome> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .map(|(e, status)| {
+                let epoch = e as u32;
+                match status {
+                    EpochStatus::Ok => obs::EpochOutcome::Ok { epoch },
+                    EpochStatus::Degraded { quarantined_lines } => obs::EpochOutcome::Degraded {
+                        epoch,
+                        quarantined_lines: *quarantined_lines,
+                    },
+                    EpochStatus::Failed { reason } => obs::EpochOutcome::Failed {
+                        epoch,
+                        reason: reason.clone(),
+                    },
+                }
+            })
+            .collect()
     }
 
     /// Total problem sessions over the analyzed epochs for one metric.
@@ -301,6 +333,7 @@ pub fn try_generate_parallel(
     scenario: &Scenario,
     threads: usize,
 ) -> Result<SynthOutput, WorkerPanic> {
+    let _obs = obs::global().span(obs::Stage::Generate);
     let (world, ground_truth, mut dataset) = prepare(scenario);
     let sampler = ArrivalSampler::new(&world);
     let threads = if threads == 0 {
@@ -323,6 +356,7 @@ pub fn try_generate_parallel(
     for (e, data) in epochs.into_iter().enumerate() {
         dataset.set_epoch(EpochId(e as u32), data);
     }
+    obs::global().add(obs::Counter::EpochsGenerated, u64::from(scenario.epochs));
     Ok(SynthOutput {
         dataset,
         world,
@@ -371,7 +405,11 @@ fn analyze_epochs_with<F>(n: u32, config: &AnalyzerConfig, f: F) -> TraceAnalysi
 where
     F: Fn(u32) -> EpochAnalysis + Sync,
 {
-    let results = parallel_indexed_caught(n, config.effective_threads(), f);
+    let _obs = obs::global().span(obs::Stage::TraceAnalysis);
+    let results = parallel_indexed_caught(n, config.effective_threads(), |e| {
+        let _obs = obs::global().span_epoch(obs::Stage::EpochAnalysis, e);
+        f(e)
+    });
     TraceAnalysis::from_results(*config, results)
 }
 

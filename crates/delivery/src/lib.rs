@@ -20,6 +20,10 @@
 //!   bitrate" (a recurring culprit in the paper's Table 3).
 //! * [`player`] — the player state machine producing a
 //!   [`vqlens_model::QualityMeasurement`] per session.
+//!
+//! **Paper map:** substrate for §2's (unreleased) dataset — it manufactures
+//! the per-session quality measurements the paper takes as input; no paper
+//! section is reproduced here directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -33,6 +33,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{BufRead, Write};
+use vqlens_obs as obs;
 
 /// Upper bound on epoch ids accepted from CSV (~114 years of hourly data).
 pub const MAX_EPOCHS: u32 = 1_000_000;
@@ -434,6 +435,7 @@ pub fn read_csv_opts<R: BufRead>(
     options: &ReadOptions,
     mut dead_letter: Option<&mut dyn Write>,
 ) -> Result<(Dataset, IngestReport), CsvError> {
+    let _obs = obs::global().span(obs::Stage::Ingest);
     let mut lines = input.lines().enumerate();
     let (_, header) = lines.next().ok_or_else(|| CsvError::BadHeader {
         found: "<empty input>".into(),
@@ -541,6 +543,9 @@ pub fn read_csv_opts<R: BufRead>(
             row.quality,
         ));
     }
+    let rec = obs::global();
+    rec.add(obs::Counter::SessionsIngested, report.ok_lines);
+    rec.add(obs::Counter::LinesQuarantined, report.bad_lines);
     Ok((dataset, report))
 }
 

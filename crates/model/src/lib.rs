@@ -22,6 +22,10 @@
 //!
 //! The model is deliberately free of any analysis logic: clustering lives in
 //! `vqlens-cluster`, synthesis in `vqlens-synth`, and so on.
+//!
+//! **Paper map:** §2 — the dataset, the seven session attributes, the four
+//! quality metrics, and the problem-session thresholds every later section
+//! builds on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

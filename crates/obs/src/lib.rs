@@ -1,0 +1,59 @@
+//! # vqlens-obs
+//!
+//! Pipeline observability for the vqlens analysis funnel: stage timing
+//! spans, atomic counters, and a serializable [`RunReport`].
+//!
+//! The paper's methodology (Jiang et al., CoNEXT 2013) is a multi-stage
+//! funnel — ingest → epoch bucketing → cube build (§3) → problem /
+//! critical clusters (§3.1–3.2) → prevalence / persistence / what-if
+//! (§4–§5) — and production measurement systems localize both quality
+//! problems *and their own regressions* by instrumenting exactly that
+//! funnel. This crate is that instrument: every other vqlens crate
+//! records into it, and `vqlens analyze --report-json` serializes the
+//! result.
+//!
+//! **Paper map:** cross-cutting — it measures the reproduction of §3–§6
+//! rather than reproducing a section itself.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero overhead when disabled.** The process-global
+//!    [`Recorder`] starts disabled; a disabled recorder performs one
+//!    relaxed atomic load per instrumentation site, allocates nothing,
+//!    and records nothing. Hot loops are never instrumented — only
+//!    stage-granular seams (one span per epoch per stage at worst).
+//! 2. **Thread-safe, dependency-free.** Counters are `AtomicU64`; span
+//!    and epoch records go through short critical sections on a std
+//!    mutex. The analysis pipeline fans epochs out across worker threads
+//!    and all of them record into the same recorder. The crate links
+//!    only std — every vqlens crate depends on it, so it must cost
+//!    nothing to pull in (the small JSON codec is hand-rolled in
+//!    [`json`]).
+//! 3. **Deterministic shape.** [`RunReport`] serializes with sorted keys
+//!    and a pinned schema (see `tests/golden_report.rs`), so two reports
+//!    from different commits can be diffed mechanically
+//!    (docs/OBSERVABILITY.md documents the workflow).
+//!
+//! ```
+//! use vqlens_obs::{Counter, Recorder, Stage};
+//!
+//! let rec = Recorder::new();
+//! rec.set_enabled(true);
+//! {
+//!     let _span = rec.span_epoch(Stage::CubeBuild, 0);
+//!     rec.add(Counter::CubeEntries, 1234);
+//! } // span records on drop
+//! let report = rec.report();
+//! assert_eq!(report.counters["cube_entries"], 1234);
+//! assert!(report.stages.contains_key("cube_build"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod recorder;
+pub mod report;
+
+pub use recorder::{global, Counter, Recorder, Span, Stage};
+pub use report::{EpochOutcome, RunReport, StageStats};

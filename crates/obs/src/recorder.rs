@@ -1,0 +1,566 @@
+//! The [`Recorder`]: stage spans, atomic counters, and the process-global
+//! instance the pipeline records into.
+
+use crate::report::{EpochOutcome, RunReport, StageStats};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Lock a mutex, recovering from poisoning: the protected state is plain
+/// data (appended records) and stays valid even if a panicking thread —
+/// e.g. a panic-isolated epoch worker — died mid-push elsewhere.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The fixed stage taxonomy of the vqlens funnel, in pipeline order.
+///
+/// Epoch-scoped stages (cube build, problem/critical identification,
+/// per-epoch analysis) are recorded once per epoch, so their
+/// [`StageStats`] aggregate min/p50/max *across epochs*; trace-scoped
+/// stages (ingest, generate, the outer analysis fan-out, the temporal
+/// passes) are recorded once per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// CSV ingest (`vqlens_model::csv::read_csv_opts`), trace-scoped.
+    Ingest = 0,
+    /// Synthetic trace generation (`try_generate_parallel`), trace-scoped.
+    Generate = 1,
+    /// Cube construction for one epoch (`CubeTable::build_with_threads`).
+    CubeBuild = 2,
+    /// Problem-cluster identification for one epoch, all four metrics
+    /// (`AnalysisContext::from_cube`, paper §3.1).
+    ProblemClusters = 3,
+    /// Critical-cluster identification for one epoch and one metric
+    /// (`AnalysisContext::critical`, paper §3.2).
+    CriticalClusters = 4,
+    /// One epoch's end-to-end analysis inside the parallel fan-out
+    /// (cube + problem + critical, all metrics).
+    EpochAnalysis = 5,
+    /// The whole-trace analysis fan-out (`analyze_dataset`), trace-scoped.
+    TraceAnalysis = 6,
+    /// Prevalence computation (paper §4), trace-scoped.
+    Prevalence = 7,
+    /// Persistence / event extraction (paper §4), trace-scoped.
+    Persistence = 8,
+    /// Coverage table (paper Table 1), trace-scoped.
+    Coverage = 9,
+    /// Drill-down diagnosis of one cluster (paper §6).
+    DrillDown = 10,
+    /// What-if cost/benefit ranking (paper §5 + §6), trace-scoped.
+    WhatIf = 11,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 12;
+
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Ingest,
+        Stage::Generate,
+        Stage::CubeBuild,
+        Stage::ProblemClusters,
+        Stage::CriticalClusters,
+        Stage::EpochAnalysis,
+        Stage::TraceAnalysis,
+        Stage::Prevalence,
+        Stage::Persistence,
+        Stage::Coverage,
+        Stage::DrillDown,
+        Stage::WhatIf,
+    ];
+
+    /// Stable snake_case name used as the JSON key in [`RunReport`].
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::Generate => "generate",
+            Stage::CubeBuild => "cube_build",
+            Stage::ProblemClusters => "problem_clusters",
+            Stage::CriticalClusters => "critical_clusters",
+            Stage::EpochAnalysis => "epoch_analysis",
+            Stage::TraceAnalysis => "trace_analysis",
+            Stage::Prevalence => "prevalence",
+            Stage::Persistence => "persistence",
+            Stage::Coverage => "coverage",
+            Stage::DrillDown => "drill_down",
+            Stage::WhatIf => "what_if",
+        }
+    }
+}
+
+/// The fixed counter catalogue (see docs/OBSERVABILITY.md).
+///
+/// Counters are monotone `u64` totals over the whole run; per-metric and
+/// per-arity families are addressed through the index helpers
+/// ([`Counter::problem_clusters`], [`Counter::cube_entries_arity`]) so
+/// call sites never hard-code a variant per metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Data lines that parsed into sessions during CSV ingest.
+    SessionsIngested = 0,
+    /// Data lines quarantined by lenient ingest.
+    LinesQuarantined = 1,
+    /// Epochs produced by synthetic generation.
+    EpochsGenerated = 2,
+    /// Epochs whose analysis worker completed.
+    EpochsAnalyzed = 3,
+    /// Epochs whose analysis worker panicked (panic-isolated failures).
+    EpochsFailed = 4,
+    /// Epochs downgraded to degraded by the ingest report.
+    EpochsDegraded = 5,
+    /// Distinct leaf rows (full 7-attribute combinations) across all
+    /// built cubes.
+    CubeLeafRows = 6,
+    /// Total cube entries (all masks) across all built cubes.
+    CubeEntries = 7,
+    /// Cube entries dropped by significance pruning.
+    CubeEntriesPruned = 8,
+    /// Cube entries whose attribute mask has exactly 1 bit set.
+    CubeEntriesArity1 = 9,
+    /// Cube entries with 2-attribute masks.
+    CubeEntriesArity2 = 10,
+    /// Cube entries with 3-attribute masks.
+    CubeEntriesArity3 = 11,
+    /// Cube entries with 4-attribute masks.
+    CubeEntriesArity4 = 12,
+    /// Cube entries with 5-attribute masks.
+    CubeEntriesArity5 = 13,
+    /// Cube entries with 6-attribute masks.
+    CubeEntriesArity6 = 14,
+    /// Cube entries with full 7-attribute masks (the leaves).
+    CubeEntriesArity7 = 15,
+    /// Problem clusters identified for BufRatio, summed over epochs.
+    ProblemClustersBufRatio = 16,
+    /// Problem clusters identified for Bitrate, summed over epochs.
+    ProblemClustersBitrate = 17,
+    /// Problem clusters identified for JoinTime, summed over epochs.
+    ProblemClustersJoinTime = 18,
+    /// Problem clusters identified for JoinFailure, summed over epochs.
+    ProblemClustersJoinFailure = 19,
+    /// Critical clusters identified for BufRatio, summed over epochs.
+    CriticalClustersBufRatio = 20,
+    /// Critical clusters identified for Bitrate, summed over epochs.
+    CriticalClustersBitrate = 21,
+    /// Critical clusters identified for JoinTime, summed over epochs.
+    CriticalClustersJoinTime = 22,
+    /// Critical clusters identified for JoinFailure, summed over epochs.
+    CriticalClustersJoinFailure = 23,
+}
+
+impl Counter {
+    /// Number of counters.
+    pub const COUNT: usize = 24;
+
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::SessionsIngested,
+        Counter::LinesQuarantined,
+        Counter::EpochsGenerated,
+        Counter::EpochsAnalyzed,
+        Counter::EpochsFailed,
+        Counter::EpochsDegraded,
+        Counter::CubeLeafRows,
+        Counter::CubeEntries,
+        Counter::CubeEntriesPruned,
+        Counter::CubeEntriesArity1,
+        Counter::CubeEntriesArity2,
+        Counter::CubeEntriesArity3,
+        Counter::CubeEntriesArity4,
+        Counter::CubeEntriesArity5,
+        Counter::CubeEntriesArity6,
+        Counter::CubeEntriesArity7,
+        Counter::ProblemClustersBufRatio,
+        Counter::ProblemClustersBitrate,
+        Counter::ProblemClustersJoinTime,
+        Counter::ProblemClustersJoinFailure,
+        Counter::CriticalClustersBufRatio,
+        Counter::CriticalClustersBitrate,
+        Counter::CriticalClustersJoinTime,
+        Counter::CriticalClustersJoinFailure,
+    ];
+
+    /// Stable snake_case name used as the JSON key in [`RunReport`].
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::SessionsIngested => "sessions_ingested",
+            Counter::LinesQuarantined => "lines_quarantined",
+            Counter::EpochsGenerated => "epochs_generated",
+            Counter::EpochsAnalyzed => "epochs_analyzed",
+            Counter::EpochsFailed => "epochs_failed",
+            Counter::EpochsDegraded => "epochs_degraded",
+            Counter::CubeLeafRows => "cube_leaf_rows",
+            Counter::CubeEntries => "cube_entries",
+            Counter::CubeEntriesPruned => "cube_entries_pruned",
+            Counter::CubeEntriesArity1 => "cube_entries_arity_1",
+            Counter::CubeEntriesArity2 => "cube_entries_arity_2",
+            Counter::CubeEntriesArity3 => "cube_entries_arity_3",
+            Counter::CubeEntriesArity4 => "cube_entries_arity_4",
+            Counter::CubeEntriesArity5 => "cube_entries_arity_5",
+            Counter::CubeEntriesArity6 => "cube_entries_arity_6",
+            Counter::CubeEntriesArity7 => "cube_entries_arity_7",
+            Counter::ProblemClustersBufRatio => "problem_clusters_bufratio",
+            Counter::ProblemClustersBitrate => "problem_clusters_bitrate",
+            Counter::ProblemClustersJoinTime => "problem_clusters_jointime",
+            Counter::ProblemClustersJoinFailure => "problem_clusters_joinfailure",
+            Counter::CriticalClustersBufRatio => "critical_clusters_bufratio",
+            Counter::CriticalClustersBitrate => "critical_clusters_bitrate",
+            Counter::CriticalClustersJoinTime => "critical_clusters_jointime",
+            Counter::CriticalClustersJoinFailure => "critical_clusters_joinfailure",
+        }
+    }
+
+    /// The per-arity cube-entry counter for masks with `arity` bits set
+    /// (`1..=7`); `None` outside that range.
+    pub const fn cube_entries_arity(arity: u32) -> Option<Counter> {
+        match arity {
+            1 => Some(Counter::CubeEntriesArity1),
+            2 => Some(Counter::CubeEntriesArity2),
+            3 => Some(Counter::CubeEntriesArity3),
+            4 => Some(Counter::CubeEntriesArity4),
+            5 => Some(Counter::CubeEntriesArity5),
+            6 => Some(Counter::CubeEntriesArity6),
+            7 => Some(Counter::CubeEntriesArity7),
+            _ => None,
+        }
+    }
+
+    /// The problem-cluster counter for `Metric::index()` order
+    /// (BufRatio, Bitrate, JoinTime, JoinFailure); `None` out of range.
+    pub const fn problem_clusters(metric_index: usize) -> Option<Counter> {
+        match metric_index {
+            0 => Some(Counter::ProblemClustersBufRatio),
+            1 => Some(Counter::ProblemClustersBitrate),
+            2 => Some(Counter::ProblemClustersJoinTime),
+            3 => Some(Counter::ProblemClustersJoinFailure),
+            _ => None,
+        }
+    }
+
+    /// The critical-cluster counter for `Metric::index()` order; `None`
+    /// out of range.
+    pub const fn critical_clusters(metric_index: usize) -> Option<Counter> {
+        match metric_index {
+            0 => Some(Counter::CriticalClustersBufRatio),
+            1 => Some(Counter::CriticalClustersBitrate),
+            2 => Some(Counter::CriticalClustersJoinTime),
+            3 => Some(Counter::CriticalClustersJoinFailure),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded span: a stage, optionally attributed to an epoch, and its
+/// wall duration in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SpanRecord {
+    stage: Stage,
+    epoch: Option<u32>,
+    nanos: u64,
+}
+
+/// Thread-safe telemetry sink for one run of the pipeline.
+///
+/// Disabled (the initial state of [`global`]) it is inert: every
+/// operation is one relaxed atomic load and an untaken branch — no
+/// allocation, no clock read, no lock. Enabled, it accumulates counters,
+/// stage spans, and epoch outcomes until [`Recorder::report`] snapshots
+/// them into a [`RunReport`].
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    counters: [AtomicU64; Counter::COUNT],
+    spans: Mutex<Vec<SpanRecord>>,
+    epochs: Mutex<Vec<EpochOutcome>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh, **disabled** recorder. Enable it with
+    /// [`Recorder::set_enabled`].
+    pub const fn new() -> Recorder {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Recorder {
+            enabled: AtomicBool::new(false),
+            counters: [ZERO; Counter::COUNT],
+            spans: Mutex::new(Vec::new()),
+            epochs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Turn recording on or off. Disabling does not clear accumulated
+    /// state (use [`Recorder::reset`] for that).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the recorder is currently recording. Call sites may use
+    /// this to skip *computing* expensive counter inputs; plain
+    /// [`Recorder::add`] / [`Recorder::span`] already check internally.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Clear all counters, spans, and epoch outcomes (the enabled flag is
+    /// left as-is).
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        lock(&self.spans).clear();
+        lock(&self.epochs).clear();
+    }
+
+    /// Add `n` to a counter. A no-op when disabled.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if self.is_enabled() {
+            self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1 to a counter. A no-op when disabled.
+    #[inline]
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Current value of a counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Start a trace-scoped span; the elapsed wall time is recorded when
+    /// the returned guard drops. When disabled, no clock is read and
+    /// nothing is recorded.
+    #[inline]
+    pub fn span(&self, stage: Stage) -> Span<'_> {
+        self.span_inner(stage, None)
+    }
+
+    /// Start a span attributed to one epoch (for min/p50/max aggregation
+    /// across epochs in the report).
+    #[inline]
+    pub fn span_epoch(&self, stage: Stage, epoch: u32) -> Span<'_> {
+        self.span_inner(stage, Some(epoch))
+    }
+
+    #[inline]
+    fn span_inner(&self, stage: Stage, epoch: Option<u32>) -> Span<'_> {
+        let start = self.is_enabled().then(Instant::now);
+        Span {
+            rec: self,
+            stage,
+            epoch,
+            start,
+        }
+    }
+
+    /// Record a span with an explicit duration. The seam the [`Span`]
+    /// guard drops through; also lets tests and replay tools record
+    /// deterministic durations. A no-op when disabled.
+    pub fn record_span_nanos(&self, stage: Stage, epoch: Option<u32>, nanos: u64) {
+        if self.is_enabled() {
+            lock(&self.spans).push(SpanRecord {
+                stage,
+                epoch,
+                nanos,
+            });
+        }
+    }
+
+    /// Append per-epoch outcomes (from `TraceAnalysis::statuses`) so they
+    /// appear in the report. A no-op when disabled.
+    pub fn record_epochs(&self, outcomes: impl IntoIterator<Item = EpochOutcome>) {
+        if self.is_enabled() {
+            lock(&self.epochs).extend(outcomes);
+        }
+    }
+
+    /// Snapshot everything recorded so far into a [`RunReport`]. Only
+    /// stages with at least one span and counters with non-zero totals
+    /// are emitted, so a disabled (or idle) recorder reports empty maps.
+    pub fn report(&self) -> RunReport {
+        let mut stages: BTreeMap<String, StageStats> = BTreeMap::new();
+        {
+            let spans = lock(&self.spans);
+            for stage in Stage::ALL {
+                let mut nanos: Vec<u64> = spans
+                    .iter()
+                    .filter(|s| s.stage == stage)
+                    .map(|s| s.nanos)
+                    .collect();
+                if nanos.is_empty() {
+                    continue;
+                }
+                nanos.sort_unstable();
+                let total: u64 = nanos.iter().sum();
+                let ms = |n: u64| n as f64 / 1e6;
+                stages.insert(
+                    stage.name().to_owned(),
+                    StageStats {
+                        count: nanos.len() as u64,
+                        total_ms: ms(total),
+                        min_ms: ms(nanos[0]),
+                        p50_ms: ms(nanos[nanos.len() / 2]),
+                        max_ms: ms(*nanos.last().expect("non-empty")),
+                    },
+                );
+            }
+        }
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        for c in Counter::ALL {
+            let v = self.get(c);
+            if v > 0 {
+                counters.insert(c.name().to_owned(), v);
+            }
+        }
+        RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            threads: 0,
+            total_wall_ms: 0.0,
+            stages,
+            counters,
+            epochs: lock(&self.epochs).clone(),
+        }
+    }
+}
+
+/// RAII timing guard returned by [`Recorder::span`]; records the elapsed
+/// wall time into its recorder when dropped (if the recorder was enabled
+/// when the span started).
+#[derive(Debug)]
+pub struct Span<'r> {
+    rec: &'r Recorder,
+    stage: Stage,
+    epoch: Option<u32>,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.rec.record_span_nanos(self.stage, self.epoch, nanos);
+        }
+    }
+}
+
+/// The process-global recorder every vqlens pipeline stage records into.
+/// Disabled until something (the CLI's `--report-json` / `--timings`, or
+/// a test) calls `global().set_enabled(true)`.
+pub fn global() -> &'static Recorder {
+    static GLOBAL: Recorder = Recorder::new();
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let mut stage_names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        stage_names.sort_unstable();
+        stage_names.dedup();
+        assert_eq!(stage_names.len(), Stage::COUNT);
+        let mut counter_names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        counter_names.sort_unstable();
+        counter_names.dedup();
+        assert_eq!(counter_names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn index_helpers_cover_their_families() {
+        for (i, m) in [
+            Counter::ProblemClustersBufRatio,
+            Counter::ProblemClustersBitrate,
+            Counter::ProblemClustersJoinTime,
+            Counter::ProblemClustersJoinFailure,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert_eq!(Counter::problem_clusters(i), Some(m));
+        }
+        assert_eq!(Counter::problem_clusters(4), None);
+        assert_eq!(Counter::critical_clusters(4), None);
+        for arity in 1u32..=7 {
+            assert!(Counter::cube_entries_arity(arity).is_some());
+        }
+        assert_eq!(Counter::cube_entries_arity(0), None);
+        assert_eq!(Counter::cube_entries_arity(8), None);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::new();
+        assert!(!rec.is_enabled());
+        rec.add(Counter::CubeEntries, 5);
+        let _span = rec.span(Stage::Ingest);
+        drop(_span);
+        rec.record_span_nanos(Stage::Ingest, None, 123);
+        rec.record_epochs([EpochOutcome::Ok { epoch: 0 }]);
+        let report = rec.report();
+        assert!(report.stages.is_empty());
+        assert!(report.counters.is_empty());
+        assert!(report.epochs.is_empty());
+    }
+
+    #[test]
+    fn spans_aggregate_min_p50_max_per_stage() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        for (e, nanos) in [(0, 4_000_000), (1, 1_000_000), (2, 9_000_000)] {
+            rec.record_span_nanos(Stage::CubeBuild, Some(e), nanos);
+        }
+        rec.record_span_nanos(Stage::Ingest, None, 2_500_000);
+        let report = rec.report();
+        let cube = &report.stages["cube_build"];
+        assert_eq!(cube.count, 3);
+        assert_eq!(cube.min_ms, 1.0);
+        assert_eq!(cube.p50_ms, 4.0);
+        assert_eq!(cube.max_ms, 9.0);
+        assert_eq!(cube.total_ms, 14.0);
+        assert_eq!(report.stages["ingest"].count, 1);
+        // Enabled spans measure real elapsed time.
+        {
+            let _s = rec.span_epoch(Stage::CriticalClusters, 7);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let report = rec.report();
+        assert!(report.stages["critical_clusters"].max_ms >= 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.incr(Counter::EpochsAnalyzed);
+        rec.record_span_nanos(Stage::Generate, None, 1);
+        rec.record_epochs([EpochOutcome::Failed {
+            epoch: 3,
+            reason: "boom".into(),
+        }]);
+        rec.reset();
+        assert!(rec.is_enabled(), "reset preserves the enabled flag");
+        let report = rec.report();
+        assert!(report.stages.is_empty() && report.counters.is_empty() && report.epochs.is_empty());
+    }
+}

@@ -1,0 +1,416 @@
+//! The serializable [`RunReport`]: per-stage wall-time aggregates,
+//! counter totals, and per-epoch outcomes for one pipeline run.
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Wall-time aggregate of one stage's recorded spans. For epoch-scoped
+/// stages the distribution is across epochs; trace-scoped stages usually
+/// have `count == 1` and `min == p50 == max == total`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Number of spans recorded for the stage.
+    pub count: u64,
+    /// Sum of all span durations, in milliseconds.
+    pub total_ms: f64,
+    /// Shortest span, in milliseconds.
+    pub min_ms: f64,
+    /// Median span, in milliseconds.
+    pub p50_ms: f64,
+    /// Longest span, in milliseconds.
+    pub max_ms: f64,
+}
+
+/// Outcome of one input epoch, mirroring the pipeline's `EpochStatus`
+/// without depending on `vqlens-core` (which depends on this crate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EpochOutcome {
+    /// The epoch analyzed cleanly.
+    Ok {
+        /// Epoch id.
+        epoch: u32,
+    },
+    /// The epoch analyzed but lost quarantined input lines.
+    Degraded {
+        /// Epoch id.
+        epoch: u32,
+        /// Quarantined lines attributed to this epoch.
+        quarantined_lines: u64,
+    },
+    /// The epoch's analysis worker panicked; it is absent from results.
+    Failed {
+        /// Epoch id.
+        epoch: u32,
+        /// The captured panic message.
+        reason: String,
+    },
+}
+
+impl EpochOutcome {
+    /// The epoch this outcome describes.
+    pub fn epoch(&self) -> u32 {
+        match self {
+            EpochOutcome::Ok { epoch }
+            | EpochOutcome::Degraded { epoch, .. }
+            | EpochOutcome::Failed { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// JSON-serializable summary of one pipeline run: stage timings, counter
+/// totals, and per-epoch outcomes.
+///
+/// The shape is pinned by a golden-file test
+/// (`crates/obs/tests/golden_report.rs`) and documented with an annotated
+/// example in docs/OBSERVABILITY.md; bump [`RunReport::SCHEMA_VERSION`]
+/// on any incompatible change. Keys are sorted (`BTreeMap`) and floats
+/// use Rust's shortest round-trip form, so two pretty-printed reports
+/// diff cleanly line-by-line and emit → parse is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Version of this JSON schema (currently 1).
+    pub schema_version: u32,
+    /// Worker threads the run was configured with (0 when unknown).
+    pub threads: usize,
+    /// End-to-end wall time of the run as measured by the caller, in
+    /// milliseconds (0 when the caller did not measure it).
+    pub total_wall_ms: f64,
+    /// Per-stage wall-time aggregates, keyed by stage name; only stages
+    /// that recorded at least one span appear.
+    pub stages: BTreeMap<String, StageStats>,
+    /// Counter totals, keyed by counter name; only non-zero counters
+    /// appear.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-epoch outcomes in epoch order (empty unless the caller
+    /// recorded them).
+    pub epochs: Vec<EpochOutcome>,
+}
+
+impl RunReport {
+    /// Current schema version written into new reports.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// True when nothing was recorded (the disabled-recorder shape).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty() && self.counters.is_empty() && self.epochs.is_empty()
+    }
+
+    /// Number of epochs that failed analysis.
+    pub fn failed_epochs(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| matches!(e, EpochOutcome::Failed { .. }))
+            .count()
+    }
+
+    /// Number of epochs degraded by quarantined ingest lines.
+    pub fn degraded_epochs(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| matches!(e, EpochOutcome::Degraded { .. }))
+            .count()
+    }
+
+    /// Serialize to pretty-printed JSON (2-space indent, sorted keys,
+    /// byte-stable for identical contents).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"total_wall_ms\": ");
+        json::write_f64(&mut out, self.total_wall_ms);
+        out.push_str(",\n");
+
+        out.push_str("  \"stages\": {");
+        for (i, (name, s)) in self.stages.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_escaped(&mut out, name);
+            out.push_str(": {\n");
+            out.push_str(&format!("      \"count\": {},\n", s.count));
+            for (key, v) in [
+                ("total_ms", s.total_ms),
+                ("min_ms", s.min_ms),
+                ("p50_ms", s.p50_ms),
+                ("max_ms", s.max_ms),
+            ] {
+                out.push_str(&format!("      \"{key}\": "));
+                json::write_f64(&mut out, v);
+                out.push_str(if key == "max_ms" { "\n" } else { ",\n" });
+            }
+            out.push_str("    }");
+        }
+        out.push_str(if self.stages.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_escaped(&mut out, name);
+            out.push_str(&format!(": {v}"));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"epochs\": [");
+        for (i, e) in self.epochs.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n");
+            match e {
+                EpochOutcome::Ok { epoch } => {
+                    out.push_str("      \"status\": \"ok\",\n");
+                    out.push_str(&format!("      \"epoch\": {epoch}\n"));
+                }
+                EpochOutcome::Degraded {
+                    epoch,
+                    quarantined_lines,
+                } => {
+                    out.push_str("      \"status\": \"degraded\",\n");
+                    out.push_str(&format!("      \"epoch\": {epoch},\n"));
+                    out.push_str(&format!(
+                        "      \"quarantined_lines\": {quarantined_lines}\n"
+                    ));
+                }
+                EpochOutcome::Failed { epoch, reason } => {
+                    out.push_str("      \"status\": \"failed\",\n");
+                    out.push_str(&format!("      \"epoch\": {epoch},\n"));
+                    out.push_str("      \"reason\": ");
+                    json::write_escaped(&mut out, reason);
+                    out.push('\n');
+                }
+            }
+            out.push_str("    }");
+        }
+        out.push_str(if self.epochs.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out
+    }
+
+    /// Parse a report previously written by [`RunReport::to_json_pretty`]
+    /// (or any JSON document with the same schema).
+    pub fn from_json(input: &str) -> Result<RunReport, String> {
+        let root = json::parse(input)?;
+        let get_u64 = |v: &Value, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+        };
+        let get_f64 = |v: &Value, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+        };
+
+        let mut stages = BTreeMap::new();
+        match root.get("stages") {
+            Some(Value::Object(map)) => {
+                for (name, s) in map {
+                    stages.insert(
+                        name.clone(),
+                        StageStats {
+                            count: get_u64(s, "count")?,
+                            total_ms: get_f64(s, "total_ms")?,
+                            min_ms: get_f64(s, "min_ms")?,
+                            p50_ms: get_f64(s, "p50_ms")?,
+                            max_ms: get_f64(s, "max_ms")?,
+                        },
+                    );
+                }
+            }
+            _ => return Err("missing or non-object field \"stages\"".to_owned()),
+        }
+
+        let mut counters = BTreeMap::new();
+        match root.get("counters") {
+            Some(Value::Object(map)) => {
+                for (name, v) in map {
+                    counters.insert(
+                        name.clone(),
+                        v.as_u64()
+                            .ok_or_else(|| format!("non-integer counter {name:?}"))?,
+                    );
+                }
+            }
+            _ => return Err("missing or non-object field \"counters\"".to_owned()),
+        }
+
+        let mut epochs = Vec::new();
+        match root.get("epochs") {
+            Some(Value::Array(items)) => {
+                for item in items {
+                    let epoch = get_u64(item, "epoch")? as u32;
+                    let status = item
+                        .get("status")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| "missing epoch \"status\"".to_owned())?;
+                    epochs.push(match status {
+                        "ok" => EpochOutcome::Ok { epoch },
+                        "degraded" => EpochOutcome::Degraded {
+                            epoch,
+                            quarantined_lines: get_u64(item, "quarantined_lines")?,
+                        },
+                        "failed" => EpochOutcome::Failed {
+                            epoch,
+                            reason: item
+                                .get("reason")
+                                .and_then(Value::as_str)
+                                .ok_or_else(|| "missing failure \"reason\"".to_owned())?
+                                .to_owned(),
+                        },
+                        other => return Err(format!("unknown epoch status {other:?}")),
+                    });
+                }
+            }
+            _ => return Err("missing or non-array field \"epochs\"".to_owned()),
+        }
+
+        Ok(RunReport {
+            schema_version: get_u64(&root, "schema_version")? as u32,
+            threads: get_u64(&root, "threads")? as usize,
+            total_wall_ms: get_f64(&root, "total_wall_ms")?,
+            stages,
+            counters,
+            epochs,
+        })
+    }
+}
+
+/// Human-readable rendering for `vqlens analyze --timings`: one aligned
+/// row per stage, then the non-zero counters.
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run report (schema v{}, {} thread(s), {:.1} ms wall)",
+            self.schema_version, self.threads, self.total_wall_ms
+        )?;
+        if !self.stages.is_empty() {
+            writeln!(
+                f,
+                "  {:<18} {:>6} {:>10} {:>9} {:>9} {:>9}",
+                "stage", "count", "total_ms", "min_ms", "p50_ms", "max_ms"
+            )?;
+            for (name, s) in &self.stages {
+                writeln!(
+                    f,
+                    "  {:<18} {:>6} {:>10.2} {:>9.2} {:>9.2} {:>9.2}",
+                    name, s.count, s.total_ms, s.min_ms, s.p50_ms, s.max_ms
+                )?;
+            }
+        }
+        for (name, v) in &self.counters {
+            writeln!(f, "  {name:<30} {v}")?;
+        }
+        if !self.epochs.is_empty() {
+            writeln!(
+                f,
+                "  epochs: {} total, {} degraded, {} failed",
+                self.epochs.len(),
+                self.degraded_epochs(),
+                self.failed_epochs()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            threads: 4,
+            total_wall_ms: 12.5,
+            stages: BTreeMap::from([(
+                "cube_build".to_owned(),
+                StageStats {
+                    count: 2,
+                    total_ms: 3.0,
+                    min_ms: 1.0,
+                    p50_ms: 2.0,
+                    max_ms: 2.0,
+                },
+            )]),
+            counters: BTreeMap::from([("cube_entries".to_owned(), 42u64)]),
+            epochs: vec![
+                EpochOutcome::Ok { epoch: 0 },
+                EpochOutcome::Degraded {
+                    epoch: 1,
+                    quarantined_lines: 3,
+                },
+                EpochOutcome::Failed {
+                    epoch: 2,
+                    reason: "boom: \"quoted\"\nsecond line".to_owned(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let json = report.to_json_pretty();
+        let back = RunReport::from_json(&json).expect("parses");
+        assert_eq!(back, report);
+        assert_eq!(back.failed_epochs(), 1);
+        assert_eq!(back.degraded_epochs(), 1);
+        assert!(!back.is_empty());
+        assert_eq!(back.epochs[2].epoch(), 2);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            threads: 0,
+            total_wall_ms: 0.0,
+            stages: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            epochs: Vec::new(),
+        };
+        assert!(report.is_empty());
+        let json = report.to_json_pretty();
+        assert!(json.contains("\"stages\": {}"));
+        assert!(json.contains("\"epochs\": []"));
+        assert_eq!(RunReport::from_json(&json).expect("parses"), report);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_reports() {
+        assert!(RunReport::from_json("{}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+        let missing_stage_field = r#"{
+            "schema_version": 1, "threads": 0, "total_wall_ms": 0,
+            "stages": {"x": {"count": 1}}, "counters": {}, "epochs": []
+        }"#;
+        assert!(RunReport::from_json(missing_stage_field).is_err());
+        let bad_status = r#"{
+            "schema_version": 1, "threads": 0, "total_wall_ms": 0,
+            "stages": {}, "counters": {}, "epochs": [{"status": "great", "epoch": 0}]
+        }"#;
+        assert!(RunReport::from_json(bad_status).is_err());
+    }
+
+    #[test]
+    fn display_renders_one_row_per_stage() {
+        let text = sample().to_string();
+        assert!(text.contains("cube_build"));
+        assert!(text.contains("cube_entries"));
+        assert!(text.contains("epochs: 3 total, 1 degraded, 1 failed"));
+    }
+}

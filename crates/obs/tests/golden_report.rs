@@ -1,0 +1,74 @@
+//! Golden-file test pinning the `RunReport` JSON shape.
+//!
+//! docs/OBSERVABILITY.md documents this schema with an annotated copy of
+//! the same example; if this test fails because the schema intentionally
+//! changed, bump `RunReport::SCHEMA_VERSION`, regenerate the golden file
+//! (the assertion message prints the new serialization), and update the
+//! docs in the same commit.
+
+use vqlens_obs::{Counter, EpochOutcome, Recorder, Stage};
+
+#[test]
+fn run_report_json_matches_golden_file() {
+    let rec = Recorder::new();
+    rec.set_enabled(true);
+
+    // Deterministic spans: explicit durations, no clock involved.
+    rec.record_span_nanos(Stage::Ingest, None, 12_000_000);
+    for (epoch, nanos) in [(0u32, 4_000_000u64), (1, 2_000_000), (2, 6_000_000)] {
+        rec.record_span_nanos(Stage::CubeBuild, Some(epoch), nanos);
+        rec.record_span_nanos(Stage::ProblemClusters, Some(epoch), nanos / 4);
+        rec.record_span_nanos(Stage::CriticalClusters, Some(epoch), nanos / 2);
+        rec.record_span_nanos(Stage::EpochAnalysis, Some(epoch), nanos * 2);
+    }
+    rec.record_span_nanos(Stage::TraceAnalysis, None, 15_000_000);
+    rec.record_span_nanos(Stage::Prevalence, None, 1_000_000);
+
+    rec.add(Counter::SessionsIngested, 3600);
+    rec.add(Counter::LinesQuarantined, 4);
+    rec.add(Counter::EpochsAnalyzed, 2);
+    rec.add(Counter::EpochsFailed, 1);
+    rec.add(Counter::EpochsDegraded, 1);
+    rec.add(Counter::CubeLeafRows, 900);
+    rec.add(Counter::CubeEntries, 5120);
+    rec.add(Counter::CubeEntriesPruned, 4000);
+    rec.add(Counter::CubeEntriesArity1, 40);
+    rec.add(Counter::CubeEntriesArity7, 900);
+    rec.add(Counter::ProblemClustersBufRatio, 17);
+    rec.add(Counter::CriticalClustersBufRatio, 3);
+
+    rec.record_epochs([
+        EpochOutcome::Ok { epoch: 0 },
+        EpochOutcome::Degraded {
+            epoch: 1,
+            quarantined_lines: 4,
+        },
+        EpochOutcome::Failed {
+            epoch: 2,
+            reason: "cube exploded".to_owned(),
+        },
+    ]);
+
+    let mut report = rec.report();
+    report.threads = 4;
+    report.total_wall_ms = 21.5;
+
+    let json = report.to_json_pretty();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/run_report.json");
+        std::fs::write(path, format!("{json}\n")).expect("golden file written");
+    }
+    let golden = include_str!("golden/run_report.json");
+    assert_eq!(
+        json.trim_end(),
+        golden.trim_end(),
+        "RunReport JSON shape drifted from the golden file; if intentional, \
+         update crates/obs/tests/golden/run_report.json and \
+         docs/OBSERVABILITY.md (and bump SCHEMA_VERSION on incompatible \
+         changes).\n--- new serialization ---\n{json}"
+    );
+
+    // The golden file itself must parse back into an identical report.
+    let parsed = vqlens_obs::RunReport::from_json(golden).expect("golden file parses");
+    assert_eq!(parsed, report);
+}

@@ -1,0 +1,70 @@
+//! A disabled recorder must be free: no allocations, no recorded state.
+//!
+//! This test binary installs a counting wrapper around the system
+//! allocator, runs every instrumentation-facing `Recorder` operation in a
+//! loop with the recorder disabled, and asserts the allocation count did
+//! not move. This is the contract that lets the whole pipeline stay
+//! instrumented unconditionally (one relaxed atomic load per site) while
+//! the Criterion benches see no overhead.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use vqlens_obs::{Counter, Recorder, Stage};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_recorder_costs_no_allocations() {
+    let rec = Recorder::new();
+    assert!(!rec.is_enabled());
+
+    // Warm up any lazy runtime state outside the measured window.
+    rec.add(Counter::CubeEntries, 1);
+    drop(rec.span(Stage::CubeBuild));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        rec.add(Counter::SessionsIngested, i);
+        rec.incr(Counter::EpochsAnalyzed);
+        let span = rec.span_epoch(Stage::CubeBuild, i as u32);
+        span.finish();
+        drop(rec.span(Stage::Ingest));
+        rec.record_span_nanos(Stage::CriticalClusters, Some(i as u32), i);
+        rec.record_epochs([vqlens_obs::EpochOutcome::Ok { epoch: i as u32 }]);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "a disabled recorder must not allocate on any instrumentation path"
+    );
+
+    // And everything above was ignored: the report is empty.
+    let report = rec.report();
+    assert!(report.is_empty());
+    assert!(report.stages.is_empty());
+    assert!(report.counters.is_empty());
+    assert!(report.epochs.is_empty());
+}

@@ -1,0 +1,54 @@
+//! Counters and spans must aggregate exactly across threads — the
+//! analysis pipeline fans epochs out over workers that all record into
+//! the same recorder.
+
+use vqlens_obs::{Counter, Recorder, Stage};
+
+#[test]
+fn counters_aggregate_exactly_across_threads() {
+    let rec = Recorder::new();
+    rec.set_enabled(true);
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let rec = &rec;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    rec.incr(Counter::EpochsAnalyzed);
+                    rec.add(Counter::SessionsIngested, 3);
+                    rec.record_span_nanos(
+                        Stage::EpochAnalysis,
+                        Some((t * PER_THREAD + i) as u32),
+                        1_000_000,
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(rec.get(Counter::EpochsAnalyzed), THREADS * PER_THREAD);
+    assert_eq!(rec.get(Counter::SessionsIngested), 3 * THREADS * PER_THREAD);
+    let report = rec.report();
+    let stats = &report.stages["epoch_analysis"];
+    assert_eq!(stats.count, THREADS * PER_THREAD);
+    assert_eq!(stats.min_ms, 1.0);
+    assert_eq!(stats.p50_ms, 1.0);
+    assert_eq!(stats.max_ms, 1.0);
+    assert_eq!(stats.total_ms, (THREADS * PER_THREAD) as f64);
+}
+
+#[test]
+fn concurrent_spans_via_guards_all_land() {
+    let rec = Recorder::new();
+    rec.set_enabled(true);
+    std::thread::scope(|scope| {
+        for e in 0..16u32 {
+            let rec = &rec;
+            scope.spawn(move || {
+                let _span = rec.span_epoch(Stage::CubeBuild, e);
+                std::hint::black_box(e);
+            });
+        }
+    });
+    assert_eq!(rec.report().stages["cube_build"].count, 16);
+}

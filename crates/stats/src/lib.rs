@@ -7,6 +7,10 @@
 //!
 //! Everything here is deterministic: given the same inputs the same outputs
 //! are produced bit-for-bit, which the reproduction harness relies on.
+//!
+//! **Paper map:** cross-cutting — the ECDFs behind Figs. 6–8, the streaming
+//! moments behind Table 1, and the hasher under the §3 cube; no section is
+//! reproduced here directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

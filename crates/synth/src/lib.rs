@@ -25,6 +25,10 @@
 //!   fields, NaN/Inf/negative numerics, out-of-range epochs, CRLF/BOM/
 //!   duplicate-header mutations, mid-file truncation) with an exact
 //!   account of the damage, so ingestion robustness is provable.
+//!
+//! **Paper map:** substrate for §2's dataset (world, arrivals, planted
+//! ground truth); the planted events are what §3–§5's reproduction is
+//! validated against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -20,6 +20,7 @@ use vqlens_analysis::prevalence::PrevalenceReport;
 use vqlens_cluster::analyze::EpochAnalysis;
 use vqlens_model::attr::{AttrKey, AttrMask, ClusterKey};
 use vqlens_model::metric::Metric;
+use vqlens_obs as obs;
 use vqlens_stats::{FxHashMap, FxHashSet};
 
 /// How fixing a cluster is priced.
@@ -97,6 +98,7 @@ pub fn cost_benefit_ranking(
     metric: Metric,
     model: &CostModel,
 ) -> Vec<CostBenefit> {
+    let _obs = obs::global().span(obs::Stage::WhatIf);
     // Total alleviation and attributed sessions per cluster.
     let mut benefit: FxHashMap<ClusterKey, f64> = FxHashMap::default();
     let mut traffic: FxHashMap<ClusterKey, f64> = FxHashMap::default();

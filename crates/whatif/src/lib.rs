@@ -17,6 +17,9 @@
 //!   and remediate the remainder (Fig. 13, Table 5).
 //! * [`cost`] — the cost-benefit extension the paper's §6 calls for:
 //!   pluggable fix-cost models, benefit/cost ranking, budgeted planning.
+//!
+//! **Paper map:** §5 — the what-if improvement analyses (Figs. 11–13,
+//! Tables 4–5) — plus the §6 cost-benefit extension.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

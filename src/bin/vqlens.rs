@@ -9,6 +9,8 @@
 //! vqlens analyze trace.csv --metric JoinFailure --top 10
 //! vqlens analyze dirty.csv --lenient                   # quarantine bad lines
 //! vqlens analyze dirty.csv --lenient --max-bad-ratio 0.01 --dead-letter bad.csv
+//! vqlens analyze trace.csv --timings                   # stage wall-time table
+//! vqlens analyze trace.csv --report-json run.json      # machine-readable run report
 //! vqlens monitor trace.csv                             # incident log replay
 //! vqlens monitor dirty.csv --lenient                   # ... over real telemetry
 //! ```
@@ -20,7 +22,14 @@
 //! them verbatim for triage) instead of aborting on the first bad line,
 //! and fails loudly only when more than `--max-bad-ratio` (default 5%) of
 //! the data lines are bad. Epochs that lost quarantined lines are
-//! reported as *degraded*.
+//! reported as *degraded*; per-epoch health detail is printed with
+//! `-v`/`--verbose`.
+//!
+//! `--timings` and `--report-json FILE` enable the process-global
+//! [`vqlens::obs::Recorder`] for the run: `--timings` prints the
+//! per-stage wall-time table and counters to stderr, `--report-json`
+//! writes the full [`vqlens::obs::RunReport`] (schema documented in
+//! docs/OBSERVABILITY.md) for diffing across commits or configurations.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -35,9 +44,10 @@ fn usage() -> ExitCode {
         "usage:\n  vqlens generate [--scenario smoke|default|full | --config FILE.json] \
          [--sessions N] [--epochs N] [--seed N] --out FILE.csv\n  vqlens scenario \
          --write-default FILE.json\n  vqlens analyze FILE.csv \
-         [--metric <name>] [--top N] [--min-sessions N] [--lenient \
+         [--metric <name>] [--top N] [--min-sessions N] [--timings] \
+         [--report-json FILE.json] [-v|--verbose] [--lenient \
          [--max-bad-ratio R] [--dead-letter FILE]]\n  vqlens monitor FILE.csv \
-         [--confirm-h N] [--min-sessions N] [--lenient \
+         [--confirm-h N] [--min-sessions N] [-v|--verbose] [--lenient \
          [--max-bad-ratio R] [--dead-letter FILE]]"
     );
     ExitCode::from(2)
@@ -136,16 +146,21 @@ fn load(path: &str, args: &[String]) -> Result<(Dataset, Option<IngestReport>), 
 }
 
 /// Print which epochs of the analysis are degraded or failed, so partial
-/// results are never mistaken for complete ones.
-fn report_epoch_health(trace: &TraceAnalysis) {
+/// results are never mistaken for complete ones. The summaries always
+/// print; the per-epoch detail lines are verbose-only (long dirty traces
+/// can degrade hundreds of epochs).
+fn report_epoch_health(trace: &TraceAnalysis, verbose: bool) {
     let failed: Vec<_> = trace.failed_epochs().collect();
     if !failed.is_empty() {
         eprintln!(
-            "WARNING: {} epoch(s) failed analysis and are excluded from all results:",
-            failed.len()
+            "WARNING: {} epoch(s) failed analysis and are excluded from all results{}",
+            failed.len(),
+            if verbose { ":" } else { " (-v for detail)" }
         );
-        for (epoch, reason) in failed {
-            eprintln!("  epoch {epoch}: {reason}");
+        if verbose {
+            for (epoch, reason) in failed {
+                eprintln!("  epoch {epoch}: {reason}");
+            }
         }
     }
     let degraded: Vec<_> = trace.degraded_epochs().collect();
@@ -156,7 +171,17 @@ fn report_epoch_health(trace: &TraceAnalysis) {
             degraded.len(),
             lost
         );
+        if verbose {
+            for (epoch, n) in degraded {
+                eprintln!("  epoch {epoch}: {n} quarantined line(s)");
+            }
+        }
     }
+}
+
+/// True when `-v`/`--verbose` is present.
+fn verbose_flag(args: &[String]) -> bool {
+    args.iter().any(|a| a == "-v" || a == "--verbose")
 }
 
 fn scaled_config(dataset: &Dataset) -> AnalyzerConfig {
@@ -257,6 +282,14 @@ fn analyze(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
+    let report_json = flag_value(args, "--report-json");
+    let timings = args.iter().any(|a| a == "--timings");
+    // Instrumentation costs one relaxed atomic load per site unless a
+    // report was asked for, so plain runs stay at full speed.
+    if report_json.is_some() || timings {
+        vqlens::obs::global().set_enabled(true);
+    }
+    let wall = std::time::Instant::now();
     let (dataset, ingest) = match load(path, args) {
         Ok(d) => d,
         Err(code) => return code,
@@ -290,7 +323,8 @@ fn analyze(args: &[String]) -> ExitCode {
     if let Some(report) = &ingest {
         trace.apply_ingest_report(report);
     }
-    report_epoch_health(&trace);
+    report_epoch_health(&trace, verbose_flag(args) || timings);
+    vqlens::obs::global().record_epochs(trace.epoch_outcomes());
 
     let rows = vqlens::analysis::coverage::coverage_table(trace.epochs());
     for metric in &metrics {
@@ -336,6 +370,21 @@ fn analyze(args: &[String]) -> ExitCode {
                 cb.benefit,
                 suggested_remedy(cb.key)
             );
+        }
+    }
+    if report_json.is_some() || timings {
+        let mut run_report = vqlens::obs::global().report();
+        run_report.threads = config.effective_threads();
+        run_report.total_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        if timings {
+            eprintln!("\n{run_report}");
+        }
+        if let Some(out) = report_json {
+            if let Err(e) = std::fs::write(out, format!("{}\n", run_report.to_json_pretty())) {
+                eprintln!("cannot write run report {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("run report written to {out}");
         }
     }
     ExitCode::SUCCESS
@@ -414,7 +463,7 @@ fn monitor(args: &[String]) -> ExitCode {
     if let Some(report) = &ingest {
         trace.apply_ingest_report(report);
     }
-    report_epoch_health(&trace);
+    report_epoch_health(&trace, verbose_flag(args));
     let mut monitor = OnlineMonitor::new(MonitorConfig {
         confirm_after_h: confirm_h,
         ..MonitorConfig::default()

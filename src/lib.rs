@@ -7,9 +7,10 @@
 //! synthetic session-level streaming substrate with planted ground truth.
 //!
 //! This crate is the facade: it re-exports [`vqlens_core`] (which in turn
-//! re-exports the model, stats, cluster, analysis, what-if, delivery and
-//! synth sub-crates). Start with the `prelude` and the `examples/`
-//! directory:
+//! re-exports the model, stats, cluster, analysis, what-if, delivery,
+//! synth and obs sub-crates — each crate's own docs carry a **Paper map**
+//! line locating it in the paper). Start with the `prelude` and the
+//! `examples/` directory:
 //!
 //! ```no_run
 //! use vqlens::prelude::*;

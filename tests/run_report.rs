@@ -1,0 +1,125 @@
+//! End-to-end observability test: enable the process-global recorder,
+//! run the full generate → ingest → analyze pipeline, and check the
+//! resulting [`RunReport`] describes the run.
+//!
+//! This file holds a single `#[test]` on purpose: the recorder under test
+//! is process-global, and Rust runs the tests of one binary concurrently
+//! — a sibling test in the same binary would race on its state. A second
+//! scenario that needs the global recorder belongs in its own file.
+
+use std::io::BufReader;
+use vqlens::model::csv::{read_csv_opts, write_csv, ReadOptions};
+use vqlens::obs::{global, Stage};
+use vqlens::prelude::*;
+
+#[test]
+fn pipeline_run_fills_the_global_report() {
+    let rec = global();
+    assert!(
+        rec.report().is_empty(),
+        "recorder starts disabled and empty"
+    );
+    rec.set_enabled(true);
+
+    let mut scenario = Scenario::smoke();
+    scenario.epochs = 6;
+    let config = AnalyzerConfig::for_scenario(&scenario);
+    let output = generate_parallel(&scenario, 0);
+
+    // Round-trip through CSV so the Ingest stage and its counters fire,
+    // with one malformed line (parsable epoch field, so the loss is
+    // attributed and degrades that epoch) to exercise the quarantine path.
+    let mut buf = Vec::new();
+    write_csv(&output.dataset, &mut buf).expect("export");
+    buf.extend_from_slice(b"3,not,a,valid,line\n");
+    let (dataset, ingest) = read_csv_opts(
+        BufReader::new(buf.as_slice()),
+        &ReadOptions::lenient(0.5),
+        None,
+    )
+    .expect("lenient import");
+    assert_eq!(ingest.bad_lines, 1);
+
+    let mut trace = analyze_dataset(&dataset, &config);
+    trace.apply_ingest_report(&ingest);
+    let _ = coverage_table(trace.epochs());
+    let _ = PrevalenceReport::compute(trace.epochs(), Metric::JoinFailure, ClusterSource::Critical);
+    rec.record_epochs(trace.epoch_outcomes());
+
+    let mut report = rec.report();
+    rec.set_enabled(false);
+    report.threads = config.effective_threads();
+    report.total_wall_ms = 12.5;
+
+    // Every instrumented stage that ran shows up; epoch-scoped stages
+    // record once per epoch.
+    for stage in [
+        Stage::Generate,
+        Stage::Ingest,
+        Stage::TraceAnalysis,
+        Stage::Prevalence,
+        Stage::Coverage,
+    ] {
+        let stats = report
+            .stages
+            .get(stage.name())
+            .unwrap_or_else(|| panic!("stage {} missing from report", stage.name()));
+        assert!(stats.count >= 1, "{}", stage.name());
+        assert!(stats.total_ms >= 0.0);
+    }
+    for stage in [
+        Stage::EpochAnalysis,
+        Stage::CubeBuild,
+        Stage::ProblemClusters,
+    ] {
+        assert_eq!(
+            report.stages[stage.name()].count,
+            6,
+            "{} runs once per epoch",
+            stage.name()
+        );
+    }
+    // Critical-cluster identification runs once per metric per epoch.
+    assert_eq!(report.stages[Stage::CriticalClusters.name()].count, 6 * 4);
+    for s in report.stages.values() {
+        assert!(s.min_ms <= s.p50_ms && s.p50_ms <= s.max_ms);
+        assert!(s.total_ms >= s.max_ms);
+    }
+
+    // Counters describe the run.
+    let sessions = dataset.num_sessions() as u64;
+    assert_eq!(report.counters["sessions_ingested"], sessions);
+    assert_eq!(report.counters["lines_quarantined"], 1);
+    assert_eq!(report.counters["epochs_generated"], 6);
+    assert_eq!(report.counters["epochs_analyzed"], 6);
+    assert_eq!(report.counters["epochs_degraded"], 1);
+    assert!(report.counters["cube_leaf_rows"] > 0);
+    assert!(report.counters["cube_entries"] >= report.counters["cube_leaf_rows"]);
+    let by_arity: u64 = (1..=7)
+        .map(|a| {
+            report
+                .counters
+                .get(&format!("cube_entries_arity_{a}"))
+                .copied()
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(by_arity, report.counters["cube_entries"]);
+    assert!(report.counters["problem_clusters_joinfailure"] > 0);
+    assert!(report.counters["critical_clusters_joinfailure"] > 0);
+
+    // Epoch outcomes: the quarantined line degraded exactly one epoch.
+    assert_eq!(report.epochs.len(), 6);
+    assert_eq!(report.degraded_epochs(), 1);
+    assert_eq!(report.failed_epochs(), 0);
+
+    // The JSON codec round-trips the real (not hand-built) report exactly.
+    let json = report.to_json_pretty();
+    let parsed = RunReport::from_json(&json).expect("report JSON parses");
+    assert_eq!(parsed, report);
+
+    // Disabled again, the recorder adds nothing on top.
+    let before = rec.report();
+    analyze_dataset(&dataset, &config);
+    assert_eq!(rec.report(), before, "disabled recorder must not record");
+}
