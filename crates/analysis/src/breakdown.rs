@@ -67,8 +67,7 @@ impl Breakdown {
             .collect();
         slices.sort_by(|a, b| {
             b.attributed
-                .partial_cmp(&a.attributed)
-                .expect("finite")
+                .total_cmp(&a.attributed)
                 .then(a.mask.0.cmp(&b.mask.0))
         });
         Breakdown {

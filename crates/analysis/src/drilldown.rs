@@ -114,8 +114,7 @@ impl DrillDown {
         // large ratio disparity.
         dimensions.sort_by(|a, b| {
             (b.max_problem_share * b.ratio_disparity)
-                .partial_cmp(&(a.max_problem_share * a.ratio_disparity))
-                .expect("finite scores")
+                .total_cmp(&(a.max_problem_share * a.ratio_disparity))
         });
 
         DrillDown {

@@ -446,6 +446,62 @@ mod tests {
 }
 
 #[cfg(test)]
+mod duality_properties {
+    use super::*;
+    use crate::test_support::{analysis_with_critical, key_a, key_b, key_cdn};
+    use proptest::prelude::*;
+
+    /// Build a trace with arbitrary epoch gaps and arbitrary per-epoch
+    /// critical-cluster subsets.
+    fn gapped_trace(first: u32, steps: &[(u32, [bool; 3])]) -> Vec<EpochAnalysis> {
+        let keys = [key_a(), key_b(), key_cdn()];
+        let mut epoch = first;
+        let mut trace = Vec::with_capacity(steps.len());
+        for (gap, present) in steps {
+            let critical: Vec<(ClusterKey, f64)> = keys
+                .iter()
+                .zip(present)
+                .filter(|(_, p)| **p)
+                .map(|(k, _)| (*k, 50.0))
+                .collect();
+            let problems_in_pc = (critical.len() as u64) * 50 + 10;
+            trace.push(analysis_with_critical(
+                epoch,
+                100,
+                &critical,
+                problems_in_pc,
+            ));
+            // Strictly increasing; `gap` unobserved epochs in between.
+            epoch += 1 + gap;
+        }
+        trace
+    }
+
+    proptest! {
+        /// Monitor/persistence duality: for `close_after_h = 1` the replay
+        /// of any gapped trace produces exactly one incident per coalesced
+        /// persistence event, with matching (key, start, length) — for
+        /// every confirmation lag.
+        #[test]
+        fn replay_matches_events_on_fuzzed_gapped_traces(
+            first in 0u32..10,
+            confirm in 0u32..4,
+            steps in prop::collection::vec((0u32..4, prop::array::uniform3(prop::bool::ANY)), 0..24),
+        ) {
+            let trace = gapped_trace(first, &steps);
+            let config = MonitorConfig {
+                confirm_after_h: confirm,
+                close_after_h: 1,
+                min_attributed: 0.0,
+            };
+            for metric in Metric::ALL {
+                prop_assert!(replay_matches_events(config, &trace, metric));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod edge_case_tests {
     use super::*;
     use crate::test_support::{analysis_with_critical, key_a};

@@ -26,11 +26,9 @@ pub fn top_critical_clusters(
         }
     }
     let mut v: Vec<(ClusterKey, f64)> = totals.into_iter().collect();
-    v.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite")
-            .then(a.0 .0.cmp(&b.0 .0))
-    });
+    // total_cmp: a NaN total (degenerate upstream arithmetic) must not panic
+    // the ranking; NaN sorts below every finite value in descending order.
+    v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
     v.truncate(k);
     v
 }
@@ -112,7 +110,28 @@ mod tests {
     #[test]
     fn empty_trace_overlap_is_vacuous() {
         let m = overlap_matrix(&[], 100);
-        // Empty sets are conventionally fully similar.
-        assert_eq!(m.get(Metric::BufRatio, Metric::Bitrate), 1.0);
+        // An empty trace has no evidence of overlap: every cell — including
+        // the diagonal — is 0.0 (regression: this used to report 100 %
+        // cross-metric overlap for empty top-k lists).
+        for a in Metric::ALL {
+            for b in Metric::ALL {
+                assert_eq!(m.get(a, b), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_totals_do_not_panic_ranking() {
+        // A NaN attribution (degenerate upstream arithmetic) must not panic
+        // the sort and must rank below every finite total.
+        let analyses = vec![analysis_with_critical_per_metric(
+            0,
+            &[(key_a(), f64::NAN), (key_b(), 5.0), (key_cdn(), 7.0)],
+        )];
+        let top = top_critical_clusters(&analyses, Metric::BufRatio, 10);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, key_cdn());
+        assert_eq!(top[1].0, key_b());
+        assert!(top[2].1.is_nan());
     }
 }

@@ -53,15 +53,24 @@ impl ClusterEvent {
 
 /// Extract the coalesced event stream of one metric from a trace.
 ///
-/// `analyses` must be sorted by epoch (the pipeline guarantees this).
 /// Missing epochs in the input count as absence: a streak only continues
 /// across literally consecutive epoch ids, so analyzing a trace with holes
-/// will split events at each hole — feed contiguous traces.
+/// will split events at each hole (see the module docs on degraded traces).
+///
+/// # Panics
+/// Panics when `analyses` is not sorted by strictly increasing epoch id.
+/// Unsorted input would silently mis-coalesce streaks (an out-of-order
+/// epoch looks like a gap), so the precondition is enforced rather than
+/// producing a wrong event stream.
 pub fn extract_events(
     analyses: &[EpochAnalysis],
     metric: Metric,
     source: ClusterSource,
 ) -> Vec<ClusterEvent> {
+    assert!(
+        analyses.windows(2).all(|w| w[0].epoch < w[1].epoch),
+        "extract_events requires strictly increasing epoch ids"
+    );
     // Open streaks: cluster -> (start, last epoch seen).
     let mut open: FxHashMap<ClusterKey, (EpochId, EpochId)> = FxHashMap::default();
     let mut events = Vec::new();
@@ -87,8 +96,13 @@ pub fn extract_events(
         });
         for key in keys {
             match open.get_mut(&key) {
-                Some((_, last)) if last.next() == epoch => *last = epoch,
-                Some(_) => {}
+                // With strictly increasing epochs, the retain pass above
+                // already closed any streak that did not continue, so a
+                // surviving entry always satisfies `last.next() == epoch`.
+                Some((_, last)) => {
+                    debug_assert_eq!(last.next(), epoch, "stale open streak survived retain");
+                    *last = epoch;
+                }
                 None => {
                     open.insert(key, (epoch, epoch));
                 }
@@ -251,6 +265,28 @@ mod tests {
         assert_eq!(report.max_distribution().len(), 2);
         // key_a has a 2-epoch streak, key_b a 1-epoch streak.
         assert_eq!(report.max_distribution().max(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_input_rejected() {
+        // Out-of-order epochs would silently mis-coalesce; the precondition
+        // is enforced instead.
+        let analyses = vec![
+            analysis_with_problem_clusters(1, &[key_a()]),
+            analysis_with_problem_clusters(0, &[key_a()]),
+        ];
+        let _ = extract_events(&analyses, Metric::JoinFailure, ClusterSource::Problem);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn duplicate_epochs_rejected() {
+        let analyses = vec![
+            analysis_with_problem_clusters(2, &[key_a()]),
+            analysis_with_problem_clusters(2, &[key_b()]),
+        ];
+        let _ = extract_events(&analyses, Metric::JoinFailure, ClusterSource::Problem);
     }
 
     #[test]

@@ -91,11 +91,7 @@ impl PrevalenceReport {
             .map(|(&k, &n)| (k, f64::from(n) / f64::from(self.epochs)))
             .filter(|(_, p)| *p >= threshold)
             .collect();
-        v.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite")
-                .then(a.0 .0.cmp(&b.0 .0))
-        });
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
         v
     }
 

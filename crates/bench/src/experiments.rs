@@ -842,8 +842,7 @@ fn abl_ground_truth(ctx: &ReproContext) -> Out {
     worst.sort_by(|a, b| {
         a.recall()
             .unwrap_or(0.0)
-            .partial_cmp(&b.recall().unwrap_or(0.0))
-            .expect("finite")
+            .total_cmp(&b.recall().unwrap_or(0.0))
     });
     let _ = writeln!(report, "\nhardest visible events:");
     for e in worst.iter().take(5) {

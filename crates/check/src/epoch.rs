@@ -1,0 +1,578 @@
+//! Per-epoch oracles: the §3.1/§3.2 definitions re-verified against the
+//! cluster cube.
+//!
+//! Every oracle here re-derives its condition from the cube (or from the
+//! leaves below it) instead of trusting the pass that produced the result
+//! under test. The identification code and these oracles can only agree
+//! when both implement the paper's definitions; a bug in either shows up
+//! as a violation.
+
+use crate::CheckReport;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vqlens_cluster::analyze::{AnalysisContext, EpochAnalysis, MetricAnalysis};
+use vqlens_cluster::critical::CriticalParams;
+use vqlens_cluster::cube::{ClusterCounts, CubeTable};
+use vqlens_cluster::problem::SignificanceParams;
+use vqlens_model::attr::{AttrMask, ClusterKey};
+use vqlens_model::dataset::EpochData;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::{Metric, Thresholds};
+use vqlens_stats::FxHashMap;
+
+/// Non-full attribute masks sampled per epoch by the projection oracle.
+const SAMPLED_MASKS: usize = 10;
+
+/// Run every per-epoch oracle for one epoch. The epoch is analyzed
+/// exactly as the pipeline analyzes it (pruned cube, then
+/// [`EpochAnalysis::from_context`]); the resulting analysis is returned so
+/// callers can chain the cross-epoch oracles without re-analyzing.
+pub fn check_epoch(
+    data: &EpochData,
+    epoch: EpochId,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    mask_seed: u64,
+    report: &mut CheckReport,
+) -> EpochAnalysis {
+    let ctx = AnalysisContext::compute(epoch, data, thresholds, sig);
+    let analysis = EpochAnalysis::from_context(&ctx, params);
+    check_cube(&ctx.cube, sig, mask_seed, report);
+    for metric in Metric::ALL {
+        check_problem_set(&ctx, metric, report);
+        check_critical_set(&ctx, analysis.metric(metric), metric, params, report);
+        check_attribution(&ctx, analysis.metric(metric), metric, report);
+    }
+    analysis
+}
+
+/// Cube integrity: the root must equal the sum of the leaves, and every
+/// sampled mask run must equal the naive projection of the leaves onto
+/// that mask (filtered by the significance prune the pipeline applied).
+/// The leaves tile the epoch's sessions, so the naive projection is an
+/// exact independent reconstruction of what the sort-and-merge cube
+/// builder should have produced.
+fn check_cube(cube: &CubeTable, sig: &SignificanceParams, seed: u64, report: &mut CheckReport) {
+    let epoch = cube.epoch;
+    report.ran(1);
+    let mut leaf_sum = ClusterCounts::default();
+    for (_, counts) in cube.leaves() {
+        leaf_sum.add(counts);
+    }
+    if leaf_sum != cube.root {
+        report.violate(
+            "cube-root-conservation",
+            Some(epoch),
+            None,
+            format!(
+                "leaves sum to {leaf_sum:?} but the root holds {:?}",
+                cube.root
+            ),
+        );
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..SAMPLED_MASKS {
+        let mask = AttrMask(rng.gen_range(1..AttrMask::FULL.0));
+        report.ran(1);
+        let mut naive: FxHashMap<ClusterKey, ClusterCounts> = FxHashMap::default();
+        for &(leaf, counts) in cube.leaves() {
+            naive
+                .entry(leaf.project_onto(mask))
+                .or_default()
+                .add(&counts);
+        }
+        let mut expected: Vec<(ClusterKey, ClusterCounts)> = naive
+            .into_iter()
+            .filter(|(_, c)| c.sessions >= sig.min_sessions)
+            .collect();
+        expected.sort_unstable_by_key(|(k, _)| k.0);
+        let actual = cube.mask_slice(mask);
+        if expected.as_slice() != actual {
+            report.violate(
+                "cube-projection-agreement",
+                Some(epoch),
+                None,
+                format!(
+                    "mask {:#04x}: cube run ({} entries) disagrees with the naive leaf projection ({} entries)",
+                    mask.0,
+                    actual.len(),
+                    expected.len()
+                ),
+            );
+        }
+    }
+}
+
+/// §3.1 soundness and completeness: every cluster in the problem set must
+/// pass the significance test on its cube counts (and carry exactly those
+/// counts), and every cube cluster that passes the test must be in the
+/// set.
+fn check_problem_set(ctx: &AnalysisContext, metric: Metric, report: &mut CheckReport) {
+    let ps = ctx.problems(metric);
+    let epoch = ctx.epoch;
+    let global = ctx.cube.global_ratio(metric);
+
+    report.ran(1);
+    if ps.global_ratio != global {
+        report.violate(
+            "problem-global-ratio",
+            Some(epoch),
+            Some(metric),
+            format!(
+                "problem set records global ratio {} but the cube says {global}",
+                ps.global_ratio
+            ),
+        );
+    }
+
+    report.ran(1);
+    for (&key, stat) in &ps.clusters {
+        let counts = ctx.cube.counts(key);
+        if counts.sessions != stat.sessions || counts.problems[metric.index()] != stat.problems {
+            report.violate(
+                "problem-stat-agreement",
+                Some(epoch),
+                Some(metric),
+                format!(
+                    "{key} recorded as {}/{} but the cube holds {}/{}",
+                    stat.problems,
+                    stat.sessions,
+                    counts.problems[metric.index()],
+                    counts.sessions
+                ),
+            );
+        } else if !ctx.sig.is_problem(&counts, metric, global) {
+            report.violate(
+                "problem-significance",
+                Some(epoch),
+                Some(metric),
+                format!("{key} is in the problem set but fails the §3.1 significance test"),
+            );
+        }
+    }
+
+    report.ran(1);
+    for &(key, counts) in ctx.cube.entries() {
+        if ctx.sig.is_problem(&counts, metric, global) && !ps.contains(key) {
+            report.violate(
+                "problem-completeness",
+                Some(epoch),
+                Some(metric),
+                format!(
+                    "{key} passes the §3.1 significance test but is missing from the problem set"
+                ),
+            );
+        }
+    }
+}
+
+/// §3.2 phase-transition property of every critical cluster, re-derived
+/// from the cube: the descendant condition (the session-weighted fraction
+/// of significant descendants that are healthy stays within tolerance),
+/// the removal condition (subtracting the cluster de-flags every problem
+/// ancestor), membership in the problem set, and the antichain half of
+/// minimality.
+fn check_critical_set(
+    ctx: &AnalysisContext,
+    ma: &MetricAnalysis,
+    metric: Metric,
+    params: &CriticalParams,
+    report: &mut CheckReport,
+) {
+    let cs = &ma.critical;
+    let ps = &ma.problems;
+    let epoch = ctx.epoch;
+    let global = ps.global_ratio;
+    let keys: Vec<ClusterKey> = cs.clusters.keys().copied().collect();
+
+    report.ran(1);
+    for &key in &keys {
+        if !ps.contains(key) {
+            report.violate(
+                "critical-subset-of-problem",
+                Some(epoch),
+                Some(metric),
+                format!("critical cluster {key} is not a problem cluster"),
+            );
+        }
+    }
+
+    report.ran(1);
+    for &a in &keys {
+        for &b in &keys {
+            if a != b && a.generalizes(b) {
+                report.violate(
+                    "critical-antichain",
+                    Some(epoch),
+                    Some(metric),
+                    format!("{a} generalizes fellow critical cluster {b}"),
+                );
+            }
+        }
+    }
+
+    // Descendant condition: accumulate, for every critical cluster, the
+    // session weight of its significant strict descendants and of those
+    // among them whose ratio alone is below the problem multiple
+    // ("healthy" — evidence against a phase transition at the ancestor).
+    report.ran(1);
+    let mut critical_masks: Vec<AttrMask> = keys.iter().map(|k| k.mask()).collect();
+    critical_masks.sort_unstable_by_key(|m| m.0);
+    critical_masks.dedup();
+    let mut desc_total: FxHashMap<ClusterKey, f64> = FxHashMap::default();
+    let mut desc_healthy: FxHashMap<ClusterKey, f64> = FxHashMap::default();
+    for (mask, run) in ctx.cube.slices() {
+        let relevant: Vec<AttrMask> = critical_masks
+            .iter()
+            .copied()
+            .filter(|&pm| pm != mask && pm.is_subset_of(mask))
+            .collect();
+        if relevant.is_empty() {
+            continue;
+        }
+        for &(key, counts) in run {
+            if counts.sessions < ctx.sig.min_sessions {
+                continue;
+            }
+            let healthy = counts.ratio(metric) < ctx.sig.ratio_multiplier * global;
+            for &pm in &relevant {
+                let anc = key.project_onto(pm);
+                if cs.clusters.contains_key(&anc) {
+                    let w = counts.sessions as f64;
+                    *desc_total.entry(anc).or_default() += w;
+                    if healthy {
+                        *desc_healthy.entry(anc).or_default() += w;
+                    }
+                }
+            }
+        }
+    }
+    for &key in &keys {
+        let total = desc_total.get(&key).copied().unwrap_or(0.0);
+        let healthy = desc_healthy.get(&key).copied().unwrap_or(0.0);
+        if total > 0.0 && healthy > params.max_bad_descendant_fraction * total + 1e-9 * total {
+            report.violate(
+                "critical-descendant-condition",
+                Some(epoch),
+                Some(metric),
+                format!(
+                    "{key}: healthy session weight {healthy} of {total} significant-descendant \
+                     weight exceeds the tolerance {}",
+                    params.max_bad_descendant_fraction
+                ),
+            );
+        }
+    }
+
+    // Removal condition: subtracting the cluster's own counts from any
+    // strict ancestor that is a problem cluster must leave that ancestor
+    // below the §3.1 significance test. Integer counts and the identical
+    // f64 expression make this an exact re-derivation, no tolerance.
+    report.ran(1);
+    for &key in &keys {
+        let Some(stats) = cs.clusters.get(&key) else {
+            continue;
+        };
+        let own = ClusterCounts {
+            sessions: stats.sessions,
+            problems: {
+                let mut p = [0u64; 4];
+                p[metric.index()] = stats.problems;
+                p
+            },
+        };
+        let mask = key.mask();
+        for pm in mask.nonempty_submasks() {
+            if pm == mask {
+                continue;
+            }
+            let anc = key.project_onto(pm);
+            if !ps.contains(anc) {
+                continue;
+            }
+            let remaining = ctx.cube.counts(anc).minus(&own);
+            if ctx.sig.is_problem(&remaining, metric, global) {
+                report.violate(
+                    "critical-removal-condition",
+                    Some(epoch),
+                    Some(metric),
+                    format!(
+                        "removing critical cluster {key} leaves ancestor {anc} a problem cluster \
+                         ({}/{} sessions remain)",
+                        remaining.problems[metric.index()],
+                        remaining.sessions
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Attribution conservation (§3.2): per-cluster attributed problems sum to
+/// the set's total, the attribution chain
+/// `attributed ≤ in-problem-clusters ≤ total problems` holds, both
+/// coverages are fractions, and every per-cluster stat is internally
+/// consistent.
+fn check_attribution(
+    ctx: &AnalysisContext,
+    ma: &MetricAnalysis,
+    metric: Metric,
+    report: &mut CheckReport,
+) {
+    let cs = &ma.critical;
+    let epoch = ctx.epoch;
+
+    report.ran(1);
+    if cs.total_sessions != ctx.cube.root.sessions
+        || cs.total_problems != ctx.cube.root.problems[metric.index()]
+    {
+        report.violate(
+            "attribution-totals",
+            Some(epoch),
+            Some(metric),
+            format!(
+                "critical set totals {}/{} disagree with the cube root {}/{}",
+                cs.total_problems,
+                cs.total_sessions,
+                ctx.cube.root.problems[metric.index()],
+                ctx.cube.root.sessions
+            ),
+        );
+    }
+
+    let eps = 1e-6 * (cs.total_problems as f64).max(1.0);
+
+    report.ran(1);
+    let sum: f64 = cs.clusters.values().map(|s| s.attributed_problems).sum();
+    if (sum - cs.problems_attributed).abs() > eps {
+        report.violate(
+            "attribution-conservation",
+            Some(epoch),
+            Some(metric),
+            format!(
+                "per-cluster attributions sum to {sum} but problems_attributed is {}",
+                cs.problems_attributed
+            ),
+        );
+    }
+
+    report.ran(1);
+    if cs.problems_attributed > cs.problems_in_problem_clusters as f64 + eps
+        || cs.problems_in_problem_clusters > cs.total_problems
+    {
+        report.violate(
+            "attribution-bounds",
+            Some(epoch),
+            Some(metric),
+            format!(
+                "attribution chain violated: {} attributed, {} in problem clusters, {} total",
+                cs.problems_attributed, cs.problems_in_problem_clusters, cs.total_problems
+            ),
+        );
+    }
+
+    report.ran(1);
+    let coverage = cs.coverage();
+    let pc_coverage = cs.problem_cluster_coverage();
+    if !(0.0..=1.0 + 1e-9).contains(&coverage)
+        || !(0.0..=1.0 + 1e-9).contains(&pc_coverage)
+        || coverage > pc_coverage + 1e-9
+    {
+        report.violate(
+            "attribution-coverage-bounds",
+            Some(epoch),
+            Some(metric),
+            format!("coverage {coverage} / problem-cluster coverage {pc_coverage} out of order"),
+        );
+    }
+
+    report.ran(1);
+    for (&key, s) in &cs.clusters {
+        if s.problems > s.sessions
+            || s.attributed_problems < -eps
+            || s.attributed_sessions + eps < s.attributed_problems
+        {
+            report.violate(
+                "attribution-per-cluster",
+                Some(epoch),
+                Some(metric),
+                format!(
+                    "{key}: inconsistent stats (sessions {}, problems {}, attributed {}/{})",
+                    s.sessions, s.problems, s.attributed_problems, s.attributed_sessions
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Violation;
+    use vqlens_model::attr::{AttrKey, SessionAttrs};
+    use vqlens_model::metric::QualityMeasurement;
+
+    const GOOD: QualityMeasurement = QualityMeasurement {
+        join_failed: false,
+        join_time_ms: 500,
+        play_duration_s: 300.0,
+        buffering_s: 0.0,
+        avg_bitrate_kbps: 3000.0,
+    };
+
+    fn push(d: &mut EpochData, asn: u32, cdn: u32, site: u32, n: u64, fail_n: u64) {
+        let attrs = SessionAttrs::new([asn, cdn, site, 0, 0, 0, 0]);
+        for i in 0..n {
+            let q = if i < fail_n {
+                QualityMeasurement::failed()
+            } else {
+                GOOD
+            };
+            d.push(attrs, q);
+        }
+    }
+
+    /// The paper's Figure 4 shape: CDN1 is the underlying cause.
+    fn figure4_epoch() -> EpochData {
+        let mut d = EpochData::default();
+        push(&mut d, 1, 1, 0, 1000, 300);
+        push(&mut d, 1, 2, 0, 1000, 100);
+        push(&mut d, 2, 1, 0, 1000, 300);
+        push(&mut d, 2, 2, 0, 7000, 100);
+        d
+    }
+
+    fn sig() -> SignificanceParams {
+        SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 500,
+            min_problem_sessions: 5,
+        }
+    }
+
+    #[test]
+    fn clean_epoch_passes_all_oracles() {
+        let mut report = CheckReport::default();
+        let analysis = check_epoch(
+            &figure4_epoch(),
+            EpochId(0),
+            &Thresholds::default(),
+            &sig(),
+            &CriticalParams::default(),
+            42,
+            &mut report,
+        );
+        assert!(
+            report.passed(),
+            "violations on a clean epoch: {}",
+            report
+                .violations
+                .iter()
+                .map(Violation::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        assert!(report.oracles_run > 10);
+        assert!(!analysis.metric(Metric::JoinFailure).critical.is_empty());
+    }
+
+    #[test]
+    fn tampered_attribution_is_caught() {
+        let data = figure4_epoch();
+        let ctx = AnalysisContext::compute(EpochId(0), &data, &Thresholds::default(), &sig());
+        let mut analysis = EpochAnalysis::from_context(&ctx, &CriticalParams::default());
+        let m = Metric::JoinFailure;
+        analysis.metrics[m.index()].critical.problems_attributed += 10.0;
+        let mut report = CheckReport::default();
+        check_attribution(&ctx, analysis.metric(m), m, &mut report);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.oracle == "attribution-conservation"));
+    }
+
+    #[test]
+    fn tampered_critical_set_is_caught() {
+        let data = figure4_epoch();
+        let ctx = AnalysisContext::compute(EpochId(0), &data, &Thresholds::default(), &sig());
+        let mut analysis = EpochAnalysis::from_context(&ctx, &CriticalParams::default());
+        let m = Metric::JoinFailure;
+        // Plant ASN1 as "critical": it is a problem cluster, but its
+        // healthy (ASN1, CDN2) branch violates the strict descendant
+        // condition — the identification pass rightly rejected it.
+        let asn1 = ClusterKey::of_single(AttrKey::Asn, 1);
+        analysis.metrics[m.index()]
+            .critical
+            .clusters
+            .insert(asn1, Default::default());
+        let mut report = CheckReport::default();
+        check_critical_set(
+            &ctx,
+            analysis.metric(m),
+            m,
+            &CriticalParams::strict(),
+            &mut report,
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.oracle == "critical-descendant-condition"),
+            "expected a descendant-condition violation, got: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn tampered_problem_set_is_caught() {
+        let data = figure4_epoch();
+        let ctx = AnalysisContext::compute(EpochId(0), &data, &Thresholds::default(), &sig());
+        let mut tampered = ctx.clone();
+        // Drop one genuine problem cluster: completeness must notice.
+        let m = Metric::JoinFailure;
+        let key = *tampered.problems[m.index()]
+            .clusters
+            .keys()
+            .next()
+            .expect("figure-4 epoch has problem clusters");
+        tampered.problems[m.index()].clusters.remove(&key);
+        let mut report = CheckReport::default();
+        check_problem_set(&tampered, m, &mut report);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.oracle == "problem-completeness"));
+    }
+
+    #[test]
+    fn projection_oracle_matches_on_random_masks() {
+        // Many distinct leaves so sampled masks hit non-trivial runs.
+        let mut d = EpochData::default();
+        for asn in 0..12u32 {
+            for cdn in 0..4u32 {
+                for site in 0..3u32 {
+                    push(
+                        &mut d,
+                        asn,
+                        cdn,
+                        site,
+                        40 + u64::from(asn * cdn),
+                        asn as u64 % 5,
+                    );
+                }
+            }
+        }
+        let mut report = CheckReport::default();
+        let ctx = AnalysisContext::compute(EpochId(2), &d, &Thresholds::default(), &sig());
+        for seed in [1u64, 7, 99] {
+            check_cube(&ctx.cube, &sig(), seed, &mut report);
+        }
+        assert!(
+            report.passed(),
+            "cube oracles disagreed: {:?}",
+            report.violations
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! # vqlens-check
+//!
+//! The paper-invariant checker: the structural claims of *"Shedding Light
+//! on the Structure of Internet Video Quality Problems in the Wild"*
+//! (Jiang et al., CoNEXT 2013) encoded as executable oracles that
+//! re-verify a pipeline run against the cluster cube it was computed from.
+//!
+//! The pipeline's unit tests check each stage against hand-built
+//! fixtures; the oracles here check *whole runs* against the definitions
+//! themselves, independently re-deriving every condition instead of
+//! trusting the stage that produced it:
+//!
+//! * [`epoch`] — per-epoch oracles: the §3.2 phase-transition property of
+//!   every critical cluster (all significant descendants remain problem
+//!   clusters; removing the cluster's sessions de-flags every ancestor),
+//!   §3.1 problem-set soundness and completeness, attribution
+//!   conservation, and cube-vs-naive-projection agreement on sampled
+//!   attribute masks.
+//! * [`trace`] — cross-epoch oracles: monitor/persistence duality over
+//!   arbitrary (including gapped) traces, prevalence/persistence
+//!   occurrence consistency, Table-1 coverage bounds, and monotonicity of
+//!   top-k-by-prevalence coverage.
+//! * [`fuzz`] — a seeded driver that draws scenario variants and
+//!   [`vqlens_synth::faults`] operators, round-trips them through CSV and
+//!   lenient ingestion, and runs every oracle on the result.
+//!
+//! Violations are collected into a [`CheckReport`] (and mirrored into the
+//! process-global [`vqlens_obs`] recorder as `check_oracles_run` /
+//! `check_violations` counters); `vqlens check` drives this from the CLI.
+//! The full oracle catalogue is documented in docs/INVARIANTS.md.
+//!
+//! **Paper map:** cross-cutting — each oracle names the §3/§4 definition
+//! it re-verifies.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod epoch;
+pub mod fuzz;
+pub mod trace;
+
+use std::fmt;
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_cluster::critical::CriticalParams;
+use vqlens_cluster::problem::SignificanceParams;
+use vqlens_model::dataset::Dataset;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::{Metric, Thresholds};
+use vqlens_obs as obs;
+
+pub use fuzz::{fuzz, FuzzConfig};
+
+/// One violated paper invariant: which oracle failed, where, and the
+/// numbers that disagreed.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable name of the violated oracle (see docs/INVARIANTS.md).
+    pub oracle: &'static str,
+    /// The epoch the violation occurred in, for per-epoch oracles.
+    pub epoch: Option<EpochId>,
+    /// The metric the violation concerns, when the oracle is per-metric.
+    pub metric: Option<Metric>,
+    /// Human-readable account of the disagreement.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.oracle)?;
+        if let Some(epoch) = self.epoch {
+            write!(f, " @ epoch {}", epoch.0)?;
+        }
+        if let Some(metric) = self.metric {
+            write!(f, " [{metric}]")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Accumulated outcome of a checking run: how many oracle evaluations ran
+/// and every violation they found.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Number of oracle evaluations performed.
+    pub oracles_run: u64,
+    /// Every violation found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+/// Violations printed in full before the report elides the rest.
+const MAX_SHOWN: usize = 20;
+
+impl CheckReport {
+    /// True when no oracle was violated.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: CheckReport) {
+        self.oracles_run += other.oracles_run;
+        self.violations.extend(other.violations);
+    }
+
+    /// Record `n` oracle evaluations (mirrored into the obs recorder).
+    pub(crate) fn ran(&mut self, n: u64) {
+        self.oracles_run += n;
+        obs::global().add(obs::Counter::CheckOraclesRun, n);
+    }
+
+    /// Record one violation (mirrored into the obs recorder).
+    pub(crate) fn violate(
+        &mut self,
+        oracle: &'static str,
+        epoch: Option<EpochId>,
+        metric: Option<Metric>,
+        detail: String,
+    ) {
+        obs::global().incr(obs::Counter::CheckViolations);
+        self.violations.push(Violation {
+            oracle,
+            epoch,
+            metric,
+            detail,
+        });
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.passed() {
+            return write!(
+                f,
+                "paper-invariant check: PASS ({} oracle evaluations, 0 violations)",
+                self.oracles_run
+            );
+        }
+        write!(
+            f,
+            "paper-invariant check: FAIL ({} oracle evaluations, {} violations)",
+            self.oracles_run,
+            self.violations.len()
+        )?;
+        for v in self.violations.iter().take(MAX_SHOWN) {
+            write!(f, "\n  {v}")?;
+        }
+        if self.violations.len() > MAX_SHOWN {
+            write!(f, "\n  ... and {} more", self.violations.len() - MAX_SHOWN)?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyze every non-empty epoch of a dataset exactly as the pipeline
+/// would, run all per-epoch oracles on each, then the cross-epoch oracles
+/// over the resulting trace. Returns the per-epoch analyses so callers
+/// (e.g. the fuzz driver) can re-check gap-punched subsets without
+/// re-analyzing.
+pub fn check_dataset(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    seed: u64,
+    report: &mut CheckReport,
+) -> Vec<EpochAnalysis> {
+    let _span = obs::global().span(obs::Stage::Check);
+    let mut analyses = Vec::new();
+    for e in 0..dataset.num_epochs() {
+        let id = EpochId(e);
+        let data = dataset.epoch(id);
+        if data.is_empty() {
+            continue;
+        }
+        let mask_seed = seed ^ u64::from(e).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        analyses.push(epoch::check_epoch(
+            data, id, thresholds, sig, params, mask_seed, report,
+        ));
+    }
+    trace::check_trace(&analyses, report);
+    analyses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(oracle: &'static str) -> Violation {
+        Violation {
+            oracle,
+            epoch: Some(EpochId(3)),
+            metric: Some(Metric::JoinFailure),
+            detail: "numbers disagreed".into(),
+        }
+    }
+
+    #[test]
+    fn report_passes_when_empty_and_merges() {
+        let mut a = CheckReport {
+            oracles_run: 5,
+            violations: Vec::new(),
+        };
+        assert!(a.passed());
+        assert!(a.to_string().contains("PASS"));
+        let b = CheckReport {
+            oracles_run: 2,
+            violations: vec![violation("some-oracle")],
+        };
+        a.merge(b);
+        assert_eq!(a.oracles_run, 7);
+        assert!(!a.passed());
+        let shown = a.to_string();
+        assert!(shown.contains("FAIL") && shown.contains("some-oracle"));
+    }
+
+    #[test]
+    fn long_violation_lists_are_elided() {
+        let mut r = CheckReport::default();
+        for _ in 0..(MAX_SHOWN + 4) {
+            r.violations.push(violation("o"));
+        }
+        assert!(r.to_string().contains("... and 4 more"));
+    }
+
+    #[test]
+    fn violation_display_names_the_site() {
+        let shown = violation("attribution-conservation").to_string();
+        assert!(shown.contains("attribution-conservation"));
+        assert!(shown.contains("epoch 3"));
+        assert!(shown.contains("JoinFailure"));
+    }
+}

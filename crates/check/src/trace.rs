@@ -1,0 +1,310 @@
+//! Cross-epoch oracles: the §4 temporal analyses re-verified against each
+//! other.
+//!
+//! The temporal passes (persistence, prevalence, coverage, the online
+//! monitor) each walk the same trace of [`EpochAnalysis`] values with
+//! different bookkeeping. Their outputs are therefore strongly coupled —
+//! occurrences must equal summed streak lengths, the monitor replay must
+//! reproduce the offline event extraction, coverage rows must be
+//! fractions — and the oracles here assert exactly those couplings.
+
+use crate::CheckReport;
+use vqlens_analysis::coverage::coverage_table;
+use vqlens_analysis::monitor::{replay_matches_events, MonitorConfig};
+use vqlens_analysis::persistence::{ClusterSource, PersistenceReport};
+use vqlens_analysis::prevalence::PrevalenceReport;
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::attr::ClusterKey;
+use vqlens_model::metric::Metric;
+use vqlens_stats::FxHashSet;
+
+/// How many top-by-prevalence clusters the coverage-monotonicity oracle
+/// sweeps (the paper's Figure 9 plots the same curve).
+const TOP_K: usize = 16;
+
+/// Run every cross-epoch oracle over a trace of per-epoch analyses. The
+/// trace may contain gaps (missing epochs) but must be strictly ordered;
+/// an out-of-order trace is itself reported as a violation (and no
+/// further trace oracles run, since the temporal passes assume order).
+pub fn check_trace(analyses: &[EpochAnalysis], report: &mut CheckReport) {
+    report.ran(1);
+    if !analyses.windows(2).all(|w| w[0].epoch < w[1].epoch) {
+        report.violate(
+            "trace-epoch-order",
+            None,
+            None,
+            format!(
+                "trace of {} analyses is not strictly increasing by epoch",
+                analyses.len()
+            ),
+        );
+        return;
+    }
+    if analyses.is_empty() {
+        return;
+    }
+    for metric in Metric::ALL {
+        check_duality(analyses, metric, report);
+        check_recurrence_consistency(analyses, metric, report);
+        check_topk_coverage(analyses, metric, report);
+    }
+    check_coverage_rows(analyses, report);
+}
+
+/// §4.1 duality: for `close_after_h <= 1` (no gap bridging) the online
+/// monitor's closed incidents must reproduce the offline
+/// `extract_events` segmentation exactly — over any trace, including
+/// gapped ones.
+fn check_duality(analyses: &[EpochAnalysis], metric: Metric, report: &mut CheckReport) {
+    let config = MonitorConfig {
+        confirm_after_h: 1,
+        close_after_h: 1,
+        min_attributed: 0.0,
+    };
+    report.ran(1);
+    if !replay_matches_events(config, analyses, metric) {
+        report.violate(
+            "monitor-persistence-duality",
+            None,
+            Some(metric),
+            "online monitor replay diverges from offline event extraction at close_after_h = 1"
+                .into(),
+        );
+    }
+}
+
+/// Persistence and prevalence walk the same occurrence sets: the clusters
+/// they see must coincide, each cluster's summed streak lengths must equal
+/// its occurrence count, and every derived quantity must stay within its
+/// bounds.
+fn check_recurrence_consistency(
+    analyses: &[EpochAnalysis],
+    metric: Metric,
+    report: &mut CheckReport,
+) {
+    let persistence = PersistenceReport::compute(analyses, metric, ClusterSource::Critical);
+    let prevalence = PrevalenceReport::compute(analyses, metric, ClusterSource::Critical);
+    let epochs = analyses.len() as u32;
+
+    report.ran(1);
+    if persistence.num_clusters() != prevalence.num_clusters() {
+        report.violate(
+            "persistence-prevalence-clusters",
+            None,
+            Some(metric),
+            format!(
+                "persistence saw {} clusters but prevalence saw {}",
+                persistence.num_clusters(),
+                prevalence.num_clusters()
+            ),
+        );
+    }
+
+    report.ran(1);
+    for (key, streaks) in &persistence.streaks {
+        let occurred: u32 = streaks.iter().sum();
+        let counted = prevalence.occurrences.get(key).copied().unwrap_or(0);
+        if occurred != counted {
+            report.violate(
+                "persistence-prevalence-occurrences",
+                None,
+                Some(metric),
+                format!("{key}: streaks sum to {occurred} epochs but prevalence counted {counted}"),
+            );
+        }
+        if streaks.iter().any(|&len| len == 0 || len > epochs) {
+            report.violate(
+                "persistence-streak-bounds",
+                None,
+                Some(metric),
+                format!("{key}: streak lengths {streaks:?} outside 1..={epochs}"),
+            );
+        }
+    }
+
+    report.ran(1);
+    for (&key, &n) in &prevalence.occurrences {
+        let p = prevalence.prevalence(key);
+        if n > epochs || !(0.0..=1.0).contains(&p) {
+            report.violate(
+                "prevalence-bounds",
+                None,
+                Some(metric),
+                format!("{key}: {n} occurrences in {epochs} epochs (prevalence {p})"),
+            );
+        }
+    }
+}
+
+/// Figure 9 composition: attributing problems to the top-k clusters by
+/// prevalence must yield a coverage fraction that is nondecreasing in `k`
+/// and never exceeds 1. Catches negative or double-counted attribution
+/// leaking through the ranking.
+fn check_topk_coverage(analyses: &[EpochAnalysis], metric: Metric, report: &mut CheckReport) {
+    let total_problems: u64 = analyses
+        .iter()
+        .map(|a| a.metric(metric).critical.total_problems)
+        .sum();
+    if total_problems == 0 {
+        return;
+    }
+    let prevalence = PrevalenceReport::compute(analyses, metric, ClusterSource::Critical);
+    let ranked = prevalence.ranked();
+
+    report.ran(1);
+    let mut selected: FxHashSet<ClusterKey> = FxHashSet::default();
+    let mut prev_cov = 0.0f64;
+    for (i, &(key, _)) in ranked.iter().take(TOP_K).enumerate() {
+        selected.insert(key);
+        let attributed: f64 = analyses
+            .iter()
+            .flat_map(|a| a.metric(metric).critical.clusters.iter())
+            .filter(|(k, _)| selected.contains(k))
+            .map(|(_, s)| s.attributed_problems)
+            .sum();
+        let cov = attributed / total_problems as f64;
+        if cov + 1e-9 < prev_cov || cov > 1.0 + 1e-9 {
+            report.violate(
+                "topk-coverage-monotone",
+                None,
+                Some(metric),
+                format!(
+                    "coverage of top-{} clusters is {cov} (previous {prev_cov}) — \
+                     must grow monotonically within [0, 1]",
+                    i + 1
+                ),
+            );
+            return;
+        }
+        prev_cov = cov;
+    }
+}
+
+/// Table 1 bounds: every coverage-table mean is a fraction, critical
+/// clusters are never more numerous (or more covering) than problem
+/// clusters, and the reduction factor is nonnegative.
+fn check_coverage_rows(analyses: &[EpochAnalysis], report: &mut CheckReport) {
+    for row in coverage_table(analyses) {
+        report.ran(1);
+        let frac = 0.0..=1.0 + 1e-9;
+        if !frac.contains(&row.mean_problem_coverage)
+            || !frac.contains(&row.mean_critical_coverage)
+            || row.mean_critical_coverage > row.mean_problem_coverage + 1e-9
+            || row.mean_critical_clusters > row.mean_problem_clusters + 1e-9
+            || row.mean_problem_clusters < 0.0
+            || row.reduction < 0.0
+        {
+            report.violate(
+                "coverage-table-bounds",
+                None,
+                Some(row.metric),
+                format!(
+                    "row out of bounds: {} problem / {} critical clusters, \
+                     coverage {} / {}, reduction {}",
+                    row.mean_problem_clusters,
+                    row.mean_critical_clusters,
+                    row.mean_problem_coverage,
+                    row.mean_critical_coverage,
+                    row.reduction
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_cluster::analyze::AnalysisContext;
+    use vqlens_cluster::critical::CriticalParams;
+    use vqlens_cluster::problem::SignificanceParams;
+    use vqlens_model::attr::SessionAttrs;
+    use vqlens_model::dataset::EpochData;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_model::metric::{QualityMeasurement, Thresholds};
+
+    fn epoch_data(fail_cdn1: u64) -> EpochData {
+        let mut d = EpochData::default();
+        let good = QualityMeasurement::joined(500, 300.0, 0.0, 3000.0);
+        for (asn, cdn, n, fails) in [
+            (1u32, 1u32, 1000u64, fail_cdn1),
+            (1, 2, 1000, 50),
+            (2, 1, 1000, fail_cdn1),
+            (2, 2, 7000, 50),
+        ] {
+            let attrs = SessionAttrs::new([asn, cdn, 0, 0, 0, 0, 0]);
+            for i in 0..n {
+                let q = if i < fails {
+                    QualityMeasurement::failed()
+                } else {
+                    good
+                };
+                d.push(attrs, q);
+            }
+        }
+        d
+    }
+
+    fn analyze(e: u32, fail_cdn1: u64) -> EpochAnalysis {
+        let sig = SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 500,
+            min_problem_sessions: 5,
+        };
+        let ctx = AnalysisContext::compute(
+            EpochId(e),
+            &epoch_data(fail_cdn1),
+            &Thresholds::default(),
+            &sig,
+        );
+        EpochAnalysis::from_context(&ctx, &CriticalParams::default())
+    }
+
+    #[test]
+    fn clean_gapped_trace_passes() {
+        // CDN1 degraded in epochs 0, 1 and 4; healthy in 2; epoch 3 is a
+        // feed gap. Exercises event segmentation across both kinds of
+        // discontinuity.
+        let trace = vec![
+            analyze(0, 300),
+            analyze(1, 300),
+            analyze(2, 50),
+            analyze(4, 300),
+        ];
+        let mut report = CheckReport::default();
+        check_trace(&trace, &mut report);
+        assert!(
+            report.passed(),
+            "violations on a clean trace: {:?}",
+            report.violations
+        );
+        assert!(report.oracles_run > 5);
+    }
+
+    #[test]
+    fn unsorted_trace_is_reported_not_panicked() {
+        let trace = vec![analyze(1, 300), analyze(0, 300)];
+        let mut report = CheckReport::default();
+        check_trace(&trace, &mut report);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].oracle, "trace-epoch-order");
+    }
+
+    #[test]
+    fn duplicate_epochs_are_reported() {
+        let trace = vec![analyze(2, 300), analyze(2, 300)];
+        let mut report = CheckReport::default();
+        check_trace(&trace, &mut report);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.oracle == "trace-epoch-order"));
+    }
+
+    #[test]
+    fn empty_trace_is_trivially_clean() {
+        let mut report = CheckReport::default();
+        check_trace(&[], &mut report);
+        assert!(report.passed());
+    }
+}

@@ -36,7 +36,8 @@
 //! (problem clusters §3.1, critical clusters §3.2), `vqlens-analysis`
 //! (prevalence/persistence §4–§5), `vqlens-whatif` (what-if improvement
 //! §6), `vqlens-delivery` (streaming simulator), `vqlens-synth` (world +
-//! trace generation), and `vqlens-obs` (run observability, cross-cutting).
+//! trace generation), `vqlens-obs` (run observability, cross-cutting),
+//! and `vqlens-check` (paper-invariant oracles, cross-cutting).
 //!
 //! Every stage records timings and counters into the process-global
 //! [`vqlens_obs::Recorder`] (disabled by default, enabled by
@@ -59,6 +60,7 @@ pub use report::Table;
 pub use validate::{validate_against_ground_truth, EventDetection, ValidationReport};
 
 pub use vqlens_analysis as analysis;
+pub use vqlens_check as check;
 pub use vqlens_cluster as cluster;
 pub use vqlens_delivery as delivery;
 pub use vqlens_model as model;

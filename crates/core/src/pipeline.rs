@@ -99,29 +99,37 @@ pub struct TraceAnalysis {
     /// The configuration used.
     pub config: AnalyzerConfig,
     epochs: Vec<EpochAnalysis>,
-    statuses: Vec<EpochStatus>,
+    // Each status carries the *real* epoch id: an ingested trace need not
+    // start at epoch 0, so slice position must never stand in for identity.
+    statuses: Vec<(EpochId, EpochStatus)>,
 }
 
 impl TraceAnalysis {
     fn from_results(
         config: AnalyzerConfig,
+        first_epoch: EpochId,
         results: Vec<Result<EpochAnalysis, WorkerPanic>>,
     ) -> TraceAnalysis {
         let rec = obs::global();
         let mut epochs = Vec::with_capacity(results.len());
         let mut statuses = Vec::with_capacity(results.len());
-        for result in results {
+        for (i, result) in results.into_iter().enumerate() {
+            let epoch = EpochId(first_epoch.0 + i as u32);
             match result {
                 Ok(analysis) => {
+                    debug_assert_eq!(analysis.epoch, epoch, "worker analyzed the wrong epoch");
                     rec.incr(obs::Counter::EpochsAnalyzed);
                     epochs.push(analysis);
-                    statuses.push(EpochStatus::Ok);
+                    statuses.push((epoch, EpochStatus::Ok));
                 }
                 Err(panic) => {
                     rec.incr(obs::Counter::EpochsFailed);
-                    statuses.push(EpochStatus::Failed {
-                        reason: panic.message,
-                    });
+                    statuses.push((
+                        epoch,
+                        EpochStatus::Failed {
+                            reason: panic.message,
+                        },
+                    ));
                 }
             }
         }
@@ -139,8 +147,9 @@ impl TraceAnalysis {
         &self.epochs
     }
 
-    /// Per-epoch outcome, indexed by epoch id over the full input trace.
-    pub fn statuses(&self) -> &[EpochStatus] {
+    /// Per-epoch outcome over the full input trace, tagged with the real
+    /// epoch id (ingested traces need not start at epoch 0).
+    pub fn statuses(&self) -> &[(EpochId, EpochStatus)] {
         &self.statuses
     }
 
@@ -162,41 +171,39 @@ impl TraceAnalysis {
     /// True when every epoch analyzed cleanly (no failures, no degraded
     /// ingest).
     pub fn is_complete(&self) -> bool {
-        self.statuses.iter().all(|s| *s == EpochStatus::Ok)
+        self.statuses.iter().all(|(_, s)| *s == EpochStatus::Ok)
     }
 
     /// The epochs whose analysis worker panicked, with the captured panic
     /// messages.
     pub fn failed_epochs(&self) -> impl Iterator<Item = (EpochId, &str)> + '_ {
-        self.statuses
-            .iter()
-            .enumerate()
-            .filter_map(|(e, s)| match s {
-                EpochStatus::Failed { reason } => Some((EpochId(e as u32), reason.as_str())),
-                _ => None,
-            })
+        self.statuses.iter().filter_map(|(epoch, s)| match s {
+            EpochStatus::Failed { reason } => Some((*epoch, reason.as_str())),
+            _ => None,
+        })
     }
 
     /// The epochs marked degraded by [`Self::apply_ingest_report`], with
     /// their quarantined-line counts.
     pub fn degraded_epochs(&self) -> impl Iterator<Item = (EpochId, u64)> + '_ {
-        self.statuses
-            .iter()
-            .enumerate()
-            .filter_map(|(e, s)| match s {
-                EpochStatus::Degraded { quarantined_lines } => {
-                    Some((EpochId(e as u32), *quarantined_lines))
-                }
-                _ => None,
-            })
+        self.statuses.iter().filter_map(|(epoch, s)| match s {
+            EpochStatus::Degraded { quarantined_lines } => Some((*epoch, *quarantined_lines)),
+            _ => None,
+        })
     }
 
     /// Downgrade epochs that lost quarantined lines during lenient ingest
     /// from `Ok` to `Degraded`, so partial epochs are visible instead of
-    /// silently complete. Failed epochs stay failed.
+    /// silently complete. Failed epochs stay failed. Quarantine counts are
+    /// matched by real epoch id, not slice position.
     pub fn apply_ingest_report(&mut self, report: &IngestReport) {
         for (&epoch, &count) in &report.per_epoch_bad {
-            if let Some(status) = self.statuses.get_mut(epoch as usize) {
+            let entry = self
+                .statuses
+                .iter_mut()
+                .find(|(id, _)| id.0 == epoch)
+                .map(|(_, s)| s);
+            if let Some(status) = entry {
                 if *status == EpochStatus::Ok {
                     obs::global().incr(obs::Counter::EpochsDegraded);
                     *status = EpochStatus::Degraded {
@@ -214,9 +221,8 @@ impl TraceAnalysis {
     pub fn epoch_outcomes(&self) -> Vec<obs::EpochOutcome> {
         self.statuses
             .iter()
-            .enumerate()
-            .map(|(e, status)| {
-                let epoch = e as u32;
+            .map(|(id, status)| {
+                let epoch = id.0;
                 match status {
                     EpochStatus::Ok => obs::EpochOutcome::Ok { epoch },
                     EpochStatus::Degraded { quarantined_lines } => obs::EpochOutcome::Degraded {
@@ -386,8 +392,7 @@ pub fn analyze_dataset(dataset: &Dataset, config: &AnalyzerConfig) -> TraceAnaly
     } else {
         (config.effective_threads() / n as usize).max(1)
     };
-    analyze_epochs_with(n, config, |e| {
-        let epoch = EpochId(e);
+    analyze_epochs_with(EpochId(0), n, config, |epoch| {
         EpochAnalysis::compute_with_threads(
             epoch,
             dataset.epoch(epoch),
@@ -401,16 +406,24 @@ pub fn analyze_dataset(dataset: &Dataset, config: &AnalyzerConfig) -> TraceAnaly
 
 /// Analysis driver over an arbitrary per-epoch closure; the seam that lets
 /// tests inject panicking workers without manufacturing poisoned data.
-fn analyze_epochs_with<F>(n: u32, config: &AnalyzerConfig, f: F) -> TraceAnalysis
+/// `first_epoch` anchors the trace: worker `i` analyzes epoch
+/// `first_epoch + i`, and statuses carry the resulting real epoch ids.
+fn analyze_epochs_with<F>(
+    first_epoch: EpochId,
+    n: u32,
+    config: &AnalyzerConfig,
+    f: F,
+) -> TraceAnalysis
 where
-    F: Fn(u32) -> EpochAnalysis + Sync,
+    F: Fn(EpochId) -> EpochAnalysis + Sync,
 {
     let _obs = obs::global().span(obs::Stage::TraceAnalysis);
     let results = parallel_indexed_caught(n, config.effective_threads(), |e| {
-        let _obs = obs::global().span_epoch(obs::Stage::EpochAnalysis, e);
-        f(e)
+        let epoch = EpochId(first_epoch.0 + e);
+        let _obs = obs::global().span_epoch(obs::Stage::EpochAnalysis, epoch.0);
+        f(epoch)
     });
-    TraceAnalysis::from_results(*config, results)
+    TraceAnalysis::from_results(*config, first_epoch, results)
 }
 
 #[cfg(test)]
@@ -464,14 +477,14 @@ mod tests {
         assert_eq!(err.index, 7);
     }
 
-    fn tiny_epoch_analysis(e: u32) -> EpochAnalysis {
+    fn tiny_epoch_analysis(e: EpochId) -> EpochAnalysis {
         let mut d = EpochData::default();
         d.push(
             SessionAttrs::new([1, 1, 1, 0, 0, 0, 0]),
             QualityMeasurement::joined(400, 300.0, 0.0, 2800.0),
         );
         EpochAnalysis::compute(
-            EpochId(e),
+            e,
             &d,
             &Thresholds::default(),
             &SignificanceParams::default(),
@@ -482,8 +495,8 @@ mod tests {
     #[test]
     fn one_poisoned_epoch_degrades_the_trace_instead_of_killing_it() {
         let config = AnalyzerConfig::default();
-        let trace = analyze_epochs_with(5, &config, |e| {
-            if e == 2 {
+        let trace = analyze_epochs_with(EpochId(0), 5, &config, |e| {
+            if e == EpochId(2) {
                 panic!("cube exploded");
             }
             tiny_epoch_analysis(e)
@@ -504,7 +517,7 @@ mod tests {
     #[test]
     fn ingest_report_marks_epochs_degraded() {
         let config = AnalyzerConfig::default();
-        let mut trace = analyze_epochs_with(3, &config, tiny_epoch_analysis);
+        let mut trace = analyze_epochs_with(EpochId(0), 3, &config, tiny_epoch_analysis);
         assert!(trace.is_complete());
         let mut report = vqlens_model::csv::IngestReport::default();
         report.per_epoch_bad.insert(1, 4);
@@ -515,6 +528,40 @@ mod tests {
         assert_eq!(degraded, vec![(EpochId(1), 4)]);
         // Degraded epochs are still analyzed.
         assert_eq!(trace.len(), 3);
+    }
+
+    /// Regression: statuses used to be keyed by slice position, so a trace
+    /// whose first epoch is nonzero mis-labeled failures, degradations, and
+    /// report outcomes by `first_epoch` epochs.
+    #[test]
+    fn nonzero_first_epoch_keeps_real_epoch_ids() {
+        let config = AnalyzerConfig::default();
+        let first = EpochId(5);
+        let mut trace = analyze_epochs_with(first, 4, &config, |e| {
+            if e == EpochId(6) {
+                panic!("poisoned");
+            }
+            tiny_epoch_analysis(e)
+        });
+        assert_eq!(trace.num_input_epochs(), 4);
+        // The failure is reported at real epoch 6, not slice index 1.
+        let failed: Vec<_> = trace.failed_epochs().map(|(e, _)| e).collect();
+        assert_eq!(failed, vec![EpochId(6)]);
+        // Ingest quarantine counts are matched by real epoch id too: epoch
+        // 1 is before the trace and must be ignored, epoch 7 must land on
+        // the third slot.
+        let mut report = vqlens_model::csv::IngestReport::default();
+        report.per_epoch_bad.insert(1, 9);
+        report.per_epoch_bad.insert(7, 3);
+        trace.apply_ingest_report(&report);
+        let degraded: Vec<_> = trace.degraded_epochs().collect();
+        assert_eq!(degraded, vec![(EpochId(7), 3)]);
+        // epoch_outcomes carries the same real ids into the run report.
+        let outcome_epochs: Vec<u32> = trace.epoch_outcomes().iter().map(|o| o.epoch()).collect();
+        assert_eq!(outcome_epochs, vec![5, 6, 7, 8]);
+        // The analyzed epochs themselves kept their ids.
+        let ids: Vec<u32> = trace.epochs().iter().map(|a| a.epoch.0).collect();
+        assert_eq!(ids, vec![5, 7, 8]);
     }
 
     #[test]

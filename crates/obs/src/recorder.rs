@@ -51,11 +51,13 @@ pub enum Stage {
     DrillDown = 10,
     /// What-if cost/benefit ranking (paper §5 + §6), trace-scoped.
     WhatIf = 11,
+    /// Paper-invariant oracle sweep (`vqlens_check`), trace-scoped.
+    Check = 12,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -71,6 +73,7 @@ impl Stage {
         Stage::Coverage,
         Stage::DrillDown,
         Stage::WhatIf,
+        Stage::Check,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -88,6 +91,7 @@ impl Stage {
             Stage::Coverage => "coverage",
             Stage::DrillDown => "drill_down",
             Stage::WhatIf => "what_if",
+            Stage::Check => "check",
         }
     }
 }
@@ -150,11 +154,15 @@ pub enum Counter {
     CriticalClustersJoinTime = 22,
     /// Critical clusters identified for JoinFailure, summed over epochs.
     CriticalClustersJoinFailure = 23,
+    /// Oracle evaluations performed by the paper-invariant checker.
+    CheckOraclesRun = 24,
+    /// Paper-invariant violations found by the checker.
+    CheckViolations = 25,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 26;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -182,6 +190,8 @@ impl Counter {
         Counter::CriticalClustersBitrate,
         Counter::CriticalClustersJoinTime,
         Counter::CriticalClustersJoinFailure,
+        Counter::CheckOraclesRun,
+        Counter::CheckViolations,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -211,6 +221,8 @@ impl Counter {
             Counter::CriticalClustersBitrate => "critical_clusters_bitrate",
             Counter::CriticalClustersJoinTime => "critical_clusters_jointime",
             Counter::CriticalClustersJoinFailure => "critical_clusters_joinfailure",
+            Counter::CheckOraclesRun => "check_oracles_run",
+            Counter::CheckViolations => "check_violations",
         }
     }
 

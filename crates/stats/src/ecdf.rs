@@ -31,7 +31,7 @@ impl Ecdf {
             samples.iter().all(|x| x.is_finite()),
             "ECDF samples must be finite"
         );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+        samples.sort_by(f64::total_cmp);
         Ecdf { sorted: samples }
     }
 
@@ -63,6 +63,10 @@ impl Ecdf {
 
     /// The `q`-quantile (nearest-rank definition), `q` in `[0, 1]`.
     /// `None` when empty.
+    ///
+    /// Edge conventions: the rank `ceil(q·n)` is clamped to `[1, n]`, so
+    /// `quantile(0.0)` returns the **minimum** (not `None` or an
+    /// extrapolation) and `quantile(1.0)` the maximum.
     ///
     /// # Panics
     /// Panics when `q` is outside `[0, 1]`.
@@ -102,6 +106,11 @@ impl Ecdf {
     /// Sample the CDF at `n` evenly spaced probability levels, returning
     /// `(value, cumulative_probability)` pairs — the series plotted in the
     /// paper's CDF figures.
+    ///
+    /// Edge conventions: the levels are `q = 1/n, 2/n, …, 1` — the curve
+    /// deliberately *excludes* `q = 0` (an ECDF has no mass there) and
+    /// always ends at `(max, 1.0)`. An empty ECDF or `n = 0` yields an
+    /// empty curve.
     pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
         if self.sorted.is_empty() || n == 0 {
             return Vec::new();
@@ -165,6 +174,47 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan() {
         let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn zero_quantile_is_the_minimum() {
+        // rank = ceil(0·n) clamps to 1: q = 0 is the minimum by convention.
+        let e = Ecdf::new(vec![5.0, -2.0, 9.0]);
+        assert_eq!(e.quantile(0.0), Some(-2.0));
+        assert_eq!(e.quantile(0.0), e.min());
+        let single = Ecdf::new(vec![7.0]);
+        assert_eq!(single.quantile(0.0), Some(7.0));
+        assert_eq!(single.quantile(1.0), Some(7.0));
+        assert_eq!(single.median(), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn out_of_range_quantile_rejected() {
+        let _ = Ecdf::new(vec![1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn curve_edge_semantics() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        // Levels are 1/n..=1: q = 0 is excluded, the last point is the max
+        // at probability exactly 1.
+        let c = e.curve(4);
+        assert_eq!(
+            c,
+            vec![(10.0, 0.25), (20.0, 0.5), (30.0, 0.75), (40.0, 1.0)]
+        );
+        // n = 1 samples only q = 1.
+        assert_eq!(e.curve(1), vec![(40.0, 1.0)]);
+        // n = 0 and empty ECDFs yield empty curves.
+        assert!(e.curve(0).is_empty());
+        assert!(Ecdf::new(vec![]).curve(5).is_empty());
+        // Oversampling (n > len) repeats values but keeps probabilities
+        // strictly increasing and still ends at (max, 1.0).
+        let dense = e.curve(8);
+        assert_eq!(dense.len(), 8);
+        assert_eq!(dense[0], (10.0, 0.125));
+        assert_eq!(*dense.last().unwrap(), (40.0, 1.0));
     }
 
     #[test]

@@ -8,16 +8,19 @@ use std::hash::{BuildHasher, Hash};
 
 /// Jaccard similarity `|A ∩ B| / |A ∪ B|` of two sets.
 ///
-/// Returns 1.0 when both sets are empty (identical empty sets), matching the
-/// convention that similarity of nothing with nothing is perfect.
+/// Returns 0.0 when either set is empty: `0/0` is treated as "no evidence of
+/// similarity", not "perfect similarity". An empty top-k list (a metric with
+/// zero critical clusters, say) therefore never reports 100 % overlap with
+/// anything — including another empty list. Callers that want a reflexive
+/// diagonal must special-case non-empty sets themselves.
 pub fn jaccard<T, S1, S2>(a: &HashSet<T, S1>, b: &HashSet<T, S2>) -> f64
 where
     T: Eq + Hash,
     S1: BuildHasher,
     S2: BuildHasher,
 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
     }
     let inter = a.iter().filter(|x| b.contains(*x)).count();
     let union = a.len() + b.len() - inter;
@@ -43,7 +46,10 @@ mod tests {
         assert_eq!(jaccard(&a, &a), 1.0);
         let empty: HashSet<u32> = HashSet::new();
         assert_eq!(jaccard(&a, &empty), 0.0);
-        assert_eq!(jaccard(&empty, &empty), 1.0);
+        // Empty-vs-empty is 0.0 by convention: 0/0 carries no evidence of
+        // similarity (regression: this used to report 1.0).
+        assert_eq!(jaccard(&empty, &empty), 0.0);
+        assert_eq!(jaccard_slices::<u32>(&[], &[]), 0.0);
     }
 
     #[test]

@@ -71,7 +71,8 @@ proptest! {
         prop_assert!((left.variance().unwrap() - seq.variance().unwrap()).abs() < 1e-7);
     }
 
-    /// Jaccard is symmetric, bounded, and 1 on identical sets.
+    /// Jaccard is symmetric, bounded, 1 on identical non-empty sets, and
+    /// 0 whenever either side is empty.
     #[test]
     fn jaccard_properties(
         a in prop::collection::hash_set(0u32..50, 0..30),
@@ -80,8 +81,12 @@ proptest! {
         let j = jaccard(&a, &b);
         prop_assert!((0.0..=1.0).contains(&j));
         prop_assert_eq!(j, jaccard(&b, &a));
-        prop_assert_eq!(jaccard(&a, &a), 1.0);
-        if a.is_disjoint(&b) && !(a.is_empty() && b.is_empty()) {
+        if a.is_empty() {
+            prop_assert_eq!(jaccard(&a, &a), 0.0);
+        } else {
+            prop_assert_eq!(jaccard(&a, &a), 1.0);
+        }
+        if a.is_disjoint(&b) {
             prop_assert_eq!(j, 0.0);
         }
     }

@@ -124,12 +124,7 @@ pub fn cost_benefit_ranking(
             }
         })
         .collect();
-    out.sort_by(|a, b| {
-        b.ratio
-            .partial_cmp(&a.ratio)
-            .expect("finite ratios")
-            .then(a.key.0.cmp(&b.key.0))
-    });
+    out.sort_by(|a, b| b.ratio.total_cmp(&a.ratio).then(a.key.0.cmp(&b.key.0)));
     out
 }
 

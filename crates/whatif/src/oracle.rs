@@ -96,11 +96,7 @@ pub fn rank_clusters(
         .into_iter()
         .filter(|(key, _)| filter.accepts(*key))
         .collect();
-    v.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite")
-            .then(a.0 .0.cmp(&b.0 .0))
-    });
+    v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
     v
 }
 

@@ -81,6 +81,12 @@ fn remediated_epochs(
 }
 
 /// Run the reactive experiment with a detection lag (paper: 1 hour).
+///
+/// Zero-problem traces: improvement fractions are reported against the
+/// trace's total problem sessions, with the denominator clamped to at
+/// least 1 — a trace with no problem sessions therefore reports
+/// `improvement = potential = 0.0` (nothing to alleviate) rather than
+/// `NaN` from `0/0`.
 pub fn reactive_analysis(
     analyses: &[EpochAnalysis],
     metric: Metric,
@@ -105,6 +111,7 @@ pub fn reactive_analysis(
             }
         }
     }
+    // Clamp: a zero-problem trace yields 0/1 = 0.0, not NaN (see rustdoc).
     let denom = total_problems.max(1) as f64;
     ReactiveOutcome {
         metric,
@@ -203,5 +210,21 @@ mod tests {
         let out = reactive_analysis(&trace(), Metric::JoinFailure, 10);
         assert_eq!(out.events_handled, 0);
         assert_eq!(out.improvement, 0.0);
+    }
+
+    #[test]
+    fn zero_problem_trace_reports_zero_not_nan() {
+        // No problem sessions anywhere: the clamped denominator must yield
+        // exactly 0.0 improvement/potential/efficiency, never NaN.
+        let quiet: Vec<EpochAnalysis> = (0..4)
+            .map(|e| analysis_with_critical(e, 0, &[], 0))
+            .collect();
+        let out = reactive_analysis(&quiet, Metric::JoinFailure, 1);
+        assert_eq!(out.events_total, 0);
+        assert_eq!(out.events_handled, 0);
+        assert_eq!(out.improvement, 0.0);
+        assert_eq!(out.potential, 0.0);
+        assert_eq!(out.efficiency(), 0.0);
+        assert!(!out.improvement.is_nan() && !out.potential.is_nan());
     }
 }

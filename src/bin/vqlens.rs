@@ -13,6 +13,8 @@
 //! vqlens analyze trace.csv --report-json run.json      # machine-readable run report
 //! vqlens monitor trace.csv                             # incident log replay
 //! vqlens monitor dirty.csv --lenient                   # ... over real telemetry
+//! vqlens check --fuzz 25                               # paper-invariant fuzz sweep
+//! vqlens check trace.csv --fuzz 0                      # oracles over one trace
 //! ```
 //!
 //! The CSV format is documented in `vqlens::model::csv` — any telemetry
@@ -48,7 +50,10 @@ fn usage() -> ExitCode {
          [--report-json FILE.json] [-v|--verbose] [--lenient \
          [--max-bad-ratio R] [--dead-letter FILE]]\n  vqlens monitor FILE.csv \
          [--confirm-h N] [--min-sessions N] [-v|--verbose] [--lenient \
-         [--max-bad-ratio R] [--dead-letter FILE]]"
+         [--max-bad-ratio R] [--dead-letter FILE]]\n  vqlens check [FILE.csv] \
+         [--fuzz N] [--seed N] [--min-sessions N] [--timings] \
+         [--report-json FILE.json] [--lenient [--max-bad-ratio R] \
+         [--dead-letter FILE]]"
     );
     ExitCode::from(2)
 }
@@ -60,6 +65,7 @@ fn main() -> ExitCode {
         Some("scenario") => scenario_template(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
         Some("monitor") => monitor(&args[1..]),
+        Some("check") => check(&args[1..]),
         _ => usage(),
     }
 }
@@ -415,7 +421,7 @@ fn drill_into_top_cluster(
                 .get(&key)
                 .map(|s| (a.epoch, s.attributed_problems))
         })
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite attribution"));
+        .max_by(|a, b| a.1.total_cmp(&b.1));
     let Some((epoch, _)) = worst else {
         return;
     };
@@ -440,6 +446,83 @@ fn drill_into_top_cluster(
             "drill-down at its worst epoch ({}): no dominant sub-population — {named} is the right granularity",
             epoch.0
         ),
+    }
+}
+
+/// Run the paper-invariant oracles (`vqlens check [FILE.csv] [--fuzz N]`).
+///
+/// With a file, every oracle runs over the ingested trace; `--fuzz N`
+/// additionally (or, without a file, exclusively — default 5 iterations)
+/// runs the seeded fuzz loop over generated scenario variants and fault
+/// operators. Exit code is nonzero iff any oracle was violated.
+fn check(args: &[String]) -> ExitCode {
+    let report_json = flag_value(args, "--report-json");
+    let timings = args.iter().any(|a| a == "--timings");
+    if report_json.is_some() || timings {
+        vqlens::obs::global().set_enabled(true);
+    }
+    let wall = std::time::Instant::now();
+    let (fuzz_n, seed) = match (
+        numeric_flag::<u32>(args, "--fuzz"),
+        numeric_flag::<u64>(args, "--seed"),
+    ) {
+        (Ok(f), Ok(s)) => (f, s.unwrap_or(0x5eed_c43c)),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let file = args.first().filter(|a| !a.starts_with('-')).cloned();
+
+    let mut report = vqlens::check::CheckReport::default();
+    if let Some(path) = &file {
+        let (dataset, _ingest) = match load(path, args) {
+            Ok(d) => d,
+            Err(code) => return code,
+        };
+        let mut config = scaled_config(&dataset);
+        if let Err(code) = apply_min_sessions(&mut config, args) {
+            return code;
+        }
+        eprintln!(
+            "checking {} sessions across {} epochs (significance floor {}) ...",
+            dataset.num_sessions(),
+            dataset.num_epochs(),
+            config.significance.min_sessions
+        );
+        vqlens::check::check_dataset(
+            &dataset,
+            &config.thresholds,
+            &config.significance,
+            &config.critical,
+            seed,
+            &mut report,
+        );
+    }
+    let iterations = fuzz_n.unwrap_or(if file.is_some() { 0 } else { 5 });
+    if iterations > 0 {
+        eprintln!("fuzzing {iterations} scenario draws (seed {seed:#x}) ...");
+        report.merge(vqlens::check::fuzz(&vqlens::check::FuzzConfig {
+            iterations,
+            seed,
+        }));
+    }
+    println!("{report}");
+    if report_json.is_some() || timings {
+        let mut run_report = vqlens::obs::global().report();
+        run_report.total_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        if timings {
+            eprintln!("\n{run_report}");
+        }
+        if let Some(out) = report_json {
+            if let Err(e) = std::fs::write(out, format!("{}\n", run_report.to_json_pretty())) {
+                eprintln!("cannot write run report {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("run report written to {out}");
+        }
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
