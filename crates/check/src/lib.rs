@@ -20,6 +20,10 @@
 //!   arbitrary (including gapped) traces, prevalence/persistence
 //!   occurrence consistency, Table-1 coverage bounds, and monotonicity of
 //!   top-k-by-prevalence coverage.
+//! * [`resume`] — kill/resume oracles: a checkpointed run interrupted
+//!   after k epochs (including with torn and truncated checkpoint files)
+//!   and then resumed must reproduce the uninterrupted analyses exactly,
+//!   and a changed config fingerprint must invalidate instead of resume.
 //! * [`fuzz`] — a seeded driver that draws scenario variants and
 //!   [`vqlens_synth::faults`] operators, round-trips them through CSV and
 //!   lenient ingestion, and runs every oracle on the result.
@@ -37,6 +41,7 @@
 
 pub mod epoch;
 pub mod fuzz;
+pub mod resume;
 pub mod trace;
 
 use std::fmt;
@@ -178,6 +183,7 @@ pub fn check_dataset(
         ));
     }
     trace::check_trace(&analyses, report);
+    resume::check_resume(dataset, thresholds, sig, params, &analyses, seed, report);
     analyses
 }
 

@@ -1,0 +1,329 @@
+//! Kill/resume oracles: an interrupted-then-resumed checkpointed run must
+//! be indistinguishable from an uninterrupted one.
+//!
+//! These are *cross-run* oracles — where [`crate::epoch`] re-derives the
+//! paper's definitions and [`crate::trace`] checks temporal consistency,
+//! this module checks the durability contract of `vqlens-resilience`:
+//!
+//! * `resume-roundtrip` — every epoch checkpoint survives the
+//!   save → reopen cycle bit-for-bit at the JSON level.
+//! * `resume-equivalence` — for interruption points k ∈ {0, n/2, n−1}
+//!   (plus a torn-file variant driven by
+//!   [`vqlens_synth::faults::interrupt_checkpoints`]), a run killed after
+//!   k checkpointed epochs and then resumed produces exactly the
+//!   uninterrupted analyses: identical cluster sets, attribution, and
+//!   totals, compared as canonical JSON values.
+//! * `resume-invalidation` — reopening the directory under a different
+//!   config fingerprint yields *no* resumed epochs: stale checkpoints can
+//!   never leak into a differently-configured run.
+//!
+//! The oracles drive the real [`CheckpointStore`] against a scratch
+//! directory under the system temp dir (removed afterwards); an I/O
+//! failure of the harness itself is reported as `resume-io` rather than
+//! silently passing.
+
+use crate::CheckReport;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_cluster::critical::CriticalParams;
+use vqlens_cluster::problem::SignificanceParams;
+use vqlens_model::dataset::Dataset;
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::Thresholds;
+use vqlens_resilience::{
+    fingerprint_dataset, fingerprint_json, CheckpointStore, EpochCheckpoint, EpochStatus, Manifest,
+};
+use vqlens_synth::faults::{interrupt_checkpoints, InterruptKind};
+
+/// Run the kill/resume oracles over a dataset and its uninterrupted
+/// per-epoch analyses (as produced by [`crate::check_dataset`]'s loop).
+/// Needs at least two analyzed epochs to have meaningful interruption
+/// points; does nothing otherwise.
+pub fn check_resume(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    analyses: &[EpochAnalysis],
+    seed: u64,
+    report: &mut CheckReport,
+) {
+    if analyses.len() < 2 {
+        return;
+    }
+    let dir = scratch_dir(seed);
+    let result = run_oracles(
+        dataset, thresholds, sig, params, analyses, seed, &dir, report,
+    );
+    let _ = fs::remove_dir_all(&dir);
+    if let Err(e) = result {
+        report.violate(
+            "resume-io",
+            None,
+            None,
+            format!("checkpoint harness I/O failed: {e}"),
+        );
+    }
+}
+
+fn scratch_dir(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "vqlens-check-resume-{}-{seed:016x}",
+        std::process::id()
+    ))
+}
+
+fn manifest_for(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+) -> Manifest {
+    Manifest::new(
+        fingerprint_json(&(thresholds, sig, params)),
+        fingerprint_dataset(dataset),
+        dataset.num_epochs(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_oracles(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    analyses: &[EpochAnalysis],
+    seed: u64,
+    dir: &Path,
+    report: &mut CheckReport,
+) -> io::Result<()> {
+    let manifest = manifest_for(dataset, thresholds, sig, params);
+    let n = analyses.len();
+
+    // resume-roundtrip: save everything, reopen, demand JSON-identical
+    // payloads in epoch order.
+    let _ = fs::remove_dir_all(dir);
+    let (store, _) = CheckpointStore::open(dir, manifest)?;
+    for a in analyses {
+        store.save_epoch(&EpochCheckpoint {
+            epoch: a.epoch.0,
+            status: EpochStatus::Ok,
+            analysis: a.clone(),
+        })?;
+    }
+    let (_, reloaded) = CheckpointStore::open(dir, manifest)?;
+    report.ran(1);
+    if reloaded.len() != n
+        || !reloaded
+            .iter()
+            .zip(analyses)
+            .all(|(cp, a)| json_equal(&cp.analysis, a))
+    {
+        report.violate(
+            "resume-roundtrip",
+            None,
+            None,
+            format!(
+                "saved {n} epoch checkpoints, reopen returned {} with differing payloads",
+                reloaded.len()
+            ),
+        );
+    }
+
+    // resume-invalidation: a perturbed config fingerprint must resume
+    // nothing (and wipe the stale files).
+    let mut other = manifest;
+    other.config_hash ^= 0xdead_beef;
+    let (_, stale) = CheckpointStore::open(dir, other)?;
+    report.ran(1);
+    if !stale.is_empty() {
+        report.violate(
+            "resume-invalidation",
+            None,
+            None,
+            format!(
+                "{} stale checkpoints resumed under a changed config fingerprint",
+                stale.len()
+            ),
+        );
+    }
+
+    // resume-equivalence at several interruption points, including one
+    // where the surviving directory is further damaged by a torn temp
+    // file and a truncated checkpoint (both must be skipped and healed).
+    for (k, damage) in [(0, false), (n / 2, true), (n - 1, false)] {
+        let _ = fs::remove_dir_all(dir);
+        let (store, _) = CheckpointStore::open(dir, manifest)?;
+        for a in &analyses[..k] {
+            store.save_epoch(&EpochCheckpoint {
+                epoch: a.epoch.0,
+                status: EpochStatus::Ok,
+                analysis: a.clone(),
+            })?;
+        }
+        let mut recomputable: Vec<u32> = analyses[k..].iter().map(|a| a.epoch.0).collect();
+        if damage && k > 0 {
+            interrupt_checkpoints(dir, InterruptKind::TornTempFile, seed)?;
+            let s = interrupt_checkpoints(dir, InterruptKind::TruncatedCheckpoint, seed)?;
+            for name in &s.damaged_files {
+                // "epoch-XXXXXXXX.json" → the epoch id the resume must
+                // now recompute on top of the killed tail.
+                if let Some(e) = name
+                    .strip_prefix("epoch-")
+                    .and_then(|s| s.strip_suffix(".json"))
+                    .and_then(|s| s.parse::<u32>().ok())
+                {
+                    recomputable.push(e);
+                }
+            }
+        }
+
+        let (_, resumed) = CheckpointStore::open(dir, manifest)?;
+        let mut merged: Vec<EpochAnalysis> = resumed.into_iter().map(|cp| cp.analysis).collect();
+        for &e in &recomputable {
+            let id = EpochId(e);
+            merged.push(EpochAnalysis::compute(
+                id,
+                dataset.epoch(id),
+                thresholds,
+                sig,
+                params,
+            ));
+        }
+        merged.sort_by_key(|a| a.epoch.0);
+
+        report.ran(1);
+        let equivalent =
+            merged.len() == n && merged.iter().zip(analyses).all(|(m, a)| json_equal(m, a));
+        if !equivalent {
+            report.violate(
+                "resume-equivalence",
+                Some(EpochId(k as u32)),
+                None,
+                format!(
+                    "run interrupted after {k}/{n} checkpointed epochs{} diverged from the \
+                     uninterrupted analyses after resume",
+                    if damage {
+                        " (plus torn/truncated files)"
+                    } else {
+                        ""
+                    }
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Canonical comparison: `serde_json::Value` maps are ordered, so two
+/// analyses agree iff their JSON values agree — independent of hash-map
+/// iteration order.
+fn json_equal(a: &EpochAnalysis, b: &EpochAnalysis) -> bool {
+    match (serde_json::to_value(a), serde_json::to_value(b)) {
+        (Ok(x), Ok(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::attr::SessionAttrs;
+    use vqlens_model::dataset::DatasetMeta;
+    use vqlens_model::metric::QualityMeasurement;
+    use vqlens_model::session::SessionRecord;
+
+    fn tiny_dataset(epochs: u32) -> Dataset {
+        let mut ds = Dataset::new(epochs, DatasetMeta::default());
+        for e in 0..epochs {
+            for i in 0..40u32 {
+                let attrs = SessionAttrs::new([i % 3, i % 2, 0, 0, 0, 0, 0]);
+                let q = if i % 4 == 0 {
+                    QualityMeasurement::failed()
+                } else {
+                    QualityMeasurement::joined(400 + i, 300.0, (i % 5) as f32, 2800.0)
+                };
+                ds.push(SessionRecord::new(EpochId(e), attrs, q));
+            }
+        }
+        ds
+    }
+
+    fn analyses_of(ds: &Dataset) -> Vec<EpochAnalysis> {
+        (0..ds.num_epochs())
+            .map(|e| {
+                EpochAnalysis::compute(
+                    EpochId(e),
+                    ds.epoch(EpochId(e)),
+                    &Thresholds::default(),
+                    &SignificanceParams::default(),
+                    &CriticalParams::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_runs_pass_all_resume_oracles() {
+        let ds = tiny_dataset(5);
+        let analyses = analyses_of(&ds);
+        let mut report = CheckReport::default();
+        check_resume(
+            &ds,
+            &Thresholds::default(),
+            &SignificanceParams::default(),
+            &CriticalParams::default(),
+            &analyses,
+            0xc3c,
+            &mut report,
+        );
+        assert!(report.passed(), "violations: {report}");
+        assert!(report.oracles_run >= 5, "roundtrip + invalidation + 3 k's");
+    }
+
+    #[test]
+    fn tampered_analyses_fire_resume_equivalence() {
+        let ds = tiny_dataset(4);
+        let mut analyses = analyses_of(&ds);
+        // Tamper with one uninterrupted analysis: the resumed/merged run
+        // recomputes the truth and must disagree with it.
+        analyses[2].total_sessions += 1;
+        let mut report = CheckReport::default();
+        check_resume(
+            &ds,
+            &Thresholds::default(),
+            &SignificanceParams::default(),
+            &CriticalParams::default(),
+            &analyses,
+            0xc3d,
+            &mut report,
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.oracle == "resume-equivalence"),
+            "expected resume-equivalence to fire: {report}"
+        );
+    }
+
+    #[test]
+    fn single_epoch_traces_are_skipped() {
+        let ds = tiny_dataset(1);
+        let analyses = analyses_of(&ds);
+        let mut report = CheckReport::default();
+        check_resume(
+            &ds,
+            &Thresholds::default(),
+            &SignificanceParams::default(),
+            &CriticalParams::default(),
+            &analyses,
+            7,
+            &mut report,
+        );
+        assert_eq!(report.oracles_run, 0);
+        assert!(report.passed());
+    }
+}

@@ -364,6 +364,13 @@ impl CubeTable {
         self.entries.len()
     }
 
+    /// Approximate heap footprint of the table in bytes (the entry
+    /// vector; the fixed 128-way offset index lives inline). Used by the
+    /// resilience layer to calibrate its memory-budget estimator.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<CubeEntry>()
+    }
+
     /// Drop clusters that can never be statistically significant, keeping
     /// all leaves (needed for attribution). Shrinks the cube several-fold
     /// before the per-metric passes iterate it. `retain` preserves the sort

@@ -37,7 +37,9 @@
 //! (prevalence/persistence §4–§5), `vqlens-whatif` (what-if improvement
 //! §6), `vqlens-delivery` (streaming simulator), `vqlens-synth` (world +
 //! trace generation), `vqlens-obs` (run observability, cross-cutting),
-//! and `vqlens-check` (paper-invariant oracles, cross-cutting).
+//! `vqlens-resilience` (checkpoint/resume, deadlines, memory budget —
+//! cross-cutting), and `vqlens-check` (paper-invariant oracles,
+//! cross-cutting).
 //!
 //! Every stage records timings and counters into the process-global
 //! [`vqlens_obs::Recorder`] (disabled by default, enabled by
@@ -49,14 +51,16 @@
 pub mod config;
 pub mod pipeline;
 pub mod report;
+pub mod resilient;
 pub mod validate;
 
 pub use config::AnalyzerConfig;
 pub use pipeline::{
-    analyze_dataset, generate_parallel, try_generate_parallel, EpochStatus, TraceAnalysis,
-    WorkerPanic,
+    analyze_dataset, generate_parallel, try_generate_parallel, DegradeCause, EpochStatus,
+    TraceAnalysis, WorkerPanic,
 };
 pub use report::Table;
+pub use resilient::{analyze_dataset_resilient, ResilienceOptions, ResumeSummary};
 pub use validate::{validate_against_ground_truth, EventDetection, ValidationReport};
 
 pub use vqlens_analysis as analysis;
@@ -65,6 +69,7 @@ pub use vqlens_cluster as cluster;
 pub use vqlens_delivery as delivery;
 pub use vqlens_model as model;
 pub use vqlens_obs as obs;
+pub use vqlens_resilience as resilience;
 pub use vqlens_stats as stats;
 pub use vqlens_synth as synth;
 pub use vqlens_whatif as whatif;
@@ -73,10 +78,11 @@ pub use vqlens_whatif as whatif;
 pub mod prelude {
     pub use crate::config::AnalyzerConfig;
     pub use crate::pipeline::{
-        analyze_dataset, generate_parallel, try_generate_parallel, EpochStatus, TraceAnalysis,
-        WorkerPanic,
+        analyze_dataset, generate_parallel, try_generate_parallel, DegradeCause, EpochStatus,
+        TraceAnalysis, WorkerPanic,
     };
     pub use crate::report::Table;
+    pub use crate::resilient::{analyze_dataset_resilient, ResilienceOptions, ResumeSummary};
     pub use crate::validate::{validate_against_ground_truth, ValidationReport};
     pub use vqlens_analysis::breakdown::Breakdown;
     pub use vqlens_analysis::coverage::coverage_table;
@@ -97,6 +103,7 @@ pub mod prelude {
     pub use vqlens_model::epoch::{EpochId, EpochRange};
     pub use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};
     pub use vqlens_obs::{Recorder, RunReport};
+    pub use vqlens_resilience::{Deadline, LadderStep, StageDeadlines};
     pub use vqlens_synth::scenario::{generate, Scenario, SynthOutput};
     pub use vqlens_whatif::oracle::{oracle_sweep, AttrFilter, RankBy};
     pub use vqlens_whatif::proactive::proactive_analysis;

@@ -35,6 +35,11 @@ use vqlens_obs as obs;
 use vqlens_synth::arrivals::ArrivalSampler;
 use vqlens_synth::scenario::{generate_epoch, prepare, Scenario, SynthOutput};
 
+// The per-epoch status type is shared with the checkpoint format and the
+// resume oracles, so it lives in `vqlens-resilience` and is re-exported
+// here where it has always been.
+pub use vqlens_resilience::{DegradeCause, EpochStatus};
+
 /// A worker panic captured by the pipeline, naming the failing work item
 /// (the epoch index for both pipeline stages).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +62,14 @@ impl fmt::Display for WorkerPanic {
 
 impl std::error::Error for WorkerPanic {}
 
+/// Record a degradation against a status, bumping the degraded-epoch
+/// counter exactly once per epoch (on the `Ok` → `Degraded` transition).
+pub(crate) fn record_degrade(status: &mut EpochStatus, cause: DegradeCause) {
+    if status.degrade(cause) {
+        obs::global().incr(obs::Counter::EpochsDegraded);
+    }
+}
+
 fn panic_message(payload: Box<dyn Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -65,25 +78,6 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
     } else {
         "<non-string panic payload>".to_owned()
     }
-}
-
-/// Outcome of one epoch within a [`TraceAnalysis`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum EpochStatus {
-    /// Analyzed cleanly.
-    Ok,
-    /// Analyzed, but some input lines referencing this epoch were
-    /// quarantined during lenient ingest — its counts undercount reality.
-    Degraded {
-        /// Quarantined lines attributed to this epoch.
-        quarantined_lines: u64,
-    },
-    /// The analysis worker panicked; the epoch is absent from
-    /// [`TraceAnalysis::epochs`].
-    Failed {
-        /// The captured panic message.
-        reason: String,
-    },
 }
 
 /// The per-epoch analysis of a whole trace.
@@ -140,6 +134,31 @@ impl TraceAnalysis {
         }
     }
 
+    /// Assemble a trace from pre-built parts — the seam the resilient
+    /// driver uses to merge resumed checkpoints with freshly computed
+    /// epochs. `epochs` holds the analyses of every non-`Failed` status,
+    /// both already sorted by epoch id.
+    pub(crate) fn from_parts(
+        config: AnalyzerConfig,
+        epochs: Vec<EpochAnalysis>,
+        statuses: Vec<(EpochId, EpochStatus)>,
+    ) -> TraceAnalysis {
+        debug_assert!(statuses.windows(2).all(|w| w[0].0 .0 < w[1].0 .0));
+        debug_assert_eq!(
+            epochs.len(),
+            statuses
+                .iter()
+                .filter(|(_, s)| !matches!(s, EpochStatus::Failed { .. }))
+                .count(),
+            "every non-failed status has exactly one analysis"
+        );
+        TraceAnalysis {
+            config,
+            epochs,
+            statuses,
+        }
+    }
+
     /// Per-epoch analyses of the *successfully analyzed* epochs, ordered by
     /// epoch. With failed epochs this is shorter than the input trace; see
     /// [`statuses`](TraceAnalysis::statuses).
@@ -183,19 +202,21 @@ impl TraceAnalysis {
         })
     }
 
-    /// The epochs marked degraded by [`Self::apply_ingest_report`], with
-    /// their quarantined-line counts.
-    pub fn degraded_epochs(&self) -> impl Iterator<Item = (EpochId, u64)> + '_ {
+    /// The epochs whose analysis carries degradations, with their causes
+    /// (quarantined ingest lines, soft-deadline breaches, memory-budget
+    /// sampling) in recording order.
+    pub fn degraded_epochs(&self) -> impl Iterator<Item = (EpochId, &[DegradeCause])> + '_ {
         self.statuses.iter().filter_map(|(epoch, s)| match s {
-            EpochStatus::Degraded { quarantined_lines } => Some((*epoch, *quarantined_lines)),
+            EpochStatus::Degraded { causes } => Some((*epoch, causes.as_slice())),
             _ => None,
         })
     }
 
     /// Downgrade epochs that lost quarantined lines during lenient ingest
     /// from `Ok` to `Degraded`, so partial epochs are visible instead of
-    /// silently complete. Failed epochs stay failed. Quarantine counts are
-    /// matched by real epoch id, not slice position.
+    /// silently complete. Failed epochs stay failed; already-degraded
+    /// epochs (sampled, timed out) accumulate the quarantine cause.
+    /// Quarantine counts are matched by real epoch id, not slice position.
     pub fn apply_ingest_report(&mut self, report: &IngestReport) {
         for (&epoch, &count) in &report.per_epoch_bad {
             let entry = self
@@ -204,12 +225,7 @@ impl TraceAnalysis {
                 .find(|(id, _)| id.0 == epoch)
                 .map(|(_, s)| s);
             if let Some(status) = entry {
-                if *status == EpochStatus::Ok {
-                    obs::global().incr(obs::Counter::EpochsDegraded);
-                    *status = EpochStatus::Degraded {
-                        quarantined_lines: count,
-                    };
-                }
+                record_degrade(status, DegradeCause::QuarantinedLines { lines: count });
             }
         }
     }
@@ -221,20 +237,7 @@ impl TraceAnalysis {
     pub fn epoch_outcomes(&self) -> Vec<obs::EpochOutcome> {
         self.statuses
             .iter()
-            .map(|(id, status)| {
-                let epoch = id.0;
-                match status {
-                    EpochStatus::Ok => obs::EpochOutcome::Ok { epoch },
-                    EpochStatus::Degraded { quarantined_lines } => obs::EpochOutcome::Degraded {
-                        epoch,
-                        quarantined_lines: *quarantined_lines,
-                    },
-                    EpochStatus::Failed { reason } => obs::EpochOutcome::Failed {
-                        epoch,
-                        reason: reason.clone(),
-                    },
-                }
-            })
+            .map(|(id, status)| status.to_outcome(id.0))
             .collect()
     }
 
@@ -261,7 +264,11 @@ impl TraceAnalysis {
 /// no per-slot lock, no per-item synchronization beyond the claim. Chunks
 /// are sized to hand each thread a few claims, balancing queue contention
 /// against tail latency from uneven items.
-fn parallel_indexed_caught<T, F>(n: u32, threads: usize, f: F) -> Vec<Result<T, WorkerPanic>>
+pub(crate) fn parallel_indexed_caught<T, F>(
+    n: u32,
+    threads: usize,
+    f: F,
+) -> Vec<Result<T, WorkerPanic>>
 where
     T: Send,
     F: Fn(u32) -> T + Sync,
@@ -525,9 +532,19 @@ mod tests {
         trace.apply_ingest_report(&report);
         assert!(!trace.is_complete());
         let degraded: Vec<_> = trace.degraded_epochs().collect();
-        assert_eq!(degraded, vec![(EpochId(1), 4)]);
+        assert_eq!(
+            degraded,
+            vec![(
+                EpochId(1),
+                &[DegradeCause::QuarantinedLines { lines: 4 }][..]
+            )]
+        );
         // Degraded epochs are still analyzed.
         assert_eq!(trace.len(), 3);
+        // A second report accumulates a second cause on the same epoch.
+        trace.apply_ingest_report(&report);
+        let (_, causes) = trace.degraded_epochs().next().unwrap();
+        assert_eq!(causes.len(), 2);
     }
 
     /// Regression: statuses used to be keyed by slice position, so a trace
@@ -555,7 +572,13 @@ mod tests {
         report.per_epoch_bad.insert(7, 3);
         trace.apply_ingest_report(&report);
         let degraded: Vec<_> = trace.degraded_epochs().collect();
-        assert_eq!(degraded, vec![(EpochId(7), 3)]);
+        assert_eq!(
+            degraded,
+            vec![(
+                EpochId(7),
+                &[DegradeCause::QuarantinedLines { lines: 3 }][..]
+            )]
+        );
         // epoch_outcomes carries the same real ids into the run report.
         let outcome_epochs: Vec<u32> = trace.epoch_outcomes().iter().map(|o| o.epoch()).collect();
         assert_eq!(outcome_epochs, vec![5, 6, 7, 8]);

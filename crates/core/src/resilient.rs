@@ -1,0 +1,471 @@
+//! The resilient analysis driver: [`analyze_dataset`] with epoch-granular
+//! checkpointing, soft stage deadlines, and the memory-budget degradation
+//! ladder from `vqlens-resilience`.
+//!
+//! [`analyze_dataset_resilient`] is a superset of
+//! [`analyze_dataset`](crate::pipeline::analyze_dataset): with default
+//! [`ResilienceOptions`] it computes exactly the same trace. Each option
+//! adds one bounded behavior:
+//!
+//! * **Checkpointing** (`checkpoint_dir`): after each epoch's analysis the
+//!   result is persisted atomically (write-temp-then-rename) into the
+//!   directory, keyed by a manifest of input/config fingerprints. A rerun
+//!   over the same input and config resumes — completed epochs load from
+//!   disk and only the missing ones are computed; any mismatch wipes the
+//!   stale files first, so a changed config can never smuggle old results
+//!   into a new run.
+//! * **Deadlines** (`deadlines.epoch_soft_ms`): each epoch's analysis is
+//!   timed against the soft budget; a breach marks the epoch
+//!   `Degraded(TimedOut)` and the run continues (the stages are CPU-bound
+//!   with no cancellation points — see `vqlens-resilience`'s deadline
+//!   module for why hard cancellation is the wrong tool here).
+//! * **Memory budget** (`max_mem_bytes`): an upper-envelope estimate of
+//!   the run's footprint is compared to the budget and, when over, the
+//!   degradation ladder steps down (drop optional analyses → raise the
+//!   prune floor → sample sessions), every step recorded in the run
+//!   report's `ladder` array and sampled epochs marked
+//!   `Degraded(Sampled)`.
+//!
+//! Failed (panicked) epochs are never checkpointed, so a resume retries
+//! them. Checkpoints are saved *before* any ingest report is applied, so
+//! persisted statuses carry only `TimedOut`/`Sampled` causes; quarantine
+//! causes are re-derived by the resuming run's own ingest.
+
+use crate::config::AnalyzerConfig;
+use crate::pipeline::{
+    parallel_indexed_caught, record_degrade, DegradeCause, EpochStatus, TraceAnalysis,
+};
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_model::dataset::Dataset;
+use vqlens_model::epoch::EpochId;
+use vqlens_obs as obs;
+use vqlens_resilience::{
+    fingerprint_dataset, fingerprint_json, watch, CheckpointStore, EpochCheckpoint, LadderStep,
+    Manifest, StageDeadlines,
+};
+
+/// Knobs of a resilient run. The default — no checkpoint directory, no
+/// deadlines, no memory budget — reproduces plain
+/// [`analyze_dataset`](crate::pipeline::analyze_dataset) exactly.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceOptions {
+    /// Checkpoint directory: save each completed epoch here and resume
+    /// from whatever valid epochs the directory already holds.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Soft wall-clock deadlines.
+    pub deadlines: StageDeadlines,
+    /// Byte budget for the run's estimated memory envelope; exceeding it
+    /// walks the degradation ladder.
+    pub max_mem_bytes: Option<u64>,
+}
+
+/// What the resilient driver did beyond the analysis itself.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeSummary {
+    /// Epochs loaded from valid checkpoints instead of being recomputed.
+    pub resumed_epochs: usize,
+    /// Epochs computed (and, with a checkpoint directory, saved) this run.
+    pub computed_epochs: usize,
+    /// Degradation-ladder steps applied, in order; empty when the run fit
+    /// its budget (or had none).
+    pub ladder: Vec<LadderStep>,
+}
+
+impl ResumeSummary {
+    /// True when the ladder dropped the optional trailing analyses
+    /// (drill-down, what-if); callers honor this by skipping them.
+    pub fn drop_optional(&self) -> bool {
+        self.ladder
+            .iter()
+            .any(|s| matches!(s, LadderStep::DropOptionalAnalyses))
+    }
+
+    /// The session-sampling stride applied by the ladder, if any.
+    pub fn sample_stride(&self) -> Option<u32> {
+        self.ladder.iter().find_map(|s| match s {
+            LadderStep::SampleSessions { keep_1_in } => Some(*keep_1_in),
+            _ => None,
+        })
+    }
+}
+
+/// Analyze a dataset with checkpoint/resume, soft deadlines, and a memory
+/// budget (see the module docs). Returns the trace plus a summary of the
+/// resilience machinery's actions. The trace's `config` is the *effective*
+/// configuration — the ladder may have raised the significance floor.
+///
+/// The dataset is `&mut` because the ladder's last rung thins sessions in
+/// place; without `max_mem_bytes` (or within budget) it is never touched.
+///
+/// Errors only on checkpoint-directory I/O failures: an unreadable or
+/// unwritable checkpoint directory defeats the durability the caller
+/// asked for, so it fails loudly instead of degrading silently.
+pub fn analyze_dataset_resilient(
+    dataset: &mut Dataset,
+    config: &AnalyzerConfig,
+    opts: &ResilienceOptions,
+) -> io::Result<(TraceAnalysis, ResumeSummary)> {
+    let mut effective = *config;
+    let n = dataset.num_epochs();
+    let concurrency = effective.effective_threads().min(n.max(1) as usize);
+
+    // Rung by rung: each step's saving was already modeled by the planner,
+    // so applying them in order lands the run inside (or best-effort near)
+    // the budget.
+    let mut ladder = Vec::new();
+    let mut sample_causes: HashMap<u32, DegradeCause> = HashMap::new();
+    if let Some(max_bytes) = opts.max_mem_bytes {
+        let est = vqlens_resilience::estimate(dataset, concurrency);
+        ladder =
+            vqlens_resilience::plan_ladder(&est, max_bytes, effective.significance.min_sessions);
+        for step in &ladder {
+            obs::global().record_ladder_step(&step.label());
+            match *step {
+                LadderStep::DropOptionalAnalyses => {}
+                LadderStep::RaisePruneFloor { to, .. } => {
+                    effective.significance.min_sessions = to;
+                }
+                LadderStep::SampleSessions { keep_1_in } => {
+                    for (epoch, cause) in vqlens_resilience::apply_sampling(dataset, keep_1_in) {
+                        sample_causes.insert(epoch.0, cause);
+                    }
+                }
+            }
+        }
+    }
+    let dataset = &*dataset;
+
+    // The manifest fingerprints the *effective* post-ladder state: stride
+    // sampling is deterministic, so a rerun with the same budget samples
+    // identically and the fingerprints line up. Thread count is zeroed —
+    // results are thread-count invariant.
+    let mut hashed = effective;
+    hashed.threads = 0;
+    let manifest = Manifest::new(fingerprint_json(&hashed), fingerprint_dataset(dataset), n);
+    let (store, resumed) = match &opts.checkpoint_dir {
+        Some(dir) => {
+            let (store, resumed) = CheckpointStore::open(dir, manifest)?;
+            (Some(store), resumed)
+        }
+        None => (None, Vec::new()),
+    };
+    let mut done: HashMap<u32, EpochCheckpoint> =
+        resumed.into_iter().map(|cp| (cp.epoch, cp)).collect();
+    let resumed_epochs = done.len();
+
+    let pending: Vec<u32> = (0..n).filter(|e| !done.contains_key(e)).collect();
+    let intra = if pending.is_empty() {
+        1
+    } else {
+        (effective.effective_threads() / pending.len()).max(1)
+    };
+    let budget_ms = opts.deadlines.epoch_soft_ms;
+    let store_ref = store.as_ref();
+    let results = {
+        let _span = obs::global().span(obs::Stage::TraceAnalysis);
+        let pending = &pending;
+        let sample_causes = &sample_causes;
+        parallel_indexed_caught(
+            pending.len() as u32,
+            effective.effective_threads(),
+            move |i| {
+                let epoch = EpochId(pending[i as usize]);
+                let _obs = obs::global().span_epoch(obs::Stage::EpochAnalysis, epoch.0);
+                let (analysis, breach) = watch(budget_ms, || {
+                    EpochAnalysis::compute_with_threads(
+                        epoch,
+                        dataset.epoch(epoch),
+                        &effective.thresholds,
+                        &effective.significance,
+                        &effective.critical,
+                        intra,
+                    )
+                });
+                let mut status = EpochStatus::Ok;
+                if let Some(cause) = sample_causes.get(&epoch.0) {
+                    record_degrade(&mut status, cause.clone());
+                }
+                if let Some(b) = breach {
+                    record_degrade(
+                        &mut status,
+                        DegradeCause::TimedOut {
+                            elapsed_ms: b.elapsed_ms,
+                            budget_ms: b.budget_ms,
+                        },
+                    );
+                }
+                // Persist from the worker so a kill mid-run loses at most
+                // the epochs still in flight. I/O errors are carried back
+                // as strings (WorkerPanic owns the Err slot).
+                let save_error = store_ref.and_then(|s| {
+                    s.save_epoch(&EpochCheckpoint {
+                        epoch: epoch.0,
+                        status: status.clone(),
+                        analysis: analysis.clone(),
+                    })
+                    .err()
+                    .map(|e| e.to_string())
+                });
+                (analysis, status, save_error)
+            },
+        )
+    };
+
+    let rec = obs::global();
+    let mut computed = results.into_iter();
+    let mut first_save_error: Option<String> = None;
+    let mut epochs = Vec::with_capacity(n as usize);
+    let mut statuses = Vec::with_capacity(n as usize);
+    for e in 0..n {
+        let id = EpochId(e);
+        if let Some(cp) = done.remove(&e) {
+            // A resumed degraded epoch is degraded in this run's results
+            // too, so it counts toward this run's degraded-epoch tally.
+            if matches!(cp.status, EpochStatus::Degraded { .. }) {
+                rec.incr(obs::Counter::EpochsDegraded);
+            }
+            debug_assert_eq!(cp.analysis.epoch, id);
+            epochs.push(cp.analysis);
+            statuses.push((id, cp.status));
+            continue;
+        }
+        match computed.next().expect("one result per pending epoch") {
+            Ok((analysis, status, save_error)) => {
+                rec.incr(obs::Counter::EpochsAnalyzed);
+                if let Some(msg) = save_error {
+                    first_save_error.get_or_insert(msg);
+                }
+                debug_assert_eq!(analysis.epoch, id);
+                epochs.push(analysis);
+                statuses.push((id, status));
+            }
+            Err(panic) => {
+                rec.incr(obs::Counter::EpochsFailed);
+                statuses.push((
+                    id,
+                    EpochStatus::Failed {
+                        reason: panic.message,
+                    },
+                ));
+            }
+        }
+    }
+    if let Some(msg) = first_save_error {
+        return Err(io::Error::other(format!("checkpoint write failed: {msg}")));
+    }
+
+    let summary = ResumeSummary {
+        resumed_epochs,
+        computed_epochs: pending.len(),
+        ladder,
+    };
+    Ok((
+        TraceAnalysis::from_parts(effective, epochs, statuses),
+        summary,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze_dataset, generate_parallel};
+    use std::fs;
+    use std::path::Path;
+    use vqlens_model::metric::Metric;
+    use vqlens_synth::scenario::Scenario;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vqlens-resilient-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn smoke() -> (Dataset, AnalyzerConfig) {
+        let scenario = Scenario::smoke();
+        let out = generate_parallel(&scenario, 0);
+        let mut config = AnalyzerConfig::for_scenario(&scenario);
+        config.threads = 2;
+        (out.dataset, config)
+    }
+
+    fn cluster_keys(trace: &TraceAnalysis) -> Vec<(u32, Vec<u64>)> {
+        trace
+            .epochs()
+            .iter()
+            .map(|a| {
+                let mut keys: Vec<u64> = a
+                    .metric(Metric::BufRatio)
+                    .critical
+                    .clusters
+                    .keys()
+                    .map(|k| k.0)
+                    .collect();
+                keys.sort_unstable();
+                (a.epoch.0, keys)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn default_options_match_plain_analyze() {
+        let (dataset, config) = smoke();
+        let baseline = analyze_dataset(&dataset, &config);
+        let mut ds = dataset.clone();
+        let (trace, summary) =
+            analyze_dataset_resilient(&mut ds, &config, &ResilienceOptions::default()).unwrap();
+        assert_eq!(summary.resumed_epochs, 0);
+        assert_eq!(summary.computed_epochs, baseline.num_input_epochs());
+        assert!(summary.ladder.is_empty());
+        assert!(trace.is_complete());
+        assert_eq!(cluster_keys(&trace), cluster_keys(&baseline));
+        assert_eq!(trace.total_sessions(), baseline.total_sessions());
+    }
+
+    #[test]
+    fn interrupted_run_resumes_and_matches_uninterrupted() {
+        let (dataset, config) = smoke();
+        let dir = scratch_dir("resume");
+        let baseline = analyze_dataset(&dataset, &config);
+        let opts = ResilienceOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..ResilienceOptions::default()
+        };
+
+        // Full checkpointed run, then simulate a crash that lost the last
+        // few epochs' checkpoints.
+        let (_, summary) = analyze_dataset_resilient(&mut dataset.clone(), &config, &opts).unwrap();
+        assert_eq!(summary.computed_epochs, baseline.num_input_epochs());
+        let mut names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("epoch-"))
+            .collect();
+        names.sort();
+        let lost = names.split_off(names.len() - 2);
+        for name in &lost {
+            fs::remove_file(dir.join(name)).unwrap();
+        }
+
+        let (resumed, summary) =
+            analyze_dataset_resilient(&mut dataset.clone(), &config, &opts).unwrap();
+        assert_eq!(summary.resumed_epochs, names.len());
+        assert_eq!(summary.computed_epochs, lost.len());
+        assert!(resumed.is_complete());
+        assert_eq!(cluster_keys(&resumed), cluster_keys(&baseline));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn changed_config_invalidates_checkpoints() {
+        let (dataset, config) = smoke();
+        let dir = scratch_dir("invalidate");
+        let opts = ResilienceOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..ResilienceOptions::default()
+        };
+        analyze_dataset_resilient(&mut dataset.clone(), &config, &opts).unwrap();
+
+        let mut changed = config;
+        changed.significance.min_sessions += 1;
+        let (_, summary) =
+            analyze_dataset_resilient(&mut dataset.clone(), &changed, &opts).unwrap();
+        assert_eq!(
+            summary.resumed_epochs, 0,
+            "stale checkpoints must not resume"
+        );
+        assert_eq!(summary.computed_epochs, dataset.num_epochs() as usize);
+
+        // A different thread count, however, resumes fine.
+        let mut threads_only = config;
+        threads_only.threads = 7;
+        analyze_dataset_resilient(&mut dataset.clone(), &config, &opts).unwrap();
+        let (_, summary) =
+            analyze_dataset_resilient(&mut dataset.clone(), &threads_only, &opts).unwrap();
+        assert_eq!(summary.resumed_epochs, dataset.num_epochs() as usize);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_memory_budget_walks_the_full_ladder() {
+        let (dataset, config) = smoke();
+        let mut ds = dataset.clone();
+        let opts = ResilienceOptions {
+            max_mem_bytes: Some(1), // impossible: every rung fires
+            ..ResilienceOptions::default()
+        };
+        let (trace, summary) = analyze_dataset_resilient(&mut ds, &config, &opts).unwrap();
+        assert!(summary.drop_optional());
+        let stride = summary.sample_stride().expect("sampling rung reached");
+        assert!(stride >= 2);
+        assert!(
+            trace.config.significance.min_sessions > config.significance.min_sessions,
+            "prune floor was raised"
+        );
+        // Sampled epochs carry the cause with real counts.
+        let degraded: Vec<_> = trace.degraded_epochs().collect();
+        assert!(!degraded.is_empty());
+        for (epoch, causes) in degraded {
+            let full = dataset.epoch(epoch).len() as u64;
+            assert!(causes.iter().any(|c| matches!(
+                c,
+                DegradeCause::Sampled { kept, of }
+                    if *of == full && *kept < *of
+            )));
+        }
+        assert!(ds.num_sessions() < dataset.num_sessions());
+    }
+
+    #[test]
+    fn generous_budgets_change_nothing() {
+        let (dataset, config) = smoke();
+        let mut ds = dataset.clone();
+        let opts = ResilienceOptions {
+            deadlines: StageDeadlines {
+                epoch_soft_ms: Some(u64::MAX),
+                optional_soft_ms: None,
+            },
+            max_mem_bytes: Some(u64::MAX),
+            ..ResilienceOptions::default()
+        };
+        let (trace, summary) = analyze_dataset_resilient(&mut ds, &config, &opts).unwrap();
+        assert!(summary.ladder.is_empty());
+        assert!(trace.is_complete(), "no breach, no sampling, no causes");
+        assert_eq!(ds.num_sessions(), dataset.num_sessions());
+    }
+
+    #[test]
+    fn torn_checkpoint_is_recomputed_on_resume() {
+        let (dataset, config) = smoke();
+        let dir = scratch_dir("torn");
+        let opts = ResilienceOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..ResilienceOptions::default()
+        };
+        let baseline = analyze_dataset(&dataset, &config);
+        analyze_dataset_resilient(&mut dataset.clone(), &config, &opts).unwrap();
+        // Tear the first epoch file in half, as a crashed machine might.
+        let torn = first_epoch_file(&dir);
+        let bytes = fs::read(&torn).unwrap();
+        fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (resumed, summary) =
+            analyze_dataset_resilient(&mut dataset.clone(), &config, &opts).unwrap();
+        assert_eq!(summary.computed_epochs, 1, "only the torn epoch recomputes");
+        assert_eq!(cluster_keys(&resumed), cluster_keys(&baseline));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn first_epoch_file(dir: &Path) -> PathBuf {
+        let mut names: Vec<String> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("epoch-"))
+            .collect();
+        names.sort();
+        dir.join(&names[0])
+    }
+}

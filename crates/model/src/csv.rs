@@ -499,6 +499,9 @@ pub fn read_csv_opts<R: BufRead>(
         }
     }
     if let ReadMode::Lenient { max_bad_ratio } = options.mode {
+        // Strictly greater-than: the budget is INCLUSIVE, so a trace with
+        // bad_lines == max_bad_ratio * data_lines (exactly on budget) is
+        // accepted. A regression test pins this boundary.
         if report.bad_lines as f64 > max_bad_ratio * report.data_lines as f64 {
             return Err(CsvError::TooManyBadLines {
                 report,
@@ -745,6 +748,40 @@ mod tests {
             }
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn lenient_budget_boundary_is_inclusive() {
+        // 4 data lines, 1 bad: bad_ratio is exactly 0.25. The budget is
+        // inclusive — exactly on budget must be ACCEPTED (the check is
+        // strictly greater-than), and the tiniest budget below it must
+        // reject. This pins the boundary so a future `>=` regression or a
+        // ratio-vs-count rewrite can't silently move it.
+        let input = format!(
+            "{CSV_HEADER}\n\
+             0,a,b,c,VoD,p,w,Cable,0,100,1.0,0.0,500\n\
+             0,a,b,c,VoD,p,w,Cable,0,100,1.5,0.0,500\n\
+             garbage\n\
+             1,a,b,c,VoD,p,w,Cable,0,100,2.0,0.0,600\n"
+        );
+        let (ds, report) = read_csv_opts(
+            BufReader::new(input.as_bytes()),
+            &ReadOptions::lenient(0.25),
+            None,
+        )
+        .expect("exactly-on-budget ingest is accepted");
+        assert_eq!(report.data_lines, 4);
+        assert_eq!(report.bad_lines, 1);
+        assert!((report.bad_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(ds.num_sessions(), 3);
+
+        let err = read_csv_opts(
+            BufReader::new(input.as_bytes()),
+            &ReadOptions::lenient(0.2499),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsvError::TooManyBadLines { .. }));
     }
 
     #[test]

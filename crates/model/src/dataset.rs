@@ -254,6 +254,24 @@ impl Dataset {
         self.epochs[idx] = data;
     }
 
+    /// Replace one epoch's sessions wholesale even when already
+    /// populated, returning the previous data. This is the
+    /// memory-pressure seam: the resilience layer's session sampler swaps
+    /// a thinned epoch in for the original.
+    ///
+    /// # Panics
+    /// Panics when the epoch is outside the trace.
+    pub fn replace_epoch(&mut self, epoch: EpochId, data: EpochData) -> EpochData {
+        let idx = epoch.0 as usize;
+        assert!(
+            idx < self.epochs.len(),
+            "epoch {} outside trace of {} epochs",
+            epoch.0,
+            self.epochs.len()
+        );
+        std::mem::replace(&mut self.epochs[idx], data)
+    }
+
     /// Iterate `(epoch, data)` pairs.
     pub fn iter_epochs(&self) -> impl Iterator<Item = (EpochId, &EpochData)> {
         self.epochs

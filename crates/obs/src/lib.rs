@@ -56,4 +56,4 @@ pub mod recorder;
 pub mod report;
 
 pub use recorder::{global, Counter, Recorder, Span, Stage};
-pub use report::{EpochOutcome, RunReport, StageStats};
+pub use report::{DegradeCause, EpochOutcome, RunReport, StageStats};

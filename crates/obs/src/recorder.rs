@@ -53,11 +53,14 @@ pub enum Stage {
     WhatIf = 11,
     /// Paper-invariant oracle sweep (`vqlens_check`), trace-scoped.
     Check = 12,
+    /// Checkpoint store open/load (trace-scoped) and per-epoch checkpoint
+    /// writes (epoch-scoped) of a resumable run (`vqlens_resilience`).
+    Checkpoint = 13,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -74,6 +77,7 @@ impl Stage {
         Stage::DrillDown,
         Stage::WhatIf,
         Stage::Check,
+        Stage::Checkpoint,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -92,6 +96,7 @@ impl Stage {
             Stage::DrillDown => "drill_down",
             Stage::WhatIf => "what_if",
             Stage::Check => "check",
+            Stage::Checkpoint => "checkpoint",
         }
     }
 }
@@ -158,11 +163,25 @@ pub enum Counter {
     CheckOraclesRun = 24,
     /// Paper-invariant violations found by the checker.
     CheckViolations = 25,
+    /// Epoch analyses persisted to the checkpoint store this run.
+    EpochsCheckpointed = 26,
+    /// Epoch analyses loaded back from the checkpoint store (skipped work).
+    EpochsResumed = 27,
+    /// Checkpoint directories discarded because their manifest no longer
+    /// matched the input slice or analysis parameters.
+    CheckpointsInvalidated = 28,
+    /// Soft stage-deadline breaches (the breaching epoch is marked
+    /// degraded, not aborted).
+    DeadlineBreaches = 29,
+    /// Steps taken down the memory-pressure degradation ladder.
+    MemLadderSteps = 30,
+    /// Sessions dropped by the ladder's per-epoch sampling rung.
+    SessionsSampledOut = 31,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 32;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -192,6 +211,12 @@ impl Counter {
         Counter::CriticalClustersJoinFailure,
         Counter::CheckOraclesRun,
         Counter::CheckViolations,
+        Counter::EpochsCheckpointed,
+        Counter::EpochsResumed,
+        Counter::CheckpointsInvalidated,
+        Counter::DeadlineBreaches,
+        Counter::MemLadderSteps,
+        Counter::SessionsSampledOut,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -223,6 +248,12 @@ impl Counter {
             Counter::CriticalClustersJoinFailure => "critical_clusters_joinfailure",
             Counter::CheckOraclesRun => "check_oracles_run",
             Counter::CheckViolations => "check_violations",
+            Counter::EpochsCheckpointed => "epochs_checkpointed",
+            Counter::EpochsResumed => "epochs_resumed",
+            Counter::CheckpointsInvalidated => "checkpoints_invalidated",
+            Counter::DeadlineBreaches => "deadline_breaches",
+            Counter::MemLadderSteps => "mem_ladder_steps",
+            Counter::SessionsSampledOut => "sessions_sampled_out",
         }
     }
 
@@ -288,6 +319,7 @@ pub struct Recorder {
     counters: [AtomicU64; Counter::COUNT],
     spans: Mutex<Vec<SpanRecord>>,
     epochs: Mutex<Vec<EpochOutcome>>,
+    ladder: Mutex<Vec<String>>,
 }
 
 impl Default for Recorder {
@@ -307,6 +339,7 @@ impl Recorder {
             counters: [ZERO; Counter::COUNT],
             spans: Mutex::new(Vec::new()),
             epochs: Mutex::new(Vec::new()),
+            ladder: Mutex::new(Vec::new()),
         }
     }
 
@@ -332,6 +365,7 @@ impl Recorder {
         }
         lock(&self.spans).clear();
         lock(&self.epochs).clear();
+        lock(&self.ladder).clear();
     }
 
     /// Add `n` to a counter. A no-op when disabled.
@@ -400,6 +434,16 @@ impl Recorder {
         }
     }
 
+    /// Record one memory-pressure degradation-ladder step, in the order it
+    /// was taken, so every step is visible in the JSON run report. Also
+    /// bumps [`Counter::MemLadderSteps`]. A no-op when disabled.
+    pub fn record_ladder_step(&self, label: &str) {
+        if self.is_enabled() {
+            self.counters[Counter::MemLadderSteps as usize].fetch_add(1, Ordering::Relaxed);
+            lock(&self.ladder).push(label.to_owned());
+        }
+    }
+
     /// Snapshot everything recorded so far into a [`RunReport`]. Only
     /// stages with at least one span and counters with non-zero totals
     /// are emitted, so a disabled (or idle) recorder reports empty maps.
@@ -442,6 +486,7 @@ impl Recorder {
             schema_version: RunReport::SCHEMA_VERSION,
             threads: 0,
             total_wall_ms: 0.0,
+            ladder: lock(&self.ladder).clone(),
             stages,
             counters,
             epochs: lock(&self.epochs).clone(),

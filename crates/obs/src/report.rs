@@ -22,6 +22,34 @@ pub struct StageStats {
     pub max_ms: f64,
 }
 
+/// One reason an epoch's analysis was degraded rather than clean,
+/// mirroring the resilience layer's `DegradeCause` without depending on
+/// it (this crate stays dependency-free).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradeCause {
+    /// Lenient ingest quarantined input lines attributed to this epoch.
+    QuarantinedLines {
+        /// Number of quarantined lines.
+        lines: u64,
+    },
+    /// The epoch's analysis breached its soft deadline (it still
+    /// completed; the breach is recorded, not enforced).
+    TimedOut {
+        /// Observed analysis wall time, in milliseconds.
+        elapsed_ms: u64,
+        /// The configured soft budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The memory-budget ladder sampled the epoch's sessions before
+    /// analysis.
+    Sampled {
+        /// Sessions kept after sampling.
+        kept: u64,
+        /// Sessions present before sampling.
+        of: u64,
+    },
+}
+
 /// Outcome of one input epoch, mirroring the pipeline's `EpochStatus`
 /// without depending on `vqlens-core` (which depends on this crate).
 #[derive(Debug, Clone, PartialEq)]
@@ -31,12 +59,13 @@ pub enum EpochOutcome {
         /// Epoch id.
         epoch: u32,
     },
-    /// The epoch analyzed but lost quarantined input lines.
+    /// The epoch analyzed, but under one or more degradations.
     Degraded {
         /// Epoch id.
         epoch: u32,
-        /// Quarantined lines attributed to this epoch.
-        quarantined_lines: u64,
+        /// Every degradation applied to this epoch, in the order the
+        /// pipeline recorded them.
+        causes: Vec<DegradeCause>,
     },
     /// The epoch's analysis worker panicked; it is absent from results.
     Failed {
@@ -69,13 +98,17 @@ impl EpochOutcome {
 /// diff cleanly line-by-line and emit → parse is exact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
-    /// Version of this JSON schema (currently 1).
+    /// Version of this JSON schema (currently 2).
     pub schema_version: u32,
     /// Worker threads the run was configured with (0 when unknown).
     pub threads: usize,
     /// End-to-end wall time of the run as measured by the caller, in
     /// milliseconds (0 when the caller did not measure it).
     pub total_wall_ms: f64,
+    /// Memory-budget degradation-ladder steps taken during the run, as
+    /// human-readable labels in the order they were taken (empty when the
+    /// run stayed within budget or no budget was set).
+    pub ladder: Vec<String>,
     /// Per-stage wall-time aggregates, keyed by stage name; only stages
     /// that recorded at least one span appear.
     pub stages: BTreeMap<String, StageStats>,
@@ -88,12 +121,17 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Current schema version written into new reports.
-    pub const SCHEMA_VERSION: u32 = 1;
+    /// Current schema version written into new reports. v2 added the
+    /// `ladder` array and replaced the degraded epochs' flat
+    /// `quarantined_lines` field with a `causes` array.
+    pub const SCHEMA_VERSION: u32 = 2;
 
     /// True when nothing was recorded (the disabled-recorder shape).
     pub fn is_empty(&self) -> bool {
-        self.stages.is_empty() && self.counters.is_empty() && self.epochs.is_empty()
+        self.stages.is_empty()
+            && self.counters.is_empty()
+            && self.epochs.is_empty()
+            && self.ladder.is_empty()
     }
 
     /// Number of epochs that failed analysis.
@@ -104,7 +142,8 @@ impl RunReport {
             .count()
     }
 
-    /// Number of epochs degraded by quarantined ingest lines.
+    /// Number of epochs degraded (any cause: quarantined ingest lines,
+    /// soft-deadline breaches, memory-budget sampling).
     pub fn degraded_epochs(&self) -> usize {
         self.epochs
             .iter()
@@ -122,6 +161,17 @@ impl RunReport {
         out.push_str("  \"total_wall_ms\": ");
         json::write_f64(&mut out, self.total_wall_ms);
         out.push_str(",\n");
+
+        out.push_str("  \"ladder\": [");
+        for (i, step) in self.ladder.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::write_escaped(&mut out, step);
+        }
+        out.push_str(if self.ladder.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
 
         out.push_str("  \"stages\": {");
         for (i, (name, s)) in self.stages.iter().enumerate() {
@@ -170,15 +220,33 @@ impl RunReport {
                     out.push_str("      \"status\": \"ok\",\n");
                     out.push_str(&format!("      \"epoch\": {epoch}\n"));
                 }
-                EpochOutcome::Degraded {
-                    epoch,
-                    quarantined_lines,
-                } => {
+                EpochOutcome::Degraded { epoch, causes } => {
                     out.push_str("      \"status\": \"degraded\",\n");
                     out.push_str(&format!("      \"epoch\": {epoch},\n"));
-                    out.push_str(&format!(
-                        "      \"quarantined_lines\": {quarantined_lines}\n"
-                    ));
+                    out.push_str("      \"causes\": [");
+                    for (j, cause) in causes.iter().enumerate() {
+                        out.push_str(if j == 0 { "\n        " } else { ",\n        " });
+                        match cause {
+                            DegradeCause::QuarantinedLines { lines } => out.push_str(&format!(
+                                "{{\"kind\": \"quarantined_lines\", \"lines\": {lines}}}"
+                            )),
+                            DegradeCause::TimedOut {
+                                elapsed_ms,
+                                budget_ms,
+                            } => out.push_str(&format!(
+                                "{{\"kind\": \"timed_out\", \"elapsed_ms\": {elapsed_ms}, \
+                                 \"budget_ms\": {budget_ms}}}"
+                            )),
+                            DegradeCause::Sampled { kept, of } => out.push_str(&format!(
+                                "{{\"kind\": \"sampled\", \"kept\": {kept}, \"of\": {of}}}"
+                            )),
+                        }
+                    }
+                    out.push_str(if causes.is_empty() {
+                        "]\n"
+                    } else {
+                        "\n      ]\n"
+                    });
                 }
                 EpochOutcome::Failed { epoch, reason } => {
                     out.push_str("      \"status\": \"failed\",\n");
@@ -258,10 +326,45 @@ impl RunReport {
                         .ok_or_else(|| "missing epoch \"status\"".to_owned())?;
                     epochs.push(match status {
                         "ok" => EpochOutcome::Ok { epoch },
-                        "degraded" => EpochOutcome::Degraded {
-                            epoch,
-                            quarantined_lines: get_u64(item, "quarantined_lines")?,
-                        },
+                        "degraded" => {
+                            let mut causes = Vec::new();
+                            match item.get("causes") {
+                                Some(Value::Array(list)) => {
+                                    for c in list {
+                                        let kind = c
+                                            .get("kind")
+                                            .and_then(Value::as_str)
+                                            .ok_or_else(|| "missing cause \"kind\"".to_owned())?;
+                                        causes.push(match kind {
+                                            "quarantined_lines" => DegradeCause::QuarantinedLines {
+                                                lines: get_u64(c, "lines")?,
+                                            },
+                                            "timed_out" => DegradeCause::TimedOut {
+                                                elapsed_ms: get_u64(c, "elapsed_ms")?,
+                                                budget_ms: get_u64(c, "budget_ms")?,
+                                            },
+                                            "sampled" => DegradeCause::Sampled {
+                                                kept: get_u64(c, "kept")?,
+                                                of: get_u64(c, "of")?,
+                                            },
+                                            other => {
+                                                return Err(format!(
+                                                    "unknown degrade cause {other:?}"
+                                                ))
+                                            }
+                                        });
+                                    }
+                                }
+                                // Schema v1 reports carried a flat
+                                // `quarantined_lines` field instead.
+                                _ => {
+                                    causes.push(DegradeCause::QuarantinedLines {
+                                        lines: get_u64(item, "quarantined_lines")?,
+                                    });
+                                }
+                            }
+                            EpochOutcome::Degraded { epoch, causes }
+                        }
                         "failed" => EpochOutcome::Failed {
                             epoch,
                             reason: item
@@ -277,10 +380,23 @@ impl RunReport {
             _ => return Err("missing or non-array field \"epochs\"".to_owned()),
         }
 
+        // Absent in schema v1 reports; tolerate that as "no steps taken".
+        let mut ladder = Vec::new();
+        if let Some(Value::Array(steps)) = root.get("ladder") {
+            for step in steps {
+                ladder.push(
+                    step.as_str()
+                        .ok_or_else(|| "non-string ladder step".to_owned())?
+                        .to_owned(),
+                );
+            }
+        }
+
         Ok(RunReport {
             schema_version: get_u64(&root, "schema_version")? as u32,
             threads: get_u64(&root, "threads")? as usize,
             total_wall_ms: get_f64(&root, "total_wall_ms")?,
+            ladder,
             stages,
             counters,
             epochs,
@@ -314,6 +430,12 @@ impl fmt::Display for RunReport {
         for (name, v) in &self.counters {
             writeln!(f, "  {name:<30} {v}")?;
         }
+        if !self.ladder.is_empty() {
+            writeln!(f, "  degradation ladder:")?;
+            for step in &self.ladder {
+                writeln!(f, "    - {step}")?;
+            }
+        }
         if !self.epochs.is_empty() {
             writeln!(
                 f,
@@ -336,6 +458,10 @@ mod tests {
             schema_version: RunReport::SCHEMA_VERSION,
             threads: 4,
             total_wall_ms: 12.5,
+            ladder: vec![
+                "drop optional analyses".to_owned(),
+                "sample sessions 1-in-2".to_owned(),
+            ],
             stages: BTreeMap::from([(
                 "cube_build".to_owned(),
                 StageStats {
@@ -351,7 +477,14 @@ mod tests {
                 EpochOutcome::Ok { epoch: 0 },
                 EpochOutcome::Degraded {
                     epoch: 1,
-                    quarantined_lines: 3,
+                    causes: vec![
+                        DegradeCause::QuarantinedLines { lines: 3 },
+                        DegradeCause::TimedOut {
+                            elapsed_ms: 120,
+                            budget_ms: 100,
+                        },
+                        DegradeCause::Sampled { kept: 50, of: 100 },
+                    ],
                 },
                 EpochOutcome::Failed {
                     epoch: 2,
@@ -379,6 +512,7 @@ mod tests {
             schema_version: RunReport::SCHEMA_VERSION,
             threads: 0,
             total_wall_ms: 0.0,
+            ladder: Vec::new(),
             stages: BTreeMap::new(),
             counters: BTreeMap::new(),
             epochs: Vec::new(),
@@ -387,7 +521,26 @@ mod tests {
         let json = report.to_json_pretty();
         assert!(json.contains("\"stages\": {}"));
         assert!(json.contains("\"epochs\": []"));
+        assert!(json.contains("\"ladder\": []"));
         assert_eq!(RunReport::from_json(&json).expect("parses"), report);
+    }
+
+    #[test]
+    fn v1_degraded_epochs_and_missing_ladder_still_parse() {
+        let v1 = r#"{
+            "schema_version": 1, "threads": 2, "total_wall_ms": 1.0,
+            "stages": {}, "counters": {},
+            "epochs": [{"status": "degraded", "epoch": 7, "quarantined_lines": 9}]
+        }"#;
+        let report = RunReport::from_json(v1).expect("parses v1 shape");
+        assert!(report.ladder.is_empty());
+        assert_eq!(
+            report.epochs,
+            vec![EpochOutcome::Degraded {
+                epoch: 7,
+                causes: vec![DegradeCause::QuarantinedLines { lines: 9 }],
+            }]
+        );
     }
 
     #[test]
@@ -411,6 +564,18 @@ mod tests {
         let text = sample().to_string();
         assert!(text.contains("cube_build"));
         assert!(text.contains("cube_entries"));
+        assert!(text.contains("degradation ladder:"));
+        assert!(text.contains("sample sessions 1-in-2"));
         assert!(text.contains("epochs: 3 total, 1 degraded, 1 failed"));
+    }
+
+    #[test]
+    fn degrade_causes_serialize_by_kind() {
+        let json = sample().to_json_pretty();
+        assert!(json.contains("\"kind\": \"quarantined_lines\""));
+        assert!(json.contains("\"kind\": \"timed_out\""));
+        assert!(json.contains("\"kind\": \"sampled\""));
+        assert!(json.contains("\"ladder\": [\n    \"drop optional analyses\""));
+        assert!(RunReport::from_json(&json).expect("parses").eq(&sample()));
     }
 }

@@ -6,7 +6,7 @@
 //! (the assertion message prints the new serialization), and update the
 //! docs in the same commit.
 
-use vqlens_obs::{Counter, EpochOutcome, Recorder, Stage};
+use vqlens_obs::{Counter, DegradeCause, EpochOutcome, Recorder, Stage};
 
 #[test]
 fn run_report_json_matches_golden_file() {
@@ -23,6 +23,7 @@ fn run_report_json_matches_golden_file() {
     }
     rec.record_span_nanos(Stage::TraceAnalysis, None, 15_000_000);
     rec.record_span_nanos(Stage::Prevalence, None, 1_000_000);
+    rec.record_span_nanos(Stage::Checkpoint, Some(1), 500_000);
 
     rec.add(Counter::SessionsIngested, 3600);
     rec.add(Counter::LinesQuarantined, 4);
@@ -36,12 +37,29 @@ fn run_report_json_matches_golden_file() {
     rec.add(Counter::CubeEntriesArity7, 900);
     rec.add(Counter::ProblemClustersBufRatio, 17);
     rec.add(Counter::CriticalClustersBufRatio, 3);
+    rec.add(Counter::EpochsCheckpointed, 2);
+    rec.add(Counter::EpochsResumed, 1);
+    rec.add(Counter::DeadlineBreaches, 1);
+    rec.add(Counter::SessionsSampledOut, 600);
+
+    rec.record_ladder_step("drop optional analyses");
+    rec.record_ladder_step("sample sessions 1-in-2");
 
     rec.record_epochs([
         EpochOutcome::Ok { epoch: 0 },
         EpochOutcome::Degraded {
             epoch: 1,
-            quarantined_lines: 4,
+            causes: vec![
+                DegradeCause::QuarantinedLines { lines: 4 },
+                DegradeCause::TimedOut {
+                    elapsed_ms: 12,
+                    budget_ms: 10,
+                },
+                DegradeCause::Sampled {
+                    kept: 600,
+                    of: 1200,
+                },
+            ],
         },
         EpochOutcome::Failed {
             epoch: 2,

@@ -1,0 +1,155 @@
+//! Crash-safe file writes: write to a temporary sibling, fsync, then
+//! atomically rename over the destination.
+//!
+//! A reader (or a resumed run) therefore only ever observes either the
+//! previous complete file or the new complete file — never a torn
+//! half-write. The checkpoint store and the CLI's dead-letter quarantine
+//! both write through this module.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter so concurrent writers in one process never collide
+/// on a temp name (the pid disambiguates across processes).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_sibling(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".{}.{}.tmp", std::process::id(), seq));
+    path.with_file_name(name)
+}
+
+/// Write `bytes` to `path` atomically: the destination either keeps its
+/// old content or receives all of `bytes`, never a prefix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = AtomicFile::create(path)?;
+    file.write_all(bytes)?;
+    file.commit()
+}
+
+/// An incrementally written file that only appears at its destination on
+/// [`AtomicFile::commit`]. Dropping without committing removes the
+/// temporary, so an unwinding writer leaves no partial file behind (at
+/// worst an orphaned `*.tmp`, which readers ignore).
+#[derive(Debug)]
+pub struct AtomicFile {
+    dest: PathBuf,
+    tmp: PathBuf,
+    // `None` only transiently during commit/drop.
+    file: Option<File>,
+}
+
+impl AtomicFile {
+    /// Open a temporary sibling of `dest` for writing.
+    pub fn create(dest: &Path) -> io::Result<AtomicFile> {
+        let tmp = temp_sibling(dest);
+        let file = File::create(&tmp)?;
+        Ok(AtomicFile {
+            dest: dest.to_path_buf(),
+            tmp,
+            file: Some(file),
+        })
+    }
+
+    /// The final destination path.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// Flush, sync, and atomically rename into place.
+    pub fn commit(mut self) -> io::Result<()> {
+        let file = self.file.take().expect("file present until commit/drop");
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&self.tmp, &self.dest)
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file
+            .as_mut()
+            .expect("file present until commit/drop")
+            .write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file
+            .as_mut()
+            .expect("file present until commit/drop")
+            .flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            // Uncommitted: best-effort cleanup of the temporary.
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// True when a directory entry is one of our in-flight temporaries (a
+/// crashed writer's leftover), which every reader must skip.
+pub fn is_temp_name(name: &str) -> bool {
+    name.ends_with(".tmp")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vqlens-atomicio-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = scratch_dir("replace");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer content");
+        // No temporaries left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| is_temp_name(&e.as_ref().unwrap().file_name().to_string_lossy()))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_writer_leaves_no_partial_destination() {
+        let dir = scratch_dir("drop");
+        let path = dir.join("out.json");
+        {
+            let mut f = AtomicFile::create(&path).unwrap();
+            f.write_all(b"half-").unwrap();
+            // Dropped without commit.
+        }
+        assert!(!path.exists(), "uncommitted write must not appear");
+        let entries: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert!(entries.is_empty(), "temporary must be cleaned up");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temp_names_are_recognizable() {
+        let tmp = temp_sibling(Path::new("/x/epoch-00000001.json"));
+        assert!(is_temp_name(&tmp.file_name().unwrap().to_string_lossy()));
+        assert!(!is_temp_name("epoch-00000001.json"));
+    }
+}

@@ -1,0 +1,334 @@
+//! The epoch-granular checkpoint directory: one JSON file per completed
+//! epoch plus a manifest, all written atomically.
+//!
+//! Layout of a checkpoint directory:
+//!
+//! ```text
+//! <dir>/manifest.json        — schema version + input/config fingerprints
+//! <dir>/epoch-00000000.json  — EpochCheckpoint for epoch 0
+//! <dir>/epoch-00000007.json  — … files are append-only, one per epoch
+//! <dir>/*.tmp                — in-flight writes; readers always skip them
+//! ```
+//!
+//! Invalidation rules (see docs/RESILIENCE.md):
+//! * a missing/unparseable manifest, or one whose fingerprints or epoch
+//!   count differ from the current run, wipes every `epoch-*.json` and
+//!   rewrites the manifest — stale results are never resumed;
+//! * an unparseable or torn epoch file is skipped (and recomputed); a
+//!   crashed writer can only ever leave a `*.tmp`, never a torn
+//!   destination, but defense-in-depth costs one `serde_json` parse.
+
+use crate::atomicio::{self, atomic_write};
+use crate::status::EpochStatus;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_obs as obs;
+
+/// Version of the on-disk checkpoint layout; any incompatible change to
+/// [`Manifest`] or [`EpochCheckpoint`] bumps it and invalidates older
+/// directories wholesale.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Identity of the run a checkpoint directory belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// On-disk layout version ([`CHECKPOINT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Fingerprint of the analysis configuration (thread count zeroed —
+    /// results are thread-count invariant, so rerunning with different
+    /// parallelism must not invalidate checkpoints).
+    pub config_hash: u64,
+    /// Fingerprint of the input dataset slice
+    /// ([`crate::fingerprint::fingerprint_dataset`]).
+    pub input_hash: u64,
+    /// Number of epochs in the input trace.
+    pub num_epochs: u32,
+}
+
+impl Manifest {
+    /// Build the manifest for a run.
+    pub fn new(config_hash: u64, input_hash: u64, num_epochs: u32) -> Manifest {
+        Manifest {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            config_hash,
+            input_hash,
+            num_epochs,
+        }
+    }
+}
+
+/// One completed epoch as persisted to disk: the analysis results plus
+/// the status they were computed under (`Sampled`/`TimedOut` causes
+/// survive a resume; quarantine causes are re-derived from the ingest
+/// report of the resuming run).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochCheckpoint {
+    /// The real epoch id.
+    pub epoch: u32,
+    /// Status at completion time (never `Failed` — failed epochs are not
+    /// checkpointed, so a resume retries them).
+    pub status: EpochStatus,
+    /// The epoch's full analysis summary.
+    pub analysis: EpochAnalysis,
+}
+
+/// An open checkpoint directory, ready for per-epoch saves.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+fn epoch_file_name(epoch: u32) -> String {
+    format!("epoch-{epoch:08}.json")
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory for the run
+    /// described by `manifest`, returning the store plus every valid
+    /// previously completed epoch.
+    ///
+    /// When the directory's manifest does not match `manifest` — other
+    /// input, other config, other schema — every stale `epoch-*.json` is
+    /// removed (counted as `checkpoints_invalidated`), the manifest is
+    /// rewritten, and no epochs are returned.
+    pub fn open(
+        dir: &Path,
+        manifest: Manifest,
+    ) -> io::Result<(CheckpointStore, Vec<EpochCheckpoint>)> {
+        let rec = obs::global();
+        let _span = rec.span(obs::Stage::Checkpoint);
+        fs::create_dir_all(dir)?;
+        let store = CheckpointStore {
+            dir: dir.to_path_buf(),
+        };
+
+        let existing: Option<Manifest> = fs::read_to_string(store.manifest_path())
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok());
+        if existing != Some(manifest) {
+            let wiped = store.wipe_epoch_files()?;
+            if existing.is_some() && wiped > 0 {
+                rec.add(obs::Counter::CheckpointsInvalidated, wiped);
+            }
+            atomic_write(
+                &store.manifest_path(),
+                serde_json::to_string_pretty(&manifest)
+                    .expect("manifest serializes infallibly")
+                    .as_bytes(),
+            )?;
+            return Ok((store, Vec::new()));
+        }
+
+        let mut loaded = store.load_epochs(manifest.num_epochs)?;
+        loaded.sort_by_key(|cp| cp.epoch);
+        rec.add(obs::Counter::EpochsResumed, loaded.len() as u64);
+        Ok((store, loaded))
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    /// Remove every `epoch-*.json`, returning how many were removed.
+    fn wipe_epoch_files(&self) -> io::Result<u64> {
+        let mut wiped = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("epoch-") && name.ends_with(".json") {
+                fs::remove_file(entry.path())?;
+                wiped += 1;
+            }
+        }
+        Ok(wiped)
+    }
+
+    /// Load every parseable, in-range epoch checkpoint. Torn or
+    /// unparseable files and `*.tmp` leftovers are skipped — the epochs
+    /// they would have covered are simply recomputed.
+    fn load_epochs(&self, num_epochs: u32) -> io::Result<Vec<EpochCheckpoint>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if atomicio::is_temp_name(&name)
+                || !name.starts_with("epoch-")
+                || !name.ends_with(".json")
+            {
+                continue;
+            }
+            let Ok(text) = fs::read_to_string(entry.path()) else {
+                continue;
+            };
+            let Ok(cp) = serde_json::from_str::<EpochCheckpoint>(&text) else {
+                continue;
+            };
+            // The file name is advisory; the payload's epoch id governs.
+            if cp.epoch < num_epochs && cp.analysis.epoch.0 == cp.epoch {
+                out.push(cp);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Persist one completed epoch atomically. Failed epochs must not be
+    /// saved (resume retries them); callers uphold this.
+    pub fn save_epoch(&self, cp: &EpochCheckpoint) -> io::Result<()> {
+        debug_assert!(
+            !matches!(cp.status, EpochStatus::Failed { .. }),
+            "failed epochs are never checkpointed"
+        );
+        let rec = obs::global();
+        let _span = rec.span_epoch(obs::Stage::Checkpoint, cp.epoch);
+        let json = serde_json::to_string(cp).map_err(io::Error::other)?;
+        atomic_write(&self.dir.join(epoch_file_name(cp.epoch)), json.as_bytes())?;
+        rec.incr(obs::Counter::EpochsCheckpointed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::DegradeCause;
+    use vqlens_cluster::critical::CriticalParams;
+    use vqlens_cluster::problem::SignificanceParams;
+    use vqlens_model::attr::SessionAttrs;
+    use vqlens_model::dataset::EpochData;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_model::metric::{QualityMeasurement, Thresholds};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vqlens-checkpoint-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_analysis(epoch: u32) -> EpochAnalysis {
+        let mut d = EpochData::default();
+        d.push(
+            SessionAttrs::new([1, 1, 1, 0, 0, 0, 0]),
+            QualityMeasurement::joined(400, 300.0, 0.0, 2800.0),
+        );
+        EpochAnalysis::compute(
+            EpochId(epoch),
+            &d,
+            &Thresholds::default(),
+            &SignificanceParams::default(),
+            &CriticalParams::default(),
+        )
+    }
+
+    fn checkpoint(epoch: u32) -> EpochCheckpoint {
+        EpochCheckpoint {
+            epoch,
+            status: EpochStatus::Ok,
+            analysis: tiny_analysis(epoch),
+        }
+    }
+
+    #[test]
+    fn save_then_reopen_returns_saved_epochs() {
+        let dir = scratch_dir("roundtrip");
+        let manifest = Manifest::new(11, 22, 5);
+        let (store, loaded) = CheckpointStore::open(&dir, manifest).unwrap();
+        assert!(loaded.is_empty());
+        store.save_epoch(&checkpoint(3)).unwrap();
+        store.save_epoch(&checkpoint(0)).unwrap();
+
+        let (_store, loaded) = CheckpointStore::open(&dir, manifest).unwrap();
+        let epochs: Vec<u32> = loaded.iter().map(|cp| cp.epoch).collect();
+        assert_eq!(epochs, vec![0, 3], "sorted by epoch");
+        assert!(loaded.iter().all(|cp| cp.status.is_ok()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_manifest_invalidates_stale_epochs() {
+        let dir = scratch_dir("invalidate");
+        let (store, _) = CheckpointStore::open(&dir, Manifest::new(11, 22, 5)).unwrap();
+        store.save_epoch(&checkpoint(1)).unwrap();
+
+        // Changed config hash: stale files must be wiped, not resumed.
+        let (_store, loaded) = CheckpointStore::open(&dir, Manifest::new(99, 22, 5)).unwrap();
+        assert!(loaded.is_empty());
+        // And a reopen under the *new* manifest still finds nothing.
+        let (_store, loaded) = CheckpointStore::open(&dir, Manifest::new(99, 22, 5)).unwrap();
+        assert!(loaded.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_foreign_files_are_skipped() {
+        let dir = scratch_dir("torn");
+        let manifest = Manifest::new(1, 2, 8);
+        let (store, _) = CheckpointStore::open(&dir, manifest).unwrap();
+        store.save_epoch(&checkpoint(2)).unwrap();
+        store.save_epoch(&checkpoint(4)).unwrap();
+
+        // Tear epoch 4 in half, drop a crashed writer's tmp and a foreign
+        // file next to it.
+        let torn = dir.join(epoch_file_name(4));
+        let bytes = fs::read(&torn).unwrap();
+        fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+        fs::write(dir.join("epoch-00000005.json.123.0.tmp"), b"{\"partial\":").unwrap();
+        fs::write(dir.join("notes.txt"), b"unrelated").unwrap();
+
+        let (_store, loaded) = CheckpointStore::open(&dir, manifest).unwrap();
+        let epochs: Vec<u32> = loaded.iter().map(|cp| cp.epoch).collect();
+        assert_eq!(epochs, vec![2], "torn epoch 4 recomputes, tmp ignored");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_range_and_mislabeled_payloads_are_rejected() {
+        let dir = scratch_dir("range");
+        let manifest = Manifest::new(1, 2, 3);
+        let (store, _) = CheckpointStore::open(&dir, manifest).unwrap();
+        store.save_epoch(&checkpoint(7)).unwrap(); // beyond num_epochs=3
+        let mislabeled = EpochCheckpoint {
+            epoch: 1,
+            status: EpochStatus::Degraded {
+                causes: vec![DegradeCause::Sampled { kept: 1, of: 2 }],
+            },
+            analysis: tiny_analysis(2), // payload id disagrees
+        };
+        store.save_epoch(&mislabeled).unwrap();
+
+        let (_store, loaded) = CheckpointStore::open(&dir, manifest).unwrap();
+        assert!(loaded.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_serde_preserves_degraded_status() {
+        let cp = EpochCheckpoint {
+            epoch: 6,
+            status: EpochStatus::Degraded {
+                causes: vec![DegradeCause::TimedOut {
+                    elapsed_ms: 40,
+                    budget_ms: 30,
+                }],
+            },
+            analysis: tiny_analysis(6),
+        };
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: EpochCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.epoch, 6);
+        assert_eq!(back.status, cp.status);
+        assert_eq!(
+            serde_json::to_value(&back.analysis).unwrap(),
+            serde_json::to_value(&cp.analysis).unwrap(),
+            "analysis payload survives bit-for-bit at the JSON level"
+        );
+    }
+}

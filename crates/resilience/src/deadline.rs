@@ -1,0 +1,145 @@
+//! Soft stage deadlines: measure a stage against a wall-clock budget and
+//! report the breach instead of aborting the stage.
+//!
+//! Deadlines here are *soft* by design: the per-epoch analysis stages are
+//! CPU-bound pure computations with no await points, so hard cancellation
+//! would mean killing a thread mid-computation (unsafe) or polling inside
+//! the cube inner loops (a hot-path tax on every run). Instead,
+//! [`watch`] times the stage and reports a [`Breach`] when it ran over —
+//! the pipeline marks the epoch `Degraded(TimedOut)` and continues — and
+//! [`Deadline`] gives the *optional* trailing stages (drill-down,
+//! what-if) a cooperative cancellation point so a run that is already
+//! over budget stops starting new optional work.
+
+use std::time::{Duration, Instant};
+use vqlens_obs as obs;
+
+/// Soft deadlines for a resilient run, all in wall-clock milliseconds.
+/// `None` means unbounded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageDeadlines {
+    /// Budget for one epoch's full analysis (cube build → problem
+    /// clusters → critical clusters, all metrics).
+    pub epoch_soft_ms: Option<u64>,
+    /// Budget for the optional trailing stages of a CLI run (drill-down,
+    /// what-if), shared across all of them.
+    pub optional_soft_ms: Option<u64>,
+}
+
+/// A recorded soft-deadline breach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Breach {
+    /// Observed wall time, in milliseconds.
+    pub elapsed_ms: u64,
+    /// The budget that was exceeded, in milliseconds.
+    pub budget_ms: u64,
+}
+
+/// Run `f` under a soft budget. Always runs `f` to completion; returns
+/// its result plus `Some(Breach)` when the elapsed wall time exceeded
+/// `budget_ms` (also counted as `deadline_breaches` in the recorder).
+/// With `budget_ms == None` this is just `f()` with a clock around it.
+pub fn watch<T>(budget_ms: Option<u64>, f: impl FnOnce() -> T) -> (T, Option<Breach>) {
+    let start = Instant::now();
+    let value = f();
+    let breach = budget_ms.and_then(|budget| {
+        let elapsed = duration_ms(start.elapsed());
+        if elapsed > budget {
+            obs::global().incr(obs::Counter::DeadlineBreaches);
+            Some(Breach {
+                elapsed_ms: elapsed,
+                budget_ms: budget,
+            })
+        } else {
+            None
+        }
+    });
+    (value, breach)
+}
+
+fn duration_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+/// A cooperative cancellation point for optional work: started once,
+/// checked before each optional stage.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn unbounded() -> Deadline {
+        Deadline {
+            start: Instant::now(),
+            budget: None,
+        }
+    }
+
+    /// Start a deadline of `budget_ms` milliseconds now (`None` =
+    /// unbounded).
+    pub fn starting_now(budget_ms: Option<u64>) -> Deadline {
+        Deadline {
+            start: Instant::now(),
+            budget: budget_ms.map(Duration::from_millis),
+        }
+    }
+
+    /// True once the budget is spent. Callers skip (not abort) the next
+    /// unit of optional work; each skip is the caller's to record.
+    pub fn expired(&self) -> bool {
+        match self.budget {
+            Some(budget) => self.start.elapsed() >= budget,
+            None => false,
+        }
+    }
+
+    /// Milliseconds since the deadline started.
+    pub fn elapsed_ms(&self) -> u64 {
+        duration_ms(self.start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watch_without_budget_never_breaches() {
+        let (v, breach) = watch(None, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(breach.is_none());
+    }
+
+    #[test]
+    fn watch_reports_breach_but_completes_the_stage() {
+        let (v, breach) = watch(Some(1), || {
+            std::thread::sleep(Duration::from_millis(20));
+            "done"
+        });
+        assert_eq!(v, "done", "soft deadline: the stage still finishes");
+        let breach = breach.expect("20ms of work against a 1ms budget");
+        assert_eq!(breach.budget_ms, 1);
+        assert!(breach.elapsed_ms >= breach.budget_ms);
+    }
+
+    #[test]
+    fn generous_budget_does_not_breach() {
+        let (_, breach) = watch(Some(60_000), || ());
+        assert!(breach.is_none());
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let d = Deadline::unbounded();
+        assert!(!d.expired());
+        let d = Deadline::starting_now(Some(0));
+        assert!(d.expired(), "zero budget expires immediately");
+        let d = Deadline::starting_now(Some(60_000));
+        assert!(!d.expired());
+        // elapsed_ms is monotone from 0.
+        let _ = d.elapsed_ms();
+    }
+}

@@ -1,0 +1,170 @@
+//! Platform-stable content fingerprints for checkpoint-manifest keys.
+//!
+//! A checkpoint is only valid for the exact input slice and analysis
+//! configuration it was computed from, so the manifest stores 64-bit
+//! FNV-1a fingerprints of both. FNV-1a is hand-rolled here (rather than
+//! using `std::hash`) because `DefaultHasher` is explicitly not stable
+//! across releases or platforms — a checkpoint directory must survive a
+//! toolchain upgrade.
+
+use serde::Serialize;
+use std::hash::Hasher;
+use vqlens_model::dataset::Dataset;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a, byte-at-a-time. Deterministic across platforms and
+/// releases; not cryptographic (collisions only risk a stale-checkpoint
+/// false accept, and the config is operator-controlled).
+#[derive(Debug, Clone)]
+pub struct Hasher64 {
+    state: u64,
+}
+
+impl Hasher64 {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Hasher64 {
+        Hasher64 { state: FNV_OFFSET }
+    }
+
+    /// The current digest.
+    pub fn digest(&self) -> u64 {
+        self.state
+    }
+
+    /// Absorb raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a `u32` (little-endian).
+    pub fn update_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorb an `f32` by exact bit pattern.
+    pub fn update_f32(&mut self, v: f32) {
+        self.update_u32(v.to_bits());
+    }
+}
+
+impl Default for Hasher64 {
+    fn default() -> Hasher64 {
+        Hasher64::new()
+    }
+}
+
+impl Hasher for Hasher64 {
+    fn finish(&self) -> u64 {
+        self.digest()
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.update(bytes);
+    }
+}
+
+/// Fingerprint any serializable value via its canonical `serde_json`
+/// encoding (struct fields serialize in declaration order, so the
+/// encoding is deterministic for the config types this is used on).
+pub fn fingerprint_json<T: Serialize>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).expect("config types serialize infallibly");
+    let mut h = Hasher64::new();
+    h.update(json.as_bytes());
+    h.digest()
+}
+
+/// Fingerprint the analysis-relevant content of a dataset: epoch
+/// structure, every session's packed attribute leaf key, and the exact
+/// bit patterns of its quality measurement. Dictionaries are *not*
+/// hashed directly — two ingests of the same CSV intern identical ids in
+/// identical order, and the leaf keys already pin the id assignment.
+pub fn fingerprint_dataset(dataset: &Dataset) -> u64 {
+    let mut h = Hasher64::new();
+    h.update_u32(dataset.num_epochs());
+    for (epoch, data) in dataset.iter_epochs() {
+        h.update_u32(epoch.0);
+        h.update_u64(data.len() as u64);
+        for (attrs, q) in data.iter() {
+            h.update_u64(attrs.leaf_key().0);
+            h.update(&[u8::from(q.join_failed)]);
+            h.update_u32(q.join_time_ms);
+            h.update_f32(q.play_duration_s);
+            h.update_f32(q.buffering_s);
+            h.update_f32(q.avg_bitrate_kbps);
+        }
+    }
+    h.digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::attr::{AttrKey, SessionAttrs};
+    use vqlens_model::dataset::DatasetMeta;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_model::metric::QualityMeasurement;
+    use vqlens_model::session::SessionRecord;
+
+    /// FNV-1a reference vectors (from the original Fowler/Noll/Vo spec).
+    #[test]
+    fn fnv1a_reference_vectors() {
+        let digest = |s: &str| {
+            let mut h = Hasher64::new();
+            h.update(s.as_bytes());
+            h.digest()
+        };
+        assert_eq!(digest(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest("foobar"), 0x85944171f73967e8);
+    }
+
+    fn tiny(seed: u32) -> Dataset {
+        let mut ds = Dataset::new(2, DatasetMeta::default());
+        let asn = ds.intern(AttrKey::Asn, "AS1");
+        let attrs = SessionAttrs::new([asn, 0, 0, 0, 0, 0, 0]);
+        ds.push(SessionRecord::new(
+            EpochId(0),
+            attrs,
+            QualityMeasurement::joined(400 + seed, 300.0, 0.0, 2800.0),
+        ));
+        ds.push(SessionRecord::new(
+            EpochId(1),
+            attrs,
+            QualityMeasurement::failed(),
+        ));
+        ds
+    }
+
+    #[test]
+    fn dataset_fingerprint_is_content_sensitive() {
+        let a = fingerprint_dataset(&tiny(0));
+        let b = fingerprint_dataset(&tiny(0));
+        assert_eq!(a, b, "same content, same fingerprint");
+        let c = fingerprint_dataset(&tiny(1));
+        assert_ne!(a, c, "one changed join time must change the fingerprint");
+    }
+
+    #[test]
+    fn json_fingerprint_tracks_value_changes() {
+        #[derive(Serialize)]
+        struct P {
+            x: u32,
+            y: f64,
+        }
+        let a = fingerprint_json(&P { x: 1, y: 0.5 });
+        let b = fingerprint_json(&P { x: 1, y: 0.5 });
+        let c = fingerprint_json(&P { x: 2, y: 0.5 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,56 @@
+//! # vqlens-resilience
+//!
+//! The durability layer that lets a long `vqlens analyze` run be killed,
+//! resumed, time-bounded, and gracefully degraded instead of restarted
+//! from scratch. The paper's diagnosis loop (Jiang et al., CoNEXT 2013)
+//! is meant to run continuously over rolling telemetry at ~300M-session
+//! scale; production traces arrive late, stall, and overflow memory, so
+//! the pipeline itself — not just its ingestion — must survive partial
+//! failure mid-run.
+//!
+//! Three mechanisms, each usable on its own:
+//!
+//! * [`checkpoint`] — epoch-granular checkpointing. After each epoch's
+//!   analysis the result is serialized into an append-only checkpoint
+//!   directory via atomic write-temp-then-rename ([`atomicio`]), under a
+//!   [`checkpoint::Manifest`] keyed by content hashes of the input slice
+//!   and the analysis configuration ([`fingerprint`]). Reopening the
+//!   directory with matching hashes yields the completed epochs for
+//!   `--resume`; a changed config or input invalidates the stale files.
+//! * [`deadline`] — soft stage deadlines. [`deadline::watch`] runs a
+//!   stage under a wall-clock budget and reports the breach; the epoch is
+//!   then marked `Degraded(TimedOut)` via [`status::EpochStatus`] and the
+//!   run continues. [`deadline::Deadline`] supports cooperative
+//!   cancellation of optional trailing stages.
+//! * [`membudget`] — a byte-budget estimator over the session buffers and
+//!   the cluster cube with an explicit degradation ladder: drop optional
+//!   analyses → raise the cluster-size prune floor → sample sessions per
+//!   epoch at a recorded rate. Every step taken is recorded in the
+//!   [`vqlens_obs`] run report.
+//!
+//! [`status::EpochStatus`] is the shared per-epoch outcome type
+//! (`Ok` / `Degraded { causes }` / `Failed`); `vqlens-core` re-exports it
+//! and `vqlens-check` verifies kill/resume equivalence against it, which
+//! is why this crate depends on neither.
+//!
+//! **Paper map:** cross-cutting — operational durability for the §2–§6
+//! pipeline rather than a section of the paper itself.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod atomicio;
+pub mod checkpoint;
+pub mod deadline;
+pub mod fingerprint;
+pub mod membudget;
+pub mod status;
+
+pub use atomicio::{atomic_write, AtomicFile};
+pub use checkpoint::{CheckpointStore, EpochCheckpoint, Manifest};
+pub use deadline::{watch, Breach, Deadline, StageDeadlines};
+pub use fingerprint::{fingerprint_dataset, fingerprint_json, Hasher64};
+pub use membudget::{
+    apply_sampling, estimate, plan_ladder, sample_epoch_data, LadderStep, MemEstimate,
+};
+pub use status::{DegradeCause, EpochStatus};

@@ -1,0 +1,330 @@
+//! The memory-budget estimator and its explicit degradation ladder.
+//!
+//! The estimator is a documented *upper envelope*, not an allocator
+//! audit: it bounds the two dominant heap consumers of an analysis run —
+//! the columnar session buffers and the per-epoch cluster cubes — from
+//! quantities cheap to compute up front. When the estimate exceeds the
+//! operator's `--max-mem`, [`plan_ladder`] walks an explicit ladder of
+//! degradations, cheapest-information-loss first:
+//!
+//! 1. [`LadderStep::DropOptionalAnalyses`] — skip drill-down and what-if,
+//!    which rebuild an *unpruned* cube (the single largest optional
+//!    intermediate).
+//! 2. [`LadderStep::RaisePruneFloor`] — quadruple the cluster-size prune
+//!    floor. Identification of significant clusters is unaffected below
+//!    the old floor by definition; the retained cube shrinks (modeled
+//!    here as halving — a deliberately conservative heuristic, since the
+//!    true reduction follows the cluster-size distribution's heavy tail).
+//! 3. [`LadderStep::SampleSessions`] — deterministically keep 1-in-k
+//!    sessions per epoch (k ≤ 64), the only rung that biases results,
+//!    which is why it is last and recorded per epoch as a
+//!    [`crate::status::DegradeCause::Sampled`] cause.
+//!
+//! Every step taken is recorded in the run report's `ladder` array and
+//! `mem_ladder_steps` counter — a degraded run must say exactly how it
+//! degraded.
+
+use crate::status::DegradeCause;
+use std::collections::HashSet;
+use std::fmt;
+use std::mem::size_of;
+use vqlens_cluster::cube::CubeEntry;
+use vqlens_model::attr::SessionAttrs;
+use vqlens_model::dataset::{Dataset, EpochData};
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::QualityMeasurement;
+use vqlens_obs as obs;
+
+/// Number of non-empty projection masks over the 7 attribute dimensions
+/// (2^7 − 1): the worst-case blow-up from distinct leaves to cube
+/// entries.
+const NONEMPTY_MASKS: u64 = 127;
+
+/// Highest 1-in-k sampling rate the ladder will reach; beyond this the
+/// statistics are too thin to stand behind, so the run proceeds over
+/// budget rather than degrade further.
+pub const MAX_SAMPLE_STRIDE: u32 = 64;
+
+/// Upper-envelope byte estimate for one analysis run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEstimate {
+    /// Columnar session buffers: every session's packed attributes plus
+    /// its quality measurement.
+    pub dataset_bytes: u64,
+    /// Peak concurrent cube footprint: the worst epoch's distinct leaf
+    /// count times the 127 projection masks times the entry size, times
+    /// the number of epochs analyzed concurrently.
+    pub cube_bytes: u64,
+    /// The optional stages' extra footprint (drill-down rebuilds one
+    /// unpruned cube of the same worst-case size).
+    pub optional_bytes: u64,
+}
+
+impl MemEstimate {
+    /// Total estimated bytes.
+    pub fn total(&self) -> u64 {
+        self.dataset_bytes + self.cube_bytes + self.optional_bytes
+    }
+}
+
+/// Estimate the run's memory envelope. `concurrency` is how many epochs
+/// the pipeline analyzes at once (its effective thread count capped by
+/// the epoch count).
+pub fn estimate(dataset: &Dataset, concurrency: usize) -> MemEstimate {
+    let per_session = (size_of::<SessionAttrs>() + size_of::<QualityMeasurement>()) as u64;
+    let dataset_bytes = dataset.num_sessions() as u64 * per_session;
+
+    // Distinct leaves per epoch — one HashSet pass over the packed keys.
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut max_leaves = 0u64;
+    for (_, data) in dataset.iter_epochs() {
+        seen.clear();
+        for (attrs, _) in data.iter() {
+            seen.insert(attrs.leaf_key().0);
+        }
+        max_leaves = max_leaves.max(seen.len() as u64);
+    }
+    let one_cube = max_leaves * NONEMPTY_MASKS * size_of::<CubeEntry>() as u64;
+    MemEstimate {
+        dataset_bytes,
+        cube_bytes: one_cube * concurrency.max(1) as u64,
+        optional_bytes: one_cube,
+    }
+}
+
+/// One rung of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderStep {
+    /// Skip the optional trailing analyses (drill-down, what-if).
+    DropOptionalAnalyses,
+    /// Raise the cluster-size prune floor from `from` to `to`.
+    RaisePruneFloor {
+        /// The configured floor before this step.
+        from: u64,
+        /// The raised floor (4× `from`).
+        to: u64,
+    },
+    /// Deterministically keep one session in `keep_1_in` per epoch.
+    SampleSessions {
+        /// The sampling stride k (keep sessions at indices ≡ 0 mod k).
+        keep_1_in: u32,
+    },
+}
+
+impl LadderStep {
+    /// The human-readable label recorded in the run report's `ladder`
+    /// array.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for LadderStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LadderStep::DropOptionalAnalyses => write!(f, "drop optional analyses"),
+            LadderStep::RaisePruneFloor { from, to } => {
+                write!(f, "raise prune floor {from} -> {to}")
+            }
+            LadderStep::SampleSessions { keep_1_in } => {
+                write!(f, "sample sessions 1-in-{keep_1_in}")
+            }
+        }
+    }
+}
+
+/// Plan the degradation ladder for a run whose estimate exceeds
+/// `max_bytes`. Returns the (possibly empty) ordered steps to apply;
+/// each step's modeled saving is applied before deciding whether the
+/// next rung is needed. When even 1-in-[`MAX_SAMPLE_STRIDE`] sampling
+/// cannot fit the budget, the full ladder is returned and the run
+/// proceeds best-effort over budget.
+pub fn plan_ladder(est: &MemEstimate, max_bytes: u64, prune_floor: u64) -> Vec<LadderStep> {
+    let mut ladder = Vec::new();
+    let mut cur = *est;
+    if cur.total() <= max_bytes {
+        return ladder;
+    }
+
+    ladder.push(LadderStep::DropOptionalAnalyses);
+    cur.optional_bytes = 0;
+    if cur.total() <= max_bytes {
+        return ladder;
+    }
+
+    ladder.push(LadderStep::RaisePruneFloor {
+        from: prune_floor,
+        to: prune_floor.saturating_mul(4),
+    });
+    cur.cube_bytes /= 2;
+    if cur.total() <= max_bytes {
+        return ladder;
+    }
+
+    let mut k = 2u32;
+    while k <= MAX_SAMPLE_STRIDE {
+        let sampled = MemEstimate {
+            dataset_bytes: cur.dataset_bytes / u64::from(k),
+            cube_bytes: cur.cube_bytes / u64::from(k),
+            optional_bytes: 0,
+        };
+        if sampled.total() <= max_bytes || k == MAX_SAMPLE_STRIDE {
+            ladder.push(LadderStep::SampleSessions { keep_1_in: k });
+            return ladder;
+        }
+        k *= 2;
+    }
+    ladder
+}
+
+/// Thin one epoch's sessions to 1-in-`keep_1_in` by deterministic stride
+/// (sessions at indices ≡ 0 mod k survive), returning the thinned data
+/// plus `(kept, of)`. Stride sampling is order-stable and reproducible —
+/// the same input and k always keep exactly the same sessions, which the
+/// checkpoint input fingerprint relies on.
+pub fn sample_epoch_data(data: &EpochData, keep_1_in: u32) -> (EpochData, u64, u64) {
+    assert!(keep_1_in >= 1, "stride must be at least 1");
+    let of = data.len() as u64;
+    let mut thinned = EpochData::default();
+    for (i, (attrs, q)) in data.iter().enumerate() {
+        if i as u64 % u64::from(keep_1_in) == 0 {
+            thinned.push(*attrs, *q);
+        }
+    }
+    let kept = thinned.len() as u64;
+    obs::global().add(obs::Counter::SessionsSampledOut, of - kept);
+    (thinned, kept, of)
+}
+
+/// Apply 1-in-k sampling to every non-empty epoch of a dataset in place,
+/// returning the per-epoch `Sampled` causes to attach to their statuses.
+pub fn apply_sampling(dataset: &mut Dataset, keep_1_in: u32) -> Vec<(EpochId, DegradeCause)> {
+    let mut causes = Vec::new();
+    for e in 0..dataset.num_epochs() {
+        let epoch = EpochId(e);
+        if dataset.epoch(epoch).is_empty() {
+            continue;
+        }
+        let (thinned, kept, of) = sample_epoch_data(dataset.epoch(epoch), keep_1_in);
+        dataset.replace_epoch(epoch, thinned);
+        causes.push((epoch, DegradeCause::Sampled { kept, of }));
+    }
+    causes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::dataset::DatasetMeta;
+    use vqlens_model::session::SessionRecord;
+
+    fn dataset(epochs: u32, sessions_per_epoch: u32) -> Dataset {
+        let mut ds = Dataset::new(epochs, DatasetMeta::default());
+        for e in 0..epochs {
+            for i in 0..sessions_per_epoch {
+                let attrs = SessionAttrs::new([i % 5, i % 3, 0, 0, 0, 0, 0]);
+                ds.push(SessionRecord::new(
+                    EpochId(e),
+                    attrs,
+                    QualityMeasurement::joined(400, 300.0, 0.0, 2800.0),
+                ));
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn estimate_scales_with_content() {
+        let small = estimate(&dataset(2, 100), 1);
+        let big = estimate(&dataset(2, 1000), 1);
+        assert!(big.dataset_bytes > small.dataset_bytes);
+        assert!(small.cube_bytes > 0, "distinct leaves produce cube bytes");
+        let wide = estimate(&dataset(2, 100), 8);
+        assert_eq!(wide.cube_bytes, small.cube_bytes * 8);
+        assert_eq!(wide.optional_bytes, small.optional_bytes);
+    }
+
+    #[test]
+    fn ladder_is_empty_within_budget() {
+        let est = estimate(&dataset(2, 100), 1);
+        assert!(plan_ladder(&est, est.total(), 1000).is_empty());
+    }
+
+    #[test]
+    fn ladder_steps_down_in_order() {
+        let est = MemEstimate {
+            dataset_bytes: 1000,
+            cube_bytes: 1000,
+            optional_bytes: 1000,
+        };
+        // Dropping optional alone fits.
+        assert_eq!(
+            plan_ladder(&est, 2000, 100),
+            vec![LadderStep::DropOptionalAnalyses]
+        );
+        // Needs the prune floor too.
+        assert_eq!(
+            plan_ladder(&est, 1500, 100),
+            vec![
+                LadderStep::DropOptionalAnalyses,
+                LadderStep::RaisePruneFloor { from: 100, to: 400 },
+            ]
+        );
+        // Needs sampling: after drop+raise, total = 1500; 1-in-2 → 750.
+        assert_eq!(
+            plan_ladder(&est, 800, 100),
+            vec![
+                LadderStep::DropOptionalAnalyses,
+                LadderStep::RaisePruneFloor { from: 100, to: 400 },
+                LadderStep::SampleSessions { keep_1_in: 2 },
+            ]
+        );
+        // Impossible budget: caps at the max stride, best effort.
+        let ladder = plan_ladder(&est, 1, 100);
+        assert_eq!(
+            ladder.last(),
+            Some(&LadderStep::SampleSessions {
+                keep_1_in: MAX_SAMPLE_STRIDE
+            })
+        );
+    }
+
+    #[test]
+    fn stride_sampling_is_deterministic_and_counted() {
+        let ds = dataset(1, 10);
+        let (thinned, kept, of) = sample_epoch_data(ds.epoch(EpochId(0)), 3);
+        assert_eq!((kept, of), (4, 10), "indices 0,3,6,9 survive");
+        assert_eq!(thinned.len(), 4);
+        let (again, k2, o2) = sample_epoch_data(ds.epoch(EpochId(0)), 3);
+        assert_eq!((k2, o2), (kept, of));
+        assert_eq!(again.attrs, thinned.attrs, "stride sampling reproduces");
+    }
+
+    #[test]
+    fn apply_sampling_thins_every_epoch_and_reports_causes() {
+        let mut ds = dataset(3, 8);
+        let causes = apply_sampling(&mut ds, 2);
+        assert_eq!(causes.len(), 3);
+        for (epoch, cause) in &causes {
+            assert_eq!(ds.epoch(*epoch).len(), 4);
+            assert_eq!(*cause, DegradeCause::Sampled { kept: 4, of: 8 });
+        }
+        assert_eq!(ds.num_sessions(), 12);
+    }
+
+    #[test]
+    fn labels_name_their_parameters() {
+        assert_eq!(
+            LadderStep::RaisePruneFloor { from: 10, to: 40 }.label(),
+            "raise prune floor 10 -> 40"
+        );
+        assert_eq!(
+            LadderStep::SampleSessions { keep_1_in: 8 }.label(),
+            "sample sessions 1-in-8"
+        );
+        assert_eq!(
+            LadderStep::DropOptionalAnalyses.label(),
+            "drop optional analyses"
+        );
+    }
+}

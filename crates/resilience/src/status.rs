@@ -1,0 +1,195 @@
+//! Per-epoch outcome of a resilient run: `Ok`, `Degraded` with explicit
+//! causes, or `Failed`.
+//!
+//! This is the type `vqlens-core`'s `TraceAnalysis` records per epoch
+//! (re-exported there as `EpochStatus`); it lives here so the checkpoint
+//! format and the `vqlens-check` resume oracles can share it without a
+//! dependency cycle through the pipeline crate.
+
+use serde::{Deserialize, Serialize};
+use vqlens_obs as obs;
+
+/// One reason an epoch's analysis was degraded rather than clean. An
+/// epoch can accumulate several (e.g. sampled for memory *and* past its
+/// soft deadline); they are kept in the order they were recorded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeCause {
+    /// Lenient ingest quarantined input lines attributed to this epoch —
+    /// its counts undercount reality.
+    QuarantinedLines {
+        /// Number of quarantined lines.
+        lines: u64,
+    },
+    /// The epoch's analysis ran past its soft deadline. The analysis
+    /// still completed (deadlines are soft); the breach is recorded so
+    /// operators can see which epochs blew the budget.
+    TimedOut {
+        /// Observed analysis wall time, in milliseconds.
+        elapsed_ms: u64,
+        /// The configured soft budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The memory-budget ladder sampled this epoch's sessions before
+    /// analysis, at a recorded rate.
+    Sampled {
+        /// Sessions kept after sampling.
+        kept: u64,
+        /// Sessions present before sampling.
+        of: u64,
+    },
+}
+
+impl DegradeCause {
+    /// Convert to the dependency-free mirror type in `vqlens-obs`, for
+    /// the JSON run report.
+    pub fn to_outcome(&self) -> obs::DegradeCause {
+        match *self {
+            DegradeCause::QuarantinedLines { lines } => {
+                obs::DegradeCause::QuarantinedLines { lines }
+            }
+            DegradeCause::TimedOut {
+                elapsed_ms,
+                budget_ms,
+            } => obs::DegradeCause::TimedOut {
+                elapsed_ms,
+                budget_ms,
+            },
+            DegradeCause::Sampled { kept, of } => obs::DegradeCause::Sampled { kept, of },
+        }
+    }
+}
+
+/// Outcome of one epoch within a resilient trace analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpochStatus {
+    /// Analyzed cleanly.
+    Ok,
+    /// Analyzed, but under one or more degradations — the results exist
+    /// and are usable, with the listed caveats.
+    Degraded {
+        /// Every degradation applied, in recording order.
+        causes: Vec<DegradeCause>,
+    },
+    /// The analysis worker panicked; the epoch has no results.
+    Failed {
+        /// The captured panic message.
+        reason: String,
+    },
+}
+
+impl EpochStatus {
+    /// Record a degradation. `Ok` becomes `Degraded`, `Degraded`
+    /// accumulates, `Failed` stays failed (a cause on a failed epoch is
+    /// meaningless — there are no results to caveat). Returns `true` when
+    /// the status transitioned from `Ok` (callers use this to bump the
+    /// degraded-epoch counter exactly once per epoch).
+    pub fn degrade(&mut self, cause: DegradeCause) -> bool {
+        match self {
+            EpochStatus::Ok => {
+                *self = EpochStatus::Degraded {
+                    causes: vec![cause],
+                };
+                true
+            }
+            EpochStatus::Degraded { causes } => {
+                causes.push(cause);
+                false
+            }
+            EpochStatus::Failed { .. } => false,
+        }
+    }
+
+    /// True for a clean epoch.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EpochStatus::Ok)
+    }
+
+    /// The degradation causes, empty for `Ok`/`Failed`.
+    pub fn causes(&self) -> &[DegradeCause] {
+        match self {
+            EpochStatus::Degraded { causes } => causes,
+            _ => &[],
+        }
+    }
+
+    /// Total quarantined lines recorded against this epoch.
+    pub fn quarantined_lines(&self) -> u64 {
+        self.causes()
+            .iter()
+            .map(|c| match c {
+                DegradeCause::QuarantinedLines { lines } => *lines,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Convert to the dependency-free mirror type in `vqlens-obs`, for
+    /// the JSON run report.
+    pub fn to_outcome(&self, epoch: u32) -> obs::EpochOutcome {
+        match self {
+            EpochStatus::Ok => obs::EpochOutcome::Ok { epoch },
+            EpochStatus::Degraded { causes } => obs::EpochOutcome::Degraded {
+                epoch,
+                causes: causes.iter().map(DegradeCause::to_outcome).collect(),
+            },
+            EpochStatus::Failed { reason } => obs::EpochOutcome::Failed {
+                epoch,
+                reason: reason.clone(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_transitions_and_accumulates() {
+        let mut s = EpochStatus::Ok;
+        assert!(s.is_ok());
+        assert!(s.degrade(DegradeCause::QuarantinedLines { lines: 3 }));
+        assert!(!s.degrade(DegradeCause::TimedOut {
+            elapsed_ms: 20,
+            budget_ms: 10,
+        }));
+        assert_eq!(s.causes().len(), 2);
+        assert_eq!(s.quarantined_lines(), 3);
+
+        let mut failed = EpochStatus::Failed {
+            reason: "boom".into(),
+        };
+        assert!(!failed.degrade(DegradeCause::Sampled { kept: 1, of: 2 }));
+        assert!(failed.causes().is_empty());
+    }
+
+    #[test]
+    fn outcomes_mirror_into_obs() {
+        let mut s = EpochStatus::Ok;
+        assert!(matches!(
+            s.to_outcome(4),
+            obs::EpochOutcome::Ok { epoch: 4 }
+        ));
+        s.degrade(DegradeCause::Sampled { kept: 5, of: 10 });
+        match s.to_outcome(4) {
+            obs::EpochOutcome::Degraded { epoch, causes } => {
+                assert_eq!(epoch, 4);
+                assert_eq!(causes, vec![obs::DegradeCause::Sampled { kept: 5, of: 10 }]);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = EpochStatus::Ok;
+        s.degrade(DegradeCause::QuarantinedLines { lines: 1 });
+        s.degrade(DegradeCause::TimedOut {
+            elapsed_ms: 9,
+            budget_ms: 5,
+        });
+        let json = serde_json::to_string(&s).unwrap();
+        let back: EpochStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

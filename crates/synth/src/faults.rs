@@ -298,6 +298,97 @@ pub fn inject(csv: &str, plan: &FaultPlan) -> (String, FaultSummary) {
     }
 }
 
+/// One mid-run interruption operator over a checkpoint directory — the
+/// on-disk aftermath of a `vqlens analyze --checkpoint` run that died.
+///
+/// Where [`FaultKind`] damages the *input* (the serialized trace),
+/// `InterruptKind` damages the *recovery state*: it edits a checkpoint
+/// directory into the exact shape a killed or crashed run leaves behind,
+/// so kill/resume tests can prove a resumed run reconstructs the
+/// uninterrupted result from any of these states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterruptKind {
+    /// The process was killed after `keep_epochs` epochs had been
+    /// checkpointed: every later epoch file is deleted.
+    KillAfter {
+        /// Epoch files (in sorted order) that survive the kill.
+        keep_epochs: usize,
+    },
+    /// A writer died mid-write, leaving a partial `*.tmp` next to the
+    /// committed files (readers must skip it).
+    TornTempFile,
+    /// A committed epoch file was truncated in half (e.g. the filesystem
+    /// lost the tail); readers must treat it as absent and recompute.
+    TruncatedCheckpoint,
+}
+
+/// Exact account of an [`interrupt_checkpoints`] application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterruptSummary {
+    /// The operator applied.
+    pub kind: InterruptKind,
+    /// Epoch files removed outright.
+    pub removed_files: Vec<String>,
+    /// Files damaged in place or planted as torn temp files.
+    pub damaged_files: Vec<String>,
+    /// Epoch files left valid — the epochs a resume may legitimately skip.
+    pub surviving_files: Vec<String>,
+}
+
+/// Apply a mid-run interruption to a checkpoint directory. Deterministic
+/// in `(directory contents, kind, seed)`: epoch files are considered in
+/// sorted name order and the seed drives any victim choice. Non-epoch
+/// files (the manifest) are never touched — a kill does not corrupt
+/// already-committed state, it only loses in-flight work.
+pub fn interrupt_checkpoints(
+    dir: &std::path::Path,
+    kind: InterruptKind,
+    seed: u64,
+) -> std::io::Result<InterruptSummary> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut epoch_files: Vec<String> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("epoch-") && n.ends_with(".json"))
+        .collect();
+    epoch_files.sort();
+    let mut summary = InterruptSummary {
+        kind,
+        removed_files: Vec::new(),
+        damaged_files: Vec::new(),
+        surviving_files: Vec::new(),
+    };
+    match kind {
+        InterruptKind::KillAfter { keep_epochs } => {
+            let keep = keep_epochs.min(epoch_files.len());
+            summary.surviving_files = epoch_files[..keep].to_vec();
+            for name in &epoch_files[keep..] {
+                std::fs::remove_file(dir.join(name))?;
+                summary.removed_files.push(name.clone());
+            }
+        }
+        InterruptKind::TornTempFile => {
+            // The partial write a killed AtomicFile writer leaves behind:
+            // a recognizable `.tmp` holding an unfinished JSON object.
+            let torn = format!("epoch-{:08}.json.0.{}.tmp", rng.gen_range(0u32..100), seed);
+            std::fs::write(dir.join(&torn), b"{\"epoch\":")?;
+            summary.damaged_files.push(torn);
+            summary.surviving_files = epoch_files;
+        }
+        InterruptKind::TruncatedCheckpoint => {
+            if !epoch_files.is_empty() {
+                let victim = epoch_files.remove(rng.gen_range(0..epoch_files.len()));
+                let path = dir.join(&victim);
+                let bytes = std::fs::read(&path)?;
+                std::fs::write(&path, &bytes[..bytes.len() / 2])?;
+                summary.damaged_files.push(victim);
+            }
+            summary.surviving_files = epoch_files;
+        }
+    }
+    Ok(summary)
+}
+
 /// The original trace with every corrupted or dropped line removed: the
 /// clean subset a lenient ingest of the damaged trace must be equivalent
 /// to.
@@ -422,6 +513,55 @@ mod tests {
         };
         let (_, summary) = inject(&csv, &plan);
         assert_eq!(summary.corrupted_lines.len(), 1);
+    }
+
+    #[test]
+    fn interruptions_edit_checkpoint_directories_deterministically() {
+        use std::fs;
+        let dir =
+            std::env::temp_dir().join(format!("vqlens-faults-interrupt-{}", std::process::id()));
+        let fresh = |tag: &str| {
+            let d = dir.join(tag);
+            let _ = fs::remove_dir_all(&d);
+            fs::create_dir_all(&d).unwrap();
+            fs::write(d.join("manifest.json"), b"{}").unwrap();
+            for e in 0..5u32 {
+                fs::write(
+                    d.join(format!("epoch-{e:08}.json")),
+                    format!("{{\"epoch\":{e}}}"),
+                )
+                .unwrap();
+            }
+            d
+        };
+
+        let d = fresh("kill");
+        let s = interrupt_checkpoints(&d, InterruptKind::KillAfter { keep_epochs: 2 }, 1).unwrap();
+        assert_eq!(s.surviving_files.len(), 2);
+        assert_eq!(s.removed_files.len(), 3);
+        let left: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("epoch-"))
+            .collect();
+        assert_eq!(left.len(), 2, "later epochs deleted, manifest untouched");
+        assert!(d.join("manifest.json").exists());
+
+        let d = fresh("torn");
+        let s = interrupt_checkpoints(&d, InterruptKind::TornTempFile, 7).unwrap();
+        let s2 = interrupt_checkpoints(&fresh("torn2"), InterruptKind::TornTempFile, 7).unwrap();
+        assert_eq!(s.damaged_files, s2.damaged_files, "seeded, deterministic");
+        assert_eq!(s.surviving_files.len(), 5);
+        assert!(s.damaged_files[0].ends_with(".tmp"));
+        assert!(d.join(&s.damaged_files[0]).exists());
+
+        let d = fresh("trunc");
+        let s = interrupt_checkpoints(&d, InterruptKind::TruncatedCheckpoint, 3).unwrap();
+        assert_eq!(s.damaged_files.len(), 1);
+        assert_eq!(s.surviving_files.len(), 4);
+        let damaged = fs::read(d.join(&s.damaged_files[0])).unwrap();
+        assert!(serde_json::from_slice::<serde_json::Value>(&damaged).is_err());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! vqlens analyze dirty.csv --lenient --max-bad-ratio 0.01 --dead-letter bad.csv
 //! vqlens analyze trace.csv --timings                   # stage wall-time table
 //! vqlens analyze trace.csv --report-json run.json      # machine-readable run report
+//! vqlens analyze trace.csv --checkpoint ckpt/          # durable: resume after a kill
+//! vqlens analyze trace.csv --resume ckpt/              # same directory, same meaning
+//! vqlens analyze trace.csv --max-mem 512M              # degrade instead of OOM
+//! vqlens analyze trace.csv --epoch-deadline-ms 5000    # soft per-epoch budget
+//! vqlens analyze trace.csv --strict                    # exit 3/4 on failed/degraded
 //! vqlens monitor trace.csv                             # incident log replay
 //! vqlens monitor dirty.csv --lenient                   # ... over real telemetry
 //! vqlens check --fuzz 25                               # paper-invariant fuzz sweep
@@ -21,11 +26,25 @@
 //! source that can produce those columns can be analyzed. Real telemetry
 //! is rarely clean: `--lenient` quarantines malformed lines into an
 //! ingest report (printed before the analysis; `--dead-letter FILE` saves
-//! them verbatim for triage) instead of aborting on the first bad line,
-//! and fails loudly only when more than `--max-bad-ratio` (default 5%) of
-//! the data lines are bad. Epochs that lost quarantined lines are
-//! reported as *degraded*; per-epoch health detail is printed with
-//! `-v`/`--verbose`.
+//! them verbatim for triage, written crash-safely via temp-file-then-
+//! rename so a killed run never leaves a torn quarantine file) instead of
+//! aborting on the first bad line, and fails loudly only when more than
+//! `--max-bad-ratio` (default 5%) of the data lines are bad. Epochs that
+//! lost quarantined lines are reported as *degraded*; per-epoch health
+//! detail is printed with `-v`/`--verbose`.
+//!
+//! Long runs are durable and bounded (see docs/RESILIENCE.md):
+//! `--checkpoint DIR` (alias `--resume DIR`) saves each completed epoch
+//! atomically and resumes from whatever valid epochs the directory holds;
+//! `--epoch-deadline-ms N` marks epochs that blow the soft budget
+//! `Degraded(TimedOut)` and continues; `--optional-deadline-ms N` stops
+//! starting optional trailing stages (drill-down, what-if) once spent;
+//! `--max-mem BYTES[K|M|G]` walks the degradation ladder instead of
+//! overrunning memory.
+//!
+//! `--strict` exit codes: `0` clean, `1` I/O or usage failure elsewhere,
+//! `3` at least one epoch failed analysis, `4` no failures but at least
+//! one epoch degraded.
 //!
 //! `--timings` and `--report-json FILE` enable the process-global
 //! [`vqlens::obs::Recorder`] for the run: `--timings` prints the
@@ -35,10 +54,12 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use vqlens::analysis::monitor::{MonitorConfig, MonitorEvent, OnlineMonitor};
 use vqlens::model::csv::{read_csv, read_csv_opts, write_csv, IngestReport, ReadOptions};
 use vqlens::prelude::*;
+use vqlens::resilience::AtomicFile;
 use vqlens::whatif::cost::{cost_benefit_ranking, suggested_remedy, CostModel};
 
 fn usage() -> ExitCode {
@@ -48,7 +69,10 @@ fn usage() -> ExitCode {
          --write-default FILE.json\n  vqlens analyze FILE.csv \
          [--metric <name>] [--top N] [--min-sessions N] [--timings] \
          [--report-json FILE.json] [-v|--verbose] [--lenient \
-         [--max-bad-ratio R] [--dead-letter FILE]]\n  vqlens monitor FILE.csv \
+         [--max-bad-ratio R] [--dead-letter FILE]] \
+         [--checkpoint DIR | --resume DIR] [--epoch-deadline-ms N] \
+         [--optional-deadline-ms N] [--max-mem SIZE[K|M|G]] \
+         [--strict]\n  vqlens monitor FILE.csv \
          [--confirm-h N] [--min-sessions N] [-v|--verbose] [--lenient \
          [--max-bad-ratio R] [--dead-letter FILE]]\n  vqlens check [FILE.csv] \
          [--fuzz N] [--seed N] [--min-sessions N] [--timings] \
@@ -107,6 +131,34 @@ fn numeric_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Opt
     }
 }
 
+/// Parse `--max-mem`: a byte count with an optional `K`/`M`/`G` suffix
+/// (binary multiples), e.g. `900000`, `512K`, `64M`, `2G`.
+fn mem_flag(args: &[String]) -> Result<Option<u64>, ExitCode> {
+    match flag_value(args, "--max-mem") {
+        None => Ok(None),
+        Some(raw) => {
+            match parse_mem_bytes(raw) {
+                Some(v) => Ok(Some(v)),
+                None => {
+                    eprintln!("invalid value for --max-mem: {raw:?} (expected e.g. 900000, 512K, 64M, 2G)");
+                    Err(usage())
+                }
+            }
+        }
+    }
+}
+
+fn parse_mem_bytes(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    let (digits, unit) = match raw.as_bytes().last()? {
+        b'K' | b'k' => (&raw[..raw.len() - 1], 1u64 << 10),
+        b'M' | b'm' => (&raw[..raw.len() - 1], 1u64 << 20),
+        b'G' | b'g' => (&raw[..raw.len() - 1], 1u64 << 30),
+        _ => (raw, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(unit)
+}
+
 /// Load a trace, honoring `--lenient` / `--max-bad-ratio` / `--dead-letter`.
 /// In lenient mode the ingest summary is printed and returned so the
 /// analysis can mark degraded epochs.
@@ -123,12 +175,18 @@ fn load(path: &str, args: &[String]) -> Result<(Dataset, Option<IngestReport>), 
         return Ok((dataset, None));
     }
     let max_bad_ratio = numeric_flag::<f64>(args, "--max-bad-ratio")?.unwrap_or(0.05);
+    // Quarantined lines stream through an `AtomicFile`: they land in a
+    // temp file that is renamed over the destination only after ingestion
+    // succeeds, so a killed or failed run never leaves a torn (or
+    // misleadingly empty) dead-letter file behind.
     let mut dead_letter = match flag_value(args, "--dead-letter") {
         None => None,
-        Some(dl_path) => Some(BufWriter::new(File::create(dl_path).map_err(|e| {
-            eprintln!("cannot create dead-letter file {dl_path}: {e}");
-            ExitCode::FAILURE
-        })?)),
+        Some(dl_path) => Some(BufWriter::new(
+            AtomicFile::create(Path::new(dl_path)).map_err(|e| {
+                eprintln!("cannot create dead-letter file {dl_path}: {e}");
+                ExitCode::FAILURE
+            })?,
+        )),
     };
     let sink = dead_letter.as_mut().map(|w| w as &mut dyn Write);
     let (dataset, report) = read_csv_opts(
@@ -140,6 +198,16 @@ fn load(path: &str, args: &[String]) -> Result<(Dataset, Option<IngestReport>), 
         eprintln!("cannot parse {path}: {e}");
         ExitCode::FAILURE
     })?;
+    if let Some(buffered) = dead_letter {
+        let committed = buffered
+            .into_inner()
+            .map_err(|e| std::io::Error::other(e.to_string()))
+            .and_then(AtomicFile::commit);
+        if let Err(e) = committed {
+            eprintln!("cannot finalize dead-letter file: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    }
     if report.is_clean() {
         eprintln!("ingest: {} data lines, all clean", report.data_lines);
     } else {
@@ -171,17 +239,41 @@ fn report_epoch_health(trace: &TraceAnalysis, verbose: bool) {
     }
     let degraded: Vec<_> = trace.degraded_epochs().collect();
     if !degraded.is_empty() {
-        let lost: u64 = degraded.iter().map(|(_, n)| n).sum();
-        eprintln!(
-            "note: {} epoch(s) degraded by {} quarantined line(s); their counts undercount reality",
-            degraded.len(),
-            lost
-        );
+        let lost: u64 = degraded
+            .iter()
+            .flat_map(|(_, causes)| causes.iter())
+            .filter_map(|c| match c {
+                DegradeCause::QuarantinedLines { lines } => Some(*lines),
+                _ => None,
+            })
+            .sum();
+        let mut note = format!("note: {} epoch(s) degraded", degraded.len());
+        if lost > 0 {
+            note.push_str(&format!(" ({lost} quarantined line(s) total)"));
+        }
+        note.push_str("; their numbers carry caveats");
+        if !verbose {
+            note.push_str(" (-v for detail)");
+        }
+        eprintln!("{note}");
         if verbose {
-            for (epoch, n) in degraded {
-                eprintln!("  epoch {epoch}: {n} quarantined line(s)");
+            for (epoch, causes) in degraded {
+                let detail: Vec<String> = causes.iter().map(describe_cause).collect();
+                eprintln!("  epoch {epoch}: {}", detail.join(", "));
             }
         }
+    }
+}
+
+/// One human-readable phrase per degradation cause, for `-v` health detail.
+fn describe_cause(cause: &DegradeCause) -> String {
+    match cause {
+        DegradeCause::QuarantinedLines { lines } => format!("{lines} quarantined line(s)"),
+        DegradeCause::TimedOut {
+            elapsed_ms,
+            budget_ms,
+        } => format!("soft deadline breached ({elapsed_ms}ms > {budget_ms}ms budget)"),
+        DegradeCause::Sampled { kept, of } => format!("sampled down to {kept} of {of} sessions"),
     }
 }
 
@@ -296,7 +388,7 @@ fn analyze(args: &[String]) -> ExitCode {
         vqlens::obs::global().set_enabled(true);
     }
     let wall = std::time::Instant::now();
-    let (dataset, ingest) = match load(path, args) {
+    let (mut dataset, ingest) = match load(path, args) {
         Ok(d) => d,
         Err(code) => return code,
     };
@@ -308,6 +400,31 @@ fn analyze(args: &[String]) -> ExitCode {
         Ok(v) => v.unwrap_or(5),
         Err(code) => return code,
     };
+    // --resume is an alias for --checkpoint: both name the same directory,
+    // which is read for valid epochs on open and written as epochs finish.
+    let checkpoint_dir = flag_value(args, "--checkpoint")
+        .or_else(|| flag_value(args, "--resume"))
+        .map(PathBuf::from);
+    let (epoch_soft_ms, optional_soft_ms) = match (
+        numeric_flag::<u64>(args, "--epoch-deadline-ms"),
+        numeric_flag::<u64>(args, "--optional-deadline-ms"),
+    ) {
+        (Ok(e), Ok(o)) => (e, o),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let max_mem_bytes = match mem_flag(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let opts = ResilienceOptions {
+        checkpoint_dir,
+        deadlines: StageDeadlines {
+            epoch_soft_ms,
+            optional_soft_ms,
+        },
+        max_mem_bytes,
+    };
+    let strict = args.iter().any(|a| a == "--strict");
     let metrics: Vec<Metric> = match flag_value(args, "--metric") {
         Some(name) => match parse_metric(name) {
             Some(m) => vec![m],
@@ -325,12 +442,37 @@ fn analyze(args: &[String]) -> ExitCode {
         dataset.num_epochs(),
         config.significance.min_sessions
     );
-    let mut trace = analyze_dataset(&dataset, &config);
+    let (mut trace, summary) = match analyze_dataset_resilient(&mut dataset, &config, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The ladder may have raised the prune floor; everything downstream
+    // (drill-down rebuilds an epoch cube) must use the effective config.
+    let config = trace.config;
+    if let Some(dir) = &opts.checkpoint_dir {
+        eprintln!(
+            "checkpoint: resumed {} epoch(s), computed {} ({})",
+            summary.resumed_epochs,
+            summary.computed_epochs,
+            dir.display()
+        );
+    }
+    for step in &summary.ladder {
+        eprintln!("memory budget: degraded — {step}");
+    }
     if let Some(report) = &ingest {
         trace.apply_ingest_report(report);
     }
     report_epoch_health(&trace, verbose_flag(args) || timings);
     vqlens::obs::global().record_epochs(trace.epoch_outcomes());
+
+    // Optional trailing stages (drill-down, what-if ranking) share one
+    // soft budget and are also the first thing the memory ladder sheds.
+    let optional_deadline = Deadline::starting_now(opts.deadlines.optional_soft_ms);
+    let mut optional_skip_noted = false;
 
     let rows = vqlens::analysis::coverage::coverage_table(trace.epochs());
     for metric in &metrics {
@@ -351,6 +493,20 @@ fn analyze(args: &[String]) -> ExitCode {
         for &(key, p) in ranked.iter().take(top) {
             let named = key.display_with(|attr, id| dataset.value_name(attr, id).unwrap_or("?"));
             println!("  {:>5.1}%  {named}", 100.0 * p);
+        }
+        if summary.drop_optional() || optional_deadline.expired() {
+            if !optional_skip_noted {
+                optional_skip_noted = true;
+                eprintln!(
+                    "note: optional stages (drill-down, benefit-per-cost ranking) skipped: {}",
+                    if summary.drop_optional() {
+                        "memory-budget ladder dropped them"
+                    } else {
+                        "--optional-deadline-ms budget spent"
+                    }
+                );
+            }
+            continue;
         }
         drill_into_top_cluster(
             &dataset,
@@ -391,6 +547,17 @@ fn analyze(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("run report written to {out}");
+        }
+    }
+    // --strict turns partial results into distinct exit codes so cron jobs
+    // and CI can tell "numbers are wrong" (3) from "numbers carry caveats"
+    // (4) without scraping stderr.
+    if strict {
+        if trace.failed_epochs().next().is_some() {
+            return ExitCode::from(3);
+        }
+        if trace.degraded_epochs().next().is_some() {
+            return ExitCode::from(4);
         }
     }
     ExitCode::SUCCESS
@@ -589,4 +756,25 @@ fn monitor(args: &[String]) -> ExitCode {
         monitor.open_incidents().count()
     );
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_mem_bytes;
+
+    #[test]
+    fn mem_sizes_parse_with_and_without_suffixes() {
+        assert_eq!(parse_mem_bytes("900000"), Some(900_000));
+        assert_eq!(parse_mem_bytes("512K"), Some(512 << 10));
+        assert_eq!(parse_mem_bytes("64m"), Some(64 << 20));
+        assert_eq!(parse_mem_bytes(" 2G "), Some(2 << 30));
+        assert_eq!(parse_mem_bytes(""), None);
+        assert_eq!(parse_mem_bytes("G"), None);
+        assert_eq!(parse_mem_bytes("12T"), None);
+        assert_eq!(
+            parse_mem_bytes("999999999999G"),
+            None,
+            "overflow is an error"
+        );
+    }
 }

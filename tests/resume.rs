@@ -1,0 +1,97 @@
+//! End-to-end kill/resume: a checkpointed `analyze` run killed partway
+//! through and then resumed must be indistinguishable from an
+//! uninterrupted run — identical per-epoch analyses (compared as
+//! canonical JSON), identical epoch outcomes, and the resume must
+//! actually skip the surviving epochs' work.
+
+use std::path::PathBuf;
+use vqlens::prelude::*;
+use vqlens::synth::faults::{interrupt_checkpoints, InterruptKind};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vqlens-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small multi-epoch trace with planted events, plus its analyzer
+/// config — big enough that every epoch yields clusters.
+fn dataset_and_config() -> (Dataset, AnalyzerConfig) {
+    let mut scenario = Scenario::smoke();
+    scenario.epochs = 6;
+    scenario.arrivals.sessions_per_epoch = 700.0;
+    let dataset = generate_parallel(&scenario, 0).dataset;
+    let mut config = AnalyzerConfig::for_scenario(&scenario);
+    config.threads = 2;
+    (dataset, config)
+}
+
+fn opts_for(dir: &std::path::Path) -> ResilienceOptions {
+    ResilienceOptions {
+        checkpoint_dir: Some(dir.to_path_buf()),
+        ..ResilienceOptions::default()
+    }
+}
+
+fn analyses_json(trace: &TraceAnalysis) -> serde_json::Value {
+    serde_json::to_value(trace.epochs()).expect("epoch analyses serialize")
+}
+
+#[test]
+fn killed_and_resumed_run_equals_uninterrupted_run() {
+    let (mut dataset, config) = dataset_and_config();
+    let baseline = analyze_dataset(&dataset, &config);
+
+    // First attempt: checkpoint every epoch, then simulate a kill that
+    // left only the first two epoch checkpoints on disk.
+    let dir = scratch("kill-resume");
+    let (first, s1) =
+        analyze_dataset_resilient(&mut dataset, &config, &opts_for(&dir)).expect("first run");
+    assert_eq!(s1.resumed_epochs, 0);
+    assert_eq!(s1.computed_epochs, 6);
+    assert_eq!(analyses_json(&first), analyses_json(&baseline));
+
+    let summary = interrupt_checkpoints(&dir, InterruptKind::KillAfter { keep_epochs: 2 }, 0xdead)
+        .expect("interrupt");
+    assert_eq!(summary.removed_files.len(), 4);
+
+    // The resumed run must reuse the 2 survivors, recompute the 4 dead
+    // epochs, and land on exactly the uninterrupted result.
+    let (resumed, s2) =
+        analyze_dataset_resilient(&mut dataset, &config, &opts_for(&dir)).expect("resumed run");
+    assert_eq!(s2.resumed_epochs, 2);
+    assert_eq!(s2.computed_epochs, 4);
+    assert_eq!(analyses_json(&resumed), analyses_json(&baseline));
+    assert_eq!(resumed.epoch_outcomes(), baseline.epoch_outcomes());
+
+    // A third run resumes everything and computes nothing.
+    let (full, s3) =
+        analyze_dataset_resilient(&mut dataset, &config, &opts_for(&dir)).expect("full resume");
+    assert_eq!((s3.resumed_epochs, s3.computed_epochs), (6, 0));
+    assert_eq!(analyses_json(&full), analyses_json(&baseline));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_and_truncated_checkpoints_are_healed_on_resume() {
+    let (mut dataset, config) = dataset_and_config();
+    let baseline = analyze_dataset(&dataset, &config);
+
+    let dir = scratch("torn-resume");
+    analyze_dataset_resilient(&mut dataset, &config, &opts_for(&dir)).expect("first run");
+
+    // A kill mid-write leaves a torn temp file; silent disk corruption
+    // truncates one committed checkpoint. Both must be discarded and the
+    // affected epoch recomputed, not trusted.
+    interrupt_checkpoints(&dir, InterruptKind::TornTempFile, 7).expect("torn");
+    interrupt_checkpoints(&dir, InterruptKind::TruncatedCheckpoint, 7).expect("truncate");
+
+    let (resumed, summary) =
+        analyze_dataset_resilient(&mut dataset, &config, &opts_for(&dir)).expect("resumed run");
+    assert_eq!(summary.resumed_epochs, 5, "one truncated epoch recomputed");
+    assert_eq!(summary.computed_epochs, 1);
+    assert_eq!(analyses_json(&resumed), analyses_json(&baseline));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
