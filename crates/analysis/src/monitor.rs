@@ -33,6 +33,11 @@
 //! * Resolution events for incidents that expired inside a gap are
 //!   emitted at the next observed epoch — the earliest moment a streaming
 //!   monitor can know about them.
+//! * A feed that cannot guarantee ordered delivery (the live ingestion
+//!   server) goes through [`OnlineMonitor::try_observe`], which *skips*
+//!   stale and duplicate epochs instead of panicking: a duplicate would
+//!   double-count activity and attribution, and a stale epoch would
+//!   rewind the absence clock that times resolution.
 
 use crate::persistence::ClusterSource;
 use serde::{Deserialize, Serialize};
@@ -248,6 +253,31 @@ impl OnlineMonitor {
         // Deterministic event order for reproducible logs.
         events.sort_by_key(|e| (e.incident().id, event_rank(e)));
         events
+    }
+
+    /// Feed an epoch that may arrive out of order or duplicated — the
+    /// delivery path of a live server cannot guarantee ordering, and a
+    /// client retry after a lost acknowledgment re-sends an epoch the
+    /// monitor already consumed.
+    ///
+    /// In-order epochs behave exactly like [`OnlineMonitor::observe`].
+    /// A stale or duplicate epoch (id ≤ the last observed id) is
+    /// **skipped** and `None` is returned: replaying it would double-count
+    /// `epochs_active` and attribution (duplicate) or rewind the absence
+    /// clock that times incident resolution (stale). Skipping keeps the
+    /// gap semantics intact — the skipped epoch's id range was already
+    /// accounted for, as observation or as absence, when the stream first
+    /// passed it.
+    pub fn try_observe(&mut self, analysis: &EpochAnalysis) -> Option<Vec<MonitorEvent>> {
+        match self.last_epoch {
+            Some(last) if analysis.epoch <= last => None,
+            _ => Some(self.observe(analysis)),
+        }
+    }
+
+    /// The most recent epoch fed to the monitor, if any.
+    pub fn last_epoch(&self) -> Option<EpochId> {
+        self.last_epoch
     }
 
     /// Resolve every open incident whose cluster has been absent for at
@@ -655,6 +685,89 @@ mod edge_case_tests {
             .resolved_incidents()
             .iter()
             .all(|i| i.epochs_active == 1));
+    }
+
+    /// A duplicated epoch (client retry after a lost ack) must be
+    /// skipped, not double-counted: activity, attribution, and
+    /// confirmation timing are identical to a stream without the
+    /// duplicate.
+    #[test]
+    fn duplicate_epochs_are_skipped_not_double_counted() {
+        let config = MonitorConfig {
+            confirm_after_h: 2,
+            ..MonitorConfig::default()
+        };
+        let mut with_dup = OnlineMonitor::new(config);
+        let mut clean = OnlineMonitor::new(config);
+        let a0 = analysis_with_critical(0, 100, &[(key_a(), 50.0)], 60);
+        let a1 = analysis_with_critical(1, 100, &[(key_a(), 50.0)], 60);
+        let end = analysis_with_critical(5, 100, &[], 0);
+
+        assert!(with_dup.try_observe(&a0).is_some());
+        assert!(with_dup.try_observe(&a1).is_some());
+        assert_eq!(
+            with_dup.try_observe(&a1),
+            None,
+            "the duplicate is skipped, no events"
+        );
+        assert!(with_dup.try_observe(&end).is_some());
+
+        for a in [&a0, &a1, &end] {
+            clean.try_observe(a).unwrap();
+        }
+        assert_eq!(
+            with_dup.resolved_incidents(),
+            clean.resolved_incidents(),
+            "a duplicated epoch must leave no trace on incident history"
+        );
+        // Two observed epochs with confirm_after_h = 2 never confirmed;
+        // a double-counted duplicate would have pushed it to Alerting.
+        assert!(with_dup
+            .resolved_incidents()
+            .iter()
+            .all(|i| i.epochs_active == 2));
+    }
+
+    /// A late (out-of-order) epoch must be skipped: applying it would
+    /// rewind the absence clock and bridge incidents the in-order stream
+    /// already resolved.
+    #[test]
+    fn out_of_order_epochs_are_skipped_and_do_not_rewind() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig::default());
+        monitor
+            .try_observe(&analysis_with_critical(0, 100, &[(key_a(), 50.0)], 60))
+            .unwrap();
+        monitor
+            .try_observe(&analysis_with_critical(4, 100, &[], 0))
+            .unwrap();
+        assert_eq!(monitor.open_incidents().count(), 0, "resolved by absence");
+        assert_eq!(monitor.last_epoch(), Some(EpochId(4)));
+
+        // Epoch 2 arrives late, critical again. In epoch-id time it falls
+        // inside an absence window that already resolved the incident;
+        // accepting it would re-open history.
+        let late = analysis_with_critical(2, 100, &[(key_a(), 50.0)], 60);
+        assert_eq!(monitor.try_observe(&late), None);
+        assert_eq!(monitor.open_incidents().count(), 0);
+        assert_eq!(monitor.last_epoch(), Some(EpochId(4)), "clock not rewound");
+        assert_eq!(monitor.resolved_incidents().len(), 4);
+
+        // The stream continues normally after the skip.
+        let events = monitor
+            .try_observe(&analysis_with_critical(5, 100, &[(key_a(), 50.0)], 60))
+            .unwrap();
+        assert!(events.iter().all(|e| matches!(e, MonitorEvent::Opened(_))));
+    }
+
+    /// `try_observe` on a fresh monitor accepts any first epoch — there
+    /// is no ordering constraint before the first observation.
+    #[test]
+    fn try_observe_accepts_any_first_epoch() {
+        let mut monitor = OnlineMonitor::new(MonitorConfig::default());
+        assert!(monitor
+            .try_observe(&analysis_with_critical(17, 100, &[(key_a(), 50.0)], 60))
+            .is_some());
+        assert_eq!(monitor.last_epoch(), Some(EpochId(17)));
     }
 
     /// `close_after_h = 0` is clamped: an incident observed this epoch is

@@ -24,6 +24,10 @@
 //!   after k epochs (including with torn and truncated checkpoint files)
 //!   and then resumed must reproduce the uninterrupted analyses exactly,
 //!   and a changed config fingerprint must invalidate instead of resume.
+//! * [`wal`] — write-ahead-log oracles for live ingestion
+//!   (`vqlens-serve`): byte-exact replay across segment rotation,
+//!   exact-prefix recovery from torn tails, and analysis equivalence of
+//!   a WAL-replayed dataset with the uninterrupted run.
 //! * [`fuzz`] — a seeded driver that draws scenario variants and
 //!   [`vqlens_synth::faults`] operators, round-trips them through CSV and
 //!   lenient ingestion, and runs every oracle on the result.
@@ -43,6 +47,7 @@ pub mod epoch;
 pub mod fuzz;
 pub mod resume;
 pub mod trace;
+pub mod wal;
 
 use std::fmt;
 use vqlens_cluster::analyze::EpochAnalysis;
@@ -184,6 +189,7 @@ pub fn check_dataset(
     }
     trace::check_trace(&analyses, report);
     resume::check_resume(dataset, thresholds, sig, params, &analyses, seed, report);
+    wal::check_wal(dataset, thresholds, sig, params, &analyses, seed, report);
     analyses
 }
 

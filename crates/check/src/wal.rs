@@ -1,0 +1,283 @@
+//! WAL replay oracles: a server killed at any instant and restarted from
+//! its write-ahead log must be indistinguishable from one that never
+//! died.
+//!
+//! [`crate::resume`] checks the *checkpoint* durability contract; this
+//! module checks the *ingestion* one ([`vqlens_resilience::wal`], used by
+//! `vqlens-serve`):
+//!
+//! * `wal-roundtrip` — every appended record survives the
+//!   append → reopen cycle byte-for-byte, in order, across segment
+//!   rotations.
+//! * `wal-torn-tail` — truncating the final segment mid-frame (a crash
+//!   during an un-acknowledged append) loses only the torn tail: replay
+//!   returns the exact acknowledged prefix, and the healed log accepts
+//!   further appends that survive the next reopen.
+//! * `wal-replay-equivalence` — a dataset serialized into the WAL,
+//!   replayed, and re-ingested produces exactly the uninterrupted
+//!   per-epoch analyses, compared as canonical JSON values.
+//!
+//! The oracles drive the real [`Wal`] against a scratch directory under
+//! the system temp dir (removed afterwards); harness I/O failures are
+//! reported as `wal-io` rather than silently passing.
+
+use crate::CheckReport;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_cluster::critical::CriticalParams;
+use vqlens_cluster::problem::SignificanceParams;
+use vqlens_model::csv::{read_csv, write_csv};
+use vqlens_model::dataset::Dataset;
+use vqlens_model::metric::Thresholds;
+use vqlens_resilience::{Wal, WalOptions};
+
+/// Run the WAL oracles over a dataset and its uninterrupted per-epoch
+/// analyses. Does nothing for empty datasets (no records to log).
+pub fn check_wal(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    analyses: &[EpochAnalysis],
+    seed: u64,
+    report: &mut CheckReport,
+) {
+    if dataset.num_sessions() == 0 {
+        return;
+    }
+    let dir = scratch_dir(seed);
+    let result = run_oracles(dataset, thresholds, sig, params, analyses, &dir, report);
+    let _ = fs::remove_dir_all(&dir);
+    if let Err(e) = result {
+        report.violate("wal-io", None, None, format!("WAL harness I/O failed: {e}"));
+    }
+}
+
+fn scratch_dir(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "vqlens-check-wal-{}-{seed:016x}",
+        std::process::id()
+    ))
+}
+
+/// The dataset's CSV data lines — the exact payloads a live server would
+/// acknowledge, in a deterministic order.
+fn csv_lines(dataset: &Dataset) -> Result<Vec<String>, io::Error> {
+    let mut buf = Vec::new();
+    write_csv(dataset, &mut buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let text = String::from_utf8(buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(text.lines().skip(1).map(str::to_owned).collect())
+}
+
+fn run_oracles(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    analyses: &[EpochAnalysis],
+    dir: &Path,
+    report: &mut CheckReport,
+) -> io::Result<()> {
+    let lines = csv_lines(dataset)?;
+    // A small segment size forces rotation even on smoke-sized traces,
+    // so the multi-segment replay path is always exercised.
+    let opts = WalOptions {
+        segment_bytes: 4096,
+        ..WalOptions::default()
+    };
+
+    // wal-roundtrip: append everything, reopen, demand byte-identical
+    // payloads in order.
+    let _ = fs::remove_dir_all(dir);
+    fs::create_dir_all(dir)?;
+    {
+        let (mut wal, replay) = Wal::open(dir, opts.clone())?;
+        report.ran(1);
+        if !replay.records.is_empty() {
+            report.violate(
+                "wal-roundtrip",
+                None,
+                None,
+                format!("fresh WAL replayed {} records", replay.records.len()),
+            );
+        }
+        wal.append_batch(lines.iter().map(String::as_bytes))?;
+    }
+    let (_, replay) = Wal::open(dir, opts.clone())?;
+    report.ran(1);
+    let replayed_ok = replay.records.len() == lines.len()
+        && replay
+            .records
+            .iter()
+            .zip(&lines)
+            .all(|(record, line)| record.as_slice() == line.as_bytes());
+    if !replayed_ok {
+        report.violate(
+            "wal-roundtrip",
+            None,
+            None,
+            format!(
+                "appended {} records across segments, replay returned {} (or differing bytes)",
+                lines.len(),
+                replay.records.len()
+            ),
+        );
+    }
+
+    // wal-torn-tail: shear bytes off the last segment — a crash inside an
+    // un-acknowledged append — and demand an exact-prefix replay plus a
+    // writable, durable log afterwards.
+    for shear in [1u64, 7] {
+        let Some((last_segment, len)) = last_segment(dir)? else {
+            break;
+        };
+        if len <= shear {
+            continue;
+        }
+        let file = fs::OpenOptions::new().write(true).open(&last_segment)?;
+        file.set_len(len - shear)?;
+        file.sync_all()?;
+        drop(file);
+
+        let (mut wal, torn) = Wal::open(dir, opts.clone())?;
+        report.ran(1);
+        let prefix_ok = torn.records.len() <= lines.len()
+            && torn
+                .records
+                .iter()
+                .zip(&lines)
+                .all(|(record, line)| record.as_slice() == line.as_bytes());
+        if !prefix_ok {
+            report.violate(
+                "wal-torn-tail",
+                None,
+                None,
+                format!(
+                    "after shearing {shear} bytes, replay returned {} records that are not an exact prefix of the {} appended",
+                    torn.records.len(),
+                    lines.len()
+                ),
+            );
+        }
+        // The healed log must keep working: append once more and demand
+        // prefix + new record on the next reopen.
+        wal.append(b"post-crash-record")?;
+        let prefix_len = torn.records.len();
+        drop(wal);
+        let (_, healed) = Wal::open(dir, opts.clone())?;
+        report.ran(1);
+        if healed.records.len() != prefix_len + 1
+            || healed.records.last().map(Vec::as_slice) != Some(b"post-crash-record".as_slice())
+        {
+            report.violate(
+                "wal-torn-tail",
+                None,
+                None,
+                format!(
+                    "healed WAL with {prefix_len}-record prefix replayed {} records after one more append",
+                    healed.records.len()
+                ),
+            );
+        }
+    }
+
+    // wal-replay-equivalence: rebuild a dataset from a freshly written
+    // log's replay and demand the uninterrupted analyses, exactly.
+    let _ = fs::remove_dir_all(dir);
+    fs::create_dir_all(dir)?;
+    {
+        let (mut wal, _) = Wal::open(dir, opts.clone())?;
+        wal.append_batch(lines.iter().map(String::as_bytes))?;
+    }
+    let (_, replay) = Wal::open(dir, opts)?;
+    let mut csv = String::from(vqlens_model::csv::CSV_HEADER);
+    csv.push('\n');
+    for record in &replay.records {
+        csv.push_str(std::str::from_utf8(record).unwrap_or(""));
+        csv.push('\n');
+    }
+    let rebuilt = read_csv(csv.as_bytes())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    report.ran(1);
+    for original in analyses {
+        let id = original.epoch;
+        let recomputed = EpochAnalysis::compute(id, rebuilt.epoch(id), thresholds, sig, params);
+        if !json_equal(&recomputed, original) {
+            report.violate(
+                "wal-replay-equivalence",
+                Some(id),
+                None,
+                "analysis of the WAL-replayed dataset differs from the uninterrupted run"
+                    .to_owned(),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The highest-sequence segment file and its length.
+fn last_segment(dir: &Path) -> io::Result<Option<(PathBuf, u64)>> {
+    let mut segments: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    segments.sort();
+    match segments.pop() {
+        Some(path) => {
+            let len = fs::metadata(&path)?.len();
+            Ok(Some((path, len)))
+        }
+        None => Ok(None),
+    }
+}
+
+fn json_equal(a: &EpochAnalysis, b: &EpochAnalysis) -> bool {
+    match (serde_json::to_value(a), serde_json::to_value(b)) {
+        (Ok(x), Ok(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_synth::scenario::{generate, Scenario};
+
+    #[test]
+    fn wal_oracles_pass_on_a_smoke_trace() {
+        let output = generate(&Scenario::smoke());
+        let thresholds = Thresholds::default();
+        let sig = SignificanceParams::scaled_to(
+            output.dataset.num_sessions() as u64 / u64::from(output.dataset.num_epochs().max(1)),
+        );
+        let params = CriticalParams::default();
+        let analyses: Vec<EpochAnalysis> = (0..output.dataset.num_epochs())
+            .map(EpochId)
+            .filter(|id| !output.dataset.epoch(*id).is_empty())
+            .map(|id| {
+                EpochAnalysis::compute(id, output.dataset.epoch(id), &thresholds, &sig, &params)
+            })
+            .collect();
+        let mut report = CheckReport::default();
+        check_wal(
+            &output.dataset,
+            &thresholds,
+            &sig,
+            &params,
+            &analyses,
+            0xA11CE,
+            &mut report,
+        );
+        assert!(report.passed(), "WAL oracles violated:\n{report}");
+        assert!(report.oracles_run >= 4);
+    }
+}

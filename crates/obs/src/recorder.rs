@@ -56,11 +56,14 @@ pub enum Stage {
     /// Checkpoint store open/load (trace-scoped) and per-epoch checkpoint
     /// writes (epoch-scoped) of a resumable run (`vqlens_resilience`).
     Checkpoint = 13,
+    /// Live ingestion service (`vqlens-serve`): WAL replay on startup
+    /// (trace-scoped) and request handling over the server's lifetime.
+    Serve = 14,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -78,6 +81,7 @@ impl Stage {
         Stage::WhatIf,
         Stage::Check,
         Stage::Checkpoint,
+        Stage::Serve,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -97,6 +101,7 @@ impl Stage {
             Stage::WhatIf => "what_if",
             Stage::Check => "check",
             Stage::Checkpoint => "checkpoint",
+            Stage::Serve => "serve",
         }
     }
 }
@@ -177,11 +182,29 @@ pub enum Counter {
     MemLadderSteps = 30,
     /// Sessions dropped by the ladder's per-epoch sampling rung.
     SessionsSampledOut = 31,
+    /// HTTP requests accepted by the ingestion server's listener.
+    ServeRequests = 32,
+    /// Ingest requests shed with `429 Retry-After` (queue full).
+    ServeRequestsShed = 33,
+    /// Peak depth the bounded ingest queue reached (recorded once, at
+    /// server shutdown — a high-water mark, not a running total).
+    ServeQueueDepthPeak = 34,
+    /// Session records appended to the write-ahead log (durable before
+    /// the client was acknowledged).
+    WalRecordsAppended = 35,
+    /// Session records recovered by WAL replay at server startup.
+    WalRecordsReplayed = 36,
+    /// Torn or checksum-damaged WAL tail records discarded during replay
+    /// (un-acknowledged writes from a crash; never acknowledged data).
+    WalTornTailsHealed = 37,
+    /// Transient checkpoint/WAL I/O errors absorbed by bounded
+    /// retry-with-backoff instead of failing the epoch or request.
+    IoRetries = 38,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 39;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -217,6 +240,13 @@ impl Counter {
         Counter::DeadlineBreaches,
         Counter::MemLadderSteps,
         Counter::SessionsSampledOut,
+        Counter::ServeRequests,
+        Counter::ServeRequestsShed,
+        Counter::ServeQueueDepthPeak,
+        Counter::WalRecordsAppended,
+        Counter::WalRecordsReplayed,
+        Counter::WalTornTailsHealed,
+        Counter::IoRetries,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -254,6 +284,13 @@ impl Counter {
             Counter::DeadlineBreaches => "deadline_breaches",
             Counter::MemLadderSteps => "mem_ladder_steps",
             Counter::SessionsSampledOut => "sessions_sampled_out",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeRequestsShed => "serve_requests_shed",
+            Counter::ServeQueueDepthPeak => "serve_queue_depth_peak",
+            Counter::WalRecordsAppended => "wal_records_appended",
+            Counter::WalRecordsReplayed => "wal_records_replayed",
+            Counter::WalTornTailsHealed => "wal_torn_tails_healed",
+            Counter::IoRetries => "io_retries",
         }
     }
 

@@ -63,12 +63,34 @@ impl AtomicFile {
     }
 
     /// Flush, sync, and atomically rename into place.
+    ///
+    /// Durability guarantee: after `commit` returns `Ok`, the destination
+    /// file — with its full content — survives power loss, not just
+    /// process death. `rename` alone only orders the *data* (synced
+    /// before the rename); the directory entry itself lives in the parent
+    /// directory's metadata, so the parent is fsynced after the rename.
+    /// Without that step a crash shortly after commit can roll the
+    /// directory back to the old entry, silently losing an acknowledged
+    /// checkpoint or WAL segment.
     pub fn commit(mut self) -> io::Result<()> {
         let file = self.file.take().expect("file present until commit/drop");
         file.sync_all()?;
         drop(file);
-        fs::rename(&self.tmp, &self.dest)
+        fs::rename(&self.tmp, &self.dest)?;
+        if let Some(parent) = self.dest.parent() {
+            fsync_dir(parent)?;
+        }
+        Ok(())
     }
+}
+
+/// Fsync a directory so that recently created, removed, or renamed
+/// entries inside it are durable. Called by [`AtomicFile::commit`] and by
+/// the WAL when it opens a fresh segment file; a no-op on platforms where
+/// directories cannot be opened for sync (the open error is surfaced —
+/// on Linux, the supported target, directory fds sync fine).
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
 }
 
 impl Write for AtomicFile {
@@ -143,6 +165,14 @@ mod tests {
         assert!(!path.exists(), "uncommitted write must not appear");
         let entries: Vec<_> = fs::read_dir(&dir).unwrap().collect();
         assert!(entries.is_empty(), "temporary must be cleaned up");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_dir_accepts_a_directory() {
+        let dir = scratch_dir("fsyncdir");
+        fsync_dir(&dir).unwrap();
+        assert!(fsync_dir(&dir.join("missing")).is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 

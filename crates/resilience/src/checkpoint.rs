@@ -19,6 +19,7 @@
 //!   destination, but defense-in-depth costs one `serde_json` parse.
 
 use crate::atomicio::{self, atomic_write};
+use crate::retry::{retry_io, RetryPolicy};
 use crate::status::EpochStatus;
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -181,6 +182,10 @@ impl CheckpointStore {
 
     /// Persist one completed epoch atomically. Failed epochs must not be
     /// saved (resume retries them); callers uphold this.
+    ///
+    /// Transient write errors (`EINTR`/`ENOSPC`-style) are absorbed by a
+    /// bounded retry-with-backoff and surfaced as the `io_retries`
+    /// counter rather than failing the epoch outright.
     pub fn save_epoch(&self, cp: &EpochCheckpoint) -> io::Result<()> {
         debug_assert!(
             !matches!(cp.status, EpochStatus::Failed { .. }),
@@ -189,7 +194,10 @@ impl CheckpointStore {
         let rec = obs::global();
         let _span = rec.span_epoch(obs::Stage::Checkpoint, cp.epoch);
         let json = serde_json::to_string(cp).map_err(io::Error::other)?;
-        atomic_write(&self.dir.join(epoch_file_name(cp.epoch)), json.as_bytes())?;
+        let dest = self.dir.join(epoch_file_name(cp.epoch));
+        retry_io(&RetryPolicy::durable_writes(), || {
+            atomic_write(&dest, json.as_bytes())
+        })?;
         rec.incr(obs::Counter::EpochsCheckpointed);
         Ok(())
     }

@@ -8,7 +8,7 @@
 //! the pipeline itself — not just its ingestion — must survive partial
 //! failure mid-run.
 //!
-//! Three mechanisms, each usable on its own:
+//! Five mechanisms, each usable on its own:
 //!
 //! * [`checkpoint`] — epoch-granular checkpointing. After each epoch's
 //!   analysis the result is serialized into an append-only checkpoint
@@ -27,6 +27,13 @@
 //!   analyses → raise the cluster-size prune floor → sample sessions per
 //!   epoch at a recorded rate. Every step taken is recorded in the
 //!   [`vqlens_obs`] run report.
+//! * [`wal`] — a length-prefixed, checksummed write-ahead log for live
+//!   ingestion (`vqlens-serve`): records are fsynced *before* the client
+//!   is acknowledged and replayed on startup, so a killed-then-restarted
+//!   server is equivalent to an uninterrupted one.
+//! * [`retry`] — bounded retry-with-backoff for transient durable-write
+//!   errors (`EINTR`/`ENOSPC`-style), surfaced as the `io_retries`
+//!   counter instead of an immediate epoch or request failure.
 //!
 //! [`status::EpochStatus`] is the shared per-epoch outcome type
 //! (`Ok` / `Degraded { causes }` / `Failed`); `vqlens-core` re-exports it
@@ -44,13 +51,17 @@ pub mod checkpoint;
 pub mod deadline;
 pub mod fingerprint;
 pub mod membudget;
+pub mod retry;
 pub mod status;
+pub mod wal;
 
-pub use atomicio::{atomic_write, AtomicFile};
+pub use atomicio::{atomic_write, fsync_dir, AtomicFile};
 pub use checkpoint::{CheckpointStore, EpochCheckpoint, Manifest};
 pub use deadline::{watch, Breach, Deadline, StageDeadlines};
 pub use fingerprint::{fingerprint_dataset, fingerprint_json, Hasher64};
 pub use membudget::{
     apply_sampling, estimate, plan_ladder, sample_epoch_data, LadderStep, MemEstimate,
 };
+pub use retry::{is_transient, retry_io, RetryPolicy};
 pub use status::{DegradeCause, EpochStatus};
+pub use wal::{Wal, WalOptions, WalReplay};

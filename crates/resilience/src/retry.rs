@@ -1,0 +1,158 @@
+//! Bounded retry with exponential backoff for transient I/O errors.
+//!
+//! Durable-write paths (checkpoint saves, WAL appends) can hit errors
+//! that are *transient* — `EINTR` from a signal, `ENOSPC` while a log
+//! rotation is freeing space, a spurious timeout — where failing the
+//! whole epoch (or dropping a live ingest request) is the wrong
+//! trade-off. [`retry_io`] re-runs the operation a bounded number of
+//! times with exponential backoff, records every absorbed failure under
+//! [`vqlens_obs::Counter::IoRetries`], and only surfaces the final error
+//! once the budget is exhausted. Non-transient errors (permissions,
+//! missing directories, corrupted data) are returned immediately —
+//! retrying those just delays the inevitable.
+
+use std::io;
+use std::thread;
+use std::time::Duration;
+use vqlens_obs::Counter;
+
+/// `ENOSPC` on every unix vqlens targets; matched by raw os error so the
+/// crate stays dependency-free (`io::ErrorKind::StorageFull` is not
+/// available on the workspace's MSRV).
+const ENOSPC: i32 = 28;
+
+/// How many times, and how patiently, to re-run a failed I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` disables retrying).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles after each subsequent
+    /// failure.
+    pub initial_backoff: Duration,
+    /// Ceiling on the per-retry sleep.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// The default durable-write policy: 4 attempts, 10 ms → 80 ms
+    /// backoff — under half a second of added worst-case latency, which
+    /// a checkpointing epoch or an ingest request can afford.
+    pub fn durable_writes() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+
+    /// A policy that never retries (attempts = 1).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::durable_writes()
+    }
+}
+
+/// True when `err` is the kind of failure that plausibly clears on its
+/// own: interrupted syscalls, timeouts, would-block, and out-of-space
+/// (space is routinely reclaimed by concurrent log rotation/compaction).
+pub fn is_transient(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    ) || err.raw_os_error() == Some(ENOSPC)
+}
+
+/// Run `op` under `policy`: transient failures are retried with
+/// exponential backoff (each absorbed failure bumps
+/// [`Counter::IoRetries`] on the global recorder); non-transient
+/// failures and budget exhaustion return the error.
+pub fn retry_io<T>(policy: &RetryPolicy, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut backoff = policy.initial_backoff;
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < policy.attempts.max(1) && is_transient(&e) => {
+                vqlens_obs::global().incr(Counter::IoRetries);
+                if !backoff.is_zero() {
+                    thread::sleep(backoff.min(policy.max_backoff));
+                }
+                backoff = (backoff * 2).min(policy.max_backoff);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flaky(fail_times: u32, kind: io::ErrorKind) -> impl FnMut() -> io::Result<u32> {
+        let mut left = fail_times;
+        move || {
+            if left > 0 {
+                left -= 1;
+                Err(io::Error::new(kind, "transient"))
+            } else {
+                Ok(42)
+            }
+        }
+    }
+
+    fn quick(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let got = retry_io(&quick(4), flaky(3, io::ErrorKind::Interrupted)).unwrap();
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_the_error() {
+        let err = retry_io(&quick(3), flaky(5, io::ErrorKind::TimedOut)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn non_transient_errors_fail_immediately() {
+        let mut calls = 0;
+        let err = retry_io::<u32>(&quick(4), || {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "nope"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(calls, 1, "permission errors must not be retried");
+    }
+
+    #[test]
+    fn enospc_is_transient_by_raw_os_error() {
+        let e = io::Error::from_raw_os_error(ENOSPC);
+        assert!(is_transient(&e));
+        let other = io::Error::from_raw_os_error(13); // EACCES
+        assert!(!is_transient(&other));
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let err = retry_io(&RetryPolicy::none(), flaky(1, io::ErrorKind::Interrupted)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+    }
+}

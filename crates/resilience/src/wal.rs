@@ -1,0 +1,471 @@
+//! A length-prefixed, checksummed write-ahead log for live ingestion.
+//!
+//! The ingestion server (`vqlens-serve`) appends every *accepted* session
+//! record here and fsyncs **before** acknowledging the client, so a
+//! killed-then-restarted server replays to exactly the state an
+//! uninterrupted server would hold: acknowledged data is never lost, and
+//! un-acknowledged tail writes are healed (discarded) on replay — the
+//! client never heard a 2xx for them, so retrying is its job.
+//!
+//! On-disk layout of a WAL directory:
+//!
+//! ```text
+//! <dir>/wal-00000001.log   — segment files, strictly ordered by sequence
+//! <dir>/wal-00000002.log
+//! ```
+//!
+//! Each segment starts with an 8-byte magic (`VQWAL\x00\x00\x01`) and
+//! then holds records of the form:
+//!
+//! ```text
+//! [u32 le payload length][u64 le FNV-1a of payload][payload bytes]
+//! ```
+//!
+//! Replay walks segments in order, verifying length bounds and checksums.
+//! The first damaged record in a segment ends that segment's replay: a
+//! torn tail in the **last** segment is the expected crash signature and
+//! is physically truncated away so appends continue from a clean end;
+//! damage anywhere else is counted and skipped but never aborts startup.
+//! Directory entries for fresh segments are fsynced
+//! ([`crate::atomicio::fsync_dir`]) so a just-rotated segment survives
+//! power loss, and appends go through the bounded transient-error retry
+//! of [`crate::retry`].
+
+use crate::atomicio::fsync_dir;
+use crate::fingerprint::Hasher64;
+use crate::retry::{retry_io, RetryPolicy};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use vqlens_obs as obs;
+
+/// Segment file magic: identifies the file format and pins its version.
+const MAGIC: [u8; 8] = *b"VQWAL\x00\x00\x01";
+
+/// Per-record framing overhead: u32 length + u64 checksum.
+const RECORD_HEADER: usize = 4 + 8;
+
+/// Upper bound on a single record's payload; a corrupt length prefix must
+/// not trigger a gigabyte allocation during replay.
+pub const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Tuning knobs for a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// Rotate to a fresh segment once the current one exceeds this many
+    /// bytes (checked after each batch; segments may overshoot by one
+    /// batch).
+    pub segment_bytes: u64,
+    /// Retry policy for transient append/sync failures.
+    pub retry: RetryPolicy,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions {
+            segment_bytes: 64 * 1024 * 1024,
+            retry: RetryPolicy::durable_writes(),
+        }
+    }
+}
+
+/// What replay recovered from an existing WAL directory.
+#[derive(Debug, Clone, Default)]
+pub struct WalReplay {
+    /// Every intact record's payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Segment files visited.
+    pub segments: u64,
+    /// Damaged (torn / checksum-failed) records discarded. Only ever
+    /// un-acknowledged writes: an acknowledged record was fsynced whole.
+    pub torn_records: u64,
+    /// Total payload bytes recovered.
+    pub payload_bytes: u64,
+}
+
+/// An open write-ahead log: appends are durable once
+/// [`Wal::append_batch`] returns.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    opts: WalOptions,
+    /// Currently open segment (always the highest sequence number).
+    file: File,
+    seg_seq: u64,
+    seg_len: u64,
+}
+
+fn segment_name(seq: u64) -> String {
+    format!("wal-{seq:08}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = Hasher64::new();
+    h.update(payload);
+    h.digest()
+}
+
+/// Outcome of scanning one segment during replay.
+struct SegmentScan {
+    records: Vec<Vec<u8>>,
+    /// Byte offset of the end of the last intact record (the truncation
+    /// point for a torn last segment).
+    valid_len: u64,
+    /// Whether any damaged record ended the scan early.
+    damaged: bool,
+    /// Damaged record count (0 or 1 per segment: the scan stops at the
+    /// first bad frame; everything after it is unframed noise).
+    torn: u64,
+}
+
+fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        // Wrong magic: a foreign or versioned-ahead file. Treat the whole
+        // body as damage — replay keeps going with later segments.
+        return Ok(SegmentScan {
+            records: Vec::new(),
+            valid_len: MAGIC.len() as u64,
+            damaged: true,
+            torn: u64::from(!bytes.is_empty()),
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = MAGIC.len();
+    loop {
+        if pos == bytes.len() {
+            // Clean end of segment.
+            return Ok(SegmentScan {
+                records,
+                valid_len: pos as u64,
+                damaged: false,
+                torn: 0,
+            });
+        }
+        let frame_ok = (|| {
+            let header = bytes.get(pos..pos + RECORD_HEADER)?;
+            let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+            if len > MAX_RECORD_BYTES {
+                return None;
+            }
+            let sum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+            let payload = bytes.get(pos + RECORD_HEADER..pos + RECORD_HEADER + len as usize)?;
+            (checksum(payload) == sum).then(|| payload.to_vec())
+        })();
+        match frame_ok {
+            Some(payload) => {
+                pos += RECORD_HEADER + payload.len();
+                records.push(payload);
+            }
+            None => {
+                // Torn or corrupt frame: stop here; the valid prefix
+                // stands, the rest of the segment is discarded.
+                return Ok(SegmentScan {
+                    records,
+                    valid_len: pos as u64,
+                    damaged: true,
+                    torn: 1,
+                });
+            }
+        }
+    }
+}
+
+impl Wal {
+    /// Open (creating if needed) the WAL directory, replay every intact
+    /// record, heal the active segment's torn tail, and return the log
+    /// positioned for appending plus the replayed records.
+    pub fn open(dir: &Path, opts: WalOptions) -> io::Result<(Wal, WalReplay)> {
+        let rec = obs::global();
+        let _span = rec.span(obs::Stage::Serve);
+        fs::create_dir_all(dir)?;
+
+        let mut seqs: Vec<u64> = fs::read_dir(dir)?
+            .filter_map(|e| parse_segment_name(&e.ok()?.file_name().to_string_lossy()))
+            .collect();
+        seqs.sort_unstable();
+
+        let mut replay = WalReplay::default();
+        let last = seqs.last().copied();
+        for &seq in &seqs {
+            let path = dir.join(segment_name(seq));
+            let scan = scan_segment(&path)?;
+            replay.segments += 1;
+            replay.torn_records += scan.torn;
+            if scan.damaged && Some(seq) == last {
+                // The crash signature: truncate the active segment back
+                // to its last intact record so appends restart cleanly.
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(scan.valid_len)?;
+                f.sync_all()?;
+            }
+            for payload in scan.records {
+                replay.payload_bytes += payload.len() as u64;
+                replay.records.push(payload);
+            }
+        }
+        rec.add(
+            obs::Counter::WalRecordsReplayed,
+            replay.records.len() as u64,
+        );
+        rec.add(obs::Counter::WalTornTailsHealed, replay.torn_records);
+
+        let (file, seg_seq, seg_len) = match last {
+            Some(seq) => {
+                let path = dir.join(segment_name(seq));
+                let mut f = OpenOptions::new().append(true).open(&path)?;
+                let len = f.seek(SeekFrom::End(0))?;
+                (f, seq, len)
+            }
+            None => Wal::create_segment(dir, 1)?,
+        };
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                opts,
+                file,
+                seg_seq,
+                seg_len,
+            },
+            replay,
+        ))
+    }
+
+    fn create_segment(dir: &Path, seq: u64) -> io::Result<(File, u64, u64)> {
+        let path = dir.join(segment_name(seq));
+        let mut f = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        f.write_all(&MAGIC)?;
+        f.sync_all()?;
+        // The new directory entry must itself survive power loss.
+        fsync_dir(dir)?;
+        Ok((f, seq, MAGIC.len() as u64))
+    }
+
+    /// The directory this WAL lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number of the segment currently being appended to.
+    pub fn segment_seq(&self) -> u64 {
+        self.seg_seq
+    }
+
+    /// Durably append a batch of records: one buffered write, one fsync,
+    /// then (if the segment is over budget) a rotation. When this returns
+    /// `Ok`, every record in the batch survives power loss — only then
+    /// may the caller acknowledge the client.
+    ///
+    /// Transient failures retry under the configured policy; a batch that
+    /// ultimately errors must be treated as *not* acknowledged (some
+    /// frames may be on disk, but replay's torn-tail healing discards an
+    /// incomplete final frame, and duplicated intact frames cannot occur
+    /// because the write buffer is assembled before any byte is written).
+    pub fn append_batch<I, B>(&mut self, records: I) -> io::Result<usize>
+    where
+        I: IntoIterator<Item = B>,
+        B: AsRef<[u8]>,
+    {
+        let mut buf = Vec::new();
+        let mut count = 0usize;
+        for r in records {
+            let payload = r.as_ref();
+            let len = u32::try_from(payload.len())
+                .ok()
+                .filter(|&l| l <= MAX_RECORD_BYTES)
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "WAL record too large")
+                })?;
+            buf.extend_from_slice(&len.to_le_bytes());
+            buf.extend_from_slice(&checksum(payload).to_le_bytes());
+            buf.extend_from_slice(payload);
+            count += 1;
+        }
+        if count == 0 {
+            return Ok(0);
+        }
+        let retry = self.opts.retry;
+        retry_io(&retry, || {
+            self.file.write_all(&buf)?;
+            self.file.sync_data()
+        })?;
+        self.seg_len += buf.len() as u64;
+        obs::global().add(obs::Counter::WalRecordsAppended, count as u64);
+        if self.seg_len >= self.opts.segment_bytes {
+            let (file, seq, len) = Wal::create_segment(&self.dir, self.seg_seq + 1)?;
+            self.file = file;
+            self.seg_seq = seq;
+            self.seg_len = len;
+        }
+        Ok(count)
+    }
+
+    /// Durably append one record (see [`Wal::append_batch`]).
+    pub fn append(&mut self, record: &[u8]) -> io::Result<()> {
+        self.append_batch([record]).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vqlens-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path) -> (Wal, WalReplay) {
+        Wal::open(dir, WalOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_records_in_order() {
+        let dir = scratch_dir("roundtrip");
+        {
+            let (mut wal, replay) = open(&dir);
+            assert!(replay.records.is_empty());
+            wal.append(b"alpha").unwrap();
+            wal.append_batch([b"beta".as_slice(), b"gamma".as_slice()])
+                .unwrap();
+        }
+        let (_wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"alpha".as_slice(), b"beta", b"gamma"]);
+        assert_eq!(replay.torn_records, 0);
+        assert_eq!(replay.payload_bytes, 14);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_healed_and_appends_continue() {
+        let dir = scratch_dir("torn");
+        {
+            let (mut wal, _) = open(&dir);
+            wal.append(b"keep-me").unwrap();
+            wal.append(b"tear-me").unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the segment tail.
+        let seg = dir.join(segment_name(1));
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (mut wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"keep-me".as_slice()]);
+        assert_eq!(replay.torn_records, 1);
+
+        // The healed log accepts appends and the next replay sees both.
+        wal.append(b"after-crash").unwrap();
+        drop(wal);
+        let (_wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"keep-me".as_slice(), b"after-crash"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checksum_ends_that_segments_replay() {
+        let dir = scratch_dir("checksum");
+        {
+            let (mut wal, _) = open(&dir);
+            wal.append(b"good").unwrap();
+            wal.append(b"evil").unwrap();
+        }
+        let seg = dir.join(segment_name(1));
+        let mut bytes = fs::read(&seg).unwrap();
+        // Flip one payload byte of the second record (the last byte).
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        fs::write(&seg, &bytes).unwrap();
+
+        let (_wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"good".as_slice()]);
+        assert_eq!(replay.torn_records, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_spans_them() {
+        let dir = scratch_dir("rotate");
+        let opts = WalOptions {
+            segment_bytes: 64,
+            ..WalOptions::default()
+        };
+        {
+            let (mut wal, _) = Wal::open(&dir, opts.clone()).unwrap();
+            for i in 0..8 {
+                wal.append(format!("record-{i}-padding-padding").as_bytes())
+                    .unwrap();
+            }
+            assert!(wal.segment_seq() > 1, "rotation must have happened");
+        }
+        let (_wal, replay) = Wal::open(&dir, opts).unwrap();
+        assert_eq!(replay.records.len(), 8);
+        assert!(replay.segments > 1);
+        let order: Vec<String> = replay
+            .records
+            .iter()
+            .map(|r| String::from_utf8_lossy(r).into_owned())
+            .collect();
+        assert!(order[0].starts_with("record-0"));
+        assert!(order[7].starts_with("record-7"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_magic_is_skipped_not_fatal() {
+        let dir = scratch_dir("magic");
+        {
+            let (mut wal, _) = open(&dir);
+            wal.append(b"mine").unwrap();
+        }
+        // An operator dropped a foreign file matching the name pattern
+        // *below* the live segment; replay must survive it.
+        fs::rename(dir.join(segment_name(1)), dir.join(segment_name(2))).unwrap();
+        fs::write(dir.join(segment_name(1)), b"not a wal segment").unwrap();
+
+        let (_wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"mine".as_slice()]);
+        assert_eq!(replay.torn_records, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_records_are_rejected_up_front() {
+        let dir = scratch_dir("oversize");
+        let (mut wal, _) = open(&dir);
+        let too_big = vec![0u8; MAX_RECORD_BYTES as usize + 1];
+        let err = wal.append(&too_big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // Nothing was written: the next open replays an empty log.
+        drop(wal);
+        let (_wal, replay) = open(&dir);
+        assert!(replay.records.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_names_parse_strictly() {
+        assert_eq!(parse_segment_name("wal-00000001.log"), Some(1));
+        assert_eq!(parse_segment_name("wal-00012345.log"), Some(12345));
+        assert_eq!(parse_segment_name("wal-1.log"), None);
+        assert_eq!(parse_segment_name("wal-0000000x.log"), None);
+        assert_eq!(parse_segment_name("epoch-00000001.json"), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! A deliberately small HTTP/1.1 server-side codec over [`std::net`].
+//!
+//! `vqlens-serve` stays dependency-free (like `vqlens-obs`), so instead of
+//! an HTTP framework this module hand-rolls exactly the subset the service
+//! needs: one request per connection (`Connection: close`), `GET`/`POST`,
+//! explicit `Content-Length` bodies, and a query string of `k=v` pairs.
+//! Everything else is rejected with a precise status code rather than
+//! parsed permissively — the ingest path treats the network as hostile:
+//!
+//! * request/header lines and header counts are hard-capped, so a client
+//!   cannot grow server memory with an unbounded head;
+//! * the body is read with `Content-Length` only (chunked encoding is
+//!   refused with `411`), capped by the configured body limit (`413`);
+//! * the caller sets a socket read deadline before parsing, so a slowloris
+//!   client dribbling one byte per minute hits [`RequestError::TimedOut`]
+//!   (`408`) instead of pinning a handler thread forever.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request or header line, in bytes.
+const MAX_HEAD_LINE: usize = 8 * 1024;
+/// Most header lines accepted before the request is rejected.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string, e.g. `/ingest`.
+    pub path: String,
+    /// Decoded `k=v` query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; each variant maps to one response.
+#[derive(Debug)]
+pub(crate) enum RequestError {
+    /// Bytes that are not HTTP, an oversized head, or an unsupported
+    /// framing (maps to `400`, or `411` for chunked bodies).
+    Malformed(&'static str),
+    /// The socket read deadline fired mid-request (maps to `408`).
+    TimedOut,
+    /// Declared body larger than the configured cap (maps to `413`).
+    TooLarge {
+        /// The configured cap the request exceeded.
+        limit: usize,
+    },
+    /// The peer closed the connection before a full request arrived; no
+    /// response can be delivered, the connection is simply dropped.
+    Disconnected,
+    /// Any other socket failure.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> RequestError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => RequestError::TimedOut,
+            io::ErrorKind::UnexpectedEof => RequestError::Disconnected,
+            _ => RequestError::Io(e),
+        }
+    }
+}
+
+/// Read one line (ending `\n`, with any `\r` stripped) of at most
+/// [`MAX_HEAD_LINE`] bytes.
+fn read_limited_line<R: BufRead>(reader: &mut R) -> Result<String, RequestError> {
+    let mut buf = Vec::with_capacity(128);
+    let n = reader
+        .by_ref()
+        .take(MAX_HEAD_LINE as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Err(RequestError::Disconnected);
+    }
+    if buf.last() != Some(&b'\n') {
+        // Either the line overflowed the cap or the peer vanished
+        // mid-line; both end the request.
+        return Err(if n > MAX_HEAD_LINE {
+            RequestError::Malformed("header line too long")
+        } else {
+            RequestError::Disconnected
+        });
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| RequestError::Malformed("non-UTF-8 request head"))
+}
+
+/// Parse one request from `stream`. The caller must have set the socket
+/// read timeout already; `max_body` caps the accepted `Content-Length`.
+pub(crate) fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_limited_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(RequestError::Malformed("bad request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed("unsupported HTTP version"));
+    }
+    let (path, query) = parse_target(target)?;
+
+    let mut content_length = 0usize;
+    let mut has_body = false;
+    for _ in 0..MAX_HEADERS {
+        let line = read_limited_line(&mut reader)?;
+        if line.is_empty() {
+            let mut body = vec![0u8; content_length];
+            if content_length > 0 {
+                reader.read_exact(&mut body)?;
+            }
+            return Ok(Request {
+                method: method.to_ascii_uppercase(),
+                path,
+                query,
+                body,
+            });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed("header without colon"));
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .parse()
+                .map_err(|_| RequestError::Malformed("unparsable content-length"))?;
+            if has_body && n != content_length {
+                return Err(RequestError::Malformed("conflicting content-length"));
+            }
+            if n > max_body {
+                return Err(RequestError::TooLarge { limit: max_body });
+            }
+            content_length = n;
+            has_body = true;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Length-prefixed framing only: the WAL ack contract needs to
+            // know the full body before any durable work starts.
+            return Err(RequestError::Malformed("chunked bodies not supported"));
+        }
+    }
+    Err(RequestError::Malformed("too many headers"))
+}
+
+/// Split a request target into its path and query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), RequestError> {
+    if !target.starts_with('/') {
+        return Err(RequestError::Malformed("target is not an absolute path"));
+    }
+    let (path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.push((k.to_owned(), v.to_owned()));
+    }
+    Ok((path.to_owned(), query))
+}
+
+/// Reason phrase for the handful of status codes the service emits.
+pub(crate) fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Write one `Connection: close` response with a JSON body.
+pub(crate) fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A small JSON object body, e.g. `{"error":"draining"}`.
+pub(crate) fn error_body(message: &str) -> String {
+    let mut out = String::from("{\"error\":");
+    vqlens_obs::json::write_escaped(&mut out, message);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    /// Run the parser against raw client bytes over a real socket pair.
+    fn parse_raw(raw: &[u8], max_body: usize) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&raw).expect("write");
+            s.shutdown(std::net::Shutdown::Write).ok();
+            // Hold the socket open until the server side is done reading.
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+            .expect("timeout");
+        let got = read_request(&mut stream, max_body);
+        drop(stream);
+        client.join().expect("client thread");
+        got
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let raw = b"POST /ingest?metric=BufRatio&x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = parse_raw(raw, 1024).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/ingest");
+        assert_eq!(req.query_param("metric"), Some("BufRatio"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversized_body_before_reading_it() {
+        let raw = b"POST /ingest HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        match parse_raw(raw, 1024) {
+            Err(RequestError::TooLarge { limit }) => assert_eq!(limit, 1024),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_chunked_and_garbage_heads() {
+        let chunked = b"POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            parse_raw(chunked, 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"\x00\x01garbage\r\n\r\n", 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET noslash HTTP/1.1\r\n\r\n", 1024),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn torn_request_is_a_disconnect_not_a_hang() {
+        // Head promises a body that never arrives; the write side shuts
+        // down, so the parser must see EOF rather than block.
+        let raw = b"POST /ingest HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(
+            parse_raw(raw, 1024),
+            Err(RequestError::Disconnected)
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! # vqlens-serve
+//!
+//! A crash-safe, load-shedding live ingestion service for the vqlens
+//! pipeline: the operational front door that turns the paper's batch
+//! diagnosis loop into a continuously running monitor over arriving
+//! session telemetry.
+//!
+//! Hand-rolled HTTP/1.1 over [`std::net`] (dependency-free, in the same
+//! spirit as `vqlens-obs`) exposing:
+//!
+//! * `POST /ingest` — CSV session records, validated per line through
+//!   the shared lenient-ingest machinery; malformed and stale lines are
+//!   quarantined to the dead-letter sink, accepted lines are appended to
+//!   a checksummed write-ahead log ([`vqlens_resilience::wal`]) and
+//!   fsynced *before* the `202` acknowledgment. A full ingest queue
+//!   sheds with `429 Retry-After`.
+//! * `GET /health` — liveness, totals, watermark, degradation-ladder
+//!   state, shed/WAL counters.
+//! * `GET /incidents` — the [`vqlens_analysis::OnlineMonitor`] feed of
+//!   open and resolved incidents.
+//! * `GET /critical?metric=M`, `GET /prevalence?metric=M` — the current
+//!   critical-cluster and prevalence tables.
+//! * `GET /report` — a deterministic full analysis of everything
+//!   accepted; the crash-equivalence observable.
+//! * `POST /admin/shutdown` — graceful drain.
+//!
+//! The core guarantee, pinned by the `vqlens-check` WAL oracles and the
+//! end-to-end tests: **a killed-then-restarted server is equivalent to
+//! an uninterrupted one** — same watermark, same epoch closures, same
+//! incident feed, byte-identical `/report`.
+//!
+//! **Paper map:** operational delivery of §5's online monitoring — the
+//! "continuous diagnosis over rolling telemetry" deployment the paper
+//! assumes, with the durability engineering it leaves implicit.
+
+// `deny` rather than the workspace-usual `forbid`: the signal module
+// carries the workspace's single, documented `unsafe` block (see
+// `signal.rs` for the justification), which `forbid` could not scope.
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+mod http;
+mod server;
+pub mod signal;
+mod state;
+
+pub use server::{start, DrainSummary, ServeConfig, ServerHandle};

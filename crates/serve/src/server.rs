@@ -1,0 +1,712 @@
+//! The service itself: listener, connection handlers, and the single
+//! ingest thread that owns the write-ahead log.
+//!
+//! ```text
+//!  clients ──► accept loop ──► handler threads ──► bounded queue ──► ingest thread
+//!   (HTTP)     (non-blocking)   (parse+validate)    (try_send or        (WAL append+fsync,
+//!                                                    429 Retry-After)    apply, reply)
+//! ```
+//!
+//! The design invariants:
+//!
+//! * **Durability before acknowledgment.** A `202` is only written after
+//!   the batch's records are framed, checksummed, appended, and fsynced
+//!   by [`Wal::append_batch`]. A server killed at any instant loses no
+//!   acknowledged record.
+//! * **Load is shed, never buffered unboundedly.** The ingest queue is a
+//!   [`std::sync::mpsc::sync_channel`] of fixed capacity; when it is
+//!   full the handler answers `429` with `Retry-After` instead of
+//!   queueing, and the shed is counted.
+//! * **One writer.** The ingest thread exclusively owns the WAL and is
+//!   the only mutator of epoch-closing state, so group commit (drain the
+//!   queue, one fsync, reply to all) needs no locking protocol beyond
+//!   the state mutex queries share.
+//! * **Hostile clients bound their own damage.** Read deadlines, body
+//!   caps, and head limits are enforced per connection in
+//!   [`crate::http`]; a malformed request is dead-lettered and answered,
+//!   never able to stop the accept loop.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use vqlens_analysis::MonitorConfig;
+use vqlens_cluster::critical::CriticalParams;
+use vqlens_cluster::problem::SignificanceParams;
+use vqlens_core::AnalyzerConfig;
+use vqlens_model::{Metric, Thresholds};
+use vqlens_obs::{Counter, Stage};
+use vqlens_resilience::{
+    fingerprint_json, CheckpointStore, EpochCheckpoint, EpochStatus, Manifest, Wal, WalOptions,
+};
+
+use crate::http::{error_body, read_request, respond, Request, RequestError};
+use crate::state::{validate_line, ServerState};
+
+/// Everything a [`start`]ed server needs to know.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port `0` to let the OS pick (tests do).
+    pub addr: String,
+    /// Directory for the write-ahead log (created if missing).
+    pub wal_dir: PathBuf,
+    /// WAL tuning (segment size, retry policy).
+    pub wal: WalOptions,
+    /// When set, closed-epoch analyses are flushed here through
+    /// [`CheckpointStore`] on graceful shutdown.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Ingest queue capacity in requests; a full queue sheds with `429`.
+    pub queue_capacity: usize,
+    /// Largest accepted request body, in bytes (`413` beyond).
+    pub max_body_bytes: usize,
+    /// Per-connection socket read deadline (`408` when it fires).
+    pub read_timeout: Duration,
+    /// Memory budget for the degradation ladder; `None` disables it.
+    pub max_mem_bytes: Option<u64>,
+    /// Analyzer parameters used for epoch closure and `/report`.
+    pub analyzer: AnalyzerConfig,
+    /// Incident-tracking parameters for the online monitor.
+    pub monitor: MonitorConfig,
+    /// Fault-injection hook: sleep this long at the start of every ingest
+    /// wake, so tests can force queue overflow deterministically.
+    pub ingest_pause: Option<Duration>,
+    /// Print incident events and drain progress to stdout.
+    pub verbose: bool,
+}
+
+impl ServeConfig {
+    /// Defaults for a WAL directory: localhost on an OS-assigned port, a
+    /// 64-request queue, 4 MiB bodies, 5 s read deadline, no memory
+    /// budget, paper-default analyzer and monitor parameters.
+    pub fn new(wal_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            wal_dir: wal_dir.into(),
+            wal: WalOptions::default(),
+            checkpoint_dir: None,
+            queue_capacity: 64,
+            max_body_bytes: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            max_mem_bytes: None,
+            analyzer: AnalyzerConfig {
+                thresholds: Thresholds::default(),
+                significance: SignificanceParams::default(),
+                critical: CriticalParams::default(),
+                threads: 1,
+            },
+            monitor: MonitorConfig::default(),
+            ingest_pause: None,
+            verbose: false,
+        }
+    }
+}
+
+/// Totals reported when a server finishes draining.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrainSummary {
+    /// Records accepted (WAL-logged and acknowledged) over the lifetime.
+    pub accepted: u64,
+    /// Lines quarantined as malformed.
+    pub quarantined: u64,
+    /// Lines quarantined as stale (epoch already closed).
+    pub stale: u64,
+    /// Requests shed with `429`.
+    pub shed: u64,
+    /// Epochs that closed (were analyzed and fed to the monitor).
+    pub closed_epochs: u64,
+    /// Closed-epoch analyses flushed to the checkpoint directory.
+    pub checkpointed_epochs: u64,
+    /// High-water mark of in-flight ingest requests.
+    pub queue_depth_peak: u64,
+}
+
+/// Cross-thread flags and gauges.
+#[derive(Default)]
+struct Shared {
+    /// Stop accepting, drain the queue, flush, exit.
+    shutdown: AtomicBool,
+    /// Abrupt stop: skip draining and the checkpoint flush (the WAL makes
+    /// this equivalent to SIGKILL, which is the point — tests use it).
+    kill: AtomicBool,
+    /// Requests shed with `429`.
+    shed_total: AtomicU64,
+    /// In-flight ingest requests (queued + processing).
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    queue_peak: AtomicU64,
+}
+
+/// Append-only sink for everything refused: malformed lines, stale
+/// records, unparsable requests. One `reason<TAB>excerpt` line each.
+/// Quarantine is evidence, not state — plain appends are enough, and a
+/// failed append must never fail the request that triggered it.
+struct DeadLetter {
+    file: Mutex<Option<File>>,
+}
+
+impl DeadLetter {
+    fn open(path: &std::path::Path) -> DeadLetter {
+        let file = OpenOptions::new().create(true).append(true).open(path).ok();
+        DeadLetter {
+            file: Mutex::new(file),
+        }
+    }
+
+    fn append(&self, reason: &str, excerpt: &str) {
+        if let Ok(mut guard) = self.file.lock() {
+            if let Some(f) = guard.as_mut() {
+                let excerpt: String = excerpt.chars().take(200).collect();
+                let _ = writeln!(f, "{reason}\t{excerpt}");
+            }
+        }
+    }
+}
+
+/// One ingest request travelling from a handler to the ingest thread.
+struct Job {
+    /// Validated `(epoch, line)` pairs.
+    lines: Vec<(u32, String)>,
+    /// Where the handler waits for the durable acknowledgment.
+    reply: mpsc::Sender<Result<BatchReply, String>>,
+}
+
+/// The durable acknowledgment for one batch.
+#[derive(Debug, Clone, Copy)]
+struct BatchReply {
+    accepted: u64,
+    stale: u64,
+    watermark: Option<u32>,
+}
+
+/// What handler threads share.
+struct Ctx {
+    tx: SyncSender<Job>,
+    state: Arc<Mutex<ServerState>>,
+    shared: Arc<Shared>,
+    dead_letter: Arc<DeadLetter>,
+    max_body: usize,
+    read_timeout: Duration,
+}
+
+/// A running server. Dropping the handle requests an abrupt stop; call
+/// [`ServerHandle::shutdown`] for the graceful drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    ingest: Option<JoinHandle<DrainSummary>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a shutdown has been requested — by [`shutdown`], by
+    /// `POST /admin/shutdown`, or by a signal-driven supervisor loop.
+    ///
+    /// [`shutdown`]: ServerHandle::shutdown
+    pub fn draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop accepting, process everything queued, flush
+    /// closed epochs to the checkpoint directory, join all threads.
+    pub fn shutdown(mut self) -> DrainSummary {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.finish()
+    }
+
+    /// Abrupt stop: queued-but-unacknowledged batches are dropped and no
+    /// checkpoint flush happens. Together with WAL replay this simulates
+    /// `SIGKILL` for the crash-equivalence tests.
+    pub fn kill(mut self) -> DrainSummary {
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.finish()
+    }
+
+    fn finish(&mut self) -> DrainSummary {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        match self.ingest.take() {
+            Some(ingest) => ingest.join().unwrap_or_default(),
+            None => DrainSummary::default(),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A dropped handle must not leave detached threads accepting
+        // traffic; they observe the flags and exit on their own.
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Open (and replay) the WAL, bind the listener, and spawn the accept
+/// and ingest threads.
+pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    std::fs::create_dir_all(&config.wal_dir)?;
+    let (wal, replay) = Wal::open(&config.wal_dir, config.wal.clone())?;
+
+    // Rebuild state from the replayed records through the very same
+    // validate → partition → apply path live ingestion uses; determinism
+    // of that path is what makes the restarted server equivalent.
+    let mut state = ServerState::new(&config);
+    let mut batch = Vec::with_capacity(replay.records.len());
+    for record in &replay.records {
+        if let Ok(line) = std::str::from_utf8(record) {
+            if let Ok(epoch) = validate_line(line) {
+                batch.push((epoch, line.to_owned()));
+            }
+        }
+    }
+    let mut wm = state.watermark();
+    let (fresh, _stale) = state.partition_stale(&mut wm, batch);
+    state.apply_fresh(fresh);
+    if config.verbose {
+        println!(
+            "[serve] replayed {} records from {} segment(s), watermark {:?}",
+            replay.records.len(),
+            replay.segments,
+            state.watermark()
+        );
+    }
+
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared::default());
+    let state = Arc::new(Mutex::new(state));
+    let dead_letter = Arc::new(DeadLetter::open(&config.wal_dir.join("dead-letter.log")));
+    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+
+    let ingest = {
+        let state = Arc::clone(&state);
+        let shared = Arc::clone(&shared);
+        let dead_letter = Arc::clone(&dead_letter);
+        let config = config.clone();
+        thread::Builder::new()
+            .name("vqlens-serve-ingest".into())
+            .spawn(move || ingest_loop(wal, rx, state, shared, dead_letter, config))?
+    };
+
+    let accept = {
+        let ctx = Arc::new(Ctx {
+            tx,
+            state: Arc::clone(&state),
+            shared: Arc::clone(&shared),
+            dead_letter,
+            max_body: config.max_body_bytes,
+            read_timeout: config.read_timeout,
+        });
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("vqlens-serve-accept".into())
+            .spawn(move || accept_loop(listener, ctx, shared))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        ingest: Some(ingest),
+    })
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<Ctx>, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                handlers.retain(|h| !h.is_finished());
+                let ctx = Arc::clone(&ctx);
+                if let Ok(handle) = thread::Builder::new()
+                    .name("vqlens-serve-conn".into())
+                    .spawn(move || handle_connection(stream, ctx))
+                {
+                    handlers.push(handle);
+                }
+            }
+            // Non-blocking accept: idle-poll so the shutdown flag is
+            // noticed within one tick even with no traffic.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    // `ctx` (and with it the queue sender) drops here; the ingest thread
+    // sees the disconnect once the queue is drained.
+}
+
+fn ingest_loop(
+    mut wal: Wal,
+    rx: Receiver<Job>,
+    state: Arc<Mutex<ServerState>>,
+    shared: Arc<Shared>,
+    dead_letter: Arc<DeadLetter>,
+    config: ServeConfig,
+) -> DrainSummary {
+    loop {
+        if shared.kill.load(Ordering::SeqCst) {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => {
+                let mut jobs = vec![job];
+                while let Ok(next) = rx.try_recv() {
+                    jobs.push(next);
+                }
+                commit_group(&mut wal, jobs, &state, &shared, &dead_letter, &config);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    let recorder = vqlens_obs::global();
+    recorder.add(
+        Counter::ServeQueueDepthPeak,
+        shared.queue_peak.load(Ordering::SeqCst),
+    );
+
+    let killed = shared.kill.load(Ordering::SeqCst);
+    let state = state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut summary = DrainSummary {
+        accepted: state.accepted_total,
+        quarantined: state.quarantined_total,
+        stale: state.stale_total,
+        shed: shared.shed_total.load(Ordering::SeqCst),
+        closed_epochs: state.analyses().len() as u64,
+        checkpointed_epochs: 0,
+        queue_depth_peak: shared.queue_peak.load(Ordering::SeqCst),
+    };
+    if !killed {
+        summary.checkpointed_epochs = flush_checkpoints(&state, &config);
+    }
+    summary
+}
+
+/// Flush every closed epoch's analysis through [`CheckpointStore`] on
+/// graceful drain. The manifest is keyed by the *base* analyzer config
+/// (not any ladder-degraded copy) with a zero input hash: the WAL, not
+/// the checkpoint directory, is the source of truth for content, so the
+/// flush is an export for downstream analysis, re-created on each drain.
+fn flush_checkpoints(state: &ServerState, config: &ServeConfig) -> u64 {
+    let Some(dir) = &config.checkpoint_dir else {
+        return 0;
+    };
+    let a = &config.analyzer;
+    let manifest = Manifest::new(
+        fingerprint_json(&(&a.thresholds, &a.significance, &a.critical)),
+        0,
+        state.watermark().map_or(0, |w| w.saturating_add(1)),
+    );
+    let Ok((store, _resumed)) = CheckpointStore::open(dir, manifest) else {
+        return 0;
+    };
+    let mut flushed = 0u64;
+    for analysis in state.analyses() {
+        let checkpoint = EpochCheckpoint {
+            epoch: analysis.epoch.0,
+            status: EpochStatus::Ok,
+            analysis: analysis.clone(),
+        };
+        if store.save_epoch(&checkpoint).is_ok() {
+            flushed += 1;
+        }
+    }
+    flushed
+}
+
+/// Group commit: partition every queued job against the running
+/// watermark, append all fresh lines with a single fsync, then apply and
+/// acknowledge job by job.
+fn commit_group(
+    wal: &mut Wal,
+    jobs: Vec<Job>,
+    state: &Arc<Mutex<ServerState>>,
+    shared: &Arc<Shared>,
+    dead_letter: &Arc<DeadLetter>,
+    config: &ServeConfig,
+) {
+    let _span = vqlens_obs::global().span(Stage::Serve);
+    if let Some(pause) = config.ingest_pause {
+        thread::sleep(pause);
+    }
+    shared
+        .queue_depth
+        .fetch_sub(jobs.len() as u64, Ordering::SeqCst);
+
+    let mut st = state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut wm = st.watermark();
+    let mut partitioned = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let (fresh, stale) = st.partition_stale(&mut wm, job.lines);
+        partitioned.push((fresh, stale, job.reply));
+    }
+
+    let all_fresh = partitioned
+        .iter()
+        .flat_map(|(fresh, _, _)| fresh.iter().map(|(_, line)| line.as_str()));
+    if let Err(e) = wal.append_batch(all_fresh) {
+        let message = format!("write-ahead log append failed: {e}");
+        for (_, _, reply) in partitioned {
+            let _ = reply.send(Err(message.clone()));
+        }
+        return;
+    }
+
+    for (fresh, stale, reply) in partitioned {
+        for line in &stale {
+            dead_letter.append("stale epoch (already closed)", line);
+        }
+        st.stale_total += stale.len() as u64;
+        let accepted = fresh.len() as u64;
+        let events = st.apply_fresh(fresh);
+        if config.verbose {
+            for event in &events {
+                let incident = event.incident();
+                println!(
+                    "[serve] {:?} incident #{} metric={} severity={:.1}",
+                    incident.state,
+                    incident.id,
+                    incident.metric.name(),
+                    incident.severity()
+                );
+            }
+        }
+        let _ = reply.send(Ok(BatchReply {
+            accepted,
+            stale: stale.len() as u64,
+            watermark: st.watermark(),
+        }));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: Arc<Ctx>) {
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let _ = stream.set_nodelay(true);
+    vqlens_obs::global().incr(Counter::ServeRequests);
+    match read_request(&mut stream, ctx.max_body) {
+        Ok(request) => route(&mut stream, request, &ctx),
+        Err(RequestError::Malformed(reason)) => {
+            ctx.dead_letter.append("malformed request", reason);
+            let _ = respond(&mut stream, 400, &[], &error_body(reason));
+        }
+        Err(RequestError::TimedOut) => {
+            ctx.dead_letter
+                .append("request read deadline", "slow client");
+            let _ = respond(
+                &mut stream,
+                408,
+                &[],
+                &error_body("request read deadline exceeded"),
+            );
+        }
+        Err(RequestError::TooLarge { limit }) => {
+            let _ = respond(
+                &mut stream,
+                413,
+                &[],
+                &error_body(&format!("body exceeds {limit} byte limit")),
+            );
+        }
+        // The peer is gone; nothing to answer.
+        Err(RequestError::Disconnected) => {}
+        // The socket broke mid-request; record why, but there is no one
+        // left to answer.
+        Err(RequestError::Io(e)) => {
+            ctx.dead_letter.append("socket error", &e.to_string());
+        }
+    }
+}
+
+fn route(stream: &mut TcpStream, request: Request, ctx: &Ctx) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/ingest") => ingest_request(stream, request, ctx),
+        ("POST", "/admin/shutdown") => {
+            ctx.shared.shutdown.store(true, Ordering::SeqCst);
+            let _ = respond(stream, 200, &[], "{\"draining\":true}");
+        }
+        ("GET", "/health") => {
+            let draining = ctx.shared.shutdown.load(Ordering::SeqCst);
+            let shed = ctx.shared.shed_total.load(Ordering::SeqCst);
+            let peak = ctx.shared.queue_peak.load(Ordering::SeqCst);
+            let body = lock_state(ctx).health_json(draining, shed, peak);
+            let _ = respond(stream, 200, &[], &body);
+        }
+        ("GET", "/report") => {
+            let body = lock_state(ctx).report_json();
+            let _ = respond(stream, 200, &[], &body);
+        }
+        ("GET", "/incidents") => {
+            let body = lock_state(ctx).incidents_json();
+            let _ = respond(stream, 200, &[], &body);
+        }
+        ("GET", "/critical") => match metric_param(&request) {
+            Ok(metric) => match lock_state(ctx).critical_json(metric) {
+                Some(body) => {
+                    let _ = respond(stream, 200, &[], &body);
+                }
+                None => {
+                    let _ = respond(stream, 404, &[], &error_body("no epoch has closed yet"));
+                }
+            },
+            Err(message) => {
+                let _ = respond(stream, 400, &[], &error_body(message));
+            }
+        },
+        ("GET", "/prevalence") => match metric_param(&request) {
+            Ok(metric) => match lock_state(ctx).prevalence_json(metric) {
+                Some(body) => {
+                    let _ = respond(stream, 200, &[], &body);
+                }
+                None => {
+                    let _ = respond(
+                        stream,
+                        503,
+                        &[],
+                        &error_body("degraded: optional analyses dropped by the memory ladder"),
+                    );
+                }
+            },
+            Err(message) => {
+                let _ = respond(stream, 400, &[], &error_body(message));
+            }
+        },
+        (
+            _,
+            "/ingest" | "/admin/shutdown" | "/health" | "/report" | "/incidents" | "/critical"
+            | "/prevalence",
+        ) => {
+            let _ = respond(stream, 405, &[], &error_body("method not allowed"));
+        }
+        _ => {
+            let _ = respond(stream, 404, &[], &error_body("unknown path"));
+        }
+    }
+}
+
+fn lock_state(ctx: &Ctx) -> std::sync::MutexGuard<'_, ServerState> {
+    ctx.state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn metric_param(request: &Request) -> Result<Metric, &'static str> {
+    let Some(name) = request.query_param("metric") else {
+        return Err("missing metric query parameter");
+    };
+    Metric::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+        .ok_or("unknown metric (BufRatio, Bitrate, JoinTime, JoinFailure)")
+}
+
+fn ingest_request(stream: &mut TcpStream, request: Request, ctx: &Ctx) {
+    if ctx.shared.shutdown.load(Ordering::SeqCst) {
+        let _ = respond(stream, 503, &[], &error_body("draining"));
+        return;
+    }
+    let Ok(body) = String::from_utf8(request.body) else {
+        ctx.dead_letter
+            .append("malformed request", "non-UTF-8 body");
+        let _ = respond(stream, 400, &[], &error_body("body is not UTF-8"));
+        return;
+    };
+
+    let mut valid = Vec::new();
+    let mut quarantined = 0u64;
+    for line in body.lines() {
+        let line = line.trim_end_matches('\r');
+        if line.trim().is_empty() {
+            continue;
+        }
+        match validate_line(line) {
+            Ok(epoch) => valid.push((epoch, line.to_owned())),
+            Err(reason) => {
+                ctx.dead_letter.append(&reason, line);
+                quarantined += 1;
+            }
+        }
+    }
+    if quarantined > 0 {
+        lock_state(ctx).quarantined_total += quarantined;
+    }
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let depth = ctx.shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+    ctx.shared.queue_peak.fetch_max(depth, Ordering::SeqCst);
+    match ctx.tx.try_send(Job {
+        lines: valid,
+        reply: reply_tx,
+    }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            ctx.shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            ctx.shared.shed_total.fetch_add(1, Ordering::SeqCst);
+            vqlens_obs::global().incr(Counter::ServeRequestsShed);
+            let _ = respond(
+                stream,
+                429,
+                &[("Retry-After", "1".to_owned())],
+                &error_body("ingest queue full, retry"),
+            );
+            return;
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            ctx.shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            let _ = respond(stream, 503, &[], &error_body("ingest pipeline stopped"));
+            return;
+        }
+    }
+
+    match reply_rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(Ok(reply)) => {
+            let mut body = String::from("{\"accepted\":");
+            body.push_str(&reply.accepted.to_string());
+            body.push_str(",\"quarantined\":");
+            body.push_str(&quarantined.to_string());
+            body.push_str(",\"stale\":");
+            body.push_str(&reply.stale.to_string());
+            body.push_str(",\"watermark\":");
+            match reply.watermark {
+                Some(w) => body.push_str(&w.to_string()),
+                None => body.push_str("null"),
+            }
+            body.push('}');
+            let _ = respond(stream, 202, &[], &body);
+        }
+        Ok(Err(message)) => {
+            let _ = respond(stream, 503, &[], &error_body(&message));
+        }
+        Err(_) => {
+            let _ = respond(
+                stream,
+                503,
+                &[],
+                &error_body("ingest did not acknowledge in time"),
+            );
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! In-memory state of a running ingest service, designed so that a
+//! killed-then-restarted server is *equivalent* to an uninterrupted one.
+//!
+//! The whole state is a deterministic function of the ordered sequence of
+//! accepted CSV lines — exactly what the write-ahead log preserves:
+//!
+//! * records are validated per line through the same lenient-ingest
+//!   machinery as file ingestion ([`vqlens_model::csv::read_csv_opts`]);
+//!   malformed lines are quarantined to the dead-letter sink, never
+//!   accepted;
+//! * an epoch `e` *closes* the moment a record with epoch `> e` is
+//!   accepted (the watermark advances past it). Closed epochs are
+//!   analyzed once and fed to the [`OnlineMonitor`]; records for
+//!   already-closed epochs are quarantined as *stale* rather than
+//!   rewriting history — the server-side face of the monitor's gap-safe
+//!   `try_observe` contract;
+//! * because staleness and closure depend only on line order (never on
+//!   request batching or timing), replaying the WAL through
+//!   [`ServerState::apply_fresh`] reproduces the identical watermark,
+//!   epoch contents, analyses, and incident feed.
+//!
+//! Analysis queries rebuild the [`Dataset`] lazily from the accepted
+//! lines (invalidated on ingest), so query results are also pure
+//! functions of the accepted sequence.
+
+use std::collections::BTreeMap;
+
+use vqlens_analysis::{ClusterSource, Incident, MonitorEvent, OnlineMonitor, PrevalenceReport};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_core::AnalyzerConfig;
+use vqlens_model::csv::{read_csv_opts, ReadOptions, CSV_HEADER};
+use vqlens_model::{Dataset, EpochId, Metric};
+use vqlens_obs::json::{write_escaped, write_f64};
+use vqlens_resilience::{estimate, plan_ladder, LadderStep};
+
+use crate::ServeConfig;
+
+/// Validate one CSV data line through the shared lenient-ingest
+/// machinery. Returns the record's epoch on success, or the quarantine
+/// reason on failure — the same reason categories `vqlens analyze`
+/// reports for file ingestion.
+pub(crate) fn validate_line(line: &str) -> Result<u32, String> {
+    let mut input = String::with_capacity(CSV_HEADER.len() + line.len() + 2);
+    input.push_str(CSV_HEADER);
+    input.push('\n');
+    input.push_str(line);
+    input.push('\n');
+    match read_csv_opts(input.as_bytes(), &ReadOptions::lenient(1.0), None) {
+        Ok((_, report)) if report.ok_lines == 1 && report.bad_lines == 0 => line
+            .split(',')
+            .next()
+            .and_then(|f| f.trim().parse::<u32>().ok())
+            .ok_or_else(|| "invalid epoch".to_owned()),
+        Ok((_, report)) => Err(report
+            .samples
+            .first()
+            .map(|s| s.reason.clone())
+            .or_else(|| report.reasons.keys().next().cloned())
+            .unwrap_or_else(|| "malformed line".to_owned())),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// The deterministic server state (see the module docs).
+pub(crate) struct ServerState {
+    /// Analyzer parameters; `significance.min_sessions` may be raised by
+    /// the memory ladder.
+    pub analyzer: AnalyzerConfig,
+    /// Accepted CSV data lines, in WAL order.
+    lines: Vec<String>,
+    /// Lazily rebuilt dataset cache over `lines`.
+    dataset: Option<Dataset>,
+    /// The incident tracker fed with each closed epoch's analysis.
+    monitor: OnlineMonitor,
+    /// Analyses of closed, non-empty epochs, in feed order.
+    analyses: Vec<EpochAnalysis>,
+    /// Highest epoch seen among accepted lines (this epoch is still open).
+    watermark: Option<u32>,
+    /// Labels of memory-ladder steps currently applied.
+    ladder: Vec<String>,
+    /// Session-sampling stride from the ladder (1 = keep everything).
+    sample_stride: u32,
+    /// True once the ladder dropped the optional analyses (prevalence).
+    drop_optional: bool,
+    /// Memory budget the ladder defends, if configured.
+    max_mem_bytes: Option<u64>,
+    /// Running totals, mirrored into `/health`.
+    pub accepted_total: u64,
+    /// Lines quarantined as malformed (parse failures).
+    pub quarantined_total: u64,
+    /// Lines quarantined as stale (epoch already closed).
+    pub stale_total: u64,
+}
+
+impl ServerState {
+    /// Fresh state for a server with the given configuration.
+    pub fn new(config: &ServeConfig) -> ServerState {
+        ServerState {
+            analyzer: config.analyzer,
+            lines: Vec::new(),
+            dataset: None,
+            monitor: OnlineMonitor::new(config.monitor),
+            analyses: Vec::new(),
+            watermark: None,
+            ladder: Vec::new(),
+            sample_stride: 1,
+            drop_optional: false,
+            max_mem_bytes: config.max_mem_bytes,
+            accepted_total: 0,
+            quarantined_total: 0,
+            stale_total: 0,
+        }
+    }
+
+    /// The current watermark (highest accepted epoch, still open).
+    pub fn watermark(&self) -> Option<u32> {
+        self.watermark
+    }
+
+    /// Split a validated batch into fresh lines (to be WAL-appended and
+    /// applied) and stale ones, *simulating* the watermark advance across
+    /// the batch: a line for epoch 5 arriving after a line for epoch 7 in
+    /// the same batch is stale, exactly as it would be across batches.
+    /// `wm` carries the running watermark across consecutive batches of
+    /// one group commit; seed it with [`ServerState::watermark`].
+    pub fn partition_stale(
+        &self,
+        wm: &mut Option<u32>,
+        batch: Vec<(u32, String)>,
+    ) -> (Vec<(u32, String)>, Vec<String>) {
+        let mut fresh = Vec::with_capacity(batch.len());
+        let mut stale = Vec::new();
+        for (epoch, line) in batch {
+            if wm.is_some_and(|w| epoch < w) {
+                stale.push(line);
+            } else {
+                *wm = Some(wm.map_or(epoch, |w| w.max(epoch)));
+                fresh.push((epoch, line));
+            }
+        }
+        (fresh, stale)
+    }
+
+    /// Apply fresh (non-stale, validated, WAL-logged) lines in order:
+    /// extend the accepted sequence, advance the watermark, analyze and
+    /// feed every newly closed epoch to the monitor. Returns the monitor
+    /// events emitted by the closures.
+    pub fn apply_fresh(&mut self, fresh: Vec<(u32, String)>) -> Vec<MonitorEvent> {
+        if fresh.is_empty() {
+            return Vec::new();
+        }
+        let old_wm = self.watermark;
+        for (epoch, line) in fresh {
+            self.watermark = Some(self.watermark.map_or(epoch, |w| w.max(epoch)));
+            self.accepted_total += 1;
+            self.lines.push(line);
+        }
+        self.dataset = None;
+
+        // Epochs strictly below the watermark are closed; feed the ones
+        // that closed just now (non-empty only — the monitor's absence
+        // rule handles the gaps).
+        let new_wm = self.watermark.expect("fresh batch sets the watermark");
+        let first_unfed = old_wm.unwrap_or(0);
+        if new_wm <= first_unfed {
+            return Vec::new();
+        }
+        self.rebuild();
+        self.maybe_degrade();
+        let mut events = Vec::new();
+        for e in first_unfed..new_wm {
+            let id = EpochId(e);
+            let dataset = self.dataset.as_ref().expect("rebuilt above");
+            if dataset.num_epochs() <= e || dataset.epoch(id).is_empty() {
+                continue;
+            }
+            let analysis = EpochAnalysis::compute(
+                id,
+                dataset.epoch(id),
+                &self.analyzer.thresholds,
+                &self.analyzer.significance,
+                &self.analyzer.critical,
+            );
+            if let Some(mut evs) = self.monitor.try_observe(&analysis) {
+                events.append(&mut evs);
+            }
+            self.analyses.push(analysis);
+        }
+        events
+    }
+
+    /// Rebuild the dataset cache from the accepted lines. All lines were
+    /// validated individually, so a lenient re-parse accepts them all;
+    /// the 1.0 bad-ratio gate is belt and braces.
+    fn rebuild(&mut self) {
+        if self.dataset.is_some() {
+            return;
+        }
+        let mut input = String::with_capacity(
+            CSV_HEADER.len() + 1 + self.lines.iter().map(|l| l.len() + 1).sum::<usize>(),
+        );
+        input.push_str(CSV_HEADER);
+        input.push('\n');
+        for line in &self.lines {
+            input.push_str(line);
+            input.push('\n');
+        }
+        let (mut dataset, _report) =
+            read_csv_opts(input.as_bytes(), &ReadOptions::lenient(1.0), None)
+                .expect("re-parsing individually validated lines cannot fail");
+        if self.sample_stride > 1 {
+            vqlens_resilience::apply_sampling(&mut dataset, self.sample_stride);
+        }
+        self.dataset = Some(dataset);
+    }
+
+    /// Step down the memory ladder when the rebuilt dataset's estimated
+    /// footprint exceeds the configured budget. Steps are one-way (the
+    /// service never un-degrades) and each newly taken step is recorded
+    /// in the run report. Ladder decisions depend on *when* the estimate
+    /// crosses the budget, so under a configured budget a restarted
+    /// server may degrade at a different point than the original — the
+    /// replay-equivalence guarantee holds for unbudgeted servers.
+    fn maybe_degrade(&mut self) {
+        let Some(budget) = self.max_mem_bytes else {
+            return;
+        };
+        let Some(dataset) = self.dataset.as_ref() else {
+            return;
+        };
+        let est = estimate(dataset, 1);
+        for step in plan_ladder(&est, budget, self.analyzer.significance.min_sessions) {
+            let label = step.label();
+            if self.ladder.contains(&label) {
+                continue;
+            }
+            match step {
+                LadderStep::DropOptionalAnalyses => self.drop_optional = true,
+                LadderStep::RaisePruneFloor { to, .. } => {
+                    self.analyzer.significance.min_sessions = to;
+                }
+                LadderStep::SampleSessions { keep_1_in } => {
+                    self.sample_stride = keep_1_in.max(1);
+                    if let Some(ds) = self.dataset.as_mut() {
+                        vqlens_resilience::apply_sampling(ds, self.sample_stride);
+                    }
+                }
+            }
+            vqlens_obs::global().record_ladder_step(&label);
+            self.ladder.push(label);
+        }
+    }
+
+    /// Closed-epoch analyses in feed order (for the checkpoint flush).
+    pub fn analyses(&self) -> &[EpochAnalysis] {
+        &self.analyses
+    }
+
+    /// Resolve a cluster key to its display form using the current
+    /// dataset's dictionaries.
+    fn key_display(dataset: &Dataset, key: &vqlens_model::ClusterKey) -> String {
+        key.display_with(|attr, id| dataset.value_name(attr, id).unwrap_or("?"))
+            .to_string()
+    }
+
+    /// The `/health` body. Never fails and never rebuilds the dataset —
+    /// health must stay cheap under overload.
+    pub fn health_json(&self, draining: bool, shed_total: u64, queue_peak: u64) -> String {
+        let mut out = String::from("{\"status\":");
+        let status = if draining {
+            "draining"
+        } else if !self.ladder.is_empty() {
+            "degraded"
+        } else {
+            "ok"
+        };
+        write_escaped(&mut out, status);
+        out.push_str(",\"accepted\":");
+        out.push_str(&self.accepted_total.to_string());
+        out.push_str(",\"quarantined\":");
+        out.push_str(&self.quarantined_total.to_string());
+        out.push_str(",\"stale\":");
+        out.push_str(&self.stale_total.to_string());
+        out.push_str(",\"watermark\":");
+        match self.watermark {
+            Some(w) => out.push_str(&w.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"closed_epochs\":");
+        out.push_str(&(self.analyses.len() as u64).to_string());
+        out.push_str(",\"open_incidents\":");
+        out.push_str(&(self.monitor.open_incidents().count() as u64).to_string());
+        out.push_str(",\"shed\":");
+        out.push_str(&shed_total.to_string());
+        out.push_str(",\"queue_depth_peak\":");
+        out.push_str(&queue_peak.to_string());
+        let recorder = vqlens_obs::global();
+        out.push_str(",\"wal_records_appended\":");
+        out.push_str(
+            &recorder
+                .get(vqlens_obs::Counter::WalRecordsAppended)
+                .to_string(),
+        );
+        out.push_str(",\"wal_records_replayed\":");
+        out.push_str(
+            &recorder
+                .get(vqlens_obs::Counter::WalRecordsReplayed)
+                .to_string(),
+        );
+        out.push_str(",\"ladder\":[");
+        for (i, label) in self.ladder.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, label);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The `/incidents` body: open then resolved incidents, each with its
+    /// cluster key resolved against the current dictionaries.
+    pub fn incidents_json(&mut self) -> String {
+        self.rebuild();
+        let dataset = self.dataset.as_ref().expect("rebuilt above");
+        fn incident_json(out: &mut String, dataset: &Dataset, inc: &Incident) {
+            out.push_str("{\"id\":");
+            out.push_str(&inc.id.to_string());
+            out.push_str(",\"metric\":");
+            write_escaped(out, inc.metric.name());
+            out.push_str(",\"key\":");
+            write_escaped(out, &ServerState::key_display(dataset, &inc.key));
+            out.push_str(",\"state\":");
+            write_escaped(out, &format!("{:?}", inc.state));
+            out.push_str(",\"opened\":");
+            out.push_str(&inc.opened.0.to_string());
+            out.push_str(",\"last_seen\":");
+            out.push_str(&inc.last_seen.0.to_string());
+            out.push_str(",\"epochs_active\":");
+            out.push_str(&inc.epochs_active.to_string());
+            out.push_str(",\"attributed_problems\":");
+            write_f64(out, inc.attributed_problems);
+            out.push_str(",\"severity\":");
+            write_f64(out, inc.severity());
+            out.push('}');
+        }
+        let mut out = String::from("{\"open\":[");
+        for (i, inc) in self.monitor.open_incidents().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            incident_json(&mut out, dataset, inc);
+        }
+        out.push_str("],\"resolved\":[");
+        for (i, inc) in self.monitor.resolved_incidents().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            incident_json(&mut out, dataset, inc);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// One metric's critical-cluster table as JSON, sorted by descending
+    /// attributed problems with the display key as tie-break, so the
+    /// output is deterministic regardless of hash-map iteration order.
+    fn critical_table_json(dataset: &Dataset, analysis: &EpochAnalysis, metric: Metric) -> String {
+        let ma = analysis.metric(metric);
+        let mut rows: Vec<(String, u64, u64, f64)> = ma
+            .critical
+            .clusters
+            .iter()
+            .map(|(key, stats)| {
+                (
+                    Self::key_display(dataset, key),
+                    stats.sessions,
+                    stats.problems,
+                    stats.attributed_problems,
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.3.partial_cmp(&a.3)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut out = String::from("[");
+        for (i, (key, sessions, problems, attributed)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"key\":");
+            write_escaped(&mut out, key);
+            out.push_str(",\"sessions\":");
+            out.push_str(&sessions.to_string());
+            out.push_str(",\"problems\":");
+            out.push_str(&problems.to_string());
+            out.push_str(",\"attributed\":");
+            write_f64(&mut out, *attributed);
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+
+    /// The `/critical?metric=M` body: the latest closed epoch's critical
+    /// clusters. `None` when no epoch has closed yet.
+    pub fn critical_json(&mut self, metric: Metric) -> Option<String> {
+        self.rebuild();
+        let dataset = self.dataset.as_ref().expect("rebuilt above");
+        let analysis = self.analyses.last()?;
+        let mut out = String::from("{\"epoch\":");
+        out.push_str(&analysis.epoch.0.to_string());
+        out.push_str(",\"metric\":");
+        write_escaped(&mut out, metric.name());
+        out.push_str(",\"critical\":");
+        out.push_str(&Self::critical_table_json(dataset, analysis, metric));
+        out.push('}');
+        Some(out)
+    }
+
+    /// The `/prevalence?metric=M` body over all closed epochs, or `None`
+    /// while the memory ladder has the optional analyses dropped.
+    pub fn prevalence_json(&mut self, metric: Metric) -> Option<String> {
+        if self.drop_optional {
+            return None;
+        }
+        self.rebuild();
+        let dataset = self.dataset.as_ref().expect("rebuilt above");
+        let report = PrevalenceReport::compute(&self.analyses, metric, ClusterSource::Critical);
+        let mut rows: Vec<(String, f64)> = report
+            .ranked()
+            .into_iter()
+            .map(|(key, frac)| (Self::key_display(dataset, &key), frac))
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut out = String::from("{\"metric\":");
+        write_escaped(&mut out, metric.name());
+        out.push_str(",\"epochs\":");
+        out.push_str(&report.epochs.to_string());
+        out.push_str(",\"prevalence\":[");
+        for (i, (key, frac)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"key\":");
+            write_escaped(&mut out, key);
+            out.push_str(",\"fraction\":");
+            write_f64(&mut out, *frac);
+            out.push('}');
+        }
+        out.push_str("]}");
+        Some(out)
+    }
+
+    /// The `/report` body: a full, deterministic analysis of everything
+    /// accepted so far (closed *and* open epochs), recomputed from the
+    /// dataset. Two servers that accepted the same line sequence — one of
+    /// them possibly killed and WAL-replayed in between — return
+    /// byte-identical bodies; the `vqlens-check` WAL oracle and the
+    /// end-to-end tests pin this.
+    pub fn report_json(&mut self) -> String {
+        self.rebuild();
+        let dataset = self.dataset.as_ref().expect("rebuilt above");
+        let mut fresh: BTreeMap<u32, EpochAnalysis> = BTreeMap::new();
+        for (id, data) in dataset.iter_epochs() {
+            if data.is_empty() {
+                continue;
+            }
+            fresh.insert(
+                id.0,
+                EpochAnalysis::compute(
+                    id,
+                    data,
+                    &self.analyzer.thresholds,
+                    &self.analyzer.significance,
+                    &self.analyzer.critical,
+                ),
+            );
+        }
+        let mut out = String::from("{\"sessions\":");
+        out.push_str(&(dataset.num_sessions() as u64).to_string());
+        out.push_str(",\"epochs\":");
+        out.push_str(&dataset.num_epochs().to_string());
+        out.push_str(",\"watermark\":");
+        match self.watermark {
+            Some(w) => out.push_str(&w.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"metrics\":{");
+        for (mi, metric) in Metric::ALL.into_iter().enumerate() {
+            if mi > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, metric.name());
+            out.push_str(":{\"epochs\":[");
+            for (ei, (epoch, analysis)) in fresh.iter().enumerate() {
+                if ei > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"epoch\":");
+                out.push_str(&epoch.to_string());
+                out.push_str(",\"sessions\":");
+                out.push_str(&analysis.total_sessions.to_string());
+                out.push_str(",\"critical\":");
+                out.push_str(&Self::critical_table_json(dataset, analysis, metric));
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ServeConfig {
+        let mut config = ServeConfig::new("/tmp/unused-wal-dir");
+        config.analyzer.significance.min_sessions = 2;
+        config.analyzer.significance.min_problem_sessions = 1;
+        config
+    }
+
+    fn line(epoch: u32, asn: &str, buffering_s: f64) -> (u32, String) {
+        (
+            epoch,
+            format!(
+                "{epoch},{asn},cdn-a,site-1,vod,html5,chrome,dsl,0,800,1200.0,{buffering_s},2500.0"
+            ),
+        )
+    }
+
+    #[test]
+    fn validate_line_accepts_good_and_quarantines_bad() {
+        let (_, good) = line(3, "AS7", 10.0);
+        assert_eq!(validate_line(&good), Ok(3));
+        let err = validate_line("not,a,line").unwrap_err();
+        assert!(err.contains("field"), "got reason {err:?}");
+        assert!(validate_line("4294967295,a,b,c,d,e,f,g,0,1,1.0,0.0,1.0").is_err());
+    }
+
+    #[test]
+    fn staleness_is_decided_in_line_order_even_within_a_batch() {
+        let state = ServerState::new(&test_config());
+        let mut wm = None;
+        let batch = vec![
+            line(7, "AS1", 0.0),
+            line(5, "AS1", 0.0),
+            line(7, "AS1", 0.0),
+        ];
+        let (fresh, stale) = state.partition_stale(&mut wm, batch);
+        assert_eq!(fresh.len(), 2, "epoch 5 after epoch 7 is stale");
+        assert_eq!(stale.len(), 1);
+        assert_eq!(wm, Some(7));
+    }
+
+    #[test]
+    fn closure_feeds_monitor_once_per_epoch_and_survives_gaps() {
+        let mut state = ServerState::new(&test_config());
+        // Epoch 0 has a heavy BufRatio cluster, epoch 3 closes it (gap
+        // over 1 and 2).
+        let mut batch: Vec<(u32, String)> = (0..8).map(|_| line(0, "AS7", 900.0)).collect();
+        batch.push(line(0, "AS1", 0.0));
+        let mut wm = state.watermark();
+        let (fresh, stale) = state.partition_stale(&mut wm, batch);
+        assert!(stale.is_empty());
+        state.apply_fresh(fresh);
+        assert_eq!(state.watermark(), Some(0));
+        assert_eq!(state.analyses().len(), 0, "epoch 0 still open");
+
+        let mut wm = state.watermark();
+        let (fresh, _) = state.partition_stale(&mut wm, vec![line(3, "AS1", 0.0)]);
+        state.apply_fresh(fresh);
+        assert_eq!(state.watermark(), Some(3));
+        assert_eq!(state.analyses().len(), 1, "only the non-empty epoch 0 fed");
+        assert_eq!(state.analyses()[0].epoch, EpochId(0));
+    }
+
+    #[test]
+    fn report_json_is_a_pure_function_of_the_accepted_sequence() {
+        let build = |batches: &[Vec<(u32, String)>]| {
+            let mut state = ServerState::new(&test_config());
+            for batch in batches {
+                let mut wm = state.watermark();
+                let (fresh, _) = state.partition_stale(&mut wm, batch.clone());
+                state.apply_fresh(fresh);
+            }
+            state.report_json()
+        };
+        let all: Vec<(u32, String)> = vec![
+            line(0, "AS7", 900.0),
+            line(0, "AS7", 900.0),
+            line(0, "AS1", 0.0),
+            line(1, "AS7", 900.0),
+            line(2, "AS1", 0.0),
+        ];
+        let one_shot = build(&[all.clone()]);
+        let line_by_line: Vec<Vec<(u32, String)>> = all.into_iter().map(|l| vec![l]).collect();
+        assert_eq!(
+            one_shot,
+            build(&line_by_line),
+            "batch boundaries must not leak into the report"
+        );
+        assert!(vqlens_obs::json::parse(&one_shot).is_ok(), "valid JSON");
+    }
+}

@@ -21,6 +21,10 @@
 //!   CRLF and BOM are lossless — a robust reader accepts them with zero
 //!   quarantined lines.
 //!
+//! A third family, [`NetFault`], damages the *transport* instead of the
+//! bytes: torn requests, slowloris dribble, garbage payloads, and
+//! mid-stream disconnects driven against a live `vqlens-serve` listener.
+//!
 //! Injection is pure: the same `(input, plan)` always produces the same
 //! output and summary.
 
@@ -387,6 +391,119 @@ pub fn interrupt_checkpoints(
         }
     }
     Ok(summary)
+}
+
+/// Network-level fault operators for driving an ingest server
+/// (`vqlens-serve`) from a hostile client's seat. Where [`FaultKind`]
+/// damages the *bytes* of a trace, these damage the *transport*: torn
+/// requests, slowloris dribble, garbage payloads, and mid-stream
+/// disconnects. Each drives one deterministic TCP exchange via
+/// [`send_faulty_ingest`]; the server must answer with a precise status
+/// (or observe a clean disconnect) and keep serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Send half of the request head, then close the write side: the
+    /// server must treat it as a disconnect, not hang a handler.
+    TornRequest,
+    /// Dribble the body in tiny chunks with a delay between each; with a
+    /// total duration beyond the server's read deadline this is a
+    /// slowloris probe and must be answered `408`.
+    SlowClient {
+        /// Bytes written per chunk.
+        chunk_bytes: usize,
+        /// Sleep between chunks.
+        delay: std::time::Duration,
+    },
+    /// A well-framed POST whose body is not UTF-8: rejected `400` and
+    /// dead-lettered, never accepted.
+    GarbageBody,
+    /// Declare a full `Content-Length`, send half the body, and drop the
+    /// connection without shutdown.
+    MidStreamDisconnect,
+    /// Not a wire behavior: a plan marker telling the test harness to
+    /// kill the server process/handle after `acks` acknowledged batches
+    /// and assert WAL-replay equivalence on restart.
+    KillServerAfterN {
+        /// Acknowledged batches to allow before the kill.
+        acks: u32,
+    },
+}
+
+impl NetFault {
+    /// Stable operator name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFault::TornRequest => "torn-request",
+            NetFault::SlowClient { .. } => "slow-client",
+            NetFault::GarbageBody => "garbage-body",
+            NetFault::MidStreamDisconnect => "mid-stream-disconnect",
+            NetFault::KillServerAfterN { .. } => "kill-server-after-n",
+        }
+    }
+}
+
+/// Drive one faulty `POST /ingest` exchange against `addr`, returning
+/// the server's raw HTTP response if one was received (`None` when the
+/// fault forecloses a response, as for [`NetFault::MidStreamDisconnect`]).
+/// [`NetFault::KillServerAfterN`] performs a *clean* exchange — the kill
+/// itself is the harness's job.
+pub fn send_faulty_ingest(
+    addr: &std::net::SocketAddr,
+    fault: NetFault,
+    payload: &str,
+) -> std::io::Result<Option<String>> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    let head = format!(
+        "POST /ingest HTTP/1.1\r\nHost: vqlens\r\nContent-Length: {}\r\n\r\n",
+        payload.len()
+    );
+    match fault {
+        NetFault::TornRequest => {
+            let torn = &head.as_bytes()[..head.len() / 2];
+            stream.write_all(torn)?;
+            stream.shutdown(std::net::Shutdown::Write)?;
+        }
+        NetFault::SlowClient { chunk_bytes, delay } => {
+            stream.write_all(head.as_bytes())?;
+            for chunk in payload.as_bytes().chunks(chunk_bytes.max(1)) {
+                // The server's read deadline may fire mid-dribble and
+                // reset the connection; that is the outcome under test,
+                // not a harness failure.
+                if stream.write_all(chunk).is_err() {
+                    break;
+                }
+                let _ = stream.flush();
+                std::thread::sleep(delay);
+            }
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+        }
+        NetFault::GarbageBody => {
+            let garbage: Vec<u8> = (0..64u8).map(|i| 0xF8 | (i & 0x07)).collect();
+            let head = format!(
+                "POST /ingest HTTP/1.1\r\nHost: vqlens\r\nContent-Length: {}\r\n\r\n",
+                garbage.len()
+            );
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(&garbage)?;
+            stream.shutdown(std::net::Shutdown::Write)?;
+        }
+        NetFault::MidStreamDisconnect => {
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(&payload.as_bytes()[..payload.len() / 2])?;
+            drop(stream);
+            return Ok(None);
+        }
+        NetFault::KillServerAfterN { .. } => {
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(payload.as_bytes())?;
+            stream.shutdown(std::net::Shutdown::Write)?;
+        }
+    }
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    Ok(Some(response))
 }
 
 /// The original trace with every corrupted or dropped line removed: the

@@ -20,6 +20,9 @@
 //! vqlens monitor dirty.csv --lenient                   # ... over real telemetry
 //! vqlens check --fuzz 25                               # paper-invariant fuzz sweep
 //! vqlens check trace.csv --fuzz 0                      # oracles over one trace
+//! vqlens serve wal/ --addr 127.0.0.1:7141              # live ingestion service
+//! vqlens serve wal/ --checkpoint ckpt/ --max-mem 512M  # durable + bounded
+//! vqlens bench --out BENCH.json                        # throughput baseline
 //! ```
 //!
 //! The CSV format is documented in `vqlens::model::csv` — any telemetry
@@ -77,7 +80,12 @@ fn usage() -> ExitCode {
          [--max-bad-ratio R] [--dead-letter FILE]]\n  vqlens check [FILE.csv] \
          [--fuzz N] [--seed N] [--min-sessions N] [--timings] \
          [--report-json FILE.json] [--lenient [--max-bad-ratio R] \
-         [--dead-letter FILE]]"
+         [--dead-letter FILE]]\n  vqlens serve WAL_DIR [--addr HOST:PORT] \
+         [--checkpoint DIR] [--queue N] [--max-body BYTES] \
+         [--read-timeout-ms N] [--max-mem SIZE[K|M|G]] [--min-sessions N] \
+         [--confirm-h N] [--close-h N] [--timings] [--report-json FILE.json] \
+         [-v|--verbose]\n  vqlens bench [--scenario smoke|default|full] \
+         [--out FILE.json]"
     );
     ExitCode::from(2)
 }
@@ -90,6 +98,8 @@ fn main() -> ExitCode {
         Some("analyze") => analyze(&args[1..]),
         Some("monitor") => monitor(&args[1..]),
         Some("check") => check(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         _ => usage(),
     }
 }
@@ -755,6 +765,210 @@ fn monitor(args: &[String]) -> ExitCode {
         confirmed,
         monitor.open_incidents().count()
     );
+    ExitCode::SUCCESS
+}
+
+/// Run the live ingestion service (`vqlens serve WAL_DIR`). Replays the
+/// write-ahead log, binds, serves, and blocks until SIGTERM/SIGINT or
+/// `POST /admin/shutdown`, then drains gracefully. Endpoint and WAL
+/// semantics are documented in docs/SERVE.md.
+fn serve(args: &[String]) -> ExitCode {
+    let Some(wal_dir) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let mut config = vqlens_serve::ServeConfig::new(wal_dir.as_str());
+    if let Some(addr) = flag_value(args, "--addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(dir) = flag_value(args, "--checkpoint") {
+        config.checkpoint_dir = Some(PathBuf::from(dir));
+    }
+    match numeric_flag::<usize>(args, "--queue") {
+        Ok(Some(n)) => config.queue_capacity = n.max(1),
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    match numeric_flag::<usize>(args, "--max-body") {
+        Ok(Some(n)) => config.max_body_bytes = n,
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    match numeric_flag::<u64>(args, "--read-timeout-ms") {
+        Ok(Some(ms)) => config.read_timeout = std::time::Duration::from_millis(ms),
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    match mem_flag(args) {
+        Ok(v) => config.max_mem_bytes = v,
+        Err(code) => return code,
+    }
+    if let Err(code) = apply_min_sessions(&mut config.analyzer, args) {
+        return code;
+    }
+    match numeric_flag::<u32>(args, "--confirm-h") {
+        Ok(Some(h)) => config.monitor.confirm_after_h = h,
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    match numeric_flag::<u32>(args, "--close-h") {
+        Ok(Some(h)) => config.monitor.close_after_h = h,
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    config.verbose = verbose_flag(args);
+    let report_json = flag_value(args, "--report-json");
+    let timings = args.iter().any(|a| a == "--timings");
+    if report_json.is_some() || timings {
+        vqlens::obs::global().set_enabled(true);
+    }
+    let threads = config.analyzer.threads;
+    let wall = std::time::Instant::now();
+
+    vqlens_serve::signal::install_termination_flag();
+    let handle = match vqlens_serve::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("vqlens serve listening on http://{}", handle.addr());
+    println!(
+        "POST CSV lines to /ingest; GET /health /incidents /critical /prevalence /report; \
+         SIGTERM or POST /admin/shutdown drains"
+    );
+    while !vqlens_serve::signal::termination_requested() && !handle.draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("draining ...");
+    let summary = handle.shutdown();
+    println!(
+        "drained: {} accepted, {} quarantined, {} stale, {} shed, {} epochs closed, \
+         {} checkpointed (queue peak {})",
+        summary.accepted,
+        summary.quarantined,
+        summary.stale,
+        summary.shed,
+        summary.closed_epochs,
+        summary.checkpointed_epochs,
+        summary.queue_depth_peak
+    );
+    if report_json.is_some() || timings {
+        let mut run_report = vqlens::obs::global().report();
+        run_report.threads = threads;
+        run_report.total_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        if timings {
+            eprintln!("\n{run_report}");
+        }
+        if let Some(out) = report_json {
+            if let Err(e) = std::fs::write(out, format!("{}\n", run_report.to_json_pretty())) {
+                eprintln!("cannot write run report {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("run report written to {out}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Measure generate / ingest / analyze throughput over a pinned scenario
+/// suite and emit a machine-comparable JSON baseline (`vqlens bench --out
+/// BENCH_<date>.json`). Keys are emitted in a fixed order so baselines
+/// diff cleanly across commits.
+fn bench(args: &[String]) -> ExitCode {
+    let scenarios = match flag_value(args, "--scenario") {
+        None => vec![Scenario::smoke(), Scenario::paper_default()],
+        Some("smoke") => vec![Scenario::smoke()],
+        Some("default") => vec![Scenario::paper_default()],
+        Some("full") => vec![Scenario::full()],
+        Some(other) => {
+            eprintln!("unknown scenario '{other}'");
+            return usage();
+        }
+    };
+    let mut rows = Vec::new();
+    for scenario in &scenarios {
+        eprintln!(
+            "bench '{}': {} epochs x ~{} sessions ...",
+            scenario.name, scenario.epochs, scenario.arrivals.sessions_per_epoch as u64
+        );
+        let t = std::time::Instant::now();
+        let output = generate_parallel(scenario, 0);
+        let generate_s = t.elapsed().as_secs_f64();
+
+        let mut csv = Vec::new();
+        if let Err(e) = write_csv(&output.dataset, &mut csv) {
+            eprintln!("bench: cannot serialize '{}': {e}", scenario.name);
+            return ExitCode::FAILURE;
+        }
+        let csv_bytes = csv.len();
+
+        let t = std::time::Instant::now();
+        let dataset = match read_csv(csv.as_slice()) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("bench: cannot re-ingest '{}': {e}", scenario.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let ingest_s = t.elapsed().as_secs_f64();
+
+        let config = scaled_config(&dataset);
+        let t = std::time::Instant::now();
+        let trace = analyze_dataset(&dataset, &config);
+        let analyze_s = t.elapsed().as_secs_f64();
+
+        let sessions = dataset.num_sessions() as f64;
+        let per_s = |elapsed: f64| {
+            if elapsed > 0.0 {
+                sessions / elapsed
+            } else {
+                0.0
+            }
+        };
+        eprintln!(
+            "  {:>9} sessions  ingest {:>8.0}/s  analyze {:>8.0}/s  ({} epochs analyzed)",
+            sessions as u64,
+            per_s(ingest_s),
+            per_s(analyze_s),
+            trace.epochs().len()
+        );
+        rows.push(format!(
+            "    {{\n      \"scenario\": \"{}\",\n      \"sessions\": {},\n      \
+             \"epochs\": {},\n      \"csv_bytes\": {},\n      \"generate_s\": {:.3},\n      \
+             \"ingest_s\": {:.3},\n      \"analyze_s\": {:.3},\n      \
+             \"ingest_sessions_per_s\": {:.0},\n      \"ingest_mib_per_s\": {:.1},\n      \
+             \"analyze_sessions_per_s\": {:.0}\n    }}",
+            scenario.name,
+            sessions as u64,
+            dataset.num_epochs(),
+            csv_bytes,
+            generate_s,
+            ingest_s,
+            analyze_s,
+            per_s(ingest_s),
+            if ingest_s > 0.0 {
+                csv_bytes as f64 / (1024.0 * 1024.0) / ingest_s
+            } else {
+                0.0
+            },
+            per_s(analyze_s),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"measured\": true,\n  \"suite\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    match flag_value(args, "--out") {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &json) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("bench baseline written to {out}");
+        }
+        None => print!("{json}"),
+    }
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,366 @@
+//! End-to-end tests for `vqlens-serve`: the live ingestion service
+//! driven over real sockets, including the crash-equivalence guarantee
+//! (kill + WAL replay == never died), deterministic overload shedding,
+//! and the hostile-client operators from `vqlens_synth::faults`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+use vqlens::cluster::problem::SignificanceParams;
+use vqlens::synth::faults::{send_faulty_ingest, NetFault};
+use vqlens_serve::{start, ServeConfig};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vqlens-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A server config small enough that a handful of sessions forms
+/// clusters (the paper-scale significance floor would ignore them).
+fn config(dir: &PathBuf) -> ServeConfig {
+    let mut config = ServeConfig::new(dir.clone());
+    config.analyzer.significance = SignificanceParams {
+        ratio_multiplier: 1.5,
+        min_sessions: 2,
+        min_problem_sessions: 1,
+    };
+    config
+}
+
+fn line(epoch: u32, asn: u32, buffering_s: f64) -> String {
+    format!("{epoch},AS{asn},cdn-a,site-1,vod,html5,chrome,dsl,0,800,1200.0,{buffering_s},2500.0")
+}
+
+/// One epoch's batch: `bad` buffering-heavy sessions concentrated on
+/// ASN 7, the rest healthy and spread across other ASNs.
+fn epoch_batch(epoch: u32, n: u32, bad: u32) -> String {
+    let mut body = String::new();
+    for i in 0..n {
+        let (asn, buffering) = if i < bad {
+            (7, 400.0)
+        } else {
+            (1 + (i % 3), 1.0)
+        };
+        body.push_str(&line(epoch, asn, buffering));
+        body.push('\n');
+    }
+    body
+}
+
+/// Minimal HTTP/1.1 client: one request, returns (status, body).
+fn http(addr: &SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to test server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: vqlens\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in response: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn ingest_health_queries_and_report_roundtrip() {
+    let dir = scratch("roundtrip");
+    let server = start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+
+    let (status, body) = http(&addr, "POST", "/ingest", &epoch_batch(0, 8, 3));
+    assert_eq!(status, 202, "ingest reply: {body}");
+    assert!(body.contains("\"accepted\":8"), "ingest reply: {body}");
+
+    // Starting epoch 1 closes epoch 0 (watermark semantics).
+    let (status, _) = http(&addr, "POST", "/ingest", &epoch_batch(1, 8, 0));
+    assert_eq!(status, 202);
+
+    let (status, health) = http(&addr, "GET", "/health", "");
+    assert_eq!(status, 200);
+    assert!(
+        health.contains("\"accepted\":16") && health.contains("\"closed_epochs\":1"),
+        "health: {health}"
+    );
+
+    let (status, report) = http(&addr, "GET", "/report", "");
+    assert_eq!(status, 200);
+    let parsed: serde_json::Value = serde_json::from_str(&report).expect("report is valid JSON");
+    assert_eq!(parsed["sessions"].as_u64(), Some(16), "report: {report}");
+
+    // The buffering problem planted on ASN 7 must surface in the closed
+    // epoch's critical table.
+    let (status, critical) = http(&addr, "GET", "/critical?metric=BufRatio", "");
+    assert_eq!(status, 200, "critical: {critical}");
+    assert!(critical.contains("AS7"), "critical: {critical}");
+    let (status, _) = http(&addr, "GET", "/critical?metric=Nope", "");
+    assert_eq!(status, 400);
+    let (status, prevalence) = http(&addr, "GET", "/prevalence?metric=BufRatio", "");
+    assert_eq!(status, 200, "prevalence: {prevalence}");
+    let (status, _) = http(&addr, "GET", "/nosuch", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(&addr, "DELETE", "/health", "");
+    assert_eq!(status, 405);
+
+    let summary = server.shutdown();
+    assert_eq!(summary.accepted, 16);
+    assert_eq!(summary.closed_epochs, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_and_restart_is_equivalent_to_never_dying() {
+    let dir = scratch("kill-restart");
+    let server = start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+    let batches = [
+        epoch_batch(0, 10, 4),
+        epoch_batch(1, 10, 0),
+        epoch_batch(2, 10, 5),
+    ];
+    for batch in &batches {
+        let (status, _) = http(&addr, "POST", "/ingest", batch);
+        assert_eq!(status, 202);
+    }
+    let (_, before) = http(&addr, "GET", "/report", "");
+    let (_, incidents_before) = http(&addr, "GET", "/incidents", "");
+    // Abrupt death: no drain, no checkpoint flush — only the WAL survives.
+    server.kill();
+
+    let restarted = start(config(&dir)).expect("server restarts from WAL");
+    let (status, after) = http(&restarted.addr(), "GET", "/report", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        before, after,
+        "killed-then-restarted server must produce a byte-identical /report"
+    );
+    let (_, incidents_after) = http(&restarted.addr(), "GET", "/incidents", "");
+    assert_eq!(incidents_before, incidents_after);
+
+    // A fresh server fed the identical line sequence in one batch agrees
+    // too: the report is a pure function of the accepted sequence, not
+    // of how it was batched or whether the server died in between.
+    let fresh_dir = scratch("kill-restart-fresh");
+    let fresh = start(config(&fresh_dir)).expect("fresh server starts");
+    let (status, _) = http(&fresh.addr(), "POST", "/ingest", &batches.concat());
+    assert_eq!(status, 202);
+    let (_, fresh_report) = http(&fresh.addr(), "GET", "/report", "");
+    assert_eq!(before, fresh_report);
+    fresh.shutdown();
+
+    // The healed server keeps working: it accepts and applies new data.
+    let (status, body) = http(&restarted.addr(), "POST", "/ingest", &epoch_batch(3, 6, 0));
+    assert_eq!(status, 202, "restarted server rejects ingest: {body}");
+    let (_, grown) = http(&restarted.addr(), "GET", "/report", "");
+    let parsed: serde_json::Value = serde_json::from_str(&grown).unwrap();
+    assert_eq!(parsed["sessions"].as_u64(), Some(36));
+    restarted.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+}
+
+#[test]
+fn full_queue_sheds_with_retry_after_and_loses_nothing_accepted() {
+    let dir = scratch("overload");
+    let mut cfg = config(&dir);
+    cfg.queue_capacity = 1;
+    // Hold the ingest thread inside its first group commit so the single
+    // queue slot stays occupied by the second request.
+    cfg.ingest_pause = Some(Duration::from_millis(300));
+    let server = start(cfg).expect("server starts");
+    let addr = server.addr();
+
+    let a = epoch_batch(0, 6, 2);
+    let b = epoch_batch(1, 6, 0);
+    let first = std::thread::spawn(move || http(&addr, "POST", "/ingest", &a));
+    // A is dequeued (and paused on) almost immediately; B then occupies
+    // the one queue slot for the duration of A's pause.
+    std::thread::sleep(Duration::from_millis(100));
+    let second = std::thread::spawn(move || http(&addr, "POST", "/ingest", &b));
+    std::thread::sleep(Duration::from_millis(100));
+    // C arrives while B still holds the slot: deterministic shed.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let c = epoch_batch(2, 6, 0);
+    write!(
+        stream,
+        "POST /ingest HTTP/1.1\r\nHost: vqlens\r\nContent-Length: {}\r\n\r\n{c}",
+        c.len()
+    )
+    .unwrap();
+    let mut shed_response = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.read_to_string(&mut shed_response).unwrap();
+    assert!(
+        shed_response.starts_with("HTTP/1.1 429"),
+        "expected 429, got: {shed_response}"
+    );
+    assert!(
+        shed_response.contains("Retry-After: 1"),
+        "shed response must carry Retry-After: {shed_response}"
+    );
+
+    let (status_a, _) = first.join().unwrap();
+    let (status_b, _) = second.join().unwrap();
+    assert_eq!((status_a, status_b), (202, 202));
+
+    let (_, health) = http(&addr, "GET", "/health", "");
+    assert!(health.contains("\"shed\":1"), "health: {health}");
+    let summary = server.shutdown();
+    assert_eq!(summary.shed, 1);
+    assert_eq!(
+        summary.accepted, 12,
+        "both acknowledged batches are durable"
+    );
+
+    // Nothing acknowledged was lost, and the shed batch was never
+    // half-accepted: a restart sees exactly A + B.
+    let revived = start(config(&dir)).expect("restart after overload");
+    let (_, report) = http(&revived.addr(), "GET", "/report", "");
+    let parsed: serde_json::Value = serde_json::from_str(&report).unwrap();
+    assert_eq!(parsed["sessions"].as_u64(), Some(12));
+    revived.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hostile_clients_cannot_take_the_server_down() {
+    let dir = scratch("hostile");
+    let mut cfg = config(&dir);
+    cfg.read_timeout = Duration::from_millis(200);
+    let server = start(cfg).expect("server starts");
+    let addr = server.addr();
+    let payload = epoch_batch(0, 4, 1);
+
+    // A request torn off mid-head is a disconnect, never a hang.
+    send_faulty_ingest(&addr, NetFault::TornRequest, &payload).expect("torn request completes");
+
+    // A correctly framed body of invalid UTF-8 is answered 400.
+    let garbage = send_faulty_ingest(&addr, NetFault::GarbageBody, &payload)
+        .expect("garbage body completes")
+        .unwrap_or_default();
+    assert!(garbage.contains("400"), "garbage body response: {garbage}");
+
+    // A client that vanishes mid-body costs the server nothing.
+    send_faulty_ingest(&addr, NetFault::MidStreamDisconnect, &payload)
+        .expect("mid-stream disconnect completes");
+
+    // A slowloris trickling bytes slower than the read deadline is cut
+    // off by the 200 ms read deadline. (The 408 itself can be destroyed
+    // by a TCP reset racing the client's next chunk, so the reliable
+    // observable is the server-side dead-letter entry, checked below.)
+    send_faulty_ingest(
+        &addr,
+        NetFault::SlowClient {
+            chunk_bytes: 8,
+            delay: Duration::from_millis(450),
+        },
+        &payload,
+    )
+    .expect("slow client completes");
+
+    // After all of that the server is healthy and still ingests cleanly.
+    let (status, health) = http(&addr, "GET", "/health", "");
+    assert_eq!(status, 200, "health after faults: {health}");
+    let (status, body) = http(&addr, "POST", "/ingest", &payload);
+    assert_eq!(status, 202, "clean ingest after faults: {body}");
+    assert!(body.contains("\"accepted\":4"));
+
+    // The abuse left a dead-letter trail, not a crash.
+    let dead = std::fs::read_to_string(dir.join("dead-letter.log")).unwrap_or_default();
+    assert!(!dead.is_empty(), "faults should be dead-lettered");
+    assert!(
+        dead.contains("request read deadline"),
+        "the slowloris timeout must be dead-lettered: {dead}"
+    );
+
+    let summary = server.shutdown();
+    assert_eq!(summary.accepted, 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_epochs_are_quarantined_not_applied() {
+    let dir = scratch("stale");
+    let server = start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+
+    // Epoch 2 arrives first and advances the watermark; the straggler
+    // for epoch 0 in the same request is already closed over.
+    let body = format!("{}\n{}", line(2, 1, 1.0), line(0, 1, 1.0));
+    let (status, reply) = http(&addr, "POST", "/ingest", &body);
+    assert_eq!(status, 202);
+    assert!(reply.contains("\"accepted\":1"), "reply: {reply}");
+    assert!(reply.contains("\"stale\":1"), "reply: {reply}");
+
+    // Stale lines are evidence, not state: they reach the dead-letter
+    // sink and are excluded from the report.
+    let (_, report) = http(&addr, "GET", "/report", "");
+    let parsed: serde_json::Value = serde_json::from_str(&report).unwrap();
+    assert_eq!(parsed["sessions"].as_u64(), Some(1));
+    let dead = std::fs::read_to_string(dir.join("dead-letter.log")).unwrap_or_default();
+    assert!(dead.contains("stale epoch"), "dead-letter: {dead}");
+
+    let (status, incidents) = http(&addr, "GET", "/incidents", "");
+    assert_eq!(status, 200);
+    serde_json::from_str::<serde_json::Value>(&incidents).expect("incidents is valid JSON");
+
+    let summary = server.shutdown();
+    assert_eq!(summary.stale, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_flushes_closed_epochs_to_checkpoints() {
+    let dir = scratch("ckpt-wal");
+    let ckpt = scratch("ckpt-store");
+    let mut cfg = config(&dir);
+    cfg.checkpoint_dir = Some(ckpt.clone());
+    let server = start(cfg).expect("server starts");
+    let addr = server.addr();
+
+    let (status, _) = http(&addr, "POST", "/ingest", &epoch_batch(0, 8, 3));
+    assert_eq!(status, 202);
+    let (status, _) = http(&addr, "POST", "/ingest", &epoch_batch(1, 8, 0));
+    assert_eq!(status, 202);
+
+    let summary = server.shutdown();
+    assert_eq!(summary.closed_epochs, 1);
+    assert_eq!(summary.checkpointed_epochs, 1);
+    let entries = std::fs::read_dir(&ckpt).map(|d| d.count()).unwrap_or(0);
+    assert!(entries > 0, "checkpoint directory must not be empty");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ckpt);
+}
+
+#[test]
+fn admin_shutdown_drains_cleanly() {
+    let dir = scratch("admin");
+    let server = start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+
+    let (status, _) = http(&addr, "POST", "/ingest", &epoch_batch(0, 4, 0));
+    assert_eq!(status, 202);
+    let (status, body) = http(&addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"draining\":true"), "body: {body}");
+    assert!(server.draining(), "handle must observe the drain request");
+
+    let summary = server.shutdown();
+    assert_eq!(summary.accepted, 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
