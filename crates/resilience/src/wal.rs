@@ -29,7 +29,10 @@
 //! Directory entries for fresh segments are fsynced
 //! ([`crate::atomicio::fsync_dir`]) so a just-rotated segment survives
 //! power loss, and appends go through the bounded transient-error retry
-//! of [`crate::retry`].
+//! of [`crate::retry`] — each attempt first truncates the segment back
+//! to the last acknowledged offset, so a retried append can neither
+//! leave a torn frame behind an acknowledged one nor duplicate intact
+//! frames.
 
 use crate::atomicio::fsync_dir;
 use crate::fingerprint::Hasher64;
@@ -93,6 +96,10 @@ pub struct Wal {
     file: File,
     seg_seq: u64,
     seg_len: u64,
+    /// Set when a failed append could not be healed (the segment may end
+    /// in a torn frame): every further append fails fast so no later
+    /// batch can be acknowledged behind the damage. Reopening recovers.
+    poisoned: bool,
 }
 
 fn segment_name(seq: u64) -> String {
@@ -124,6 +131,11 @@ struct SegmentScan {
     /// Damaged record count (0 or 1 per segment: the scan stops at the
     /// first bad frame; everything after it is unframed noise).
     torn: u64,
+    /// Whether the 8-byte magic header was intact. A segment with a
+    /// damaged header must never be appended to: truncating it to 8
+    /// non-MAGIC bytes and writing records behind them would make every
+    /// future replay discard those records.
+    magic_ok: bool,
 }
 
 fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
@@ -137,6 +149,7 @@ fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
             valid_len: MAGIC.len() as u64,
             damaged: true,
             torn: u64::from(!bytes.is_empty()),
+            magic_ok: false,
         });
     }
     let mut records = Vec::new();
@@ -149,6 +162,7 @@ fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
                 valid_len: pos as u64,
                 damaged: false,
                 torn: 0,
+                magic_ok: true,
             });
         }
         let frame_ok = (|| {
@@ -174,6 +188,7 @@ fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
                     valid_len: pos as u64,
                     damaged: true,
                     torn: 1,
+                    magic_ok: true,
                 });
             }
         }
@@ -196,12 +211,16 @@ impl Wal {
 
         let mut replay = WalReplay::default();
         let last = seqs.last().copied();
+        let mut last_magic_ok = true;
         for &seq in &seqs {
             let path = dir.join(segment_name(seq));
             let scan = scan_segment(&path)?;
             replay.segments += 1;
             replay.torn_records += scan.torn;
-            if scan.damaged && Some(seq) == last {
+            if Some(seq) == last {
+                last_magic_ok = scan.magic_ok;
+            }
+            if scan.damaged && Some(seq) == last && scan.magic_ok {
                 // The crash signature: truncate the active segment back
                 // to its last intact record so appends restart cleanly.
                 let f = OpenOptions::new().write(true).open(&path)?;
@@ -220,12 +239,18 @@ impl Wal {
         rec.add(obs::Counter::WalTornTailsHealed, replay.torn_records);
 
         let (file, seg_seq, seg_len) = match last {
-            Some(seq) => {
+            Some(seq) if last_magic_ok => {
                 let path = dir.join(segment_name(seq));
                 let mut f = OpenOptions::new().append(true).open(&path)?;
                 let len = f.seek(SeekFrom::End(0))?;
                 (f, seq, len)
             }
+            // The highest segment's magic header is damaged (a foreign
+            // file, or a crash that made the directory entry durable
+            // before the 8 magic bytes). Appending behind a bad header
+            // would hide those records from every future replay, so the
+            // file is left untouched and appends rotate past it.
+            Some(seq) => Wal::create_segment(dir, seq + 1)?,
             None => Wal::create_segment(dir, 1)?,
         };
         Ok((
@@ -235,6 +260,7 @@ impl Wal {
                 file,
                 seg_seq,
                 seg_len,
+                poisoned: false,
             },
             replay,
         ))
@@ -268,16 +294,27 @@ impl Wal {
     /// `Ok`, every record in the batch survives power loss — only then
     /// may the caller acknowledge the client.
     ///
-    /// Transient failures retry under the configured policy; a batch that
-    /// ultimately errors must be treated as *not* acknowledged (some
-    /// frames may be on disk, but replay's torn-tail healing discards an
-    /// incomplete final frame, and duplicated intact frames cannot occur
-    /// because the write buffer is assembled before any byte is written).
+    /// Transient failures retry under the configured policy, and every
+    /// attempt is idempotent: it first truncates the segment back to the
+    /// last acknowledged offset, so a partially written earlier attempt
+    /// cannot leave a torn frame in front of this batch, and a fully
+    /// written batch whose `sync_data` failed is rewritten in place
+    /// rather than appended twice. A batch that ultimately errors must be
+    /// treated as *not* acknowledged; before the error is returned the
+    /// segment is healed by the same truncation, so later batches are
+    /// never appended (and acknowledged) behind a torn frame. If even the
+    /// heal fails, the log poisons itself: every further append errors
+    /// immediately until the WAL is reopened.
     pub fn append_batch<I, B>(&mut self, records: I) -> io::Result<usize>
     where
         I: IntoIterator<Item = B>,
         B: AsRef<[u8]>,
     {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "WAL poisoned: a failed append could not be healed; reopen to recover",
+            ));
+        }
         let mut buf = Vec::new();
         let mut count = 0usize;
         for r in records {
@@ -297,17 +334,48 @@ impl Wal {
             return Ok(0);
         }
         let retry = self.opts.retry;
-        retry_io(&retry, || {
-            self.file.write_all(&buf)?;
-            self.file.sync_data()
-        })?;
+        let seg_len = self.seg_len;
+        let file = &mut self.file;
+        let result = retry_io(&retry, || {
+            // Idempotent attempt: discard whatever a previous failed try
+            // left past the acknowledged offset, then append the whole
+            // frame buffer (append-mode writes land at the new EOF) and
+            // make it durable.
+            if file.seek(SeekFrom::End(0))? != seg_len {
+                file.set_len(seg_len)?;
+            }
+            file.write_all(&buf)?;
+            file.sync_data()
+        });
+        if let Err(e) = result {
+            // Heal before surfacing the error: truncate the segment back
+            // to its pre-batch length so the next batch cannot be
+            // appended behind a torn frame. An unhealable segment poisons
+            // the log instead — failing loudly beats acknowledging
+            // records a replay would discard.
+            if file
+                .set_len(seg_len)
+                .and_then(|()| file.sync_data())
+                .is_err()
+            {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
         self.seg_len += buf.len() as u64;
         obs::global().add(obs::Counter::WalRecordsAppended, count as u64);
         if self.seg_len >= self.opts.segment_bytes {
-            let (file, seq, len) = Wal::create_segment(&self.dir, self.seg_seq + 1)?;
-            self.file = file;
-            self.seg_seq = seq;
-            self.seg_len = len;
+            // Rotation is opportunistic: the batch above is already
+            // durable, so a failed rotation must not surface as an error
+            // the caller would treat as "not acknowledged" (the client
+            // would retry a batch that is on disk, duplicating it on
+            // replay). Keep appending to the oversized segment and try
+            // again after the next batch.
+            if let Ok((file, seq, len)) = Wal::create_segment(&self.dir, self.seg_seq + 1) {
+                self.file = file;
+                self.seg_seq = seq;
+                self.seg_len = len;
+            }
         }
         Ok(count)
     }
@@ -443,6 +511,58 @@ mod tests {
         let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
         assert_eq!(got, vec![b"mine".as_slice()]);
         assert_eq!(replay.torn_records, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn appends_reanchor_at_the_acknowledged_offset() {
+        let dir = scratch_dir("reanchor");
+        let (mut wal, _) = open(&dir);
+        wal.append(b"first").unwrap();
+        // Simulate a failed earlier attempt that left partial bytes past
+        // the acknowledged offset (exactly what a torn `write_all` does):
+        // the next append must truncate them away, not write behind them.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(segment_name(1)))
+                .unwrap();
+            f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+            f.sync_all().unwrap();
+        }
+        wal.append(b"second").unwrap();
+        drop(wal);
+        let (_wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"first".as_slice(), b"second"]);
+        assert_eq!(replay.torn_records, 0, "no torn frame may survive");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_magic_on_the_last_segment_rotates_instead_of_appending() {
+        let dir = scratch_dir("bad-head");
+        {
+            let (mut wal, _) = open(&dir);
+            wal.append(b"durable").unwrap();
+        }
+        // A crash made the directory entry for segment 2 durable before
+        // its 8 magic bytes landed.
+        fs::write(dir.join(segment_name(2)), b"VQW").unwrap();
+
+        let (mut wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"durable".as_slice()]);
+        assert_eq!(
+            wal.segment_seq(),
+            3,
+            "appends must rotate past the damaged header, never behind it"
+        );
+        wal.append(b"after-rotate").unwrap();
+        drop(wal);
+        let (_wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"durable".as_slice(), b"after-rotate"]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -455,20 +455,31 @@ fn commit_group(
         .queue_depth
         .fetch_sub(jobs.len() as u64, Ordering::SeqCst);
 
-    let mut st = state
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    let mut wm = st.watermark();
+    // Partition under the lock, then release it for the WAL append: the
+    // fsync (plus up to ~0.4 s of retry backoff) must not stall /health
+    // and the other query endpoints. Dropping the lock here is safe
+    // because this thread is the only watermark mutator (the one-writer
+    // invariant): nothing can close an epoch between the partition and
+    // the apply below.
     let mut partitioned = Vec::with_capacity(jobs.len());
-    for job in jobs {
-        let (fresh, stale) = st.partition_stale(&mut wm, job.lines);
-        partitioned.push((fresh, stale, job.reply));
+    {
+        let st = state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut wm = st.watermark();
+        for job in jobs {
+            let (fresh, stale) = st.partition_stale(&mut wm, job.lines);
+            partitioned.push((fresh, stale, job.reply));
+        }
     }
 
     let all_fresh = partitioned
         .iter()
         .flat_map(|(fresh, _, _)| fresh.iter().map(|(_, line)| line.as_str()));
     if let Err(e) = wal.append_batch(all_fresh) {
+        // Nothing in this group is acknowledged. `Wal::append_batch`
+        // healed (or poisoned) the segment before returning, so serving
+        // on cannot acknowledge later batches behind a torn frame.
         let message = format!("write-ahead log append failed: {e}");
         for (_, _, reply) in partitioned {
             let _ = reply.send(Err(message.clone()));
@@ -476,6 +487,9 @@ fn commit_group(
         return;
     }
 
+    let mut st = state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     for (fresh, stale, reply) in partitioned {
         for line in &stale {
             dead_letter.append("stale epoch (already closed)", line);
@@ -636,7 +650,7 @@ fn ingest_request(stream: &mut TcpStream, request: Request, ctx: &Ctx) {
     };
 
     let mut valid = Vec::new();
-    let mut quarantined = 0u64;
+    let mut rejected: Vec<(String, String)> = Vec::new();
     for line in body.lines() {
         let line = line.trim_end_matches('\r');
         if line.trim().is_empty() {
@@ -644,15 +658,10 @@ fn ingest_request(stream: &mut TcpStream, request: Request, ctx: &Ctx) {
         }
         match validate_line(line) {
             Ok(epoch) => valid.push((epoch, line.to_owned())),
-            Err(reason) => {
-                ctx.dead_letter.append(&reason, line);
-                quarantined += 1;
-            }
+            Err(reason) => rejected.push((reason, line.to_owned())),
         }
     }
-    if quarantined > 0 {
-        lock_state(ctx).quarantined_total += quarantined;
-    }
+    let quarantined = rejected.len() as u64;
 
     let (reply_tx, reply_rx) = mpsc::channel();
     let depth = ctx.shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
@@ -661,7 +670,18 @@ fn ingest_request(stream: &mut TcpStream, request: Request, ctx: &Ctx) {
         lines: valid,
         reply: reply_tx,
     }) {
-        Ok(()) => {}
+        Ok(()) => {
+            // Quarantine accounting waits until the request is admitted:
+            // a shed request (429 below) is retried by the client, and
+            // dead-lettering / counting its malformed lines on every
+            // attempt would double them in /health and the drain summary.
+            if quarantined > 0 {
+                for (reason, line) in &rejected {
+                    ctx.dead_letter.append(reason, line);
+                }
+                lock_state(ctx).quarantined_total += quarantined;
+            }
+        }
         Err(TrySendError::Full(_)) => {
             ctx.shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
             ctx.shared.shed_total.fetch_add(1, Ordering::SeqCst);
