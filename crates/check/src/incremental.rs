@@ -1,0 +1,274 @@
+//! Incremental-maintenance oracle: an epoch analyzed through the delta
+//! path ([`IncrementalEpoch`] — buffered appends, `CubeTable::merge`,
+//! dirty-mask problem-set patching) must be **bit-identical** to a
+//! from-scratch analysis of the same sessions, for *any* append order and
+//! *any* batching.
+//!
+//! `incremental-equivalence` replays every non-empty epoch of the dataset
+//! through an [`IncrementalEpoch`] using a seed-derived random
+//! permutation of its sessions and seed-derived random batch boundaries
+//! (settling — i.e. merging — at every boundary), then demands exact
+//! agreement with the uninterrupted analysis on four levels:
+//!
+//! 1. the cube itself — root counts and the full sorted entry run;
+//! 2. the per-metric problem sets — global ratio (by f64 bit pattern) and
+//!    the cluster→counts map;
+//! 3. the per-metric critical sets — the cluster map with attribution
+//!    shares compared by bit pattern;
+//! 4. the attribution totals (`problems_attributed`, conservation input).
+//!
+//! This is the contract that lets `vqlens serve` answer `/report` from
+//! incrementally maintained state and still promise byte-identical output
+//! to a batch recomputation (and to a killed-and-WAL-replayed twin).
+
+use crate::CheckReport;
+use vqlens_cluster::analyze::{EpochAnalysis, IncrementalEpoch};
+use vqlens_cluster::critical::CriticalParams;
+use vqlens_cluster::problem::SignificanceParams;
+use vqlens_model::dataset::Dataset;
+use vqlens_model::metric::{Metric, Thresholds};
+
+/// Run the incremental-equivalence oracle over every non-empty epoch,
+/// comparing against the uninterrupted `analyses` (in the same order
+/// `check_dataset` produced them).
+pub fn check_incremental(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    analyses: &[EpochAnalysis],
+    seed: u64,
+    report: &mut CheckReport,
+) {
+    for original in analyses {
+        let id = original.epoch;
+        let data = dataset.epoch(id);
+        let sessions: Vec<_> = data.iter().collect();
+        let n = sessions.len();
+        if n == 0 {
+            continue;
+        }
+        let mut rng = Lcg::new(seed ^ u64::from(id.0).wrapping_mul(0xd134_2543_de82_ef95));
+
+        // Random append schedule: a permutation of the epoch's sessions...
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            order.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        // ...split at random batch boundaries, with a merge after every
+        // batch so the equivalence is checked against many intermediate
+        // merge states, not just one final fold.
+        let mut inc = IncrementalEpoch::new(id, thresholds, sig);
+        let mut pushed = 0usize;
+        while pushed < n {
+            let batch = 1 + rng.below(1 + n as u64 / 3) as usize;
+            for _ in 0..batch.min(n - pushed) {
+                let (attrs, quality) = sessions[order[pushed]];
+                inc.push(attrs, quality);
+                pushed += 1;
+            }
+            inc.settle();
+        }
+
+        report.ran(1);
+        let incremental = inc.analysis(params);
+        let ctx = inc.context();
+
+        // Level 1: the merged cube is the built cube, entry for entry.
+        let scratch = vqlens_cluster::analyze::AnalysisContext::compute(id, data, thresholds, sig);
+        if ctx.cube.root != scratch.cube.root {
+            report.violate(
+                "incremental-equivalence",
+                Some(id),
+                None,
+                format!(
+                    "merged cube root {:?} differs from built root {:?}",
+                    ctx.cube.root, scratch.cube.root
+                ),
+            );
+        }
+        if ctx.cube.entries() != scratch.cube.entries() {
+            report.violate(
+                "incremental-equivalence",
+                Some(id),
+                None,
+                format!(
+                    "merged cube holds {} entries, built cube {} (or differing runs)",
+                    ctx.cube.entries().len(),
+                    scratch.cube.entries().len()
+                ),
+            );
+        }
+
+        // Levels 2–4: problem sets, critical sets, attribution totals.
+        if incremental.total_sessions != original.total_sessions {
+            report.violate(
+                "incremental-equivalence",
+                Some(id),
+                None,
+                format!(
+                    "incremental path saw {} sessions, uninterrupted run {}",
+                    incremental.total_sessions, original.total_sessions
+                ),
+            );
+        }
+        for m in Metric::ALL {
+            let inc_m = incremental.metric(m);
+            let orig_m = original.metric(m);
+            if inc_m.problems.global_ratio.to_bits() != orig_m.problems.global_ratio.to_bits() {
+                report.violate(
+                    "incremental-equivalence",
+                    Some(id),
+                    Some(m),
+                    format!(
+                        "global ratio {} (incremental) vs {} (from scratch)",
+                        inc_m.problems.global_ratio, orig_m.problems.global_ratio
+                    ),
+                );
+            }
+            if inc_m.problems.clusters != orig_m.problems.clusters {
+                report.violate(
+                    "incremental-equivalence",
+                    Some(id),
+                    Some(m),
+                    format!(
+                        "problem set of {} clusters (incremental) vs {} (from scratch)",
+                        inc_m.problems.clusters.len(),
+                        orig_m.problems.clusters.len()
+                    ),
+                );
+            }
+            if !critical_equal(inc_m, orig_m) {
+                report.violate(
+                    "incremental-equivalence",
+                    Some(id),
+                    Some(m),
+                    format!(
+                        "critical set of {} clusters / {} attributed (incremental) vs {} / {}",
+                        inc_m.critical.clusters.len(),
+                        inc_m.critical.problems_attributed,
+                        orig_m.critical.clusters.len(),
+                        orig_m.critical.problems_attributed,
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Exact equality of two critical sets: cluster maps with every
+/// attribution share compared by f64 bit pattern, plus the set-level
+/// totals.
+fn critical_equal(
+    a: &vqlens_cluster::analyze::MetricAnalysis,
+    b: &vqlens_cluster::analyze::MetricAnalysis,
+) -> bool {
+    let (ca, cb) = (&a.critical, &b.critical);
+    if ca.global_ratio.to_bits() != cb.global_ratio.to_bits()
+        || ca.total_sessions != cb.total_sessions
+        || ca.total_problems != cb.total_problems
+        || ca.problems_in_problem_clusters != cb.problems_in_problem_clusters
+        || ca.problems_attributed.to_bits() != cb.problems_attributed.to_bits()
+        || ca.clusters.len() != cb.clusters.len()
+    {
+        return false;
+    }
+    ca.clusters.iter().all(|(key, sa)| {
+        cb.clusters.get(key).is_some_and(|sb| {
+            sa.sessions == sb.sessions
+                && sa.problems == sb.problems
+                && sa.attributed_problems.to_bits() == sb.attributed_problems.to_bits()
+                && sa.attributed_sessions.to_bits() == sb.attributed_sessions.to_bits()
+        })
+    })
+}
+
+/// Deterministic 64-bit LCG (MMIX constants) — the checker avoids a rand
+/// dependency and needs reproducibility from the seed alone.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0
+    }
+
+    /// Uniform-ish draw in `0..bound` (`bound` ≥ 1).
+    fn below(&mut self, bound: u64) -> u64 {
+        (self.next() >> 16) % bound.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_synth::scenario::{generate, Scenario};
+
+    #[test]
+    fn incremental_oracle_passes_on_a_smoke_trace() {
+        let output = generate(&Scenario::smoke());
+        let thresholds = Thresholds::default();
+        let sig = SignificanceParams::scaled_to(
+            output.dataset.num_sessions() as u64 / u64::from(output.dataset.num_epochs().max(1)),
+        );
+        let params = CriticalParams::default();
+        let analyses: Vec<EpochAnalysis> = (0..output.dataset.num_epochs())
+            .map(EpochId)
+            .filter(|id| !output.dataset.epoch(*id).is_empty())
+            .map(|id| {
+                EpochAnalysis::compute(id, output.dataset.epoch(id), &thresholds, &sig, &params)
+            })
+            .collect();
+        let mut report = CheckReport::default();
+        check_incremental(
+            &output.dataset,
+            &thresholds,
+            &sig,
+            &params,
+            &analyses,
+            0xFACADE,
+            &mut report,
+        );
+        assert!(report.passed(), "incremental oracle violated:\n{report}");
+        assert!(report.oracles_run >= 1);
+    }
+
+    #[test]
+    fn incremental_oracle_catches_a_tampered_analysis() {
+        let output = generate(&Scenario::smoke());
+        let thresholds = Thresholds::default();
+        let sig = SignificanceParams::scaled_to(
+            output.dataset.num_sessions() as u64 / u64::from(output.dataset.num_epochs().max(1)),
+        );
+        let params = CriticalParams::default();
+        let mut analyses: Vec<EpochAnalysis> = (0..output.dataset.num_epochs())
+            .map(EpochId)
+            .filter(|id| !output.dataset.epoch(*id).is_empty())
+            .map(|id| {
+                EpochAnalysis::compute(id, output.dataset.epoch(id), &thresholds, &sig, &params)
+            })
+            .collect();
+        // An off-by-one in the supposedly uninterrupted run must be
+        // flagged, not absorbed.
+        analyses[0].total_sessions += 1;
+        let mut report = CheckReport::default();
+        check_incremental(
+            &output.dataset,
+            &thresholds,
+            &sig,
+            &params,
+            &analyses,
+            0xFACADE,
+            &mut report,
+        );
+        assert!(!report.passed(), "tampered totals must be caught");
+    }
+}

@@ -28,6 +28,11 @@
 //!   (`vqlens-serve`): byte-exact replay across segment rotation,
 //!   exact-prefix recovery from torn tails, and analysis equivalence of
 //!   a WAL-replayed dataset with the uninterrupted run.
+//! * [`incremental`] — delta-maintenance oracle: every epoch replayed
+//!   through the incremental path (`CubeTable::merge` over randomized
+//!   append schedules and batch boundaries) must be bit-identical to the
+//!   from-scratch analysis — cube entries, problem sets, critical sets,
+//!   and attribution totals.
 //! * [`fuzz`] — a seeded driver that draws scenario variants and
 //!   [`vqlens_synth::faults`] operators, round-trips them through CSV and
 //!   lenient ingestion, and runs every oracle on the result.
@@ -45,6 +50,7 @@
 
 pub mod epoch;
 pub mod fuzz;
+pub mod incremental;
 pub mod resume;
 pub mod trace;
 pub mod wal;
@@ -190,6 +196,7 @@ pub fn check_dataset(
     trace::check_trace(&analyses, report);
     resume::check_resume(dataset, thresholds, sig, params, &analyses, seed, report);
     wal::check_wal(dataset, thresholds, sig, params, &analyses, seed, report);
+    incremental::check_incremental(dataset, thresholds, sig, params, &analyses, seed, report);
     analyses
 }
 

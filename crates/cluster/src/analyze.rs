@@ -12,13 +12,14 @@
 //! works from these compact summaries.
 
 use crate::critical::{CriticalParams, CriticalSet};
-use crate::cube::CubeTable;
+use crate::cube::{project_mask, CubeDelta, CubeTable, DirtySet};
 use crate::hhh::{HhhParams, HhhSet};
-use crate::problem::{ProblemSet, SignificanceParams};
+use crate::problem::{ClusterStat, ProblemSet, SignificanceParams};
 use serde::{Deserialize, Serialize};
+use vqlens_model::attr::SessionAttrs;
 use vqlens_model::dataset::EpochData;
 use vqlens_model::epoch::EpochId;
-use vqlens_model::metric::{Metric, Thresholds};
+use vqlens_model::metric::{Metric, QualityMeasurement, Thresholds};
 use vqlens_obs as obs;
 
 /// Everything the per-epoch analyses share: the cube, the significance
@@ -132,6 +133,159 @@ impl AnalysisContext {
     /// Run the HHH baseline for one metric, reusing the shared cube.
     pub fn hhh(&self, metric: Metric, params: &HhhParams) -> HhhSet {
         HhhSet::identify(&self.cube, metric, params)
+    }
+
+    /// Apply a delta of appended sessions incrementally: merge it into the
+    /// cube ([`CubeTable::merge`]) and bring the per-metric problem sets
+    /// back in sync, doing work proportional to the delta rather than the
+    /// epoch.
+    ///
+    /// The resulting context is **bit-identical** to recomputing from
+    /// scratch over the union of sessions (pinned by the
+    /// `incremental-equivalence` oracle in `vqlens-check`). Per metric:
+    ///
+    /// * when the append preserves the epoch's global problem ratio
+    ///   *exactly* (integer cross-multiplication test — the same real
+    ///   number rounds to the same `f64`), untouched clusters cannot
+    ///   change membership, so only the clusters the delta projects onto
+    ///   are re-tested against the significance rule;
+    /// * otherwise the global-ratio threshold moved for *every* cluster
+    ///   and the problem set is re-identified with one linear walk over
+    ///   the (pruned) cube — still far cheaper than rebuilding the cube.
+    ///
+    /// Critical/HHH sets are derived views over the context
+    /// ([`AnalysisContext::critical`], [`AnalysisContext::hhh`]); callers
+    /// recompute them on demand for the metrics they serve.
+    pub fn apply_delta(&mut self, delta: &CubeDelta) -> DirtySet {
+        let old_root = self.cube.root;
+        let dirty = self.cube.merge(delta);
+        if dirty.is_empty() {
+            return dirty;
+        }
+        let rec = obs::global();
+        let span = rec.span_epoch(obs::Stage::ProblemClusters, self.cube.epoch.0);
+
+        // The clusters whose counts changed: the delta leaves' projections
+        // onto every touched mask (identical for all four metrics).
+        let dleaves = delta.sorted_leaves();
+        let mut scratch = Vec::with_capacity(dleaves.len());
+        let mut touched_keys = Vec::new();
+        for mask in dirty.iter_touched() {
+            for (key, _) in project_mask(&dleaves, mask, &mut scratch) {
+                touched_keys.push(key);
+            }
+        }
+
+        for m in Metric::ALL {
+            let pi = m.index();
+            let (p, s) = (delta.root().problems[pi], delta.root().sessions);
+            let preserved = old_root.sessions > 0
+                && u128::from(p) * u128::from(old_root.sessions)
+                    == u128::from(old_root.problems[pi]) * u128::from(s);
+            if preserved {
+                let ps = &mut self.problems[pi];
+                debug_assert_eq!(ps.global_ratio, self.cube.global_ratio(m));
+                for key in &touched_keys {
+                    match self.cube.get(*key) {
+                        Some(c) if self.sig.is_problem(c, m, ps.global_ratio) => {
+                            ps.clusters.insert(
+                                *key,
+                                ClusterStat {
+                                    sessions: c.sessions,
+                                    problems: c.problems[pi],
+                                },
+                            );
+                        }
+                        // Not significant, or below the prune floor (and a
+                        // pruned cluster can never pass `min_sessions`).
+                        _ => {
+                            ps.clusters.remove(key);
+                        }
+                    }
+                }
+            } else {
+                self.problems[pi] = ProblemSet::identify(&self.cube, m, &self.sig);
+            }
+        }
+        span.finish();
+        dirty
+    }
+}
+
+/// An open epoch maintained incrementally: appended sessions buffer into a
+/// pending [`CubeDelta`] and are folded into the [`AnalysisContext`] on
+/// demand ([`IncrementalEpoch::settle`]) — appends stay O(1) hash updates,
+/// reads pay one merge proportional to the accumulated delta.
+///
+/// At every settle point the context is bit-identical to
+/// [`AnalysisContext::compute`] over all sessions pushed so far, for any
+/// batching of the pushes (the `incremental-equivalence` oracle pins
+/// this).
+#[derive(Debug, Clone)]
+pub struct IncrementalEpoch {
+    ctx: AnalysisContext,
+    pending: CubeDelta,
+    thresholds: Thresholds,
+}
+
+impl IncrementalEpoch {
+    /// Start maintaining an epoch that has no sessions yet.
+    pub fn new(
+        epoch: EpochId,
+        thresholds: &Thresholds,
+        sig: &SignificanceParams,
+    ) -> IncrementalEpoch {
+        let mut cube = CubeTable::empty(epoch);
+        cube.prune(sig.min_sessions);
+        IncrementalEpoch {
+            ctx: AnalysisContext::from_cube(cube, sig),
+            pending: CubeDelta::new(epoch),
+            thresholds: *thresholds,
+        }
+    }
+
+    /// Buffer one appended session.
+    pub fn push(&mut self, attrs: &SessionAttrs, quality: &QualityMeasurement) {
+        self.pending.push(attrs, quality, &self.thresholds);
+    }
+
+    /// Sessions folded in plus sessions still buffered.
+    pub fn sessions(&self) -> u64 {
+        self.ctx.total_sessions() + self.pending.sessions()
+    }
+
+    /// Sessions still buffered in the pending delta.
+    pub fn pending_sessions(&self) -> u64 {
+        self.pending.sessions()
+    }
+
+    /// Fold the pending delta into the context (no-op when nothing is
+    /// buffered).
+    pub fn settle(&mut self) -> DirtySet {
+        if self.pending.is_empty() {
+            return DirtySet::default();
+        }
+        let dirty = self.ctx.apply_delta(&self.pending);
+        self.pending.clear();
+        dirty
+    }
+
+    /// The up-to-date context (settles first).
+    pub fn context(&mut self) -> &AnalysisContext {
+        self.settle();
+        &self.ctx
+    }
+
+    /// The up-to-date compact summary (settles first).
+    pub fn analysis(&mut self, critical_params: &CriticalParams) -> EpochAnalysis {
+        self.settle();
+        EpochAnalysis::from_context(&self.ctx, critical_params)
+    }
+
+    /// Approximate heap footprint: the cube *plus* the pending delta
+    /// buffer, so the memory-budget ladder sees unmerged rows too.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.ctx.cube.approx_heap_bytes() + self.pending.approx_heap_bytes()
     }
 }
 
@@ -254,6 +408,72 @@ mod tests {
             );
             assert!(!ma.critical.is_empty());
         }
+    }
+
+    /// Incremental contexts must be indistinguishable from from-scratch
+    /// ones: same cube bytes, same problem sets, same derived critical
+    /// sets.
+    fn assert_ctx_equivalent(inc: &AnalysisContext, scratch: &AnalysisContext) {
+        assert_eq!(inc.cube.root, scratch.cube.root);
+        assert_eq!(inc.cube.entries(), scratch.cube.entries());
+        for m in Metric::ALL {
+            let (a, b) = (inc.problems(m), scratch.problems(m));
+            assert_eq!(a.global_ratio.to_bits(), b.global_ratio.to_bits(), "{m}");
+            assert_eq!(a.clusters, b.clusters, "{m}");
+            let (ca, cb) = (
+                inc.critical(m, &CriticalParams::default()),
+                scratch.critical(m, &CriticalParams::default()),
+            );
+            assert_eq!(ca.clusters.len(), cb.clusters.len(), "{m}");
+            assert_eq!(ca.problems_attributed, cb.problems_attributed, "{m}");
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_from_scratch_in_batches() {
+        let d = bad_vs_ok_epoch();
+        let sig = sig();
+        let thresholds = Thresholds::default();
+        let mut inc = IncrementalEpoch::new(EpochId(7), &thresholds, &sig);
+        // Push in ragged batches, settling at every boundary (including a
+        // settle with nothing pending).
+        let sizes = [1usize, 0, 499, 250, 1250];
+        let mut fed = 0usize;
+        for size in sizes {
+            for i in fed..fed + size {
+                inc.push(&d.attrs[i], &d.quality[i]);
+            }
+            fed += size;
+            inc.settle();
+            let mut prefix = EpochData::default();
+            for i in 0..fed {
+                prefix.push(d.attrs[i], d.quality[i]);
+            }
+            let scratch = AnalysisContext::compute(EpochId(7), &prefix, &thresholds, &sig);
+            assert_ctx_equivalent(inc.context(), &scratch);
+        }
+        assert_eq!(fed, d.len());
+        assert_eq!(inc.sessions(), 2000);
+    }
+
+    #[test]
+    fn incremental_epoch_buffers_cheaply_and_reports_heap() {
+        let d = bad_vs_ok_epoch();
+        let sig = sig();
+        let mut inc = IncrementalEpoch::new(EpochId(0), &Thresholds::default(), &sig);
+        let settled_only = inc.approx_heap_bytes();
+        for i in 0..100 {
+            inc.push(&d.attrs[i], &d.quality[i]);
+        }
+        assert_eq!(inc.pending_sessions(), 100);
+        assert!(
+            inc.approx_heap_bytes() > settled_only,
+            "pending delta buffers must count toward the heap estimate"
+        );
+        inc.settle();
+        assert_eq!(inc.pending_sessions(), 0);
+        let analysis = inc.analysis(&CriticalParams::default());
+        assert_eq!(analysis.total_sessions, 100);
     }
 
     #[test]

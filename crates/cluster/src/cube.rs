@@ -111,6 +111,12 @@ pub struct CubeTable {
     /// (`m` in `0..=127`; mask 0 is the root and never stored, so its range
     /// is always empty).
     offsets: [u32; 129],
+    /// Highest `min_sessions` this table was ever pruned with. [`merge`]
+    /// re-applies it, so a merged table stays bit-identical to
+    /// `build(union)` followed by `prune(prune_floor)`.
+    ///
+    /// [`merge`]: CubeTable::merge
+    prune_floor: u64,
 }
 
 /// Reduce a session chunk to its distinct leaves plus the chunk's root
@@ -143,7 +149,7 @@ fn reduce_leaves(
 /// Project the sorted leaf run onto one mask and aggregate equal
 /// projections, yielding the mask's sorted entry run. `scratch` is reused
 /// across masks to avoid reallocating the projection buffer.
-fn project_mask(
+pub(crate) fn project_mask(
     leaves: &[CubeEntry],
     mask: AttrMask,
     scratch: &mut Vec<(u64, u32)>,
@@ -309,6 +315,20 @@ impl CubeTable {
             root,
             entries,
             offsets,
+            prune_floor: 0,
+        }
+    }
+
+    /// An empty cube for an epoch that has no sessions yet — the starting
+    /// point of the incremental path (append sessions into a [`CubeDelta`]
+    /// and [`merge`](CubeTable::merge) them in).
+    pub fn empty(epoch: EpochId) -> CubeTable {
+        CubeTable {
+            epoch,
+            root: ClusterCounts::default(),
+            entries: Vec::new(),
+            offsets: [0; 129],
+            prune_floor: 0,
         }
     }
 
@@ -365,10 +385,19 @@ impl CubeTable {
     }
 
     /// Approximate heap footprint of the table in bytes (the entry
-    /// vector; the fixed 128-way offset index lives inline). Used by the
-    /// resilience layer to calibrate its memory-budget estimator.
+    /// vector; the fixed 128-way offset index lives inline). Pending
+    /// [`CubeDelta`] buffers are *not* part of the table — holders of an
+    /// incrementally maintained cube must add
+    /// [`CubeDelta::approx_heap_bytes`] so the memory-budget ladder sees
+    /// the whole incremental state.
     pub fn approx_heap_bytes(&self) -> usize {
         self.entries.capacity() * std::mem::size_of::<CubeEntry>()
+    }
+
+    /// The highest `min_sessions` this table was pruned with (0 when
+    /// never pruned). [`merge`](CubeTable::merge) maintains it.
+    pub fn prune_floor(&self) -> u64 {
+        self.prune_floor
     }
 
     /// Drop clusters that can never be statistically significant, keeping
@@ -381,10 +410,321 @@ impl CubeTable {
             .retain(|(k, c)| c.sessions >= min_sessions || k.mask() == AttrMask::FULL);
         self.entries.shrink_to_fit();
         self.offsets = compute_offsets(&self.entries);
+        self.prune_floor = self.prune_floor.max(min_sessions);
         obs::global().add(
             obs::Counter::CubeEntriesPruned,
             (before - self.entries.len()) as u64,
         );
+    }
+
+    /// Merge a delta of appended sessions into this table.
+    ///
+    /// The result is **bit-identical** to rebuilding from scratch over the
+    /// union — `CubeTable::build(old sessions + delta sessions)` followed
+    /// by `prune(self.prune_floor())` — for any split of sessions between
+    /// table and delta (the `incremental-equivalence` oracle in
+    /// `vqlens-check` pins this). The work is proportional to the delta
+    /// and the *dirty* masks, not to the sessions already in the table:
+    ///
+    /// * a mask whose delta projections all hit existing clusters is
+    ///   updated **in place** (one binary search + `u64` adds per
+    ///   projected cluster — the warm-epoch fast path);
+    /// * a mask where the delta introduces a new cluster — or resurrects
+    ///   one the prune floor had dropped — is **rebuilt** from the merged
+    ///   leaf run and re-filtered at the floor (leaves are never pruned,
+    ///   so the union leaf run is always reconstructible).
+    ///
+    /// Correctness rests on counts being exact commutative `u64` sums:
+    /// (run over old leaves) + (run over delta leaves) = run over union
+    /// leaves, as long as the old run is complete — which is exactly what
+    /// the prune floor tracks per table and the rebuild path restores per
+    /// mask.
+    ///
+    /// Returns which masks were touched and which needed a rebuild.
+    ///
+    /// # Panics
+    /// Panics when the delta belongs to a different epoch.
+    pub fn merge(&mut self, delta: &CubeDelta) -> DirtySet {
+        assert_eq!(
+            self.epoch, delta.epoch,
+            "delta epoch does not match the table"
+        );
+        let mut dirty = DirtySet::default();
+        if delta.is_empty() {
+            return dirty;
+        }
+        let rec = obs::global();
+        let _obs = rec.span_epoch(obs::Stage::Merge, self.epoch.0);
+        let dleaves = delta.sorted_leaves();
+
+        // Union leaf run first: leaves survive pruning, so old + delta
+        // leaves reconstruct the union exactly. Rebuilt masks re-project
+        // from it.
+        let union_leaves = merge_runs(self.leaves(), &dleaves);
+
+        // Classify every touched mask read-only; mutation happens below so
+        // rebuilt masks can still project against the pre-merge slices.
+        let mut add_ops: Vec<(usize, ClusterCounts)> = Vec::new();
+        let mut rebuilt: Vec<(AttrMask, Vec<CubeEntry>)> = Vec::new();
+        let mut scratch = Vec::with_capacity(dleaves.len());
+        for mask in AttrMask::all_nonempty() {
+            let drun = if mask == AttrMask::FULL {
+                dleaves.clone()
+            } else {
+                project_mask(&dleaves, mask, &mut scratch)
+            };
+            if drun.is_empty() {
+                continue;
+            }
+            dirty.touch(mask);
+            let base = self.offsets[mask.0 as usize] as usize;
+            let old = self.mask_slice(mask);
+            let in_place_from = add_ops.len();
+            let mut all_present = true;
+            for (key, counts) in &drun {
+                match old.binary_search_by_key(&key.0, |(k, _)| k.0) {
+                    Ok(i) => add_ops.push((base + i, *counts)),
+                    Err(_) => {
+                        all_present = false;
+                        break;
+                    }
+                }
+            }
+            if all_present {
+                continue;
+            }
+            add_ops.truncate(in_place_from);
+            dirty.mark_rebuilt(mask);
+            let run = if mask == AttrMask::FULL {
+                union_leaves.clone()
+            } else if self.prune_floor == 0 {
+                merge_runs(old, &drun)
+            } else {
+                // The old run may be missing pruned clusters the delta now
+                // pushes over the floor; only a re-projection from the
+                // union leaves recovers their full counts.
+                let mut run = project_mask(&union_leaves, mask, &mut scratch);
+                run.retain(|(_, c)| c.sessions >= self.prune_floor);
+                run
+            };
+            rebuilt.push((mask, run));
+        }
+
+        self.root.add(&delta.root);
+        for (idx, add) in &add_ops {
+            self.entries[*idx].1.add(add);
+        }
+        if !rebuilt.is_empty() {
+            let mut next = rebuilt.iter().peekable();
+            let grown: usize = rebuilt.iter().map(|(_, r)| r.len()).sum();
+            let mut entries = Vec::with_capacity(self.entries.len() + grown);
+            for mask in AttrMask::all_nonempty() {
+                match next.peek() {
+                    Some((m, run)) if *m == mask => {
+                        entries.extend_from_slice(run);
+                        next.next();
+                    }
+                    _ => entries.extend_from_slice(self.mask_slice(mask)),
+                }
+            }
+            self.entries = entries;
+            self.offsets = compute_offsets(&self.entries);
+        }
+
+        rec.add(obs::Counter::CubeDeltaRows, dleaves.len() as u64);
+        rec.incr(obs::Counter::CubeMerges);
+        rec.add(obs::Counter::DirtyMasks, u64::from(dirty.rebuilt_count()));
+        dirty
+    }
+}
+
+/// Merge two key-sorted entry runs, adding counts where keys collide.
+fn merge_runs(old: &[CubeEntry], delta: &[CubeEntry]) -> Vec<CubeEntry> {
+    let mut out = Vec::with_capacity(old.len() + delta.len());
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < delta.len() {
+        match old[i].0 .0.cmp(&delta[j].0 .0) {
+            std::cmp::Ordering::Less => {
+                out.push(old[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(delta[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let mut acc = old[i].1;
+                acc.add(&delta[j].1);
+                out.push((old[i].0, acc));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&old[i..]);
+    out.extend_from_slice(&delta[j..]);
+    out
+}
+
+/// Accumulated leaf rows of sessions appended to an open epoch, waiting to
+/// be [`merge`](CubeTable::merge)d into its [`CubeTable`].
+///
+/// Appends reduce into distinct leaves on the way in (the same leaf
+/// reduction [`CubeTable::build`] performs), so a delta's size is bounded
+/// by the distinct full attribute combinations it saw — not by its session
+/// count — and duplicate sessions across batches simply add counts.
+#[derive(Debug, Clone)]
+pub struct CubeDelta {
+    /// The open epoch these rows belong to.
+    pub epoch: EpochId,
+    /// Root counts of the appended sessions.
+    root: ClusterCounts,
+    /// Distinct appended leaves and their counts.
+    leaves: FxHashMap<ClusterKey, ClusterCounts>,
+}
+
+impl CubeDelta {
+    /// An empty delta for one open epoch.
+    pub fn new(epoch: EpochId) -> CubeDelta {
+        CubeDelta {
+            epoch,
+            root: ClusterCounts::default(),
+            leaves: FxHashMap::default(),
+        }
+    }
+
+    /// Append one session.
+    pub fn push(
+        &mut self,
+        attrs: &SessionAttrs,
+        quality: &QualityMeasurement,
+        thresholds: &Thresholds,
+    ) {
+        let flags = thresholds.problem_flags(quality);
+        let entry = self.leaves.entry(attrs.leaf_key()).or_default();
+        entry.sessions += 1;
+        self.root.sessions += 1;
+        if flags.any() {
+            for m in Metric::ALL {
+                if flags.is_problem(m) {
+                    entry.problems[m.index()] += 1;
+                    self.root.problems[m.index()] += 1;
+                }
+            }
+        }
+    }
+
+    /// Append a whole session slice (e.g. one ingest batch).
+    pub fn extend(
+        &mut self,
+        attrs: &[SessionAttrs],
+        quality: &[QualityMeasurement],
+        thresholds: &Thresholds,
+    ) {
+        for (a, q) in attrs.iter().zip(quality) {
+            self.push(a, q, thresholds);
+        }
+    }
+
+    /// Root counts of the appended sessions.
+    pub fn root(&self) -> &ClusterCounts {
+        &self.root
+    }
+
+    /// Number of appended sessions.
+    pub fn sessions(&self) -> u64 {
+        self.root.sessions
+    }
+
+    /// Number of distinct appended leaves.
+    pub fn leaf_rows(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True when no session has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.root.sessions == 0
+    }
+
+    /// Drop all accumulated rows, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.root = ClusterCounts::default();
+        self.leaves.clear();
+    }
+
+    /// Approximate heap footprint of the pending buffer in bytes. Owners
+    /// of incremental state add this to [`CubeTable::approx_heap_bytes`]
+    /// so the memory-budget ladder accounts for unmerged rows too.
+    pub fn approx_heap_bytes(&self) -> usize {
+        // Hash-map slots store (key, value) plus ~1 byte of control
+        // metadata per slot.
+        self.leaves.capacity() * (std::mem::size_of::<(ClusterKey, ClusterCounts)>() + 1)
+    }
+
+    /// The delta's leaves as a key-sorted entry run.
+    pub fn sorted_leaves(&self) -> Vec<CubeEntry> {
+        let mut leaves: Vec<CubeEntry> = self.leaves.iter().map(|(k, c)| (*k, *c)).collect();
+        leaves.sort_unstable_by_key(|(k, _)| k.0);
+        leaves
+    }
+}
+
+/// Which masks a [`CubeTable::merge`] touched, and which of those it had
+/// to structurally rebuild. Two 128-bit sets — one bit per
+/// [`AttrMask`].
+///
+/// *Touched* means the mask received delta counts at all (any non-empty
+/// delta touches every mask its leaves project onto — typically all 127).
+/// *Rebuilt* is the expensive subset: the delta introduced a cluster the
+/// run did not hold (new, or previously pruned), forcing a re-projection.
+/// The `dirty_masks` counter and the incremental analysis path key off the
+/// rebuilt set; touched-only masks were updated in place.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    touched: u128,
+    rebuilt: u128,
+}
+
+impl DirtySet {
+    /// Mark a mask as touched (its counts changed).
+    pub fn touch(&mut self, mask: AttrMask) {
+        self.touched |= 1u128 << mask.0;
+    }
+
+    /// Mark a mask as structurally rebuilt (implies touched).
+    pub fn mark_rebuilt(&mut self, mask: AttrMask) {
+        self.touched |= 1u128 << mask.0;
+        self.rebuilt |= 1u128 << mask.0;
+    }
+
+    /// Did the merge change this mask's counts at all?
+    pub fn is_touched(&self, mask: AttrMask) -> bool {
+        self.touched & (1u128 << mask.0) != 0
+    }
+
+    /// Did the merge structurally rebuild this mask's run?
+    pub fn is_rebuilt(&self, mask: AttrMask) -> bool {
+        self.rebuilt & (1u128 << mask.0) != 0
+    }
+
+    /// Number of touched masks.
+    pub fn touched_count(&self) -> u32 {
+        self.touched.count_ones()
+    }
+
+    /// Number of rebuilt masks.
+    pub fn rebuilt_count(&self) -> u32 {
+        self.rebuilt.count_ones()
+    }
+
+    /// True when the merge was a no-op (empty delta).
+    pub fn is_empty(&self) -> bool {
+        self.touched == 0
+    }
+
+    /// Iterate the touched masks in ascending order.
+    pub fn iter_touched(self) -> impl Iterator<Item = AttrMask> {
+        AttrMask::all_nonempty().filter(move |m| self.is_touched(*m))
     }
 }
 
@@ -600,6 +940,179 @@ mod tests {
         assert_eq!(d.sessions, 0);
         assert_eq!(d.problems[0], 0);
         assert_eq!(b.minus(&a).sessions, 2);
+    }
+
+    /// Merge-vs-rebuild equivalence harness: build a table over the first
+    /// `split` sessions (pruning at `floor` when non-zero), push the rest
+    /// through a delta merge, and demand bit-identity with a from-scratch
+    /// build over everything (pruned the same way).
+    fn assert_merge_matches_rebuild(
+        sessions: &[(SessionAttrs, QualityMeasurement)],
+        split: usize,
+        floor: u64,
+    ) {
+        let thresholds = Thresholds::default();
+        let mut table = CubeTable::build(EpochId(1), &epoch_with(&sessions[..split]), &thresholds);
+        if floor > 0 {
+            table.prune(floor);
+        }
+        let mut delta = CubeDelta::new(EpochId(1));
+        for (a, q) in &sessions[split..] {
+            delta.push(a, q, &thresholds);
+        }
+        let dirty = table.merge(&delta);
+        assert_eq!(dirty.is_empty(), sessions[split..].is_empty());
+
+        let mut scratch = CubeTable::build(EpochId(1), &epoch_with(sessions), &thresholds);
+        if floor > 0 {
+            scratch.prune(floor);
+        }
+        assert_eq!(table.root, scratch.root, "split={split} floor={floor}");
+        assert_eq!(
+            table.entries, scratch.entries,
+            "split={split} floor={floor}"
+        );
+        assert_eq!(
+            table.offsets, scratch.offsets,
+            "split={split} floor={floor}"
+        );
+        assert_eq!(table.prune_floor, scratch.prune_floor);
+    }
+
+    #[test]
+    fn empty_delta_merge_is_identity() {
+        let data = epoch_with(&[(attrs(1, 1), GOOD), (attrs(2, 1), GOOD)]);
+        let mut cube = CubeTable::build(EpochId(0), &data, &Thresholds::default());
+        let before = (cube.root, cube.entries.clone(), cube.offsets);
+        let dirty = cube.merge(&CubeDelta::new(EpochId(0)));
+        assert!(dirty.is_empty());
+        assert_eq!(dirty.touched_count(), 0);
+        assert_eq!((cube.root, cube.entries, cube.offsets), before);
+    }
+
+    #[test]
+    fn merge_into_empty_table_equals_build() {
+        // A brand-new epoch: all sessions arrive via the delta path.
+        let sessions = vec![
+            (attrs(1, 1), GOOD),
+            (attrs(1, 2), QualityMeasurement::failed()),
+            (attrs(2, 1), GOOD),
+        ];
+        assert_merge_matches_rebuild(&sessions, 0, 0);
+    }
+
+    #[test]
+    fn merge_matches_rebuild_across_random_splits_and_floors() {
+        let mut sessions = Vec::new();
+        let mut x = 0xfeed_5eed_0bad_cafeu64;
+        for _ in 0..800 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = SessionAttrs::new([
+                ((x >> 7) % 9) as u32,
+                ((x >> 17) % 4) as u32,
+                ((x >> 23) % 5) as u32,
+                ((x >> 31) % 2) as u32,
+                ((x >> 33) % 3) as u32,
+                ((x >> 37) % 2) as u32,
+                ((x >> 41) % 2) as u32,
+            ]);
+            let q = if x % 7 == 0 {
+                QualityMeasurement::failed()
+            } else {
+                GOOD
+            };
+            sessions.push((a, q));
+        }
+        for split in [0, 1, 399, 799, 800] {
+            for floor in [0, 2, 5] {
+                assert_merge_matches_rebuild(&sessions, split, floor);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_after_prune_resurrects_pruned_entries() {
+        // ASN=9 has 2 sessions: prune(3) drops its non-leaf projections.
+        let mut sessions = vec![(attrs(9, 0), GOOD), (attrs(9, 0), GOOD)];
+        for _ in 0..5 {
+            sessions.push((attrs(1, 0), GOOD));
+        }
+        let thresholds = Thresholds::default();
+        let mut cube = CubeTable::build(EpochId(0), &epoch_with(&sessions), &thresholds);
+        cube.prune(3);
+        let asn9 = ClusterKey::of_single(AttrKey::Asn, 9);
+        assert_eq!(cube.get(asn9), None, "below the floor, pruned");
+
+        // Two more ASN=9 sessions push it over the floor: the merge must
+        // resurrect the cluster with its *full* count, not just the delta's.
+        let mut delta = CubeDelta::new(EpochId(0));
+        delta.push(&attrs(9, 0), &GOOD, &thresholds);
+        delta.push(&attrs(9, 0), &GOOD, &thresholds);
+        let dirty = cube.merge(&delta);
+        assert!(dirty.rebuilt_count() > 0, "resurrection forces rebuilds");
+        assert_eq!(cube.counts(asn9).sessions, 4);
+        assert_merge_matches_rebuild(
+            &[sessions, vec![(attrs(9, 0), GOOD), (attrs(9, 0), GOOD)]].concat(),
+            7,
+            3,
+        );
+    }
+
+    #[test]
+    fn duplicate_session_batches_accumulate_counts() {
+        let sessions = vec![
+            (attrs(1, 1), GOOD),
+            (attrs(1, 1), GOOD),
+            (attrs(1, 1), QualityMeasurement::failed()),
+            (attrs(1, 1), QualityMeasurement::failed()),
+        ];
+        // Identical sessions split across table and delta simply add.
+        assert_merge_matches_rebuild(&sessions, 2, 0);
+        let mut delta = CubeDelta::new(EpochId(0));
+        for (a, q) in &sessions {
+            delta.push(a, q, &Thresholds::default());
+        }
+        assert_eq!(delta.sessions(), 4);
+        assert_eq!(delta.leaf_rows(), 1, "duplicates reduce to one leaf row");
+    }
+
+    #[test]
+    fn warm_merge_touches_masks_without_rebuilding() {
+        // Delta leaves already present in the table: every touched mask
+        // takes the in-place path, so no mask is dirty.
+        let sessions = vec![(attrs(1, 1), GOOD), (attrs(2, 1), GOOD)];
+        let thresholds = Thresholds::default();
+        let mut cube = CubeTable::build(EpochId(0), &epoch_with(&sessions), &thresholds);
+        let mut delta = CubeDelta::new(EpochId(0));
+        delta.push(&attrs(1, 1), &QualityMeasurement::failed(), &thresholds);
+        let dirty = cube.merge(&delta);
+        assert_eq!(dirty.touched_count(), 127, "every mask received counts");
+        assert_eq!(dirty.rebuilt_count(), 0, "no new clusters, no rebuilds");
+        assert!(dirty.is_touched(AttrMask::FULL));
+        assert!(!dirty.is_rebuilt(AttrMask::FULL));
+        assert_eq!(cube.root.sessions, 3);
+        assert_eq!(
+            cube.counts(ClusterKey::of_single(AttrKey::Asn, 1)).sessions,
+            2
+        );
+    }
+
+    #[test]
+    fn delta_heap_bytes_grow_with_buffered_rows() {
+        let thresholds = Thresholds::default();
+        let mut delta = CubeDelta::new(EpochId(0));
+        assert_eq!(delta.approx_heap_bytes(), 0, "fresh delta owns no heap");
+        for asn in 0..64u32 {
+            delta.push(&attrs(asn, 0), &GOOD, &thresholds);
+        }
+        assert!(
+            delta.approx_heap_bytes() >= 64 * std::mem::size_of::<CubeEntry>(),
+            "buffered leaf rows must be visible to the memory ladder"
+        );
+        delta.clear();
+        assert!(delta.is_empty());
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub mod prelude {
     pub use vqlens_analysis::persistence::{extract_events, ClusterSource, PersistenceReport};
     pub use vqlens_analysis::prevalence::PrevalenceReport;
     pub use vqlens_analysis::timeseries::{cluster_count_series, problem_ratio_series};
-    pub use vqlens_cluster::analyze::{AnalysisContext, EpochAnalysis};
+    pub use vqlens_cluster::analyze::{AnalysisContext, EpochAnalysis, IncrementalEpoch};
     pub use vqlens_cluster::critical::{CriticalParams, CriticalSet};
     pub use vqlens_cluster::cube::CubeTable;
     pub use vqlens_cluster::hhh::{HhhParams, HhhSet};

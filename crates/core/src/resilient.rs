@@ -30,6 +30,15 @@
 //! them. Checkpoints are saved *before* any ingest report is applied, so
 //! persisted statuses carry only `TimedOut`/`Sampled` causes; quarantine
 //! causes are re-derived by the resuming run's own ingest.
+//!
+//! The **open epoch** — the highest non-empty one, the epoch a live
+//! deployment would still be appending into — is analyzed through the
+//! incremental delta path ([`IncrementalEpoch`]: batched appends folded
+//! by `CubeTable::merge`) instead of a monolithic build. The
+//! `incremental-equivalence` oracle pins that path bit-identical to the
+//! from-scratch analysis, so the trace is unchanged; what changes is
+//! that every batch run exercises the same code a restarted `vqlens
+//! serve` replays its WAL through.
 
 use crate::config::AnalyzerConfig;
 use crate::pipeline::{
@@ -38,7 +47,7 @@ use crate::pipeline::{
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
-use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_cluster::analyze::{EpochAnalysis, IncrementalEpoch};
 use vqlens_model::dataset::Dataset;
 use vqlens_model::epoch::EpochId;
 use vqlens_obs as obs;
@@ -156,6 +165,13 @@ pub fn analyze_dataset_resilient(
         resumed.into_iter().map(|cp| (cp.epoch, cp)).collect();
     let resumed_epochs = done.len();
 
+    // The open epoch (highest non-empty) goes through the incremental
+    // delta path below — bit-identical by the incremental-equivalence
+    // oracle, and it keeps the merge machinery exercised on every run.
+    let open_epoch = (0..n)
+        .rev()
+        .find(|&e| !dataset.epoch(EpochId(e)).is_empty());
+
     let pending: Vec<u32> = (0..n).filter(|e| !done.contains_key(e)).collect();
     let intra = if pending.is_empty() {
         1
@@ -175,14 +191,18 @@ pub fn analyze_dataset_resilient(
                 let epoch = EpochId(pending[i as usize]);
                 let _obs = obs::global().span_epoch(obs::Stage::EpochAnalysis, epoch.0);
                 let (analysis, breach) = watch(budget_ms, || {
-                    EpochAnalysis::compute_with_threads(
-                        epoch,
-                        dataset.epoch(epoch),
-                        &effective.thresholds,
-                        &effective.significance,
-                        &effective.critical,
-                        intra,
-                    )
+                    if Some(epoch.0) == open_epoch {
+                        analyze_open_epoch(epoch, dataset, &effective)
+                    } else {
+                        EpochAnalysis::compute_with_threads(
+                            epoch,
+                            dataset.epoch(epoch),
+                            &effective.thresholds,
+                            &effective.significance,
+                            &effective.critical,
+                            intra,
+                        )
+                    }
                 });
                 let mut status = EpochStatus::Ok;
                 if let Some(cause) = sample_causes.get(&epoch.0) {
@@ -268,6 +288,26 @@ pub fn analyze_dataset_resilient(
     ))
 }
 
+/// Sessions folded per batch when replaying the open epoch through the
+/// incremental path. Small enough to exercise several merges on real
+/// epochs, large enough that merge overhead stays negligible.
+const OPEN_EPOCH_BATCH: usize = 4096;
+
+/// Analyze the open epoch via [`IncrementalEpoch`]: append its sessions
+/// in batches, settling (merging) at every boundary, exactly as a live
+/// server folding group commits would. Bit-identical to
+/// [`EpochAnalysis::compute`] by the incremental-equivalence oracle.
+fn analyze_open_epoch(epoch: EpochId, dataset: &Dataset, config: &AnalyzerConfig) -> EpochAnalysis {
+    let mut inc = IncrementalEpoch::new(epoch, &config.thresholds, &config.significance);
+    for (i, (attrs, quality)) in dataset.epoch(epoch).iter().enumerate() {
+        inc.push(attrs, quality);
+        if (i + 1) % OPEN_EPOCH_BATCH == 0 {
+            inc.settle();
+        }
+    }
+    inc.analysis(&config.critical)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +363,38 @@ mod tests {
         assert!(trace.is_complete());
         assert_eq!(cluster_keys(&trace), cluster_keys(&baseline));
         assert_eq!(trace.total_sessions(), baseline.total_sessions());
+    }
+
+    #[test]
+    fn open_epoch_delta_path_matches_monolithic_build() {
+        let (dataset, config) = smoke();
+        let open = (0..dataset.num_epochs())
+            .rev()
+            .map(EpochId)
+            .find(|id| !dataset.epoch(*id).is_empty())
+            .expect("smoke trace has sessions");
+        let incremental = analyze_open_epoch(open, &dataset, &config);
+        let monolithic = EpochAnalysis::compute(
+            open,
+            dataset.epoch(open),
+            &config.thresholds,
+            &config.significance,
+            &config.critical,
+        );
+        assert_eq!(incremental.total_sessions, monolithic.total_sessions);
+        for m in Metric::ALL {
+            let (a, b) = (incremental.metric(m), monolithic.metric(m));
+            assert_eq!(
+                a.problems.global_ratio.to_bits(),
+                b.problems.global_ratio.to_bits()
+            );
+            assert_eq!(a.problems.clusters, b.problems.clusters);
+            assert_eq!(a.critical.clusters.len(), b.critical.clusters.len());
+            assert_eq!(
+                a.critical.problems_attributed.to_bits(),
+                b.critical.problems_attributed.to_bits()
+            );
+        }
     }
 
     #[test]

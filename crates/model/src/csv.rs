@@ -415,6 +415,67 @@ fn parse_data_line(line: &str) -> Result<ParsedLine, LineFault> {
     })
 }
 
+/// One validated session parsed from a single data line, before attribute
+/// names are interned into any particular dataset's dictionaries.
+///
+/// This is the building block for streaming ingest: a live service
+/// validates each arriving line with [`parse_session_line`], buffers the
+/// typed result, and interns it into its long-lived [`Dataset`] at commit
+/// time — no CSV re-serialization round trip.
+#[derive(Debug, Clone)]
+pub struct ParsedSession {
+    /// Epoch the session belongs to (already bounds-checked against
+    /// [`MAX_EPOCHS`]).
+    pub epoch: EpochId,
+    /// The seven attribute names in [`AttrKey::ALL`] order.
+    pub names: [String; 7],
+    /// The session's quality measurement.
+    pub quality: QualityMeasurement,
+}
+
+impl ParsedSession {
+    /// Intern this session's attribute names into `dataset`'s dictionaries
+    /// and return the packed attribute tuple.
+    ///
+    /// Fails (rather than panicking in `intern`) when a dimension's packed
+    /// id space is exhausted — the same capacity limit [`read_csv_opts`]
+    /// surfaces as a structural [`CsvError::BadLine`].
+    pub fn intern_into(&self, dataset: &mut Dataset) -> Result<SessionAttrs, String> {
+        let mut values = [0u32; 7];
+        for (i, name) in self.names.iter().enumerate() {
+            let key = AttrKey::from_index(i);
+            if dataset.dict(key).id(name).is_none()
+                && dataset.dict(key).len() as u64 > u64::from(crate::attr::max_value(i))
+            {
+                return Err(format!(
+                    "too many distinct {key} values (limit {})",
+                    u64::from(crate::attr::max_value(i)) + 1
+                ));
+            }
+            values[i] = dataset.intern(key, name);
+        }
+        Ok(SessionAttrs::new(values))
+    }
+}
+
+/// Validate and parse one CSV data line into a typed [`ParsedSession`].
+///
+/// Applies exactly the per-line checks of [`read_csv_opts`] (field count,
+/// epoch bound, attribute names, quality-field sanity), so a line accepted
+/// here is a line the batch reader would accept. On failure returns
+/// `(category, message)`: a stable category for per-reason counting plus
+/// the full diagnosis (the same pair quarantine reports are built from).
+pub fn parse_session_line(line: &str) -> Result<ParsedSession, (&'static str, String)> {
+    match parse_data_line(line) {
+        Ok(parsed) => Ok(ParsedSession {
+            epoch: EpochId(parsed.epoch),
+            names: parsed.names,
+            quality: parsed.quality,
+        }),
+        Err(fault) => Err((fault.category, fault.message)),
+    }
+}
+
 /// Read a dataset from CSV with strict error handling; see [`read_csv_opts`].
 pub fn read_csv<R: BufRead>(input: R) -> Result<Dataset, CsvError> {
     read_csv_opts(input, &ReadOptions::strict(), None).map(|(dataset, _)| dataset)

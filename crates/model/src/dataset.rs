@@ -228,6 +228,19 @@ impl Dataset {
         self.epochs[idx].push(record.attrs, record.quality);
     }
 
+    /// Grow the trace so it spans at least `num_epochs` epochs, appending
+    /// empty epochs as needed. Never shrinks.
+    ///
+    /// Streaming ingest uses this before [`push`](Dataset::push): a live
+    /// trace has no known final epoch count, so arriving sessions extend
+    /// the trace instead of panicking against a fixed bound.
+    pub fn ensure_epochs(&mut self, num_epochs: u32) {
+        if num_epochs as usize > self.epochs.len() {
+            self.epochs
+                .resize_with(num_epochs as usize, EpochData::default);
+        }
+    }
+
     /// The sessions of one epoch.
     pub fn epoch(&self, epoch: EpochId) -> &EpochData {
         &self.epochs[epoch.0 as usize]

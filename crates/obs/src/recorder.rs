@@ -59,11 +59,14 @@ pub enum Stage {
     /// Live ingestion service (`vqlens-serve`): WAL replay on startup
     /// (trace-scoped) and request handling over the server's lifetime.
     Serve = 14,
+    /// Incremental delta merge into an existing cube
+    /// (`CubeTable::merge`), recorded per merged epoch.
+    Merge = 15,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -82,6 +85,7 @@ impl Stage {
         Stage::Check,
         Stage::Checkpoint,
         Stage::Serve,
+        Stage::Merge,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -102,6 +106,7 @@ impl Stage {
             Stage::Check => "check",
             Stage::Checkpoint => "checkpoint",
             Stage::Serve => "serve",
+            Stage::Merge => "merge",
         }
     }
 }
@@ -200,11 +205,21 @@ pub enum Counter {
     /// Transient checkpoint/WAL I/O errors absorbed by bounded
     /// retry-with-backoff instead of failing the epoch or request.
     IoRetries = 38,
+    /// Distinct leaf rows carried by merged cube deltas (the per-merge
+    /// input size of the incremental path).
+    CubeDeltaRows = 39,
+    /// Delta merges applied to existing cubes (`CubeTable::merge` calls
+    /// with a non-empty delta).
+    CubeMerges = 40,
+    /// Masks structurally rebuilt by delta merges (new clusters appeared,
+    /// or pruned clusters were resurrected); touched-but-updated-in-place
+    /// masks are the cheap complement.
+    DirtyMasks = 41,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 39;
+    pub const COUNT: usize = 42;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -247,6 +262,9 @@ impl Counter {
         Counter::WalRecordsReplayed,
         Counter::WalTornTailsHealed,
         Counter::IoRetries,
+        Counter::CubeDeltaRows,
+        Counter::CubeMerges,
+        Counter::DirtyMasks,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -291,6 +309,9 @@ impl Counter {
             Counter::WalRecordsReplayed => "wal_records_replayed",
             Counter::WalTornTailsHealed => "wal_torn_tails_healed",
             Counter::IoRetries => "io_retries",
+            Counter::CubeDeltaRows => "cube_delta_rows",
+            Counter::CubeMerges => "cube_merges",
+            Counter::DirtyMasks => "dirty_masks",
         }
     }
 

@@ -9,19 +9,26 @@
 //! spirit as `vqlens-obs`) exposing:
 //!
 //! * `POST /ingest` — CSV session records, validated per line through
-//!   the shared lenient-ingest machinery; malformed and stale lines are
-//!   quarantined to the dead-letter sink, accepted lines are appended to
-//!   a checksummed write-ahead log ([`vqlens_resilience::wal`]) and
-//!   fsynced *before* the `202` acknowledgment. A full ingest queue
-//!   sheds with `429 Retry-After`.
+//!   the shared per-line ingest checks
+//!   ([`vqlens_model::csv::parse_session_line`]); malformed and stale
+//!   lines are quarantined to the dead-letter sink, accepted lines are
+//!   appended to a checksummed write-ahead log
+//!   ([`vqlens_resilience::wal`]) and fsynced *before* the `202`
+//!   acknowledgment, then applied as **typed appends** into per-epoch
+//!   incremental analyses ([`vqlens_cluster::analyze::IncrementalEpoch`])
+//!   at group-commit time — no CSV round trip, no rebuild-the-world. A
+//!   full ingest queue sheds with `429 Retry-After`.
 //! * `GET /health` — liveness, totals, watermark, degradation-ladder
 //!   state, shed/WAL counters.
 //! * `GET /incidents` — the [`vqlens_analysis::OnlineMonitor`] feed of
 //!   open and resolved incidents.
 //! * `GET /critical?metric=M`, `GET /prevalence?metric=M` — the current
-//!   critical-cluster and prevalence tables.
+//!   critical-cluster and prevalence tables, served from the
+//!   incrementally maintained state.
 //! * `GET /report` — a deterministic full analysis of everything
-//!   accepted; the crash-equivalence observable.
+//!   accepted; the crash-equivalence observable. [`offline_report`]
+//!   emits the same bytes from a dataset on disk, so CI can `cmp` a
+//!   served report against `vqlens analyze --serve-report`.
 //! * `POST /admin/shutdown` — graceful drain.
 //!
 //! The core guarantee, pinned by the `vqlens-check` WAL oracles and the
@@ -45,3 +52,37 @@ pub mod signal;
 mod state;
 
 pub use server::{start, DrainSummary, ServeConfig, ServerHandle};
+
+use vqlens_core::AnalyzerConfig;
+use vqlens_model::Dataset;
+
+/// Render the `/report` body a server would serve after accepting
+/// exactly the sessions of `dataset`, computed offline from scratch.
+///
+/// Byte-identical to `GET /report` on an unbudgeted server whose
+/// accepted sequence produced the same dataset (the watermark is the
+/// highest non-empty epoch — a live server's watermark is its highest
+/// *accepted* epoch, which always holds sessions). The CI
+/// incremental-equivalence smoke step `cmp`s the two.
+pub fn offline_report(dataset: &Dataset, analyzer: &AnalyzerConfig) -> String {
+    let analyses: Vec<(u32, vqlens_cluster::analyze::EpochAnalysis)> = dataset
+        .iter_epochs()
+        .filter(|(_, data)| !data.is_empty())
+        .map(|(id, data)| {
+            (
+                id.0,
+                vqlens_cluster::analyze::EpochAnalysis::compute(
+                    id,
+                    data,
+                    &analyzer.thresholds,
+                    &analyzer.significance,
+                    &analyzer.critical,
+                ),
+            )
+        })
+        .collect();
+    let watermark = analyses.last().map(|(e, _)| *e);
+    let refs: Vec<(u32, &vqlens_cluster::analyze::EpochAnalysis)> =
+        analyses.iter().map(|(e, a)| (*e, a)).collect();
+    state::report_body(dataset, watermark, &refs)
+}

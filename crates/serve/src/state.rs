@@ -4,8 +4,8 @@
 //! The whole state is a deterministic function of the ordered sequence of
 //! accepted CSV lines — exactly what the write-ahead log preserves:
 //!
-//! * records are validated per line through the same lenient-ingest
-//!   machinery as file ingestion ([`vqlens_model::csv::read_csv_opts`]);
+//! * records are validated per line through the same per-line checks as
+//!   file ingestion ([`vqlens_model::csv::parse_session_line`]);
 //!   malformed lines are quarantined to the dead-letter sink, never
 //!   accepted;
 //! * an epoch `e` *closes* the moment a record with epoch `> e` is
@@ -19,45 +19,61 @@
 //!   [`ServerState::apply_fresh`] reproduces the identical watermark,
 //!   epoch contents, analyses, and incident feed.
 //!
-//! Analysis queries rebuild the [`Dataset`] lazily from the accepted
-//! lines (invalidated on ingest), so query results are also pure
-//! functions of the accepted sequence.
+//! Accepted records are applied as **typed appends**: each line is parsed
+//! once, interned into a long-lived [`Dataset`], and pushed into its
+//! epoch's [`IncrementalEpoch`] slot — an incrementally maintained
+//! analysis whose pending [`vqlens_cluster::cube::CubeDelta`] is folded
+//! in at read time. `/critical`, `/prevalence`, and `/report` serve from
+//! this maintained state; nothing re-serializes or re-parses the accepted
+//! sequence. `CubeTable::merge` is bit-identical to a from-scratch build
+//! (the `incremental-equivalence` oracle pins this), so query results
+//! remain pure functions of the accepted sequence.
+//!
+//! The memory-budget ladder is the one seam where the service trades this
+//! incremental state away: once any ladder step fires, the per-epoch
+//! slots are dropped and queries fall back to recomputing from the (now
+//! possibly sampled, possibly coarser-pruned) dataset — degradation
+//! already forfeits strict replay equivalence, and holding 127-projection
+//! cubes for every epoch is exactly the footprint the ladder exists to
+//! shed.
 
 use std::collections::BTreeMap;
 
 use vqlens_analysis::{ClusterSource, Incident, MonitorEvent, OnlineMonitor, PrevalenceReport};
-use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_cluster::analyze::{EpochAnalysis, IncrementalEpoch};
 use vqlens_core::AnalyzerConfig;
-use vqlens_model::csv::{read_csv_opts, ReadOptions, CSV_HEADER};
-use vqlens_model::{Dataset, EpochId, Metric};
+use vqlens_model::csv::parse_session_line;
+use vqlens_model::{Dataset, DatasetMeta, EpochId, Metric};
 use vqlens_obs::json::{write_escaped, write_f64};
 use vqlens_resilience::{estimate, plan_ladder, LadderStep};
 
 use crate::ServeConfig;
 
-/// Validate one CSV data line through the shared lenient-ingest
-/// machinery. Returns the record's epoch on success, or the quarantine
-/// reason on failure — the same reason categories `vqlens analyze`
-/// reports for file ingestion.
+/// Validate one CSV data line through the shared per-line ingest checks.
+/// Returns the record's epoch on success, or the quarantine reason on
+/// failure — the same reason categories `vqlens analyze` reports for
+/// file ingestion.
 pub(crate) fn validate_line(line: &str) -> Result<u32, String> {
-    let mut input = String::with_capacity(CSV_HEADER.len() + line.len() + 2);
-    input.push_str(CSV_HEADER);
-    input.push('\n');
-    input.push_str(line);
-    input.push('\n');
-    match read_csv_opts(input.as_bytes(), &ReadOptions::lenient(1.0), None) {
-        Ok((_, report)) if report.ok_lines == 1 && report.bad_lines == 0 => line
-            .split(',')
-            .next()
-            .and_then(|f| f.trim().parse::<u32>().ok())
-            .ok_or_else(|| "invalid epoch".to_owned()),
-        Ok((_, report)) => Err(report
-            .samples
-            .first()
-            .map(|s| s.reason.clone())
-            .or_else(|| report.reasons.keys().next().cloned())
-            .unwrap_or_else(|| "malformed line".to_owned())),
-        Err(e) => Err(e.to_string()),
+    match parse_session_line(line) {
+        Ok(parsed) => Ok(parsed.epoch.0),
+        Err((_category, message)) => Err(message),
+    }
+}
+
+/// One epoch's incrementally maintained analysis plus a memoized compact
+/// summary (invalidated on every append to the epoch).
+struct EpochSlot {
+    inc: IncrementalEpoch,
+    summary: Option<EpochAnalysis>,
+}
+
+impl EpochSlot {
+    /// The up-to-date summary, settling the pending delta if needed.
+    fn summary(&mut self, analyzer: &AnalyzerConfig) -> &EpochAnalysis {
+        if self.summary.is_none() {
+            self.summary = Some(self.inc.analysis(&analyzer.critical));
+        }
+        self.summary.as_ref().expect("memoized above")
     }
 }
 
@@ -66,10 +82,14 @@ pub(crate) struct ServerState {
     /// Analyzer parameters; `significance.min_sessions` may be raised by
     /// the memory ladder.
     pub analyzer: AnalyzerConfig,
-    /// Accepted CSV data lines, in WAL order.
-    lines: Vec<String>,
-    /// Lazily rebuilt dataset cache over `lines`.
-    dataset: Option<Dataset>,
+    /// All accepted sessions, interned and appended in WAL order.
+    dataset: Dataset,
+    /// Per-epoch incremental analyses, keyed by epoch id. Empty once the
+    /// memory ladder has degraded the service.
+    slots: BTreeMap<u32, EpochSlot>,
+    /// Lazily built sampled view of `dataset` while the ladder has
+    /// session sampling active; invalidated on every append.
+    sampled: Option<Dataset>,
     /// The incident tracker fed with each closed epoch's analysis.
     monitor: OnlineMonitor,
     /// Analyses of closed, non-empty epochs, in feed order.
@@ -97,8 +117,16 @@ impl ServerState {
     pub fn new(config: &ServeConfig) -> ServerState {
         ServerState {
             analyzer: config.analyzer,
-            lines: Vec::new(),
-            dataset: None,
+            dataset: Dataset::new(
+                0,
+                DatasetMeta {
+                    name: "serve-ingest".into(),
+                    description: "sessions accepted by vqlens serve".into(),
+                    seed: None,
+                },
+            ),
+            slots: BTreeMap::new(),
+            sampled: None,
             monitor: OnlineMonitor::new(config.monitor),
             analyses: Vec::new(),
             watermark: None,
@@ -115,6 +143,12 @@ impl ServerState {
     /// The current watermark (highest accepted epoch, still open).
     pub fn watermark(&self) -> Option<u32> {
         self.watermark
+    }
+
+    /// True once any memory-ladder step has fired: the incremental slots
+    /// are gone and queries recompute from the dataset.
+    fn degraded(&self) -> bool {
+        !self.ladder.is_empty()
     }
 
     /// Split a validated batch into fresh lines (to be WAL-appended and
@@ -142,9 +176,10 @@ impl ServerState {
     }
 
     /// Apply fresh (non-stale, validated, WAL-logged) lines in order:
-    /// extend the accepted sequence, advance the watermark, analyze and
-    /// feed every newly closed epoch to the monitor. Returns the monitor
-    /// events emitted by the closures.
+    /// append each session to its epoch (dataset + incremental slot),
+    /// advance the watermark, analyze and feed every newly closed epoch
+    /// to the monitor. Returns the monitor events emitted by the
+    /// closures.
     pub fn apply_fresh(&mut self, fresh: Vec<(u32, String)>) -> Vec<MonitorEvent> {
         if fresh.is_empty() {
             return Vec::new();
@@ -153,9 +188,10 @@ impl ServerState {
         for (epoch, line) in fresh {
             self.watermark = Some(self.watermark.map_or(epoch, |w| w.max(epoch)));
             self.accepted_total += 1;
-            self.lines.push(line);
+            self.append_session(epoch, &line);
         }
-        self.dataset = None;
+        self.sampled = None;
+        self.maybe_degrade();
 
         // Epochs strictly below the watermark are closed; feed the ones
         // that closed just now (non-empty only — the monitor's absence
@@ -165,22 +201,28 @@ impl ServerState {
         if new_wm <= first_unfed {
             return Vec::new();
         }
-        self.rebuild();
-        self.maybe_degrade();
         let mut events = Vec::new();
         for e in first_unfed..new_wm {
-            let id = EpochId(e);
-            let dataset = self.dataset.as_ref().expect("rebuilt above");
-            if dataset.num_epochs() <= e || dataset.epoch(id).is_empty() {
-                continue;
-            }
-            let analysis = EpochAnalysis::compute(
-                id,
-                dataset.epoch(id),
-                &self.analyzer.thresholds,
-                &self.analyzer.significance,
-                &self.analyzer.critical,
-            );
+            let analysis = if self.degraded() {
+                self.ensure_sampled();
+                let dataset = self.sampled.as_ref().unwrap_or(&self.dataset);
+                let id = EpochId(e);
+                if dataset.num_epochs() <= e || dataset.epoch(id).is_empty() {
+                    continue;
+                }
+                EpochAnalysis::compute(
+                    id,
+                    dataset.epoch(id),
+                    &self.analyzer.thresholds,
+                    &self.analyzer.significance,
+                    &self.analyzer.critical,
+                )
+            } else {
+                match self.slots.get_mut(&e) {
+                    Some(slot) => slot.summary(&self.analyzer).clone(),
+                    None => continue,
+                }
+            };
             if let Some(mut evs) = self.monitor.try_observe(&analysis) {
                 events.append(&mut evs);
             }
@@ -189,46 +231,83 @@ impl ServerState {
         events
     }
 
-    /// Rebuild the dataset cache from the accepted lines. All lines were
-    /// validated individually, so a lenient re-parse accepts them all;
-    /// the 1.0 bad-ratio gate is belt and braces.
-    fn rebuild(&mut self) {
-        if self.dataset.is_some() {
-            return;
+    /// Append one accepted line as a typed session: parse, intern into
+    /// the long-lived dataset, and push into its epoch's incremental
+    /// slot. The line was validated at admission, so the re-parse cannot
+    /// fail; dictionary exhaustion is the same capacity panic the batch
+    /// reader surfaces as a structural error.
+    fn append_session(&mut self, epoch: u32, line: &str) {
+        let parsed = parse_session_line(line)
+            .unwrap_or_else(|(_, m)| panic!("accepted line failed to re-parse: {m}"));
+        debug_assert_eq!(parsed.epoch.0, epoch, "validated epoch must match");
+        let attrs = parsed
+            .intern_into(&mut self.dataset)
+            .unwrap_or_else(|m| panic!("{m}"));
+        self.dataset.ensure_epochs(epoch + 1);
+        self.dataset.push(vqlens_model::SessionRecord::new(
+            parsed.epoch,
+            attrs,
+            parsed.quality,
+        ));
+        if !self.degraded() {
+            let slot = self.slots.entry(epoch).or_insert_with(|| EpochSlot {
+                inc: IncrementalEpoch::new(
+                    parsed.epoch,
+                    &self.analyzer.thresholds,
+                    &self.analyzer.significance,
+                ),
+                summary: None,
+            });
+            slot.inc.push(&attrs, &parsed.quality);
+            slot.summary = None;
         }
-        let mut input = String::with_capacity(
-            CSV_HEADER.len() + 1 + self.lines.iter().map(|l| l.len() + 1).sum::<usize>(),
-        );
-        input.push_str(CSV_HEADER);
-        input.push('\n');
-        for line in &self.lines {
-            input.push_str(line);
-            input.push('\n');
-        }
-        let (mut dataset, _report) =
-            read_csv_opts(input.as_bytes(), &ReadOptions::lenient(1.0), None)
-                .expect("re-parsing individually validated lines cannot fail");
-        if self.sample_stride > 1 {
-            vqlens_resilience::apply_sampling(&mut dataset, self.sample_stride);
-        }
-        self.dataset = Some(dataset);
     }
 
-    /// Step down the memory ladder when the rebuilt dataset's estimated
-    /// footprint exceeds the configured budget. Steps are one-way (the
-    /// service never un-degrades) and each newly taken step is recorded
-    /// in the run report. Ladder decisions depend on *when* the estimate
-    /// crosses the budget, so under a configured budget a restarted
-    /// server may degrade at a different point than the original — the
-    /// replay-equivalence guarantee holds for unbudgeted servers.
+    /// Build (or reuse) the sampled view of the dataset while session
+    /// sampling is active. No-op at stride 1.
+    fn ensure_sampled(&mut self) {
+        if self.sample_stride > 1 && self.sampled.is_none() {
+            let mut view = self.dataset.clone();
+            vqlens_resilience::apply_sampling(&mut view, self.sample_stride);
+            self.sampled = Some(view);
+        }
+    }
+
+    /// The dataset queries should compute from: the sampled view while
+    /// sampling is active, the full dataset otherwise.
+    fn query_dataset(&mut self) -> &Dataset {
+        self.ensure_sampled();
+        self.sampled.as_ref().unwrap_or(&self.dataset)
+    }
+
+    /// Heap bytes held by the incremental slots (cubes plus pending
+    /// delta buffers) — state the plain dataset estimator cannot see.
+    fn incremental_heap_bytes(&self) -> u64 {
+        self.slots
+            .values()
+            .map(|s| s.inc.approx_heap_bytes() as u64)
+            .sum()
+    }
+
+    /// Step down the memory ladder when the estimated footprint exceeds
+    /// the configured budget. The estimate covers the maintained dataset
+    /// *and* the incremental slots (cubes + pending deltas), so delta
+    /// buffers growing inside a long-lived open epoch are defended too.
+    /// Steps are one-way (the service never un-degrades) and each newly
+    /// taken step is recorded in the run report; the first step drops the
+    /// incremental slots entirely (see the module docs). Ladder decisions
+    /// depend on *when* the estimate crosses the budget, so under a
+    /// configured budget a restarted server may degrade at a different
+    /// point than the original — the replay-equivalence guarantee holds
+    /// for unbudgeted servers.
     fn maybe_degrade(&mut self) {
         let Some(budget) = self.max_mem_bytes else {
             return;
         };
-        let Some(dataset) = self.dataset.as_ref() else {
-            return;
-        };
-        let est = estimate(dataset, 1);
+        let incremental = self.incremental_heap_bytes();
+        let dataset = self.query_dataset();
+        let mut est = estimate(dataset, 1);
+        est.cube_bytes = est.cube_bytes.max(incremental);
         for step in plan_ladder(&est, budget, self.analyzer.significance.min_sessions) {
             let label = step.label();
             if self.ladder.contains(&label) {
@@ -241,13 +320,14 @@ impl ServerState {
                 }
                 LadderStep::SampleSessions { keep_1_in } => {
                     self.sample_stride = keep_1_in.max(1);
-                    if let Some(ds) = self.dataset.as_mut() {
-                        vqlens_resilience::apply_sampling(ds, self.sample_stride);
-                    }
+                    self.sampled = None;
                 }
             }
             vqlens_obs::global().record_ladder_step(&label);
             self.ladder.push(label);
+        }
+        if self.degraded() {
+            self.slots.clear();
         }
     }
 
@@ -263,8 +343,8 @@ impl ServerState {
             .to_string()
     }
 
-    /// The `/health` body. Never fails and never rebuilds the dataset —
-    /// health must stay cheap under overload.
+    /// The `/health` body. Never fails and never touches the analysis
+    /// state — health must stay cheap under overload.
     pub fn health_json(&self, draining: bool, shed_total: u64, queue_peak: u64) -> String {
         let mut out = String::from("{\"status\":");
         let status = if draining {
@@ -320,9 +400,8 @@ impl ServerState {
 
     /// The `/incidents` body: open then resolved incidents, each with its
     /// cluster key resolved against the current dictionaries.
-    pub fn incidents_json(&mut self) -> String {
-        self.rebuild();
-        let dataset = self.dataset.as_ref().expect("rebuilt above");
+    pub fn incidents_json(&self) -> String {
+        let dataset = &self.dataset;
         fn incident_json(out: &mut String, dataset: &Dataset, inc: &Incident) {
             out.push_str("{\"id\":");
             out.push_str(&inc.id.to_string());
@@ -406,33 +485,29 @@ impl ServerState {
 
     /// The `/critical?metric=M` body: the latest closed epoch's critical
     /// clusters. `None` when no epoch has closed yet.
-    pub fn critical_json(&mut self, metric: Metric) -> Option<String> {
-        self.rebuild();
-        let dataset = self.dataset.as_ref().expect("rebuilt above");
+    pub fn critical_json(&self, metric: Metric) -> Option<String> {
         let analysis = self.analyses.last()?;
         let mut out = String::from("{\"epoch\":");
         out.push_str(&analysis.epoch.0.to_string());
         out.push_str(",\"metric\":");
         write_escaped(&mut out, metric.name());
         out.push_str(",\"critical\":");
-        out.push_str(&Self::critical_table_json(dataset, analysis, metric));
+        out.push_str(&Self::critical_table_json(&self.dataset, analysis, metric));
         out.push('}');
         Some(out)
     }
 
     /// The `/prevalence?metric=M` body over all closed epochs, or `None`
     /// while the memory ladder has the optional analyses dropped.
-    pub fn prevalence_json(&mut self, metric: Metric) -> Option<String> {
+    pub fn prevalence_json(&self, metric: Metric) -> Option<String> {
         if self.drop_optional {
             return None;
         }
-        self.rebuild();
-        let dataset = self.dataset.as_ref().expect("rebuilt above");
         let report = PrevalenceReport::compute(&self.analyses, metric, ClusterSource::Critical);
         let mut rows: Vec<(String, f64)> = report
             .ranked()
             .into_iter()
-            .map(|(key, frac)| (Self::key_display(dataset, &key), frac))
+            .map(|(key, frac)| (Self::key_display(&self.dataset, &key), frac))
             .collect();
         rows.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -459,63 +534,88 @@ impl ServerState {
     }
 
     /// The `/report` body: a full, deterministic analysis of everything
-    /// accepted so far (closed *and* open epochs), recomputed from the
-    /// dataset. Two servers that accepted the same line sequence — one of
-    /// them possibly killed and WAL-replayed in between — return
-    /// byte-identical bodies; the `vqlens-check` WAL oracle and the
-    /// end-to-end tests pin this.
+    /// accepted so far (closed *and* open epochs), served from the
+    /// incrementally maintained per-epoch state (or recomputed from the
+    /// dataset once the ladder has degraded the service). Two servers
+    /// that accepted the same line sequence — one of them possibly killed
+    /// and WAL-replayed in between — return byte-identical bodies; the
+    /// `vqlens-check` WAL and incremental oracles and the end-to-end
+    /// tests pin this, and `vqlens analyze --serve-report` emits the same
+    /// bytes offline via [`crate::offline_report`].
     pub fn report_json(&mut self) -> String {
-        self.rebuild();
-        let dataset = self.dataset.as_ref().expect("rebuilt above");
-        let mut fresh: BTreeMap<u32, EpochAnalysis> = BTreeMap::new();
-        for (id, data) in dataset.iter_epochs() {
-            if data.is_empty() {
-                continue;
-            }
-            fresh.insert(
-                id.0,
-                EpochAnalysis::compute(
-                    id,
-                    data,
-                    &self.analyzer.thresholds,
-                    &self.analyzer.significance,
-                    &self.analyzer.critical,
-                ),
-            );
+        if self.degraded() {
+            let analyzer = self.analyzer;
+            let watermark = self.watermark;
+            let dataset = self.query_dataset();
+            let fresh: Vec<(u32, EpochAnalysis)> = dataset
+                .iter_epochs()
+                .filter(|(_, data)| !data.is_empty())
+                .map(|(id, data)| {
+                    (
+                        id.0,
+                        EpochAnalysis::compute(
+                            id,
+                            data,
+                            &analyzer.thresholds,
+                            &analyzer.significance,
+                            &analyzer.critical,
+                        ),
+                    )
+                })
+                .collect();
+            let refs: Vec<(u32, &EpochAnalysis)> = fresh.iter().map(|(e, a)| (*e, a)).collect();
+            return report_body(dataset, watermark, &refs);
         }
-        let mut out = String::from("{\"sessions\":");
-        out.push_str(&(dataset.num_sessions() as u64).to_string());
-        out.push_str(",\"epochs\":");
-        out.push_str(&dataset.num_epochs().to_string());
-        out.push_str(",\"watermark\":");
-        match self.watermark {
-            Some(w) => out.push_str(&w.to_string()),
-            None => out.push_str("null"),
+        let analyzer = self.analyzer;
+        let mut refs: Vec<(u32, &EpochAnalysis)> = Vec::with_capacity(self.slots.len());
+        for (epoch, slot) in self.slots.iter_mut() {
+            refs.push((*epoch, slot.summary(&analyzer)));
         }
-        out.push_str(",\"metrics\":{");
-        for (mi, metric) in Metric::ALL.into_iter().enumerate() {
-            if mi > 0 {
+        report_body(&self.dataset, self.watermark, &refs)
+    }
+}
+
+/// Shared renderer for the `/report` body: per-epoch analyses (ascending
+/// epoch, non-empty epochs only) over a dataset's dictionaries. Public
+/// within the crate so [`crate::offline_report`] emits byte-identical
+/// output from an offline dataset.
+pub(crate) fn report_body(
+    dataset: &Dataset,
+    watermark: Option<u32>,
+    analyses: &[(u32, &EpochAnalysis)],
+) -> String {
+    let mut out = String::from("{\"sessions\":");
+    out.push_str(&(dataset.num_sessions() as u64).to_string());
+    out.push_str(",\"epochs\":");
+    out.push_str(&dataset.num_epochs().to_string());
+    out.push_str(",\"watermark\":");
+    match watermark {
+        Some(w) => out.push_str(&w.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"metrics\":{");
+    for (mi, metric) in Metric::ALL.into_iter().enumerate() {
+        if mi > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, metric.name());
+        out.push_str(":{\"epochs\":[");
+        for (ei, (epoch, analysis)) in analyses.iter().enumerate() {
+            if ei > 0 {
                 out.push(',');
             }
-            write_escaped(&mut out, metric.name());
-            out.push_str(":{\"epochs\":[");
-            for (ei, (epoch, analysis)) in fresh.iter().enumerate() {
-                if ei > 0 {
-                    out.push(',');
-                }
-                out.push_str("{\"epoch\":");
-                out.push_str(&epoch.to_string());
-                out.push_str(",\"sessions\":");
-                out.push_str(&analysis.total_sessions.to_string());
-                out.push_str(",\"critical\":");
-                out.push_str(&Self::critical_table_json(dataset, analysis, metric));
-                out.push('}');
-            }
-            out.push_str("]}");
+            out.push_str("{\"epoch\":");
+            out.push_str(&epoch.to_string());
+            out.push_str(",\"sessions\":");
+            out.push_str(&analysis.total_sessions.to_string());
+            out.push_str(",\"critical\":");
+            out.push_str(&ServerState::critical_table_json(dataset, analysis, metric));
+            out.push('}');
         }
-        out.push_str("}}");
-        out
+        out.push_str("]}");
     }
+    out.push_str("}}");
+    out
 }
 
 #[cfg(test)]
@@ -610,5 +710,81 @@ mod tests {
             "batch boundaries must not leak into the report"
         );
         assert!(vqlens_obs::json::parse(&one_shot).is_ok(), "valid JSON");
+    }
+
+    #[test]
+    fn report_matches_from_scratch_recompute() {
+        // The incremental slots must serve exactly what a from-scratch
+        // analysis of the accepted sessions would: pit `report_json`
+        // (slot path) against `offline_report` over an identical dataset.
+        let mut state = ServerState::new(&test_config());
+        let all: Vec<(u32, String)> = vec![
+            line(0, "AS7", 900.0),
+            line(0, "AS7", 900.0),
+            line(0, "AS1", 0.0),
+            line(1, "AS7", 900.0),
+            line(1, "AS7", 870.0),
+            line(2, "AS1", 0.0),
+        ];
+        let mut csv = String::from(vqlens_model::csv::CSV_HEADER);
+        for (_, l) in &all {
+            csv.push('\n');
+            csv.push_str(l);
+        }
+        csv.push('\n');
+        let mut wm = state.watermark();
+        let (fresh, _) = state.partition_stale(&mut wm, all);
+        state.apply_fresh(fresh);
+        let served = state.report_json();
+        let dataset = vqlens_model::csv::read_csv(csv.as_bytes()).expect("valid trace");
+        let offline = crate::offline_report(&dataset, &test_config().analyzer);
+        assert_eq!(served, offline, "served and offline reports must agree");
+    }
+
+    #[test]
+    fn appends_open_brand_new_epochs() {
+        // A line for an epoch the dataset has never seen must grow the
+        // epoch axis, open an incremental slot, and feed the report — in
+        // the same batch as, and far beyond, the existing watermark.
+        let mut state = ServerState::new(&test_config());
+        let mut wm = state.watermark();
+        let (fresh, _) = state.partition_stale(&mut wm, vec![line(0, "AS1", 0.0)]);
+        state.apply_fresh(fresh);
+        assert_eq!(state.watermark(), Some(0));
+
+        let mut wm = state.watermark();
+        let (fresh, _) =
+            state.partition_stale(&mut wm, vec![line(9, "AS7", 900.0), line(9, "AS7", 870.0)]);
+        state.apply_fresh(fresh);
+        assert_eq!(state.watermark(), Some(9));
+        assert!(state.slots.contains_key(&9), "new epoch got a slot");
+        let report = state.report_json();
+        assert!(
+            report.contains("\"watermark\":9"),
+            "report reflects the brand-new epoch: {report}"
+        );
+        assert!(vqlens_obs::json::parse(&report).is_ok());
+    }
+
+    #[test]
+    fn maybe_degrade_sees_open_epoch_incremental_state() {
+        // A tiny budget must trip the ladder from the very first batch,
+        // even though no epoch has closed: the estimate now includes the
+        // open epoch's cube and pending delta buffer.
+        let mut config = test_config();
+        config.max_mem_bytes = Some(1);
+        let mut state = ServerState::new(&config);
+        let batch: Vec<(u32, String)> = (0..16).map(|i| line(0, "AS7", i as f64)).collect();
+        let mut wm = state.watermark();
+        let (fresh, _) = state.partition_stale(&mut wm, batch);
+        state.apply_fresh(fresh);
+        assert!(
+            state.degraded(),
+            "open-epoch incremental state must count against the budget"
+        );
+        assert!(state.slots.is_empty(), "degrading drops the slots");
+        // Degraded queries still work (recompute path).
+        let report = state.report_json();
+        assert!(vqlens_obs::json::parse(&report).is_ok());
     }
 }

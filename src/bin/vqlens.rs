@@ -75,7 +75,7 @@ fn usage() -> ExitCode {
          [--max-bad-ratio R] [--dead-letter FILE]] \
          [--checkpoint DIR | --resume DIR] [--epoch-deadline-ms N] \
          [--optional-deadline-ms N] [--max-mem SIZE[K|M|G]] \
-         [--strict]\n  vqlens monitor FILE.csv \
+         [--strict] [--serve-report FILE]\n  vqlens monitor FILE.csv \
          [--confirm-h N] [--min-sessions N] [-v|--verbose] [--lenient \
          [--max-bad-ratio R] [--dead-letter FILE]]\n  vqlens check [FILE.csv] \
          [--fuzz N] [--seed N] [--min-sessions N] [--timings] \
@@ -402,6 +402,23 @@ fn analyze(args: &[String]) -> ExitCode {
         Ok(d) => d,
         Err(code) => return code,
     };
+    // --serve-report FILE: emit the exact bytes `GET /report` would serve
+    // after ingesting this dataset, then stop. Uses the *serve* analyzer
+    // defaults (plus --min-sessions) rather than the scaled batch config,
+    // so CI can `cmp` it against a live server run with the same flags.
+    if let Some(out) = flag_value(args, "--serve-report") {
+        let mut analyzer = vqlens_serve::ServeConfig::new(".").analyzer;
+        if let Err(code) = apply_min_sessions(&mut analyzer, args) {
+            return code;
+        }
+        let body = vqlens_serve::offline_report(&dataset, &analyzer);
+        if let Err(e) = std::fs::write(out, &body) {
+            eprintln!("cannot write serve report {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("serve-equivalent report written to {out}");
+        return ExitCode::SUCCESS;
+    }
     let mut config = scaled_config(&dataset);
     if let Err(code) = apply_min_sessions(&mut config, args) {
         return code;
@@ -918,6 +935,66 @@ fn bench(args: &[String]) -> ExitCode {
         let trace = analyze_dataset(&dataset, &config);
         let analyze_s = t.elapsed().as_secs_f64();
 
+        // Incremental maintenance: replay the busiest epoch as append
+        // batches the size of a live server's group commit. The delta
+        // path pays one merge per batch; the old regime paid a
+        // from-scratch context build per batch (that was `vqlens serve`'s
+        // rebuild-the-world before incremental state), quadratic in the
+        // accumulated epoch.
+        const APPEND_BATCH_SESSIONS: usize = 256;
+        let busiest = (0..dataset.num_epochs())
+            .map(EpochId)
+            .max_by_key(|id| dataset.epoch(*id).len())
+            .filter(|id| !dataset.epoch(*id).is_empty());
+        let (batches, incremental_s, warm_append_s, rebuild_s, full_rebuild_s) = match busiest {
+            Some(id) => {
+                let data = dataset.epoch(id);
+                let rows: Vec<_> = data.iter().collect();
+                let batch = APPEND_BATCH_SESSIONS;
+
+                let mut incremental_s = 0.0;
+                let mut warm_append_s = 0.0;
+                let mut inc = IncrementalEpoch::new(id, &config.thresholds, &config.significance);
+                for chunk in rows.chunks(batch) {
+                    let t = std::time::Instant::now();
+                    for (attrs, quality) in chunk {
+                        inc.push(attrs, quality);
+                    }
+                    inc.settle();
+                    warm_append_s = t.elapsed().as_secs_f64();
+                    incremental_s += warm_append_s;
+                }
+
+                let mut rebuild_s = 0.0;
+                let mut full_rebuild_s = 0.0;
+                let mut upto = 0usize;
+                for chunk in rows.chunks(batch) {
+                    upto += chunk.len();
+                    let partial = vqlens::model::dataset::EpochData {
+                        attrs: data.attrs[..upto].to_vec(),
+                        quality: data.quality[..upto].to_vec(),
+                    };
+                    let t = std::time::Instant::now();
+                    std::hint::black_box(AnalysisContext::compute(
+                        id,
+                        &partial,
+                        &config.thresholds,
+                        &config.significance,
+                    ));
+                    full_rebuild_s = t.elapsed().as_secs_f64();
+                    rebuild_s += full_rebuild_s;
+                }
+                (
+                    rows.len().div_ceil(batch),
+                    incremental_s,
+                    warm_append_s,
+                    rebuild_s,
+                    full_rebuild_s,
+                )
+            }
+            None => (0, 0.0, 0.0, 0.0, 0.0),
+        };
+
         let sessions = dataset.num_sessions() as f64;
         let per_s = |elapsed: f64| {
             if elapsed > 0.0 {
@@ -926,19 +1003,38 @@ fn bench(args: &[String]) -> ExitCode {
                 0.0
             }
         };
+        let incremental_speedup = if incremental_s > 0.0 {
+            rebuild_s / incremental_s
+        } else {
+            0.0
+        };
+        // The asymptotic claim: once state is warm, folding one more batch
+        // costs a merge, not a from-scratch build of everything so far.
+        let warm_speedup = if warm_append_s > 0.0 {
+            full_rebuild_s / warm_append_s
+        } else {
+            0.0
+        };
         eprintln!(
-            "  {:>9} sessions  ingest {:>8.0}/s  analyze {:>8.0}/s  ({} epochs analyzed)",
+            "  {:>9} sessions  ingest {:>8.0}/s  analyze {:>8.0}/s  ({} epochs analyzed)  \
+             incremental {batches} batches {:.1}x total, warm append {:.1}x vs full rebuild",
             sessions as u64,
             per_s(ingest_s),
             per_s(analyze_s),
-            trace.epochs().len()
+            trace.epochs().len(),
+            incremental_speedup,
+            warm_speedup,
         );
         rows.push(format!(
             "    {{\n      \"scenario\": \"{}\",\n      \"sessions\": {},\n      \
              \"epochs\": {},\n      \"csv_bytes\": {},\n      \"generate_s\": {:.3},\n      \
              \"ingest_s\": {:.3},\n      \"analyze_s\": {:.3},\n      \
              \"ingest_sessions_per_s\": {:.0},\n      \"ingest_mib_per_s\": {:.1},\n      \
-             \"analyze_sessions_per_s\": {:.0}\n    }}",
+             \"analyze_sessions_per_s\": {:.0},\n      \
+             \"append_batches\": {},\n      \"incremental_append_s\": {:.3},\n      \
+             \"rebuild_after_each_batch_s\": {:.3},\n      \"incremental_speedup\": {:.1},\n      \
+             \"warm_append_s\": {:.4},\n      \"full_rebuild_s\": {:.4},\n      \
+             \"warm_append_speedup\": {:.1}\n    }}",
             scenario.name,
             sessions as u64,
             dataset.num_epochs(),
@@ -953,6 +1049,13 @@ fn bench(args: &[String]) -> ExitCode {
                 0.0
             },
             per_s(analyze_s),
+            batches,
+            incremental_s,
+            rebuild_s,
+            incremental_speedup,
+            warm_append_s,
+            full_rebuild_s,
+            warm_speedup,
         ));
     }
     let json = format!(
