@@ -1,0 +1,300 @@
+//! VQF round-trip oracles: the binary columnar format must be a lossless,
+//! tamper-evident carrier for the analysis pipeline.
+//!
+//! * `format-roundtrip` — a dataset written as VQF and read back must be
+//!   **bit-identical**: same 64-bit dataset fingerprint (packed attribute
+//!   keys and metric bit patterns), same metadata, same epoch layout, and
+//!   per-epoch analyses that agree with the uninterrupted run down to the
+//!   f64 bit patterns of every ratio and attribution share. Analysis of a
+//!   converted trace must never differ from analysis of the original.
+//! * `format-backend-equivalence` — the zero-copy mmap read path and the
+//!   safe positioned-read fallback must decode identical datasets; the
+//!   choice of backend is an implementation detail, never a result.
+//! * `format-rejects-corruption` — flipping any single byte of a
+//!   committed file must be rejected with an error (every byte is under
+//!   some checksum's coverage), never silently misparsed into a dataset.
+//! * `format-rejects-truncation` — a prefix of a committed file (a torn
+//!   copy; `AtomicFile` prevents torn *writes*) must be rejected.
+//!
+//! The oracles drive the real writer/reader against a scratch file under
+//! the system temp dir (removed afterwards); harness I/O failures are
+//! reported as `format-io` rather than silently passing.
+
+use crate::CheckReport;
+use std::fs;
+use std::path::{Path, PathBuf};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_cluster::critical::CriticalParams;
+use vqlens_cluster::problem::SignificanceParams;
+use vqlens_format::{mmap::MMAP_SUPPORTED, read_vqf, write_vqf, Backend, VqfFile};
+use vqlens_model::dataset::Dataset;
+use vqlens_model::metric::{Metric, Thresholds};
+use vqlens_resilience::fingerprint_dataset;
+
+/// Run the VQF format oracles over a dataset and its uninterrupted
+/// per-epoch analyses. Does nothing for empty datasets (nothing to carry).
+pub fn check_format(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    analyses: &[EpochAnalysis],
+    seed: u64,
+    report: &mut CheckReport,
+) {
+    if dataset.num_sessions() == 0 {
+        return;
+    }
+    let path = scratch_file(seed);
+    let result = run_oracles(dataset, thresholds, sig, params, analyses, &path, seed, report);
+    let _ = fs::remove_file(&path);
+    if let Err(e) = result {
+        report.violate(
+            "format-io",
+            None,
+            None,
+            format!("VQF harness I/O failed: {e}"),
+        );
+    }
+}
+
+fn scratch_file(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "vqlens-check-format-{}-{seed:016x}.vqf",
+        std::process::id()
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_oracles(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    analyses: &[EpochAnalysis],
+    path: &Path,
+    seed: u64,
+    report: &mut CheckReport,
+) -> Result<(), vqlens_format::VqfError> {
+    write_vqf(dataset, path)?;
+
+    // format-roundtrip: bit-identical data, metadata, and analyses.
+    report.ran(1);
+    let back = read_vqf(path)?;
+    if fingerprint_dataset(&back) != fingerprint_dataset(dataset) {
+        report.violate(
+            "format-roundtrip",
+            None,
+            None,
+            format!(
+                "round-tripped fingerprint {:#018x} differs from original {:#018x}",
+                fingerprint_dataset(&back),
+                fingerprint_dataset(dataset)
+            ),
+        );
+    }
+    if back.meta != dataset.meta || back.num_epochs() != dataset.num_epochs() {
+        report.violate(
+            "format-roundtrip",
+            None,
+            None,
+            format!(
+                "round trip changed shape: {} epochs / meta {:?} vs {} / {:?}",
+                back.num_epochs(),
+                back.meta,
+                dataset.num_epochs(),
+                dataset.meta
+            ),
+        );
+    }
+    for original in analyses {
+        let id = original.epoch;
+        let again =
+            EpochAnalysis::compute(id, back.epoch(id), thresholds, sig, params);
+        report.ran(1);
+        if again.total_sessions != original.total_sessions {
+            report.violate(
+                "format-roundtrip",
+                Some(id),
+                None,
+                format!(
+                    "analysis of round-tripped data saw {} sessions, original {}",
+                    again.total_sessions, original.total_sessions
+                ),
+            );
+        }
+        for m in Metric::ALL {
+            let a = again.metric(m);
+            let o = original.metric(m);
+            if a.problems.global_ratio.to_bits() != o.problems.global_ratio.to_bits()
+                || a.problems.clusters != o.problems.clusters
+                || !crate::incremental::critical_equal(a, o)
+            {
+                report.violate(
+                    "format-roundtrip",
+                    Some(id),
+                    Some(m),
+                    format!(
+                        "analysis diverged after round trip ({} problem / {} critical clusters \
+                         vs {} / {})",
+                        a.problems.clusters.len(),
+                        a.critical.clusters.len(),
+                        o.problems.clusters.len(),
+                        o.critical.clusters.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    // format-backend-equivalence: pread and (where supported) mmap decode
+    // the same bytes into the same dataset.
+    report.ran(1);
+    let pread = VqfFile::open_with(path, Backend::Pread)?.read_dataset()?;
+    if fingerprint_dataset(&pread) != fingerprint_dataset(&back) {
+        report.violate(
+            "format-backend-equivalence",
+            None,
+            None,
+            "pread backend decoded a different dataset than the default backend".to_owned(),
+        );
+    }
+    if MMAP_SUPPORTED {
+        report.ran(1);
+        let mapped = VqfFile::open_with(path, Backend::Mmap)?.read_dataset()?;
+        if fingerprint_dataset(&mapped) != fingerprint_dataset(&pread) {
+            report.violate(
+                "format-backend-equivalence",
+                None,
+                None,
+                "mmap backend decoded a different dataset than pread".to_owned(),
+            );
+        }
+    }
+
+    // format-rejects-corruption: no single flipped byte may survive. The
+    // flip positions are seed-derived so fuzz iterations spray different
+    // regions (header, dicts, chunks, footer, trailer) across runs.
+    let bytes = fs::read(path).map_err(vqlens_format::VqfError::Io)?;
+    let mut rng = seed | 1;
+    for _ in 0..8 {
+        rng = rng.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(0x14057_b7e);
+        let pos = (rng >> 16) as usize % bytes.len();
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= 0x01;
+        fs::write(path, &damaged).map_err(vqlens_format::VqfError::Io)?;
+        report.ran(1);
+        if let Ok(parsed) = read_vqf(path) {
+            report.violate(
+                "format-rejects-corruption",
+                None,
+                None,
+                format!(
+                    "byte {pos} of {} flipped yet the file parsed ({} sessions)",
+                    bytes.len(),
+                    parsed.num_sessions()
+                ),
+            );
+        }
+    }
+
+    // format-rejects-truncation: every proper prefix is a torn copy.
+    for denom in [2u64, 3, 7] {
+        rng = rng.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(0x14057_b7e);
+        let cut = 1 + (rng >> 16) as usize % (bytes.len() - 1) / denom as usize;
+        fs::write(path, &bytes[..cut]).map_err(vqlens_format::VqfError::Io)?;
+        report.ran(1);
+        if let Ok(parsed) = read_vqf(path) {
+            report.violate(
+                "format-rejects-truncation",
+                None,
+                None,
+                format!(
+                    "file truncated to {cut} of {} bytes yet parsed ({} sessions)",
+                    bytes.len(),
+                    parsed.num_sessions()
+                ),
+            );
+        }
+    }
+    // The sharpest torn copy: everything but the last byte.
+    fs::write(path, &bytes[..bytes.len() - 1]).map_err(vqlens_format::VqfError::Io)?;
+    report.ran(1);
+    if read_vqf(path).is_ok() {
+        report.violate(
+            "format-rejects-truncation",
+            None,
+            None,
+            "file missing only its final byte still parsed".to_owned(),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_cluster::critical::CriticalParams;
+    use vqlens_synth::scenario::{generate, Scenario};
+
+    #[test]
+    fn format_oracles_pass_on_a_smoke_trace() {
+        let output = generate(&Scenario::smoke());
+        let thresholds = Thresholds::default();
+        let sig = SignificanceParams::scaled_to(2_000);
+        let params = CriticalParams::default();
+        let analyses: Vec<EpochAnalysis> = (0..output.dataset.num_epochs())
+            .map(vqlens_model::epoch::EpochId)
+            .filter(|id| !output.dataset.epoch(*id).is_empty())
+            .map(|id| {
+                EpochAnalysis::compute(id, output.dataset.epoch(id), &thresholds, &sig, &params)
+            })
+            .collect();
+        let mut report = CheckReport::default();
+        check_format(
+            &output.dataset,
+            &thresholds,
+            &sig,
+            &params,
+            &analyses,
+            0xf0a7_11e5,
+            &mut report,
+        );
+        assert!(report.oracles_run > 10, "oracles actually ran");
+        assert!(report.passed(), "violations: {}", report);
+    }
+
+    #[test]
+    fn format_oracle_catches_a_tampered_analysis() {
+        let output = generate(&Scenario::smoke());
+        let thresholds = Thresholds::default();
+        let sig = SignificanceParams::scaled_to(2_000);
+        let params = CriticalParams::default();
+        let id = vqlens_model::epoch::EpochId(0);
+        let mut analyses = vec![EpochAnalysis::compute(
+            id,
+            output.dataset.epoch(id),
+            &thresholds,
+            &sig,
+            &params,
+        )];
+        analyses[0].total_sessions += 1;
+        let mut report = CheckReport::default();
+        check_format(
+            &output.dataset,
+            &thresholds,
+            &sig,
+            &params,
+            &analyses,
+            0xf0a7_11e6,
+            &mut report,
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.oracle == "format-roundtrip"),
+            "tampered session count must trip the round-trip oracle"
+        );
+    }
+}

@@ -159,7 +159,7 @@ pub fn check_incremental(
 /// Exact equality of two critical sets: cluster maps with every
 /// attribution share compared by f64 bit pattern, plus the set-level
 /// totals.
-fn critical_equal(
+pub(crate) fn critical_equal(
     a: &vqlens_cluster::analyze::MetricAnalysis,
     b: &vqlens_cluster::analyze::MetricAnalysis,
 ) -> bool {

@@ -28,6 +28,11 @@
 //!   (`vqlens-serve`): byte-exact replay across segment rotation,
 //!   exact-prefix recovery from torn tails, and analysis equivalence of
 //!   a WAL-replayed dataset with the uninterrupted run.
+//! * [`format`] — VQF round-trip oracles: a dataset written as the binary
+//!   columnar format (`vqlens-format`) and read back must be
+//!   bit-identical — same fingerprint, same analyses — the mmap and pread
+//!   read backends must agree, and any flipped byte or truncated copy
+//!   must be rejected, never misparsed.
 //! * [`incremental`] — delta-maintenance oracle: every epoch replayed
 //!   through the incremental path (`CubeTable::merge` over randomized
 //!   append schedules and batch boundaries) must be bit-identical to the
@@ -49,6 +54,7 @@
 #![deny(missing_docs)]
 
 pub mod epoch;
+pub mod format;
 pub mod fuzz;
 pub mod incremental;
 pub mod resume;
@@ -197,6 +203,7 @@ pub fn check_dataset(
     resume::check_resume(dataset, thresholds, sig, params, &analyses, seed, report);
     wal::check_wal(dataset, thresholds, sig, params, &analyses, seed, report);
     incremental::check_incremental(dataset, thresholds, sig, params, &analyses, seed, report);
+    format::check_format(dataset, thresholds, sig, params, &analyses, seed, report);
     analyses
 }
 

@@ -67,6 +67,7 @@ pub use vqlens_analysis as analysis;
 pub use vqlens_check as check;
 pub use vqlens_cluster as cluster;
 pub use vqlens_delivery as delivery;
+pub use vqlens_format as format;
 pub use vqlens_model as model;
 pub use vqlens_obs as obs;
 pub use vqlens_resilience as resilience;

@@ -230,6 +230,24 @@ impl TraceAnalysis {
         }
     }
 
+    /// Downgrade epochs that were thinned *before* analysis — VQF inputs
+    /// under `--max-mem` sample at the column level while decoding, so
+    /// the dropped sessions never reach the analyzer (or the ladder's
+    /// estimator). The causes carry the same `Sampled { kept, of }` shape
+    /// the in-memory ladder records, matched by real epoch id.
+    pub fn apply_pre_sampling(&mut self, causes: &[(EpochId, DegradeCause)]) {
+        for (epoch, cause) in causes {
+            let entry = self
+                .statuses
+                .iter_mut()
+                .find(|(id, _)| id == epoch)
+                .map(|(_, s)| s);
+            if let Some(status) = entry {
+                record_degrade(status, cause.clone());
+            }
+        }
+    }
+
     /// Per-epoch outcomes converted to the observability crate's
     /// [`vqlens_obs::EpochOutcome`], ready for
     /// [`vqlens_obs::Recorder::record_epochs`] — this is how a run's

@@ -1,0 +1,535 @@
+//! The normative VQF on-disk layout: constants, the footer model, and the
+//! byte-level encode/decode primitives shared by the writer and reader.
+//!
+//! Everything here mirrors `docs/FORMAT.md` — the spec is the contract,
+//! this module is its one implementation. All multi-byte integers are
+//! **little-endian**; all checksums are 64-bit FNV-1a
+//! ([`vqlens_resilience::Hasher64`], the same function the WAL frames and
+//! checkpoint manifests use).
+//!
+//! ```text
+//! file := header ‖ dict-section ×7 ‖ epoch-chunk ×num_epochs ‖ footer ‖ trailer
+//! ```
+//!
+//! The header carries only identity (magic, version, endianness); all
+//! structure lives in the footer at the end of the file so the writer can
+//! stream sections without seeking — the reader finds the footer through
+//! the fixed-size trailer at EOF, exactly like Parquet's footer locator.
+
+use crate::VqfError;
+use vqlens_model::dataset::DatasetMeta;
+use vqlens_resilience::Hasher64;
+
+/// Leading magic: the first four bytes of every VQF file.
+pub const MAGIC: [u8; 4] = *b"VQF1";
+
+/// Trailing magic: the last four bytes of every VQF file (the leading
+/// magic reversed, so a truncated copy can never end with it).
+pub const TRAILING_MAGIC: [u8; 4] = *b"1FQV";
+
+/// Current (and only) format version.
+pub const VERSION: u8 = 1;
+
+/// Endianness marker: `0x01` = little-endian. No other value is defined;
+/// readers must reject anything else rather than byte-swap.
+pub const ENDIAN_LITTLE: u8 = 0x01;
+
+/// Byte length of the fixed file header.
+pub const HEADER_LEN: u64 = 16;
+
+/// Byte length of the fixed file trailer (footer locator).
+pub const TRAILER_LEN: u64 = 20;
+
+/// Version of the footer encoding itself (bumped independently of the
+/// file [`VERSION`] when only the footer grows new fields).
+pub const FOOTER_VERSION: u32 = 1;
+
+/// Number of dictionary sections (one per attribute dimension).
+pub const DICT_COUNT: usize = 7;
+
+/// 64-bit FNV-1a over `bytes` — the checksum function for every
+/// checksummed region of a VQF file.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = Hasher64::new();
+    h.update(bytes);
+    h.digest()
+}
+
+/// Encode the 16-byte header. Bytes 0..8 are identity (magic, version,
+/// endianness, two reserved zero bytes); bytes 8..16 are the FNV-1a
+/// checksum of bytes 0..8.
+pub fn encode_header() -> [u8; HEADER_LEN as usize] {
+    let mut header = [0u8; HEADER_LEN as usize];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4] = VERSION;
+    header[5] = ENDIAN_LITTLE;
+    // header[6..8] reserved, zero.
+    let sum = checksum(&header[0..8]);
+    header[8..16].copy_from_slice(&sum.to_le_bytes());
+    header
+}
+
+/// Validate a 16-byte header read from offset 0.
+pub fn validate_header(header: &[u8]) -> Result<(), VqfError> {
+    if header.len() < HEADER_LEN as usize {
+        return Err(VqfError::Truncated {
+            detail: format!(
+                "file too short for the {HEADER_LEN}-byte header ({} bytes)",
+                header.len()
+            ),
+        });
+    }
+    if header[0..4] != MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(&header[0..4]);
+        return Err(VqfError::NotVqf { found });
+    }
+    if header[4] != VERSION {
+        return Err(VqfError::UnsupportedVersion { found: header[4] });
+    }
+    if header[5] != ENDIAN_LITTLE {
+        return Err(VqfError::Corrupt {
+            detail: format!(
+                "endianness marker {:#04x} (only {ENDIAN_LITTLE:#04x} = little-endian is defined)",
+                header[5]
+            ),
+        });
+    }
+    let stored = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let computed = checksum(&header[0..8]);
+    if stored != computed {
+        return Err(VqfError::ChecksumMismatch {
+            section: "header".to_owned(),
+            stored,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+/// One contiguous checksummed byte range in the file body, described by a
+/// footer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// Absolute byte offset of the section payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Logical element count: dictionary values for a dictionary
+    /// section, sessions for an epoch chunk.
+    pub count: u32,
+    /// FNV-1a checksum of the payload bytes.
+    pub checksum: u64,
+}
+
+/// An extension section the current reader does not interpret.
+///
+/// Forward compatibility: a future writer may append extra sections
+/// between the last epoch chunk and the footer and list them here with a
+/// fresh `kind`; a version-1 reader must skip entries whose `kind` it
+/// does not recognize (their byte ranges are simply never read). No kinds
+/// are defined yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtensionEntry {
+    /// Section type tag (no values are currently assigned).
+    pub kind: u32,
+    /// Byte range and checksum, as for [`SectionEntry`].
+    pub section: SectionEntry,
+}
+
+/// The decoded footer: everything a reader needs to locate and verify
+/// every section without scanning the file body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Footer {
+    /// Number of epochs the trace spans (== number of epoch chunks).
+    pub num_epochs: u32,
+    /// Total session count across all epochs (redundant with the chunk
+    /// entries; validated against their sum).
+    pub total_sessions: u64,
+    /// Dataset provenance carried through the file.
+    pub meta: DatasetMeta,
+    /// Dictionary sections, one per attribute dimension in
+    /// `AttrKey::ALL` order.
+    pub dicts: [SectionEntry; DICT_COUNT],
+    /// Epoch chunks, index = epoch id.
+    pub chunks: Vec<SectionEntry>,
+    /// Unknown-section index (empty for version-1 writers).
+    pub extensions: Vec<ExtensionEntry>,
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) -> Result<(), VqfError> {
+    let len = u32::try_from(s.len()).map_err(|_| VqfError::Unencodable {
+        detail: format!("string of {} bytes exceeds the u32 length prefix", s.len()),
+    })?;
+    push_u32(out, len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn push_section(out: &mut Vec<u8>, e: &SectionEntry) {
+    push_u64(out, e.offset);
+    push_u64(out, e.len);
+    push_u32(out, e.count);
+    push_u64(out, e.checksum);
+}
+
+/// A bounds-checked little-endian cursor over a byte slice; every decode
+/// error carries the section name for the diagnostic.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    section: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    /// Cursor over `bytes`, attributing errors to `section`.
+    pub fn new(bytes: &'a [u8], section: &'a str) -> Cursor<'a> {
+        Cursor {
+            bytes,
+            pos: 0,
+            section,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], VqfError> {
+        if self.remaining() < n {
+            return Err(VqfError::Truncated {
+                detail: format!(
+                    "{}: needed {n} bytes at offset {}, {} available",
+                    self.section,
+                    self.pos,
+                    self.remaining()
+                ),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, VqfError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, VqfError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, VqfError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, VqfError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, VqfError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| VqfError::Corrupt {
+            detail: format!("{}: non-UTF-8 string", self.section),
+        })
+    }
+
+    /// Read a `u16`-length-prefixed UTF-8 string (dictionary names).
+    pub fn short_string(&mut self) -> Result<String, VqfError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| VqfError::Corrupt {
+            detail: format!("{}: non-UTF-8 name", self.section),
+        })
+    }
+
+    fn section_entry(&mut self) -> Result<SectionEntry, VqfError> {
+        Ok(SectionEntry {
+            offset: self.u64()?,
+            len: self.u64()?,
+            count: self.u32()?,
+            checksum: self.u64()?,
+        })
+    }
+}
+
+impl Footer {
+    /// Serialize the footer payload (checksummed and length-framed by the
+    /// trailer, not internally).
+    pub fn encode(&self) -> Result<Vec<u8>, VqfError> {
+        let mut out = Vec::new();
+        push_u32(&mut out, FOOTER_VERSION);
+        push_u32(&mut out, self.num_epochs);
+        push_u64(&mut out, self.total_sessions);
+        push_str(&mut out, &self.meta.name)?;
+        push_str(&mut out, &self.meta.description)?;
+        match self.meta.seed {
+            Some(seed) => {
+                out.push(1);
+                push_u64(&mut out, seed);
+            }
+            None => {
+                out.push(0);
+                push_u64(&mut out, 0);
+            }
+        }
+        for dict in &self.dicts {
+            push_section(&mut out, dict);
+        }
+        for chunk in &self.chunks {
+            push_section(&mut out, chunk);
+        }
+        let ext_count = u32::try_from(self.extensions.len()).map_err(|_| VqfError::Unencodable {
+            detail: "more than u32::MAX extension sections".to_owned(),
+        })?;
+        push_u32(&mut out, ext_count);
+        for ext in &self.extensions {
+            push_u32(&mut out, ext.kind);
+            push_section(&mut out, &ext.section);
+        }
+        Ok(out)
+    }
+
+    /// Decode and structurally validate a footer payload. `file_len` and
+    /// `footer_offset` bound every section: a section must lie entirely
+    /// within `[HEADER_LEN, footer_offset)`.
+    pub fn decode(bytes: &[u8], file_len: u64, footer_offset: u64) -> Result<Footer, VqfError> {
+        let mut c = Cursor::new(bytes, "footer");
+        let version = c.u32()?;
+        if version != FOOTER_VERSION {
+            return Err(VqfError::UnsupportedVersion {
+                found: version.min(u32::from(u8::MAX)) as u8,
+            });
+        }
+        let num_epochs = c.u32()?;
+        let total_sessions = c.u64()?;
+        let name = c.string()?;
+        let description = c.string()?;
+        let seed_present = c.u8()?;
+        let seed_value = c.u64()?;
+        let seed = match seed_present {
+            0 => None,
+            1 => Some(seed_value),
+            other => {
+                return Err(VqfError::Corrupt {
+                    detail: format!("footer: seed-present flag {other} (must be 0 or 1)"),
+                })
+            }
+        };
+        let check_bounds = |e: &SectionEntry, what: &str| -> Result<(), VqfError> {
+            let end = e.offset.checked_add(e.len).ok_or_else(|| VqfError::Corrupt {
+                detail: format!("footer: {what} offset+len overflows"),
+            })?;
+            if e.offset < HEADER_LEN || end > footer_offset || end > file_len {
+                return Err(VqfError::Corrupt {
+                    detail: format!(
+                        "footer: {what} [{}, {end}) outside the file body [{HEADER_LEN}, \
+                         {footer_offset})",
+                        e.offset
+                    ),
+                });
+            }
+            Ok(())
+        };
+        let mut dicts = [SectionEntry {
+            offset: 0,
+            len: 0,
+            count: 0,
+            checksum: 0,
+        }; DICT_COUNT];
+        for (dim, slot) in dicts.iter_mut().enumerate() {
+            let e = c.section_entry()?;
+            check_bounds(&e, &format!("dictionary {dim}"))?;
+            *slot = e;
+        }
+        let mut chunks = Vec::with_capacity(num_epochs as usize);
+        let mut session_sum = 0u64;
+        for epoch in 0..num_epochs {
+            let e = c.section_entry()?;
+            check_bounds(&e, &format!("epoch chunk {epoch}"))?;
+            session_sum += u64::from(e.count);
+            chunks.push(e);
+        }
+        if session_sum != total_sessions {
+            return Err(VqfError::Corrupt {
+                detail: format!(
+                    "footer: chunk session counts sum to {session_sum}, \
+                     total_sessions says {total_sessions}"
+                ),
+            });
+        }
+        let ext_count = c.u32()?;
+        let mut extensions = Vec::new();
+        for i in 0..ext_count {
+            let kind = c.u32()?;
+            let e = c.section_entry()?;
+            check_bounds(&e, &format!("extension {i}"))?;
+            extensions.push(ExtensionEntry { kind, section: e });
+        }
+        if c.remaining() != 0 {
+            return Err(VqfError::Corrupt {
+                detail: format!("footer: {} trailing bytes after the last field", c.remaining()),
+            });
+        }
+        Ok(Footer {
+            num_epochs,
+            total_sessions,
+            meta: DatasetMeta {
+                name,
+                description,
+                seed,
+            },
+            dicts,
+            chunks,
+            extensions,
+        })
+    }
+}
+
+/// Encode the 20-byte trailer for a footer of `footer_len` bytes with
+/// checksum `footer_checksum`.
+pub fn encode_trailer(footer_len: u64, footer_checksum: u64) -> [u8; TRAILER_LEN as usize] {
+    let mut trailer = [0u8; TRAILER_LEN as usize];
+    trailer[0..8].copy_from_slice(&footer_len.to_le_bytes());
+    trailer[8..16].copy_from_slice(&footer_checksum.to_le_bytes());
+    trailer[16..20].copy_from_slice(&TRAILING_MAGIC);
+    trailer
+}
+
+/// Decode a 20-byte trailer, returning `(footer_len, footer_checksum)`.
+pub fn decode_trailer(trailer: &[u8]) -> Result<(u64, u64), VqfError> {
+    if trailer.len() != TRAILER_LEN as usize {
+        return Err(VqfError::Truncated {
+            detail: format!(
+                "trailer must be {TRAILER_LEN} bytes, got {}",
+                trailer.len()
+            ),
+        });
+    }
+    if trailer[16..20] != TRAILING_MAGIC {
+        return Err(VqfError::Truncated {
+            detail: "missing trailing magic \"1FQV\" — file truncated or not VQF".to_owned(),
+        });
+    }
+    let footer_len = u64::from_le_bytes(trailer[0..8].try_into().expect("8"));
+    let footer_checksum = u64::from_le_bytes(trailer[8..16].try_into().expect("8"));
+    Ok((footer_len, footer_checksum))
+}
+
+/// The byte width used for one attribute column's dictionary ids, chosen
+/// from the dictionary's value count: the narrowest of {1, 2, 4} bytes
+/// that can hold every id `0..count`.
+pub fn id_width(dict_len: usize) -> u8 {
+    if dict_len <= (1 << 8) {
+        1
+    } else if dict_len <= (1 << 16) {
+        2
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrips_and_rejects_damage() {
+        let h = encode_header();
+        validate_header(&h).expect("valid header");
+        let mut bad = h;
+        bad[0] = b'X';
+        assert!(matches!(validate_header(&bad), Err(VqfError::NotVqf { .. })));
+        let mut bad = h;
+        bad[4] = 9;
+        assert!(matches!(
+            validate_header(&bad),
+            Err(VqfError::UnsupportedVersion { found: 9 })
+        ));
+        let mut bad = h;
+        bad[8] ^= 0xff;
+        assert!(matches!(
+            validate_header(&bad),
+            Err(VqfError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailer_roundtrips() {
+        let t = encode_trailer(1234, 0xdead_beef);
+        assert_eq!(decode_trailer(&t).unwrap(), (1234, 0xdead_beef));
+        let mut bad = t;
+        bad[19] = b'?';
+        assert!(decode_trailer(&bad).is_err());
+    }
+
+    #[test]
+    fn footer_roundtrips() {
+        let entry = |o: u64, n: u32| SectionEntry {
+            offset: HEADER_LEN + o,
+            len: 10,
+            count: n,
+            checksum: 42,
+        };
+        let footer = Footer {
+            num_epochs: 2,
+            total_sessions: 7,
+            meta: DatasetMeta {
+                name: "t".into(),
+                description: "d".into(),
+                seed: Some(99),
+            },
+            dicts: std::array::from_fn(|i| entry(i as u64 * 10, i as u32)),
+            chunks: vec![entry(70, 3), entry(80, 4)],
+            extensions: vec![],
+        };
+        let bytes = footer.encode().unwrap();
+        let back = Footer::decode(&bytes, 1000, 500).unwrap();
+        assert_eq!(back, footer);
+    }
+
+    #[test]
+    fn footer_rejects_out_of_bounds_sections() {
+        let footer = Footer {
+            num_epochs: 0,
+            total_sessions: 0,
+            meta: DatasetMeta::default(),
+            dicts: std::array::from_fn(|_| SectionEntry {
+                offset: 900, // beyond footer_offset below
+                len: 50,
+                count: 0,
+                checksum: 0,
+            }),
+            chunks: vec![],
+            extensions: vec![],
+        };
+        let bytes = footer.encode().unwrap();
+        let err = Footer::decode(&bytes, 1000, 500).unwrap_err();
+        assert!(matches!(err, VqfError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn id_width_breakpoints() {
+        assert_eq!(id_width(0), 1);
+        assert_eq!(id_width(256), 1);
+        assert_eq!(id_width(257), 2);
+        assert_eq!(id_width(65536), 2);
+        assert_eq!(id_width(65537), 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! # vqlens-format
+//!
+//! **VQF** — the vqlens binary columnar session-trace format — and its
+//! writer/reader. CSV stays the interchange format (self-describing,
+//! diffable, `vqlens convert` away); VQF is the at-rest and analysis
+//! format: a 100M-session trace loads in seconds because attribute
+//! values are stored as dictionary ids at their packed byte width and
+//! quality metrics as fixed-width little-endian columns, partitioned per
+//! epoch so the reader hands each epoch to the cube builder straight
+//! from column slices.
+//!
+//! The normative byte-level specification lives in `docs/FORMAT.md`;
+//! [`layout`] implements it. Key properties:
+//!
+//! * **Checksummed end to end.** Header, footer, every dictionary
+//!   section, and every epoch chunk carry 64-bit FNV-1a checksums (the
+//!   same function the WAL uses). A torn, truncated, or bit-flipped file
+//!   is rejected with a diagnostic, never misparsed.
+//! * **Streaming writes, atomic visibility.** The writer never seeks
+//!   (structure lives in the footer, located via a fixed trailer at
+//!   EOF), so files are written through
+//!   [`vqlens_resilience::AtomicFile`]: readers only ever see a complete
+//!   committed file.
+//! * **Zero-copy reads.** [`reader::VqfFile`] memory-maps the file where
+//!   supported ([`mmap`] — the crate's one `unsafe` module, with a
+//!   documented safety argument) and falls back to a fully safe
+//!   positioned-read path; both backends decode identical bytes.
+//! * **Column-level sampling.** The memory-budget ladder's deterministic
+//!   1-in-k session sampling is applied while decoding
+//!   ([`reader::VqfFile::read_dataset_sampled`]), so an over-budget
+//!   trace never materializes the sessions it is about to drop.
+//!
+//! **Paper map:** §2 — the session/attribute data model at the paper's
+//! real scale (~300M sessions), where text parsing is the bottleneck.
+
+#![deny(missing_docs)]
+
+pub mod layout;
+pub mod mmap;
+pub mod reader;
+pub mod writer;
+
+pub use reader::{read_vqf, sniff_is_vqf, Backend, VqfFile};
+pub use writer::{write_vqf, write_vqf_to};
+
+use std::fmt;
+
+/// Errors from writing or reading VQF files.
+#[derive(Debug)]
+pub enum VqfError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The leading magic is absent: this is not a VQF file.
+    NotVqf {
+        /// The four bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The file (or its footer encoding) declares a version this reader
+    /// does not implement.
+    UnsupportedVersion {
+        /// The declared version.
+        found: u8,
+    },
+    /// The file ends before a required structure is complete.
+    Truncated {
+        /// What was being read and how it fell short.
+        detail: String,
+    },
+    /// A checksummed region does not match its stored checksum.
+    ChecksumMismatch {
+        /// Which region ("header", "footer", "epoch chunk 3", ...).
+        section: String,
+        /// The checksum stored in the file.
+        stored: u64,
+        /// The checksum computed over the bytes actually present.
+        computed: u64,
+    },
+    /// Structurally invalid content behind a valid checksum (hand-edited
+    /// or written by a buggy producer).
+    Corrupt {
+        /// What is wrong.
+        detail: String,
+    },
+    /// The in-memory dataset cannot be represented (write side).
+    Unencodable {
+        /// What cannot be encoded.
+        detail: String,
+    },
+}
+
+impl fmt::Display for VqfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VqfError::Io(e) => write!(f, "I/O error: {e}"),
+            VqfError::NotVqf { found } => write!(
+                f,
+                "not a VQF file: leading bytes {found:02x?} (expected \"VQF1\")"
+            ),
+            VqfError::UnsupportedVersion { found } => {
+                write!(f, "unsupported VQF version {found} (this reader speaks 1)")
+            }
+            VqfError::Truncated { detail } => write!(f, "truncated VQF file: {detail}"),
+            VqfError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {section}: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            VqfError::Corrupt { detail } => write!(f, "corrupt VQF file: {detail}"),
+            VqfError::Unencodable { detail } => write!(f, "cannot encode as VQF: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for VqfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VqfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for VqfError {
+    fn from(e: std::io::Error) -> Self {
+        VqfError::Io(e)
+    }
+}

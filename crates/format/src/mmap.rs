@@ -1,0 +1,263 @@
+//! Read-only memory mapping of a VQF file — the workspace's one audited
+//! `unsafe` module for zero-copy reads.
+//!
+//! The workspace takes no external dependencies, so there is no `libc` to
+//! call `mmap(2)` through; on the supported targets (x86_64 and aarch64
+//! Linux) the two syscalls are issued directly with inline assembly.
+//! Everywhere else [`Mmap::map`] reports `Unsupported` and the reader
+//! falls back to its safe `pread` path ([`crate::reader::Backend::Pread`]).
+//!
+//! # Safety argument
+//!
+//! * The mapping is `PROT_READ` + `MAP_PRIVATE`: the memory is read-only
+//!   and copy-on-write, so no write through the map is possible and no
+//!   write by this process can reach the file.
+//! * The map length is the file length at `map` time, taken from
+//!   `fstat` via `File::metadata`; the returned slice never exceeds it.
+//! * The fd is only needed *during* the `mmap` call — the mapping stays
+//!   valid after the `File` is dropped (the kernel keeps the backing
+//!   object alive), so `Mmap` owning just `(ptr, len)` is sound.
+//! * `munmap` runs exactly once, in `Drop`, with the same `(ptr, len)`
+//!   pair the kernel returned.
+//! * The one real hazard of file-backed mappings — another process
+//!   truncating the file mid-read turns loads into `SIGBUS` — is
+//!   accepted and documented: VQF files are immutable once committed
+//!   (written via temp-file + rename), so a reader only races a writer
+//!   if an operator actively overwrites an analysis input mid-run.
+//! * Zero-length files are never mapped (`mmap` rejects length 0);
+//!   [`Mmap::map`] returns an empty-slice sentinel instead.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// Whether this build can memory-map at all (Linux on x86_64/aarch64).
+pub const MMAP_SUPPORTED: bool = cfg!(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    use std::os::unix::io::RawFd;
+
+    pub const PROT_READ: usize = 0x1;
+    pub const MAP_PRIVATE: usize = 0x02;
+
+    /// Raw `mmap(2)`. Returns the mapped address, or `-errno` encoded as
+    /// a negative value in `(-4096, 0)`.
+    ///
+    /// # Safety
+    /// `fd` must be a valid open file descriptor; `len` must be nonzero.
+    #[cfg(target_arch = "x86_64")]
+    pub unsafe fn mmap(len: usize, fd: RawFd) -> isize {
+        const SYS_MMAP: isize = 9;
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MMAP => ret,
+            in("rdi") 0usize,               // addr: kernel chooses
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd as isize,
+            in("r9") 0usize,                // offset
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// Raw `munmap(2)`.
+    ///
+    /// # Safety
+    /// `(addr, len)` must be exactly what `mmap` returned.
+    #[cfg(target_arch = "x86_64")]
+    pub unsafe fn munmap(addr: usize, len: usize) -> isize {
+        const SYS_MUNMAP: isize = 11;
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MUNMAP => ret,
+            in("rdi") addr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// Raw `mmap(2)` (aarch64 syscall convention).
+    ///
+    /// # Safety
+    /// As for the x86_64 variant.
+    #[cfg(target_arch = "aarch64")]
+    pub unsafe fn mmap(len: usize, fd: RawFd) -> isize {
+        const SYS_MMAP: isize = 222;
+        let ret: isize;
+        core::arch::asm!(
+            "svc #0",
+            in("x8") SYS_MMAP,
+            inlateout("x0") 0usize => ret,  // addr: kernel chooses
+            in("x1") len,
+            in("x2") PROT_READ,
+            in("x3") MAP_PRIVATE,
+            in("x4") fd as isize,
+            in("x5") 0usize,                // offset
+            options(nostack)
+        );
+        ret
+    }
+
+    /// Raw `munmap(2)` (aarch64 syscall convention).
+    ///
+    /// # Safety
+    /// As for the x86_64 variant.
+    #[cfg(target_arch = "aarch64")]
+    pub unsafe fn munmap(addr: usize, len: usize) -> isize {
+        const SYS_MUNMAP: isize = 215;
+        let ret: isize;
+        core::arch::asm!(
+            "svc #0",
+            in("x8") SYS_MUNMAP,
+            inlateout("x0") addr => ret,
+            in("x1") len,
+            options(nostack)
+        );
+        ret
+    }
+}
+
+/// A read-only memory map of one file, dereferencing to `&[u8]`.
+#[derive(Debug)]
+pub struct Mmap {
+    /// Null exactly when `len == 0` (the unmapped empty-file sentinel).
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) shared memory with no
+// interior mutability; concurrent reads from any thread are sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// Returns `ErrorKind::Unsupported` on targets without the syscall
+    /// shims — callers fall back to pread.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            use std::os::unix::io::AsRawFd;
+            let len = usize::try_from(file.metadata()?.len())
+                .map_err(|_| io::Error::new(io::ErrorKind::OutOfMemory, "file exceeds usize"))?;
+            if len == 0 {
+                return Ok(Mmap {
+                    ptr: std::ptr::null(),
+                    len: 0,
+                });
+            }
+            // SAFETY: fd is open (we hold &File), len is nonzero; the
+            // return value is checked for the kernel's -errno range
+            // before being treated as an address.
+            let ret = unsafe { sys::mmap(len, file.as_raw_fd()) };
+            if (-4096..0).contains(&ret) {
+                return Err(io::Error::from_raw_os_error(-ret as i32));
+            }
+            Ok(Mmap {
+                ptr: ret as *const u8,
+                len,
+            })
+        }
+        #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+        {
+            let _ = file;
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "mmap is only wired up on x86_64/aarch64 Linux; use the pread backend",
+            ))
+        }
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for the zero-length sentinel.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len come from a successful PROT_READ mapping that
+        // lives until Drop; the memory is never written through this
+        // process (MAP_PRIVATE read-only).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        if self.len != 0 {
+            // SAFETY: exact (addr, len) pair returned by mmap; called
+            // once (Drop runs once, and nothing else unmaps).
+            unsafe {
+                sys::munmap(self.ptr as usize, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        if !MMAP_SUPPORTED {
+            return;
+        }
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("vqlens-mmap-test-{}", std::process::id()));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).expect("mmap");
+        assert_eq!(&map[..], &payload[..]);
+        drop(file); // mapping must outlive the fd
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&map[9_990..], &payload[9_990..]);
+        drop(map);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        if !MMAP_SUPPORTED {
+            return;
+        }
+        let path = std::env::temp_dir().join(format!("vqlens-mmap-empty-{}", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).expect("mmap of empty file");
+        assert!(map.is_empty());
+        assert_eq!(&map[..], b"");
+        let _ = std::fs::remove_file(&path);
+    }
+}

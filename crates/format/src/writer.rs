@@ -1,0 +1,165 @@
+//! Writing a [`Dataset`] out as a VQF file.
+//!
+//! The writer streams: header, seven dictionary sections, one column
+//! chunk per epoch, footer, trailer — no seeking, so it composes with
+//! [`vqlens_resilience::AtomicFile`]'s write-temp-then-rename discipline
+//! (a reader only ever observes a complete committed file, never a torn
+//! one; torn *copies* are caught by the trailer and checksums instead).
+
+use crate::layout::{
+    self, encode_header, encode_trailer, id_width, Footer, SectionEntry, DICT_COUNT, HEADER_LEN,
+};
+use crate::VqfError;
+use std::io::Write;
+use std::path::Path;
+use vqlens_model::attr::AttrKey;
+use vqlens_model::dataset::Dataset;
+use vqlens_model::epoch::EpochId;
+use vqlens_obs as obs;
+use vqlens_resilience::AtomicFile;
+
+/// Write `dataset` to `path` atomically: the destination either keeps its
+/// previous content or becomes the complete new VQF file.
+pub fn write_vqf(dataset: &Dataset, path: &Path) -> Result<(), VqfError> {
+    let _span = obs::global().span(obs::Stage::Format);
+    let mut file = AtomicFile::create(path)?;
+    write_vqf_to(dataset, &mut file)?;
+    file.commit()?;
+    Ok(())
+}
+
+/// Stream `dataset` as VQF into any writer, returning the number of
+/// session records written.
+///
+/// Fails with [`VqfError::Unencodable`] when a dictionary name exceeds
+/// the `u16` length prefix or a session references an id outside its
+/// dictionary (a corrupted in-memory dataset).
+pub fn write_vqf_to<W: Write>(dataset: &Dataset, mut out: W) -> Result<u64, VqfError> {
+    out.write_all(&encode_header())?;
+    let mut offset = HEADER_LEN;
+
+    let mut dicts = [SectionEntry {
+        offset: 0,
+        len: 0,
+        count: 0,
+        checksum: 0,
+    }; DICT_COUNT];
+    for (dim, slot) in dicts.iter_mut().enumerate() {
+        let payload = encode_dict(dataset, AttrKey::from_index(dim))?;
+        *slot = SectionEntry {
+            offset,
+            len: payload.len() as u64,
+            count: dataset.dict(AttrKey::from_index(dim)).len() as u32,
+            checksum: layout::checksum(&payload),
+        };
+        out.write_all(&payload)?;
+        offset += payload.len() as u64;
+    }
+
+    let widths: [u8; 7] =
+        std::array::from_fn(|dim| id_width(dataset.dict(AttrKey::from_index(dim)).len()));
+    let mut chunks = Vec::with_capacity(dataset.num_epochs() as usize);
+    let mut total_sessions = 0u64;
+    for e in 0..dataset.num_epochs() {
+        let payload = encode_chunk(dataset, EpochId(e), &widths)?;
+        let count = dataset.epoch(EpochId(e)).len() as u32;
+        total_sessions += u64::from(count);
+        chunks.push(SectionEntry {
+            offset,
+            len: payload.len() as u64,
+            count,
+            checksum: layout::checksum(&payload),
+        });
+        out.write_all(&payload)?;
+        offset += payload.len() as u64;
+    }
+
+    let footer = Footer {
+        num_epochs: dataset.num_epochs(),
+        total_sessions,
+        meta: dataset.meta.clone(),
+        dicts,
+        chunks,
+        extensions: Vec::new(),
+    };
+    let footer_bytes = footer.encode()?;
+    out.write_all(&footer_bytes)?;
+    out.write_all(&encode_trailer(
+        footer_bytes.len() as u64,
+        layout::checksum(&footer_bytes),
+    ))?;
+    out.flush()?;
+    obs::global().add(obs::Counter::VqfRecordsWritten, total_sessions);
+    Ok(total_sessions)
+}
+
+/// Dictionary section payload: `u32` value count, then each name as a
+/// `u16`-length-prefixed UTF-8 string, in id order.
+fn encode_dict(dataset: &Dataset, key: AttrKey) -> Result<Vec<u8>, VqfError> {
+    let dict = dataset.dict(key);
+    let mut out = Vec::new();
+    out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+    for id in 0..dict.len() as u32 {
+        let name = dict.name(id).expect("dense dictionary ids");
+        let len = u16::try_from(name.len()).map_err(|_| VqfError::Unencodable {
+            detail: format!(
+                "{key} name of {} bytes exceeds the u16 length prefix",
+                name.len()
+            ),
+        })?;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+    Ok(out)
+}
+
+/// Epoch chunk payload: `u32` session count; seven dictionary-id columns
+/// (each `u8` width tag + `count × width` little-endian ids, in
+/// [`AttrKey::ALL`] order); then the five fixed-width metric columns
+/// (`join_failed` as one byte per session, `join_time_ms` as `u32`,
+/// `play_duration_s` / `buffering_s` / `avg_bitrate_kbps` as IEEE-754
+/// `f32` bit patterns).
+fn encode_chunk(dataset: &Dataset, epoch: EpochId, widths: &[u8; 7]) -> Result<Vec<u8>, VqfError> {
+    let data = dataset.epoch(epoch);
+    let n = data.len();
+    let mut out = Vec::with_capacity(4 + n * 24);
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    for dim in 0..DICT_COUNT {
+        let width = widths[dim];
+        out.push(width);
+        let dict_len = dataset.dict(AttrKey::from_index(dim)).len() as u32;
+        for attrs in &data.attrs {
+            let id = attrs.values[dim];
+            if id >= dict_len {
+                return Err(VqfError::Unencodable {
+                    detail: format!(
+                        "epoch {} references {} id {id} outside its dictionary of {dict_len}",
+                        epoch.0,
+                        AttrKey::from_index(dim)
+                    ),
+                });
+            }
+            match width {
+                1 => out.push(id as u8),
+                2 => out.extend_from_slice(&(id as u16).to_le_bytes()),
+                _ => out.extend_from_slice(&id.to_le_bytes()),
+            }
+        }
+    }
+    for q in &data.quality {
+        out.push(u8::from(q.join_failed));
+    }
+    for q in &data.quality {
+        out.extend_from_slice(&q.join_time_ms.to_le_bytes());
+    }
+    for q in &data.quality {
+        out.extend_from_slice(&q.play_duration_s.to_bits().to_le_bytes());
+    }
+    for q in &data.quality {
+        out.extend_from_slice(&q.buffering_s.to_bits().to_le_bytes());
+    }
+    for q in &data.quality {
+        out.extend_from_slice(&q.avg_bitrate_kbps.to_bits().to_le_bytes());
+    }
+    Ok(out)
+}

@@ -1,0 +1,243 @@
+//! VQF edge-case tests: the shapes a real fleet produces that a format
+//! bug would mangle first — empty and single-epoch traces, dictionaries
+//! wide enough to cross the id-width breakpoints, torn and bit-flipped
+//! files — plus a property test that the mmap and pread backends decode
+//! identical datasets for arbitrary session populations.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use vqlens_format::layout::{self, HEADER_LEN};
+use vqlens_format::{read_vqf, sniff_is_vqf, write_vqf, write_vqf_to, Backend, VqfError, VqfFile};
+use vqlens_model::attr::{AttrKey, SessionAttrs};
+use vqlens_model::dataset::{Dataset, DatasetMeta};
+use vqlens_model::epoch::EpochId;
+use vqlens_model::metric::QualityMeasurement;
+use vqlens_model::session::SessionRecord;
+use vqlens_resilience::fingerprint_dataset;
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vqlens-format-test-{}-{name}.vqf", std::process::id()))
+}
+
+/// A dataset with `epochs` epochs of `per_epoch` sessions over small
+/// dictionaries, deterministically varied.
+fn small_dataset(epochs: u32, per_epoch: u32) -> Dataset {
+    let mut ds = Dataset::new(
+        epochs,
+        DatasetMeta {
+            name: "edge".into(),
+            description: "edge-case fixture".into(),
+            seed: Some(7),
+        },
+    );
+    for key in AttrKey::ALL {
+        ds.intern(key, "a");
+        ds.intern(key, "b");
+    }
+    for e in 0..epochs {
+        for i in 0..per_epoch {
+            let attrs = SessionAttrs::new([i % 2, (i + e) % 2, 0, i % 2, 0, 0, 0]);
+            let q = if i % 7 == 0 {
+                QualityMeasurement::failed()
+            } else {
+                QualityMeasurement::joined(100 + i, 120.5, 1.25 * i as f32, 2345.0)
+            };
+            ds.push(SessionRecord::new(EpochId(e), attrs, q));
+        }
+    }
+    ds
+}
+
+#[test]
+fn empty_trace_roundtrips() {
+    for (name, epochs) in [("zero-epochs", 0u32), ("empty-epochs", 3)] {
+        let ds = Dataset::new(epochs, DatasetMeta::default());
+        let path = scratch(name);
+        write_vqf(&ds, &path).expect("write empty");
+        assert!(sniff_is_vqf(&path));
+        let back = read_vqf(&path).expect("read empty");
+        assert_eq!(back.num_epochs(), epochs);
+        assert_eq!(back.num_sessions(), 0);
+        assert_eq!(fingerprint_dataset(&back), fingerprint_dataset(&ds));
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn single_epoch_trace_roundtrips() {
+    let ds = small_dataset(1, 37);
+    let path = scratch("single-epoch");
+    write_vqf(&ds, &path).expect("write");
+    let back = read_vqf(&path).expect("read");
+    assert_eq!(back.num_epochs(), 1);
+    assert_eq!(back.num_sessions(), 37);
+    assert_eq!(back.meta, ds.meta, "metadata survives the round trip");
+    assert_eq!(fingerprint_dataset(&back), fingerprint_dataset(&ds));
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A dictionary with more values than one byte can index must switch the
+/// column to 2-byte ids — and still round-trip every session exactly. 300
+/// ASN values crosses both the 127 (i7) and 256 (u8) breakpoints.
+#[test]
+fn wide_dictionaries_widen_their_id_columns() {
+    let mut ds = Dataset::new(1, DatasetMeta::default());
+    for key in AttrKey::ALL {
+        ds.intern(key, "only");
+    }
+    const WIDE: u32 = 300;
+    for i in 0..WIDE {
+        let id = ds.intern(AttrKey::Asn, &format!("AS{i:05}"));
+        ds.push(SessionRecord::new(
+            EpochId(0),
+            SessionAttrs::new([id, 0, 0, 0, 0, 0, 0]),
+            QualityMeasurement::joined(50 + i, 60.0, 0.5, 1800.0),
+        ));
+    }
+    assert_eq!(ds.dict(AttrKey::Asn).len(), WIDE as usize + 1);
+    assert_eq!(layout::id_width(ds.dict(AttrKey::Asn).len()), 2);
+
+    let path = scratch("wide-dict");
+    write_vqf(&ds, &path).expect("write");
+    let back = read_vqf(&path).expect("read");
+    assert_eq!(fingerprint_dataset(&back), fingerprint_dataset(&ds));
+    for i in (0..WIDE).step_by(41) {
+        assert_eq!(
+            back.value_name(AttrKey::Asn, i + 1),
+            Some(format!("AS{i:05}").as_str()),
+            "interned names keep their ids"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncated_footer_is_rejected() {
+    let ds = small_dataset(2, 20);
+    let mut bytes = Vec::new();
+    write_vqf_to(&ds, &mut bytes).expect("encode");
+    let path = scratch("truncated-footer");
+    // Cut inside the footer/trailer region: from just past the last chunk
+    // to one byte short of complete, every prefix must be rejected.
+    let chunks_end = {
+        let full = scratch("truncated-footer-full");
+        std::fs::write(&full, &bytes).unwrap();
+        let file = VqfFile::open(&full).expect("intact file opens");
+        let last = file.footer().chunks.last().expect("has chunks");
+        let end = last.offset + last.len;
+        std::fs::remove_file(&full).unwrap();
+        end as usize
+    };
+    for cut in [chunks_end + 1, chunks_end + 7, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = read_vqf(&path).expect_err("torn footer must not parse");
+        assert!(
+            matches!(
+                err,
+                VqfError::Truncated { .. } | VqfError::ChecksumMismatch { .. }
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn flipped_checksum_byte_is_rejected() {
+    let ds = small_dataset(2, 20);
+    let mut bytes = Vec::new();
+    write_vqf_to(&ds, &mut bytes).expect("encode");
+    let path = scratch("flipped-checksum");
+    // The header's own checksum field, a dictionary section's stored
+    // checksum (inside the footer), and the trailer's footer checksum.
+    let header_checksum = HEADER_LEN as usize - 8;
+    let trailer_checksum = bytes.len() - 12;
+    for pos in [header_checksum, trailer_checksum] {
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= 0x40;
+        std::fs::write(&path, &damaged).unwrap();
+        let err = read_vqf(&path).expect_err("flipped checksum must not parse");
+        assert!(
+            matches!(err, VqfError::ChecksumMismatch { .. }),
+            "pos {pos}: unexpected error {err}"
+        );
+    }
+    // Flipping payload bytes (not the checksum itself) must also trip the
+    // covering checksum: probe a spread of body positions.
+    for pos in (HEADER_LEN as usize..bytes.len()).step_by(bytes.len() / 13) {
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= 0x01;
+        std::fs::write(&path, &damaged).unwrap();
+        assert!(
+            read_vqf(&path).is_err(),
+            "flip at {pos} of {} parsed anyway",
+            bytes.len()
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn mmap_and_pread_agree_on_a_fixture() {
+    let ds = small_dataset(3, 50);
+    let path = scratch("backend-fixture");
+    write_vqf(&ds, &path).expect("write");
+    let pread = VqfFile::open_with(&path, Backend::Pread)
+        .and_then(|f| f.read_dataset())
+        .expect("pread read");
+    assert_eq!(fingerprint_dataset(&pread), fingerprint_dataset(&ds));
+    if vqlens_format::mmap::MMAP_SUPPORTED {
+        let file = VqfFile::open_with(&path, Backend::Mmap).expect("mmap open");
+        assert!(file.is_mmap());
+        let mapped = file.read_dataset().expect("mmap read");
+        assert_eq!(fingerprint_dataset(&mapped), fingerprint_dataset(&pread));
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+proptest! {
+    /// Backend equivalence over arbitrary session populations: whatever
+    /// sessions land in whatever epochs, the mmap path and the pread path
+    /// decode bit-identical datasets (and both equal the original).
+    #[test]
+    fn mmap_and_pread_decode_identically(
+        sessions in prop::collection::vec(
+            (0u32..4, prop::array::uniform7(0u32..2), any::<bool>(), 0u32..10_000,
+             0f32..1e4, 0f32..1e3, 0f32..1e4),
+            0..200,
+        ),
+        wide in 0usize..40,
+    ) {
+        let mut ds = Dataset::new(4, DatasetMeta::default());
+        for key in AttrKey::ALL {
+            for name in ["x", "y", "z"] {
+                ds.intern(key, name);
+            }
+        }
+        // A tail of extra ASN values so some runs cross the 1-byte width.
+        for i in 0..wide * 8 {
+            ds.intern(AttrKey::Asn, &format!("pad{i}"));
+        }
+        for (epoch, vals, failed, join_ms, play, buf, kbps) in sessions {
+            let q = if failed {
+                QualityMeasurement::failed()
+            } else {
+                QualityMeasurement::joined(join_ms, play, buf, kbps)
+            };
+            ds.push(SessionRecord::new(EpochId(epoch), SessionAttrs::new(vals), q));
+        }
+        let path = scratch(&format!("prop-{:x}", fingerprint_dataset(&ds)));
+        write_vqf(&ds, &path).expect("write");
+        let pread = VqfFile::open_with(&path, Backend::Pread)
+            .and_then(|f| f.read_dataset())
+            .expect("pread read");
+        prop_assert_eq!(fingerprint_dataset(&pread), fingerprint_dataset(&ds));
+        if vqlens_format::mmap::MMAP_SUPPORTED {
+            let mapped = VqfFile::open_with(&path, Backend::Mmap)
+                .and_then(|f| f.read_dataset())
+                .expect("mmap read");
+            prop_assert_eq!(fingerprint_dataset(&mapped), fingerprint_dataset(&ds));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -156,7 +156,7 @@ impl EpochData {
 }
 
 /// Provenance metadata for a dataset.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DatasetMeta {
     /// Human-readable scenario name.
     pub name: String,

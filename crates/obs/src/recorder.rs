@@ -62,11 +62,15 @@ pub enum Stage {
     /// Incremental delta merge into an existing cube
     /// (`CubeTable::merge`), recorded per merged epoch.
     Merge = 15,
+    /// Binary columnar (VQF) file encode or decode
+    /// (`vqlens_format::write_vqf` / `VqfFile::read_dataset`),
+    /// trace-scoped.
+    Format = 16,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -86,6 +90,7 @@ impl Stage {
         Stage::Checkpoint,
         Stage::Serve,
         Stage::Merge,
+        Stage::Format,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -107,6 +112,7 @@ impl Stage {
             Stage::Checkpoint => "checkpoint",
             Stage::Serve => "serve",
             Stage::Merge => "merge",
+            Stage::Format => "format",
         }
     }
 }
@@ -215,11 +221,17 @@ pub enum Counter {
     /// or pruned clusters were resurrected); touched-but-updated-in-place
     /// masks are the cheap complement.
     DirtyMasks = 41,
+    /// Session records encoded into VQF files (`vqlens_format` writer).
+    VqfRecordsWritten = 42,
+    /// Session records decoded from VQF files (after column-level
+    /// sampling, when active — skipped sessions count toward
+    /// `sessions_sampled_out` instead).
+    VqfRecordsRead = 43,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 42;
+    pub const COUNT: usize = 44;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -265,6 +277,8 @@ impl Counter {
         Counter::CubeDeltaRows,
         Counter::CubeMerges,
         Counter::DirtyMasks,
+        Counter::VqfRecordsWritten,
+        Counter::VqfRecordsRead,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -312,6 +326,8 @@ impl Counter {
             Counter::CubeDeltaRows => "cube_delta_rows",
             Counter::CubeMerges => "cube_merges",
             Counter::DirtyMasks => "dirty_masks",
+            Counter::VqfRecordsWritten => "vqf_records_written",
+            Counter::VqfRecordsRead => "vqf_records_read",
         }
     }
 

@@ -77,8 +77,12 @@ impl AtomicFile {
         file.sync_all()?;
         drop(file);
         fs::rename(&self.tmp, &self.dest)?;
-        if let Some(parent) = self.dest.parent() {
-            fsync_dir(parent)?;
+        match self.dest.parent() {
+            // A bare relative filename has `Some("")` as its parent; an
+            // empty path cannot be opened, so sync the current directory.
+            Some(parent) if parent.as_os_str().is_empty() => fsync_dir(Path::new("."))?,
+            Some(parent) => fsync_dir(parent)?,
+            None => {}
         }
         Ok(())
     }
@@ -150,6 +154,20 @@ mod tests {
             .filter(|e| is_temp_name(&e.as_ref().unwrap().file_name().to_string_lossy()))
             .collect();
         assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_accepts_a_bare_relative_filename() {
+        // `Path::new("out.bin").parent()` is `Some("")` — commit must
+        // sync the current directory, not try to open the empty path.
+        let dir = scratch_dir("bare-relative");
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let result = atomic_write(Path::new("out.bin"), b"payload");
+        std::env::set_current_dir(prev).unwrap();
+        result.unwrap();
+        assert_eq!(fs::read(dir.join("out.bin")).unwrap(), b"payload");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -14,6 +14,9 @@
 //! vqlens analyze trace.csv --checkpoint ckpt/          # durable: resume after a kill
 //! vqlens analyze trace.csv --resume ckpt/              # same directory, same meaning
 //! vqlens analyze trace.csv --max-mem 512M              # degrade instead of OOM
+//! vqlens convert trace.csv --out trace.vqf             # CSV -> binary columnar VQF
+//! vqlens convert trace.vqf --out trace.csv             # ... and back (sniffed by magic)
+//! vqlens analyze trace.vqf                             # every reader sniffs VQF too
 //! vqlens analyze trace.csv --epoch-deadline-ms 5000    # soft per-epoch budget
 //! vqlens analyze trace.csv --strict                    # exit 3/4 on failed/degraded
 //! vqlens monitor trace.csv                             # incident log replay
@@ -25,9 +28,12 @@
 //! vqlens bench --out BENCH.json                        # throughput baseline
 //! ```
 //!
-//! The CSV format is documented in `vqlens::model::csv` — any telemetry
-//! source that can produce those columns can be analyzed. Real telemetry
-//! is rarely clean: `--lenient` quarantines malformed lines into an
+//! Trace files are CSV (the interchange format, documented in
+//! `vqlens::model::csv`) or VQF (the binary columnar at-rest format,
+//! documented in docs/FORMAT.md); every subcommand that reads a trace
+//! sniffs the format by magic, and `vqlens convert` translates either
+//! direction. Any telemetry source that can produce the CSV columns can
+//! be analyzed. Real telemetry is rarely clean: `--lenient` quarantines malformed lines into an
 //! ingest report (printed before the analysis; `--dead-letter FILE` saves
 //! them verbatim for triage, written crash-safely via temp-file-then-
 //! rename so a killed run never leaves a torn quarantine file) instead of
@@ -45,9 +51,9 @@
 //! `--max-mem BYTES[K|M|G]` walks the degradation ladder instead of
 //! overrunning memory.
 //!
-//! `--strict` exit codes: `0` clean, `1` I/O or usage failure elsewhere,
-//! `3` at least one epoch failed analysis, `4` no failures but at least
-//! one epoch degraded.
+//! `--strict` exit codes: `0` clean, `1` I/O or analysis failure, `2`
+//! usage error, `3` at least one epoch failed analysis, `4` no failures
+//! but at least one epoch degraded.
 //!
 //! `--timings` and `--report-json FILE` enable the process-global
 //! [`vqlens::obs::Recorder`] for the run: `--timings` prints the
@@ -84,8 +90,11 @@ fn usage() -> ExitCode {
          [--checkpoint DIR] [--queue N] [--max-body BYTES] \
          [--read-timeout-ms N] [--max-mem SIZE[K|M|G]] [--min-sessions N] \
          [--confirm-h N] [--close-h N] [--timings] [--report-json FILE.json] \
-         [-v|--verbose]\n  vqlens bench [--scenario smoke|default|full] \
-         [--out FILE.json]"
+         [-v|--verbose]\n  vqlens convert FILE --out FILE \
+         [--lenient [--max-bad-ratio R] [--dead-letter FILE]]\n  \
+         vqlens bench [--scenario smoke|default|full] \
+         [--out FILE.json]\n\ntrace FILEs may be CSV or binary VQF \
+         (sniffed by magic; see docs/FORMAT.md)"
     );
     ExitCode::from(2)
 }
@@ -99,6 +108,7 @@ fn main() -> ExitCode {
         Some("monitor") => monitor(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("convert") => convert(&args[1..]),
         Some("bench") => bench(&args[1..]),
         _ => usage(),
     }
@@ -169,10 +179,30 @@ fn parse_mem_bytes(raw: &str) -> Option<u64> {
     digits.parse::<u64>().ok()?.checked_mul(unit)
 }
 
-/// Load a trace, honoring `--lenient` / `--max-bad-ratio` / `--dead-letter`.
-/// In lenient mode the ingest summary is printed and returned so the
-/// analysis can mark degraded epochs.
-fn load(path: &str, args: &[String]) -> Result<(Dataset, Option<IngestReport>), ExitCode> {
+/// A loaded trace plus everything the loader learned on the way in.
+struct Loaded {
+    dataset: Dataset,
+    /// Lenient-CSV ingest summary (malformed-line quarantine), when
+    /// `--lenient` was in effect. Never set for VQF input.
+    ingest: Option<IngestReport>,
+    /// Epochs thinned by VQF column-level pre-sampling under `--max-mem`,
+    /// to downgrade in the trace once it exists. Empty for CSV input.
+    presampled: Vec<(EpochId, DegradeCause)>,
+}
+
+/// Load a trace — CSV or VQF, sniffed by magic.
+///
+/// CSV honors `--lenient` / `--max-bad-ratio` / `--dead-letter`; in
+/// lenient mode the ingest summary is printed and returned so the
+/// analysis can mark degraded epochs. VQF is checksummed binary, so
+/// corruption is rejected outright (never quarantined); under
+/// `--max-mem` the loader pre-samples at the column level when the
+/// session buffers alone cannot fit, so dropped sessions are never
+/// materialized in the first place.
+fn load(path: &str, args: &[String]) -> Result<Loaded, ExitCode> {
+    if vqlens::format::sniff_is_vqf(Path::new(path)) {
+        return load_vqf(path, args);
+    }
     let file = File::open(path).map_err(|e| {
         eprintln!("cannot open {path}: {e}");
         ExitCode::FAILURE
@@ -182,7 +212,11 @@ fn load(path: &str, args: &[String]) -> Result<(Dataset, Option<IngestReport>), 
             eprintln!("cannot parse {path}: {e} (try --lenient for dirty telemetry)");
             ExitCode::FAILURE
         })?;
-        return Ok((dataset, None));
+        return Ok(Loaded {
+            dataset,
+            ingest: None,
+            presampled: Vec::new(),
+        });
     }
     let max_bad_ratio = numeric_flag::<f64>(args, "--max-bad-ratio")?.unwrap_or(0.05);
     // Quarantined lines stream through an `AtomicFile`: they land in a
@@ -226,7 +260,68 @@ fn load(path: &str, args: &[String]) -> Result<(Dataset, Option<IngestReport>), 
             eprintln!("ingest: quarantined lines saved to {dl_path}");
         }
     }
-    Ok((dataset, Some(report)))
+    Ok(Loaded {
+        dataset,
+        ingest: Some(report),
+        presampled: Vec::new(),
+    })
+}
+
+/// Load a VQF trace. With `--max-mem`, sample sessions while decoding
+/// (1-in-k by stride, identical to the ladder's last rung) when the
+/// columnar session buffers alone would blow the budget — the only case
+/// where post-load sampling is inevitable anyway, since the ladder's
+/// earlier rungs shrink cubes, not session buffers.
+fn load_vqf(path: &str, args: &[String]) -> Result<Loaded, ExitCode> {
+    if args.iter().any(|a| a == "--lenient") {
+        eprintln!(
+            "note: --lenient has no effect on VQF input (sections are checksummed; \
+             corruption is rejected with a diagnostic, not quarantined)"
+        );
+    }
+    let file = vqlens::format::VqfFile::open(Path::new(path)).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    let mut keep_1_in = 1u32;
+    if let Some(budget) = mem_flag(args)? {
+        let per_session = (std::mem::size_of::<SessionAttrs>()
+            + std::mem::size_of::<QualityMeasurement>()) as u64;
+        let dataset_bytes = file.num_sessions() * per_session;
+        while dataset_bytes / u64::from(keep_1_in) > budget
+            && keep_1_in < vqlens::resilience::membudget::MAX_SAMPLE_STRIDE
+        {
+            keep_1_in *= 2;
+        }
+        if keep_1_in > 1 {
+            eprintln!(
+                "memory budget: VQF column-level pre-sampling 1-in-{keep_1_in} \
+                 ({} sessions x {per_session} B session buffers exceed the budget)",
+                file.num_sessions()
+            );
+        }
+    }
+    let per_epoch_of: Vec<u64> = (0..file.num_epochs())
+        .map(|e| u64::from(file.footer().chunks[e as usize].count))
+        .collect();
+    let dataset = file.read_dataset_sampled(keep_1_in).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    let mut presampled = Vec::new();
+    if keep_1_in > 1 {
+        for (e, &of) in per_epoch_of.iter().enumerate() {
+            let kept = dataset.epoch(EpochId(e as u32)).len() as u64;
+            if of > 0 && kept < of {
+                presampled.push((EpochId(e as u32), DegradeCause::Sampled { kept, of }));
+            }
+        }
+    }
+    Ok(Loaded {
+        dataset,
+        ingest: None,
+        presampled,
+    })
 }
 
 /// Print which epochs of the analysis are degraded or failed, so partial
@@ -398,10 +493,11 @@ fn analyze(args: &[String]) -> ExitCode {
         vqlens::obs::global().set_enabled(true);
     }
     let wall = std::time::Instant::now();
-    let (mut dataset, ingest) = match load(path, args) {
+    let loaded = match load(path, args) {
         Ok(d) => d,
         Err(code) => return code,
     };
+    let (mut dataset, ingest) = (loaded.dataset, loaded.ingest);
     // --serve-report FILE: emit the exact bytes `GET /report` would serve
     // after ingesting this dataset, then stop. Uses the *serve* analyzer
     // defaults (plus --min-sessions) rather than the scaled batch config,
@@ -493,6 +589,7 @@ fn analyze(args: &[String]) -> ExitCode {
     if let Some(report) = &ingest {
         trace.apply_ingest_report(report);
     }
+    trace.apply_pre_sampling(&loaded.presampled);
     report_epoch_health(&trace, verbose_flag(args) || timings);
     vqlens::obs::global().record_epochs(trace.epoch_outcomes());
 
@@ -667,8 +764,8 @@ fn check(args: &[String]) -> ExitCode {
 
     let mut report = vqlens::check::CheckReport::default();
     if let Some(path) = &file {
-        let (dataset, _ingest) = match load(path, args) {
-            Ok(d) => d,
+        let dataset = match load(path, args) {
+            Ok(l) => l.dataset,
             Err(code) => return code,
         };
         let mut config = scaled_config(&dataset);
@@ -724,10 +821,11 @@ fn monitor(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
-    let (dataset, ingest) = match load(path, args) {
+    let loaded = match load(path, args) {
         Ok(d) => d,
         Err(code) => return code,
     };
+    let (dataset, ingest) = (loaded.dataset, loaded.ingest);
     let mut config = scaled_config(&dataset);
     if let Err(code) = apply_min_sessions(&mut config, args) {
         return code;
@@ -740,6 +838,7 @@ fn monitor(args: &[String]) -> ExitCode {
     if let Some(report) = &ingest {
         trace.apply_ingest_report(report);
     }
+    trace.apply_pre_sampling(&loaded.presampled);
     report_epoch_health(&trace, verbose_flag(args));
     let mut monitor = OnlineMonitor::new(MonitorConfig {
         confirm_after_h: confirm_h,
@@ -888,6 +987,61 @@ fn serve(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Translate a trace between CSV and VQF (`vqlens convert FILE --out
+/// FILE`). The direction is chosen by sniffing the *input*: VQF in means
+/// CSV out, anything else is parsed as CSV (honoring `--lenient`) and
+/// written as VQF. Both directions write through `AtomicFile`, so the
+/// output either keeps its previous content or becomes the complete new
+/// file — a killed convert never leaves a torn trace behind.
+fn convert(args: &[String]) -> ExitCode {
+    let Some(input) = args.first().filter(|a| !a.starts_with('-')) else {
+        return usage();
+    };
+    let Some(out_path) = flag_value(args, "--out") else {
+        return usage();
+    };
+    let to_csv = vqlens::format::sniff_is_vqf(Path::new(input));
+    let loaded = match load(input, args) {
+        Ok(l) => l,
+        Err(code) => return code,
+    };
+    if to_csv {
+        let file = match AtomicFile::create(Path::new(out_path)) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut out = BufWriter::new(file);
+        if let Err(e) = write_csv(&loaded.dataset, &mut out) {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let committed = out
+            .into_inner()
+            .map_err(|e| std::io::Error::other(e.to_string()))
+            .and_then(AtomicFile::commit);
+        if let Err(e) = committed {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if let Err(e) = vqlens::format::write_vqf(&loaded.dataset, Path::new(out_path)) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let out_bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "{input} ({}) -> {out_path} ({}, {} bytes): {} sessions across {} epochs",
+        if to_csv { "VQF" } else { "CSV" },
+        if to_csv { "CSV" } else { "VQF" },
+        out_bytes,
+        loaded.dataset.num_sessions(),
+        loaded.dataset.num_epochs()
+    );
+    ExitCode::SUCCESS
+}
+
 /// Measure generate / ingest / analyze throughput over a pinned scenario
 /// suite and emit a machine-comparable JSON baseline (`vqlens bench --out
 /// BENCH_<date>.json`). Keys are emitted in a fixed order so baselines
@@ -929,6 +1083,39 @@ fn bench(args: &[String]) -> ExitCode {
             }
         };
         let ingest_s = t.elapsed().as_secs_f64();
+
+        // The same trace through the binary columnar path, written to a
+        // real file so the timing includes the mmap open — this is the
+        // CSV-vs-VQF ingest comparison docs/FORMAT.md points at.
+        let vqf_path = std::env::temp_dir().join(format!(
+            "vqlens-bench-{}-{}.vqf",
+            scenario.name,
+            std::process::id()
+        ));
+        if let Err(e) = vqlens::format::write_vqf(&output.dataset, &vqf_path) {
+            eprintln!("bench: cannot write VQF for '{}': {e}", scenario.name);
+            return ExitCode::FAILURE;
+        }
+        let vqf_bytes = std::fs::metadata(&vqf_path).map(|m| m.len()).unwrap_or(0);
+        let t = std::time::Instant::now();
+        let vqf_dataset = match vqlens::format::read_vqf(&vqf_path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("bench: cannot re-ingest VQF for '{}': {e}", scenario.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let vqf_ingest_s = t.elapsed().as_secs_f64();
+        let _ = std::fs::remove_file(&vqf_path);
+        if vqf_dataset.num_sessions() != dataset.num_sessions() {
+            eprintln!(
+                "bench: VQF round trip lost sessions for '{}' ({} vs {})",
+                scenario.name,
+                vqf_dataset.num_sessions(),
+                dataset.num_sessions()
+            );
+            return ExitCode::FAILURE;
+        }
 
         let config = scaled_config(&dataset);
         let t = std::time::Instant::now();
@@ -1015,11 +1202,19 @@ fn bench(args: &[String]) -> ExitCode {
         } else {
             0.0
         };
+        let vqf_speedup = if vqf_ingest_s > 0.0 {
+            ingest_s / vqf_ingest_s
+        } else {
+            0.0
+        };
         eprintln!(
-            "  {:>9} sessions  ingest {:>8.0}/s  analyze {:>8.0}/s  ({} epochs analyzed)  \
-             incremental {batches} batches {:.1}x total, warm append {:.1}x vs full rebuild",
+            "  {:>9} sessions  ingest csv {:>8.0}/s  vqf {:>8.0}/s ({:.1}x)  analyze {:>8.0}/s  \
+             ({} epochs analyzed)  incremental {batches} batches {:.1}x total, \
+             warm append {:.1}x vs full rebuild",
             sessions as u64,
             per_s(ingest_s),
+            per_s(vqf_ingest_s),
+            vqf_speedup,
             per_s(analyze_s),
             trace.epochs().len(),
             incremental_speedup,
@@ -1030,6 +1225,9 @@ fn bench(args: &[String]) -> ExitCode {
              \"epochs\": {},\n      \"csv_bytes\": {},\n      \"generate_s\": {:.3},\n      \
              \"ingest_s\": {:.3},\n      \"analyze_s\": {:.3},\n      \
              \"ingest_sessions_per_s\": {:.0},\n      \"ingest_mib_per_s\": {:.1},\n      \
+             \"vqf_bytes\": {},\n      \"vqf_ingest_s\": {:.4},\n      \
+             \"vqf_ingest_sessions_per_s\": {:.0},\n      \"vqf_ingest_mib_per_s\": {:.1},\n      \
+             \"vqf_vs_csv_ingest_speedup\": {:.1},\n      \
              \"analyze_sessions_per_s\": {:.0},\n      \
              \"append_batches\": {},\n      \"incremental_append_s\": {:.3},\n      \
              \"rebuild_after_each_batch_s\": {:.3},\n      \"incremental_speedup\": {:.1},\n      \
@@ -1048,6 +1246,15 @@ fn bench(args: &[String]) -> ExitCode {
             } else {
                 0.0
             },
+            vqf_bytes,
+            vqf_ingest_s,
+            per_s(vqf_ingest_s),
+            if vqf_ingest_s > 0.0 {
+                vqf_bytes as f64 / (1024.0 * 1024.0) / vqf_ingest_s
+            } else {
+                0.0
+            },
+            vqf_speedup,
             per_s(analyze_s),
             batches,
             incremental_s,
