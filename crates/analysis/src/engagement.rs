@@ -1,7 +1,7 @@
 //! Engagement vs. quality: the relationship the paper builds on.
 //!
 //! The paper motivates everything with the finding (Dobrian et al.,
-//! SIGCOMM'11, its reference [13]) that quality drives engagement — e.g.
+//! SIGCOMM'11, its reference \[13\]) that quality drives engagement — e.g.
 //! that a 1 % increase in buffering ratio costs several minutes of watched
 //! video. Our delivery substrate models viewer abandonment mechanically, so
 //! the same relationship should *emerge* rather than be assumed; this

@@ -46,7 +46,9 @@ pub fn check_format(
         return;
     }
     let path = scratch_file(seed);
-    let result = run_oracles(dataset, thresholds, sig, params, analyses, &path, seed, report);
+    let result = run_oracles(
+        dataset, thresholds, sig, params, analyses, &path, seed, report,
+    );
     let _ = fs::remove_file(&path);
     if let Err(e) = result {
         report.violate(
@@ -109,8 +111,7 @@ fn run_oracles(
     }
     for original in analyses {
         let id = original.epoch;
-        let again =
-            EpochAnalysis::compute(id, back.epoch(id), thresholds, sig, params);
+        let again = EpochAnalysis::compute(id, back.epoch(id), thresholds, sig, params);
         report.ran(1);
         if again.total_sessions != original.total_sessions {
             report.violate(
@@ -178,7 +179,9 @@ fn run_oracles(
     let bytes = fs::read(path).map_err(vqlens_format::VqfError::Io)?;
     let mut rng = seed | 1;
     for _ in 0..8 {
-        rng = rng.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(0x14057_b7e);
+        rng = rng
+            .wrapping_mul(0x5851_f42d_4c95_7f2d)
+            .wrapping_add(0x14057_b7e);
         let pos = (rng >> 16) as usize % bytes.len();
         let mut damaged = bytes.clone();
         damaged[pos] ^= 0x01;
@@ -200,7 +203,9 @@ fn run_oracles(
 
     // format-rejects-truncation: every proper prefix is a torn copy.
     for denom in [2u64, 3, 7] {
-        rng = rng.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(0x14057_b7e);
+        rng = rng
+            .wrapping_mul(0x5851_f42d_4c95_7f2d)
+            .wrapping_add(0x14057_b7e);
         let cut = 1 + (rng >> 16) as usize % (bytes.len() - 1) / denom as usize;
         fs::write(path, &bytes[..cut]).map_err(vqlens_format::VqfError::Io)?;
         report.ran(1);

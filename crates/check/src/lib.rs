@@ -28,7 +28,7 @@
 //!   (`vqlens-serve`): byte-exact replay across segment rotation,
 //!   exact-prefix recovery from torn tails, and analysis equivalence of
 //!   a WAL-replayed dataset with the uninterrupted run.
-//! * [`format`] — VQF round-trip oracles: a dataset written as the binary
+//! * [`mod@format`] — VQF round-trip oracles: a dataset written as the binary
 //!   columnar format (`vqlens-format`) and read back must be
 //!   bit-identical — same fingerprint, same analyses — the mmap and pread
 //!   read backends must agree, and any flipped byte or truncated copy
@@ -38,7 +38,12 @@
 //!   append schedules and batch boundaries) must be bit-identical to the
 //!   from-scratch analysis — cube entries, problem sets, critical sets,
 //!   and attribution totals.
-//! * [`fuzz`] — a seeded driver that draws scenario variants and
+//! * [`scenario`] — attribution oracle: every registered
+//!   [`vqlens_synth::families::ScenarioFamily`] is re-scored against its
+//!   planted ground truth (`vqlens-score`) at the committed floor seed,
+//!   and each family must clear its committed precision/recall/
+//!   localization/attribution-mass floor.
+//! * [`mod@fuzz`] — a seeded driver that draws scenario variants and
 //!   [`vqlens_synth::faults`] operators, round-trips them through CSV and
 //!   lenient ingestion, and runs every oracle on the result.
 //!
@@ -58,6 +63,7 @@ pub mod format;
 pub mod fuzz;
 pub mod incremental;
 pub mod resume;
+pub mod scenario;
 pub mod trace;
 pub mod wal;
 
@@ -204,6 +210,7 @@ pub fn check_dataset(
     wal::check_wal(dataset, thresholds, sig, params, &analyses, seed, report);
     incremental::check_incremental(dataset, thresholds, sig, params, &analyses, seed, report);
     format::check_format(dataset, thresholds, sig, params, &analyses, seed, report);
+    scenario::check_scenario_attribution(report);
     analyses
 }
 

@@ -1,0 +1,90 @@
+//! `scenario-attribution` oracle: the pipeline must keep recovering the
+//! planted causes of every registered scenario family.
+//!
+//! Each [`vqlens_synth::families::ScenarioFamily`] plants labelled events
+//! into a generated trace; `vqlens-score` grades the analysis output
+//! against that ground truth (recall, precision, localization depth,
+//! attribution mass) and commits a minimum acceptable score per family in
+//! [`vqlens_score::FAMILY_FLOORS`]. This oracle re-scores all four
+//! families at the committed floor seed and violates on any floor breach —
+//! so an attribution regression anywhere in the synth → analyze → critical
+//! path fails `vqlens check` and the fuzz loop, not just the score CLI.
+//!
+//! Scoring a family is expensive (tens of thousands of sessions, dozens of
+//! epoch analyses), and `check_dataset` runs once per fuzz iteration; the
+//! results are computed once per process and cached — the floors are a
+//! property of the code at a pinned seed, not of the dataset under check.
+
+use crate::CheckReport;
+use std::sync::OnceLock;
+use vqlens_score::{family_floor, score_family, FamilyResult};
+use vqlens_synth::families::ScenarioFamily;
+
+/// The seed [`vqlens_score::FAMILY_FLOORS`] was measured and committed at.
+pub const FLOOR_SEED: u64 = 42;
+
+fn floor_seed_results() -> &'static [FamilyResult] {
+    static RESULTS: OnceLock<Vec<FamilyResult>> = OnceLock::new();
+    RESULTS.get_or_init(|| {
+        ScenarioFamily::ALL
+            .into_iter()
+            .map(|family| score_family(family, FLOOR_SEED))
+            .collect()
+    })
+}
+
+/// Score every registered scenario family at [`FLOOR_SEED`] and violate
+/// on each committed-floor breach (`scenario-attribution`).
+pub fn check_scenario_attribution(report: &mut CheckReport) {
+    for (family, result) in ScenarioFamily::ALL.into_iter().zip(floor_seed_results()) {
+        report.ran(1);
+        if result.score.truth_instances == 0 {
+            report.violate(
+                "scenario-attribution",
+                None,
+                None,
+                format!(
+                    "family {}: no scoreable (event, epoch) instances — \
+                     planted events never became statistically visible",
+                    family.name()
+                ),
+            );
+            continue;
+        }
+        for violation in result.floor_violations(family_floor(family)) {
+            report.violate(
+                "scenario-attribution",
+                None,
+                None,
+                format!("family {}: {violation}", family.name()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All four families clear their committed floors at the floor seed —
+    /// the exact property `check_dataset` and the fuzz loop enforce.
+    #[test]
+    fn all_families_clear_their_floors_at_the_floor_seed() {
+        let mut report = CheckReport::default();
+        check_scenario_attribution(&mut report);
+        assert_eq!(report.oracles_run, ScenarioFamily::COUNT as u64);
+        assert!(report.passed(), "scenario-attribution violations: {report}");
+    }
+
+    /// The cache is keyed to the process, not the report: a second run
+    /// adds evaluations without re-scoring (and stays clean).
+    #[test]
+    fn oracle_is_idempotent_across_reports() {
+        let mut a = CheckReport::default();
+        check_scenario_attribution(&mut a);
+        let mut b = CheckReport::default();
+        check_scenario_attribution(&mut b);
+        assert_eq!(a.oracles_run, b.oracles_run);
+        assert_eq!(a.passed(), b.passed());
+    }
+}

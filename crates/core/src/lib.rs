@@ -71,6 +71,7 @@ pub use vqlens_format as format;
 pub use vqlens_model as model;
 pub use vqlens_obs as obs;
 pub use vqlens_resilience as resilience;
+pub use vqlens_score as score;
 pub use vqlens_stats as stats;
 pub use vqlens_synth as synth;
 pub use vqlens_whatif as whatif;

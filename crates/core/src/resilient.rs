@@ -1,4 +1,4 @@
-//! The resilient analysis driver: [`analyze_dataset`] with epoch-granular
+//! The resilient analysis driver: [`analyze_dataset`](crate::pipeline::analyze_dataset) with epoch-granular
 //! checkpointing, soft stage deadlines, and the memory-budget degradation
 //! ladder from `vqlens-resilience`.
 //!

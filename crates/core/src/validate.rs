@@ -19,12 +19,13 @@
 
 use crate::pipeline::TraceAnalysis;
 use serde::{Deserialize, Serialize};
-use vqlens_model::attr::{AttrKey, ClusterKey};
+use vqlens_model::attr::ClusterKey;
 use vqlens_model::dataset::Dataset;
 use vqlens_model::metric::Metric;
 use vqlens_stats::FxHashMap;
 use vqlens_synth::events::GroundTruth;
-use vqlens_synth::world::{AsnTier, CdnKind, LadderClass, Region, World};
+use vqlens_synth::structural::structurally_explained;
+use vqlens_synth::world::World;
 
 /// Detection summary of one planted event.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -71,67 +72,6 @@ pub struct ValidationReport {
 /// Does a found critical cluster match an expected event cluster?
 fn matches(found: ClusterKey, expected: ClusterKey) -> bool {
     found == expected || found.generalizes(expected) || expected.generalizes(found)
-}
-
-/// Is one attribute value a known structural cause in the synthetic world
-/// for this metric? Used to judge emissions that match no planted event:
-/// the world has chronic causes (mobile radio conditions, single-bitrate
-/// sites, under-provisioned ASNs/regions, in-house CDNs) that legitimately
-/// produce critical clusters without any event being active.
-fn structural_component(world: &World, attr: AttrKey, value: u32, metric: Metric) -> bool {
-    match attr {
-        AttrKey::Site => {
-            let site = &world.sites[value as usize];
-            let single_ladder = matches!(site.ladder, LadderClass::Single(_));
-            let foreign_audience =
-                matches!(site.audience_home, Some(r) if r != Region::Us && r != Region::Europe);
-            let remote_modules = site.module_host_region == Region::Us
-                && site.audience_home.is_some_and(|r| r != Region::Us);
-            match metric {
-                Metric::BufRatio | Metric::Bitrate => single_ladder || foreign_audience,
-                Metric::JoinTime => remote_modules || foreign_audience,
-                Metric::JoinFailure => foreign_audience,
-            }
-        }
-        AttrKey::Cdn => {
-            let cdn = &world.cdns[value as usize];
-            matches!(cdn.kind, CdnKind::InHouse | CdnKind::IspRun)
-                || cdn.presence.iter().any(|p| *p < 0.4)
-        }
-        AttrKey::Asn => {
-            let asn = &world.asns[value as usize];
-            let weak_region = asn.region != Region::Us && asn.region != Region::Europe;
-            match metric {
-                Metric::BufRatio | Metric::Bitrate | Metric::JoinTime => {
-                    asn.wireless || asn.tier != AsnTier::Good || weak_region
-                }
-                Metric::JoinFailure => weak_region,
-            }
-        }
-        AttrKey::ConnType => {
-            // MobileWireless (0) and FixedWireless (1) are chronic causes.
-            value <= 1 && matches!(metric, Metric::BufRatio | Metric::Bitrate)
-        }
-        // VoD/Live, player, and browser have no structural quality gap in
-        // the world model; clusters keyed only on them are unexplained.
-        AttrKey::VodOrLive | AttrKey::PlayerType | AttrKey::Browser => false,
-    }
-}
-
-/// A cluster is structurally explained when at least one constrained
-/// attribute is a known structural cause — e.g. a (site, browser) cluster
-/// whose site is single-bitrate counts as explained even though the
-/// browser dimension itself carries no structural signal.
-fn structurally_explained(world: &World, key: ClusterKey, metric: Metric) -> bool {
-    let mut any = false;
-    for attr in AttrKey::ALL {
-        if let Some(value) = key.value(attr) {
-            if structural_component(world, attr, value, metric) {
-                any = true;
-            }
-        }
-    }
-    any
 }
 
 /// Validate a trace analysis against the planted ground truth.

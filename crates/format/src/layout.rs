@@ -295,9 +295,10 @@ impl Footer {
         for chunk in &self.chunks {
             push_section(&mut out, chunk);
         }
-        let ext_count = u32::try_from(self.extensions.len()).map_err(|_| VqfError::Unencodable {
-            detail: "more than u32::MAX extension sections".to_owned(),
-        })?;
+        let ext_count =
+            u32::try_from(self.extensions.len()).map_err(|_| VqfError::Unencodable {
+                detail: "more than u32::MAX extension sections".to_owned(),
+            })?;
         push_u32(&mut out, ext_count);
         for ext in &self.extensions {
             push_u32(&mut out, ext.kind);
@@ -333,9 +334,12 @@ impl Footer {
             }
         };
         let check_bounds = |e: &SectionEntry, what: &str| -> Result<(), VqfError> {
-            let end = e.offset.checked_add(e.len).ok_or_else(|| VqfError::Corrupt {
-                detail: format!("footer: {what} offset+len overflows"),
-            })?;
+            let end = e
+                .offset
+                .checked_add(e.len)
+                .ok_or_else(|| VqfError::Corrupt {
+                    detail: format!("footer: {what} offset+len overflows"),
+                })?;
             if e.offset < HEADER_LEN || end > footer_offset || end > file_len {
                 return Err(VqfError::Corrupt {
                     detail: format!(
@@ -384,7 +388,10 @@ impl Footer {
         }
         if c.remaining() != 0 {
             return Err(VqfError::Corrupt {
-                detail: format!("footer: {} trailing bytes after the last field", c.remaining()),
+                detail: format!(
+                    "footer: {} trailing bytes after the last field",
+                    c.remaining()
+                ),
             });
         }
         Ok(Footer {
@@ -416,10 +423,7 @@ pub fn encode_trailer(footer_len: u64, footer_checksum: u64) -> [u8; TRAILER_LEN
 pub fn decode_trailer(trailer: &[u8]) -> Result<(u64, u64), VqfError> {
     if trailer.len() != TRAILER_LEN as usize {
         return Err(VqfError::Truncated {
-            detail: format!(
-                "trailer must be {TRAILER_LEN} bytes, got {}",
-                trailer.len()
-            ),
+            detail: format!("trailer must be {TRAILER_LEN} bytes, got {}", trailer.len()),
         });
     }
     if trailer[16..20] != TRAILING_MAGIC {
@@ -455,7 +459,10 @@ mod tests {
         validate_header(&h).expect("valid header");
         let mut bad = h;
         bad[0] = b'X';
-        assert!(matches!(validate_header(&bad), Err(VqfError::NotVqf { .. })));
+        assert!(matches!(
+            validate_header(&bad),
+            Err(VqfError::NotVqf { .. })
+        ));
         let mut bad = h;
         bad[4] = 9;
         assert!(matches!(

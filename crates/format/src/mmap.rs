@@ -37,7 +37,10 @@ pub const MMAP_SUPPORTED: bool = cfg!(all(
     any(target_arch = "x86_64", target_arch = "aarch64")
 ));
 
-#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 mod sys {
     use std::os::unix::io::RawFd;
 
@@ -149,7 +152,10 @@ impl Mmap {
     /// Returns `ErrorKind::Unsupported` on targets without the syscall
     /// shims — callers fall back to pread.
     pub fn map(file: &File) -> io::Result<Mmap> {
-        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
         {
             use std::os::unix::io::AsRawFd;
             let len = usize::try_from(file.metadata()?.len())
@@ -172,7 +178,10 @@ impl Mmap {
                 len,
             })
         }
-        #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+        #[cfg(not(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )))]
         {
             let _ = file;
             Err(io::Error::new(
@@ -209,7 +218,10 @@ impl Deref for Mmap {
 
 impl Drop for Mmap {
     fn drop(&mut self) {
-        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
         if self.len != 0 {
             // SAFETY: exact (addr, len) pair returned by mmap; called
             // once (Drop runs once, and nothing else unmaps).

@@ -16,7 +16,10 @@ use vqlens_model::session::SessionRecord;
 use vqlens_resilience::fingerprint_dataset;
 
 fn scratch(name: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("vqlens-format-test-{}-{name}.vqf", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "vqlens-format-test-{}-{name}.vqf",
+        std::process::id()
+    ))
 }
 
 /// A dataset with `epochs` epochs of `per_epoch` sessions over small

@@ -66,11 +66,14 @@ pub enum Stage {
     /// (`vqlens_format::write_vqf` / `VqfFile::read_dataset`),
     /// trace-scoped.
     Format = 16,
+    /// Attribution scoring of one scenario family against its planted
+    /// ground truth (`vqlens_score::score_family`), recorded per family.
+    Score = 17,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -91,6 +94,7 @@ impl Stage {
         Stage::Serve,
         Stage::Merge,
         Stage::Format,
+        Stage::Score,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -113,6 +117,7 @@ impl Stage {
             Stage::Serve => "serve",
             Stage::Merge => "merge",
             Stage::Format => "format",
+            Stage::Score => "score",
         }
     }
 }
@@ -227,11 +232,24 @@ pub enum Counter {
     /// sampling, when active — skipped sessions count toward
     /// `sessions_sampled_out` instead).
     VqfRecordsRead = 43,
+    /// Scoreable ground-truth instances (event × epoch × metric triples
+    /// that cleared the visibility floor) examined by the attribution
+    /// scorer.
+    ScoreTruthInstances = 44,
+    /// Scoreable truth instances for which a matching critical cluster
+    /// was emitted (the scorer's recall numerator).
+    ScoreMatchedInstances = 45,
+    /// Critical-cluster emissions examined by the scorer at event-active
+    /// epochs (the precision denominator).
+    ScoreEmittedClusters = 46,
+    /// Scored emissions matching a planted event (the precision
+    /// numerator).
+    ScoreMatchedClusters = 47,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 44;
+    pub const COUNT: usize = 48;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -279,6 +297,10 @@ impl Counter {
         Counter::DirtyMasks,
         Counter::VqfRecordsWritten,
         Counter::VqfRecordsRead,
+        Counter::ScoreTruthInstances,
+        Counter::ScoreMatchedInstances,
+        Counter::ScoreEmittedClusters,
+        Counter::ScoreMatchedClusters,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -328,6 +350,10 @@ impl Counter {
             Counter::DirtyMasks => "dirty_masks",
             Counter::VqfRecordsWritten => "vqf_records_written",
             Counter::VqfRecordsRead => "vqf_records_read",
+            Counter::ScoreTruthInstances => "score_truth_instances",
+            Counter::ScoreMatchedInstances => "score_matched_instances",
+            Counter::ScoreEmittedClusters => "score_emitted_clusters",
+            Counter::ScoreMatchedClusters => "score_matched_clusters",
         }
     }
 

@@ -1,0 +1,740 @@
+//! # vqlens-score
+//!
+//! Attribution scoring: does the critical-cluster analysis *find* the
+//! causes the synthetic world planted? The paper could only argue its
+//! clusters were plausible; the synthetic substrate knows the truth, so
+//! this crate grades the end of the pipeline against the beginning.
+//!
+//! [`score_attribution`] matches per-epoch critical-cluster output against
+//! a [`GroundTruth`] manifest and reports four quantities per trace:
+//!
+//! * **recall** — of the scoreable truth instances (event × epoch ×
+//!   expected-metric triples that cleared the visibility floor), what
+//!   fraction got a matching critical cluster?
+//! * **precision** — of the critical clusters emitted in epochs with at
+//!   least one active event, excluding the events' own blast radius
+//!   (clusters whose problem sessions mostly sit inside an active event's
+//!   scope) and clusters explained by the world's chronic structural
+//!   causes ([`vqlens_synth::structural`]), what fraction match some
+//!   active event (exactly, or as a refinement / generalization)? The
+//!   unadjusted fraction over *all* emissions is kept as
+//!   [`AttributionScore::raw_precision`].
+//! * **localization depth** — over matched truth instances, the mean
+//!   absolute depth distance between the best matching emitted cluster and
+//!   the planted cluster (0 = exact cluster every time).
+//! * **attribution mass** — of the (fractional) problem sessions the
+//!   analysis attributed in scored epochs to clusters that are not
+//!   structurally explained, what share landed on clusters that match a
+//!   planted event?
+//!
+//! Visibility mirrors the analysis's own significance tests (session
+//! floor, problem floor, ratio multiple over the epoch's global ratio), so
+//! recall is judged only against what the pipeline could possibly have
+//! flagged. The same match relation as `vqlens_core::validate` is used: a
+//! found cluster matches when it equals the expected cluster or one
+//! generalizes the other.
+//!
+//! [`family`] wraps the scorer for the registered scenario families and
+//! holds their committed floors (the `scenario-attribution` oracle and the
+//! `vqlens score` CLI both go through it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod family;
+
+pub use family::{family_floor, score_family, FamilyFloor, FamilyResult, FAMILY_FLOORS};
+
+use serde::{Deserialize, Serialize};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_cluster::problem::SignificanceParams;
+use vqlens_model::attr::ClusterKey;
+use vqlens_model::dataset::Dataset;
+use vqlens_model::metric::{Metric, Thresholds};
+use vqlens_obs as obs;
+use vqlens_stats::FxHashMap;
+use vqlens_synth::events::GroundTruth;
+use vqlens_synth::structural::structurally_explained;
+use vqlens_synth::world::World;
+
+/// Per-event scorecard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventScore {
+    /// The planted event's id.
+    pub event_id: u32,
+    /// The planted event's name.
+    pub name: String,
+    /// Epochs the event was active (within the scored analyses).
+    pub active_epochs: u32,
+    /// Scoreable (epoch × expected-metric) instances — active and above
+    /// the visibility floor.
+    pub scoreable: u32,
+    /// Scoreable instances with a matching critical cluster.
+    pub matched: u32,
+}
+
+/// Trace-level attribution score.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributionScore {
+    /// Scoreable truth instances (event × epoch × metric).
+    pub truth_instances: u64,
+    /// Truth instances with a matching critical cluster.
+    pub matched_instances: u64,
+    /// Matched instances whose best match is the exact planted cluster.
+    pub exact_instances: u64,
+    /// Sum over matched instances of the best match's depth distance.
+    pub depth_delta_sum: u64,
+    /// Critical-cluster emissions examined (event-active epochs only).
+    pub emitted: u64,
+    /// Examined emissions matching some active event.
+    pub emitted_matched: u64,
+    /// Non-matching emissions that are an active event's blast radius: at
+    /// least half of the cluster's problem sessions sit inside some active
+    /// event's scope, even though the cluster key is incomparable to the
+    /// event's expected cluster (e.g. a site emitted under a CDN-scoped
+    /// outage because the site rides that CDN).
+    pub emitted_shadowed: u64,
+    /// Non-matching, non-shadowed emissions explained by a chronic
+    /// structural cause of the synthetic world (zero when scored without a
+    /// world).
+    pub emitted_explained: u64,
+    /// Fractional problem sessions attributed in examined emissions.
+    pub attributed_total: f64,
+    /// Attributed problem sessions on event-matching clusters.
+    pub attributed_matched: f64,
+    /// Attributed problem sessions on blast-radius (shadowed) clusters.
+    pub attributed_shadowed: f64,
+    /// Attributed problem sessions on structurally explained (non-matching)
+    /// clusters.
+    pub attributed_explained: f64,
+    /// Per-event scorecards.
+    pub events: Vec<EventScore>,
+}
+
+impl AttributionScore {
+    /// Micro-averaged recall over scoreable truth instances.
+    pub fn recall(&self) -> f64 {
+        ratio(self.matched_instances as f64, self.truth_instances as f64)
+    }
+
+    /// Fraction of examined emissions matching an active planted event,
+    /// after discounting the event's own blast radius (shadowed clusters)
+    /// and emissions explained by the world's chronic structural causes.
+    /// Both are correct findings, not false positives — the planted events
+    /// are never the only true thing in the trace — so the denominator is
+    /// the emissions nothing accounts for plus the real matches. When
+    /// every emission is matched, shadowed, or explained, this is 1.0.
+    pub fn precision(&self) -> f64 {
+        let unaccounted = self.emitted - self.emitted_shadowed - self.emitted_explained;
+        if self.emitted > 0 && unaccounted == 0 {
+            return 1.0;
+        }
+        ratio(self.emitted_matched as f64, unaccounted as f64)
+    }
+
+    /// Unadjusted fraction of examined emissions matching an active
+    /// planted event (structurally explained emissions count against it).
+    pub fn raw_precision(&self) -> f64 {
+        ratio(self.emitted_matched as f64, self.emitted as f64)
+    }
+
+    /// Mean depth distance of the best match, over matched instances
+    /// (0.0 when nothing matched — the recall floor governs that case).
+    pub fn mean_depth_delta(&self) -> f64 {
+        ratio(self.depth_delta_sum as f64, self.matched_instances as f64)
+    }
+
+    /// Fraction of matched instances found at the exact planted cluster.
+    pub fn exact_rate(&self) -> f64 {
+        ratio(self.exact_instances as f64, self.matched_instances as f64)
+    }
+
+    /// Share of attributed problem mass landing on event-matching
+    /// clusters, out of the mass not attributed to shadowed or
+    /// structurally explained clusters (1.0 when mass was attributed but
+    /// none of it is unaccounted for).
+    pub fn attribution_mass(&self) -> f64 {
+        let unaccounted =
+            self.attributed_total - self.attributed_shadowed - self.attributed_explained;
+        if self.attributed_total > 0.0 && unaccounted <= 0.0 {
+            return 1.0;
+        }
+        ratio(self.attributed_matched, unaccounted)
+    }
+
+    /// Unadjusted share of all attributed problem mass landing on
+    /// event-matching clusters.
+    pub fn raw_attribution_mass(&self) -> f64 {
+        ratio(self.attributed_matched, self.attributed_total)
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// The match relation (same as `vqlens_core::validate`): exact, or one
+/// side generalizes the other — correlated attributes legitimately move
+/// the phase transition up or down one level.
+pub fn cluster_matches(found: ClusterKey, expected: ClusterKey) -> bool {
+    found == expected || found.generalizes(expected) || expected.generalizes(found)
+}
+
+/// Score the critical-cluster output of `analyses` against the planted
+/// `truth`, recomputing per-event visibility from `dataset` with the same
+/// `thresholds` and significance parameters the analysis used.
+///
+/// This form has no knowledge of the generating world, so no emission is
+/// structurally explained and [`AttributionScore::precision`] equals
+/// [`AttributionScore::raw_precision`]. Score a generated family with
+/// [`score_attribution_in_world`] instead.
+pub fn score_attribution(
+    truth: &GroundTruth,
+    dataset: &Dataset,
+    analyses: &[EpochAnalysis],
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+) -> AttributionScore {
+    score_attribution_with(truth, dataset, analyses, thresholds, sig, |_, _| false)
+}
+
+/// [`score_attribution`] with the generating [`World`] supplying the
+/// structural-cause explanation for emissions that match no planted event.
+pub fn score_attribution_in_world(
+    truth: &GroundTruth,
+    world: &World,
+    dataset: &Dataset,
+    analyses: &[EpochAnalysis],
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+) -> AttributionScore {
+    score_attribution_with(truth, dataset, analyses, thresholds, sig, |key, metric| {
+        structurally_explained(world, key, metric)
+    })
+}
+
+/// The general scorer: `explained` judges whether a non-matching emission
+/// is accounted for by a chronic cause and should be discounted from the
+/// precision/mass denominators.
+///
+/// Only epochs present in `analyses` are scored, and only epochs with at
+/// least one active event contribute to the precision/mass denominators —
+/// emissions in event-free epochs are the structural-cause question that
+/// `vqlens_core::validate` already judges.
+pub fn score_attribution_with(
+    truth: &GroundTruth,
+    dataset: &Dataset,
+    analyses: &[EpochAnalysis],
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    explained: impl Fn(ClusterKey, Metric) -> bool,
+) -> AttributionScore {
+    let mut score = AttributionScore {
+        truth_instances: 0,
+        matched_instances: 0,
+        exact_instances: 0,
+        depth_delta_sum: 0,
+        emitted: 0,
+        emitted_matched: 0,
+        emitted_shadowed: 0,
+        emitted_explained: 0,
+        attributed_total: 0.0,
+        attributed_matched: 0.0,
+        attributed_shadowed: 0.0,
+        attributed_explained: 0.0,
+        events: truth
+            .events
+            .iter()
+            .map(|e| EventScore {
+                event_id: e.id,
+                name: e.name.clone(),
+                active_epochs: 0,
+                scoreable: 0,
+                matched: 0,
+            })
+            .collect(),
+    };
+
+    for analysis in analyses {
+        let epoch = analysis.epoch;
+        let active = truth.active_at(epoch);
+        if active.is_empty() {
+            continue;
+        }
+        for &idx in &active {
+            score.events[idx].active_epochs += 1;
+        }
+
+        // One pass over the epoch's sessions: per active event, in-scope
+        // session count and per-metric problem counts.
+        let data = dataset.epoch(epoch);
+        let mut in_scope: FxHashMap<usize, (u64, [u64; 4])> = FxHashMap::default();
+        for (attrs, quality) in data.iter() {
+            let flags = thresholds.problem_flags(quality);
+            for &idx in &active {
+                if truth.events[idx].scope.matches(attrs) {
+                    let entry = in_scope.entry(idx).or_default();
+                    entry.0 += 1;
+                    for m in Metric::ALL {
+                        if flags.is_problem(m) {
+                            entry.1[m.index()] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Recall and localization, per scoreable truth instance.
+        for &idx in &active {
+            let event = &truth.events[idx];
+            let Some((sessions, problems)) = in_scope.get(&idx) else {
+                continue;
+            };
+            if *sessions < sig.min_sessions {
+                continue;
+            }
+            let expected = event.scope.expected_cluster();
+            for &m in &event.expected_metrics {
+                let ma = analysis.metric(m);
+                let global = ma.critical.global_ratio;
+                let n_problems = problems[m.index()];
+                let visible = n_problems >= sig.min_problem_sessions.max(1)
+                    && (n_problems as f64 / *sessions as f64) >= sig.ratio_multiplier * global;
+                if !visible {
+                    continue;
+                }
+                score.truth_instances += 1;
+                score.events[idx].scoreable += 1;
+                let best_delta = ma
+                    .critical
+                    .clusters
+                    .keys()
+                    .filter(|k| cluster_matches(**k, expected))
+                    .map(|k| k.depth().abs_diff(expected.depth()))
+                    .min();
+                if let Some(delta) = best_delta {
+                    score.matched_instances += 1;
+                    score.events[idx].matched += 1;
+                    score.depth_delta_sum += u64::from(delta);
+                    if delta == 0 {
+                        score.exact_instances += 1;
+                    }
+                }
+            }
+        }
+
+        // Blast-radius overlap: per emitted cluster, how many of its
+        // problem sessions sit inside some active event's scope. A second
+        // pass over the epoch is needed because the analysis only keeps
+        // aggregate counts per cluster, not membership.
+        let mut shadow: [FxHashMap<ClusterKey, (u64, u64)>; 4] = Default::default();
+        for (attrs, quality) in data.iter() {
+            let flags = thresholds.problem_flags(quality);
+            if !Metric::ALL.iter().any(|&m| flags.is_problem(m)) {
+                continue;
+            }
+            let in_any_scope = active
+                .iter()
+                .any(|&idx| truth.events[idx].scope.matches(attrs));
+            let leaf = attrs.leaf_key();
+            for m in Metric::ALL {
+                if !flags.is_problem(m) {
+                    continue;
+                }
+                for key in analysis.metric(m).critical.clusters.keys() {
+                    if key.matches_leaf(leaf) {
+                        let entry = shadow[m.index()].entry(*key).or_default();
+                        entry.0 += 1;
+                        if in_any_scope {
+                            entry.1 += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Precision and attribution mass, per emitted critical cluster.
+        for m in Metric::ALL {
+            for (key, stats) in &analysis.metric(m).critical.clusters {
+                score.emitted += 1;
+                score.attributed_total += stats.attributed_problems;
+                let event_matched = active
+                    .iter()
+                    .any(|&idx| cluster_matches(*key, truth.events[idx].scope.expected_cluster()));
+                let (problems, in_scope) = shadow[m.index()].get(key).copied().unwrap_or((0, 0));
+                if event_matched {
+                    score.emitted_matched += 1;
+                    score.attributed_matched += stats.attributed_problems;
+                } else if problems > 0 && in_scope * 2 >= problems {
+                    score.emitted_shadowed += 1;
+                    score.attributed_shadowed += stats.attributed_problems;
+                } else if explained(*key, m) {
+                    score.emitted_explained += 1;
+                    score.attributed_explained += stats.attributed_problems;
+                }
+            }
+        }
+    }
+
+    let recorder = obs::global();
+    recorder.add(obs::Counter::ScoreTruthInstances, score.truth_instances);
+    recorder.add(obs::Counter::ScoreMatchedInstances, score.matched_instances);
+    recorder.add(obs::Counter::ScoreEmittedClusters, score.emitted);
+    recorder.add(obs::Counter::ScoreMatchedClusters, score.emitted_matched);
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_cluster::analyze::MetricAnalysis;
+    use vqlens_cluster::critical::{CriticalSet, CriticalStats};
+    use vqlens_cluster::problem::ProblemSet;
+    use vqlens_model::attr::{AttrKey, SessionAttrs};
+    use vqlens_model::dataset::DatasetMeta;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_model::metric::QualityMeasurement;
+    use vqlens_model::SessionRecord;
+    use vqlens_synth::events::{EventEffect, EventSchedule, EventScope, PlantedEvent};
+
+    /// Significance with floors of one session / one problem and a global
+    /// ratio of zero in the hand-built analyses: every in-scope problem
+    /// session makes its event visible, so expected precision/recall are
+    /// computable on paper.
+    fn sig() -> SignificanceParams {
+        SignificanceParams {
+            ratio_multiplier: 1.5,
+            min_sessions: 1,
+            min_problem_sessions: 1,
+        }
+    }
+
+    fn bad_session() -> QualityMeasurement {
+        QualityMeasurement {
+            join_failed: false,
+            join_time_ms: 900,
+            play_duration_s: 600.0,
+            buffering_s: 90.0, // buffering ratio 0.13 > 0.05 ⇒ BufRatio problem
+            avg_bitrate_kbps: 2_000.0,
+        }
+    }
+
+    fn good_session() -> QualityMeasurement {
+        QualityMeasurement {
+            join_failed: false,
+            join_time_ms: 900,
+            play_duration_s: 600.0,
+            buffering_s: 0.0,
+            avg_bitrate_kbps: 2_000.0,
+        }
+    }
+
+    /// One event scoped to CDN 1, active on epochs [0, 2), BufRatio only.
+    fn cdn_event() -> GroundTruth {
+        GroundTruth::from_events(vec![PlantedEvent {
+            id: 0,
+            name: "cdn-1 overload".into(),
+            scope: EventScope {
+                cdn: Some(1),
+                ..EventScope::default()
+            },
+            effect: EventEffect::overload(0.5),
+            schedule: EventSchedule::OneOff { start: 0, len_h: 2 },
+            expected_metrics: vec![Metric::BufRatio],
+        }])
+    }
+
+    /// A dataset with `epochs` epochs; each epoch holds 10 bad sessions on
+    /// CDN 1 and 10 good sessions on CDN 2.
+    fn dataset(epochs: u32) -> Dataset {
+        let mut d = Dataset::new(
+            epochs,
+            DatasetMeta {
+                name: "hand".into(),
+                description: String::new(),
+                seed: None,
+            },
+        );
+        for e in 0..epochs {
+            for i in 0..10u32 {
+                d.push(SessionRecord::new(
+                    EpochId(e),
+                    SessionAttrs::new([i % 3, 1, 4, 0, 0, 0, 0]),
+                    bad_session(),
+                ));
+                d.push(SessionRecord::new(
+                    EpochId(e),
+                    SessionAttrs::new([i % 3, 2, 5, 0, 0, 0, 0]),
+                    good_session(),
+                ));
+            }
+        }
+        d
+    }
+
+    /// A hand-built epoch analysis whose BufRatio critical set holds
+    /// exactly `clusters` (with one attributed problem session each) and a
+    /// global ratio of zero, so visibility reduces to "any problem".
+    fn analysis_with(epoch: u32, clusters: &[ClusterKey]) -> EpochAnalysis {
+        let metrics = Metric::ALL.map(|m| {
+            let mut set: FxHashMap<ClusterKey, CriticalStats> = FxHashMap::default();
+            if m == Metric::BufRatio {
+                for key in clusters {
+                    set.insert(
+                        *key,
+                        CriticalStats {
+                            sessions: 10,
+                            problems: 10,
+                            attributed_problems: 1.0,
+                            attributed_sessions: 1.0,
+                        },
+                    );
+                }
+            }
+            MetricAnalysis {
+                problems: ProblemSet {
+                    metric: m,
+                    global_ratio: 0.0,
+                    clusters: FxHashMap::default(),
+                },
+                critical: CriticalSet {
+                    metric: m,
+                    global_ratio: 0.0,
+                    total_sessions: 20,
+                    total_problems: 10,
+                    clusters: set,
+                    problems_in_problem_clusters: 10,
+                    problems_attributed: 10.0,
+                },
+            }
+        });
+        EpochAnalysis {
+            epoch: EpochId(epoch),
+            total_sessions: 20,
+            metrics,
+        }
+    }
+
+    fn key_cdn(v: u32) -> ClusterKey {
+        ClusterKey::of_single(AttrKey::Cdn, v)
+    }
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let truth = cdn_event();
+        let d = dataset(2);
+        let analyses = vec![
+            analysis_with(0, &[key_cdn(1)]),
+            analysis_with(1, &[key_cdn(1)]),
+        ];
+        let s = score_attribution(&truth, &d, &analyses, &Thresholds::default(), &sig());
+        // 2 active epochs × 1 metric, all visible, all matched exactly.
+        assert_eq!(s.truth_instances, 2);
+        assert_eq!(s.matched_instances, 2);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.mean_depth_delta(), 0.0);
+        assert_eq!(s.exact_rate(), 1.0);
+        assert_eq!(s.attribution_mass(), 1.0);
+        assert_eq!(s.events[0].active_epochs, 2);
+        assert_eq!(s.events[0].scoreable, 2);
+        assert_eq!(s.events[0].matched, 2);
+    }
+
+    #[test]
+    fn partial_overlap_halves_recall() {
+        let truth = cdn_event();
+        let d = dataset(2);
+        // Found in epoch 0, nothing emitted in epoch 1.
+        let analyses = vec![analysis_with(0, &[key_cdn(1)]), analysis_with(1, &[])];
+        let s = score_attribution(&truth, &d, &analyses, &Thresholds::default(), &sig());
+        assert_eq!(s.truth_instances, 2);
+        assert_eq!(s.matched_instances, 1);
+        assert_eq!(s.recall(), 0.5);
+        // The one emission that exists matches, so precision stays 1.
+        assert_eq!(s.precision(), 1.0);
+    }
+
+    #[test]
+    fn false_positive_cluster_costs_precision_and_mass_but_not_recall() {
+        let truth = cdn_event();
+        let d = dataset(1);
+        // The right cluster plus an unrelated site cluster.
+        let fp = ClusterKey::of_single(AttrKey::Site, 9);
+        let analyses = vec![analysis_with(0, &[key_cdn(1), fp])];
+        let s = score_attribution(&truth, &d, &analyses, &Thresholds::default(), &sig());
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.emitted, 2);
+        assert_eq!(s.emitted_matched, 1);
+        assert_eq!(s.precision(), 0.5);
+        // Each hand-built cluster carries 1.0 attributed problems.
+        assert_eq!(s.attribution_mass(), 0.5);
+    }
+
+    #[test]
+    fn blast_radius_shadow_clusters_are_discounted() {
+        let truth = cdn_event();
+        let d = dataset(1);
+        // Site 4 hosts every bad CDN-1 session: its key is incomparable to
+        // the planted cdn cluster, but its problem mass is entirely the
+        // event's blast radius. Site 9 has no problem sessions at all — a
+        // true false positive.
+        let shadow = ClusterKey::of_single(AttrKey::Site, 4);
+        let fp = ClusterKey::of_single(AttrKey::Site, 9);
+        let analyses = vec![analysis_with(0, &[key_cdn(1), shadow, fp])];
+        let s = score_attribution(&truth, &d, &analyses, &Thresholds::default(), &sig());
+        assert_eq!(s.emitted, 3);
+        assert_eq!(s.emitted_matched, 1);
+        assert_eq!(s.emitted_shadowed, 1);
+        assert_eq!(s.emitted_explained, 0);
+        assert_eq!(s.raw_precision(), 1.0 / 3.0);
+        // The shadowed cluster leaves the denominator; the empty false
+        // positive stays in it.
+        assert_eq!(s.precision(), 0.5);
+        assert_eq!(s.attribution_mass(), 0.5);
+    }
+
+    #[test]
+    fn structurally_explained_emissions_are_discounted_not_penalized() {
+        let truth = cdn_event();
+        let d = dataset(1);
+        // The right cluster, a chronic-cause cluster, and a true false
+        // positive.
+        let chronic = ClusterKey::of_single(AttrKey::Asn, 3);
+        let fp = ClusterKey::of_single(AttrKey::Site, 9);
+        let analyses = vec![analysis_with(0, &[key_cdn(1), chronic, fp])];
+        let s = score_attribution_with(
+            &truth,
+            &d,
+            &analyses,
+            &Thresholds::default(),
+            &sig(),
+            |key, _| key == chronic,
+        );
+        assert_eq!(s.emitted, 3);
+        assert_eq!(s.emitted_matched, 1);
+        assert_eq!(s.emitted_explained, 1);
+        // Raw precision counts the chronic cluster against the events;
+        // adjusted precision only holds the events to the unexplained rest.
+        assert_eq!(s.raw_precision(), 1.0 / 3.0);
+        assert_eq!(s.precision(), 0.5);
+        assert_eq!(s.raw_attribution_mass(), 1.0 / 3.0);
+        assert_eq!(s.attribution_mass(), 0.5);
+        // With the false positive also explained, nothing unexplained is
+        // left and precision is perfect by definition.
+        let s = score_attribution_with(
+            &truth,
+            &d,
+            &analyses,
+            &Thresholds::default(),
+            &sig(),
+            |key, _| key == chronic || key == fp,
+        );
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.attribution_mass(), 1.0);
+        assert_eq!(s.raw_precision(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn missed_event_scores_zero_recall_without_poisoning_precision() {
+        let truth = cdn_event();
+        let d = dataset(1);
+        // Analysis emits only an unrelated cluster.
+        let analyses = vec![analysis_with(0, &[key_cdn(2)])];
+        let s = score_attribution(&truth, &d, &analyses, &Thresholds::default(), &sig());
+        assert_eq!(s.truth_instances, 1);
+        assert_eq!(s.matched_instances, 0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.precision(), 0.0);
+        // No match ⇒ depth is vacuous, reported as 0 (recall floor governs).
+        assert_eq!(s.mean_depth_delta(), 0.0);
+    }
+
+    #[test]
+    fn generalization_matches_with_depth_penalty() {
+        // Event expects the (cdn=1, asn=0) pair; the analysis reports the
+        // one-level generalization cdn=1.
+        let truth = GroundTruth::from_events(vec![PlantedEvent {
+            id: 0,
+            name: "bad peering".into(),
+            scope: EventScope {
+                cdn: Some(1),
+                asn: Some(0),
+                ..EventScope::default()
+            },
+            effect: EventEffect::congestion(0.3),
+            schedule: EventSchedule::OneOff { start: 0, len_h: 1 },
+            expected_metrics: vec![Metric::BufRatio],
+        }]);
+        let d = dataset(1);
+        let analyses = vec![analysis_with(0, &[key_cdn(1)])];
+        let s = score_attribution(&truth, &d, &analyses, &Thresholds::default(), &sig());
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.exact_rate(), 0.0);
+        assert_eq!(s.mean_depth_delta(), 1.0);
+        assert_eq!(s.precision(), 1.0);
+    }
+
+    #[test]
+    fn multi_cause_epoch_scores_each_event_and_splits_mass() {
+        // Two events active in the same epoch: CDN 1 (found) and site 4
+        // (missed). Emissions: the CDN cluster and a false positive.
+        let mut truth = cdn_event();
+        truth.events.push(PlantedEvent {
+            id: 1,
+            name: "site-4 outage".into(),
+            scope: EventScope {
+                site: Some(4),
+                ..EventScope::default()
+            },
+            effect: EventEffect::overload(0.6),
+            schedule: EventSchedule::OneOff { start: 0, len_h: 1 },
+            expected_metrics: vec![Metric::BufRatio],
+        });
+        let d = dataset(1);
+        let fp = ClusterKey::of_single(AttrKey::Asn, 7);
+        let analyses = vec![analysis_with(0, &[key_cdn(1), fp])];
+        let s = score_attribution(&truth, &d, &analyses, &Thresholds::default(), &sig());
+        // Both events are visible (site 4 hosts the bad CDN-1 sessions).
+        assert_eq!(s.truth_instances, 2);
+        assert_eq!(s.matched_instances, 1);
+        assert_eq!(s.recall(), 0.5);
+        assert_eq!(s.precision(), 0.5);
+        assert_eq!(s.attribution_mass(), 0.5);
+        assert_eq!(s.events[0].matched, 1);
+        assert_eq!(s.events[1].matched, 0);
+        assert_eq!(s.events[1].scoreable, 1);
+    }
+
+    #[test]
+    fn invisible_events_are_not_counted_against_recall() {
+        // Sessions on CDN 1 are all good: the event is active but never
+        // statistically visible, so recall has no denominator.
+        let truth = cdn_event();
+        let mut d = Dataset::new(
+            1,
+            DatasetMeta {
+                name: "quiet".into(),
+                description: String::new(),
+                seed: None,
+            },
+        );
+        for _ in 0..10 {
+            d.push(SessionRecord::new(
+                EpochId(0),
+                SessionAttrs::new([0, 1, 4, 0, 0, 0, 0]),
+                good_session(),
+            ));
+        }
+        let analyses = vec![analysis_with(0, &[])];
+        let s = score_attribution(&truth, &d, &analyses, &Thresholds::default(), &sig());
+        assert_eq!(s.truth_instances, 0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.events[0].active_epochs, 1);
+        assert_eq!(s.events[0].scoreable, 0);
+    }
+}

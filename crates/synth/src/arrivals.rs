@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use vqlens_delivery::abr::BitrateLadder;
 use vqlens_delivery::player::{SessionEnv, ViewerModel};
 use vqlens_model::attr::SessionAttrs;
-use vqlens_model::epoch::EpochId;
+use vqlens_model::epoch::{EpochId, HOURS_PER_WEEK};
 
 /// Arrival-process configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,6 +29,12 @@ pub struct ArrivalConfig {
     /// last-mile congestion — the unclustered background noise behind the
     /// paper's "not in any problem cluster" residue.
     pub background_degrade_prob: f64,
+    /// Amplitude of the weekly rate modulation, in `[0, 1)` — the
+    /// weekend-vs-weekday swing the adult-portal workload study measured on
+    /// top of the diurnal cycle. `0.0` (the default) disables it, keeping
+    /// every pre-existing scenario's arrival stream untouched.
+    #[serde(default)]
+    pub weekly_amplitude: f64,
 }
 
 impl Default for ArrivalConfig {
@@ -37,17 +43,24 @@ impl Default for ArrivalConfig {
             sessions_per_epoch: 12_000.0,
             diurnal_amplitude: 0.35,
             background_degrade_prob: 0.05,
+            weekly_amplitude: 0.0,
         }
     }
 }
 
 impl ArrivalConfig {
-    /// Expected session count of one epoch (diurnal-modulated).
+    /// Expected session count of one epoch (diurnal- and weekly-modulated).
     pub fn rate_at(&self, epoch: EpochId) -> f64 {
         let hour = epoch.hour_of_day() as f64;
         // Peak in the evening (20:00 trace-local time).
         let phase = (hour - 20.0) / 24.0 * std::f64::consts::TAU;
-        self.sessions_per_epoch * (1.0 + self.diurnal_amplitude * phase.cos())
+        // Weekly cycle peaking Sunday evening (hour 164 of a Monday-origin
+        // week); a factor of 1.0 when `weekly_amplitude` is 0.
+        let week_hour = f64::from(epoch.0 % HOURS_PER_WEEK);
+        let week_phase = (week_hour - 164.0) / f64::from(HOURS_PER_WEEK) * std::f64::consts::TAU;
+        self.sessions_per_epoch
+            * (1.0 + self.diurnal_amplitude * phase.cos())
+            * (1.0 + self.weekly_amplitude * week_phase.cos())
     }
 
     /// Sample the session count of one epoch (normal approximation to
@@ -313,11 +326,36 @@ mod tests {
     }
 
     #[test]
+    fn weekly_curve_modulates_on_top_of_the_diurnal_cycle() {
+        let cfg = ArrivalConfig {
+            weekly_amplitude: 0.25,
+            ..ArrivalConfig::default()
+        };
+        // Same hour of day, opposite halves of the week: Sunday evening
+        // (epoch 164) must beat midweek evening (epoch 68 = Wednesday 20:00).
+        let weekend = cfg.rate_at(EpochId(164));
+        let midweek = cfg.rate_at(EpochId(68));
+        assert!(weekend > midweek * 1.2, "{weekend} vs {midweek}");
+        // The weekly peak composes multiplicatively with the diurnal peak.
+        assert!((weekend / cfg.sessions_per_epoch - 1.35 * 1.25).abs() < 0.03);
+        // And the default amplitude of 0 reproduces the old curve exactly.
+        let plain = ArrivalConfig::default();
+        for ep in 0..48 {
+            let with_zero = ArrivalConfig {
+                weekly_amplitude: 0.0,
+                ..plain
+            };
+            assert_eq!(plain.rate_at(EpochId(ep)), with_zero.rate_at(EpochId(ep)));
+        }
+    }
+
+    #[test]
     fn sampled_counts_center_on_rate() {
         let cfg = ArrivalConfig {
             sessions_per_epoch: 5_000.0,
             diurnal_amplitude: 0.0,
             background_degrade_prob: 0.0,
+            weekly_amplitude: 0.0,
         };
         let mut rng = SmallRng::seed_from_u64(3);
         let n = 200;

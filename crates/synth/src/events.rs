@@ -165,6 +165,25 @@ impl EventEffect {
             },
         }
     }
+
+    /// Total order over effects by raw float bit patterns.
+    ///
+    /// Floating-point multiplication and addition are commutative but not
+    /// associative, so applying two *different* effects in spec order vs
+    /// reversed order can differ in the last ULP. Sorting active events by
+    /// this key before application (see `scenario::generate_epoch`) makes
+    /// overlapping-event composition bit-identical regardless of insertion
+    /// order in the scenario spec: equal keys mean equal effects, and equal
+    /// effects contribute identically in any order.
+    pub fn canonical_key(&self) -> [u64; 5] {
+        [
+            self.path_factor.to_bits(),
+            self.edge.first_byte_ms.to_bits(),
+            self.edge.join_fail_prob.to_bits(),
+            self.edge.throughput_factor.to_bits(),
+            self.edge.module_load_ms.to_bits(),
+        ]
+    }
 }
 
 /// When an event is active.
@@ -193,6 +212,12 @@ pub enum EventSchedule {
 
 impl EventSchedule {
     /// Is the event active in `epoch`?
+    ///
+    /// Range semantics are inclusive-start, exclusive-end: a `OneOff` with
+    /// `start = s, len_h = n` is active at exactly epochs `s .. s + n`. The
+    /// arithmetic is carried out so that no boundary input can overflow:
+    /// `start + len_h` may exceed `u32::MAX` and a recurring phase near
+    /// `u32::MAX` must not wrap the epoch counter.
     pub fn active_at(&self, epoch: EpochId) -> bool {
         match *self {
             EventSchedule::Persistent => true,
@@ -200,8 +225,13 @@ impl EventSchedule {
                 period_h,
                 duty_h,
                 phase_h,
-            } => (epoch.0 + phase_h) % period_h < duty_h,
-            EventSchedule::OneOff { start, len_h } => epoch.0 >= start && epoch.0 < start + len_h,
+            } => {
+                if period_h == 0 {
+                    return false;
+                }
+                (u64::from(epoch.0) + u64::from(phase_h)) % u64::from(period_h) < u64::from(duty_h)
+            }
+            EventSchedule::OneOff { start, len_h } => epoch.0 >= start && epoch.0 - start < len_h,
         }
     }
 }
@@ -224,7 +254,7 @@ pub struct PlantedEvent {
     pub expected_metrics: Vec<Metric>,
 }
 
-/// A flash crowd (the paper's reference [28] phenomenon): a surge of extra
+/// A flash crowd (the paper's reference \[28\] phenomenon): a surge of extra
 /// live viewers onto one site for a bounded window. The *traffic* surge
 /// lives here; its QoE consequence (origin overload) is planted as a
 /// matching [`PlantedEvent`] so detection can be validated uniformly.
@@ -242,9 +272,66 @@ pub struct FlashCrowd {
 }
 
 impl FlashCrowd {
-    /// Is the surge active in `epoch`?
+    /// Is the surge active in `epoch`? Inclusive start, exclusive end,
+    /// overflow-safe like [`EventSchedule::active_at`].
     pub fn active_at(&self, epoch: EpochId) -> bool {
-        epoch.0 >= self.start && epoch.0 < self.start + self.len_h
+        epoch.0 >= self.start && epoch.0 - self.start < self.len_h
+    }
+}
+
+/// A gradual CDN infrastructure migration (the YouLighter scenario): over a
+/// ramp window, one site's traffic that would have been served by `from_cdn`
+/// is progressively redirected to `to_cdn`, shifting cluster membership
+/// mid-trace without any planted quality event of its own.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdnMigration {
+    /// The migrating site (world index / dictionary id).
+    pub site: u32,
+    /// CDN the traffic leaves.
+    pub from_cdn: u32,
+    /// CDN the traffic lands on.
+    pub to_cdn: u32,
+    /// First epoch with any shifted traffic.
+    pub start: u32,
+    /// Epochs from first shift to 100 % shifted. `0` means a hard cutover
+    /// at `start`.
+    pub ramp_h: u32,
+}
+
+impl CdnMigration {
+    /// Fraction of the site's `from_cdn` traffic redirected at `epoch`:
+    /// 0 before `start`, ramping linearly so the first active epoch already
+    /// shifts `1/ramp_h` and epoch `start + ramp_h - 1` shifts all of it.
+    pub fn shifted_fraction(&self, epoch: EpochId) -> f64 {
+        if epoch.0 < self.start {
+            return 0.0;
+        }
+        if self.ramp_h == 0 {
+            return 1.0;
+        }
+        let into = f64::from(epoch.0 - self.start);
+        ((into + 1.0) / f64::from(self.ramp_h)).min(1.0)
+    }
+}
+
+/// Engagement/churn feedback: once quality problems hit a scope, a fraction
+/// of its would-be viewers stop showing up. Applied to organic arrivals
+/// after event effects are known, so the problem population shrinks while
+/// the problem persists — the hard case for per-epoch significance floors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnRule {
+    /// Which arrivals churn away.
+    pub scope: EventScope,
+    /// First epoch the churn applies (inclusive; active through trace end).
+    pub onset: u32,
+    /// Fraction of in-scope arrivals lost per epoch once active.
+    pub drop_frac: f64,
+}
+
+impl ChurnRule {
+    /// Is the churn in force at `epoch`?
+    pub fn active_at(&self, epoch: EpochId) -> bool {
+        epoch.0 >= self.onset
     }
 }
 
@@ -256,15 +343,85 @@ pub struct GroundTruth {
     /// Flash-crowd traffic surges (each paired with a planted overload
     /// event in `events`).
     pub flash_crowds: Vec<FlashCrowd>,
+    /// Gradual CDN migrations shifting cluster membership mid-trace.
+    #[serde(default)]
+    pub migrations: Vec<CdnMigration>,
+    /// Churn-feedback rules shrinking the session population.
+    #[serde(default)]
+    pub churn: Vec<ChurnRule>,
+}
+
+/// One row of the machine-readable ground-truth manifest: which attribute
+/// cluster a planted event should surface as, on which metrics, over which
+/// epoch ranges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// [`PlantedEvent::id`] of the source event.
+    pub event_id: u32,
+    /// [`PlantedEvent::name`] of the source event.
+    pub name: String,
+    /// The attribute cluster the event's scope projects to.
+    pub cluster: ClusterKey,
+    /// Metrics the event is expected to degrade.
+    pub metrics: Vec<Metric>,
+    /// Active epoch ranges as half-open `[start, end)` pairs, clipped to
+    /// the trace length the manifest was built for.
+    pub ranges: Vec<(u32, u32)>,
+}
+
+impl ManifestEntry {
+    /// Is the event active at `epoch` according to this manifest row?
+    pub fn covers(&self, epoch: EpochId) -> bool {
+        self.ranges
+            .iter()
+            .any(|&(s, e)| epoch.0 >= s && epoch.0 < e)
+    }
 }
 
 impl GroundTruth {
-    /// Ground truth with events only (no flash crowds).
+    /// Ground truth with events only (no flash crowds, migrations, churn).
     pub fn from_events(events: Vec<PlantedEvent>) -> GroundTruth {
         GroundTruth {
             events,
             flash_crowds: Vec::new(),
+            migrations: Vec::new(),
+            churn: Vec::new(),
         }
+    }
+
+    /// The machine-readable manifest: one entry per planted event, with its
+    /// expected cluster, metrics, and active epoch ranges over a trace of
+    /// `epochs` epochs. Ranges are derived from the schedule itself, so the
+    /// manifest stays correct for recurring and persistent schedules too.
+    pub fn manifest(&self, epochs: u32) -> Vec<ManifestEntry> {
+        self.events
+            .iter()
+            .map(|event| {
+                let mut ranges = Vec::new();
+                let mut open: Option<u32> = None;
+                for ep in 0..epochs {
+                    let on = event.schedule.active_at(EpochId(ep));
+                    match (on, open) {
+                        (true, None) => open = Some(ep),
+                        (false, Some(s)) => {
+                            ranges.push((s, ep));
+                            open = None;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(s) = open {
+                    ranges.push((s, epochs));
+                }
+                ManifestEntry {
+                    event_id: event.id,
+                    name: event.name.clone(),
+                    cluster: event.scope.expected_cluster(),
+                    metrics: event.expected_metrics.clone(),
+                    ranges,
+                }
+            })
+            .collect()
     }
 
     /// Indexes of events active in `epoch`.
@@ -587,6 +744,8 @@ pub fn plan_events(world: &World, config: &EventPlanConfig) -> GroundTruth {
     GroundTruth {
         events,
         flash_crowds,
+        migrations: Vec::new(),
+        churn: Vec::new(),
     }
 }
 
@@ -673,6 +832,153 @@ mod tests {
         assert!(one.active_at(EpochId(10)));
         assert!(one.active_at(EpochId(13)));
         assert!(!one.active_at(EpochId(14)));
+    }
+
+    /// Pins the inclusive-start / exclusive-end semantics at every boundary
+    /// an event can be planted on, including the integer edges where the
+    /// old arithmetic (`epoch + phase`, `start + len_h`) overflowed u32.
+    #[test]
+    fn schedule_boundaries_are_inclusive_exclusive_and_overflow_safe() {
+        // Event starting at epoch 0 affects exactly [0, len).
+        let at_zero = EventSchedule::OneOff { start: 0, len_h: 3 };
+        assert!(at_zero.active_at(EpochId(0)));
+        assert!(at_zero.active_at(EpochId(2)));
+        assert!(!at_zero.active_at(EpochId(3)));
+
+        // Zero-length event affects nothing, not even its start epoch.
+        let empty = EventSchedule::OneOff { start: 5, len_h: 0 };
+        assert!(!empty.active_at(EpochId(5)));
+
+        // An event whose window extends past u32::MAX must stay active to
+        // the end of any trace instead of wrapping around to inactive.
+        let tail = EventSchedule::OneOff {
+            start: u32::MAX - 1,
+            len_h: 10,
+        };
+        assert!(!tail.active_at(EpochId(u32::MAX - 2)));
+        assert!(tail.active_at(EpochId(u32::MAX - 1)));
+        assert!(tail.active_at(EpochId(u32::MAX)));
+
+        // Recurring phase near u32::MAX must not wrap the epoch counter.
+        let phased = EventSchedule::Recurring {
+            period_h: 24,
+            duty_h: 3,
+            phase_h: u32::MAX,
+        };
+        for ep in 0..48 {
+            let expect = (u64::from(ep) + u64::from(u32::MAX)) % 24 < 3;
+            assert_eq!(phased.active_at(EpochId(ep)), expect, "epoch {ep}");
+        }
+
+        // Degenerate periods: 0 is never active (not a division panic);
+        // duty >= period is always active.
+        let dead = EventSchedule::Recurring {
+            period_h: 0,
+            duty_h: 1,
+            phase_h: 0,
+        };
+        assert!(!dead.active_at(EpochId(0)));
+        assert!(!dead.active_at(EpochId(7)));
+        let saturated = EventSchedule::Recurring {
+            period_h: 4,
+            duty_h: 4,
+            phase_h: 2,
+        };
+        for ep in 0..12 {
+            assert!(saturated.active_at(EpochId(ep)));
+        }
+
+        // Flash crowds share the one-off semantics.
+        let crowd = FlashCrowd {
+            site: 0,
+            start: u32::MAX - 1,
+            len_h: 5,
+            extra_traffic: 0.2,
+        };
+        assert!(!crowd.active_at(EpochId(u32::MAX - 2)));
+        assert!(crowd.active_at(EpochId(u32::MAX)));
+    }
+
+    #[test]
+    fn manifest_ranges_agree_with_the_schedule() {
+        let mk = |schedule| PlantedEvent {
+            id: 7,
+            name: "m".into(),
+            scope: EventScope {
+                cdn: Some(1),
+                ..EventScope::default()
+            },
+            effect: EventEffect::overload(0.5),
+            schedule,
+            expected_metrics: vec![Metric::BufRatio],
+        };
+
+        // One-off clipped to the trace end.
+        let gt = GroundTruth::from_events(vec![mk(EventSchedule::OneOff {
+            start: 20,
+            len_h: 50,
+        })]);
+        let m = gt.manifest(24);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].ranges, vec![(20, 24)]);
+        assert_eq!(m[0].cluster, gt.events[0].scope.expected_cluster());
+
+        // Recurring decomposes into one range per duty window; every epoch
+        // in [0, epochs) is covered iff the schedule is active there.
+        let gt = GroundTruth::from_events(vec![mk(EventSchedule::Recurring {
+            period_h: 12,
+            duty_h: 4,
+            phase_h: 2,
+        })]);
+        let m = gt.manifest(30);
+        for ep in 0..30 {
+            assert_eq!(
+                m[0].covers(EpochId(ep)),
+                gt.events[0].schedule.active_at(EpochId(ep)),
+                "epoch {ep}"
+            );
+        }
+        // Half-open ranges never touch and never extend past the trace.
+        for w in m[0].ranges.windows(2) {
+            assert!(w[0].1 < w[1].0);
+        }
+        assert!(m[0].ranges.iter().all(|&(s, e)| s < e && e <= 30));
+
+        // Persistent is one full-trace range.
+        let gt = GroundTruth::from_events(vec![mk(EventSchedule::Persistent)]);
+        assert_eq!(gt.manifest(16)[0].ranges, vec![(0, 16)]);
+    }
+
+    #[test]
+    fn migration_ramp_and_churn_boundaries() {
+        let mig = CdnMigration {
+            site: 3,
+            from_cdn: 1,
+            to_cdn: 4,
+            start: 10,
+            ramp_h: 4,
+        };
+        assert_eq!(mig.shifted_fraction(EpochId(9)), 0.0);
+        assert!((mig.shifted_fraction(EpochId(10)) - 0.25).abs() < 1e-12);
+        assert!((mig.shifted_fraction(EpochId(12)) - 0.75).abs() < 1e-12);
+        assert_eq!(mig.shifted_fraction(EpochId(13)), 1.0);
+        assert_eq!(mig.shifted_fraction(EpochId(400)), 1.0);
+
+        // Hard cutover.
+        let cut = CdnMigration { ramp_h: 0, ..mig };
+        assert_eq!(cut.shifted_fraction(EpochId(9)), 0.0);
+        assert_eq!(cut.shifted_fraction(EpochId(10)), 1.0);
+
+        let churn = ChurnRule {
+            scope: EventScope {
+                site: Some(3),
+                ..EventScope::default()
+            },
+            onset: 6,
+            drop_frac: 0.5,
+        };
+        assert!(!churn.active_at(EpochId(5)));
+        assert!(churn.active_at(EpochId(6)));
     }
 
     #[test]

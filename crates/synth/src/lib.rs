@@ -20,6 +20,13 @@
 //! * [`scenario`] — end-to-end scenario presets (smoke / default / full)
 //!   and [`scenario::generate`], producing a
 //!   [`vqlens_model::Dataset`] plus its [`events::GroundTruth`].
+//! * [`families`] — ground-truth-labelled scenario families (CDN
+//!   migration, flash crowd, multi-cause, churn feedback) whose planted
+//!   manifests feed the attribution scorer (see docs/SCENARIOS.md).
+//! * [`structural`] — the world's chronic structural causes (wireless
+//!   ASNs, single-bitrate sites, in-house CDNs, …), consulted by the
+//!   validator and the attribution scorer to judge emissions that match no
+//!   planted event.
 //! * [`faults`] — deterministic fault injection over a *serialized* trace:
 //!   seeded corruption operators (truncated lines, deleted/transposed
 //!   fields, NaN/Inf/negative numerics, out-of-range epochs, CRLF/BOM/
@@ -35,11 +42,18 @@
 
 pub mod arrivals;
 pub mod events;
+pub mod families;
 pub mod faults;
 pub mod scenario;
+pub mod structural;
 pub mod world;
 
-pub use events::{EventEffect, EventSchedule, EventScope, GroundTruth, PlantedEvent};
+pub use events::{
+    CdnMigration, ChurnRule, EventEffect, EventSchedule, EventScope, FlashCrowd, GroundTruth,
+    ManifestEntry, PlantedEvent,
+};
+pub use families::ScenarioFamily;
 pub use faults::{clean_subset, inject, FaultKind, FaultPlan, FaultSummary};
 pub use scenario::{generate, Scenario};
+pub use structural::{structural_component, structurally_explained};
 pub use world::{Region, World, WorldConfig};

@@ -11,7 +11,7 @@ use crate::events::{plan_events, EventPlanConfig, GroundTruth};
 use crate::world::ConnType;
 use crate::world::{World, WorldConfig, BROWSER_NAMES, PLAYER_NAMES, VOD_LIVE_NAMES};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vqlens_delivery::player::simulate_session;
 use vqlens_model::attr::AttrKey;
@@ -51,6 +51,7 @@ impl Scenario {
                 sessions_per_epoch: 2_000.0,
                 diurnal_amplitude: 0.35,
                 background_degrade_prob: 0.06,
+                weekly_amplitude: 0.0,
             },
             epochs: 24,
             seed: 0x5eed_cafe,
@@ -179,17 +180,50 @@ pub fn generate_epoch(
     let mut rng = SmallRng::seed_from_u64(
         master_seed ^ (u64::from(epoch.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     );
-    let active: Vec<_> = ground_truth
+    let mut active: Vec<_> = ground_truth
         .events
         .iter()
         .filter(|e| e.schedule.active_at(epoch))
+        .collect();
+    // Canonical application order: overlapping-event composition must be
+    // independent of insertion order in the scenario spec (float add/mul
+    // are commutative but not associative — see `EventEffect::canonical_key`).
+    active.sort_by_key(|e| e.effect.canonical_key());
+    let migrations: Vec<_> = ground_truth
+        .migrations
+        .iter()
+        .filter(|m| m.shifted_fraction(epoch) > 0.0)
+        .collect();
+    let churn: Vec<_> = ground_truth
+        .churn
+        .iter()
+        .filter(|c| c.active_at(epoch))
         .collect();
     let count = arrivals.sample_count(epoch, &mut rng);
     let mut data = EpochData::default();
     data.attrs.reserve(count);
     data.quality.reserve(count);
     for _ in 0..count {
-        let draw = sampler.draw(world, &mut rng);
+        let mut draw = sampler.draw(world, &mut rng);
+        // CDN migrations redirect in-scope draws before quality resolves:
+        // the session's cluster membership shifts, not its intent.
+        for m in &migrations {
+            if draw.attrs.get(AttrKey::Site) == m.site
+                && draw.attrs.get(AttrKey::Cdn) == m.from_cdn
+                && rng.gen::<f64>() < m.shifted_fraction(epoch)
+            {
+                let mut values = draw.attrs.values;
+                values[AttrKey::Cdn.index()] = m.to_cdn;
+                draw.attrs = vqlens_model::attr::SessionAttrs::new(values);
+            }
+        }
+        // Churn feedback: a slice of the in-scope audience never shows up.
+        if churn
+            .iter()
+            .any(|c| c.scope.matches(&draw.attrs) && rng.gen::<f64>() < c.drop_frac)
+        {
+            continue;
+        }
         let env = resolve_env(world, &draw, &active, arrivals, &mut rng);
         let quality = simulate_session(&env, &mut rng);
         data.push(draw.attrs, quality);
@@ -365,6 +399,209 @@ mod tests {
         let mut s = Scenario::paper_default();
         s.arrivals.sessions_per_epoch = 900_000.0;
         assert_eq!(s.scaled_min_sessions(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod order_independence_tests {
+    use super::*;
+    use crate::events::{EventEffect, EventSchedule, EventScope, PlantedEvent};
+    use proptest::prelude::*;
+    use vqlens_model::metric::Metric;
+
+    /// Four overlapping events (one matches everything) with distinct
+    /// effects — the worst case for order-dependent float composition.
+    fn overlapping_events() -> Vec<PlantedEvent> {
+        let mk = |id: u32, scope: EventScope, effect: EventEffect| PlantedEvent {
+            id,
+            name: format!("ev-{id}"),
+            scope,
+            effect,
+            schedule: EventSchedule::Persistent,
+            expected_metrics: vec![Metric::BufRatio],
+        };
+        vec![
+            mk(
+                0,
+                EventScope {
+                    cdn: Some(0),
+                    ..EventScope::default()
+                },
+                EventEffect::congestion(0.5),
+            ),
+            mk(1, EventScope::default(), EventEffect::overload(0.3)),
+            mk(
+                2,
+                EventScope {
+                    site: Some(0),
+                    ..EventScope::default()
+                },
+                EventEffect::slow_modules(800.0),
+            ),
+            mk(
+                3,
+                EventScope {
+                    asn: Some(0),
+                    ..EventScope::default()
+                },
+                EventEffect::join_breakage(0.05),
+            ),
+        ]
+    }
+
+    fn tiny() -> Scenario {
+        let mut s = Scenario::smoke();
+        s.epochs = 3;
+        s.arrivals.sessions_per_epoch = 400.0;
+        s
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Satellite bugfix: overlapping events on the same sessions must
+        /// compose to bit-identical traces regardless of their insertion
+        /// order in the scenario spec.
+        #[test]
+        fn event_insertion_order_does_not_change_the_trace(
+            perm in Just(overlapping_events().len()).prop_flat_map(|n| {
+                prop::collection::vec(0..n, n).prop_filter_map("permutation", move |idx| {
+                    let mut seen = vec![false; n];
+                    for &i in &idx {
+                        if seen[i] {
+                            return None;
+                        }
+                        seen[i] = true;
+                    }
+                    Some(idx)
+                })
+            })
+        ) {
+            let scenario = tiny();
+            let base = generate_with_events(
+                &scenario,
+                GroundTruth::from_events(overlapping_events()),
+            );
+            let events = overlapping_events();
+            let permuted: Vec<_> = perm.iter().map(|&i| events[i].clone()).collect();
+            let other = generate_with_events(&scenario, GroundTruth::from_events(permuted));
+            prop_assert_eq!(base.dataset.num_sessions(), other.dataset.num_sessions());
+            for e in 0..scenario.epochs {
+                let a = base.dataset.epoch(EpochId(e));
+                let b = other.dataset.epoch(EpochId(e));
+                prop_assert_eq!(&a.attrs, &b.attrs, "attrs diverge in epoch {}", e);
+                prop_assert_eq!(&a.quality, &b.quality, "quality diverges in epoch {}", e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod migration_churn_tests {
+    use super::*;
+    use crate::events::{CdnMigration, ChurnRule, EventScope, GroundTruth};
+    use vqlens_model::attr::AttrKey as AK;
+
+    /// Pick a (site, cdn) pair with enough organic traffic to measure.
+    fn busiest_pair(dataset: &vqlens_model::Dataset) -> (u32, u32) {
+        let mut counts = std::collections::HashMap::new();
+        for (attrs, _) in dataset.epoch(EpochId(0)).iter() {
+            *counts
+                .entry((attrs.get(AK::Site), attrs.get(AK::Cdn)))
+                .or_insert(0usize) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(_, n)| n)
+            .map(|(pair, _)| pair)
+            .expect("non-empty epoch")
+    }
+
+    #[test]
+    fn migration_shifts_cluster_membership_mid_trace() {
+        let mut scenario = Scenario::smoke();
+        scenario.epochs = 12;
+        let control = generate_with_events(&scenario, GroundTruth::from_events(vec![]));
+        let (site, from_cdn) = busiest_pair(&control.dataset);
+        let to_cdn = (from_cdn + 1) % scenario.world.n_cdns as u32;
+
+        let mut gt = GroundTruth::from_events(vec![]);
+        gt.migrations.push(CdnMigration {
+            site,
+            from_cdn,
+            to_cdn,
+            start: 6,
+            ramp_h: 3,
+        });
+        let out = generate_with_events(&scenario, gt);
+
+        let share_on = |d: &vqlens_model::Dataset, e: u32, cdn: u32| {
+            let data = d.epoch(EpochId(e));
+            let (on_site, on_pair) = data.iter().fold((0usize, 0usize), |(s, p), (a, _)| {
+                if a.get(AK::Site) == site {
+                    (s + 1, p + usize::from(a.get(AK::Cdn) == cdn))
+                } else {
+                    (s, p)
+                }
+            });
+            on_pair as f64 / on_site.max(1) as f64
+        };
+        // Before the ramp the trace is untouched; once the ramp completes,
+        // the site's from-CDN share collapses onto the destination CDN.
+        let before_from = share_on(&out.dataset, 2, from_cdn);
+        let control_from = share_on(&control.dataset, 2, from_cdn);
+        assert_eq!(before_from, control_from, "pre-migration epochs untouched");
+        let after_from = share_on(&out.dataset, 10, from_cdn);
+        let after_to = share_on(&out.dataset, 10, to_cdn);
+        assert!(
+            after_from < control_from * 0.2,
+            "from-CDN share should collapse: {after_from} vs control {control_from}"
+        );
+        assert!(after_to > 0.5, "shifted traffic lands on the destination");
+        // Session volume is conserved — migration re-routes, never drops.
+        assert_eq!(out.dataset.num_sessions(), control.dataset.num_sessions());
+    }
+
+    #[test]
+    fn churn_shrinks_the_in_scope_population_after_onset() {
+        let mut scenario = Scenario::smoke();
+        scenario.epochs = 8;
+        let control = generate_with_events(&scenario, GroundTruth::from_events(vec![]));
+        let (site, _) = busiest_pair(&control.dataset);
+
+        let mut gt = GroundTruth::from_events(vec![]);
+        gt.churn.push(ChurnRule {
+            scope: EventScope {
+                site: Some(site),
+                ..EventScope::default()
+            },
+            onset: 4,
+            drop_frac: 0.6,
+        });
+        let out = generate_with_events(&scenario, gt);
+
+        let on_site = |d: &vqlens_model::Dataset, e: u32| {
+            d.epoch(EpochId(e))
+                .iter()
+                .filter(|(a, _)| a.get(AK::Site) == site)
+                .count() as f64
+        };
+        // Pre-onset epochs are bit-identical to the control.
+        for e in 0..4 {
+            assert_eq!(
+                out.dataset.epoch(EpochId(e)).attrs,
+                control.dataset.epoch(EpochId(e)).attrs,
+                "epoch {e} must be untouched before onset"
+            );
+        }
+        // Post-onset the in-scope population drops by roughly drop_frac.
+        for e in 4..8 {
+            let kept = on_site(&out.dataset, e) / on_site(&control.dataset, e);
+            assert!(
+                (0.2..0.6).contains(&kept),
+                "epoch {e}: kept fraction {kept}, expected ~0.4"
+            );
+        }
     }
 }
 

@@ -26,6 +26,8 @@
 //! vqlens serve wal/ --addr 127.0.0.1:7141              # live ingestion service
 //! vqlens serve wal/ --checkpoint ckpt/ --max-mem 512M  # durable + bounded
 //! vqlens bench --out BENCH.json                        # throughput baseline
+//! vqlens score --all-families --seed 42                # ground-truth attribution scorecard
+//! vqlens score --family churn-feedback --seed 7        # one family, another seed
 //! ```
 //!
 //! Trace files are CSV (the interchange format, documented in
@@ -93,7 +95,8 @@ fn usage() -> ExitCode {
          [-v|--verbose]\n  vqlens convert FILE --out FILE \
          [--lenient [--max-bad-ratio R] [--dead-letter FILE]]\n  \
          vqlens bench [--scenario smoke|default|full] \
-         [--out FILE.json]\n\ntrace FILEs may be CSV or binary VQF \
+         [--out FILE.json]\n  vqlens score [--all-families | --family NAME] \
+         [--seed N] [--out FILE.json]\n\ntrace FILEs may be CSV or binary VQF \
          (sniffed by magic; see docs/FORMAT.md)"
     );
     ExitCode::from(2)
@@ -110,7 +113,141 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("convert") => convert(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("score") => score(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Score every (or one) ground-truth scenario family against the planted
+/// events and the committed floors (`vqlens score --all-families --seed 42`).
+///
+/// Each family is generated at `--seed`, analyzed with the pipeline
+/// defaults, and graded by `vqlens::score`: recall over scoreable
+/// (event, epoch) instances, precision over scored emissions (after
+/// blast-radius and structural-cause discounting), mean localization
+/// depth distance, and the share of attributed problem mass landing on
+/// planted causes. The human table goes to stderr; machine-readable JSON
+/// goes to stdout (or `--out FILE`). Exit code is nonzero iff any scored
+/// family breaches its committed floor — note the floors are recorded at
+/// seed 42 (`vqlens::check::scenario::FLOOR_SEED`), so other seeds
+/// compare informatively, not contractually.
+fn score(args: &[String]) -> ExitCode {
+    use vqlens::score::{family_floor, score_family};
+    use vqlens::synth::families::ScenarioFamily;
+
+    let seed = match numeric_flag::<u64>(args, "--seed") {
+        Ok(v) => v.unwrap_or(vqlens::check::scenario::FLOOR_SEED),
+        Err(code) => return code,
+    };
+    let families: Vec<ScenarioFamily> = match flag_value(args, "--family") {
+        Some(name) => match ScenarioFamily::ALL.into_iter().find(|f| f.name() == name) {
+            Some(f) => vec![f],
+            None => {
+                let known: Vec<&str> = ScenarioFamily::ALL.iter().map(|f| f.name()).collect();
+                eprintln!(
+                    "unknown family '{name}' (expected one of {})",
+                    known.join(", ")
+                );
+                return usage();
+            }
+        },
+        None => ScenarioFamily::ALL.to_vec(),
+    };
+
+    eprintln!(
+        "scoring {} scenario famil{} at seed {seed} ...",
+        families.len(),
+        if families.len() == 1 { "y" } else { "ies" }
+    );
+    eprintln!(
+        "{:<15} {:>7} {:>9} {:>7} {:>10} {:>9} {:>6} {:>6}  status",
+        "family", "epochs", "sessions", "recall", "precision", "depth", "mass", "exact"
+    );
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for family in families {
+        let result = score_family(family, seed);
+        let floor = family_floor(family);
+        let violations = if result.score.truth_instances == 0 {
+            vec!["no scoreable (event, epoch) instances".to_string()]
+        } else {
+            result.floor_violations(floor)
+        };
+        let pass = violations.is_empty();
+        failed |= !pass;
+        let s = &result.score;
+        eprintln!(
+            "{:<15} {:>7} {:>9} {:>7.3} {:>10.3} {:>9.3} {:>6.3} {:>6.3}  {}",
+            result.family,
+            result.epochs,
+            result.sessions,
+            s.recall(),
+            s.precision(),
+            s.mean_depth_delta(),
+            s.attribution_mass(),
+            s.exact_rate(),
+            if pass { "PASS" } else { "FAIL" }
+        );
+        for v in &violations {
+            eprintln!("    floor violation: {v}");
+        }
+        rows.push(format!(
+            "    {{\n      \"family\": \"{}\",\n      \"seed\": {},\n      \
+             \"epochs\": {},\n      \"sessions\": {},\n      \
+             \"truth_instances\": {},\n      \"matched_instances\": {},\n      \
+             \"recall\": {:.4},\n      \"precision\": {:.4},\n      \
+             \"raw_precision\": {:.4},\n      \"mean_depth_delta\": {:.4},\n      \
+             \"exact_rate\": {:.4},\n      \"attribution_mass\": {:.4},\n      \
+             \"raw_attribution_mass\": {:.4},\n      \"emitted\": {},\n      \
+             \"emitted_matched\": {},\n      \"emitted_shadowed\": {},\n      \
+             \"emitted_explained\": {},\n      \"floor\": {{\n        \
+             \"min_recall\": {:.2},\n        \"min_precision\": {:.2},\n        \
+             \"max_mean_depth_delta\": {:.2},\n        \
+             \"min_attribution_mass\": {:.2}\n      }},\n      \"pass\": {}\n    }}",
+            result.family,
+            result.seed,
+            result.epochs,
+            result.sessions,
+            s.truth_instances,
+            s.matched_instances,
+            s.recall(),
+            s.precision(),
+            s.raw_precision(),
+            s.mean_depth_delta(),
+            s.exact_rate(),
+            s.attribution_mass(),
+            s.raw_attribution_mass(),
+            s.emitted,
+            s.emitted_matched,
+            s.emitted_shadowed,
+            s.emitted_explained,
+            floor.min_recall,
+            floor.min_precision,
+            floor.max_mean_depth_delta,
+            floor.min_attribution_mass,
+            pass,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"seed\": {seed},\n  \"floor_seed\": {},\n  \
+         \"families\": [\n{}\n  ]\n}}\n",
+        vqlens::check::scenario::FLOOR_SEED,
+        rows.join(",\n")
+    );
+    match flag_value(args, "--out") {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &json) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("score report written to {out}");
+        }
+        None => print!("{json}"),
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
