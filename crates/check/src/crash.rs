@@ -1,0 +1,666 @@
+//! Crash-point consistency oracles: every durable writer, killed at
+//! *every* durable-op boundary, must recover to a state indistinguishable
+//! from an uninterrupted run.
+//!
+//! Where [`crate::resume`] and [`crate::wal`] interrupt a run at a few
+//! hand-picked points (between epochs, mid-frame), this family is
+//! exhaustive: it first runs a fixed durable workload — WAL appends with
+//! forced rotation, checkpoint saves, a VQF export, dead-letter appends —
+//! under an [`IoPlan::Record`] script to capture the durable-op schedule,
+//! then replays the same workload once per op boundary with
+//! [`IoPlan::KillAt`] and checks the recovery invariants after each
+//! simulated death:
+//!
+//! * `crash-wal-prefix` — replay after the kill returns an exact ordered
+//!   prefix of the appended lines, at least as long as the acknowledged
+//!   count: no acknowledged record is lost, no record is invented,
+//!   reordered, or corrupted.
+//! * `crash-checkpoint-torn` — the checkpoint store reopens cleanly; every
+//!   checkpoint acknowledged before the kill is resumed with a
+//!   JSON-identical analysis, and nothing torn is ever resumed.
+//! * `crash-vqf-atomic` — the VQF file either does not exist or loads
+//!   completely with the reference fingerprint; a commit acknowledged
+//!   before the kill implies the file exists. Never a torn file.
+//! * `crash-deadletter-prefix` — the dead-letter sink's recovered bytes
+//!   are an exact prefix of the uninterrupted sink's bytes (appends may
+//!   tear, but only at the tail).
+//! * `crash-recovery-equivalence` — after recovery *completes* the
+//!   workload (appends the missing lines, re-saves the missing
+//!   checkpoints, re-exports the VQF file), the final state is
+//!   bit-identical to the uninterrupted run's: same WAL replay, same
+//!   checkpoint set, same VQF fingerprint.
+//!
+//! The fault model is **process death** (see [`vqlens_resilience::ioenv`]):
+//! buffered writes that completed remain visible, so the scripts elide
+//! real fsyncs — which is what makes exploring every boundary affordable.
+//! Each explored boundary bumps
+//! [`vqlens_obs::Counter::CrashPointsExplored`]; harness failures are
+//! reported as `crash-io` rather than silently passing.
+
+use crate::CheckReport;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use vqlens_cluster::analyze::EpochAnalysis;
+use vqlens_format::{read_vqf, write_vqf};
+use vqlens_model::csv::{read_csv, write_csv, CSV_HEADER};
+use vqlens_model::dataset::Dataset;
+use vqlens_obs as obs;
+use vqlens_resilience::ioenv::{self, install, IoPlan, IoScript};
+use vqlens_resilience::{
+    fingerprint_dataset, CheckpointStore, EpochCheckpoint, EpochStatus, Manifest, RetryPolicy, Wal,
+    WalOptions,
+};
+
+/// Lines fed to the workload: enough to force many WAL batches and
+/// rotations (≥ 100 crash points on any non-trivial dataset) while
+/// keeping the per-boundary replay cheap.
+const MAX_LINES: usize = 160;
+/// Lines per acknowledged WAL batch.
+const BATCH: usize = 8;
+/// Checkpoints saved by the workload.
+const MAX_CHECKPOINTS: usize = 3;
+/// Lines appended to the dead-letter sink.
+const DEAD_LINES: usize = 8;
+/// Small segment budget so nearly every batch rotates — the
+/// create/magic/fsync-dir path is crossed by many crash points.
+const SEGMENT_BYTES: u64 = 256;
+
+/// Run the crash-point oracles over a dataset and its uninterrupted
+/// per-epoch analyses, exploring **every** durable-op boundary of the
+/// workload. Does nothing for empty datasets.
+pub fn check_crash(
+    dataset: &Dataset,
+    analyses: &[EpochAnalysis],
+    seed: u64,
+    report: &mut CheckReport,
+) {
+    explore(dataset, analyses, seed, None, true, report);
+}
+
+/// Sampled variant for the fuzz loop: explore at most `points` crash
+/// points, chosen deterministically from `seed` (evenly spread plus a
+/// seeded offset, so different iterations cover different boundaries).
+pub fn check_crash_sampled(
+    dataset: &Dataset,
+    analyses: &[EpochAnalysis],
+    seed: u64,
+    points: usize,
+    report: &mut CheckReport,
+) {
+    explore(dataset, analyses, seed, Some(points), true, report);
+}
+
+/// Harness core. `sample` of `None` explores every boundary;
+/// `with_checkpoints` exists so the serde-free stages remain testable
+/// where a JSON codec is unavailable.
+fn explore(
+    dataset: &Dataset,
+    analyses: &[EpochAnalysis],
+    seed: u64,
+    sample: Option<usize>,
+    with_checkpoints: bool,
+    report: &mut CheckReport,
+) {
+    if dataset.num_sessions() == 0 {
+        return;
+    }
+    let _span = obs::global().span(obs::Stage::Crash);
+    let root = scratch_dir(seed);
+    let result = run_harness(
+        dataset,
+        analyses,
+        seed,
+        sample,
+        with_checkpoints,
+        &root,
+        report,
+    );
+    let _ = fs::remove_dir_all(&root);
+    if let Err(e) = result {
+        report.violate(
+            "crash-io",
+            None,
+            None,
+            format!("crash harness I/O failed: {e}"),
+        );
+    }
+}
+
+fn scratch_dir(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "vqlens-check-crash-{}-{seed:016x}",
+        std::process::id()
+    ))
+}
+
+/// Everything the workload acknowledged before (simulated) death.
+#[derive(Default)]
+struct Ack {
+    /// Lines in WAL batches whose `append_batch` returned `Ok`.
+    wal_lines: usize,
+    /// Epochs whose `save_epoch` returned `Ok`.
+    saved_epochs: Vec<u32>,
+    /// Whether the VQF export's commit returned `Ok`.
+    vqf_ok: bool,
+}
+
+/// Immutable reference data shared by every run of the workload.
+struct Fixture<'a> {
+    lines: Vec<String>,
+    checkpoints: &'a [EpochAnalysis],
+    with_checkpoints: bool,
+    manifest: Manifest,
+    /// The dataset the VQF stage exports (rebuilt from `lines`).
+    small: Dataset,
+    vqf_fingerprint: u64,
+    /// The bytes an uninterrupted dead-letter sink holds.
+    dead_ref: Vec<u8>,
+}
+
+fn wal_opts() -> WalOptions {
+    WalOptions {
+        segment_bytes: SEGMENT_BYTES,
+        // Retries re-run durable ops, which would make the op schedule
+        // depend on which faults a plan injected; one attempt keeps every
+        // run's schedule aligned with the recording.
+        retry: RetryPolicy::none(),
+    }
+}
+
+fn wal_dir(root: &Path) -> PathBuf {
+    root.join("wal")
+}
+
+fn ckpt_dir(root: &Path) -> PathBuf {
+    root.join("ckpt")
+}
+
+fn vqf_path(root: &Path) -> PathBuf {
+    root.join("data.vqf")
+}
+
+fn dead_path(root: &Path) -> PathBuf {
+    root.join("dead-letter.log")
+}
+
+/// The fixed durable workload. Every filesystem mutation goes through
+/// [`ioenv`] shims, so an installed script sees the identical op sequence
+/// on every run. Op failures are swallowed (after a simulated kill they
+/// are the *point*); what succeeded is reported via [`Ack`].
+fn run_workload(fixture: &Fixture<'_>, root: &Path) -> Ack {
+    let mut ack = Ack::default();
+
+    // Stage 1: WAL appends in acknowledged batches, rotating constantly.
+    if let Ok((mut wal, _)) = Wal::open(&wal_dir(root), wal_opts()) {
+        for chunk in fixture.lines.chunks(BATCH) {
+            match wal.append_batch(chunk.iter().map(String::as_bytes)) {
+                Ok(_) => ack.wal_lines += chunk.len(),
+                Err(_) => break,
+            }
+        }
+    }
+
+    // Stage 2: checkpoint saves through the real store (atomic
+    // write-temp-then-rename per epoch).
+    if fixture.with_checkpoints {
+        if let Ok((store, _)) = CheckpointStore::open(&ckpt_dir(root), fixture.manifest) {
+            for a in fixture.checkpoints {
+                let saved = store.save_epoch(&EpochCheckpoint {
+                    epoch: a.epoch.0,
+                    status: EpochStatus::Ok,
+                    analysis: a.clone(),
+                });
+                match saved {
+                    Ok(()) => ack.saved_epochs.push(a.epoch.0),
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    // Stage 3: VQF export (atomic whole-file write).
+    ack.vqf_ok = write_vqf(&fixture.small, &vqf_path(root)).is_ok();
+
+    // Stage 4: dead-letter-style plain appends (the serve quarantine
+    // sink's discipline: best-effort, torn tails allowed).
+    let dead = dead_path(root);
+    if let Ok(mut f) = ioenv::create(&dead) {
+        for line in fixture.lines.iter().take(DEAD_LINES) {
+            let mut buf = line.clone().into_bytes();
+            buf.push(b'\n');
+            if ioenv::write_all(&mut f, &dead, &buf).is_err() {
+                break;
+            }
+        }
+    }
+    ack
+}
+
+/// The dataset's CSV data lines, capped to [`MAX_LINES`].
+fn csv_lines(dataset: &Dataset) -> io::Result<Vec<String>> {
+    let mut buf = Vec::new();
+    write_csv(dataset, &mut buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let text = String::from_utf8(buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(text
+        .lines()
+        .skip(1)
+        .take(MAX_LINES)
+        .map(str::to_owned)
+        .collect())
+}
+
+fn build_fixture<'a>(
+    dataset: &Dataset,
+    analyses: &'a [EpochAnalysis],
+    seed: u64,
+    with_checkpoints: bool,
+) -> io::Result<Fixture<'a>> {
+    let lines = csv_lines(dataset)?;
+    let mut csv = String::from(CSV_HEADER);
+    csv.push('\n');
+    for line in &lines {
+        csv.push_str(line);
+        csv.push('\n');
+    }
+    let small = read_csv(csv.as_bytes())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let vqf_fingerprint = fingerprint_dataset(&small);
+    let mut dead_ref = Vec::new();
+    for line in lines.iter().take(DEAD_LINES) {
+        dead_ref.extend_from_slice(line.as_bytes());
+        dead_ref.push(b'\n');
+    }
+    let checkpoints = if with_checkpoints {
+        &analyses[..analyses.len().min(MAX_CHECKPOINTS)]
+    } else {
+        &[]
+    };
+    Ok(Fixture {
+        lines,
+        checkpoints,
+        with_checkpoints,
+        // A fixed config hash: the manifest only has to agree with itself
+        // across the reopen (fingerprint invalidation is resume's oracle).
+        manifest: Manifest::new(
+            0xC0A5_7C0D_E000_0000 ^ seed,
+            fingerprint_dataset(dataset),
+            dataset.num_epochs(),
+        ),
+        small,
+        vqf_fingerprint,
+        dead_ref,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_harness(
+    dataset: &Dataset,
+    analyses: &[EpochAnalysis],
+    seed: u64,
+    sample: Option<usize>,
+    with_checkpoints: bool,
+    root: &Path,
+    report: &mut CheckReport,
+) -> io::Result<()> {
+    let fixture = build_fixture(dataset, analyses, seed, with_checkpoints)?;
+
+    // Phase 1 — record: run the workload untouched and capture the
+    // durable-op schedule whose boundaries we will kill at.
+    let _ = fs::remove_dir_all(root);
+    fs::create_dir_all(root)?;
+    let total_ops = {
+        let guard = install(IoScript {
+            root: root.to_path_buf(),
+            plan: IoPlan::Record,
+            seed,
+            elide_syncs: true,
+        });
+        let ack = run_workload(&fixture, root);
+        if ack.wal_lines != fixture.lines.len()
+            || ack.saved_epochs.len() != fixture.checkpoints.len()
+            || !ack.vqf_ok
+        {
+            return Err(io::Error::other(format!(
+                "uninterrupted workload did not complete: {}/{} lines, {}/{} checkpoints, vqf {}",
+                ack.wal_lines,
+                fixture.lines.len(),
+                ack.saved_epochs.len(),
+                fixture.checkpoints.len(),
+                ack.vqf_ok
+            )));
+        }
+        guard.ops_seen()
+    };
+
+    // Phase 2 — explore: rerun the workload once per chosen boundary,
+    // with a simulated kill at that op, and check recovery afterwards.
+    let points: Vec<u64> = match sample {
+        None => (0..total_ops).collect(),
+        Some(n) => {
+            // Evenly spread with a seeded phase, so successive fuzz
+            // iterations sweep different boundaries of the same schedule.
+            let n = n.max(1) as u64;
+            let stride = (total_ops / n).max(1);
+            (0..n.min(total_ops))
+                .map(|i| (seed.wrapping_mul(0x9e37_79b9) + i * stride) % total_ops.max(1))
+                .collect()
+        }
+    };
+    for &k in &points {
+        let _ = fs::remove_dir_all(root);
+        fs::create_dir_all(root)?;
+        let ack = {
+            let _guard = install(IoScript {
+                root: root.to_path_buf(),
+                plan: IoPlan::KillAt { at: k },
+                seed,
+                elide_syncs: true,
+            });
+            run_workload(&fixture, root)
+        };
+        obs::global().incr(obs::Counter::CrashPointsExplored);
+        check_recovery(&fixture, root, k, &ack, report)?;
+    }
+    Ok(())
+}
+
+/// After a kill at op `k` left `ack` acknowledged, verify every recovery
+/// invariant and then complete the workload and demand bit-identity with
+/// the uninterrupted run.
+fn check_recovery(
+    fixture: &Fixture<'_>,
+    root: &Path,
+    k: u64,
+    ack: &Ack,
+    report: &mut CheckReport,
+) -> io::Result<()> {
+    let at = |detail: String| format!("crash point {k}: {detail}");
+
+    // crash-wal-prefix: an exact ordered prefix, covering all
+    // acknowledged lines (a durable-but-unacknowledged tail batch may
+    // extend it — the client never heard a 2xx, so replaying it is safe).
+    report.ran(1);
+    let (mut wal, replay) = Wal::open(&wal_dir(root), wal_opts())?;
+    let prefix_ok = replay.records.len() <= fixture.lines.len()
+        && replay
+            .records
+            .iter()
+            .zip(&fixture.lines)
+            .all(|(r, l)| r.as_slice() == l.as_bytes());
+    if !prefix_ok {
+        report.violate(
+            "crash-wal-prefix",
+            None,
+            None,
+            at(format!(
+                "replayed {} records that are not an exact prefix of the {} appended",
+                replay.records.len(),
+                fixture.lines.len()
+            )),
+        );
+    }
+    if replay.records.len() < ack.wal_lines {
+        report.violate(
+            "crash-wal-prefix",
+            None,
+            None,
+            at(format!(
+                "{} acknowledged lines, only {} replayed",
+                ack.wal_lines,
+                replay.records.len()
+            )),
+        );
+    }
+    // Recovery completes the ingest: the healed log must accept the rest.
+    let missing = fixture.lines.len().min(replay.records.len());
+    wal.append_batch(fixture.lines[missing..].iter().map(String::as_bytes))?;
+    drop(wal);
+
+    // crash-checkpoint-torn: reopen resumes every acknowledged save with
+    // a JSON-identical analysis, and nothing else than attempted saves.
+    if fixture.with_checkpoints {
+        report.ran(1);
+        let (store, resumed) = CheckpointStore::open(&ckpt_dir(root), fixture.manifest)?;
+        for &epoch in &ack.saved_epochs {
+            match resumed.iter().find(|c| c.epoch == epoch) {
+                None => report.violate(
+                    "crash-checkpoint-torn",
+                    None,
+                    None,
+                    at(format!(
+                        "acknowledged checkpoint for epoch {epoch} not resumed"
+                    )),
+                ),
+                Some(c) => {
+                    let original = fixture
+                        .checkpoints
+                        .iter()
+                        .find(|a| a.epoch.0 == epoch)
+                        .expect("saved epochs come from the fixture");
+                    if !json_equal(&c.analysis, original) {
+                        report.violate(
+                            "crash-checkpoint-torn",
+                            None,
+                            None,
+                            at(format!("resumed checkpoint for epoch {epoch} differs")),
+                        );
+                    }
+                }
+            }
+        }
+        for c in &resumed {
+            if !fixture.checkpoints.iter().any(|a| a.epoch.0 == c.epoch) {
+                report.violate(
+                    "crash-checkpoint-torn",
+                    None,
+                    None,
+                    at(format!("resumed epoch {} was never saved", c.epoch)),
+                );
+            }
+        }
+        // Complete: re-save whatever is missing.
+        for a in fixture.checkpoints {
+            if !resumed.iter().any(|c| c.epoch == a.epoch.0) {
+                store
+                    .save_epoch(&EpochCheckpoint {
+                        epoch: a.epoch.0,
+                        status: EpochStatus::Ok,
+                        analysis: a.clone(),
+                    })
+                    .map_err(io::Error::other)?;
+            }
+        }
+    }
+
+    // crash-vqf-atomic: absent or complete, never torn; an acknowledged
+    // commit implies present.
+    report.ran(1);
+    let vqf = vqf_path(root);
+    let vqf_present_ok = match fs::metadata(&vqf) {
+        Ok(_) => match read_vqf(&vqf) {
+            Ok(back) => {
+                let ok = fingerprint_dataset(&back) == fixture.vqf_fingerprint;
+                if !ok {
+                    report.violate(
+                        "crash-vqf-atomic",
+                        None,
+                        None,
+                        at("VQF file loads but differs from the written dataset".into()),
+                    );
+                }
+                ok
+            }
+            Err(e) => {
+                report.violate(
+                    "crash-vqf-atomic",
+                    None,
+                    None,
+                    at(format!("committed VQF file failed to load: {e}")),
+                );
+                false
+            }
+        },
+        Err(_) => {
+            if ack.vqf_ok {
+                report.violate(
+                    "crash-vqf-atomic",
+                    None,
+                    None,
+                    at("acknowledged VQF commit but no file on disk".into()),
+                );
+            }
+            false
+        }
+    };
+    if !vqf_present_ok {
+        write_vqf(&fixture.small, &vqf).map_err(io::Error::other)?;
+    }
+
+    // crash-deadletter-prefix: recovered bytes are a prefix of the
+    // uninterrupted sink's bytes.
+    report.ran(1);
+    let dead = fs::read(dead_path(root)).unwrap_or_default();
+    if dead.len() > fixture.dead_ref.len() || fixture.dead_ref[..dead.len()] != dead[..] {
+        report.violate(
+            "crash-deadletter-prefix",
+            None,
+            None,
+            at(format!(
+                "recovered dead-letter bytes ({}) are not a prefix of the reference ({})",
+                dead.len(),
+                fixture.dead_ref.len()
+            )),
+        );
+    }
+
+    // crash-recovery-equivalence: with the workload completed, the final
+    // state must be bit-identical to the uninterrupted run's.
+    report.ran(1);
+    let (_, full) = Wal::open(&wal_dir(root), wal_opts())?;
+    let wal_equal = full.records.len() == fixture.lines.len()
+        && full
+            .records
+            .iter()
+            .zip(&fixture.lines)
+            .all(|(r, l)| r.as_slice() == l.as_bytes());
+    if !wal_equal {
+        report.violate(
+            "crash-recovery-equivalence",
+            None,
+            None,
+            at(format!(
+                "completed WAL replays {} records, expected the full {}",
+                full.records.len(),
+                fixture.lines.len()
+            )),
+        );
+    }
+    if fixture.with_checkpoints {
+        let (_, resumed) = CheckpointStore::open(&ckpt_dir(root), fixture.manifest)?;
+        let ckpt_equal = resumed.len() == fixture.checkpoints.len()
+            && fixture.checkpoints.iter().all(|a| {
+                resumed
+                    .iter()
+                    .any(|c| c.epoch == a.epoch.0 && json_equal(&c.analysis, a))
+            });
+        if !ckpt_equal {
+            report.violate(
+                "crash-recovery-equivalence",
+                None,
+                None,
+                at("completed checkpoint set differs from the uninterrupted run".into()),
+            );
+        }
+    }
+    let back = read_vqf(&vqf).map_err(io::Error::other)?;
+    if fingerprint_dataset(&back) != fixture.vqf_fingerprint {
+        report.violate(
+            "crash-recovery-equivalence",
+            None,
+            None,
+            at("completed VQF export differs from the uninterrupted run".into()),
+        );
+    }
+    Ok(())
+}
+
+fn json_equal(a: &EpochAnalysis, b: &EpochAnalysis) -> bool {
+    match (serde_json::to_value(a), serde_json::to_value(b)) {
+        (Ok(x), Ok(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqlens_cluster::critical::CriticalParams;
+    use vqlens_cluster::problem::SignificanceParams;
+    use vqlens_model::epoch::EpochId;
+    use vqlens_model::metric::Thresholds;
+    use vqlens_synth::scenario::{generate, Scenario};
+
+    fn smoke_analyses(dataset: &Dataset) -> Vec<EpochAnalysis> {
+        let thresholds = Thresholds::default();
+        let sig = SignificanceParams::scaled_to(
+            dataset.num_sessions() as u64 / u64::from(dataset.num_epochs().max(1)),
+        );
+        let params = CriticalParams::default();
+        (0..dataset.num_epochs())
+            .map(EpochId)
+            .filter(|id| !dataset.epoch(*id).is_empty())
+            .map(|id| EpochAnalysis::compute(id, dataset.epoch(id), &thresholds, &sig, &params))
+            .collect()
+    }
+
+    /// The serde-free stages (WAL, VQF, dead-letter) across every crash
+    /// point. Checkpoints are exercised by `crash_oracles_pass_on_smoke`,
+    /// which needs a working JSON codec.
+    #[test]
+    fn crash_oracles_pass_without_checkpoints() {
+        let output = generate(&Scenario::smoke());
+        let analyses = smoke_analyses(&output.dataset);
+        let mut report = CheckReport::default();
+        explore(&output.dataset, &analyses, 0xC4A5, None, false, &mut report);
+        assert!(report.passed(), "crash oracles violated:\n{report}");
+        assert!(
+            report.oracles_run >= 100,
+            "only {} oracle evaluations — the workload is too small",
+            report.oracles_run
+        );
+    }
+
+    #[test]
+    fn crash_oracles_pass_on_smoke() {
+        let output = generate(&Scenario::smoke());
+        let analyses = smoke_analyses(&output.dataset);
+        let mut report = CheckReport::default();
+        check_crash(&output.dataset, &analyses, 0xC4A6, &mut report);
+        assert!(report.passed(), "crash oracles violated:\n{report}");
+    }
+
+    #[test]
+    fn sampled_exploration_is_bounded() {
+        let output = generate(&Scenario::smoke());
+        let analyses = smoke_analyses(&output.dataset);
+        let mut report = CheckReport::default();
+        let before = obs::global().get(obs::Counter::CrashPointsExplored);
+        // `with_checkpoints: false` keeps this runnable where the JSON
+        // codec is stubbed out; the checkpointed sampled path is what
+        // every fuzz iteration runs.
+        explore(
+            &output.dataset,
+            &analyses,
+            0xC4A7,
+            Some(5),
+            false,
+            &mut report,
+        );
+        let explored = obs::global().get(obs::Counter::CrashPointsExplored) - before;
+        assert!(explored <= 5, "sampled run explored {explored} points");
+        assert!(report.passed(), "crash oracles violated:\n{report}");
+    }
+}

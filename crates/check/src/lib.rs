@@ -33,6 +33,14 @@
 //!   bit-identical — same fingerprint, same analyses — the mmap and pread
 //!   read backends must agree, and any flipped byte or truncated copy
 //!   must be rejected, never misparsed.
+//! * [`crash`] — exhaustive crash-point consistency: a fixed durable
+//!   workload (WAL appends with rotation, checkpoint saves, a VQF export,
+//!   dead-letter appends) has its durable-op schedule recorded through
+//!   [`vqlens_resilience::ioenv`], then is re-run once per op boundary
+//!   with a simulated kill; after every death the recovered state must
+//!   keep all acknowledged records, resume only untorn checkpoints, load
+//!   (or lack) the VQF file whole, and — once recovery completes the
+//!   workload — be bit-identical to the uninterrupted run.
 //! * [`incremental`] — delta-maintenance oracle: every epoch replayed
 //!   through the incremental path (`CubeTable::merge` over randomized
 //!   append schedules and batch boundaries) must be bit-identical to the
@@ -58,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod crash;
 pub mod epoch;
 pub mod format;
 pub mod fuzz;
@@ -192,6 +201,23 @@ pub fn check_dataset(
     seed: u64,
     report: &mut CheckReport,
 ) -> Vec<EpochAnalysis> {
+    check_dataset_with_crash_budget(dataset, thresholds, sig, params, seed, None, report)
+}
+
+/// [`check_dataset`] with a bound on crash-point exploration: `None`
+/// kills at *every* durable-op boundary (what `vqlens check` runs);
+/// `Some(n)` explores at most `n` seeded boundaries — the fuzz loop uses
+/// this so each iteration stays cheap while the seed space still sweeps
+/// the whole schedule.
+pub(crate) fn check_dataset_with_crash_budget(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    sig: &SignificanceParams,
+    params: &CriticalParams,
+    seed: u64,
+    crash_points: Option<usize>,
+    report: &mut CheckReport,
+) -> Vec<EpochAnalysis> {
     let _span = obs::global().span(obs::Stage::Check);
     let mut analyses = Vec::new();
     for e in 0..dataset.num_epochs() {
@@ -210,6 +236,10 @@ pub fn check_dataset(
     wal::check_wal(dataset, thresholds, sig, params, &analyses, seed, report);
     incremental::check_incremental(dataset, thresholds, sig, params, &analyses, seed, report);
     format::check_format(dataset, thresholds, sig, params, &analyses, seed, report);
+    match crash_points {
+        None => crash::check_crash(dataset, &analyses, seed, report),
+        Some(n) => crash::check_crash_sampled(dataset, &analyses, seed, n, report),
+    }
     scenario::check_scenario_attribution(report);
     analyses
 }

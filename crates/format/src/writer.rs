@@ -10,22 +10,44 @@ use crate::layout::{
     self, encode_header, encode_trailer, id_width, Footer, SectionEntry, DICT_COUNT, HEADER_LEN,
 };
 use crate::VqfError;
-use std::io::Write;
+use std::io::{self, Write};
 use std::path::Path;
 use vqlens_model::attr::AttrKey;
 use vqlens_model::dataset::Dataset;
 use vqlens_model::epoch::EpochId;
 use vqlens_obs as obs;
-use vqlens_resilience::AtomicFile;
+use vqlens_resilience::{retry_io, AtomicFile, RetryPolicy};
 
 /// Write `dataset` to `path` atomically: the destination either keeps its
 /// previous content or becomes the complete new VQF file.
+///
+/// The whole write-temp → sync → rename sequence runs under
+/// [`retry_io`]'s `durable_writes` policy, so transient failures
+/// (`EINTR`, `ENOSPC` while space is being reclaimed) are re-attempted
+/// from a fresh temporary and counted as `io_retries`.
+/// [`VqfError::Unencodable`] is a property of the dataset, not the disk,
+/// and is never retried.
 pub fn write_vqf(dataset: &Dataset, path: &Path) -> Result<(), VqfError> {
     let _span = obs::global().span(obs::Stage::Format);
-    let mut file = AtomicFile::create(path)?;
-    write_vqf_to(dataset, &mut file)?;
-    file.commit()?;
-    Ok(())
+    let mut unencodable: Option<VqfError> = None;
+    let result = retry_io(&RetryPolicy::durable_writes(), || {
+        let mut file = AtomicFile::create(path)?;
+        match write_vqf_to(dataset, &mut file) {
+            Ok(_) => {}
+            Err(VqfError::Io(e)) => return Err(e),
+            Err(other) => {
+                // Stash the non-IO error and surface a non-transient
+                // sentinel so `retry_io` returns immediately.
+                unencodable = Some(other);
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "unencodable"));
+            }
+        }
+        file.commit()
+    });
+    match result {
+        Ok(()) => Ok(()),
+        Err(e) => Err(unencodable.unwrap_or(VqfError::Io(e))),
+    }
 }
 
 /// Stream `dataset` as VQF into any writer, returning the number of

@@ -69,11 +69,15 @@ pub enum Stage {
     /// Attribution scoring of one scenario family against its planted
     /// ground truth (`vqlens_score::score_family`), recorded per family.
     Score = 17,
+    /// Crash-point exploration by the crash-consistency harness
+    /// (`vqlens-check`): one span covers the schedule recording plus
+    /// every kill-and-recover replay for one dataset.
+    Crash = 18,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 19;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -95,6 +99,7 @@ impl Stage {
         Stage::Merge,
         Stage::Format,
         Stage::Score,
+        Stage::Crash,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -118,6 +123,7 @@ impl Stage {
             Stage::Merge => "merge",
             Stage::Format => "format",
             Stage::Score => "score",
+            Stage::Crash => "crash",
         }
     }
 }
@@ -245,11 +251,23 @@ pub enum Counter {
     /// Scored emissions matching a planted event (the precision
     /// numerator).
     ScoreMatchedClusters = 47,
+    /// Disk faults (ENOSPC / EIO / short write / fsync failure /
+    /// simulated kill) injected by the deterministic I/O environment
+    /// (`vqlens_resilience::ioenv`); always zero outside fault-injected
+    /// tests and the crash-consistency harness.
+    IoFaultsInjected = 48,
+    /// Durable-op boundaries at which the crash-consistency harness
+    /// simulated a kill and verified recovery.
+    CrashPointsExplored = 49,
+    /// Ingest requests shed with `507 Insufficient Storage` while the
+    /// WAL volume was out of space (distinct from the queue-full `429`
+    /// sheds counted by `serve_requests_shed`).
+    DiskFullSheds = 50,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 48;
+    pub const COUNT: usize = 51;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -301,6 +319,9 @@ impl Counter {
         Counter::ScoreMatchedInstances,
         Counter::ScoreEmittedClusters,
         Counter::ScoreMatchedClusters,
+        Counter::IoFaultsInjected,
+        Counter::CrashPointsExplored,
+        Counter::DiskFullSheds,
     ];
 
     /// Stable snake_case name used as the JSON key in [`RunReport`].
@@ -354,6 +375,9 @@ impl Counter {
             Counter::ScoreMatchedInstances => "score_matched_instances",
             Counter::ScoreEmittedClusters => "score_emitted_clusters",
             Counter::ScoreMatchedClusters => "score_matched_clusters",
+            Counter::IoFaultsInjected => "io_faults_injected",
+            Counter::CrashPointsExplored => "crash_points_explored",
+            Counter::DiskFullSheds => "disk_full_sheds",
         }
     }
 

@@ -6,6 +6,7 @@
 //! half-write. The checkpoint store and the CLI's dead-letter quarantine
 //! both write through this module.
 
+use crate::ioenv;
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -49,7 +50,7 @@ impl AtomicFile {
     /// Open a temporary sibling of `dest` for writing.
     pub fn create(dest: &Path) -> io::Result<AtomicFile> {
         let tmp = temp_sibling(dest);
-        let file = File::create(&tmp)?;
+        let file = ioenv::create(&tmp)?;
         Ok(AtomicFile {
             dest: dest.to_path_buf(),
             tmp,
@@ -74,17 +75,27 @@ impl AtomicFile {
     /// checkpoint or WAL segment.
     pub fn commit(mut self) -> io::Result<()> {
         let file = self.file.take().expect("file present until commit/drop");
-        file.sync_all()?;
-        drop(file);
-        fs::rename(&self.tmp, &self.dest)?;
-        match self.dest.parent() {
-            // A bare relative filename has `Some("")` as its parent; an
-            // empty path cannot be opened, so sync the current directory.
-            Some(parent) if parent.as_os_str().is_empty() => fsync_dir(Path::new("."))?,
-            Some(parent) => fsync_dir(parent)?,
-            None => {}
+        let result = (|| {
+            ioenv::sync_all(&file, &self.tmp)?;
+            drop(file);
+            ioenv::rename(&self.tmp, &self.dest)?;
+            match self.dest.parent() {
+                // A bare relative filename has `Some("")` as its parent;
+                // an empty path cannot be opened, so sync the current
+                // directory.
+                Some(parent) if parent.as_os_str().is_empty() => fsync_dir(Path::new("."))?,
+                Some(parent) => fsync_dir(parent)?,
+                None => {}
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            // A failed commit (ENOSPC on the sync, a dead rename) must
+            // not leak the temporary — on a full disk, leaked temps are
+            // exactly what keeps the disk full.
+            let _ = fs::remove_file(&self.tmp);
         }
-        Ok(())
+        result
     }
 }
 
@@ -92,17 +103,16 @@ impl AtomicFile {
 /// entries inside it are durable. Called by [`AtomicFile::commit`] and by
 /// the WAL when it opens a fresh segment file; a no-op on platforms where
 /// directories cannot be opened for sync (the open error is surfaced —
-/// on Linux, the supported target, directory fds sync fine).
+/// on Linux, the supported target, directory fds sync fine). Routed
+/// through [`crate::ioenv`] so fault scripts see it as a `DirSync` op.
 pub fn fsync_dir(dir: &Path) -> io::Result<()> {
-    File::open(dir)?.sync_all()
+    ioenv::fsync_dir(dir)
 }
 
 impl Write for AtomicFile {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.file
-            .as_mut()
-            .expect("file present until commit/drop")
-            .write(buf)
+        let file = self.file.as_mut().expect("file present until commit/drop");
+        ioenv::write(file, &self.tmp, buf)
     }
 
     fn flush(&mut self) -> io::Result<()> {

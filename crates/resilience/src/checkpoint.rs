@@ -101,7 +101,10 @@ impl CheckpointStore {
     ) -> io::Result<(CheckpointStore, Vec<EpochCheckpoint>)> {
         let rec = obs::global();
         let _span = rec.span(obs::Stage::Checkpoint);
-        fs::create_dir_all(dir)?;
+        // Durable creation (entry fsynced in the parent): a checkpoint
+        // directory that vanishes in a crash would silently discard
+        // every epoch saved into it.
+        crate::ioenv::create_dir_durable(dir)?;
         let store = CheckpointStore {
             dir: dir.to_path_buf(),
         };
@@ -314,6 +317,53 @@ mod tests {
 
         let (_store, loaded) = CheckpointStore::open(&dir, manifest).unwrap();
         assert!(loaded.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_mid_checkpoint_keeps_the_old_checkpoint_loadable() {
+        use crate::ioenv::{install, IoFault, IoPlan, IoScript};
+        let dir = scratch_dir("enospc");
+        let manifest = Manifest::new(5, 6, 9);
+        let (store, _) = CheckpointStore::open(&dir, manifest).unwrap();
+        store.save_epoch(&checkpoint(2)).unwrap();
+        let old_bytes = fs::read(dir.join(epoch_file_name(2))).unwrap();
+
+        // Disk fills up mid-save of a *newer* version of epoch 2: the
+        // atomic write tears inside its temp file, so the destination
+        // must keep the old content byte-for-byte.
+        let guard = install(IoScript {
+            root: dir.clone(),
+            plan: IoPlan::Fail {
+                at: 0,
+                fault: IoFault::Enospc,
+                count: u64::MAX,
+            },
+            seed: 9,
+            elide_syncs: false,
+        });
+        let err = store.save_epoch(&checkpoint(2)).unwrap_err();
+        assert!(crate::retry::is_enospc(&err));
+        assert!(guard.faults_injected() >= 4, "all retry attempts failed");
+        drop(guard);
+
+        assert_eq!(
+            fs::read(dir.join(epoch_file_name(2))).unwrap(),
+            old_bytes,
+            "old checkpoint survives untouched"
+        );
+        let (_store, loaded) = CheckpointStore::open(&dir, manifest).unwrap();
+        assert_eq!(loaded.len(), 1, "old checkpoint still loads");
+        assert_eq!(loaded[0].epoch, 2);
+        // No torn temp files leak (the full disk must not stay full
+        // because of our own debris).
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                crate::atomicio::is_temp_name(&e.as_ref().unwrap().file_name().to_string_lossy())
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "failed saves must clean their temps");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,669 @@
+//! Deterministic disk-fault injection for every durable writer.
+//!
+//! All durable filesystem operations in the workspace — temp-file
+//! creation, WAL segment creation, writes, fsyncs, truncations, renames,
+//! directory fsyncs — go through the shim functions here instead of
+//! calling [`std::fs`] directly. With no script installed (the production
+//! configuration) each shim is a single relaxed atomic load followed by
+//! the raw syscall: zero-overhead passthrough, verified by the
+//! `ioenv_passthrough_overhead_pct` bench guard.
+//!
+//! Tests and the crash-consistency harness ([`vqlens-check`]'s `crash`
+//! oracle family) [`install`] an [`IoScript`]: a *path-scoped*,
+//! seeded, schedule-driven plan that can
+//!
+//! * record the durable-op schedule of a run ([`IoPlan::Record`]),
+//! * fail a window of ops with `ENOSPC`, `EIO`, a seeded short write, or
+//!   a failed fsync ([`IoPlan::Fail`]), or
+//! * simulate a process kill at the Nth durable op ([`IoPlan::KillAt`]):
+//!   the Nth write tears (a seeded prefix lands, the rest does not) and
+//!   every subsequent in-scope op fails without side effects, exactly as
+//!   if the process had died mid-syscall.
+//!
+//! Scripts only match operations on paths under their `root` directory,
+//! so concurrent tests in one process (cargo's default) cannot
+//! contaminate each other's schedules. Every injected fault bumps
+//! [`vqlens_obs::Counter::IoFaultsInjected`].
+//!
+//! The fault model simulates **process death**, not power loss: after a
+//! simulated kill, buffered writes that completed are still visible on
+//! disk (same-machine page cache), which is exactly the state a killed
+//! process leaves behind. Scripts may therefore set
+//! [`IoScript::elide_syncs`] to skip the real `fsync` calls — recovery
+//! correctness under this model cannot depend on them — which is what
+//! makes exploring *every* op boundary affordable.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use vqlens_obs as obs;
+
+/// `ENOSPC` (out of space) raw os error on every unix vqlens targets.
+const ENOSPC: i32 = 28;
+/// `EIO` (hardware-level I/O error) raw os error.
+const EIO: i32 = 5;
+
+/// The kinds of durable operations the shim mediates; one schedule entry
+/// is recorded per op, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Creating (or truncating) a file for writing — temp siblings,
+    /// fresh WAL segments.
+    Create,
+    /// A buffered write of payload bytes.
+    Write,
+    /// `fsync`/`fdatasync` of a file.
+    Sync,
+    /// Truncating a file (`set_len`) — WAL heal/re-anchor.
+    SetLen,
+    /// Atomically renaming a committed temp file over its destination.
+    Rename,
+    /// `fsync` of a directory (making entries durable).
+    DirSync,
+    /// Durably creating a directory tree (WAL / checkpoint roots).
+    DirCreate,
+}
+
+impl IoOp {
+    /// Stable lowercase name (used in recorded schedules and errors).
+    pub const fn name(self) -> &'static str {
+        match self {
+            IoOp::Create => "create",
+            IoOp::Write => "write",
+            IoOp::Sync => "sync",
+            IoOp::SetLen => "set_len",
+            IoOp::Rename => "rename",
+            IoOp::DirSync => "dir_sync",
+            IoOp::DirCreate => "dir_create",
+        }
+    }
+}
+
+/// Which failure an [`IoPlan::Fail`] window injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// `ENOSPC`: disk full. Transient under [`crate::retry::is_transient`],
+    /// so retry paths are exercised; writes tear a seeded prefix first,
+    /// as a real out-of-space write does. Only space-*allocating* ops
+    /// fail (creates, writes, directory creation) — shrinking
+    /// truncations, renames, and fsyncs still succeed on a full disk,
+    /// which is what lets the WAL heal itself back to the acknowledged
+    /// offset.
+    Enospc,
+    /// `EIO`: hardware error. Non-transient — surfaces immediately.
+    Eio,
+    /// A short write: a seeded prefix of the buffer lands, then
+    /// `WriteZero`. Only write ops are affected; others pass.
+    ShortWrite,
+    /// A failed fsync (`EINTR`-flavored, so the bounded retry is
+    /// exercised). Only sync ops are affected; others pass.
+    SyncFail,
+    /// Simulated process death: identical to [`IoPlan::KillAt`] at the
+    /// start of the window.
+    Kill,
+}
+
+/// What an installed script does at each in-scope durable op.
+#[derive(Debug, Clone, Copy)]
+pub enum IoPlan {
+    /// Pass everything through, recording the op schedule.
+    Record,
+    /// Ops numbered `at .. at + count` (0-based, in-scope ops only) fail
+    /// with `fault`; everything else passes.
+    Fail {
+        /// First failing op index.
+        at: u64,
+        /// The failure to inject.
+        fault: IoFault,
+        /// How many consecutive ops fail (`u64::MAX` = forever).
+        count: u64,
+    },
+    /// Op `at` tears (a write lands a seeded prefix; any other op does
+    /// nothing) and it plus every later in-scope op fails — the process
+    /// is dead from that boundary on.
+    KillAt {
+        /// The op index at which the simulated kill lands.
+        at: u64,
+    },
+}
+
+/// A path-scoped fault-injection script.
+#[derive(Debug, Clone)]
+pub struct IoScript {
+    /// Only ops on paths under this directory are in scope.
+    pub root: PathBuf,
+    /// What to do at each in-scope op.
+    pub plan: IoPlan,
+    /// Seed for torn-write prefix lengths (deterministic per op index).
+    pub seed: u64,
+    /// Skip real fsync calls for in-scope sync ops (still counted and
+    /// recorded). Sound under the process-death fault model; the crash
+    /// harness sets this to make per-boundary exploration cheap.
+    pub elide_syncs: bool,
+}
+
+impl IoScript {
+    /// A script for `root` with the given plan, seed 0, real syncs.
+    pub fn new(root: impl Into<PathBuf>, plan: IoPlan) -> IoScript {
+        IoScript {
+            root: root.into(),
+            plan,
+            seed: 0,
+            elide_syncs: false,
+        }
+    }
+}
+
+/// One recorded durable op.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// 0-based index in the script's op sequence.
+    pub seq: u64,
+    /// What kind of op it was.
+    pub op: IoOp,
+    /// The file (or directory) the op touched.
+    pub path: PathBuf,
+}
+
+struct ScriptState {
+    script: IoScript,
+    seq: AtomicU64,
+    injected: AtomicU64,
+    schedule: Mutex<Vec<OpRecord>>,
+}
+
+/// Fast-path gate: false ⇒ no script anywhere, every shim is passthrough.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Vec<Arc<ScriptState>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ScriptState>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Install a script; the returned guard uninstalls it on drop and exposes
+/// the recorded schedule. Multiple scripts may be installed concurrently
+/// as long as their roots don't nest (ops match the first installed
+/// script whose root contains their path).
+pub fn install(script: IoScript) -> IoGuard {
+    let state = Arc::new(ScriptState {
+        script,
+        seq: AtomicU64::new(0),
+        injected: AtomicU64::new(0),
+        schedule: Mutex::new(Vec::new()),
+    });
+    let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    reg.push(Arc::clone(&state));
+    ACTIVE.store(true, Ordering::SeqCst);
+    IoGuard { state }
+}
+
+/// Keeps an installed [`IoScript`] alive; dropping it uninstalls the
+/// script and re-disables the fast path once no script remains.
+pub struct IoGuard {
+    state: Arc<ScriptState>,
+}
+
+impl IoGuard {
+    /// In-scope durable ops seen so far (including failed ones).
+    pub fn ops_seen(&self) -> u64 {
+        self.state.seq.load(Ordering::SeqCst)
+    }
+
+    /// Faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.state.injected.load(Ordering::SeqCst)
+    }
+
+    /// The recorded schedule (every in-scope op, attempted or not).
+    pub fn schedule(&self) -> Vec<OpRecord> {
+        self.state
+            .schedule
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+}
+
+impl Drop for IoGuard {
+    fn drop(&mut self) {
+        let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        reg.retain(|s| !Arc::ptr_eq(s, &self.state));
+        if reg.is_empty() {
+            ACTIVE.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+/// What the matched script decided for one op.
+enum Action {
+    Pass,
+    ElideSync,
+    Fail(io::Error),
+    /// Write a seeded prefix of the buffer, then fail.
+    Torn {
+        prefix: usize,
+        err: io::Error,
+    },
+}
+
+fn enospc() -> io::Error {
+    io::Error::from_raw_os_error(ENOSPC)
+}
+
+fn eio() -> io::Error {
+    io::Error::from_raw_os_error(EIO)
+}
+
+fn kill_err() -> io::Error {
+    io::Error::other("simulated kill (ioenv): process died at this durable op")
+}
+
+/// Deterministic torn-write prefix length in `0..len` (splitmix64 over
+/// seed ^ op index).
+fn torn_prefix(seed: u64, seq: u64, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let mut z = (seed ^ seq).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % len as u64) as usize
+}
+
+/// Decide what to do for op `op` on `path` (None ⇒ no script in scope).
+fn decide(op: IoOp, path: &Path, write_len: usize) -> Option<Action> {
+    let state = {
+        let reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        reg.iter()
+            .find(|s| path.starts_with(&s.script.root))
+            .map(Arc::clone)
+    }?;
+    let seq = state.seq.fetch_add(1, Ordering::SeqCst);
+    state
+        .schedule
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(OpRecord {
+            seq,
+            op,
+            path: path.to_path_buf(),
+        });
+    let is_sync = matches!(op, IoOp::Sync | IoOp::DirSync);
+    let pass = if is_sync && state.script.elide_syncs {
+        Action::ElideSync
+    } else {
+        Action::Pass
+    };
+    let inject = |action: Action| {
+        state.injected.fetch_add(1, Ordering::SeqCst);
+        obs::global().incr(obs::Counter::IoFaultsInjected);
+        action
+    };
+    let seed = state.script.seed;
+    Some(match state.script.plan {
+        IoPlan::Record => pass,
+        IoPlan::Fail { at, fault, count } => {
+            if seq < at || seq - at >= count {
+                return Some(pass);
+            }
+            match (fault, op) {
+                (IoFault::Enospc, IoOp::Write) => inject(Action::Torn {
+                    prefix: torn_prefix(seed, seq, write_len),
+                    err: enospc(),
+                }),
+                (IoFault::Enospc, IoOp::Create | IoOp::DirCreate) => inject(Action::Fail(enospc())),
+                (IoFault::Enospc, _) => pass,
+                (IoFault::Eio, IoOp::Write) => inject(Action::Torn {
+                    prefix: torn_prefix(seed, seq, write_len),
+                    err: eio(),
+                }),
+                (IoFault::Eio, _) => inject(Action::Fail(eio())),
+                (IoFault::ShortWrite, IoOp::Write) => inject(Action::Torn {
+                    prefix: torn_prefix(seed, seq, write_len),
+                    err: io::Error::new(io::ErrorKind::WriteZero, "short write (ioenv)"),
+                }),
+                (IoFault::ShortWrite, _) => pass,
+                (IoFault::SyncFail, IoOp::Sync | IoOp::DirSync) => inject(Action::Fail(
+                    io::Error::new(io::ErrorKind::Interrupted, "fsync failed (ioenv)"),
+                )),
+                (IoFault::SyncFail, _) => pass,
+                (IoFault::Kill, IoOp::Write) if seq == at => inject(Action::Torn {
+                    prefix: torn_prefix(seed, seq, write_len),
+                    err: kill_err(),
+                }),
+                (IoFault::Kill, _) => inject(Action::Fail(kill_err())),
+            }
+        }
+        IoPlan::KillAt { at } => {
+            if seq < at {
+                pass
+            } else if seq == at && op == IoOp::Write {
+                inject(Action::Torn {
+                    prefix: torn_prefix(seed, seq, write_len),
+                    err: kill_err(),
+                })
+            } else {
+                inject(Action::Fail(kill_err()))
+            }
+        }
+    })
+}
+
+#[inline]
+fn decision(op: IoOp, path: &Path, write_len: usize) -> Action {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return Action::Pass;
+    }
+    decide(op, path, write_len).unwrap_or(Action::Pass)
+}
+
+/// Shimmed [`File::create`]: truncating create of `path`.
+#[inline]
+pub fn create(path: &Path) -> io::Result<File> {
+    match decision(IoOp::Create, path, 0) {
+        Action::Pass | Action::ElideSync => File::create(path),
+        Action::Fail(e) | Action::Torn { err: e, .. } => Err(e),
+    }
+}
+
+/// Shimmed `create_new + append` open (fresh WAL segments): fails if the
+/// file already exists.
+#[inline]
+pub fn create_new_append(path: &Path) -> io::Result<File> {
+    match decision(IoOp::Create, path, 0) {
+        Action::Pass | Action::ElideSync => {
+            OpenOptions::new().create_new(true).append(true).open(path)
+        }
+        Action::Fail(e) | Action::Torn { err: e, .. } => Err(e),
+    }
+}
+
+/// Shimmed single `write` on `file` (which lives at `path`); returns the
+/// number of bytes written like [`Write::write`].
+#[inline]
+pub fn write(file: &mut File, path: &Path, buf: &[u8]) -> io::Result<usize> {
+    match decision(IoOp::Write, path, buf.len()) {
+        Action::Pass | Action::ElideSync => file.write(buf),
+        Action::Fail(e) => Err(e),
+        Action::Torn { prefix, err } => {
+            let _ = file.write_all(&buf[..prefix]);
+            Err(err)
+        }
+    }
+}
+
+/// Shimmed `write_all` on `file` at `path` — one durable op per call
+/// regardless of how the kernel splits it.
+#[inline]
+pub fn write_all(file: &mut File, path: &Path, buf: &[u8]) -> io::Result<()> {
+    match decision(IoOp::Write, path, buf.len()) {
+        Action::Pass | Action::ElideSync => file.write_all(buf),
+        Action::Fail(e) => Err(e),
+        Action::Torn { prefix, err } => {
+            let _ = file.write_all(&buf[..prefix]);
+            Err(err)
+        }
+    }
+}
+
+/// Shimmed [`File::sync_all`].
+#[inline]
+pub fn sync_all(file: &File, path: &Path) -> io::Result<()> {
+    match decision(IoOp::Sync, path, 0) {
+        Action::Pass => file.sync_all(),
+        Action::ElideSync => Ok(()),
+        Action::Fail(e) | Action::Torn { err: e, .. } => Err(e),
+    }
+}
+
+/// Shimmed [`File::sync_data`].
+#[inline]
+pub fn sync_data(file: &File, path: &Path) -> io::Result<()> {
+    match decision(IoOp::Sync, path, 0) {
+        Action::Pass => file.sync_data(),
+        Action::ElideSync => Ok(()),
+        Action::Fail(e) | Action::Torn { err: e, .. } => Err(e),
+    }
+}
+
+/// Shimmed [`File::set_len`].
+#[inline]
+pub fn set_len(file: &File, path: &Path, len: u64) -> io::Result<()> {
+    match decision(IoOp::SetLen, path, 0) {
+        Action::Pass | Action::ElideSync => file.set_len(len),
+        Action::Fail(e) | Action::Torn { err: e, .. } => Err(e),
+    }
+}
+
+/// Shimmed [`fs::rename`] (scoped by the destination path).
+#[inline]
+pub fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    match decision(IoOp::Rename, to, 0) {
+        Action::Pass | Action::ElideSync => fs::rename(from, to),
+        Action::Fail(e) | Action::Torn { err: e, .. } => Err(e),
+    }
+}
+
+/// Shimmed directory fsync: makes created/removed/renamed entries in
+/// `dir` durable.
+#[inline]
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    match decision(IoOp::DirSync, dir, 0) {
+        Action::Pass => File::open(dir)?.sync_all(),
+        Action::ElideSync => {
+            // Still verify the directory exists so error behavior matches
+            // the real call.
+            File::open(dir).map(|_| ())
+        }
+        Action::Fail(e) | Action::Torn { err: e, .. } => Err(e),
+    }
+}
+
+/// Durably create a directory tree: `create_dir_all` plus an fsync of the
+/// parent so the new entry itself survives power loss (the same rule
+/// [`crate::atomicio::AtomicFile::commit`] applies to renames). One
+/// `DirCreate` op plus one `DirSync` op under injection.
+#[inline]
+pub fn create_dir_durable(dir: &Path) -> io::Result<()> {
+    match decision(IoOp::DirCreate, dir, 0) {
+        Action::Pass | Action::ElideSync => fs::create_dir_all(dir)?,
+        Action::Fail(e) | Action::Torn { err: e, .. } => return Err(e),
+    }
+    match dir.parent() {
+        Some(parent) if parent.as_os_str().is_empty() => fsync_dir(Path::new(".")),
+        Some(parent) => fsync_dir(parent),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vqlens-ioenv-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn passthrough_without_script() {
+        let dir = scratch("pass");
+        let path = dir.join("f");
+        let mut f = create(&path).unwrap();
+        write_all(&mut f, &path, b"hello").unwrap();
+        sync_all(&f, &path).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_plan_captures_the_schedule_in_order() {
+        let dir = scratch("record");
+        let guard = install(IoScript::new(&dir, IoPlan::Record));
+        let path = dir.join("f");
+        let mut f = create(&path).unwrap();
+        write_all(&mut f, &path, b"abc").unwrap();
+        sync_all(&f, &path).unwrap();
+        rename(&path, &dir.join("g")).unwrap();
+        fsync_dir(&dir).unwrap();
+        let ops: Vec<IoOp> = guard.schedule().iter().map(|r| r.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                IoOp::Create,
+                IoOp::Write,
+                IoOp::Sync,
+                IoOp::Rename,
+                IoOp::DirSync
+            ]
+        );
+        assert_eq!(guard.ops_seen(), 5);
+        assert_eq!(guard.faults_injected(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_scope_paths_pass_and_are_not_recorded() {
+        let dir = scratch("scope-in");
+        let other = scratch("scope-out");
+        let guard = install(IoScript::new(
+            &dir,
+            IoPlan::Fail {
+                at: 0,
+                fault: IoFault::Eio,
+                count: u64::MAX,
+            },
+        ));
+        // Out of scope: must succeed despite the fail-everything plan.
+        let path = other.join("f");
+        let mut f = create(&path).unwrap();
+        write_all(&mut f, &path, b"ok").unwrap();
+        assert_eq!(guard.ops_seen(), 0);
+        // In scope: fails.
+        assert!(create(&dir.join("f")).is_err());
+        assert_eq!(guard.ops_seen(), 1);
+        assert_eq!(guard.faults_injected(), 1);
+        drop(guard);
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&other);
+    }
+
+    #[test]
+    fn enospc_window_tears_writes_then_clears() {
+        let dir = scratch("enospc");
+        let path = dir.join("f");
+        let mut f = create(&path).unwrap();
+        let guard = install(IoScript {
+            root: dir.clone(),
+            plan: IoPlan::Fail {
+                at: 0,
+                fault: IoFault::Enospc,
+                count: 1,
+            },
+            seed: 7,
+            elide_syncs: false,
+        });
+        let err = write_all(&mut f, &path, b"0123456789").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(ENOSPC));
+        let torn = fs::metadata(&path).unwrap().len();
+        assert!(torn < 10, "a torn prefix, never the whole buffer");
+        // Past the window: the next write succeeds.
+        write_all(&mut f, &path, b"rest").unwrap();
+        assert_eq!(guard.faults_injected(), 1);
+        drop(guard);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_at_fails_every_subsequent_op_without_side_effects() {
+        let dir = scratch("kill");
+        let path = dir.join("f");
+        let mut f = create(&path).unwrap();
+        let guard = install(IoScript {
+            root: dir.clone(),
+            plan: IoPlan::KillAt { at: 1 },
+            seed: 3,
+            elide_syncs: false,
+        });
+        write_all(&mut f, &path, b"first").unwrap(); // op 0: before the kill
+        assert!(write_all(&mut f, &path, b"second").is_err()); // op 1: tears
+        assert!(sync_all(&f, &path).is_err()); // op 2+: dead
+        assert!(rename(&path, &dir.join("g")).is_err());
+        assert!(path.exists(), "failed rename must not move the file");
+        assert!(guard.faults_injected() >= 3);
+        drop(guard);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_fail_only_hits_sync_ops_and_is_transient() {
+        let dir = scratch("syncfail");
+        let path = dir.join("f");
+        let mut f = create(&path).unwrap();
+        let guard = install(IoScript::new(
+            &dir,
+            IoPlan::Fail {
+                at: 0,
+                fault: IoFault::SyncFail,
+                count: u64::MAX,
+            },
+        ));
+        write_all(&mut f, &path, b"data").unwrap(); // writes pass
+        let err = sync_data(&f, &path).unwrap_err();
+        assert!(crate::retry::is_transient(&err));
+        drop(guard);
+        sync_data(&f, &path).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_prefix_is_deterministic_and_in_range() {
+        for len in [1usize, 2, 100, 4096] {
+            for seq in 0..20 {
+                let a = torn_prefix(42, seq, len);
+                let b = torn_prefix(42, seq, len);
+                assert_eq!(a, b);
+                assert!(a < len);
+            }
+        }
+        assert_eq!(torn_prefix(42, 0, 0), 0);
+    }
+
+    #[test]
+    fn create_dir_durable_builds_the_tree() {
+        let dir = scratch("dirs");
+        let nested = dir.join("a").join("b");
+        create_dir_durable(&nested).unwrap();
+        assert!(nested.is_dir());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn elide_syncs_skips_the_real_fsync_but_records_it() {
+        let dir = scratch("elide");
+        let path = dir.join("f");
+        let mut f = create(&path).unwrap();
+        let guard = install(IoScript {
+            root: dir.clone(),
+            plan: IoPlan::Record,
+            seed: 0,
+            elide_syncs: true,
+        });
+        write_all(&mut f, &path, b"x").unwrap();
+        sync_all(&f, &path).unwrap();
+        fsync_dir(&dir).unwrap();
+        assert!(fsync_dir(&dir.join("missing")).is_err());
+        let ops: Vec<IoOp> = guard.schedule().iter().map(|r| r.op).collect();
+        assert_eq!(
+            ops,
+            vec![IoOp::Write, IoOp::Sync, IoOp::DirSync, IoOp::DirSync]
+        );
+        drop(guard);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

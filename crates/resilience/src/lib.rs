@@ -34,6 +34,12 @@
 //! * [`retry`] — bounded retry-with-backoff for transient durable-write
 //!   errors (`EINTR`/`ENOSPC`-style), surfaced as the `io_retries`
 //!   counter instead of an immediate epoch or request failure.
+//! * [`ioenv`] — the deterministic disk-fault injection environment:
+//!   every durable filesystem op in the workspace goes through its shim
+//!   functions, which are zero-overhead passthroughs until a test (or
+//!   the `vqlens-check` crash-consistency harness) installs a
+//!   path-scoped [`ioenv::IoScript`] injecting `ENOSPC` / `EIO` / short
+//!   writes / fsync failures / a simulated kill at the Nth durable op.
 //!
 //! [`status::EpochStatus`] is the shared per-epoch outcome type
 //! (`Ok` / `Degraded { causes }` / `Failed`); `vqlens-core` re-exports it
@@ -50,6 +56,7 @@ pub mod atomicio;
 pub mod checkpoint;
 pub mod deadline;
 pub mod fingerprint;
+pub mod ioenv;
 pub mod membudget;
 pub mod retry;
 pub mod status;
@@ -59,9 +66,10 @@ pub use atomicio::{atomic_write, fsync_dir, AtomicFile};
 pub use checkpoint::{CheckpointStore, EpochCheckpoint, Manifest};
 pub use deadline::{watch, Breach, Deadline, StageDeadlines};
 pub use fingerprint::{fingerprint_dataset, fingerprint_json, Hasher64};
+pub use ioenv::{IoFault, IoGuard, IoOp, IoPlan, IoScript};
 pub use membudget::{
     apply_sampling, estimate, plan_ladder, sample_epoch_data, LadderStep, MemEstimate,
 };
-pub use retry::{is_transient, retry_io, RetryPolicy};
+pub use retry::{is_enospc, is_transient, retry_io, RetryPolicy};
 pub use status::{DegradeCause, EpochStatus};
 pub use wal::{Wal, WalOptions, WalReplay};

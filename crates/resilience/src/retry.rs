@@ -68,7 +68,14 @@ pub fn is_transient(err: &io::Error) -> bool {
     matches!(
         err.kind(),
         io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
-    ) || err.raw_os_error() == Some(ENOSPC)
+    ) || is_enospc(err)
+}
+
+/// True when `err` is an out-of-space failure (`ENOSPC`). The ingestion
+/// server uses this to flip into `507` shedding rather than treating a
+/// full disk like any other transient error.
+pub fn is_enospc(err: &io::Error) -> bool {
+    err.raw_os_error() == Some(ENOSPC)
 }
 
 /// Run `op` under `policy`: transient failures are retried with

@@ -36,9 +36,10 @@
 
 use crate::atomicio::fsync_dir;
 use crate::fingerprint::Hasher64;
+use crate::ioenv;
 use crate::retry::{retry_io, RetryPolicy};
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use vqlens_obs as obs;
 
@@ -94,6 +95,9 @@ pub struct Wal {
     opts: WalOptions,
     /// Currently open segment (always the highest sequence number).
     file: File,
+    /// Path of the open segment (for the fault-injection shims and the
+    /// disk-space probe).
+    seg_path: PathBuf,
     seg_seq: u64,
     seg_len: u64,
     /// Set when a failed append could not be healed (the segment may end
@@ -202,7 +206,9 @@ impl Wal {
     pub fn open(dir: &Path, opts: WalOptions) -> io::Result<(Wal, WalReplay)> {
         let rec = obs::global();
         let _span = rec.span(obs::Stage::Serve);
-        fs::create_dir_all(dir)?;
+        // Durable creation: the directory entry itself must survive a
+        // crash, or a just-created WAL could vanish with its segments.
+        ioenv::create_dir_durable(dir)?;
 
         let mut seqs: Vec<u64> = fs::read_dir(dir)?
             .filter_map(|e| parse_segment_name(&e.ok()?.file_name().to_string_lossy()))
@@ -224,8 +230,8 @@ impl Wal {
                 // The crash signature: truncate the active segment back
                 // to its last intact record so appends restart cleanly.
                 let f = OpenOptions::new().write(true).open(&path)?;
-                f.set_len(scan.valid_len)?;
-                f.sync_all()?;
+                ioenv::set_len(&f, &path, scan.valid_len)?;
+                ioenv::sync_all(&f, &path)?;
             }
             for payload in scan.records {
                 replay.payload_bytes += payload.len() as u64;
@@ -258,6 +264,7 @@ impl Wal {
                 dir: dir.to_path_buf(),
                 opts,
                 file,
+                seg_path: dir.join(segment_name(seg_seq)),
                 seg_seq,
                 seg_len,
                 poisoned: false,
@@ -268,12 +275,9 @@ impl Wal {
 
     fn create_segment(dir: &Path, seq: u64) -> io::Result<(File, u64, u64)> {
         let path = dir.join(segment_name(seq));
-        let mut f = OpenOptions::new()
-            .create_new(true)
-            .append(true)
-            .open(&path)?;
-        f.write_all(&MAGIC)?;
-        f.sync_all()?;
+        let mut f = ioenv::create_new_append(&path)?;
+        ioenv::write_all(&mut f, &path, &MAGIC)?;
+        ioenv::sync_all(&f, &path)?;
         // The new directory entry must itself survive power loss.
         fsync_dir(dir)?;
         Ok((f, seq, MAGIC.len() as u64))
@@ -335,6 +339,7 @@ impl Wal {
         }
         let retry = self.opts.retry;
         let seg_len = self.seg_len;
+        let path = self.seg_path.clone();
         let file = &mut self.file;
         let result = retry_io(&retry, || {
             // Idempotent attempt: discard whatever a previous failed try
@@ -342,10 +347,10 @@ impl Wal {
             // frame buffer (append-mode writes land at the new EOF) and
             // make it durable.
             if file.seek(SeekFrom::End(0))? != seg_len {
-                file.set_len(seg_len)?;
+                ioenv::set_len(file, &path, seg_len)?;
             }
-            file.write_all(&buf)?;
-            file.sync_data()
+            ioenv::write_all(file, &path, &buf)?;
+            ioenv::sync_data(file, &path)
         });
         if let Err(e) = result {
             // Heal before surfacing the error: truncate the segment back
@@ -353,9 +358,8 @@ impl Wal {
             // appended behind a torn frame. An unhealable segment poisons
             // the log instead — failing loudly beats acknowledging
             // records a replay would discard.
-            if file
-                .set_len(seg_len)
-                .and_then(|()| file.sync_data())
+            if ioenv::set_len(file, &path, seg_len)
+                .and_then(|()| ioenv::sync_data(file, &path))
                 .is_err()
             {
                 self.poisoned = true;
@@ -373,6 +377,7 @@ impl Wal {
             // again after the next batch.
             if let Ok((file, seq, len)) = Wal::create_segment(&self.dir, self.seg_seq + 1) {
                 self.file = file;
+                self.seg_path = self.dir.join(segment_name(seq));
                 self.seg_seq = seq;
                 self.seg_len = len;
             }
@@ -384,11 +389,41 @@ impl Wal {
     pub fn append(&mut self, record: &[u8]) -> io::Result<()> {
         self.append_batch([record]).map(|_| ())
     }
+
+    /// Probe whether appends would succeed again after a disk-full (or
+    /// otherwise failed) append, without acknowledging anything.
+    ///
+    /// Writes a small sentinel at the end of the active segment, syncs
+    /// it, then truncates back to the acknowledged offset and syncs
+    /// again. The sentinel is an intentionally *invalid* frame (a length
+    /// prefix far above [`MAX_RECORD_BYTES`]), so a crash between the
+    /// write and the truncation leaves only a torn tail that the next
+    /// replay heals — never a phantom record. A successful probe also
+    /// un-poisons the log: the segment is verifiably back at its
+    /// acknowledged length, which is exactly the state poisoning guards.
+    ///
+    /// `vqlens serve` calls this while shedding with `507` to detect
+    /// that space was freed and ingest can resume.
+    pub fn probe_space(&mut self) -> io::Result<()> {
+        let seg_len = self.seg_len;
+        let path = self.seg_path.clone();
+        let file = &mut self.file;
+        if file.seek(SeekFrom::End(0))? != seg_len {
+            ioenv::set_len(file, &path, seg_len)?;
+        }
+        ioenv::write_all(file, &path, &[0xffu8; RECORD_HEADER])?;
+        ioenv::sync_data(file, &path)?;
+        ioenv::set_len(file, &path, seg_len)?;
+        ioenv::sync_data(file, &path)?;
+        self.poisoned = false;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     fn scratch_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("vqlens-wal-{tag}-{}", std::process::id()));
@@ -577,6 +612,136 @@ mod tests {
         drop(wal);
         let (_wal, replay) = open(&dir);
         assert!(replay.records.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_mid_append_is_not_acknowledged_and_heals() {
+        use crate::ioenv::{install, IoFault, IoPlan, IoScript};
+        let dir = scratch_dir("enospc-append");
+        let (mut wal, _) = open(&dir);
+        wal.append(b"before-full").unwrap();
+        let seg = dir.join(segment_name(1));
+        let len_before = fs::metadata(&seg).unwrap().len();
+
+        // Disk full: every write fails (heal's set_len/sync still work,
+        // as truncation does on a real full disk).
+        let guard = install(IoScript {
+            root: dir.clone(),
+            plan: IoPlan::Fail {
+                at: 0,
+                fault: IoFault::Enospc,
+                count: u64::MAX,
+            },
+            seed: 1,
+            elide_syncs: false,
+        });
+        let err = wal.append(b"lost-to-enospc").unwrap_err();
+        assert!(crate::retry::is_enospc(&err));
+        assert!(guard.faults_injected() >= 4, "every retry attempt failed");
+        drop(guard);
+
+        // Healed by truncation: not a byte of the failed batch remains.
+        assert_eq!(fs::metadata(&seg).unwrap().len(), len_before);
+        // And appends work again once space is back.
+        wal.append(b"after-space-freed").unwrap();
+        drop(wal);
+        let (_wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"before-full".as_slice(), b"after-space-freed"]);
+        assert_eq!(replay.torn_records, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_failure_then_retry_does_not_duplicate_records() {
+        use crate::ioenv::{install, IoFault, IoPlan, IoScript};
+        let dir = scratch_dir("fsync-retry");
+        let (mut wal, _) = open(&dir);
+        // The first two fsync attempts fail transiently; the bounded
+        // retry truncates and rewrites each time, so the batch must land
+        // exactly once.
+        let guard = install(IoScript::new(
+            &dir,
+            IoPlan::Fail {
+                at: 1, // op 0 is the first write; syncs only fail anyway
+                fault: IoFault::SyncFail,
+                count: 4, // covers the first two sync attempts (ops 1, 4)
+            },
+        ));
+        wal.append(b"exactly-once").unwrap();
+        assert!(guard.faults_injected() >= 1);
+        drop(guard);
+        drop(wal);
+        let (_wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"exactly-once".as_slice()], "no duplicates");
+        assert_eq!(replay.torn_records, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_after_segment_create_replays_cleanly() {
+        use crate::ioenv::{install, IoPlan, IoScript};
+        let dir = scratch_dir("kill-create");
+        let opts = WalOptions {
+            segment_bytes: 32, // every batch rotates
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = Wal::open(&dir, opts.clone()).unwrap();
+        wal.append(b"acknowledged-one").unwrap(); // triggers rotation to seg 2
+        assert_eq!(wal.segment_seq(), 2);
+
+        // Kill at the very next durable op: the create of segment 3
+        // during the rotation after this append. The batch itself is
+        // durable (rotation failure is deliberately not surfaced).
+        let guard = install(IoScript::new(
+            &dir,
+            IoPlan::KillAt { at: 3 }, // ops 0..=2: set_len?/write/sync of the batch
+        ));
+        wal.append(b"acknowledged-two").unwrap();
+        drop(guard);
+        drop(wal);
+
+        let (mut wal, replay) = Wal::open(&dir, opts.clone()).unwrap();
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(
+            got,
+            vec![b"acknowledged-one".as_slice(), b"acknowledged-two"],
+            "both acknowledged records survive a kill at the rotation's create op"
+        );
+        wal.append(b"post-recovery").unwrap();
+        drop(wal);
+        let (_wal, replay) = Wal::open(&dir, opts).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_space_detects_recovery_and_unpoisons() {
+        use crate::ioenv::{install, IoFault, IoPlan, IoScript};
+        let dir = scratch_dir("probe");
+        let (mut wal, _) = open(&dir);
+        wal.append(b"acked").unwrap();
+
+        let guard = install(IoScript::new(
+            &dir,
+            IoPlan::Fail {
+                at: 0,
+                fault: IoFault::Enospc,
+                count: u64::MAX,
+            },
+        ));
+        assert!(wal.append(b"refused").is_err());
+        assert!(wal.probe_space().is_err(), "no space yet");
+        drop(guard);
+        wal.probe_space().unwrap();
+        wal.append(b"resumed").unwrap();
+        drop(wal);
+        let (_wal, replay) = open(&dir);
+        let got: Vec<&[u8]> = replay.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, vec![b"acked".as_slice(), b"resumed"]);
+        assert_eq!(replay.torn_records, 0, "probe sentinel never survives");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -193,6 +193,7 @@ pub(crate) fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         503 => "Service Unavailable",
+        507 => "Insufficient Storage",
         _ => "Response",
     }
 }

@@ -27,7 +27,7 @@
 //!   never able to stop the accept loop.
 
 use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -43,7 +43,8 @@ use vqlens_core::AnalyzerConfig;
 use vqlens_model::{Metric, Thresholds};
 use vqlens_obs::{Counter, Stage};
 use vqlens_resilience::{
-    fingerprint_json, CheckpointStore, EpochCheckpoint, EpochStatus, Manifest, Wal, WalOptions,
+    fingerprint_json, ioenv, is_enospc, retry_io, CheckpointStore, EpochCheckpoint, EpochStatus,
+    Manifest, RetryPolicy, Wal, WalOptions,
 };
 
 use crate::http::{error_body, read_request, respond, Request, RequestError};
@@ -136,6 +137,11 @@ struct Shared {
     kill: AtomicBool,
     /// Requests shed with `429`.
     shed_total: AtomicU64,
+    /// The WAL hit `ENOSPC`: shed ingest with `507` until a disk-space
+    /// probe on the idle tick succeeds again.
+    disk_full: AtomicBool,
+    /// Requests shed with `507` while the disk was full.
+    disk_shed_total: AtomicU64,
     /// In-flight ingest requests (queued + processing).
     queue_depth: AtomicU64,
     /// High-water mark of `queue_depth`.
@@ -145,8 +151,12 @@ struct Shared {
 /// Append-only sink for everything refused: malformed lines, stale
 /// records, unparsable requests. One `reason<TAB>excerpt` line each.
 /// Quarantine is evidence, not state — plain appends are enough, and a
-/// failed append must never fail the request that triggered it.
+/// failed append must never fail the request that triggered it. Appends
+/// go through [`retry_io`] (under the `durable_writes` policy, counted
+/// as `io_retries`) and the [`ioenv`] shim, so transient write errors
+/// are absorbed and the crash harness can fault this path too.
 struct DeadLetter {
+    path: PathBuf,
     file: Mutex<Option<File>>,
 }
 
@@ -154,6 +164,7 @@ impl DeadLetter {
     fn open(path: &std::path::Path) -> DeadLetter {
         let file = OpenOptions::new().create(true).append(true).open(path).ok();
         DeadLetter {
+            path: path.to_path_buf(),
             file: Mutex::new(file),
         }
     }
@@ -162,7 +173,10 @@ impl DeadLetter {
         if let Ok(mut guard) = self.file.lock() {
             if let Some(f) = guard.as_mut() {
                 let excerpt: String = excerpt.chars().take(200).collect();
-                let _ = writeln!(f, "{reason}\t{excerpt}");
+                let line = format!("{reason}\t{excerpt}\n");
+                let _ = retry_io(&RetryPolicy::durable_writes(), || {
+                    ioenv::write_all(f, &self.path, line.as_bytes())
+                });
             }
         }
     }
@@ -172,8 +186,10 @@ impl DeadLetter {
 struct Job {
     /// Validated `(epoch, line)` pairs.
     lines: Vec<(u32, String)>,
-    /// Where the handler waits for the durable acknowledgment.
-    reply: mpsc::Sender<Result<BatchReply, String>>,
+    /// Where the handler waits for the durable acknowledgment; failures
+    /// carry the HTTP status to answer with (`507` when the disk is
+    /// full, `503` otherwise).
+    reply: mpsc::Sender<Result<BatchReply, (u16, String)>>,
 }
 
 /// The durable acknowledgment for one batch.
@@ -256,7 +272,7 @@ impl Drop for ServerHandle {
 /// Open (and replay) the WAL, bind the listener, and spawn the accept
 /// and ingest threads.
 pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
-    std::fs::create_dir_all(&config.wal_dir)?;
+    ioenv::create_dir_durable(&config.wal_dir)?;
     let (wal, replay) = Wal::open(&config.wal_dir, config.wal.clone())?;
 
     // Rebuild state from the replayed records through the very same
@@ -374,7 +390,18 @@ fn ingest_loop(
                 }
                 commit_group(&mut wal, jobs, &state, &shared, &dead_letter, &config);
             }
-            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle tick: while shedding for a full disk, probe whether
+                // space came back (the probe also un-poisons the WAL), so
+                // ingest resumes without operator action.
+                if shared.disk_full.load(Ordering::SeqCst) && wal.probe_space().is_ok() {
+                    shared.disk_full.store(false, Ordering::SeqCst);
+                    if config.verbose {
+                        println!("[serve] disk space recovered, resuming ingest");
+                    }
+                }
+                continue;
+            }
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
@@ -479,13 +506,23 @@ fn commit_group(
     if let Err(e) = wal.append_batch(all_fresh) {
         // Nothing in this group is acknowledged. `Wal::append_batch`
         // healed (or poisoned) the segment before returning, so serving
-        // on cannot acknowledge later batches behind a torn frame.
+        // on cannot acknowledge later batches behind a torn frame. A
+        // full disk is a distinct, recoverable condition: flip into
+        // `507` shedding until the idle-tick probe sees space again.
+        let status = if is_enospc(&e) {
+            shared.disk_full.store(true, Ordering::SeqCst);
+            507
+        } else {
+            503
+        };
         let message = format!("write-ahead log append failed: {e}");
         for (_, _, reply) in partitioned {
-            let _ = reply.send(Err(message.clone()));
+            let _ = reply.send(Err((status, message.clone())));
         }
         return;
     }
+    // An append succeeded, so any earlier disk-full condition is over.
+    shared.disk_full.store(false, Ordering::SeqCst);
 
     let mut st = state
         .lock()
@@ -564,9 +601,11 @@ fn route(stream: &mut TcpStream, request: Request, ctx: &Ctx) {
         }
         ("GET", "/health") => {
             let draining = ctx.shared.shutdown.load(Ordering::SeqCst);
+            let disk_full = ctx.shared.disk_full.load(Ordering::SeqCst);
             let shed = ctx.shared.shed_total.load(Ordering::SeqCst);
+            let disk_shed = ctx.shared.disk_shed_total.load(Ordering::SeqCst);
             let peak = ctx.shared.queue_peak.load(Ordering::SeqCst);
-            let body = lock_state(ctx).health_json(draining, shed, peak);
+            let body = lock_state(ctx).health_json(draining, disk_full, shed, disk_shed, peak);
             let _ = respond(stream, 200, &[], &body);
         }
         ("GET", "/report") => {
@@ -640,6 +679,20 @@ fn metric_param(request: &Request) -> Result<Metric, &'static str> {
 fn ingest_request(stream: &mut TcpStream, request: Request, ctx: &Ctx) {
     if ctx.shared.shutdown.load(Ordering::SeqCst) {
         let _ = respond(stream, 503, &[], &error_body("draining"));
+        return;
+    }
+    // Disk-full shedding: answering before the queue keeps the WAL from
+    // being asked to append into a full disk over and over. The ingest
+    // thread's idle-tick probe clears the flag once space returns.
+    if ctx.shared.disk_full.load(Ordering::SeqCst) {
+        ctx.shared.disk_shed_total.fetch_add(1, Ordering::SeqCst);
+        vqlens_obs::global().incr(Counter::DiskFullSheds);
+        let _ = respond(
+            stream,
+            507,
+            &[("Retry-After", "1".to_owned())],
+            &error_body("disk full, ingest shedding until space is freed"),
+        );
         return;
     }
     let Ok(body) = String::from_utf8(request.body) else {
@@ -717,8 +770,12 @@ fn ingest_request(stream: &mut TcpStream, request: Request, ctx: &Ctx) {
             body.push('}');
             let _ = respond(stream, 202, &[], &body);
         }
-        Ok(Err(message)) => {
-            let _ = respond(stream, 503, &[], &error_body(&message));
+        Ok(Err((status, message))) => {
+            let mut headers: Vec<(&str, String)> = Vec::new();
+            if status == 507 {
+                headers.push(("Retry-After", "1".to_owned()));
+            }
+            let _ = respond(stream, status, &headers, &error_body(&message));
         }
         Err(_) => {
             let _ = respond(

@@ -345,7 +345,18 @@ impl ServerState {
 
     /// The `/health` body. Never fails and never touches the analysis
     /// state — health must stay cheap under overload.
-    pub fn health_json(&self, draining: bool, shed_total: u64, queue_peak: u64) -> String {
+    ///
+    /// `disk_full` reports whether ingest is currently shedding with
+    /// `507` because the WAL hit `ENOSPC`; the server re-probes the disk
+    /// on its idle tick and flips the field back once appends succeed.
+    pub fn health_json(
+        &self,
+        draining: bool,
+        disk_full: bool,
+        shed_total: u64,
+        disk_shed_total: u64,
+        queue_peak: u64,
+    ) -> String {
         let mut out = String::from("{\"status\":");
         let status = if draining {
             "draining"
@@ -355,6 +366,8 @@ impl ServerState {
             "ok"
         };
         write_escaped(&mut out, status);
+        out.push_str(",\"disk\":");
+        write_escaped(&mut out, if disk_full { "full" } else { "ok" });
         out.push_str(",\"accepted\":");
         out.push_str(&self.accepted_total.to_string());
         out.push_str(",\"quarantined\":");
@@ -372,6 +385,8 @@ impl ServerState {
         out.push_str(&(self.monitor.open_incidents().count() as u64).to_string());
         out.push_str(",\"shed\":");
         out.push_str(&shed_total.to_string());
+        out.push_str(",\"disk_full_sheds\":");
+        out.push_str(&disk_shed_total.to_string());
         out.push_str(",\"queue_depth_peak\":");
         out.push_str(&queue_peak.to_string());
         let recorder = vqlens_obs::global();

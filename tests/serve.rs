@@ -348,6 +348,101 @@ fn graceful_shutdown_flushes_closed_epochs_to_checkpoints() {
 }
 
 #[test]
+fn disk_full_sheds_with_507_and_resumes_without_losing_acks() {
+    use vqlens::resilience::ioenv::{install, IoFault, IoPlan, IoScript};
+
+    let dir = scratch("disk-full");
+    let server = start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+
+    // A clean batch is acknowledged durably before the disk fills.
+    let (status, body) = http(&addr, "POST", "/ingest", &epoch_batch(0, 6, 2));
+    assert_eq!(status, 202, "pre-fill ingest: {body}");
+
+    // The disk fills: every space-allocating op under the server's
+    // directory (WAL appends, dead-letter writes) now fails with ENOSPC.
+    let guard = install(IoScript::new(
+        &dir,
+        IoPlan::Fail {
+            at: 0,
+            fault: IoFault::Enospc,
+            count: u64::MAX,
+        },
+    ));
+
+    // The batch that hits the full disk is refused — 507, not 500, and
+    // crucially not 202: nothing un-durable is ever acknowledged.
+    let (status, body) = http(&addr, "POST", "/ingest", &epoch_batch(1, 6, 0));
+    assert_eq!(status, 507, "full-disk ingest must answer 507: {body}");
+
+    // While full, ingest sheds up-front (no queueing) with Retry-After.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let batch = epoch_batch(1, 6, 0);
+    write!(
+        stream,
+        "POST /ingest HTTP/1.1\r\nHost: vqlens\r\nContent-Length: {}\r\n\r\n{batch}",
+        batch.len()
+    )
+    .unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut shed_response = String::new();
+    stream.read_to_string(&mut shed_response).unwrap();
+    assert!(
+        shed_response.starts_with("HTTP/1.1 507"),
+        "expected up-front 507 shed, got: {shed_response}"
+    );
+    assert!(
+        shed_response.contains("Retry-After: 1"),
+        "disk-full shed must carry Retry-After: {shed_response}"
+    );
+
+    // Health reports the condition while queries keep working.
+    let (status, health) = http(&addr, "GET", "/health", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"disk\":\"full\""), "health: {health}");
+    assert!(health.contains("\"disk_full_sheds\":1"), "health: {health}");
+
+    // Space is freed; the idle-tick probe notices and ingest resumes on
+    // its own — no restart, no operator intervention.
+    drop(guard);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let accepted = loop {
+        let (status, _) = http(&addr, "POST", "/ingest", &epoch_batch(1, 6, 0));
+        if status == 202 {
+            break true;
+        }
+        assert_eq!(status, 507, "only 507 is acceptable while still shed");
+        if std::time::Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(accepted, "ingest must resume once space is back");
+    let (_, health) = http(&addr, "GET", "/health", "");
+    assert!(health.contains("\"disk\":\"ok\""), "health: {health}");
+
+    // Close epoch 1 so the report covers everything, snapshot it, then
+    // die abruptly: a WAL replay must reconstruct the identical state —
+    // the ENOSPC episode lost no acknowledged records and duplicated
+    // none of the retried ones.
+    let (status, _) = http(&addr, "POST", "/ingest", &epoch_batch(2, 6, 0));
+    assert_eq!(status, 202);
+    let (_, before) = http(&addr, "GET", "/report", "");
+    server.kill();
+    let revived = start(config(&dir)).expect("restart after disk-full episode");
+    let (status, after) = http(&revived.addr(), "GET", "/report", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        before, after,
+        "replay after the disk-full episode must be byte-identical"
+    );
+    revived.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn admin_shutdown_drains_cleanly() {
     let dir = scratch("admin");
     let server = start(config(&dir)).expect("server starts");
